@@ -1,0 +1,265 @@
+//! Bookmark-Coloring Algorithm (BCA) push, the engine under HubRankP.
+//!
+//! Berkhin's bookmark coloring maintains an estimate `p` and a residual `r`
+//! with the invariant `ppv = p + Σ_u r(u)·ppv_u`. Pushing a node `u` moves
+//! `α·r(u)` into the estimate and spreads `(1-α)·r(u)` over its
+//! out-neighbors. We stop when the total residual mass drops below a target
+//! — which, like FastPPV's φ (Eq. 6), is exactly the L1 gap to the true PPV,
+//! so "residual target" and "L1-error target" are directly comparable knobs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use fastppv_graph::{Graph, NodeId, ScoreScratch, SparseVector};
+
+/// Options for [`bca_push`] / [`bca_push_with_hubs`].
+#[derive(Clone, Copy, Debug)]
+pub struct BcaOptions {
+    /// Teleport probability `α`.
+    pub alpha: f64,
+    /// Stop once the total residual mass is below this (the paper's `push`
+    /// knob for HubRankP, reinterpreted as an L1 target; see module docs).
+    pub residual_target: f64,
+    /// Hard cap on pushes (safety valve).
+    pub max_pushes: usize,
+}
+
+impl Default for BcaOptions {
+    fn default() -> Self {
+        BcaOptions { alpha: 0.15, residual_target: 1e-4, max_pushes: 50_000_000 }
+    }
+}
+
+/// Result of a push run.
+#[derive(Clone, Debug)]
+pub struct BcaResult {
+    /// The PPV estimate.
+    pub estimate: SparseVector,
+    /// Residual mass left when the run stopped (≈ L1 error).
+    pub remaining_residual: f64,
+    /// Number of node pushes performed.
+    pub pushes: usize,
+    /// Number of hub absorptions performed (0 for plain BCA).
+    pub hub_absorptions: usize,
+}
+
+/// A max-heap entry ordered by residual value.
+struct HeapEntry(f64, NodeId);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Looks up the precomputed full PPV of a hub, if any.
+pub trait HubVectors {
+    /// The stored PPV of `hub`, or `None` if `hub` has no vector.
+    fn hub_vector(&self, hub: NodeId) -> Option<Arc<SparseVector>>;
+}
+
+/// No hubs: plain BCA.
+pub struct NoHubs;
+
+impl HubVectors for NoHubs {
+    fn hub_vector(&self, _hub: NodeId) -> Option<Arc<SparseVector>> {
+        None
+    }
+}
+
+/// Plain bookmark-coloring push from `q`.
+pub fn bca_push(graph: &Graph, q: NodeId, opts: BcaOptions) -> BcaResult {
+    bca_push_with_hubs(graph, q, opts, &NoHubs)
+}
+
+/// Bookmark-coloring push that absorbs precomputed hub vectors: when the
+/// highest-residual node is a hub (other than the query itself), its entire
+/// residual is resolved through its stored PPV in one step.
+pub fn bca_push_with_hubs<H: HubVectors>(
+    graph: &Graph,
+    q: NodeId,
+    opts: BcaOptions,
+    hubs: &H,
+) -> BcaResult {
+    let n = graph.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!(opts.alpha > 0.0 && opts.alpha < 1.0);
+    let alpha = opts.alpha;
+    let mut estimate = ScoreScratch::new(n);
+    let mut residual = ScoreScratch::new(n);
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    residual.add(q, 1.0);
+    heap.push(HeapEntry(1.0, q));
+    let mut total_residual = 1.0;
+    let mut pushes = 0usize;
+    let mut hub_absorptions = 0usize;
+
+    while total_residual > opts.residual_target && pushes < opts.max_pushes {
+        let Some(HeapEntry(val, u)) = heap.pop() else { break };
+        let ru = residual.get(u);
+        if ru <= 0.0 {
+            continue; // stale entry
+        }
+        if ru < val * 0.5 && ru < total_residual / 10.0 {
+            // Stale and no longer urgent: requeue at its true priority.
+            heap.push(HeapEntry(ru, u));
+            continue;
+        }
+        pushes += 1;
+        residual.add(u, -ru);
+        if u != q {
+            if let Some(vec) = hubs.hub_vector(u) {
+                // Resolve all of r(u) through the hub's stored PPV.
+                for &(p, s) in vec.entries() {
+                    estimate.add(p, ru * s);
+                }
+                total_residual -= ru;
+                hub_absorptions += 1;
+                continue;
+            }
+        }
+        estimate.add(u, alpha * ru);
+        let d = graph.out_degree(u);
+        if d == 0 {
+            // Dangling: the non-teleport mass dies (inverse P-distance
+            // semantics; cannot happen under the SelfLoop policy).
+            total_residual -= ru;
+            continue;
+        }
+        total_residual -= alpha * ru;
+        let share = (1.0 - alpha) * ru / d as f64;
+        for &v in graph.out_neighbors(u) {
+            let before = residual.get(v);
+            residual.add(v, share);
+            let after = before + share;
+            // Only enqueue when the residual grew enough to matter; the
+            // factor keeps heap churn down without starving nodes.
+            if before == 0.0 || after > 2.0 * before {
+                heap.push(HeapEntry(after, v));
+            }
+        }
+    }
+    BcaResult {
+        estimate: estimate.drain_sparse(),
+        remaining_residual: total_residual,
+        pushes,
+        hub_absorptions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_ppv, ExactOptions};
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+
+    #[test]
+    fn converges_to_exact() {
+        let g = toy::graph();
+        let res = bca_push(
+            &g,
+            toy::A,
+            BcaOptions { residual_target: 1e-10, ..Default::default() },
+        );
+        let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+        for v in g.nodes() {
+            assert!(
+                (res.estimate.get(v) - exact[v as usize]).abs() < 1e-8,
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_reports_l1_gap() {
+        let g = barabasi_albert(300, 3, 2);
+        let res = bca_push(
+            &g,
+            7,
+            BcaOptions { residual_target: 0.05, ..Default::default() },
+        );
+        let exact = exact_ppv(&g, 7, ExactOptions::default());
+        let true_gap = res.estimate.l1_distance_dense(&exact);
+        assert!(res.remaining_residual <= 0.05 + 1e-9);
+        // The estimate is an underestimate; its L1 gap equals the residual.
+        assert!(
+            (true_gap - res.remaining_residual).abs() < 1e-6,
+            "gap {true_gap} vs residual {}",
+            res.remaining_residual
+        );
+    }
+
+    #[test]
+    fn estimate_is_entrywise_underestimate() {
+        let g = barabasi_albert(200, 2, 3);
+        let res = bca_push(
+            &g,
+            0,
+            BcaOptions { residual_target: 0.02, ..Default::default() },
+        );
+        let exact = exact_ppv(&g, 0, ExactOptions::default());
+        for &(v, s) in res.estimate.entries() {
+            assert!(s <= exact[v as usize] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_absorption_resolves_mass_in_one_step() {
+        let g = toy::graph();
+        // Precompute an exact vector for hub d and absorb it.
+        let d_vec = Arc::new(SparseVector::from_sorted(
+            exact_ppv(&g, toy::D, ExactOptions::default())
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s > 0.0)
+                .map(|(i, &s)| (i as NodeId, s))
+                .collect(),
+        ));
+        struct OneHub(Arc<SparseVector>);
+        impl HubVectors for OneHub {
+            fn hub_vector(&self, hub: NodeId) -> Option<Arc<SparseVector>> {
+                (hub == toy::D).then(|| Arc::clone(&self.0))
+            }
+        }
+        let res = bca_push_with_hubs(
+            &g,
+            toy::A,
+            BcaOptions { residual_target: 1e-10, ..Default::default() },
+            &OneHub(d_vec),
+        );
+        assert!(res.hub_absorptions >= 1);
+        let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+        for v in g.nodes() {
+            assert!((res.estimate.get(v) - exact[v as usize]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tighter_target_needs_more_pushes() {
+        let g = barabasi_albert(500, 3, 4);
+        let loose = bca_push(
+            &g,
+            1,
+            BcaOptions { residual_target: 0.1, ..Default::default() },
+        );
+        let tight = bca_push(
+            &g,
+            1,
+            BcaOptions { residual_target: 0.001, ..Default::default() },
+        );
+        assert!(tight.pushes > loose.pushes);
+    }
+}

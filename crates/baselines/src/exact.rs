@@ -1,0 +1,162 @@
+//! Exact PPV via power iteration.
+//!
+//! Semantics follow the paper's inverse P-distance (Eq. 1–2): the random
+//! surfer stops with probability `α` at every step; at a dangling node the
+//! walk cannot continue, so its mass is absorbed (with the default
+//! [`fastppv_graph::DanglingPolicy::SelfLoop`] no node is dangling and the
+//! PPV is a proper distribution).
+
+use fastppv_graph::{Graph, NodeId, SparseVector};
+
+/// Options for [`exact_ppv`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Teleport probability `α` (paper default 0.15).
+    pub alpha: f64,
+    /// Stop when the L1 change between sweeps falls below this.
+    pub tolerance: f64,
+    /// Hard cap on sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions { alpha: 0.15, tolerance: 1e-12, max_iterations: 500 }
+    }
+}
+
+/// Computes the exact PPV `r_q` as a dense vector.
+///
+/// Iterates `r ← α·e_q + (1-α)·Pᵀ·r` where `P` is the out-degree-normalized
+/// transition matrix (rows of dangling nodes are zero).
+pub fn exact_ppv(graph: &Graph, q: NodeId, opts: ExactOptions) -> Vec<f64> {
+    let n = graph.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!(
+        opts.alpha > 0.0 && opts.alpha < 1.0,
+        "alpha must be in (0, 1)"
+    );
+    let alpha = opts.alpha;
+    let mut r = vec![0.0; n];
+    r[q as usize] = alpha;
+    let mut next = vec![0.0; n];
+    for _ in 0..opts.max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        next[q as usize] = alpha;
+        for u in graph.nodes() {
+            let ru = r[u as usize];
+            if ru == 0.0 {
+                continue;
+            }
+            let d = graph.out_degree(u);
+            if d == 0 {
+                continue;
+            }
+            let share = (1.0 - alpha) * ru / d as f64;
+            for &v in graph.out_neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let delta: f64 =
+            r.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut r, &mut next);
+        if delta < opts.tolerance {
+            break;
+        }
+    }
+    r
+}
+
+/// Like [`exact_ppv`] but returns a sparse vector, dropping entries below
+/// `clip`.
+pub fn exact_ppv_sparse(
+    graph: &Graph,
+    q: NodeId,
+    opts: ExactOptions,
+    clip: f64,
+) -> SparseVector {
+    let dense = exact_ppv(graph, q, opts);
+    SparseVector::from_sorted(
+        dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s >= clip && s > 0.0)
+            .map(|(i, &s)| (i as NodeId, s))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::builder::from_edges;
+    use fastppv_graph::toy;
+
+    #[test]
+    fn sums_to_one_without_dangling() {
+        let g = toy::graph();
+        let r = exact_ppv(&g, toy::A, ExactOptions::default());
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dangling_absorbs_mass() {
+        let g = toy::graph_raw();
+        let r = exact_ppv(&g, toy::A, ExactOptions::default());
+        // Mass that stops at c/e stays; mass that "continues" from them dies.
+        assert!(r.iter().sum::<f64>() < 1.0);
+        assert!(r[toy::C as usize] > 0.0);
+    }
+
+    #[test]
+    fn query_entry_contains_teleport_mass() {
+        let g = toy::graph();
+        let r = exact_ppv(&g, toy::A, ExactOptions::default());
+        // r_q(q) >= α (the empty tour).
+        assert!(r[toy::A as usize] >= 0.15);
+    }
+
+    #[test]
+    fn satisfies_fixed_point() {
+        let g = from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (1, 4)],
+        );
+        let r = exact_ppv(&g, 0, ExactOptions::default());
+        for v in g.nodes() {
+            let mut rhs = if v == 0 { 0.15 } else { 0.0 };
+            for &u in g.in_neighbors(v) {
+                rhs += 0.85 * r[u as usize] / g.out_degree(u) as f64;
+            }
+            assert!((r[v as usize] - rhs).abs() < 1e-9, "node {v}");
+        }
+    }
+
+    #[test]
+    fn two_node_cycle_closed_form() {
+        // 0 <-> 1: r_0(0) = α / (1 - (1-α)^2), r_0(1) = (1-α) r_0(0).
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let r = exact_ppv(&g, 0, ExactOptions::default());
+        let a = 0.15;
+        let expect0 = a / (1.0 - (1.0 - a) * (1.0 - a));
+        assert!((r[0] - expect0).abs() < 1e-10);
+        assert!((r[1] - (1.0 - a) * expect0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_clips() {
+        let g = toy::graph();
+        let s = exact_ppv_sparse(&g, toy::A, ExactOptions::default(), 1e-2);
+        assert!(s.entries().iter().all(|&(_, v)| v >= 1e-2));
+        let full = exact_ppv_sparse(&g, toy::A, ExactOptions::default(), 0.0);
+        assert!(full.len() >= s.len());
+        assert!((full.l1_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_query() {
+        let g = toy::graph();
+        exact_ppv(&g, 99, ExactOptions::default());
+    }
+}

@@ -1,0 +1,24 @@
+//! Baselines for the FastPPV reproduction.
+//!
+//! * [`exact`] — PPV by power iteration to tolerance; the ground truth every
+//!   accuracy metric in the evaluation is measured against.
+//! * [`naive`] — literal tour enumeration of inverse P-distance (paper
+//!   Eq. 1–2) with hub-length partitioning; exponential, only for tiny
+//!   graphs, used to validate the scheduled-approximation machinery.
+//! * [`bca`] — bookmark-coloring push (Berkhin 2006), the engine under
+//!   HubRankP.
+//! * [`hubrank`] — the paper's first baseline: BCA with precomputed hub
+//!   vectors absorbed at query time (Chakrabarti et al., VLDBJ 2010).
+//! * [`montecarlo`] — the paper's second baseline: fingerprint sampling
+//!   (Fogaras et al. 2005) with hub fingerprint reuse.
+//!
+//! All APIs take plain hub masks (`&[bool]`) so this crate stays independent
+//! of `fastppv-core`.
+
+pub mod bca;
+pub mod exact;
+pub mod hubrank;
+pub mod montecarlo;
+pub mod naive;
+
+pub use exact::{exact_ppv, ExactOptions};

@@ -1,0 +1,391 @@
+//! Monte Carlo fingerprint baseline (Fogaras, Rácz, Csalogány, Sarlós 2005).
+//!
+//! A *fingerprint* is the endpoint of one sampled random walk: from the
+//! start node, stop with probability `α` at each step, otherwise move to a
+//! uniform out-neighbor. The empirical endpoint distribution over `N` walks
+//! is an unbiased PPV estimate.
+//!
+//! As in the paper's MonteCarlo baseline (§6), fingerprints for high-
+//! PageRank hub nodes are precomputed offline; an online walk that *arrives*
+//! at a hub finishes instantly by sampling one of the hub's stored endpoints
+//! (a walk arriving at `v` continues exactly like a fresh walk from `v`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use fastppv_graph::{Graph, NodeId, ScoreScratch, SparseVector};
+
+/// Options for the Monte Carlo baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloOptions {
+    /// Teleport probability `α`.
+    pub alpha: f64,
+    /// Fingerprints stored per hub offline.
+    pub fingerprints_per_hub: usize,
+    /// Safety cap on walk length (practically never reached at α = 0.15).
+    pub max_walk_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            alpha: 0.15,
+            fingerprints_per_hub: 2_000,
+            max_walk_len: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// Compressed endpoint samples of one hub: unique endpoints plus cumulative
+/// counts, sampled by binary search.
+#[derive(Clone, Debug)]
+pub struct Fingerprints {
+    ids: Vec<NodeId>,
+    cumulative: Vec<u32>,
+}
+
+impl Fingerprints {
+    /// Builds from raw endpoint samples.
+    pub fn from_endpoints(mut endpoints: Vec<NodeId>) -> Self {
+        endpoints.sort_unstable();
+        let mut ids = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0u32;
+        let mut i = 0;
+        while i < endpoints.len() {
+            let id = endpoints[i];
+            let mut c = 0u32;
+            while i < endpoints.len() && endpoints[i] == id {
+                c += 1;
+                i += 1;
+            }
+            total += c;
+            ids.push(id);
+            cumulative.push(total);
+        }
+        Fingerprints { ids, cumulative }
+    }
+
+    /// Total stored samples.
+    pub fn total(&self) -> u32 {
+        self.cumulative.last().copied().unwrap_or(0)
+    }
+
+    /// Number of distinct endpoints.
+    pub fn distinct(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Draws one endpoint proportionally to its stored count.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let x = rng.gen_range(0..total);
+        let i = self.cumulative.partition_point(|&c| c <= x);
+        Some(self.ids[i])
+    }
+}
+
+/// Precomputed fingerprints, slot-indexed by node id.
+pub struct FingerprintIndex {
+    slots: Vec<Option<Arc<Fingerprints>>>,
+    hub_ids: Vec<NodeId>,
+    build_time: std::time::Duration,
+}
+
+impl FingerprintIndex {
+    /// Hubs in the index.
+    pub fn hub_ids(&self) -> &[NodeId] {
+        &self.hub_ids
+    }
+
+    /// Fingerprints of `v`, if indexed.
+    pub fn get(&self, v: NodeId) -> Option<&Arc<Fingerprints>> {
+        self.slots.get(v as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Wall-clock time of the offline build.
+    pub fn build_time(&self) -> std::time::Duration {
+        self.build_time
+    }
+
+    /// Approximate index size in bytes (u32 id + u32 count per distinct
+    /// endpoint).
+    pub fn storage_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|f| f.distinct() * 8)
+            .sum::<usize>()
+            + self.hub_ids.len() * 16
+    }
+}
+
+/// One random walk from `start`; returns its endpoint, or `None` if the walk
+/// dies at a dangling node. If `index` is given, arrival at an indexed hub
+/// finishes by sampling a stored endpoint.
+fn walk<R: Rng>(
+    graph: &Graph,
+    start: NodeId,
+    opts: &MonteCarloOptions,
+    index: Option<&FingerprintIndex>,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let mut cur = start;
+    for _ in 0..opts.max_walk_len {
+        if rng.gen::<f64>() < opts.alpha {
+            return Some(cur);
+        }
+        let d = graph.out_degree(cur);
+        if d == 0 {
+            return None; // inverse P-distance semantics: the walk dies
+        }
+        cur = graph.out_neighbors(cur)[rng.gen_range(0..d)];
+        if let Some(idx) = index {
+            if cur != start {
+                if let Some(fp) = idx.get(cur) {
+                    return fp.sample(rng);
+                }
+            }
+        }
+    }
+    Some(cur)
+}
+
+/// Precomputes `fingerprints_per_hub` endpoint samples for each hub.
+pub fn build_fingerprint_index(
+    graph: &Graph,
+    hub_ids: &[NodeId],
+    opts: MonteCarloOptions,
+) -> FingerprintIndex {
+    let start = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut index = FingerprintIndex {
+        slots: vec![None; graph.num_nodes()],
+        hub_ids: hub_ids.to_vec(),
+        build_time: std::time::Duration::ZERO,
+    };
+    for &h in hub_ids {
+        let mut endpoints = Vec::with_capacity(opts.fingerprints_per_hub);
+        for _ in 0..opts.fingerprints_per_hub {
+            // Offline walks may reuse already-indexed hubs.
+            if let Some(e) = walk(graph, h, &opts, Some(&index), &mut rng) {
+                endpoints.push(e);
+            }
+        }
+        index.slots[h as usize] =
+            Some(Arc::new(Fingerprints::from_endpoints(endpoints)));
+    }
+    index.build_time = start.elapsed();
+    index
+}
+
+/// Result of one Monte Carlo query.
+#[derive(Clone, Debug)]
+pub struct MonteCarloResult {
+    /// The PPV estimate (endpoint frequencies).
+    pub estimate: SparseVector,
+    /// Walks whose endpoint came from a stored hub fingerprint.
+    pub hub_hits: usize,
+    /// Walks that died at dangling nodes.
+    pub dead_walks: usize,
+}
+
+/// Estimates the PPV of `q` from `n_samples` walks, reusing hub fingerprints
+/// when `index` is provided.
+pub fn montecarlo_query(
+    graph: &Graph,
+    index: Option<&FingerprintIndex>,
+    q: NodeId,
+    n_samples: usize,
+    opts: MonteCarloOptions,
+    scratch: &mut ScoreScratch,
+) -> MonteCarloResult {
+    assert!((q as usize) < graph.num_nodes(), "query node out of range");
+    assert!(n_samples > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ (q as u64) << 20);
+    scratch.ensure_capacity(graph.num_nodes());
+    let weight = 1.0 / n_samples as f64;
+    let mut hub_hits = 0usize;
+    let mut dead_walks = 0usize;
+    // If the query is itself an indexed hub, all samples come from storage.
+    if let Some(fp) = index.and_then(|i| i.get(q)) {
+        for _ in 0..n_samples {
+            match fp.sample(&mut rng) {
+                Some(e) => {
+                    scratch.add(e, weight);
+                    hub_hits += 1;
+                }
+                None => dead_walks += 1,
+            }
+        }
+    } else {
+        for _ in 0..n_samples {
+            match walk(graph, q, &opts, index, &mut rng) {
+                Some(e) => scratch.add(e, weight),
+                None => dead_walks += 1,
+            }
+        }
+    }
+    MonteCarloResult {
+        estimate: scratch.drain_sparse(),
+        hub_hits,
+        dead_walks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_ppv, ExactOptions};
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+    use fastppv_graph::{pagerank, PageRankOptions};
+
+    #[test]
+    fn fingerprints_compress_and_sample() {
+        let fp = Fingerprints::from_endpoints(vec![3, 1, 3, 3, 1, 7]);
+        assert_eq!(fp.total(), 6);
+        assert_eq!(fp.distinct(), 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..6000 {
+            *counts.entry(fp.sample(&mut rng).unwrap()).or_insert(0) += 1;
+        }
+        // 3 appears 3x as often as 7.
+        assert!(counts[&3] > 2 * counts[&7]);
+        assert!(!counts.contains_key(&2));
+    }
+
+    #[test]
+    fn empty_fingerprints_sample_none() {
+        let fp = Fingerprints::from_endpoints(vec![]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(fp.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn estimate_l1_norm_is_one_without_dangling() {
+        let g = toy::graph();
+        let mut scratch = ScoreScratch::new(g.num_nodes());
+        let res = montecarlo_query(
+            &g,
+            None,
+            toy::A,
+            5_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        assert!((res.estimate.l1_norm() - 1.0).abs() < 1e-9);
+        assert_eq!(res.dead_walks, 0);
+    }
+
+    #[test]
+    fn converges_to_exact_with_many_samples() {
+        let g = toy::graph();
+        let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+        let mut scratch = ScoreScratch::new(g.num_nodes());
+        let res = montecarlo_query(
+            &g,
+            None,
+            toy::A,
+            200_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        let gap = res.estimate.l1_distance_dense(&exact);
+        assert!(gap < 0.02, "gap {gap}");
+    }
+
+    #[test]
+    fn dangling_walks_die() {
+        let g = toy::graph_raw(); // c, e are sinks
+        let mut scratch = ScoreScratch::new(g.num_nodes());
+        let res = montecarlo_query(
+            &g,
+            None,
+            toy::A,
+            10_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        assert!(res.dead_walks > 0);
+        assert!(res.estimate.l1_norm() < 1.0);
+    }
+
+    #[test]
+    fn hub_reuse_preserves_accuracy() {
+        let g = barabasi_albert(300, 3, 5);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let hubs = crate::hubrank::select_hubs_by_benefit(15, &pr);
+        let idx = build_fingerprint_index(
+            &g,
+            &hubs,
+            MonteCarloOptions { fingerprints_per_hub: 5_000, ..Default::default() },
+        );
+        let exact = exact_ppv(&g, 42, ExactOptions::default());
+        let mut scratch = ScoreScratch::new(g.num_nodes());
+        let res = montecarlo_query(
+            &g,
+            Some(&idx),
+            42,
+            30_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        let gap = res.estimate.l1_distance_dense(&exact);
+        assert!(gap < 0.1, "gap {gap}");
+    }
+
+    #[test]
+    fn querying_a_hub_uses_storage_only() {
+        let g = barabasi_albert(200, 2, 6);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let hubs = crate::hubrank::select_hubs_by_benefit(5, &pr);
+        let idx =
+            build_fingerprint_index(&g, &hubs, MonteCarloOptions::default());
+        let mut scratch = ScoreScratch::new(g.num_nodes());
+        let res = montecarlo_query(
+            &g,
+            Some(&idx),
+            hubs[0],
+            1_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        assert_eq!(res.hub_hits, 1_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = toy::graph();
+        let mut s1 = ScoreScratch::new(g.num_nodes());
+        let mut s2 = ScoreScratch::new(g.num_nodes());
+        let a = montecarlo_query(
+            &g,
+            None,
+            toy::A,
+            1000,
+            MonteCarloOptions::default(),
+            &mut s1,
+        );
+        let b = montecarlo_query(
+            &g,
+            None,
+            toy::A,
+            1000,
+            MonteCarloOptions::default(),
+            &mut s2,
+        );
+        assert_eq!(a.estimate, b.estimate);
+    }
+}

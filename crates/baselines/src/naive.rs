@@ -1,0 +1,216 @@
+//! Literal inverse P-distance by tour enumeration (paper Eq. 1–2).
+//!
+//! Enumerates every tour from the query whose walk probability stays above a
+//! prune threshold, accumulating `R(t) = (1-α)^{L(t)} · α · Π 1/|Out(v_i)|`
+//! at each endpoint. Exponential in general — strictly a validation oracle
+//! for small graphs. [`partition_by_hub_length`] additionally buckets tour
+//! mass by the paper's hub-length metric (Def. 1), which lets tests check
+//! FastPPV's per-iteration increments tour-by-tour.
+
+use fastppv_graph::{Graph, NodeId};
+
+/// Sum of `R(t)` per endpoint over all tours from `q` with walk probability
+/// `≥ prune`. With `prune → 0` this converges to the exact PPV.
+pub fn inverse_p_distance(
+    graph: &Graph,
+    q: NodeId,
+    alpha: f64,
+    prune: f64,
+) -> Vec<f64> {
+    let parts = partition_by_hub_length(graph, q, &[], alpha, prune);
+    let mut total = vec![0.0; graph.num_nodes()];
+    for p in parts {
+        for (t, s) in total.iter_mut().zip(&p) {
+            *t += s;
+        }
+    }
+    total
+}
+
+/// Tour mass bucketed by hub length: element `i` of the result holds, per
+/// endpoint, the sum of `R(t)` over tours with `L_h(t) = i` (hubs strictly
+/// inside the tour; endpoints excluded, per Def. 1).
+///
+/// `hubs` is a mask (`hubs[v]` ⇒ v is a hub); an empty slice means no hubs.
+/// Tours are pruned when their walk probability drops below `prune`, so the
+/// enumeration is finite even on cyclic graphs.
+pub fn partition_by_hub_length(
+    graph: &Graph,
+    q: NodeId,
+    hubs: &[bool],
+    alpha: f64,
+    prune: f64,
+) -> Vec<Vec<f64>> {
+    assert!((q as usize) < graph.num_nodes(), "query node out of range");
+    assert!(alpha > 0.0 && alpha < 1.0);
+    assert!(prune > 0.0, "a zero prune threshold would not terminate");
+    let is_hub = |v: NodeId| hubs.get(v as usize).copied().unwrap_or(false);
+    let mut parts: Vec<Vec<f64>> = Vec::new();
+    let add = |parts: &mut Vec<Vec<f64>>, level: usize, v: NodeId, mass: f64| {
+        while parts.len() <= level {
+            parts.push(vec![0.0; graph.num_nodes()]);
+        }
+        parts[level][v as usize] += mass;
+    };
+    // Iterative DFS over (node, walk probability, hub length, depth).
+    let mut stack: Vec<(NodeId, f64, usize, usize)> = vec![(q, 1.0, 0, 0)];
+    while let Some((v, w, hl, depth)) = stack.pop() {
+        // The tour ending here contributes α·w at hub length hl.
+        add(&mut parts, hl, v, alpha * w);
+        let d = graph.out_degree(v);
+        if d == 0 {
+            continue;
+        }
+        // Extending past v: v becomes an interior node; if it is a hub (and
+        // not the tour's starting position), the extension gains hub length.
+        let hl_next = if depth > 0 && is_hub(v) { hl + 1 } else { hl };
+        let w_next = w * (1.0 - alpha) / d as f64;
+        if w_next < prune {
+            continue;
+        }
+        for &t in graph.out_neighbors(v) {
+            stack.push((t, w_next, hl_next, depth + 1));
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::builder::from_edges;
+    use fastppv_graph::toy;
+
+    const ALPHA: f64 = 0.15;
+
+    #[test]
+    fn matches_exact_on_toy_graph() {
+        let g = toy::graph();
+        let naive = inverse_p_distance(&g, toy::A, ALPHA, 1e-12);
+        let exact = crate::exact::exact_ppv(
+            &g,
+            toy::A,
+            crate::exact::ExactOptions::default(),
+        );
+        for v in g.nodes() {
+            assert!(
+                (naive[v as usize] - exact[v as usize]).abs() < 1e-6,
+                "node {v}: naive {} exact {}",
+                naive[v as usize],
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_cyclic_graph() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]);
+        let naive = inverse_p_distance(&g, 0, ALPHA, 1e-11);
+        let exact = crate::exact::exact_ppv(
+            &g,
+            0,
+            crate::exact::ExactOptions::default(),
+        );
+        for v in g.nodes() {
+            // Enumeration truncates per-path at 1e-11; the pruned frontier
+            // can leave ~1e-5 of aggregate mass uncovered.
+            assert!(
+                (naive[v as usize] - exact[v as usize]).abs() < 5e-5,
+                "node {v}: naive {} exact {}",
+                naive[v as usize],
+                exact[v as usize]
+            );
+            assert!(naive[v as usize] <= exact[v as usize] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_everything_disjointly() {
+        let g = toy::graph();
+        let mut hubs = vec![false; 8];
+        for h in toy::PAPER_HUBS {
+            hubs[h as usize] = true;
+        }
+        let parts = partition_by_hub_length(&g, toy::A, &hubs, ALPHA, 1e-12);
+        let total = inverse_p_distance(&g, toy::A, ALPHA, 1e-12);
+        let mut sum = vec![0.0; 8];
+        for p in &parts {
+            for (s, x) in sum.iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for v in 0..8 {
+            assert!((sum[v] - total[v]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn toy_graph_has_three_hub_levels() {
+        // Fig. 3: tours from a fall into T0, T1, T2 with H = {b, d, f}.
+        let g = toy::graph_raw();
+        let mut hubs = vec![false; 8];
+        for h in toy::PAPER_HUBS {
+            hubs[h as usize] = true;
+        }
+        let parts = partition_by_hub_length(&g, toy::A, &hubs, ALPHA, 1e-12);
+        assert_eq!(parts.len(), 3);
+        // T2 holds exactly the four two-transfer tours of Fig. 3(b):
+        // a→b→d→{e,c} and a→f→(g→)d→{e,c} ... all end at c or e.
+        let t2_mass: f64 = parts[2].iter().sum();
+        assert!(t2_mass > 0.0);
+        for v in [toy::A, toy::B, toy::D, toy::F, toy::G, toy::H] {
+            assert_eq!(parts[2][v as usize], 0.0, "node {v} not a T2 endpoint");
+        }
+    }
+
+    #[test]
+    fn partition_masses_decrease_per_level() {
+        let g = toy::graph_raw();
+        let mut hubs = vec![false; 8];
+        for h in toy::PAPER_HUBS {
+            hubs[h as usize] = true;
+        }
+        let parts = partition_by_hub_length(&g, toy::A, &hubs, ALPHA, 1e-12);
+        let masses: Vec<f64> =
+            parts.iter().map(|p| p.iter().sum()).collect();
+        assert!(masses.windows(2).all(|w| w[0] > w[1]), "{masses:?}");
+    }
+
+    #[test]
+    fn hub_at_endpoint_does_not_count() {
+        // 0 -> 1(hub) : the tour 0→1 ends at the hub, so it stays in T0.
+        let g = from_edges(2, &[(0, 1)]);
+        let hubs = vec![false, true];
+        let parts = partition_by_hub_length(&g, 0, &hubs, ALPHA, 1e-9);
+        assert!(parts[0][1] > 0.0);
+        // 1's self-loop (dangling fix) extends tours through hub 1.
+        if parts.len() > 1 {
+            assert_eq!(parts[1][0], 0.0);
+        }
+    }
+
+    #[test]
+    fn query_being_a_hub_counts_only_interior_occurrences() {
+        // 0(hub) <-> 1: tour 0→1 has hub length 0 (0 is the start);
+        // 0→1→0→1 has hub length 1 (the middle 0).
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let hubs = vec![true, false];
+        let parts = partition_by_hub_length(&g, 0, &hubs, ALPHA, 1e-10);
+        assert!(parts.len() >= 2);
+        assert!(parts[0][1] > 0.0, "direct tour is T0");
+        assert!(parts[1][1] > 0.0, "revisit of hub start is T1");
+        // T0 at node 1 is exactly the single tour 0→1.
+        assert!((parts[0][1] - 0.85 * 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_bounds_truncation() {
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let coarse = inverse_p_distance(&g, 0, ALPHA, 1e-2);
+        let fine = inverse_p_distance(&g, 0, ALPHA, 1e-10);
+        let c: f64 = coarse.iter().sum();
+        let f: f64 = fine.iter().sum();
+        assert!(c <= f + 1e-12);
+        assert!(f <= 1.0 + 1e-9);
+    }
+}

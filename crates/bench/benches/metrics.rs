@@ -1,0 +1,65 @@
+//! Criterion micro-bench: accuracy-metric computation (per-query cost of
+//! the evaluation harness itself) and the sparse-vector kernels under the
+//! increment loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fastppv_graph::{ScoreScratch, SparseVector};
+use fastppv_metrics::AccuracyReport;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_accuracy_report(c: &mut Criterion) {
+    let n = 100_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut exact = vec![0.0f64; n];
+    for x in exact.iter_mut() {
+        *x = rng.gen::<f64>().powi(4);
+    }
+    let total: f64 = exact.iter().sum();
+    exact.iter_mut().for_each(|x| *x /= total);
+    let approx = SparseVector::from_sorted(
+        (0..n)
+            .step_by(7)
+            .map(|i| (i as u32, exact[i] * 0.98))
+            .collect(),
+    );
+    c.bench_function("accuracy_report_100k", |b| {
+        b.iter(|| {
+            std::hint::black_box(AccuracyReport::compute(&exact, &approx, 10))
+        });
+    });
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a: SparseVector = (0..5_000)
+        .map(|_| (rng.gen_range(0..200_000u32), rng.gen::<f64>()))
+        .collect();
+    let b_vec: SparseVector = (0..5_000)
+        .map(|_| (rng.gen_range(0..200_000u32), rng.gen::<f64>()))
+        .collect();
+    c.bench_function("sparse_axpy_5k", |b| {
+        b.iter(|| {
+            let mut acc = a.clone();
+            acc.axpy(0.5, &b_vec);
+            std::hint::black_box(acc)
+        });
+    });
+    c.bench_function("scratch_accumulate_drain_5k", |b| {
+        let mut scratch = ScoreScratch::new(200_000);
+        b.iter(|| {
+            for &(v, s) in a.entries() {
+                scratch.add(v, s);
+            }
+            for &(v, s) in b_vec.entries() {
+                scratch.add(v, 0.5 * s);
+            }
+            std::hint::black_box(scratch.drain_sparse())
+        });
+    });
+}
+
+criterion_group!(benches, bench_accuracy_report, bench_sparse_kernels);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-bench: prime-subgraph extraction and prime-PPV solve —
+//! the dominant cost of both the offline phase and non-hub queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fastppv_bench::datasets;
+use fastppv_core::hubs::{select_hubs, HubPolicy};
+use fastppv_core::prime::PrimeComputer;
+use fastppv_core::Config;
+
+fn bench_extract_and_solve(c: &mut Criterion) {
+    let dataset = datasets::dblp(0.2, 42);
+    let graph = &dataset.graph;
+    let n = graph.num_nodes();
+    let mut group = c.benchmark_group("prime_ppv");
+    group.sample_size(30);
+    for (label, divisor) in [("hubs_1pct", 100usize), ("hubs_4pct", 25)] {
+        let hubs =
+            select_hubs(graph, HubPolicy::ExpectedUtility, n / divisor, 0);
+        let config = Config::default().with_epsilon(1e-6);
+        // A non-hub source with an average-sized neighborhood.
+        let source =
+            (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+        group.bench_with_input(
+            BenchmarkId::new("extract", label),
+            &(),
+            |b, _| {
+                let mut pc = PrimeComputer::new(n);
+                b.iter(|| {
+                    std::hint::black_box(
+                        pc.extract(graph, &hubs, source, &config),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("extract_and_solve", label),
+            &(),
+            |b, _| {
+                let mut pc = PrimeComputer::new(n);
+                b.iter(|| {
+                    std::hint::black_box(
+                        pc.prime_ppv(graph, &hubs, source, &config, 1e-4),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let dataset = datasets::dblp(0.2, 42);
+    let graph = &dataset.graph;
+    let n = graph.num_nodes();
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / 25, 0);
+    let source = (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+    let mut group = c.benchmark_group("prime_ppv_epsilon");
+    group.sample_size(30);
+    for eps in [1e-5f64, 1e-6, 1e-7, 1e-8] {
+        let config = Config::default().with_epsilon(eps);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{eps:.0e}")),
+            &(),
+            |b, _| {
+                let mut pc = PrimeComputer::new(n);
+                b.iter(|| {
+                    std::hint::black_box(
+                        pc.prime_ppv(graph, &hubs, source, &config, 1e-4),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract_and_solve, bench_epsilon);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Dataset-substitution audit: structural statistics of the generated
+//! graphs next to the published properties of the paper's real datasets.
+//!
+//! The substitution argument (DESIGN.md §4) is that FastPPV's behaviour
+//! depends on degree skew, directedness/reciprocity, and heavy out-degree
+//! tails (hub "decaying power") — not on dataset identity. This table makes
+//! those properties inspectable.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_datasets [--scale F]
+//! ```
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::datasets;
+use fastppv_bench::table::Table;
+use fastppv_graph::stats::{graph_stats, out_degree_histogram};
+
+fn main() {
+    let args = CommonArgs::parse(1);
+    println!("# Dataset audit: generated vs paper datasets");
+    let dblp = datasets::dblp(args.scale, args.seed);
+    let lj = datasets::livejournal(args.scale, args.seed);
+
+    let mut t = Table::new(vec![
+        "property", "DBLP-like (gen)", "LiveJournal-like (gen)", "paper DBLP",
+        "paper LJ sample",
+    ]);
+    let ds = graph_stats(&dblp.graph);
+    let ls = graph_stats(&lj.graph);
+    let row = |t: &mut Table,
+               name: &str,
+               d: String,
+               l: String,
+               pd: &str,
+               pl: &str| {
+        t.row(vec![name.to_string(), d, l, pd.to_string(), pl.to_string()]);
+    };
+    row(
+        &mut t,
+        "nodes",
+        ds.nodes.to_string(),
+        ls.nodes.to_string(),
+        "2.0M",
+        "1.2M",
+    );
+    row(
+        &mut t,
+        "directed edges",
+        ds.edges.to_string(),
+        ls.edges.to_string(),
+        "17.6M (8.8M undirected)",
+        "4.8M",
+    );
+    row(
+        &mut t,
+        "mean out-degree",
+        format!("{:.2}", ds.mean_out_degree),
+        format!("{:.2}", ls.mean_out_degree),
+        "8.8",
+        "4.0",
+    );
+    row(
+        &mut t,
+        "reciprocity",
+        format!("{:.2}", ds.reciprocity),
+        format!("{:.2}", ls.reciprocity),
+        "1.00 (undirected)",
+        "<1 (directed)",
+    );
+    row(
+        &mut t,
+        "max out-degree",
+        ds.max_out_degree.to_string(),
+        ls.max_out_degree.to_string(),
+        "10^3-10^4 (venues)",
+        "10^2-10^3",
+    );
+    row(
+        &mut t,
+        "out-degree Gini",
+        format!("{:.3}", ds.out_degree_gini),
+        format!("{:.3}", ls.out_degree_gini),
+        "high (power law)",
+        "high (power law)",
+    );
+    row(
+        &mut t,
+        "Hill tail exponent",
+        format!("{:.2}", ds.out_tail_exponent),
+        format!("{:.2}", ls.out_tail_exponent),
+        "~2-3",
+        "~2-3",
+    );
+    t.print("Generated datasets vs the paper's (published/typical values)");
+
+    for (name, graph) in
+        [("DBLP-like", &dblp.graph), ("LiveJournal-like", &lj.graph)]
+    {
+        let hist = out_degree_histogram(graph);
+        let mut ht = Table::new(vec!["out-degree range", "nodes"]);
+        for (i, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = 1usize << i;
+            let hi = (1usize << (i + 1)) - 1;
+            let label = if i == 0 {
+                "0-1".to_string()
+            } else {
+                format!("{lo}-{hi}")
+            };
+            ht.row(vec![label, count.to_string()]);
+        }
+        ht.print(&format!("{name} out-degree histogram (powers of two)"));
+    }
+}

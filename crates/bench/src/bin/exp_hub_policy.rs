@@ -1,0 +1,91 @@
+//! Figures 8 and 9: effect of the hub selection policy.
+//!
+//! Compares expected utility (the paper's Eq. 7) against PageRank-only and
+//! out-degree-only selection (plus in-degree and random as extra ablations)
+//! on both the online phase (Fig. 8: accuracy + query time) and the offline
+//! phase (Fig. 9: space + precompute time). The paper finds expected
+//! utility equal-or-better on accuracy while 1.2–2.4× faster online and
+//! 1.3–1.7× faster offline than the second-best policy, with larger gaps on
+//! the directed LiveJournal.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_hub_policy [--scale F]
+//! ```
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::datasets::{self, DatasetKind};
+use fastppv_bench::runner::{build_fastppv, eval_fastppv};
+use fastppv_bench::table::{fmt_mb, fmt_ms, fmt_s, Table};
+use fastppv_bench::workload::{ground_truth, sample_queries};
+use fastppv_core::hubs::HubPolicy;
+use fastppv_core::query::StoppingCondition;
+use fastppv_core::Config;
+use fastppv_graph::{pagerank, PageRankOptions};
+
+fn main() {
+    let args = CommonArgs::parse(40);
+    println!("# Fig. 8–9: effect of hub selection policy");
+    let policies = [
+        HubPolicy::ExpectedUtility,
+        HubPolicy::PageRank,
+        HubPolicy::OutDegree,
+        HubPolicy::InDegree,
+        HubPolicy::Random,
+    ];
+    let mut fig8 = Table::new(vec![
+        "dataset", "policy", "Kendall", "Precision", "RAG", "L1 sim",
+        "time/query",
+    ]);
+    let mut fig9 = Table::new(vec![
+        "dataset", "policy", "offline space", "offline time",
+    ]);
+    for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+        let dataset = match kind {
+            DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
+            DatasetKind::LiveJournal => {
+                datasets::livejournal(args.scale, args.seed)
+            }
+        };
+        let graph = &dataset.graph;
+        println!(
+            "\n## {}: {} nodes, {} edges",
+            dataset.name,
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        let pr = pagerank(graph, PageRankOptions::default());
+        let queries = sample_queries(graph, args.queries, args.seed);
+        let truth = ground_truth(graph, &queries);
+        let hub_count = datasets::default_hub_count(&dataset);
+        // η = 2 default, as in the paper's policy study.
+        let stop = StoppingCondition::iterations(2);
+        for policy in policies {
+            let setup = build_fastppv(
+                graph,
+                hub_count,
+                Config::default().with_epsilon(1e-6),
+                policy,
+                args.threads,
+                Some(&pr),
+            );
+            let row = eval_fastppv(graph, &setup, &queries, &truth, &stop);
+            fig8.row(vec![
+                dataset.name.to_string(),
+                policy.name().to_string(),
+                format!("{:.4}", row.accuracy.kendall),
+                format!("{:.4}", row.accuracy.precision),
+                format!("{:.4}", row.accuracy.rag),
+                format!("{:.4}", row.accuracy.l1_similarity),
+                fmt_ms(row.online_per_query),
+            ]);
+            fig9.row(vec![
+                dataset.name.to_string(),
+                policy.name().to_string(),
+                fmt_mb(row.offline_bytes),
+                fmt_s(row.offline_time),
+            ]);
+        }
+    }
+    fig8.print("Fig. 8 — hub policy: online accuracy and query time");
+    fig9.print("Fig. 9 — hub policy: offline precomputation costs");
+}

@@ -1,0 +1,89 @@
+//! Figures 10 and 11: effect of the number of hubs |H|.
+//!
+//! The paper's findings: more hubs drastically reduce online query time
+//! while every accuracy metric stays robust (Fig. 10); offline, total space
+//! grows sublinearly while total precompute time *decreases* with |H|
+//! (Fig. 11) — prime subgraphs shrink faster than their count grows.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_num_hubs [--scale F]
+//! ```
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::datasets::{self, DatasetKind};
+use fastppv_bench::runner::{build_fastppv, eval_fastppv};
+use fastppv_bench::table::{fmt_mb, fmt_ms, fmt_s, Table};
+use fastppv_bench::workload::{ground_truth, sample_queries};
+use fastppv_core::hubs::HubPolicy;
+use fastppv_core::query::StoppingCondition;
+use fastppv_core::Config;
+use fastppv_graph::{pagerank, PageRankOptions};
+
+fn main() {
+    let args = CommonArgs::parse(40);
+    println!("# Fig. 10–11: effect of the number of hubs");
+    // Paper sweeps 10K–35K (DBLP) and 100K–150K (LiveJournal); these are
+    // the corresponding operating-point fractions on the default graphs.
+    let sweeps: [(DatasetKind, &[f64]); 2] = [
+        (DatasetKind::Dblp, &[0.01, 0.02, 0.04, 0.06, 0.08]),
+        (DatasetKind::LiveJournal, &[0.04, 0.08, 0.125, 0.16, 0.20]),
+    ];
+    let mut fig10 = Table::new(vec![
+        "dataset", "|H|", "Kendall", "Precision", "RAG", "L1 sim",
+        "time/query",
+    ]);
+    let mut fig11 =
+        Table::new(vec!["dataset", "|H|", "total space", "total time"]);
+    for (kind, fractions) in sweeps {
+        let dataset = match kind {
+            DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
+            DatasetKind::LiveJournal => {
+                datasets::livejournal(args.scale, args.seed)
+            }
+        };
+        let graph = &dataset.graph;
+        println!(
+            "\n## {}: {} nodes, {} edges",
+            dataset.name,
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        let pr = pagerank(graph, PageRankOptions::default());
+        let queries = sample_queries(graph, args.queries, args.seed);
+        let truth = ground_truth(graph, &queries);
+        let stop = StoppingCondition::iterations(2);
+        for &f in fractions {
+            let hub_count = ((graph.num_nodes() as f64 * f) as usize).max(1);
+            let setup = build_fastppv(
+                graph,
+                hub_count,
+                Config::default().with_epsilon(1e-6),
+                HubPolicy::ExpectedUtility,
+                args.threads,
+                Some(&pr),
+            );
+            let row = eval_fastppv(graph, &setup, &queries, &truth, &stop);
+            fig10.row(vec![
+                dataset.name.to_string(),
+                hub_count.to_string(),
+                format!("{:.4}", row.accuracy.kendall),
+                format!("{:.4}", row.accuracy.precision),
+                format!("{:.4}", row.accuracy.rag),
+                format!("{:.4}", row.accuracy.l1_similarity),
+                fmt_ms(row.online_per_query),
+            ]);
+            fig11.row(vec![
+                dataset.name.to_string(),
+                hub_count.to_string(),
+                fmt_mb(row.offline_bytes),
+                fmt_s(row.offline_time),
+            ]);
+        }
+    }
+    fig10.print(
+        "Fig. 10 — |H| vs online (paper: time drops, accuracy robust)",
+    );
+    fig11.print(
+        "Fig. 11 — |H| vs offline (paper: space sublinear, time decreases)",
+    );
+}

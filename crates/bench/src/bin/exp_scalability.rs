@@ -1,0 +1,141 @@
+//! Figures 13, 14 and 15: scaling to larger graphs.
+//!
+//! * Fig. 13 — the growing-graph series: DBLP snapshots by year and
+//!   LiveJournal samples S1–S5 by edge-prefix;
+//! * Fig. 14 — near-constant online query time across the series, achieved
+//!   by growing |H| with the graph, with accuracy held steady;
+//! * Fig. 15 — offline space and time grow (near-)linearly in graph size
+//!   (nodes + edges), the cost of keeping online time flat.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_scalability [--scale F]
+//! ```
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::datasets;
+use fastppv_bench::runner::{build_fastppv, eval_fastppv};
+use fastppv_bench::table::{fmt_mb, fmt_ms, fmt_s, Table};
+use fastppv_bench::workload::{ground_truth, sample_queries};
+use fastppv_core::hubs::HubPolicy;
+use fastppv_core::query::StoppingCondition;
+use fastppv_core::Config;
+use fastppv_graph::gen::evolve::sample_prefix;
+use fastppv_graph::{pagerank, Graph, PageRankOptions};
+
+fn main() {
+    let args = CommonArgs::parse(30);
+    println!("# Fig. 13–15: scalability on growing graphs");
+
+    let mut fig13 = Table::new(vec!["series", "label", "nodes", "edges"]);
+    let mut fig14 = Table::new(vec![
+        "series", "label", "|H|", "Kendall", "Precision", "RAG", "L1 sim",
+        "time/query",
+    ]);
+    let mut fig15 = Table::new(vec![
+        "series", "label", "nodes+edges", "total space", "total time",
+    ]);
+
+    // --- DBLP snapshots by year (Fig. 13a), |H| = 4% of each snapshot.
+    let dblp = datasets::dblp(args.scale, args.seed);
+    let bib = dblp.bib.as_ref().expect("dblp dataset has bib data");
+    for year in [1994u16, 1998, 2002, 2006, 2010] {
+        let (snap, _) = bib.snapshot(year);
+        run_point(
+            &args,
+            &mut fig13,
+            &mut fig14,
+            &mut fig15,
+            "DBLP-like",
+            &year.to_string(),
+            &snap.graph,
+            ((snap.graph.num_nodes() as f64) * 0.04) as usize,
+        );
+    }
+
+    // --- LiveJournal samples S1..S5 by edge prefix (Fig. 13b),
+    //     |H| = 12.5% of each sample.
+    let lj = datasets::livejournal(args.scale, args.seed);
+    let social = lj.social.as_ref().expect("lj dataset has social data");
+    let m = social.edges.len();
+    for (i, frac) in [0.16, 0.34, 0.52, 0.76, 1.0].iter().enumerate() {
+        let (graph, _) = sample_prefix(&social.edges, (m as f64 * frac) as usize);
+        run_point(
+            &args,
+            &mut fig13,
+            &mut fig14,
+            &mut fig15,
+            "LiveJournal-like",
+            &format!("S{}", i + 1),
+            &graph,
+            ((graph.num_nodes() as f64) * 0.125) as usize,
+        );
+    }
+
+    fig13.print("Fig. 13 — growing-graph series");
+    fig14.print(
+        "Fig. 14 — near-constant online time via growing |H| \
+         (paper: ~15ms DBLP / ~29ms LJ at every size)",
+    );
+    fig15.print(
+        "Fig. 15 — offline costs vs graph size (paper: linear growth)",
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    args: &CommonArgs,
+    fig13: &mut Table,
+    fig14: &mut Table,
+    fig15: &mut Table,
+    series: &str,
+    label: &str,
+    graph: &Graph,
+    hub_count: usize,
+) {
+    println!(
+        "{series} {label}: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    fig13.row(vec![
+        series.to_string(),
+        label.to_string(),
+        graph.num_nodes().to_string(),
+        graph.num_edges().to_string(),
+    ]);
+    let pr = pagerank(graph, PageRankOptions::default());
+    let queries = sample_queries(graph, args.queries, args.seed);
+    let truth = ground_truth(graph, &queries);
+    let setup = build_fastppv(
+        graph,
+        hub_count,
+        Config::default().with_epsilon(1e-6),
+        HubPolicy::ExpectedUtility,
+        args.threads,
+        Some(&pr),
+    );
+    let row = eval_fastppv(
+        graph,
+        &setup,
+        &queries,
+        &truth,
+        &StoppingCondition::iterations(2),
+    );
+    fig14.row(vec![
+        series.to_string(),
+        label.to_string(),
+        hub_count.to_string(),
+        format!("{:.4}", row.accuracy.kendall),
+        format!("{:.4}", row.accuracy.precision),
+        format!("{:.4}", row.accuracy.rag),
+        format!("{:.4}", row.accuracy.l1_similarity),
+        fmt_ms(row.online_per_query),
+    ]);
+    fig15.row(vec![
+        series.to_string(),
+        label.to_string(),
+        (graph.num_nodes() + graph.num_edges()).to_string(),
+        fmt_mb(row.offline_bytes),
+        fmt_s(row.offline_time),
+    ]);
+}

@@ -1,0 +1,104 @@
+//! Extension experiment: multi-threaded query throughput.
+//!
+//! The paper evaluates single-query latency; a production deployment cares
+//! about served queries per second. FastPPV's online phase is read-only
+//! over the graph + index, so engines parallelize trivially — this
+//! experiment measures QPS scaling with worker threads on both datasets
+//! (one engine per thread, shared index).
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_throughput [--scale F]
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::datasets::{self, DatasetKind};
+use fastppv_bench::table::Table;
+use fastppv_bench::workload::sample_queries;
+use fastppv_core::hubs::select_hubs_with_pagerank;
+use fastppv_core::hubs::HubPolicy;
+use fastppv_core::offline::build_index_parallel;
+use fastppv_core::query::{QueryEngine, StoppingCondition};
+use fastppv_core::Config;
+use fastppv_graph::{pagerank, PageRankOptions};
+
+fn main() {
+    let args = CommonArgs::parse(2000);
+    println!("# Throughput: queries/second vs worker threads");
+    println!(
+        "(host exposes {} core(s); speedup is bounded by that)",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    let mut table = Table::new(vec![
+        "dataset", "threads", "queries", "wall time", "QPS", "speedup",
+    ]);
+    for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
+        let dataset = match kind {
+            DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
+            DatasetKind::LiveJournal => {
+                datasets::livejournal(args.scale, args.seed)
+            }
+        };
+        let graph = &dataset.graph;
+        println!(
+            "\n## {}: {} nodes, {} edges",
+            dataset.name,
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        let pr = pagerank(graph, PageRankOptions::default());
+        let hubs = select_hubs_with_pagerank(
+            graph,
+            HubPolicy::ExpectedUtility,
+            datasets::default_hub_count(&dataset),
+            0,
+            Some(&pr),
+        );
+        let config = Config::default().with_epsilon(1e-6);
+        let (index, _) = build_index_parallel(graph, &hubs, &config, args.threads);
+        let queries = sample_queries(graph, args.queries, args.seed);
+        let stop = StoppingCondition::iterations(2);
+
+        let mut single_thread_qps = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let next = AtomicUsize::new(0);
+            let started = Instant::now();
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| {
+                        let mut engine =
+                            QueryEngine::new(graph, &hubs, &index, config);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            std::hint::black_box(
+                                engine.query(queries[i], &stop),
+                            );
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+            let elapsed = started.elapsed();
+            let qps = queries.len() as f64 / elapsed.as_secs_f64();
+            if threads == 1 {
+                single_thread_qps = qps;
+            }
+            table.row(vec![
+                dataset.name.to_string(),
+                threads.to_string(),
+                queries.len().to_string(),
+                format!("{:.2?}", elapsed),
+                format!("{qps:.0}"),
+                format!("{:.2}x", qps / single_thread_qps),
+            ]);
+        }
+    }
+    table.print(
+        "Query throughput — read-only online phase scales with threads",
+    );
+}

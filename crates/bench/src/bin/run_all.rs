@@ -1,0 +1,51 @@
+//! Runs every experiment binary in sequence, mirroring the paper's §6.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin run_all [-- --scale F --queries N]
+//! ```
+//!
+//! Flags after `--` are forwarded to every experiment. Output goes to
+//! stdout; `tee` it into `EXPERIMENTS.md` material.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_toy",
+    "exp_datasets",
+    "exp_baselines",
+    "exp_hub_policy",
+    "exp_num_hubs",
+    "exp_iterations",
+    "exp_scalability",
+    "exp_disk",
+    "exp_ablation",
+    "exp_dynamic",
+    "exp_throughput",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n{:=<78}", "");
+        println!("== {exp}");
+        println!("{:=<78}", "");
+        let status = Command::new(bin_dir.join(exp))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("!! {exp} exited with {status}");
+            failures.push(*exp);
+        }
+    }
+    println!("\n{:=<78}", "");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The four accuracy-moderated configurations (paper Fig. 5).
+//!
+//! The paper tunes each method's knob so that all three reach a similar
+//! accuracy, then compares time and space at that accuracy level:
+//!
+//! ```text
+//!      dataset      all:|H|  HubRankP:push  MonteCarlo:N  FastPPV:η
+//! I    DBLP         20K      0.11           120K          2
+//! II   DBLP         30K      0.13           40K           1
+//! III  LiveJournal  150K     0.20           200K          3
+//! IV   LiveJournal  200K     0.29           10K           1
+//! ```
+//!
+//! Hub counts are carried over as *fractions of |V|* (20K/2.0M = 1%, etc.)
+//! so the configurations scale with `--scale`; the per-method knobs are the
+//! paper's values, re-moderated where the smaller default graphs shift the
+//! accuracy balance (`push` is interpreted as a residual-mass target, which
+//! is the accuracy-comparable form — see `fastppv_baselines::bca`).
+
+use crate::datasets::DatasetKind;
+
+/// One accuracy-moderated configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeratedConfig {
+    /// Paper's label (I–IV).
+    pub label: &'static str,
+    /// Which dataset the configuration applies to.
+    pub dataset: DatasetKind,
+    /// Hub count as a fraction of |V| (shared by all three methods).
+    pub hub_fraction: f64,
+    /// HubRankP residual-mass target ("push").
+    pub push: f64,
+    /// MonteCarlo samples per query.
+    pub samples: usize,
+    /// FastPPV iteration count η.
+    pub eta: usize,
+}
+
+/// The four configurations of Fig. 5, scaled to fractions.
+pub const CONFIGS: [ModeratedConfig; 4] = [
+    ModeratedConfig {
+        label: "I",
+        dataset: DatasetKind::Dblp,
+        // The paper uses |H| = 20K on 2M nodes (1%); prime-subgraph size
+        // tracks |V|/|H| non-linearly with scale, so the fraction here is
+        // chosen to land the same operating point (subgraphs of 10^2-10^3
+        // nodes, sub-ms queries) on the smaller default graph.
+        hub_fraction: 0.04,
+        push: 0.11,
+        samples: 12_000,
+        eta: 2,
+    },
+    ModeratedConfig {
+        label: "II",
+        dataset: DatasetKind::Dblp,
+        hub_fraction: 0.06,
+        push: 0.13,
+        samples: 4_000,
+        eta: 1,
+    },
+    ModeratedConfig {
+        label: "III",
+        dataset: DatasetKind::LiveJournal,
+        hub_fraction: 150_000.0 / 1_200_000.0, // 12.5%
+        push: 0.20,
+        samples: 20_000,
+        eta: 3,
+    },
+    ModeratedConfig {
+        label: "IV",
+        dataset: DatasetKind::LiveJournal,
+        hub_fraction: 200_000.0 / 1_200_000.0, // 16.7%
+        push: 0.29,
+        samples: 1_000,
+        eta: 1,
+    },
+];
+
+impl ModeratedConfig {
+    /// Hub count for a graph of `n` nodes.
+    pub fn hub_count(&self, n: usize) -> usize {
+        ((n as f64 * self.hub_fraction) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_sane() {
+        for c in CONFIGS {
+            assert!(c.hub_fraction > 0.0 && c.hub_fraction < 0.5);
+        }
+        // Config II uses more hubs than I; IV more than III (paper Fig. 5).
+        assert!(CONFIGS[1].hub_fraction > CONFIGS[0].hub_fraction);
+        assert!(CONFIGS[3].hub_fraction > CONFIGS[2].hub_fraction);
+    }
+
+    #[test]
+    fn hub_counts_scale() {
+        assert_eq!(CONFIGS[0].hub_count(100_000), 4_000);
+        assert_eq!(CONFIGS[2].hub_count(1_200_000), 150_000);
+        assert!(CONFIGS[0].hub_count(10) >= 1);
+    }
+
+    #[test]
+    fn two_per_dataset() {
+        let dblp =
+            CONFIGS.iter().filter(|c| c.dataset == DatasetKind::Dblp).count();
+        assert_eq!(dblp, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Default evaluation datasets (paper §6, "Datasets").
+//!
+//! The paper uses DBLP (2.0M nodes / 8.8M undirected edges) and a
+//! LiveJournal sample (1.2M nodes / 4.8M directed edges). The defaults here
+//! are structurally analogous generated graphs at roughly 1/30 scale so the
+//! full suite runs in minutes; pass `--scale` to any experiment binary to
+//! grow them (scale 30 ≈ paper-sized).
+
+use fastppv_graph::gen::{BibNetwork, DblpParams, SocialNetwork, SocialParams};
+use fastppv_graph::Graph;
+
+/// Which real dataset a generated graph stands in for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// DBLP-like: undirected tripartite bibliographic network.
+    Dblp,
+    /// LiveJournal-like: directed social network.
+    LiveJournal,
+}
+
+/// A named evaluation graph.
+pub struct Dataset {
+    /// Display name.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// What it stands in for.
+    pub kind: DatasetKind,
+    /// The full bibliographic network, kept for snapshots (DBLP only).
+    pub bib: Option<BibNetwork>,
+    /// The full social network, kept for edge sampling (LiveJournal only).
+    pub social: Option<SocialNetwork>,
+}
+
+impl Dataset {
+    /// `number of nodes + number of edges` (the paper's Fig. 15 x-axis).
+    pub fn size(&self) -> usize {
+        self.graph.num_nodes() + self.graph.num_edges()
+    }
+}
+
+/// Baseline paper-to-default scale: papers in the default DBLP-like graph.
+const DBLP_BASE_PAPERS: usize = 30_000;
+/// Users in the default LiveJournal-like graph.
+const LJ_BASE_NODES: usize = 50_000;
+
+/// The DBLP-like dataset at a given scale (1.0 = default, 30 ≈ paper size).
+pub fn dblp(scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0);
+    let papers = ((DBLP_BASE_PAPERS as f64 * scale) as usize).max(100);
+    let venues = (papers / 200).max(10);
+    let bib = BibNetwork::generate(
+        DblpParams { papers, venues, ..Default::default() },
+        seed,
+    );
+    Dataset {
+        name: "DBLP-like",
+        graph: bib.graph.clone(),
+        kind: DatasetKind::Dblp,
+        bib: Some(bib),
+        social: None,
+    }
+}
+
+/// The LiveJournal-like dataset at a given scale.
+pub fn livejournal(scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0);
+    let nodes = ((LJ_BASE_NODES as f64 * scale) as usize).max(100);
+    let social = SocialNetwork::generate(
+        SocialParams { nodes, ..Default::default() },
+        seed,
+    );
+    Dataset {
+        name: "LiveJournal-like",
+        graph: social.graph.clone(),
+        kind: DatasetKind::LiveJournal,
+        bib: None,
+        social: Some(social),
+    }
+}
+
+/// The paper's default hub count, proportionally: |H| = 20K on 2.0M-node
+/// DBLP (1%) and 120K on 1.2M-node LiveJournal (10%).
+pub fn default_hub_count(dataset: &Dataset) -> usize {
+    let n = dataset.graph.num_nodes();
+    match dataset.kind {
+        DatasetKind::Dblp => n / 100,
+        DatasetKind::LiveJournal => n / 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_default_scale_counts() {
+        let d = dblp(0.1, 1);
+        assert_eq!(d.kind, DatasetKind::Dblp);
+        assert!(d.bib.is_some());
+        // 3000 papers + authors + venues.
+        assert!(d.graph.num_nodes() > 3000);
+        assert!(d.graph.num_edges() > d.graph.num_nodes());
+    }
+
+    #[test]
+    fn livejournal_default_scale_counts() {
+        let d = livejournal(0.1, 1);
+        assert_eq!(d.kind, DatasetKind::LiveJournal);
+        assert!(d.social.is_some());
+        assert_eq!(d.graph.num_nodes(), 5000);
+    }
+
+    #[test]
+    fn hub_defaults_follow_paper_fractions() {
+        let d = dblp(0.1, 1);
+        assert_eq!(default_hub_count(&d), d.graph.num_nodes() / 100);
+        let l = livejournal(0.1, 1);
+        assert_eq!(default_hub_count(&l), l.graph.num_nodes() / 10);
+    }
+}

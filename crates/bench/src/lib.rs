@@ -1,0 +1,27 @@
+//! Benchmark harness reproducing the FastPPV paper's evaluation (§6).
+//!
+//! One binary per paper exhibit lives in `src/bin/` (see `DESIGN.md` §5 for
+//! the exhibit → binary map); this library holds what they share:
+//!
+//! * [`datasets`] — the DBLP-like and LiveJournal-like default graphs (the
+//!   substitution for the paper's datasets, scaled for a laptop);
+//! * [`workload`] — seeded test-query sampling and parallel ground truth;
+//! * [`runner`] — offline+online evaluation of FastPPV and both baselines,
+//!   producing method rows (time, space, four accuracy metrics);
+//! * [`configs`] — the four accuracy-moderated configurations (Fig. 5);
+//! * [`table`] — fixed-width table printing with paper-vs-measured columns;
+//! * [`cli`] — the tiny `--scale`/`--queries` argument parser the binaries
+//!   share.
+
+pub mod cli;
+pub mod configs;
+pub mod datasets;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use datasets::{dblp, livejournal, Dataset};
+pub use runner::{
+    eval_fastppv, eval_hubrank, eval_montecarlo, FastPpvSetup, MethodRow,
+};
+pub use workload::{ground_truth, sample_queries};

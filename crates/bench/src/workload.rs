@@ -1,0 +1,89 @@
+//! Test queries and exact ground truth.
+//!
+//! The paper samples 1000 random query nodes per graph and reports averages.
+//! Exact PPVs (the accuracy reference) are the expensive part at any scale,
+//! so the default query count here is smaller (see `DESIGN.md` §4) and the
+//! ground-truth solves run on all cores.
+
+use fastppv_baselines::exact::{exact_ppv, ExactOptions};
+use fastppv_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `count` distinct query nodes uniformly at random (seeded).
+pub fn sample_queries(graph: &Graph, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+    all.shuffle(&mut rng);
+    all.truncate(count.min(n));
+    all
+}
+
+/// Exact PPVs for every query (parallel power iteration).
+pub fn ground_truth(graph: &Graph, queries: &[NodeId]) -> Vec<Vec<f64>> {
+    ground_truth_with(graph, queries, ExactOptions::default())
+}
+
+/// Like [`ground_truth`] with explicit solver options.
+pub fn ground_truth_with(
+    graph: &Graph,
+    queries: &[NodeId],
+    opts: ExactOptions,
+) -> Vec<Vec<f64>> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(queries.len().max(1));
+    let chunk = queries.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| {
+                scope.spawn(move |_| {
+                    qs.iter()
+                        .map(|&q| exact_ppv(graph, q, opts))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    })
+    .expect("ground-truth thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::gen::barabasi_albert;
+
+    #[test]
+    fn queries_are_distinct_and_seeded() {
+        let g = barabasi_albert(100, 2, 1);
+        let a = sample_queries(&g, 20, 7);
+        let b = sample_queries(&g, 20, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+    }
+
+    #[test]
+    fn count_clamped() {
+        let g = barabasi_albert(10, 2, 1);
+        assert_eq!(sample_queries(&g, 100, 0).len(), 10);
+    }
+
+    #[test]
+    fn ground_truth_matches_serial() {
+        let g = barabasi_albert(150, 3, 2);
+        let queries = sample_queries(&g, 8, 3);
+        let parallel = ground_truth(&g, &queries);
+        for (i, &q) in queries.iter().enumerate() {
+            let serial = exact_ppv(&g, q, ExactOptions::default());
+            assert_eq!(parallel[i], serial);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Tiny flag parser shared by the subcommands (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--flag value` pairs plus boolean switches.
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`; `switch_names` lists flags that take no value.
+    /// Prints `usage` and exits on `--help`.
+    pub fn parse(
+        argv: &[String],
+        switch_names: &[&str],
+        usage: &str,
+    ) -> Result<Args, String> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--help" || flag == "-h" {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            if switch_names.contains(&name) {
+                switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(Args { values, switches })
+    }
+
+    /// A required flag value, parsed.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .values
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("cannot parse --{name} value `{raw}`"))
+    }
+
+    /// An optional flag value with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("cannot parse --{name} value `{raw}`")),
+        }
+    }
+
+    /// An optional flag value.
+    pub fn get<T: std::str::FromStr>(
+        &self,
+        name: &str,
+    ) -> Result<Option<T>, String> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("cannot parse --{name} value `{raw}`")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(
+            &strs(&["--graph", "g.txt", "--undirected", "--hubs", "10"]),
+            &["undirected"],
+            "usage",
+        )
+        .unwrap();
+        assert_eq!(a.require::<String>("graph").unwrap(), "g.txt");
+        assert_eq!(a.require::<usize>("hubs").unwrap(), 10);
+        assert!(a.has("undirected"));
+        assert!(!a.has("directed"));
+        assert_eq!(a.get_or::<u64>("seed", 42).unwrap(), 42);
+        assert_eq!(a.get::<f64>("epsilon").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = Args::parse(&strs(&[]), &[], "usage").unwrap();
+        assert!(a.require::<String>("graph").is_err());
+    }
+
+    #[test]
+    fn dangling_flag_errors() {
+        assert!(Args::parse(&strs(&["--graph"]), &[], "u").is_err());
+        assert!(Args::parse(&strs(&["oops"]), &[], "u").is_err());
+    }
+
+    #[test]
+    fn unparsable_value_errors() {
+        let a =
+            Args::parse(&strs(&["--hubs", "ten"]), &[], "usage").unwrap();
+        assert!(a.require::<usize>("hubs").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The `fastppv` subcommands.
+
+use std::time::Instant;
+
+use fastppv_cluster::partition::{cluster_graph, ClusteringOptions};
+use fastppv_cluster::store::write_clustered_graph;
+use fastppv_core::autotune::{suggest_hub_count, AutotuneOptions};
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
+use fastppv_core::index::{DiskIndex, PpvStore};
+use fastppv_core::offline::build_index_parallel;
+use fastppv_core::query::{QueryEngine, StoppingCondition};
+use fastppv_core::Config;
+use fastppv_graph::gen::{
+    barabasi_albert, erdos_renyi, BibNetwork, DblpParams, SocialNetwork,
+    SocialParams,
+};
+use fastppv_graph::io::{read_edge_list_file, write_edge_list_file};
+use fastppv_graph::{pagerank, DanglingPolicy, Graph, PageRankOptions};
+
+use crate::args::Args;
+
+type CmdResult = Result<(), String>;
+
+fn load_graph(args: &Args) -> Result<Graph, String> {
+    let path: String = args.require("graph")?;
+    let undirected = args.has("undirected");
+    read_edge_list_file(&path, undirected, DanglingPolicy::SelfLoop)
+        .map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn parse_policy(name: &str) -> Result<HubPolicy, String> {
+    Ok(match name {
+        "eu" | "expected-utility" => HubPolicy::ExpectedUtility,
+        "pagerank" | "pr" => HubPolicy::PageRank,
+        "outdeg" | "out-degree" => HubPolicy::OutDegree,
+        "indeg" | "in-degree" => HubPolicy::InDegree,
+        "random" => HubPolicy::Random,
+        other => return Err(format!("unknown hub policy `{other}`")),
+    })
+}
+
+fn config_from_args(args: &Args) -> Result<Config, String> {
+    let mut config = Config::default();
+    if let Some(eps) = args.get::<f64>("epsilon")? {
+        config = config.with_epsilon(eps);
+    }
+    if let Some(delta) = args.get::<f64>("delta")? {
+        config = config.with_delta(delta);
+    }
+    if let Some(clip) = args.get::<f64>("clip")? {
+        config = config.with_clip(clip);
+    }
+    if let Some(alpha) = args.get::<f64>("alpha")? {
+        config = config.with_alpha(alpha);
+    }
+    Ok(config)
+}
+
+/// `fastppv generate`
+pub fn generate(argv: &[String]) -> CmdResult {
+    let usage = "fastppv generate --kind dblp|lj|ba|er --out edges.txt \
+                 [--nodes N] [--seed S]\n\
+                 dblp: tripartite author-paper-venue (undirected)\n\
+                 lj:   directed social network\n\
+                 ba:   Barabasi-Albert (undirected)\n\
+                 er:   Erdos-Renyi G(n, 5n) (directed)";
+    let args = Args::parse(argv, &[], usage)?;
+    let kind: String = args.require("kind")?;
+    let out: String = args.require("out")?;
+    let nodes: usize = args.get_or("nodes", 50_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let graph = match kind.as_str() {
+        "dblp" => {
+            BibNetwork::generate(
+                DblpParams { papers: nodes / 2, ..Default::default() },
+                seed,
+            )
+            .graph
+        }
+        "lj" => {
+            SocialNetwork::generate(
+                SocialParams { nodes, ..Default::default() },
+                seed,
+            )
+            .graph
+        }
+        "ba" => barabasi_albert(nodes, 4, seed),
+        "er" => erdos_renyi(nodes, nodes * 5, seed),
+        other => return Err(format!("unknown kind `{other}`")),
+    };
+    write_edge_list_file(&graph, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} nodes, {} edges",
+        out,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+/// `fastppv pagerank`
+pub fn pagerank_cmd(argv: &[String]) -> CmdResult {
+    let usage = "fastppv pagerank --graph edges.txt [--undirected] [--top K]";
+    let args = Args::parse(argv, &["undirected"], usage)?;
+    let graph = load_graph(&args)?;
+    let top: usize = args.get_or("top", 10)?;
+    let pr = pagerank(&graph, PageRankOptions::default());
+    let mut order: Vec<u32> = (0..graph.num_nodes() as u32).collect();
+    order.sort_by(|&a, &b| pr[b as usize].total_cmp(&pr[a as usize]));
+    println!("top {top} nodes by global PageRank:");
+    for (rank, &v) in order.iter().take(top).enumerate() {
+        println!(
+            "{:>4}. node {v:<10} pagerank {:.6}  (out-degree {})",
+            rank + 1,
+            pr[v as usize],
+            graph.out_degree(v)
+        );
+    }
+    Ok(())
+}
+
+/// `fastppv build`
+pub fn build(argv: &[String]) -> CmdResult {
+    let usage = "fastppv build --graph edges.txt [--undirected] --out index.fppv\n\
+                 (--hubs N | --auto-target SUBGRAPH_NODES)\n\
+                 [--policy eu|pagerank|outdeg|indeg|random] [--alpha A]\n\
+                 [--epsilon E] [--delta D] [--clip C] [--threads T] [--seed S]";
+    let args = Args::parse(argv, &["undirected"], usage)?;
+    let graph = load_graph(&args)?;
+    let out: String = args.require("out")?;
+    let config = config_from_args(&args)?;
+    let policy = parse_policy(&args.get_or("policy", "eu".to_string())?)?;
+    let threads: usize = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+    )?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let hub_count = match args.get::<usize>("hubs")? {
+        Some(h) => h,
+        None => {
+            let target: f64 = args.require("auto-target").map_err(|_| {
+                "give either --hubs N or --auto-target NODES".to_string()
+            })?;
+            let started = Instant::now();
+            let tuned = suggest_hub_count(
+                &graph,
+                &config,
+                AutotuneOptions {
+                    target_subgraph_nodes: target,
+                    policy,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "autotune: |H| = {} (mean prime subgraph {:.0} nodes, \
+                 {} probes, {:.2?})",
+                tuned.hub_count,
+                tuned.mean_subgraph_nodes,
+                tuned.probes.len(),
+                started.elapsed()
+            );
+            tuned.hub_count
+        }
+    };
+    let hubs =
+        select_hubs_with_pagerank(&graph, policy, hub_count, seed, None);
+    let (index, stats) = build_index_parallel(&graph, &hubs, &config, threads);
+    index.write_to_file(&out).map_err(|e| e.to_string())?;
+    println!(
+        "built {}: {} hubs, {} entries, {:.2} MB in {:.2?} \
+         (avg subgraph {:.0} nodes, avg border hubs {:.1})",
+        out,
+        stats.hubs,
+        stats.total_entries,
+        stats.storage_bytes as f64 / (1024.0 * 1024.0),
+        stats.build_time,
+        stats.avg_subgraph_nodes,
+        stats.avg_border_hubs
+    );
+    Ok(())
+}
+
+fn open_index_and_hubs(
+    args: &Args,
+    graph: &Graph,
+) -> Result<(DiskIndex, HubSet), String> {
+    let path: String = args.require("index")?;
+    let cache: usize = args.get_or("cache", 4096)?;
+    let index =
+        DiskIndex::open(&path, cache).map_err(|e| format!("{path}: {e}"))?;
+    let hubs = HubSet::from_ids(graph.num_nodes(), index.hub_ids());
+    Ok((index, hubs))
+}
+
+/// `fastppv query`
+pub fn query(argv: &[String]) -> CmdResult {
+    let usage = "fastppv query --graph edges.txt [--undirected] \
+                 --index index.fppv --node Q\n\
+                 [--eta K | --l1 ERR] [--top K] [--alpha A] [--epsilon E] \
+                 [--delta D]";
+    let args = Args::parse(argv, &["undirected"], usage)?;
+    let graph = load_graph(&args)?;
+    let q: u32 = args.require("node")?;
+    if q as usize >= graph.num_nodes() {
+        return Err(format!(
+            "node {q} out of range ({} nodes)",
+            graph.num_nodes()
+        ));
+    }
+    let config = config_from_args(&args)?;
+    let top: usize = args.get_or("top", 10)?;
+    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
+    let stop = match (args.get::<usize>("eta")?, args.get::<f64>("l1")?) {
+        (Some(_), Some(_)) => {
+            return Err("give --eta or --l1, not both".to_string())
+        }
+        (Some(eta), None) => StoppingCondition::iterations(eta),
+        (None, Some(l1)) => StoppingCondition::l1_error(l1),
+        (None, None) => StoppingCondition::iterations(2),
+    };
+    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let result = engine.query(q, &stop);
+    println!(
+        "query {q}: {} iterations, guaranteed L1 error <= {:.5}, {:.2?}{}",
+        result.iterations,
+        result.l1_error,
+        result.elapsed,
+        if result.exhausted { " (frontier exhausted)" } else { "" }
+    );
+    for (rank, (node, score)) in result.top_k(top).into_iter().enumerate() {
+        println!("{:>4}. node {node:<10} score {score:.6}", rank + 1);
+    }
+    Ok(())
+}
+
+/// `fastppv topk`
+pub fn topk(argv: &[String]) -> CmdResult {
+    let usage = "fastppv topk --graph edges.txt [--undirected] \
+                 --index index.fppv --node Q --k K [--max-eta K]";
+    let args = Args::parse(argv, &["undirected"], usage)?;
+    let graph = load_graph(&args)?;
+    let q: u32 = args.require("node")?;
+    let k: usize = args.require("k")?;
+    let max_eta: usize = args.get_or("max-eta", 10)?;
+    let config = config_from_args(&args)?;
+    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
+    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let res = engine.query_top_k(q, k, max_eta);
+    println!(
+        "top-{k} for query {q}: {} after {} iterations (phi = {:.5})",
+        if res.certified { "CERTIFIED exact" } else { "not certified" },
+        res.iterations,
+        res.l1_error
+    );
+    for (rank, (node, score)) in res.nodes.into_iter().enumerate() {
+        println!("{:>4}. node {node:<10} score >= {score:.6}", rank + 1);
+    }
+    Ok(())
+}
+
+/// `fastppv stats`
+pub fn stats(argv: &[String]) -> CmdResult {
+    let usage = "fastppv stats --index index.fppv";
+    let args = Args::parse(argv, &[], usage)?;
+    let path: String = args.require("index")?;
+    let index =
+        DiskIndex::open(&path, 1).map_err(|e| format!("{path}: {e}"))?;
+    let ids = index.hub_ids();
+    println!("index {path}:");
+    println!("  hubs:          {}", index.hub_count());
+    println!("  total entries: {}", index.total_entries());
+    println!(
+        "  size:          {:.2} MB",
+        index.storage_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  entries/hub:   {:.1}",
+        index.total_entries() as f64 / index.hub_count().max(1) as f64
+    );
+    if let (Some(first), Some(last)) = (ids.first(), ids.last()) {
+        println!("  hub id range:  {first}..={last}");
+    }
+    Ok(())
+}
+
+/// `fastppv cluster`
+pub fn cluster(argv: &[String]) -> CmdResult {
+    let usage = "fastppv cluster --graph edges.txt [--undirected] \
+                 --clusters K --out graph.clg [--seed S]";
+    let args = Args::parse(argv, &["undirected"], usage)?;
+    let graph = load_graph(&args)?;
+    let k: usize = args.require("clusters")?;
+    let out: String = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let clustering = cluster_graph(
+        &graph,
+        k,
+        ClusteringOptions { seed, ..Default::default() },
+    );
+    let sizes = write_clustered_graph(&graph, &clustering, &out)
+        .map_err(|e| e.to_string())?;
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    let total: u64 = sizes.iter().sum();
+    println!(
+        "wrote {out}: {k} clusters, largest {:.1} KB ({:.1}% of graph)",
+        largest as f64 / 1024.0,
+        100.0 * largest as f64 / total.max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! `fastppv` — command-line interface to the FastPPV reproduction.
+//!
+//! ```text
+//! fastppv generate  --kind dblp|lj|ba|er --out edges.txt [--nodes N] [--seed S]
+//! fastppv pagerank  --graph edges.txt [--undirected] [--top K]
+//! fastppv build     --graph edges.txt [--undirected] --hubs N --out index.fppv
+//!                   [--policy eu|pagerank|outdeg|indeg|random] [--epsilon E]
+//!                   [--clip C] [--threads T] [--auto-target NODES]
+//! fastppv query     --graph edges.txt [--undirected] --index index.fppv
+//!                   --node Q [--eta K | --l1 ERR] [--top K]
+//! fastppv topk      --graph edges.txt [--undirected] --index index.fppv
+//!                   --node Q --k K [--max-eta K]
+//! fastppv stats     --index index.fppv
+//! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
+//! ```
+//!
+//! See `fastppv <command> --help` for details.
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let command = argv.remove(0);
+    let result = match command.as_str() {
+        "generate" => commands::generate(&argv),
+        "pagerank" => commands::pagerank_cmd(&argv),
+        "build" => commands::build(&argv),
+        "query" => commands::query(&argv),
+        "topk" => commands::topk(&argv),
+        "stats" => commands::stats(&argv),
+        "cluster" => commands::cluster(&argv),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "fastppv — incremental, accuracy-aware Personalized PageRank (VLDB'13 reproduction)
+
+commands:
+  generate   generate a synthetic graph (dblp / lj / ba / er) as an edge list
+  pagerank   global PageRank of an edge-list graph
+  build      offline phase: select hubs and build the prime-PPV index
+  query      online phase: answer one PPV query from an index
+  topk       certified top-k query (iterates until the set is provably exact)
+  stats      inspect an index file
+  cluster    segment a graph for disk-based processing
+
+run `fastppv <command> --help` for per-command flags"
+    );
+}

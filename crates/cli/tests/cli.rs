@@ -1,0 +1,177 @@
+//! End-to-end tests of the `fastppv` binary (spawned as a subprocess via
+//! the Cargo-provided `CARGO_BIN_EXE_fastppv` path).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastppv"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fastppv-cli-test-{}-{}-{name}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    p
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("commands:"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn full_pipeline_generate_build_query() {
+    let graph = temp("pipeline.txt");
+    let index = temp("pipeline.fppv");
+
+    let out = bin()
+        .args([
+            "generate", "--kind", "lj", "--nodes", "800", "--seed", "3",
+            "--out",
+        ])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--hubs", "80", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("80 hubs"), "{text}");
+
+    let out = bin()
+        .args(["stats", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hubs:          80"), "{text}");
+
+    let out = bin()
+        .args(["query", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--node", "17", "--eta", "2", "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("query 17"), "{text}");
+    assert!(text.contains("node 17"), "query node ranks itself: {text}");
+
+    let out = bin()
+        .args(["topk", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--node", "17", "--k", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn query_rejects_out_of_range_node() {
+    let graph = temp("range.txt");
+    let index = temp("range.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "200", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--hubs", "20", "--out"])
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["query", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--node", "99999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn cluster_command_writes_store() {
+    let graph = temp("cluster.txt");
+    let clg = temp("cluster.clg");
+    assert!(bin()
+        .args(["generate", "--kind", "er", "--nodes", "300", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["cluster", "--graph"])
+        .arg(&graph)
+        .args(["--clusters", "6", "--out"])
+        .arg(&clg)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("6 clusters"));
+    assert!(clg.exists());
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&clg).ok();
+}
+
+#[test]
+fn build_with_autotune() {
+    let graph = temp("auto.txt");
+    let index = temp("auto.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "lj", "--nodes", "600", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--auto-target", "100", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("autotune: |H| ="));
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}

@@ -1,0 +1,25 @@
+//! Disk-based FastPPV processing (paper §5.3 / §6.4.2).
+//!
+//! Real graphs often exceed main memory. The paper's disk-based design:
+//!
+//! 1. [`partition`] segments the graph into clusters via randomly chosen
+//!    *anchor* nodes, assigning every node to the anchor with the highest
+//!    personalized PageRank w.r.t. it (Sarkar & Moore 2010; PPR clusters
+//!    well even with random anchors, Andersen et al. 2006).
+//! 2. [`store`] lays the clusters out in a file; at query time a
+//!    [`store::DiskGraph`] keeps only a bounded number of clusters resident
+//!    (the paper keeps exactly one). Touching a node whose cluster is not
+//!    resident is a **cluster fault** and triggers a swap.
+//! 3. [`query`] runs FastPPV's online phase against the disk graph: the
+//!    prime-subgraph search swaps clusters as it expands, prematurely
+//!    terminating at a fault cap (the paper sets it to the number of
+//!    clusters), and the increment loop reads prime PPVs from the
+//!    (disk-resident) PPV index.
+
+pub mod partition;
+pub mod query;
+pub mod store;
+
+pub use partition::{cluster_graph, Clustering, ClusteringOptions};
+pub use query::{disk_query, DiskQueryResult, DiskQueryWorkspace};
+pub use store::{write_clustered_graph, DiskGraph};

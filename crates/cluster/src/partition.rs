@@ -1,0 +1,177 @@
+//! Anchor-based graph clustering (paper §5.3, following Sarkar & Moore).
+//!
+//! Anchors are chosen uniformly at random; every other node is assigned to
+//! the anchor with the largest personalized PageRank w.r.t. that anchor,
+//! computed with bookmark-coloring push (cheap, approximate). Nodes no
+//! anchor reaches are attached by a multi-source BFS over the undirected
+//! view, so every node lands in exactly one cluster.
+
+use fastppv_baselines::bca::{bca_push, BcaOptions};
+use fastppv_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Options for [`cluster_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteringOptions {
+    /// Teleport probability used for the anchor PPRs.
+    pub alpha: f64,
+    /// Residual-mass target of each anchor's push run (looser = faster,
+    /// coarser assignment).
+    pub residual_target: f64,
+    /// RNG seed for anchor choice.
+    pub seed: u64,
+}
+
+impl Default for ClusteringOptions {
+    fn default() -> Self {
+        ClusteringOptions { alpha: 0.15, residual_target: 0.01, seed: 0 }
+    }
+}
+
+/// A partition of the node set into clusters.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster id of every node.
+    pub assignment: Vec<u32>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// The anchor node of each cluster.
+    pub anchors: Vec<NodeId>,
+}
+
+impl Clustering {
+    /// Nodes per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for &c in &self.assignment {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest cluster (the minimum working set of the
+    /// disk-based engine, §6.4.2).
+    pub fn largest_cluster(&self) -> usize {
+        self.cluster_sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Partitions `graph` into `num_clusters` clusters.
+pub fn cluster_graph(
+    graph: &Graph,
+    num_clusters: usize,
+    opts: ClusteringOptions,
+) -> Clustering {
+    let n = graph.num_nodes();
+    assert!(num_clusters >= 1, "need at least one cluster");
+    let num_clusters = num_clusters.min(n.max(1));
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+    all.shuffle(&mut rng);
+    let anchors: Vec<NodeId> = all[..num_clusters].to_vec();
+
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut best_score = vec![0.0f64; n];
+    let bca = BcaOptions {
+        alpha: opts.alpha,
+        residual_target: opts.residual_target,
+        ..Default::default()
+    };
+    for (c, &a) in anchors.iter().enumerate() {
+        let res = bca_push(graph, a, bca);
+        for &(v, s) in res.estimate.entries() {
+            if s > best_score[v as usize] {
+                best_score[v as usize] = s;
+                assignment[v as usize] = c as u32;
+            }
+        }
+        // The anchor always owns itself (its own PPR at itself is maximal
+        // among anchors in practice; make it unconditional for robustness).
+        assignment[a as usize] = c as u32;
+    }
+
+    // Attach unreached nodes by multi-source BFS over the undirected view.
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n as NodeId)
+        .filter(|&v| assignment[v as usize] != UNASSIGNED)
+        .collect();
+    while let Some(v) = queue.pop_front() {
+        let c = assignment[v as usize];
+        for &t in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+            if assignment[t as usize] == UNASSIGNED {
+                assignment[t as usize] = c;
+                queue.push_back(t);
+            }
+        }
+    }
+    // Isolated nodes (no edges at all): round-robin.
+    let mut next = 0u32;
+    for slot in assignment.iter_mut() {
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next = (next + 1) % num_clusters as u32;
+        }
+    }
+    Clustering { assignment, num_clusters, anchors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::Graph;
+
+    #[test]
+    fn every_node_assigned() {
+        let g = barabasi_albert(500, 3, 4);
+        let c = cluster_graph(&g, 10, ClusteringOptions::default());
+        assert_eq!(c.num_clusters, 10);
+        assert_eq!(c.assignment.len(), 500);
+        assert!(c.assignment.iter().all(|&x| (x as usize) < 10));
+        let sizes = c.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 500);
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+    }
+
+    #[test]
+    fn anchors_own_their_clusters() {
+        let g = barabasi_albert(300, 3, 8);
+        let c = cluster_graph(&g, 5, ClusteringOptions::default());
+        for (i, &a) in c.anchors.iter().enumerate() {
+            assert_eq!(c.assignment[a as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn more_clusters_shrink_the_largest() {
+        let g = barabasi_albert(1000, 3, 2);
+        let few = cluster_graph(&g, 5, ClusteringOptions::default());
+        let many = cluster_graph(&g, 50, ClusteringOptions::default());
+        assert!(many.largest_cluster() <= few.largest_cluster());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = barabasi_albert(200, 2, 5);
+        let a = cluster_graph(&g, 8, ClusteringOptions::default());
+        let b = cluster_graph(&g, 8, ClusteringOptions::default());
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn isolated_nodes_get_clusters() {
+        let g = Graph::empty(7);
+        let c = cluster_graph(&g, 3, ClusteringOptions::default());
+        assert!(c.assignment.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn single_cluster() {
+        let g = barabasi_albert(50, 2, 1);
+        let c = cluster_graph(&g, 1, ClusteringOptions::default());
+        assert!(c.assignment.iter().all(|&x| x == 0));
+        assert_eq!(c.largest_cluster(), 50);
+    }
+}

@@ -1,0 +1,428 @@
+//! Disk layout for a clustered graph, and the bounded-residency view.
+//!
+//! Format (`FPPVCLG1`, little-endian):
+//!
+//! ```text
+//! magic "FPPVCLG1" | u32 version | u32 num_clusters | u64 num_nodes
+//! assignment: num_nodes × u32          (node -> cluster)
+//! directory:  num_clusters × { u64 offset, u64 byte_len }
+//! blobs: per cluster {
+//!     u32 num_members
+//!     members:  num_members × { u32 global_id, u32 degree }
+//!     targets:  Σ degree × u32         (global ids, row-major)
+//! }
+//! ```
+//!
+//! [`DiskGraph`] keeps the assignment array and directory in memory (tiny)
+//! and at most `resident_capacity` cluster blobs (the paper keeps exactly
+//! one). Every adjacency probe for a non-resident node is a **cluster
+//! fault**: the needed cluster is read from disk, evicting FIFO.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use fastppv_core::prime::AdjacencyAccess;
+use fastppv_graph::{Graph, NodeId};
+
+use crate::partition::Clustering;
+
+const MAGIC: &[u8; 8] = b"FPPVCLG1";
+const VERSION: u32 = 1;
+
+/// Writes `graph` clustered by `clustering` to `path`. Returns the per-
+/// cluster byte sizes (the largest is the minimum working set).
+pub fn write_clustered_graph<P: AsRef<Path>>(
+    graph: &Graph,
+    clustering: &Clustering,
+    path: P,
+) -> io::Result<Vec<u64>> {
+    let n = graph.num_nodes();
+    assert_eq!(clustering.assignment.len(), n, "clustering/graph mismatch");
+    let k = clustering.num_clusters;
+    // Group members by cluster.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in graph.nodes() {
+        members[clustering.assignment[v as usize] as usize].push(v);
+    }
+    // Blob sizes: 4 + m*8 + Σdeg*4.
+    let mut blob_sizes: Vec<u64> = Vec::with_capacity(k);
+    for ms in &members {
+        let deg_sum: usize = ms.iter().map(|&v| graph.out_degree(v)).sum();
+        blob_sizes.push(4 + ms.len() as u64 * 8 + deg_sum as u64 * 4);
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(k as u32).to_le_bytes())?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    for &c in &clustering.assignment {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    let dir_start = (8 + 4 + 4 + 8 + n * 4) as u64;
+    let mut offset = dir_start + (k * 16) as u64;
+    for &len in &blob_sizes {
+        w.write_all(&offset.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        offset += len;
+    }
+    for ms in &members {
+        w.write_all(&(ms.len() as u32).to_le_bytes())?;
+        for &v in ms {
+            w.write_all(&v.to_le_bytes())?;
+            w.write_all(&(graph.out_degree(v) as u32).to_le_bytes())?;
+        }
+        for &v in ms {
+            for &t in graph.out_neighbors(v) {
+                w.write_all(&t.to_le_bytes())?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(blob_sizes)
+}
+
+/// One resident cluster, parsed for lookup.
+struct ResidentCluster {
+    id: u32,
+    /// Sorted global member ids (write order is ascending).
+    members: Vec<NodeId>,
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl ResidentCluster {
+    fn parse(id: u32, blob: &[u8]) -> io::Result<Self> {
+        let take_u32 = |b: &[u8], at: usize| -> u32 {
+            u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+        };
+        if blob.len() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "cluster blob truncated",
+            ));
+        }
+        let m = take_u32(blob, 0) as usize;
+        let mut members = Vec::with_capacity(m);
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        let mut pos = 4;
+        for _ in 0..m {
+            members.push(take_u32(blob, pos));
+            let deg = take_u32(blob, pos + 4) as usize;
+            offsets.push(offsets.last().unwrap() + deg);
+            pos += 8;
+        }
+        let total: usize = *offsets.last().unwrap();
+        let mut targets = Vec::with_capacity(total);
+        for _ in 0..total {
+            targets.push(take_u32(blob, pos));
+            pos += 4;
+        }
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        Ok(ResidentCluster { id, members, offsets, targets })
+    }
+
+    fn local_index(&self, v: NodeId) -> Option<usize> {
+        self.members.binary_search(&v).ok()
+    }
+
+    fn neighbors(&self, local: usize) -> &[NodeId] {
+        &self.targets[self.offsets[local]..self.offsets[local + 1]]
+    }
+}
+
+/// A disk-resident clustered graph with bounded cluster residency.
+pub struct DiskGraph {
+    file: File,
+    assignment: Vec<u32>,
+    directory: Vec<(u64, u64)>,
+    resident: Vec<ResidentCluster>,
+    resident_capacity: usize,
+    faults: u64,
+    fault_cap: Option<u64>,
+    truncated: bool,
+    blob_sizes: Vec<u64>,
+}
+
+impl DiskGraph {
+    /// Opens a file written by [`write_clustered_graph`], keeping at most
+    /// `resident_capacity` clusters in memory (the paper uses 1).
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        resident_capacity: usize,
+    ) -> io::Result<Self> {
+        assert!(resident_capacity >= 1);
+        let mut file = File::open(path)?;
+        let mut header = [0u8; 24];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a FastPPV clustered graph (bad magic)",
+            ));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported cluster file version {version}"),
+            ));
+        }
+        let k = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let n = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        let mut buf = vec![0u8; n * 4];
+        file.read_exact(&mut buf)?;
+        let assignment: Vec<u32> = buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut dir_buf = vec![0u8; k * 16];
+        file.read_exact(&mut dir_buf)?;
+        let directory: Vec<(u64, u64)> = dir_buf
+            .chunks_exact(16)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                    u64::from_le_bytes(c[8..16].try_into().unwrap()),
+                )
+            })
+            .collect();
+        let blob_sizes = directory.iter().map(|&(_, l)| l).collect();
+        Ok(DiskGraph {
+            file,
+            assignment,
+            directory,
+            resident: Vec::new(),
+            resident_capacity,
+            faults: 0,
+            fault_cap: None,
+            truncated: false,
+            blob_sizes,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes_total(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Cluster faults since the last [`DiskGraph::reset_faults`].
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Whether a fault-capped probe was refused since the last reset.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Caps the number of faults; once exceeded, adjacency probes for
+    /// non-resident nodes return empty (the paper's premature-termination
+    /// heuristic, §5.3). `None` removes the cap.
+    pub fn set_fault_cap(&mut self, cap: Option<u64>) {
+        self.fault_cap = cap;
+    }
+
+    /// Resets the fault counter and truncation flag (per query).
+    pub fn reset_faults(&mut self) {
+        self.faults = 0;
+        self.truncated = false;
+    }
+
+    /// Byte size of the largest cluster (minimum working set).
+    pub fn largest_cluster_bytes(&self) -> u64 {
+        self.blob_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bytes across clusters.
+    pub fn total_cluster_bytes(&self) -> u64 {
+        self.blob_sizes.iter().sum()
+    }
+
+    /// Ensures `v`'s cluster is resident; returns its resident slot, or
+    /// `None` if the fault cap refused the load.
+    fn ensure_resident(&mut self, v: NodeId) -> Option<usize> {
+        let c = self.assignment[v as usize];
+        if let Some(i) = self.resident.iter().position(|r| r.id == c) {
+            return Some(i);
+        }
+        if self.fault_cap.is_some_and(|cap| self.faults >= cap) {
+            self.truncated = true;
+            return None;
+        }
+        self.faults += 1;
+        let (offset, len) = self.directory[c as usize];
+        let mut blob = vec![0u8; len as usize];
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.read_exact(&mut blob))
+            .expect("cluster file truncated or corrupt");
+        let parsed = ResidentCluster::parse(c, &blob)
+            .expect("cluster blob corrupt");
+        if self.resident.len() >= self.resident_capacity {
+            self.resident.remove(0); // FIFO eviction
+        }
+        self.resident.push(parsed);
+        Some(self.resident.len() - 1)
+    }
+}
+
+impl AdjacencyAccess for DiskGraph {
+    fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    fn out_degree(&mut self, v: NodeId) -> usize {
+        match self.ensure_resident(v) {
+            Some(i) => {
+                let r = &self.resident[i];
+                match r.local_index(v) {
+                    Some(l) => r.offsets[l + 1] - r.offsets[l],
+                    None => 0,
+                }
+            }
+            None => 0,
+        }
+    }
+
+    fn visit_out_neighbors(&mut self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        if let Some(i) = self.ensure_resident(v) {
+            let r = &self.resident[i];
+            if let Some(l) = r.local_index(v) {
+                for &t in r.neighbors(l) {
+                    f(t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{cluster_graph, ClusteringOptions};
+    use fastppv_graph::gen::barabasi_albert;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "fastppv-cluster-{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_adjacency() {
+        let g = barabasi_albert(300, 3, 6);
+        let c = cluster_graph(&g, 8, ClusteringOptions::default());
+        let path = temp_path("roundtrip.clg");
+        let sizes = write_clustered_graph(&g, &c, &path).unwrap();
+        assert_eq!(sizes.len(), 8);
+        let mut dg = DiskGraph::open(&path, 8).unwrap();
+        assert_eq!(dg.num_nodes_total(), 300);
+        assert_eq!(dg.num_clusters(), 8);
+        for v in g.nodes() {
+            assert_eq!(
+                AdjacencyAccess::out_degree(&mut dg, v),
+                g.out_degree(v),
+                "degree of {v}"
+            );
+            let mut got = Vec::new();
+            dg.visit_out_neighbors(v, &mut |t| got.push(t));
+            assert_eq!(got, g.out_neighbors(v), "neighbors of {v}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faults_counted_and_capacity_respected() {
+        let g = barabasi_albert(200, 2, 9);
+        let c = cluster_graph(&g, 5, ClusteringOptions::default());
+        let path = temp_path("faults.clg");
+        write_clustered_graph(&g, &c, &path).unwrap();
+        let mut dg = DiskGraph::open(&path, 1).unwrap();
+        // Touch one node per cluster: one fault each.
+        for cl in 0..5u32 {
+            let v = (0..200u32)
+                .find(|&v| c.assignment[v as usize] == cl)
+                .unwrap();
+            AdjacencyAccess::out_degree(&mut dg, v);
+        }
+        assert_eq!(dg.faults(), 5);
+        // Re-touching the last cluster is free; an earlier one faults again.
+        let last = (0..200u32)
+            .find(|&v| c.assignment[v as usize] == 4)
+            .unwrap();
+        AdjacencyAccess::out_degree(&mut dg, last);
+        assert_eq!(dg.faults(), 5);
+        let first = (0..200u32)
+            .find(|&v| c.assignment[v as usize] == 0)
+            .unwrap();
+        AdjacencyAccess::out_degree(&mut dg, first);
+        assert_eq!(dg.faults(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_cap_truncates() {
+        let g = barabasi_albert(200, 2, 11);
+        let c = cluster_graph(&g, 10, ClusteringOptions::default());
+        let path = temp_path("cap.clg");
+        write_clustered_graph(&g, &c, &path).unwrap();
+        let mut dg = DiskGraph::open(&path, 1).unwrap();
+        dg.set_fault_cap(Some(2));
+        let mut refused = 0;
+        for v in 0..200u32 {
+            let mut any = false;
+            dg.visit_out_neighbors(v, &mut |_| any = true);
+            if !any {
+                refused += 1;
+            }
+        }
+        assert!(dg.faults() <= 2);
+        assert!(dg.truncated());
+        assert!(refused > 0);
+        dg.reset_faults();
+        assert_eq!(dg.faults(), 0);
+        assert!(!dg.truncated());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn working_set_shrinks_with_more_clusters() {
+        let g = barabasi_albert(600, 3, 13);
+        let path_few = temp_path("few.clg");
+        let path_many = temp_path("many.clg");
+        let few = cluster_graph(&g, 4, ClusteringOptions::default());
+        let many = cluster_graph(&g, 32, ClusteringOptions::default());
+        write_clustered_graph(&g, &few, &path_few).unwrap();
+        write_clustered_graph(&g, &many, &path_many).unwrap();
+        let dg_few = DiskGraph::open(&path_few, 1).unwrap();
+        let dg_many = DiskGraph::open(&path_many, 1).unwrap();
+        assert!(
+            dg_many.largest_cluster_bytes() < dg_few.largest_cluster_bytes()
+        );
+        // Same total adjacency payload (modulo per-cluster headers).
+        std::fs::remove_file(&path_few).unwrap();
+        std::fs::remove_file(&path_many).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = temp_path("garbage.clg");
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(DiskGraph::open(&path, 1).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

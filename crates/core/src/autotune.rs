@@ -1,0 +1,236 @@
+//! Automatic configuration of the hub count (the paper's future-work §7:
+//! "automatically determine the optimal number of hubs by correlating with
+//! various graph properties").
+//!
+//! The operational quantity |H| controls is the **prime-subgraph size**: it
+//! drives offline build time, per-hub index cost, and — through the
+//! query-time extraction of `r̊⁰_q` — online latency (§5.1–5.2). This
+//! module searches for the smallest hub count whose *sampled mean* prime-
+//! subgraph size meets a target, using only cheap extractions (no solves,
+//! no index builds), so tuning costs a tiny fraction of one offline build.
+
+use fastppv_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::Config;
+use crate::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
+use crate::prime::PrimeComputer;
+
+/// Options for [`suggest_hub_count`].
+#[derive(Clone, Copy, Debug)]
+pub struct AutotuneOptions {
+    /// Target mean prime-subgraph size (nodes, absorbers included). The
+    /// paper's operating points correspond to roughly 10²–10³.
+    pub target_subgraph_nodes: f64,
+    /// Sources sampled per candidate hub count.
+    pub sample_sources: usize,
+    /// Smallest hub count considered.
+    pub min_hubs: usize,
+    /// Largest hub count considered (defaults to |V|/2 when 0).
+    pub max_hubs: usize,
+    /// Hub policy to tune for.
+    pub policy: HubPolicy,
+    /// RNG seed for source sampling.
+    pub seed: u64,
+}
+
+impl Default for AutotuneOptions {
+    fn default() -> Self {
+        AutotuneOptions {
+            target_subgraph_nodes: 500.0,
+            sample_sources: 24,
+            min_hubs: 8,
+            max_hubs: 0,
+            policy: HubPolicy::ExpectedUtility,
+            seed: 0,
+        }
+    }
+}
+
+/// One probed operating point.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbePoint {
+    /// Candidate hub count.
+    pub hub_count: usize,
+    /// Sampled mean prime-subgraph size at that count.
+    pub mean_subgraph_nodes: f64,
+}
+
+/// The tuning outcome.
+#[derive(Clone, Debug)]
+pub struct AutotuneResult {
+    /// The suggested hub count.
+    pub hub_count: usize,
+    /// Mean subgraph size at the suggestion.
+    pub mean_subgraph_nodes: f64,
+    /// Every point probed during the search, in probe order.
+    pub probes: Vec<ProbePoint>,
+}
+
+/// Suggests the smallest |H| whose sampled mean prime-subgraph size is at
+/// most `target_subgraph_nodes`.
+///
+/// Mean subgraph size is monotonically non-increasing in |H| in expectation
+/// (§5.1: every added hub can only block more paths), so a geometric scan
+/// followed by a binary search converges quickly; non-monotone sampling
+/// noise only costs a slightly conservative answer.
+pub fn suggest_hub_count(
+    graph: &Graph,
+    config: &Config,
+    opts: AutotuneOptions,
+) -> AutotuneResult {
+    config.validate();
+    let n = graph.num_nodes();
+    assert!(n > 0, "empty graph");
+    assert!(opts.sample_sources > 0);
+    assert!(opts.target_subgraph_nodes >= 1.0);
+    let max_hubs = if opts.max_hubs == 0 { (n / 2).max(1) } else { opts.max_hubs };
+    let min_hubs = opts.min_hubs.clamp(1, max_hubs);
+
+    // Shared ingredients across candidates.
+    let pagerank = fastppv_graph::pagerank(
+        graph,
+        fastppv_graph::PageRankOptions::default(),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut sources: Vec<NodeId> = (0..n as NodeId).collect();
+    sources.shuffle(&mut rng);
+    sources.truncate(opts.sample_sources.min(n));
+    let mut pc = PrimeComputer::new(n);
+    let mut probes = Vec::new();
+
+    let measure = |count: usize,
+                       pc: &mut PrimeComputer,
+                       probes: &mut Vec<ProbePoint>|
+     -> f64 {
+        let hubs: HubSet = select_hubs_with_pagerank(
+            graph,
+            opts.policy,
+            count,
+            opts.seed,
+            Some(&pagerank),
+        );
+        let total: usize = sources
+            .iter()
+            .map(|&s| pc.extract(graph, &hubs, s, config).num_nodes())
+            .sum();
+        let mean = total as f64 / sources.len() as f64;
+        probes.push(ProbePoint { hub_count: count, mean_subgraph_nodes: mean });
+        mean
+    };
+
+    // Geometric scan upward until the target is met (or the cap is hit).
+    let mut lo = min_hubs;
+    let mut lo_mean = measure(lo, &mut pc, &mut probes);
+    if lo_mean <= opts.target_subgraph_nodes {
+        return AutotuneResult {
+            hub_count: lo,
+            mean_subgraph_nodes: lo_mean,
+            probes,
+        };
+    }
+    let mut hi = lo;
+    let mut hi_mean = lo_mean;
+    while hi < max_hubs {
+        hi = (hi * 2).min(max_hubs);
+        hi_mean = measure(hi, &mut pc, &mut probes);
+        if hi_mean <= opts.target_subgraph_nodes {
+            break;
+        }
+        lo = hi;
+        lo_mean = hi_mean;
+    }
+    if hi_mean > opts.target_subgraph_nodes {
+        // Even the cap cannot reach the target: report the cap.
+        return AutotuneResult {
+            hub_count: hi,
+            mean_subgraph_nodes: hi_mean,
+            probes,
+        };
+    }
+    // Binary search in (lo, hi] for the smallest satisfying count.
+    let _ = lo_mean;
+    let mut best = (hi, hi_mean);
+    while hi - lo > (lo / 8).max(1) {
+        let mid = lo + (hi - lo) / 2;
+        let mean = measure(mid, &mut pc, &mut probes);
+        if mean <= opts.target_subgraph_nodes {
+            best = (mid, mean);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    AutotuneResult {
+        hub_count: best.0,
+        mean_subgraph_nodes: best.1,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::gen::barabasi_albert;
+
+    #[test]
+    fn meets_the_target() {
+        let g = barabasi_albert(2_000, 3, 1);
+        let config = Config::default().with_epsilon(1e-6);
+        let opts = AutotuneOptions {
+            target_subgraph_nodes: 200.0,
+            ..Default::default()
+        };
+        let res = suggest_hub_count(&g, &config, opts);
+        assert!(res.mean_subgraph_nodes <= 200.0, "{res:?}");
+        assert!(res.hub_count >= opts.min_hubs);
+        assert!(!res.probes.is_empty());
+    }
+
+    #[test]
+    fn tighter_target_needs_more_hubs() {
+        let g = barabasi_albert(2_000, 3, 2);
+        let config = Config::default().with_epsilon(1e-6);
+        let loose = suggest_hub_count(
+            &g,
+            &config,
+            AutotuneOptions { target_subgraph_nodes: 800.0, ..Default::default() },
+        );
+        let tight = suggest_hub_count(
+            &g,
+            &config,
+            AutotuneOptions { target_subgraph_nodes: 100.0, ..Default::default() },
+        );
+        assert!(
+            tight.hub_count >= loose.hub_count,
+            "tight {tight:?} loose {loose:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_returns_cap() {
+        let g = barabasi_albert(500, 3, 3);
+        let config = Config::default();
+        let res = suggest_hub_count(
+            &g,
+            &config,
+            AutotuneOptions {
+                target_subgraph_nodes: 1.0, // cannot go below source+absorbers
+                max_hubs: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.hub_count, 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = barabasi_albert(800, 3, 4);
+        let config = Config::default().with_epsilon(1e-6);
+        let a = suggest_hub_count(&g, &config, AutotuneOptions::default());
+        let b = suggest_hub_count(&g, &config, AutotuneOptions::default());
+        assert_eq!(a.hub_count, b.hub_count);
+    }
+}

@@ -1,0 +1,75 @@
+//! The exponential error bound (paper Theorem 2).
+//!
+//! After iteration `k`, the accuracy-aware L1 error satisfies
+//! `φ(k) ≤ (1-α)^{k+2}`: hub length lower-bounds natural tour length, so the
+//! first `k` partitions cover at least all tours of length `≤ k+1`, whose
+//! total reachability telescopes to `1 − Σ_{i≤k+1} (1-α)^i α`.
+
+/// The Theorem 2 bound `(1-α)^{k+2}` on the L1 error after iteration `k`.
+pub fn l1_error_bound(alpha: f64, k: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    (1.0 - alpha).powi(k as i32 + 2)
+}
+
+/// The smallest iteration count whose Theorem 2 bound is at most `target`.
+///
+/// Useful for turning an accuracy requirement into a worst-case `η` before
+/// issuing a query.
+pub fn min_iterations_for(alpha: f64, target: f64) -> usize {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let mut k = 0;
+    while l1_error_bound(alpha, k) > target {
+        k += 1;
+        if k > 10_000 {
+            unreachable!("bound decays geometrically");
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_examples() {
+        // §4.1: for α = 0.15, φ(10) ≤ 0.143, φ(20) ≤ 0.0280, φ(30) ≤ 0.00552.
+        assert!((l1_error_bound(0.15, 10) - 0.142242).abs() < 1e-3);
+        assert!((l1_error_bound(0.15, 20) - 0.028005).abs() < 1e-4);
+        assert!((l1_error_bound(0.15, 30) - 0.005514).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decays_monotonically_to_zero() {
+        let mut prev = 1.0;
+        for k in 0..100 {
+            let b = l1_error_bound(0.15, k);
+            assert!(b < prev);
+            prev = b;
+        }
+        assert!(prev < 1e-7);
+    }
+
+    #[test]
+    fn min_iterations_inverts_bound() {
+        for target in [0.5, 0.1, 0.01, 1e-6] {
+            let k = min_iterations_for(0.15, target);
+            assert!(l1_error_bound(0.15, k) <= target);
+            if k > 0 {
+                assert!(l1_error_bound(0.15, k - 1) > target);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_bound() {
+        // k = 0 covers all tours of length ≤ 1.
+        assert!((l1_error_bound(0.15, 0) - 0.85f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_bad_alpha() {
+        l1_error_bound(0.0, 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Hub selection (paper §4, "Hub selection").
+//!
+//! Hubs serve two purposes at once: *discriminating* (high out-degree decays
+//! tour reachability, so hub count orders tour importance) and *sharing*
+//! (popular nodes appear on many tours, so their prime PPVs are reused).
+//! The paper integrates both into **expected utility**
+//! `EU(v) = PageRank(v) · |Out(v)|` (Eq. 7) and compares against PageRank-
+//! only and out-degree-only selection in §6.2; this module implements all of
+//! them (plus in-degree and random, used as additional ablations).
+
+use fastppv_graph::{pagerank, Graph, NodeId, PageRankOptions};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hub selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HubPolicy {
+    /// `EU(v) = PageRank(v) · |Out(v)|` — the paper's proposal (Eq. 7).
+    ExpectedUtility,
+    /// Global PageRank only (popularity / sharing).
+    PageRank,
+    /// Out-degree only (decaying power / discrimination).
+    OutDegree,
+    /// In-degree (cheap local popularity; discussed and rejected in §4).
+    InDegree,
+    /// Uniformly random nodes (sanity baseline; §6.2 reports it far worse).
+    Random,
+}
+
+impl HubPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [HubPolicy; 5] = [
+        HubPolicy::ExpectedUtility,
+        HubPolicy::PageRank,
+        HubPolicy::OutDegree,
+        HubPolicy::InDegree,
+        HubPolicy::Random,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HubPolicy::ExpectedUtility => "expected-utility",
+            HubPolicy::PageRank => "pagerank",
+            HubPolicy::OutDegree => "out-degree",
+            HubPolicy::InDegree => "in-degree",
+            HubPolicy::Random => "random",
+        }
+    }
+}
+
+/// A selected set of hubs with O(1) membership tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HubSet {
+    mask: Vec<bool>,
+    ids: Vec<NodeId>,
+}
+
+impl HubSet {
+    /// Builds from explicit node ids (deduplicated, sorted).
+    pub fn from_ids(num_nodes: usize, mut ids: Vec<NodeId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut mask = vec![false; num_nodes];
+        for &h in &ids {
+            assert!(
+                (h as usize) < num_nodes,
+                "hub {h} out of range for {num_nodes} nodes"
+            );
+            mask[h as usize] = true;
+        }
+        HubSet { mask, ids }
+    }
+
+    /// An empty hub set (FastPPV then degenerates to one exhaustive prime
+    /// subgraph per query).
+    pub fn empty(num_nodes: usize) -> Self {
+        HubSet { mask: vec![false; num_nodes], ids: Vec::new() }
+    }
+
+    /// Whether `v` is a hub.
+    #[inline]
+    pub fn is_hub(&self, v: NodeId) -> bool {
+        self.mask[v as usize]
+    }
+
+    /// Number of hubs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Hub ids, sorted ascending.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The membership mask (indexed by node id).
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+}
+
+/// Selects `count` hubs under `policy`. PageRank is computed internally when
+/// the policy needs it; pass a precomputed vector to
+/// [`select_hubs_with_pagerank`] to avoid recomputation across policies.
+pub fn select_hubs(
+    graph: &Graph,
+    policy: HubPolicy,
+    count: usize,
+    seed: u64,
+) -> HubSet {
+    select_hubs_with_pagerank(graph, policy, count, seed, None)
+}
+
+/// Like [`select_hubs`], reusing a precomputed PageRank vector if given.
+pub fn select_hubs_with_pagerank(
+    graph: &Graph,
+    policy: HubPolicy,
+    count: usize,
+    seed: u64,
+    precomputed_pagerank: Option<&[f64]>,
+) -> HubSet {
+    let n = graph.num_nodes();
+    let count = count.min(n);
+    if count == 0 {
+        return HubSet::empty(n);
+    }
+    let ids: Vec<NodeId> = match policy {
+        HubPolicy::Random => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+            all.shuffle(&mut rng);
+            all.truncate(count);
+            all
+        }
+        HubPolicy::OutDegree => {
+            top_by(n, count, |v| graph.out_degree(v) as f64)
+        }
+        HubPolicy::InDegree => {
+            top_by(n, count, |v| graph.in_degree(v) as f64)
+        }
+        HubPolicy::PageRank | HubPolicy::ExpectedUtility => {
+            let owned;
+            let pr: &[f64] = match precomputed_pagerank {
+                Some(pr) => {
+                    assert_eq!(pr.len(), n, "pagerank length mismatch");
+                    pr
+                }
+                None => {
+                    owned = pagerank(graph, PageRankOptions::default());
+                    &owned
+                }
+            };
+            match policy {
+                HubPolicy::PageRank => top_by(n, count, |v| pr[v as usize]),
+                _ => top_by(n, count, |v| {
+                    pr[v as usize] * graph.out_degree(v) as f64
+                }),
+            }
+        }
+    };
+    HubSet::from_ids(n, ids)
+}
+
+/// Top `count` node ids by score, ties broken by id (ascending).
+fn top_by(n: usize, count: usize, score: impl Fn(NodeId) -> f64) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by(|&a, &b| {
+        score(b).total_cmp(&score(a)).then(a.cmp(&b))
+    });
+    order.truncate(count);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_graph::builder::from_undirected_edges;
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+
+    #[test]
+    fn from_ids_dedups_and_sorts() {
+        let h = HubSet::from_ids(10, vec![5, 2, 5, 9]);
+        assert_eq!(h.ids(), &[2, 5, 9]);
+        assert_eq!(h.len(), 3);
+        assert!(h.is_hub(5) && !h.is_hub(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ids_rejects_out_of_range() {
+        HubSet::from_ids(3, vec![3]);
+    }
+
+    #[test]
+    fn out_degree_policy_picks_star_center() {
+        let g = from_undirected_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let h = select_hubs(&g, HubPolicy::OutDegree, 1, 0);
+        assert_eq!(h.ids(), &[0]);
+    }
+
+    #[test]
+    fn expected_utility_differs_from_outdegree_when_popularity_matters() {
+        // The toy graph: a has max out-degree (5), but b/d are more central.
+        let g = toy::graph();
+        let by_out = select_hubs(&g, HubPolicy::OutDegree, 1, 0);
+        assert_eq!(by_out.ids(), &[toy::A]);
+        let by_eu = select_hubs(&g, HubPolicy::ExpectedUtility, 3, 0);
+        assert_eq!(by_eu.len(), 3);
+    }
+
+    #[test]
+    fn all_policies_return_requested_count() {
+        let g = barabasi_albert(200, 3, 1);
+        for policy in HubPolicy::ALL {
+            let h = select_hubs(&g, policy, 17, 42);
+            assert_eq!(h.len(), 17, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn count_clamped_to_graph_size() {
+        let g = toy::graph();
+        let h = select_hubs(&g, HubPolicy::PageRank, 100, 0);
+        assert_eq!(h.len(), 8);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let g = barabasi_albert(100, 2, 3);
+        let a = select_hubs(&g, HubPolicy::Random, 10, 7);
+        let b = select_hubs(&g, HubPolicy::Random, 10, 7);
+        let c = select_hubs(&g, HubPolicy::Random, 10, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn precomputed_pagerank_matches_internal() {
+        let g = barabasi_albert(150, 2, 9);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let a = select_hubs(&g, HubPolicy::ExpectedUtility, 12, 0);
+        let b = select_hubs_with_pagerank(
+            &g,
+            HubPolicy::ExpectedUtility,
+            12,
+            0,
+            Some(&pr),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_set() {
+        let h = HubSet::empty(5);
+        assert!(h.is_empty());
+        assert!(!h.is_hub(0));
+        let h2 = select_hubs(&toy::graph(), HubPolicy::PageRank, 0, 0);
+        assert!(h2.is_empty());
+    }
+}

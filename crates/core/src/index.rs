@@ -1,0 +1,519 @@
+//! The PPV index: precomputed prime PPVs of hub nodes (paper §5.1).
+//!
+//! Two interchangeable stores implement [`PpvStore`]:
+//!
+//! * [`MemoryIndex`] — a slot map of `Arc<PrimePpv>`, used when the index
+//!   fits in RAM (the paper's default setting);
+//! * [`DiskIndex`] — a file-backed store with a per-hub directory for O(1)
+//!   random access and a small FIFO read cache, used by the disk-resident
+//!   experiments (§5.3 / §6.4.2).
+//!
+//! The on-disk format (`FPPVIDX1`) is a hand-rolled little-endian layout:
+//!
+//! ```text
+//! magic "FPPVIDX1" | u32 version | u32 flags | u64 num_hubs
+//! directory: num_hubs × { u32 hub_id, u64 offset, u32 num_entries }
+//! data:      per hub { num_entries × (u32 node, f32 score) }
+//! ```
+//!
+//! Scores are stored as `f32`: entries are clipped at 1e-4 anyway (§6), so
+//! the ~1e-7 relative quantization error is far below the approximation
+//! error budget.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fastppv_graph::{NodeId, SparseVector};
+
+use crate::hubs::HubSet;
+
+/// A stored prime PPV: the trivial-tour-excluded reachabilities `r̊⁰_v`
+/// (see [`crate::prime`] for why the empty tour is excluded).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrimePpv {
+    /// Sparse reachability entries, sorted by node id.
+    pub entries: SparseVector,
+}
+
+impl PrimePpv {
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hub entries (expansion candidates of the next iteration).
+    pub fn border_hubs<'a>(
+        &'a self,
+        hubs: &'a HubSet,
+    ) -> impl Iterator<Item = (NodeId, f64)> + 'a {
+        self.entries
+            .entries()
+            .iter()
+            .copied()
+            .filter(move |&(v, _)| hubs.is_hub(v))
+    }
+}
+
+/// Read access to precomputed prime PPVs.
+pub trait PpvStore {
+    /// The prime PPV of `hub`, or `None` if not indexed.
+    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>>;
+
+    /// Whether `hub` is indexed.
+    fn contains(&self, hub: NodeId) -> bool;
+
+    /// Number of indexed hubs.
+    fn hub_count(&self) -> usize;
+
+    /// Total stored entries across hubs.
+    fn total_entries(&self) -> usize;
+
+    /// Index size in bytes (on-disk layout equivalent).
+    fn storage_bytes(&self) -> usize {
+        HEADER_LEN + self.hub_count() * DIR_RECORD_LEN + self.total_entries() * ENTRY_LEN
+    }
+}
+
+impl<S: PpvStore> PpvStore for &S {
+    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        (**self).get(hub)
+    }
+    fn contains(&self, hub: NodeId) -> bool {
+        (**self).contains(hub)
+    }
+    fn hub_count(&self) -> usize {
+        (**self).hub_count()
+    }
+    fn total_entries(&self) -> usize {
+        (**self).total_entries()
+    }
+}
+
+const MAGIC: &[u8; 8] = b"FPPVIDX1";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+const DIR_RECORD_LEN: usize = 4 + 8 + 4;
+const ENTRY_LEN: usize = 8;
+
+/// In-memory PPV index.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryIndex {
+    slots: Vec<Option<Arc<PrimePpv>>>,
+    hub_ids: Vec<NodeId>,
+    total_entries: usize,
+}
+
+impl MemoryIndex {
+    /// An empty index for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MemoryIndex {
+            slots: vec![None; n],
+            hub_ids: Vec::new(),
+            total_entries: 0,
+        }
+    }
+
+    /// Inserts (or replaces) the prime PPV of `hub`.
+    pub fn insert(&mut self, hub: NodeId, ppv: PrimePpv) {
+        let slot = &mut self.slots[hub as usize];
+        match slot {
+            Some(old) => self.total_entries -= old.len(),
+            None => self.hub_ids.push(hub),
+        }
+        self.total_entries += ppv.len();
+        *slot = Some(Arc::new(ppv));
+    }
+
+    /// Indexed hub ids, in insertion order.
+    pub fn hub_ids(&self) -> &[NodeId] {
+        &self.hub_ids
+    }
+
+    /// Serializes the index to the `FPPVIDX1` format.
+    pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        w.write_all(&(self.hub_ids.len() as u64).to_le_bytes())?;
+        // Directory.
+        let mut offset =
+            (HEADER_LEN + self.hub_ids.len() * DIR_RECORD_LEN) as u64;
+        let mut sorted_hubs = self.hub_ids.clone();
+        sorted_hubs.sort_unstable();
+        for &h in &sorted_hubs {
+            let ppv = self.slots[h as usize].as_ref().expect("indexed hub");
+            w.write_all(&h.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(&(ppv.len() as u32).to_le_bytes())?;
+            offset += (ppv.len() * ENTRY_LEN) as u64;
+        }
+        // Data blobs.
+        for &h in &sorted_hubs {
+            let ppv = self.slots[h as usize].as_ref().expect("indexed hub");
+            for &(id, s) in ppv.entries.entries() {
+                w.write_all(&id.to_le_bytes())?;
+                w.write_all(&(s as f32).to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+}
+
+impl PpvStore for MemoryIndex {
+    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        self.slots.get(hub as usize).and_then(|s| s.clone())
+    }
+
+    fn contains(&self, hub: NodeId) -> bool {
+        self.slots.get(hub as usize).is_some_and(|s| s.is_some())
+    }
+
+    fn hub_count(&self) -> usize {
+        self.hub_ids.len()
+    }
+
+    fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+}
+
+/// A bounded FIFO read cache (approximates LRU without per-hit bookkeeping).
+struct FifoCache {
+    map: HashMap<NodeId, Arc<PrimePpv>>,
+    order: std::collections::VecDeque<NodeId>,
+    capacity: usize,
+}
+
+impl FifoCache {
+    fn new(capacity: usize) -> Self {
+        FifoCache {
+            map: HashMap::with_capacity(capacity),
+            order: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        self.map.get(&hub).cloned()
+    }
+
+    fn put(&mut self, hub: NodeId, ppv: Arc<PrimePpv>) {
+        if self.capacity == 0 || self.map.contains_key(&hub) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(hub, ppv);
+        self.order.push_back(hub);
+    }
+}
+
+/// File-backed PPV index with a per-hub directory and a FIFO read cache.
+pub struct DiskIndex {
+    file: Mutex<File>,
+    directory: HashMap<NodeId, (u64, u32)>,
+    total_entries: usize,
+    cache: Mutex<FifoCache>,
+    reads: Mutex<u64>,
+}
+
+impl DiskIndex {
+    /// Opens an index written by [`MemoryIndex::write_to_file`].
+    ///
+    /// `cache_capacity` bounds the number of prime PPVs kept in memory.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        cache_capacity: usize,
+    ) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a FastPPV index (bad magic)",
+            ));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported index version {version}"),
+            ));
+        }
+        let num_hubs =
+            u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        let file_len = file.metadata()?.len();
+        let dir_len = (num_hubs as u64).checked_mul(DIR_RECORD_LEN as u64);
+        if dir_len.is_none_or(|d| HEADER_LEN as u64 + d > file_len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "index directory exceeds file size (corrupt header)",
+            ));
+        }
+        let mut dir_bytes = vec![0u8; num_hubs * DIR_RECORD_LEN];
+        file.read_exact(&mut dir_bytes)?;
+        let mut directory = HashMap::with_capacity(num_hubs);
+        let mut total_entries = 0usize;
+        for rec in dir_bytes.chunks_exact(DIR_RECORD_LEN) {
+            let hub = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
+            let offset = u64::from_le_bytes(rec[4..12].try_into().unwrap());
+            let count = u32::from_le_bytes(rec[12..16].try_into().unwrap());
+            // Every blob must lie within the file; a corrupt directory must
+            // fail at open, not panic (or over-allocate) at query time.
+            let end = offset
+                .checked_add(count as u64 * ENTRY_LEN as u64)
+                .filter(|&e| e <= file_len);
+            if end.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("hub {hub} blob out of bounds (corrupt directory)"),
+                ));
+            }
+            if directory.insert(hub, (offset, count)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("hub {hub} appears twice in the directory"),
+                ));
+            }
+            total_entries += count as usize;
+        }
+        Ok(DiskIndex {
+            file: Mutex::new(file),
+            directory,
+            total_entries,
+            cache: Mutex::new(FifoCache::new(cache_capacity)),
+            reads: Mutex::new(0),
+        })
+    }
+
+    /// Number of disk reads performed so far (cache misses).
+    pub fn disk_reads(&self) -> u64 {
+        *self.reads.lock()
+    }
+
+    /// Indexed hub ids, sorted ascending. The hub set is implicit in the
+    /// index file, so a deployment can reconstruct its
+    /// [`crate::hubs::HubSet`] from the index alone.
+    pub fn hub_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.directory.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn read_ppv(&self, offset: u64, count: u32) -> io::Result<PrimePpv> {
+        let mut buf = vec![0u8; count as usize * ENTRY_LEN];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+            *self.reads.lock() += 1;
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for rec in buf.chunks_exact(ENTRY_LEN) {
+            let id = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
+            let s = f32::from_le_bytes(rec[4..8].try_into().unwrap());
+            entries.push((id, s as f64));
+        }
+        Ok(PrimePpv { entries: SparseVector::from_sorted(entries) })
+    }
+}
+
+impl PpvStore for DiskIndex {
+    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        if let Some(hit) = self.cache.lock().get(hub) {
+            return Some(hit);
+        }
+        let &(offset, count) = self.directory.get(&hub)?;
+        let ppv = Arc::new(
+            self.read_ppv(offset, count)
+                .expect("index file truncated or corrupt"),
+        );
+        self.cache.lock().put(hub, Arc::clone(&ppv));
+        Some(ppv)
+    }
+
+    fn contains(&self, hub: NodeId) -> bool {
+        self.directory.contains_key(&hub)
+    }
+
+    fn hub_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ppv(ids: &[(NodeId, f64)]) -> PrimePpv {
+        PrimePpv { entries: SparseVector::from_unsorted(ids.to_vec()) }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "fastppv-test-{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn memory_index_insert_and_get() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(3, sample_ppv(&[(1, 0.5), (2, 0.25)]));
+        idx.insert(7, sample_ppv(&[(0, 0.1)]));
+        assert_eq!(idx.hub_count(), 2);
+        assert_eq!(idx.total_entries(), 3);
+        assert!(idx.contains(3) && !idx.contains(4));
+        assert_eq!(idx.get(3).unwrap().entries.get(2), 0.25);
+        assert!(idx.get(4).is_none());
+    }
+
+    #[test]
+    fn memory_index_replace_updates_totals() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(3, sample_ppv(&[(1, 0.5), (2, 0.25)]));
+        idx.insert(3, sample_ppv(&[(1, 0.9)]));
+        assert_eq!(idx.hub_count(), 1);
+        assert_eq!(idx.total_entries(), 1);
+        assert_eq!(idx.get(3).unwrap().entries.get(1), 0.9);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let mut idx = MemoryIndex::new(100);
+        idx.insert(42, sample_ppv(&[(0, 0.125), (42, 0.5), (99, 0.0625)]));
+        idx.insert(7, sample_ppv(&[(7, 1.0)]));
+        idx.insert(0, sample_ppv(&[]));
+        let path = temp_path("roundtrip.idx");
+        idx.write_to_file(&path).unwrap();
+        let disk = DiskIndex::open(&path, 8).unwrap();
+        assert_eq!(disk.hub_count(), 3);
+        assert_eq!(disk.total_entries(), 4);
+        for h in [0u32, 7, 42] {
+            let mem = idx.get(h).unwrap();
+            let dsk = disk.get(h).unwrap();
+            assert_eq!(mem.len(), dsk.len());
+            for (&(a, sa), &(b, sb)) in mem
+                .entries
+                .entries()
+                .iter()
+                .zip(dsk.entries.entries())
+            {
+                assert_eq!(a, b);
+                assert!((sa - sb).abs() < 1e-7); // f32 quantization
+            }
+        }
+        assert!(disk.get(1).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_cache_avoids_rereads() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(1, sample_ppv(&[(1, 0.5)]));
+        idx.insert(2, sample_ppv(&[(2, 0.5)]));
+        let path = temp_path("cache.idx");
+        idx.write_to_file(&path).unwrap();
+        let disk = DiskIndex::open(&path, 1).unwrap();
+        disk.get(1).unwrap();
+        disk.get(1).unwrap();
+        assert_eq!(disk.disk_reads(), 1, "second get must hit the cache");
+        disk.get(2).unwrap(); // evicts 1 (capacity 1)
+        disk.get(1).unwrap();
+        assert_eq!(disk.disk_reads(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = temp_path("garbage.idx");
+        std::fs::write(&path, b"definitely not an index file").unwrap();
+        let err = match DiskIndex::open(&path, 1) {
+            Ok(_) => panic!("garbage accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_truncated_file() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(1, sample_ppv(&[(1, 0.5), (3, 0.25)]));
+        idx.insert(2, sample_ppv(&[(0, 0.125)]));
+        let path = temp_path("truncated.idx");
+        idx.write_to_file(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file mid-blob: the directory then points past EOF.
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        let err = match DiskIndex::open(&path, 1) {
+            Ok(_) => panic!("truncated file accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_absurd_hub_count() {
+        // A header claiming 2^40 hubs must not allocate terabytes.
+        let path = temp_path("absurd.idx");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match DiskIndex::open(&path, 1) {
+            Ok(_) => panic!("absurd header accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn storage_bytes_matches_file_size() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(1, sample_ppv(&[(1, 0.5), (3, 0.1)]));
+        idx.insert(5, sample_ppv(&[(0, 0.2)]));
+        let path = temp_path("size.idx");
+        idx.write_to_file(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert_eq!(idx.storage_bytes(), file_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn border_hubs_filters_by_hub_set() {
+        let ppv = sample_ppv(&[(1, 0.5), (2, 0.3), (4, 0.1)]);
+        let hubs = HubSet::from_ids(5, vec![2, 4]);
+        let borders: Vec<_> = ppv.border_hubs(&hubs).collect();
+        assert_eq!(borders, vec![(2, 0.3), (4, 0.1)]);
+    }
+}

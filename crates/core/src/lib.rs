@@ -1,0 +1,63 @@
+//! # FastPPV core — scheduled approximation of Personalized PageRank
+//!
+//! Reproduction of *Zhu, Fang, Chang, Ying. "Incremental and Accuracy-Aware
+//! Personalized PageRank through Scheduled Approximation", PVLDB 6(6), 2013*.
+//!
+//! The Personalized PageRank Vector (PPV) of a query node `q` equals, per
+//! entry, the *inverse P-distance*: the total reachability of all tours from
+//! `q` to that node (paper Eq. 1–2). FastPPV partitions those tours by **hub
+//! length** — the number of high-expected-utility hub nodes a tour passes
+//! through — and processes partitions in order of importance:
+//!
+//! 1. [`hubs`] selects hubs by expected utility `EU(v) = PageRank(v)·|Out(v)|`.
+//! 2. [`prime`] extracts, per node, the *prime subgraph* (the hub-free
+//!    neighborhood, pruned at reachability `ε`) and computes its *prime PPV*.
+//! 3. [`offline`] precomputes prime PPVs for every hub into a [`index`]
+//!    (in-memory or on-disk) — the query-independent building blocks.
+//! 4. [`query`] answers queries incrementally: iteration `i` assembles the
+//!    tour partition `T^i` from the previous increment and the stored prime
+//!    PPVs (Theorem 4), adding one increment per iteration. After each
+//!    iteration the exact L1 error of the running estimate is known *without
+//!    the exact PPV* (`φ(k) = 1 − ‖r̂‖₁`, Eq. 6), so the accuracy/latency
+//!    trade-off is controlled at query time ([`query::StoppingCondition`]).
+//! 5. [`error`] provides the exponential bound `φ(k) ≤ (1-α)^{k+2}`
+//!    (Theorem 2); [`linearity`] handles multi-node queries; [`dynamic`]
+//!    maintains the index under edge updates (the paper's future-work §7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastppv_core::{build_index, select_hubs, Config, HubPolicy, QueryEngine};
+//! use fastppv_core::query::StoppingCondition;
+//! use fastppv_graph::gen::barabasi_albert;
+//!
+//! let graph = barabasi_albert(500, 3, 42);
+//! // δ/clip = 0: no truncation, so Theorem 2 applies exactly.
+//! let config = Config::default().with_delta(0.0).with_clip(0.0);
+//! let hubs = select_hubs(&graph, HubPolicy::ExpectedUtility, 25, 0);
+//! let (index, _stats) = build_index(&graph, &hubs, &config);
+//! let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+//! let result = engine.query(7, &StoppingCondition::iterations(2));
+//! assert!(result.l1_error <= 0.85f64.powi(4)); // Theorem 2 bound φ(2)
+//! assert!(result.l1_error < 0.2); // in practice well below the bound
+//! ```
+
+pub mod autotune;
+pub mod codec;
+pub mod config;
+pub mod dynamic;
+pub mod error;
+pub mod hubs;
+pub mod index;
+pub mod linearity;
+pub mod offline;
+pub mod prime;
+pub mod query;
+
+pub use config::Config;
+pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
+pub use codec::{CompressedDiskIndex, ScoreQuantization};
+pub use index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
+pub use offline::{build_index, build_index_parallel, OfflineStats};
+pub use prime::{PrimeComputer, PrimeSubgraph};
+pub use query::{QueryEngine, QueryResult, QuerySession, TopKResult};

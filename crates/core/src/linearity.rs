@@ -1,0 +1,127 @@
+//! Multi-node queries via the Linearity Theorem (Jeh & Widom).
+//!
+//! The PPV of a weighted multi-node query is the weighted combination of the
+//! single-node PPVs (paper §1, "Background"). The paper evaluates on
+//! single-node queries for exactly this reason; this module provides the
+//! combination for applications that need it (e.g. multi-paper expert
+//! search).
+
+use fastppv_graph::{NodeId, SparseVector};
+
+use crate::index::PpvStore;
+use crate::query::{QueryEngine, QueryResult, StoppingCondition};
+
+/// A weighted multi-node query result.
+#[derive(Clone, Debug)]
+pub struct MultiQueryResult {
+    /// The combined PPV estimate.
+    pub scores: SparseVector,
+    /// Weighted accuracy-aware L1 error of the combination.
+    pub l1_error: f64,
+    /// Per-seed single-node results, in input order.
+    pub per_seed: Vec<QueryResult>,
+}
+
+/// Answers a multi-node query `Σ wᵢ·r_{qᵢ}`. Weights must be positive; they
+/// are normalized to sum to 1, preserving `Σ_p r(p) = 1` and hence the
+/// accuracy-awareness of the combined error.
+pub fn query_multi<S: PpvStore>(
+    engine: &mut QueryEngine<'_, S>,
+    seeds: &[(NodeId, f64)],
+    stop: &StoppingCondition,
+) -> MultiQueryResult {
+    assert!(!seeds.is_empty(), "multi-node query needs at least one seed");
+    let total: f64 = seeds.iter().map(|&(_, w)| w).sum();
+    assert!(
+        seeds.iter().all(|&(_, w)| w > 0.0),
+        "seed weights must be positive"
+    );
+    let mut combined = SparseVector::new();
+    let mut l1_error = 0.0;
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for &(q, w) in seeds {
+        let result = engine.query(q, stop);
+        let weight = w / total;
+        combined.axpy(weight, &result.scores);
+        l1_error += weight * result.l1_error;
+        per_seed.push(result);
+    }
+    MultiQueryResult { scores: combined, l1_error, per_seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::hubs::HubSet;
+    use crate::offline::build_index;
+    use fastppv_baselines::exact::{exact_ppv, ExactOptions};
+    use fastppv_graph::toy;
+
+    #[test]
+    fn combination_matches_weighted_exact() {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let seeds = [(toy::A, 3.0), (toy::G, 1.0)];
+        let res = query_multi(
+            &mut engine,
+            &seeds,
+            &StoppingCondition::l1_error(1e-10),
+        );
+        let ea = exact_ppv(&g, toy::A, ExactOptions::default());
+        let eg = exact_ppv(&g, toy::G, ExactOptions::default());
+        for v in g.nodes() {
+            let expected =
+                0.75 * ea[v as usize] + 0.25 * eg[v as usize];
+            assert!(
+                (res.scores.get(v) - expected).abs() < 1e-6,
+                "node {v}"
+            );
+        }
+        assert!(res.l1_error < 1e-8);
+        assert!((res.scores.l1_norm() - 1.0).abs() < 1e-6);
+        assert_eq!(res.per_seed.len(), 2);
+    }
+
+    #[test]
+    fn single_seed_equals_single_query() {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let stop = StoppingCondition::iterations(2);
+        let multi = query_multi(&mut engine, &[(toy::A, 7.0)], &stop);
+        let single = engine.query(toy::A, &stop);
+        assert_eq!(multi.scores, single.scores);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_empty_seeds() {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::default();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        query_multi(&mut engine, &[], &StoppingCondition::iterations(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_weights() {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::default();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        query_multi(
+            &mut engine,
+            &[(toy::A, 0.0)],
+            &StoppingCondition::iterations(1),
+        );
+    }
+}

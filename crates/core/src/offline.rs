@@ -1,0 +1,218 @@
+//! Offline precomputation (paper §5.1, Algorithm 1).
+//!
+//! For each hub, extract its prime subgraph and solve for its prime PPV;
+//! store everything in a [`MemoryIndex`] (serialize with
+//! [`MemoryIndex::write_to_file`] for the disk-based setting). Hub builds
+//! are independent, so [`build_index_parallel`] shards them across scoped
+//! threads — this changes wall-clock only, not results (builds are
+//! deterministic and merged in hub order).
+
+use std::time::{Duration, Instant};
+
+use fastppv_graph::Graph;
+
+use crate::config::Config;
+use crate::hubs::HubSet;
+use crate::index::{MemoryIndex, PpvStore, PrimePpv};
+use crate::prime::PrimeComputer;
+
+/// Statistics from an offline build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OfflineStats {
+    /// Wall-clock build time.
+    pub build_time: Duration,
+    /// Number of hubs indexed.
+    pub hubs: usize,
+    /// Total entries stored (after clipping).
+    pub total_entries: usize,
+    /// Index size in bytes (on-disk layout equivalent).
+    pub storage_bytes: usize,
+    /// Mean prime-subgraph size (nodes, including absorbers).
+    pub avg_subgraph_nodes: f64,
+    /// Largest prime subgraph seen.
+    pub max_subgraph_nodes: usize,
+    /// Mean number of border-hub entries per prime PPV (the paper's |H̄|,
+    /// which drives online complexity, §5.2).
+    pub avg_border_hubs: f64,
+}
+
+/// Builds the PPV index single-threaded.
+pub fn build_index(
+    graph: &Graph,
+    hubs: &HubSet,
+    config: &Config,
+) -> (MemoryIndex, OfflineStats) {
+    build_index_parallel(graph, hubs, config, 1)
+}
+
+/// Builds the PPV index with `threads` worker threads.
+pub fn build_index_parallel(
+    graph: &Graph,
+    hubs: &HubSet,
+    config: &Config,
+    threads: usize,
+) -> (MemoryIndex, OfflineStats) {
+    config.validate();
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let ids = hubs.ids();
+    let chunk_size = ids.len().div_ceil(threads).max(1);
+
+    struct Shard {
+        ppvs: Vec<(fastppv_graph::NodeId, PrimePpv)>,
+        subgraph_nodes: usize,
+        max_subgraph: usize,
+        border_hubs: usize,
+    }
+
+    let shards: Vec<Shard> = if ids.is_empty() {
+        Vec::new()
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut pc = PrimeComputer::new(graph.num_nodes());
+                        let mut shard = Shard {
+                            ppvs: Vec::with_capacity(chunk.len()),
+                            subgraph_nodes: 0,
+                            max_subgraph: 0,
+                            border_hubs: 0,
+                        };
+                        for &h in chunk {
+                            let (ppv, size) = pc.prime_ppv(
+                                graph,
+                                hubs,
+                                h,
+                                config,
+                                config.clip,
+                            );
+                            shard.subgraph_nodes += size;
+                            shard.max_subgraph = shard.max_subgraph.max(size);
+                            shard.border_hubs +=
+                                ppv.border_hubs(hubs).count();
+                            shard.ppvs.push((h, ppv));
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("offline build thread panicked")
+    };
+
+    let mut index = MemoryIndex::new(graph.num_nodes());
+    let mut subgraph_nodes = 0usize;
+    let mut max_subgraph = 0usize;
+    let mut border_hubs = 0usize;
+    for shard in shards {
+        subgraph_nodes += shard.subgraph_nodes;
+        max_subgraph = max_subgraph.max(shard.max_subgraph);
+        border_hubs += shard.border_hubs;
+        for (h, ppv) in shard.ppvs {
+            index.insert(h, ppv);
+        }
+    }
+    let n_hubs = index.hub_count();
+    let stats = OfflineStats {
+        build_time: start.elapsed(),
+        hubs: n_hubs,
+        total_entries: index.total_entries(),
+        storage_bytes: index.storage_bytes(),
+        avg_subgraph_nodes: ratio(subgraph_nodes, n_hubs),
+        max_subgraph_nodes: max_subgraph,
+        avg_border_hubs: ratio(border_hubs, n_hubs),
+    };
+    (index, stats)
+}
+
+fn ratio(total: usize, count: usize) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubs::{select_hubs, HubPolicy};
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+
+    #[test]
+    fn builds_every_hub() {
+        let g = toy::graph();
+        let hubs =
+            crate::hubs::HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let (index, stats) = build_index(&g, &hubs, &Config::default());
+        assert_eq!(index.hub_count(), 3);
+        assert_eq!(stats.hubs, 3);
+        for h in toy::PAPER_HUBS {
+            assert!(index.contains(h));
+        }
+        assert!(stats.total_entries > 0);
+        assert!(stats.avg_subgraph_nodes > 0.0);
+        assert!(stats.max_subgraph_nodes >= 1);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = barabasi_albert(600, 3, 21);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 50, 0);
+        let config = Config::default();
+        let (serial, s_stats) = build_index(&g, &hubs, &config);
+        let (parallel, p_stats) = build_index_parallel(&g, &hubs, &config, 4);
+        assert_eq!(s_stats.total_entries, p_stats.total_entries);
+        assert_eq!(serial.hub_count(), parallel.hub_count());
+        for &h in hubs.ids() {
+            assert_eq!(
+                serial.get(h).unwrap().entries,
+                parallel.get(h).unwrap().entries,
+                "hub {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_hub_set_builds_empty_index() {
+        let g = toy::graph();
+        let hubs = crate::hubs::HubSet::empty(8);
+        let (index, stats) = build_index(&g, &hubs, &Config::default());
+        assert_eq!(index.hub_count(), 0);
+        assert_eq!(stats.total_entries, 0);
+        assert_eq!(stats.avg_subgraph_nodes, 0.0);
+    }
+
+    #[test]
+    fn more_hubs_smaller_average_subgraph() {
+        // §5.1: more hubs ⇒ exponentially smaller prime subgraphs.
+        let g = barabasi_albert(2000, 4, 5);
+        let config = Config::default();
+        let few = select_hubs(&g, HubPolicy::ExpectedUtility, 20, 0);
+        let many = select_hubs(&g, HubPolicy::ExpectedUtility, 200, 0);
+        let (_, few_stats) = build_index(&g, &few, &config);
+        let (_, many_stats) = build_index(&g, &many, &config);
+        assert!(
+            many_stats.avg_subgraph_nodes < few_stats.avg_subgraph_nodes,
+            "{} !< {}",
+            many_stats.avg_subgraph_nodes,
+            few_stats.avg_subgraph_nodes
+        );
+    }
+
+    #[test]
+    fn clip_shrinks_storage() {
+        let g = barabasi_albert(500, 3, 8);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let (_, clipped) =
+            build_index(&g, &hubs, &Config::default().with_clip(1e-3));
+        let (_, full) =
+            build_index(&g, &hubs, &Config::default().with_clip(0.0));
+        assert!(clipped.total_entries < full.total_entries);
+        assert!(clipped.storage_bytes < full.storage_bytes);
+    }
+}

@@ -1,0 +1,588 @@
+//! Prime subgraphs and prime PPVs (paper §4.2, Def. 2).
+//!
+//! The *prime subgraph* `G'(v)` of a node `v` contains everything reachable
+//! from `v` through hub-free tours whose walk probability stays above `ε`,
+//! plus the *border hubs* and sub-`ε` frontier nodes those tours run into
+//! (kept as absorbing sinks). The *prime PPV* `r̂⁰_v` aggregates the
+//! reachability of those tours per endpoint.
+//!
+//! ## Faithfulness notes
+//!
+//! * The paper describes the extraction as a DFS that backtracks at hubs and
+//!   at nodes with reachability `< ε`. On cyclic graphs a per-path DFS does
+//!   not terminate; the node set it defines is exactly
+//!   `{u : max hub-free walk probability v ⇝ u ≥ ε}`, which we compute with
+//!   a max-probability Dijkstra (walk probability is monotonically
+//!   decreasing along a path, so best-first expansion is correct and each
+//!   node is expanded once).
+//! * Stored prime PPVs exclude the *trivial tour* mass `α` at the source:
+//!   Theorems 3–4 assemble tours from **non-empty** hub-free segments (a
+//!   transfer at a hub requires actually arriving there), so the empty tour
+//!   must not participate in assembly. The online engine adds `α·e_q` back
+//!   when it forms the estimate. This also makes a hub's *own* entry (mass
+//!   returned to a hub source by cycles) a legitimate expansion coefficient.
+//! * Mass arriving at a **hub** source is absorbed rather than re-propagated
+//!   (the second visit is an interior hub occurrence, i.e. hub length ≥ 1);
+//!   mass arriving at a non-hub source re-propagates.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fastppv_graph::{Graph, NodeId, SparseVector};
+
+use crate::config::Config;
+use crate::hubs::HubSet;
+use crate::index::PrimePpv;
+
+/// Abstract adjacency access, so extraction can run against an in-memory
+/// [`Graph`] or a disk-resident clustered graph (`fastppv-cluster`), where
+/// every probe may trigger a cluster load. Methods take `&mut self` for
+/// exactly that reason.
+pub trait AdjacencyAccess {
+    /// Number of nodes in the underlying graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn out_degree(&mut self, v: NodeId) -> usize;
+
+    /// Calls `f` for every out-neighbor of `v` (with multiplicity).
+    fn visit_out_neighbors(&mut self, v: NodeId, f: &mut dyn FnMut(NodeId));
+}
+
+impl AdjacencyAccess for &Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    fn out_degree(&mut self, v: NodeId) -> usize {
+        Graph::out_degree(self, v)
+    }
+
+    fn visit_out_neighbors(&mut self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &t in Graph::out_neighbors(self, v) {
+            f(t);
+        }
+    }
+}
+
+/// A max-heap entry ordered by walk probability.
+struct ProbEntry(f64, NodeId);
+
+impl PartialEq for ProbEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for ProbEntry {}
+impl PartialOrd for ProbEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ProbEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+    }
+}
+
+/// The extracted prime subgraph of a source node, in local-id form.
+///
+/// Local ids `0..num_interior` are *interior* (propagating) nodes, source
+/// first; ids `num_interior..nodes.len()` are absorbers (border hubs and
+/// sub-`ε` frontier nodes).
+#[derive(Clone, Debug)]
+pub struct PrimeSubgraph {
+    /// The source node (global id).
+    pub source: NodeId,
+    /// Local-to-global node map.
+    pub nodes: Vec<NodeId>,
+    /// Number of interior (propagating) nodes; the rest absorb.
+    pub num_interior: usize,
+    /// CSR offsets over interior locals.
+    pub adj_offsets: Vec<usize>,
+    /// CSR targets (local ids, spanning interior and absorbers).
+    pub adj_targets: Vec<u32>,
+    /// Global out-degree of each interior local (propagation denominators —
+    /// mass leaking to pruned out-neighbors is intentionally lost).
+    pub out_degree: Vec<u32>,
+    /// Whether the source is a hub (its returning mass then absorbs).
+    pub source_is_hub: bool,
+}
+
+impl PrimeSubgraph {
+    /// Total nodes (interior + absorbers).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of absorber nodes.
+    pub fn num_absorbers(&self) -> usize {
+        self.nodes.len() - self.num_interior
+    }
+
+    /// Local out-edges of interior local `u`.
+    pub fn targets(&self, u: usize) -> &[u32] {
+        &self.adj_targets[self.adj_offsets[u]..self.adj_offsets[u + 1]]
+    }
+}
+
+/// Reusable workspace for prime-subgraph extraction and prime-PPV solves.
+///
+/// Holds graph-sized scratch arrays so repeated extractions (one per hub
+/// offline; one per non-hub query online) allocate nothing proportional to
+/// the graph.
+pub struct PrimeComputer {
+    best: Vec<f64>,
+    local_of: Vec<u32>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<ProbEntry>,
+    // Solve scratch, sized per subgraph.
+    mass: Vec<f64>,
+    mass_next: Vec<f64>,
+}
+
+const NO_LOCAL: u32 = u32::MAX;
+
+impl PrimeComputer {
+    /// A workspace for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        PrimeComputer {
+            best: vec![0.0; n],
+            local_of: vec![NO_LOCAL; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            mass: Vec::new(),
+            mass_next: Vec::new(),
+        }
+    }
+
+    /// Extracts the prime subgraph of `source` (paper §5.1): best-first
+    /// expansion of hub-free walks, pruned below `config.epsilon`.
+    pub fn extract(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+    ) -> PrimeSubgraph {
+        self.extract_from(&mut { graph }, hubs, source, config)
+    }
+
+    /// Like [`PrimeComputer::extract`], over any [`AdjacencyAccess`].
+    pub fn extract_from<A: AdjacencyAccess>(
+        &mut self,
+        graph: &mut A,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+    ) -> PrimeSubgraph {
+        let alpha = config.alpha;
+        let eps = config.epsilon;
+        let PrimeComputer { best, local_of, touched, heap, .. } = self;
+        debug_assert!(heap.is_empty());
+        debug_assert!(touched.is_empty());
+
+        let mut nodes: Vec<NodeId> = Vec::new();
+        fn push_local(
+            v: NodeId,
+            nodes: &mut Vec<NodeId>,
+            local_of: &mut [u32],
+            touched: &mut Vec<NodeId>,
+        ) -> u32 {
+            let slot = &mut local_of[v as usize];
+            if *slot == NO_LOCAL {
+                *slot = nodes.len() as u32;
+                nodes.push(v);
+                touched.push(v);
+            }
+            *slot
+        }
+
+        // Phase 1: Dijkstra over walk probability; interior nodes are popped
+        // in decreasing-probability order. The source is always interior.
+        best[source as usize] = 1.0;
+        touched.push(source);
+        heap.push(ProbEntry(1.0, source));
+        let mut interior: Vec<NodeId> = Vec::new();
+        while let Some(ProbEntry(p, v)) = heap.pop() {
+            if p < best[v as usize] {
+                continue; // stale entry
+            }
+            // Mark popped so duplicates are skipped (any other heap entry
+            // for v has prob <= p and is discarded against infinity).
+            best[v as usize] = f64::INFINITY;
+            interior.push(v);
+            let d = graph.out_degree(v);
+            if d == 0 {
+                continue;
+            }
+            let w = p * (1.0 - alpha) / d as f64;
+            if w < eps {
+                continue;
+            }
+            graph.visit_out_neighbors(v, &mut |t| {
+                // Hubs never propagate; they are collected as absorbers in
+                // phase 2. The source re-encountered is handled the same
+                // way if it is a hub.
+                if hubs.is_hub(t) {
+                    return;
+                }
+                if w > best[t as usize] {
+                    if best[t as usize] == 0.0 {
+                        touched.push(t);
+                    }
+                    best[t as usize] = w;
+                    heap.push(ProbEntry(w, t));
+                }
+            });
+        }
+
+        // Phase 2: assign local ids — interior first (source is interior[0]
+        // because it entered the heap with probability 1), then absorbers
+        // discovered on interior out-edges.
+        debug_assert_eq!(interior[0], source);
+        for &v in &interior {
+            push_local(v, &mut nodes, local_of, touched);
+        }
+        let num_interior = nodes.len();
+        let mut adj_offsets = Vec::with_capacity(num_interior + 1);
+        let mut adj_targets: Vec<u32> = Vec::new();
+        let mut out_degree = Vec::with_capacity(num_interior);
+        adj_offsets.push(0);
+        for u in 0..num_interior {
+            let v = nodes[u];
+            out_degree.push(graph.out_degree(v) as u32);
+            graph.visit_out_neighbors(v, &mut |t| {
+                let lt = push_local(t, &mut nodes, local_of, touched);
+                adj_targets.push(lt);
+            });
+            adj_offsets.push(adj_targets.len());
+        }
+
+        // Reset graph-sized scratch.
+        for &v in touched.iter() {
+            best[v as usize] = 0.0;
+            local_of[v as usize] = NO_LOCAL;
+        }
+        touched.clear();
+        heap.clear();
+
+        PrimeSubgraph {
+            source,
+            nodes,
+            num_interior,
+            adj_offsets,
+            adj_targets,
+            out_degree,
+            source_is_hub: hubs.is_hub(source),
+        }
+    }
+
+    /// Solves for the prime PPV of `sub.source` over the subgraph with an
+    /// adaptive worklist push: residual mass is propagated node by node
+    /// until every interior residual falls below `solve_tolerance` (work is
+    /// proportional to actual mass flow, not sweeps × edges), leaving at
+    /// most `tolerance × |interior|` mass unaccounted. Returns the
+    /// **trivial-tour-excluded** reachabilities `r̊⁰` (see module docs),
+    /// clipped at `clip`.
+    pub fn solve(
+        &mut self,
+        sub: &PrimeSubgraph,
+        config: &Config,
+        clip: f64,
+    ) -> PrimePpv {
+        let alpha = config.alpha;
+        let ni = sub.num_interior;
+        let ntot = sub.num_nodes();
+        let theta = config.solve_tolerance;
+        // mass = settled visit mass m; mass_next = pending residual ρ.
+        self.mass.clear();
+        self.mass.resize(ni, 0.0);
+        self.mass_next.clear();
+        self.mass_next.resize(ni, 0.0);
+        let mut absorbed = vec![0.0; ntot - ni];
+        let mut source_returns = 0.0;
+        let mut in_queue = vec![false; ni];
+        let mut queue: std::collections::VecDeque<u32> =
+            std::collections::VecDeque::with_capacity(ni.min(1024));
+        self.mass_next[0] = 1.0;
+        in_queue[0] = true;
+        queue.push_back(0);
+        let max_pushes = config
+            .solve_max_iterations
+            .saturating_mul(ni.max(1))
+            .max(1_000);
+        let mut pushes = 0usize;
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            in_queue[u] = false;
+            let r = self.mass_next[u];
+            if r == 0.0 {
+                continue;
+            }
+            self.mass_next[u] = 0.0;
+            self.mass[u] += r;
+            pushes += 1;
+            if pushes > max_pushes {
+                break; // safety valve; residual left is reported via clip
+            }
+            let d = sub.out_degree[u];
+            if d == 0 {
+                continue;
+            }
+            let share = r * (1.0 - alpha) / d as f64;
+            for &t in sub.targets(u) {
+                let t = t as usize;
+                if t >= ni {
+                    absorbed[t - ni] += share;
+                } else if t == 0 && sub.source_is_hub {
+                    // Mass returning to a hub source absorbs (the second
+                    // visit would be an interior hub occurrence).
+                    source_returns += share;
+                } else {
+                    self.mass_next[t] += share;
+                    if self.mass_next[t] > theta && !in_queue[t] {
+                        in_queue[t] = true;
+                        queue.push_back(t as u32);
+                    }
+                }
+            }
+        }
+        // Materialize entries: α × visit mass, with the trivial tour
+        // excluded at the source.
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(ntot);
+        let src_score = if sub.source_is_hub {
+            alpha * source_returns
+        } else {
+            alpha * (self.mass[0] - 1.0)
+        };
+        if src_score >= clip && src_score > 0.0 {
+            entries.push((sub.source, src_score));
+        }
+        for u in 1..ni {
+            let s = alpha * self.mass[u];
+            if s >= clip && s > 0.0 {
+                entries.push((sub.nodes[u], s));
+            }
+        }
+        for (i, &a) in absorbed.iter().enumerate() {
+            let s = alpha * a;
+            if s >= clip && s > 0.0 {
+                entries.push((sub.nodes[ni + i], s));
+            }
+        }
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        PrimePpv { entries: SparseVector::from_sorted(entries) }
+    }
+
+    /// Convenience: extract + solve in one call.
+    pub fn prime_ppv(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+        clip: f64,
+    ) -> (PrimePpv, usize) {
+        self.prime_ppv_from(&mut { graph }, hubs, source, config, clip)
+    }
+
+    /// Like [`PrimeComputer::prime_ppv`], over any [`AdjacencyAccess`].
+    pub fn prime_ppv_from<A: AdjacencyAccess>(
+        &mut self,
+        graph: &mut A,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+        clip: f64,
+    ) -> (PrimePpv, usize) {
+        let sub = self.extract_from(graph, hubs, source, config);
+        let size = sub.num_nodes();
+        (self.solve(&sub, config, clip), size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_baselines::naive::partition_by_hub_length;
+    use fastppv_graph::builder::from_edges;
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+
+    fn toy_hubs() -> HubSet {
+        HubSet::from_ids(8, toy::PAPER_HUBS.to_vec())
+    }
+
+    #[test]
+    fn extraction_on_toy_graph_matches_figure_3() {
+        // G'(a): interior {a, h, g?}: tours from a avoiding hubs {b,d,f}:
+        // a→c, a→h(→c); b, d, f are border hubs; c, e reachable sinks.
+        let g = toy::graph();
+        let mut pc = PrimeComputer::new(8);
+        let sub = pc.extract(&g, &toy_hubs(), toy::A, &Config::default());
+        assert_eq!(sub.source, toy::A);
+        assert!(!sub.source_is_hub);
+        let interior: Vec<NodeId> =
+            sub.nodes[..sub.num_interior].to_vec();
+        assert!(interior.contains(&toy::A));
+        assert!(interior.contains(&toy::H));
+        assert!(interior.contains(&toy::C)); // c interior (self-loop variant)
+        assert!(!interior.contains(&toy::B));
+        assert!(!interior.contains(&toy::D));
+        assert!(!interior.contains(&toy::F));
+        // b, d, f appear as absorbers.
+        let absorbers: Vec<NodeId> =
+            sub.nodes[sub.num_interior..].to_vec();
+        for h in toy::PAPER_HUBS {
+            assert!(absorbers.contains(&h), "hub {h} must be a border");
+        }
+    }
+
+    #[test]
+    fn prime_ppv_matches_naive_t0_partition() {
+        let g = toy::graph();
+        let hubs = toy_hubs();
+        let config = Config::exhaustive();
+        let mut pc = PrimeComputer::new(8);
+        let (ppv, _) = pc.prime_ppv(&g, &hubs, toy::A, &config, 0.0);
+        let parts =
+            partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
+        // T0 mass per endpoint == prime PPV + trivial tour at the source.
+        for v in g.nodes() {
+            let mut expected = parts[0][v as usize];
+            if v == toy::A {
+                expected -= 0.15; // trivial tour excluded from storage
+            }
+            assert!(
+                (ppv.entries.get(v) - expected).abs() < 1e-7,
+                "node {v}: got {} want {expected}",
+                ppv.entries.get(v)
+            );
+        }
+    }
+
+    #[test]
+    fn hub_source_absorbs_returns() {
+        // 0 <-> 1 with 0 a hub: tours from 0 with hub length 0 are exactly
+        // 0→1 (mass α(1-α)); the return 0→1→0 ends at the source with the
+        // middle nodes hub-free — wait, the return ends AT the hub source:
+        // endpoint excluded, so 0→1→0 is also T0 with mass α(1-α)².
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let hubs = HubSet::from_ids(2, vec![0]);
+        let config = Config::exhaustive();
+        let mut pc = PrimeComputer::new(2);
+        let (ppv, _) = pc.prime_ppv(&g, &hubs, 0, &config, 0.0);
+        let a = 0.15f64;
+        // Entry at 1: tours 0→1, and nothing else hub-free (0→1→0→1 passes
+        // through hub 0 in the middle).
+        assert!((ppv.entries.get(1) - a * (1.0 - a)).abs() < 1e-12);
+        // Entry at 0 (returns): 0→1→0 only.
+        assert!(
+            (ppv.entries.get(0) - a * (1.0 - a) * (1.0 - a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn non_hub_source_repropagates_returns() {
+        // 0 <-> 1, no hubs: prime PPV covers everything; entries (minus the
+        // trivial tour) must match the exact PPV.
+        let g = from_edges(2, &[(0, 1), (1, 0)]);
+        let hubs = HubSet::empty(2);
+        let config = Config::exhaustive();
+        let mut pc = PrimeComputer::new(2);
+        let (ppv, _) = pc.prime_ppv(&g, &hubs, 0, &config, 0.0);
+        let exact = fastppv_baselines::exact_ppv(
+            &g,
+            0,
+            fastppv_baselines::ExactOptions::default(),
+        );
+        assert!((ppv.entries.get(0) - (exact[0] - 0.15)).abs() < 1e-9);
+        assert!((ppv.entries.get(1) - exact[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_prunes_subgraph() {
+        let g = barabasi_albert(500, 3, 1);
+        let hubs = HubSet::empty(500);
+        let mut pc = PrimeComputer::new(500);
+        let deep = pc.extract(
+            &g,
+            &hubs,
+            0,
+            &Config::default().with_epsilon(1e-10),
+        );
+        let shallow = pc.extract(
+            &g,
+            &hubs,
+            0,
+            &Config::default().with_epsilon(1e-3),
+        );
+        assert!(shallow.num_interior < deep.num_interior);
+        assert!(shallow.num_nodes() <= deep.num_nodes());
+    }
+
+    #[test]
+    fn more_hubs_shrink_subgraphs() {
+        let g = barabasi_albert(500, 3, 1);
+        let mut pc = PrimeComputer::new(500);
+        let none = pc.extract(&g, &HubSet::empty(500), 3, &Config::default());
+        let some = pc.extract(
+            &g,
+            &crate::hubs::select_hubs(
+                &g,
+                crate::hubs::HubPolicy::ExpectedUtility,
+                50,
+                0,
+            ),
+            3,
+            &Config::default(),
+        );
+        assert!(some.num_interior < none.num_interior);
+    }
+
+    #[test]
+    fn clip_drops_small_entries() {
+        let g = barabasi_albert(300, 3, 5);
+        let hubs = crate::hubs::select_hubs(
+            &g,
+            crate::hubs::HubPolicy::ExpectedUtility,
+            20,
+            0,
+        );
+        let mut pc = PrimeComputer::new(300);
+        let (unclipped, _) =
+            pc.prime_ppv(&g, &hubs, 0, &Config::default(), 0.0);
+        let (clipped, _) =
+            pc.prime_ppv(&g, &hubs, 0, &Config::default(), 1e-3);
+        assert!(clipped.entries.len() < unclipped.entries.len());
+        assert!(clipped.entries.entries().iter().all(|&(_, s)| s >= 1e-3));
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        // Two different extractions from the same computer must not leak
+        // state into each other.
+        let g = toy::graph();
+        let hubs = toy_hubs();
+        let config = Config::default();
+        let mut pc = PrimeComputer::new(8);
+        let first = pc.extract(&g, &hubs, toy::A, &config);
+        let _second = pc.extract(&g, &hubs, toy::G, &config);
+        let third = pc.extract(&g, &hubs, toy::A, &config);
+        assert_eq!(first.nodes, third.nodes);
+        assert_eq!(first.adj_targets, third.adj_targets);
+        assert_eq!(first.num_interior, third.num_interior);
+    }
+
+    #[test]
+    fn dangling_interior_node_is_handled() {
+        let g = toy::graph_raw(); // c, e dangling
+        let hubs = toy_hubs();
+        let mut pc = PrimeComputer::new(8);
+        let (ppv, _) =
+            pc.prime_ppv(&g, &hubs, toy::A, &Config::exhaustive(), 0.0);
+        // c is interior (non-hub, reachable) with out-degree 0.
+        assert!(ppv.entries.get(toy::C) > 0.0);
+    }
+}

@@ -1,0 +1,793 @@
+//! Online query processing (paper §5.2, Algorithm 2).
+//!
+//! Iteration 0 produces the prime PPV of the query (loaded from the index
+//! when the query is a hub, computed on the fly otherwise). Iteration `i`
+//! assembles the tour partition `T^i` from the previous increment and the
+//! stored prime PPVs of its border hubs (Theorem 4):
+//!
+//! ```text
+//! r̂ⁱ_q = (1/α) · Σ_{h hub, r̂ⁱ⁻¹_q(h) > δ}  r̂ⁱ⁻¹_q(h) · r̊⁰_h
+//! ```
+//!
+//! After every iteration the L1 error of the running estimate is exactly
+//! `φ(k) = 1 − ‖r̂_q^(k)‖₁` (Eq. 6) — no exact PPV needed — which powers the
+//! accuracy-aware [`StoppingCondition`].
+
+use std::time::{Duration, Instant};
+
+use fastppv_graph::{Graph, NodeId, ScoreScratch, SparseVector};
+
+use crate::config::Config;
+use crate::hubs::HubSet;
+use crate::index::PpvStore;
+use crate::prime::PrimeComputer;
+
+/// When to stop the incremental iterations. Conditions combine with OR: the
+/// session stops as soon as *any* of them is met (or when no border hub
+/// clears `δ`, at which point the estimate cannot improve further).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoppingCondition {
+    /// Stop after this many increments beyond iteration 0 (the paper's `η`).
+    pub max_iterations: Option<usize>,
+    /// Stop once the accuracy-aware L1 error `φ` falls below this.
+    pub l1_target: Option<f64>,
+    /// Stop once this much wall-clock time has elapsed.
+    pub time_limit: Option<Duration>,
+}
+
+impl StoppingCondition {
+    /// Run exactly `eta` increments (paper's "number of iterations η").
+    pub fn iterations(eta: usize) -> Self {
+        StoppingCondition { max_iterations: Some(eta), ..Default::default() }
+    }
+
+    /// Run until `φ ≤ target`.
+    pub fn l1_error(target: f64) -> Self {
+        StoppingCondition { l1_target: Some(target), ..Default::default() }
+    }
+
+    /// Run until the time limit expires.
+    pub fn time_limit(limit: Duration) -> Self {
+        StoppingCondition { time_limit: Some(limit), ..Default::default() }
+    }
+
+    /// Adds an iteration cap to an existing condition.
+    pub fn or_iterations(mut self, eta: usize) -> Self {
+        self.max_iterations = Some(eta);
+        self
+    }
+
+    /// Adds an L1 target to an existing condition.
+    pub fn or_l1_error(mut self, target: f64) -> Self {
+        self.l1_target = Some(target);
+        self
+    }
+
+    /// Adds a time limit to an existing condition.
+    pub fn or_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    fn met(&self, iterations_done: usize, l1_error: f64, elapsed: Duration) -> bool {
+        if self.max_iterations.is_some_and(|k| iterations_done >= k) {
+            return true;
+        }
+        if self.l1_target.is_some_and(|t| l1_error <= t) {
+            return true;
+        }
+        if self.time_limit.is_some_and(|l| elapsed >= l) {
+            return true;
+        }
+        // No condition at all means "run iteration 0 only".
+        self.max_iterations.is_none()
+            && self.l1_target.is_none()
+            && self.time_limit.is_none()
+    }
+}
+
+/// Per-iteration diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationStats {
+    /// Iteration index (0 = the query's own prime PPV).
+    pub iteration: usize,
+    /// Mass added by this iteration's increment.
+    pub increment_mass: f64,
+    /// Border hubs expanded to build the increment (0 for iteration 0).
+    pub hubs_expanded: usize,
+    /// Accuracy-aware L1 error `φ` after this iteration.
+    pub l1_error_after: f64,
+    /// Cumulative wall-clock time when this iteration finished.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The query node.
+    pub query: NodeId,
+    /// The PPV estimate (entry-wise lower bound on the exact PPV).
+    pub scores: SparseVector,
+    /// Increments computed beyond iteration 0.
+    pub iterations: usize,
+    /// Accuracy-aware L1 error `φ` of the estimate (Eq. 6).
+    pub l1_error: f64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Whether the expansion frontier emptied (estimate is as exact as the
+    /// configuration's `ε`/`δ`/clip truncations allow).
+    pub exhausted: bool,
+    /// Per-iteration diagnostics.
+    pub iteration_stats: Vec<IterationStats>,
+}
+
+impl QueryResult {
+    /// Top-`k` nodes by estimated score.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        self.scores.top_k(k)
+    }
+}
+
+/// Result of a certified top-`k` query ([`QueryEngine::query_top_k`]).
+#[derive(Clone, Debug)]
+pub struct TopKResult {
+    /// The top-`k` nodes by estimated score, descending.
+    pub nodes: Vec<(NodeId, f64)>,
+    /// Whether the set is provably the exact top-`k`.
+    pub certified: bool,
+    /// Increments run.
+    pub iterations: usize,
+    /// Accuracy-aware L1 error when the query stopped.
+    pub l1_error: f64,
+}
+
+/// The FastPPV online engine. Holds graph-sized scratch space, so it is
+/// cheap to query repeatedly; create one per thread.
+pub struct QueryEngine<'a, S: PpvStore> {
+    graph: &'a Graph,
+    hubs: &'a HubSet,
+    store: &'a S,
+    config: Config,
+    prime: PrimeComputer,
+    scratch: ScoreScratch,
+}
+
+impl<'a, S: PpvStore> QueryEngine<'a, S> {
+    /// Creates an engine over a graph, hub set, and PPV store.
+    pub fn new(
+        graph: &'a Graph,
+        hubs: &'a HubSet,
+        store: &'a S,
+        config: Config,
+    ) -> Self {
+        config.validate();
+        let n = graph.num_nodes();
+        QueryEngine {
+            graph,
+            hubs,
+            store,
+            config,
+            prime: PrimeComputer::new(n),
+            scratch: ScoreScratch::new(n),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Answers a query, iterating until `stop` is met.
+    pub fn query(&mut self, q: NodeId, stop: &StoppingCondition) -> QueryResult {
+        let mut session = self.session(q);
+        while !stop.met(
+            session.iterations_done(),
+            session.l1_error(),
+            session.elapsed(),
+        ) {
+            if !session.step() {
+                break;
+            }
+        }
+        session.into_result()
+    }
+
+    /// Answers a top-`k` query, iterating until the set is *certified*
+    /// exact (see [`IncrementalState::certified_top_k`]) or `max_iterations`
+    /// increments have run. Returns the best-effort set and whether it is
+    /// certified.
+    pub fn query_top_k(
+        &mut self,
+        q: NodeId,
+        k: usize,
+        max_iterations: usize,
+    ) -> TopKResult {
+        let mut session = self.session(q);
+        loop {
+            if let Some(nodes) = session.certified_top_k(k) {
+                return TopKResult {
+                    nodes,
+                    certified: true,
+                    iterations: session.iterations_done(),
+                    l1_error: session.l1_error(),
+                };
+            }
+            if session.iterations_done() >= max_iterations || !session.step()
+            {
+                return TopKResult {
+                    nodes: session.estimate().top_k(k),
+                    certified: false,
+                    iterations: session.iterations_done(),
+                    l1_error: session.l1_error(),
+                };
+            }
+        }
+    }
+
+    /// Starts an incremental session: iteration 0 is computed immediately;
+    /// call [`QuerySession::step`] to add increments one at a time.
+    pub fn session(&mut self, q: NodeId) -> QuerySession<'_, 'a, S> {
+        assert!(
+            (q as usize) < self.graph.num_nodes(),
+            "query node {q} out of range"
+        );
+        // Iteration 0: r̊⁰_q from the index if q is a hub, else on the fly.
+        // Query-time prime PPVs are not clipped (they are never stored).
+        let prime0 = match self.store.get(q) {
+            Some(stored) => (*stored).clone(),
+            None => {
+                self.prime
+                    .prime_ppv(self.graph, self.hubs, q, &self.config, 0.0)
+                    .0
+            }
+        };
+        let state = IncrementalState::new(q, prime0, self.config.alpha);
+        QuerySession { engine: self, state }
+    }
+}
+
+/// The engine-independent core of Algorithm 2: the running estimate plus the
+/// previous increment, advanced one iteration at a time. Shared by the
+/// in-memory [`QuerySession`] and the disk-based engine in `fastppv-cluster`
+/// (via [`run_increments`]).
+#[derive(Clone, Debug)]
+pub struct IncrementalState {
+    query: NodeId,
+    estimate: SparseVector,
+    prev_increment: SparseVector,
+    covered: f64,
+    iterations_done: usize,
+    exhausted: bool,
+    stats: Vec<IterationStats>,
+    started: Instant,
+}
+
+impl IncrementalState {
+    /// Initializes iteration 0 from the query's prime PPV `r̊⁰_q` (with the
+    /// trivial tour excluded, as stored; it is added back here).
+    pub fn new(q: NodeId, prime0: crate::index::PrimePpv, alpha: f64) -> Self {
+        let started = Instant::now();
+        let mut estimate = prime0.entries.clone();
+        estimate.axpy(1.0, &SparseVector::from_sorted(vec![(q, alpha)]));
+        let covered = estimate.l1_norm();
+        let stats = vec![IterationStats {
+            iteration: 0,
+            increment_mass: covered,
+            hubs_expanded: 0,
+            l1_error_after: (1.0 - covered).max(0.0),
+            elapsed: started.elapsed(),
+        }];
+        IncrementalState {
+            query: q,
+            estimate,
+            prev_increment: prime0.entries,
+            covered,
+            iterations_done: 0,
+            exhausted: false,
+            stats,
+            started,
+        }
+    }
+
+    /// Computes the next increment (Theorem 4). Returns `false` when the
+    /// frontier is exhausted (no border hub clears `δ`).
+    pub fn step<S: PpvStore>(
+        &mut self,
+        hubs: &HubSet,
+        store: &S,
+        config: &Config,
+        scratch: &mut ScoreScratch,
+    ) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let inv_alpha = 1.0 / config.alpha;
+        let mut hubs_expanded = 0usize;
+        for &(h, mass) in self.prev_increment.entries() {
+            if mass <= config.delta || !hubs.is_hub(h) {
+                continue;
+            }
+            let Some(ppv) = store.get(h) else {
+                // Every hub is indexed by construction; a missing entry
+                // would silently bias results, so fail loudly.
+                panic!("hub {h} has no prime PPV in the store");
+            };
+            hubs_expanded += 1;
+            let coeff = mass * inv_alpha;
+            for &(p, s) in ppv.entries.entries() {
+                scratch.add(p, coeff * s);
+            }
+        }
+        if hubs_expanded == 0 {
+            scratch.clear();
+            self.exhausted = true;
+            return false;
+        }
+        let increment = scratch.drain_sparse();
+        let mass = increment.l1_norm();
+        self.covered += mass;
+        self.estimate.axpy(1.0, &increment);
+        self.prev_increment = increment;
+        self.iterations_done += 1;
+        self.stats.push(IterationStats {
+            iteration: self.iterations_done,
+            increment_mass: mass,
+            hubs_expanded,
+            l1_error_after: self.l1_error(),
+            elapsed: self.started.elapsed(),
+        });
+        true
+    }
+
+    /// The accuracy-aware L1 error `φ = 1 − ‖r̂‖₁` (Eq. 6).
+    pub fn l1_error(&self) -> f64 {
+        (1.0 - self.covered).max(0.0)
+    }
+
+    /// Increments computed beyond iteration 0.
+    pub fn iterations_done(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// Whether the expansion frontier has emptied.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Wall-clock time since iteration 0 started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> &SparseVector {
+        &self.estimate
+    }
+
+    /// The certified top-`k` set, if the current accuracy proves it.
+    ///
+    /// Every estimate entry is a lower bound on the true score and the
+    /// total missing mass is `φ`, so the true score of any node lies in
+    /// `[r̂(p), r̂(p) + φ]`. When the k-th estimate exceeds the (k+1)-th by
+    /// at least `φ`, no outside node can overtake the set — the *set* (not
+    /// its internal order) is provably the exact top-k. This turns the
+    /// accuracy-aware error into rank certification, in the spirit of the
+    /// top-K lines of work the paper cites ([Gupta et al. 2008; Fujiwara et
+    /// al. 2012]).
+    pub fn certified_top_k(&self, k: usize) -> Option<Vec<(NodeId, f64)>> {
+        assert!(k > 0, "k must be positive");
+        let phi = self.l1_error();
+        let top = self.estimate.top_k(k + 1);
+        if top.len() <= k {
+            // Fewer than k+1 scored nodes: outside nodes have estimate 0,
+            // so certification needs the k-th score to beat 0 + φ.
+            let kth = top.last().map(|&(_, s)| s).unwrap_or(0.0);
+            return (top.len() == k && kth >= phi).then(|| top);
+        }
+        let kth = top[k - 1].1;
+        let next = top[k].1;
+        (kth - next >= phi).then(|| {
+            let mut set = top;
+            set.truncate(k);
+            set
+        })
+    }
+
+    /// Finalizes into a [`QueryResult`].
+    pub fn into_result(self) -> QueryResult {
+        QueryResult {
+            query: self.query,
+            l1_error: (1.0 - self.covered).max(0.0),
+            scores: self.estimate,
+            iterations: self.iterations_done,
+            elapsed: self.started.elapsed(),
+            exhausted: self.exhausted,
+            iteration_stats: self.stats,
+        }
+    }
+}
+
+/// Runs Algorithm 2's increment loop to completion given a precomputed
+/// iteration 0. This is the entry point for engines that obtained `r̊⁰_q`
+/// by other means (e.g. the disk-based engine in `fastppv-cluster`).
+pub fn run_increments<S: PpvStore>(
+    q: NodeId,
+    prime0: crate::index::PrimePpv,
+    hubs: &HubSet,
+    store: &S,
+    config: &Config,
+    stop: &StoppingCondition,
+    scratch: &mut ScoreScratch,
+) -> QueryResult {
+    let mut state = IncrementalState::new(q, prime0, config.alpha);
+    while !stop.met(state.iterations_done(), state.l1_error(), state.elapsed())
+    {
+        if !state.step(hubs, store, config, scratch) {
+            break;
+        }
+    }
+    state.into_result()
+}
+
+/// An in-flight incremental query (paper's "incremental query processing").
+pub struct QuerySession<'e, 'a, S: PpvStore> {
+    engine: &'e mut QueryEngine<'a, S>,
+    state: IncrementalState,
+}
+
+impl<S: PpvStore> QuerySession<'_, '_, S> {
+    /// Computes the next increment (Theorem 4). Returns `false` when the
+    /// frontier is exhausted (no border hub clears `δ`), in which case the
+    /// session state is unchanged.
+    pub fn step(&mut self) -> bool {
+        let engine = &mut *self.engine;
+        self.state.step(
+            engine.hubs,
+            engine.store,
+            &engine.config,
+            &mut engine.scratch,
+        )
+    }
+
+    /// The accuracy-aware L1 error `φ = 1 − ‖r̂‖₁` (Eq. 6).
+    pub fn l1_error(&self) -> f64 {
+        self.state.l1_error()
+    }
+
+    /// Increments computed beyond iteration 0.
+    pub fn iterations_done(&self) -> usize {
+        self.state.iterations_done()
+    }
+
+    /// Whether the expansion frontier has emptied.
+    pub fn is_exhausted(&self) -> bool {
+        self.state.is_exhausted()
+    }
+
+    /// Wall-clock time since the session started.
+    pub fn elapsed(&self) -> Duration {
+        self.state.elapsed()
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> &SparseVector {
+        self.state.estimate()
+    }
+
+    /// The certified top-`k` set, if the current accuracy proves it (see
+    /// [`IncrementalState::certified_top_k`]).
+    pub fn certified_top_k(&self, k: usize) -> Option<Vec<(NodeId, f64)>> {
+        self.state.certified_top_k(k)
+    }
+
+    /// The query node.
+    pub fn query(&self) -> NodeId {
+        self.state.query
+    }
+
+    /// Per-iteration diagnostics so far.
+    pub fn iteration_stats(&self) -> &[IterationStats] {
+        &self.state.stats
+    }
+
+    /// Finalizes the session.
+    pub fn into_result(self) -> QueryResult {
+        self.state.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubs::{select_hubs, HubPolicy, HubSet};
+    use crate::offline::build_index;
+    use fastppv_baselines::exact::{exact_ppv, ExactOptions};
+    use fastppv_baselines::naive::partition_by_hub_length;
+    use fastppv_graph::gen::barabasi_albert;
+    use fastppv_graph::toy;
+
+    fn toy_setup(
+        config: Config,
+    ) -> (fastppv_graph::Graph, HubSet, crate::index::MemoryIndex) {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let (index, _) = build_index(&g, &hubs, &config);
+        (g, hubs, index)
+    }
+
+    #[test]
+    fn increments_match_naive_hub_length_partitions() {
+        // The definitive correctness test: per-iteration increments must
+        // equal the naive per-tour hub-length partition masses.
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let mut session = engine.session(toy::A);
+        let parts =
+            partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
+        // Iteration 0 vs T0 (the estimate includes the trivial tour; the
+        // naive partition counts it too, at the query node).
+        let t0: f64 = parts[0].iter().sum();
+        assert!(
+            (session.iteration_stats()[0].increment_mass - t0).abs() < 1e-7,
+            "T0: got {} want {t0}",
+            session.iteration_stats()[0].increment_mass
+        );
+        let mut level = 1;
+        while session.step() {
+            let expected: f64 = parts
+                .get(level)
+                .map(|p| p.iter().sum())
+                .unwrap_or(0.0);
+            let got = session.iteration_stats()[level].increment_mass;
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "T{level}: got {got} want {expected}"
+            );
+            level += 1;
+            if level > 6 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let result = engine.query(toy::A, &StoppingCondition::l1_error(1e-9));
+        let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+        for v in g.nodes() {
+            assert!(
+                (result.scores.get(v) - exact[v as usize]).abs() < 1e-6,
+                "node {v}"
+            );
+        }
+        assert!(result.l1_error < 1e-8);
+    }
+
+    #[test]
+    fn monotone_and_accuracy_aware() {
+        // Theorem 1 (monotone growth) and Eq. 6 (reported φ equals the true
+        // L1 gap when nothing is truncated).
+        let g = barabasi_albert(400, 3, 7);
+        let config = Config::exhaustive();
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let exact = exact_ppv(&g, 11, ExactOptions::default());
+        let mut session = engine.session(11);
+        let mut prev = session.estimate().clone();
+        for _ in 0..4 {
+            let reported = session.l1_error();
+            let true_gap = session.estimate().l1_distance_dense(&exact);
+            assert!(
+                (reported - true_gap).abs() < 1e-6,
+                "reported {reported} true {true_gap}"
+            );
+            if !session.step() {
+                break;
+            }
+            // Entry-wise monotone growth.
+            for &(v, s) in prev.entries() {
+                assert!(session.estimate().get(v) >= s - 1e-12);
+            }
+            prev = session.estimate().clone();
+        }
+    }
+
+    #[test]
+    fn error_bound_theorem_2_holds() {
+        let g = barabasi_albert(300, 3, 3);
+        let config = Config::exhaustive();
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        for q in [0u32, 50, 150, 299] {
+            let mut session = engine.session(q);
+            for k in 0..5usize {
+                let bound = crate::error::l1_error_bound(0.15, k);
+                assert!(
+                    session.l1_error() <= bound + 1e-9,
+                    "q {q} k {k}: φ {} > bound {bound}",
+                    session.l1_error()
+                );
+                if !session.step() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_query_loads_from_index() {
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let result =
+            engine.query(toy::D, &StoppingCondition::l1_error(1e-9));
+        let exact = exact_ppv(&g, toy::D, ExactOptions::default());
+        for v in g.nodes() {
+            assert!((result.scores.get(v) - exact[v as usize]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stopping_condition_iterations() {
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let r0 = engine.query(toy::A, &StoppingCondition::iterations(0));
+        assert_eq!(r0.iterations, 0);
+        let r2 = engine.query(toy::A, &StoppingCondition::iterations(2));
+        assert!(r2.iterations <= 2);
+        assert!(r2.l1_error <= r0.l1_error);
+        assert_eq!(r2.iteration_stats.len(), r2.iterations + 1);
+    }
+
+    #[test]
+    fn stopping_condition_l1() {
+        let g = barabasi_albert(300, 3, 9);
+        let config = Config::default().with_clip(0.0);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let r = engine.query(42, &StoppingCondition::l1_error(0.05));
+        assert!(r.l1_error <= 0.05 || r.exhausted);
+    }
+
+    #[test]
+    fn stopping_condition_time_limit_zero_stops_immediately() {
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let r = engine.query(
+            toy::A,
+            &StoppingCondition::time_limit(Duration::ZERO),
+        );
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn delta_filter_reduces_hub_expansions() {
+        let g = barabasi_albert(400, 3, 13);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 40, 0);
+        let strict = Config::default().with_delta(0.05).with_clip(0.0);
+        let loose = Config::default().with_delta(0.0).with_clip(0.0);
+        let (is, _) = build_index(&g, &hubs, &strict);
+        let (il, _) = build_index(&g, &hubs, &loose);
+        let mut es = QueryEngine::new(&g, &hubs, &is, strict);
+        let mut el = QueryEngine::new(&g, &hubs, &il, loose);
+        let rs = es.query(5, &StoppingCondition::iterations(2));
+        let rl = el.query(5, &StoppingCondition::iterations(2));
+        let hs: usize =
+            rs.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
+        let hl: usize =
+            rl.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
+        assert!(hs <= hl);
+        assert!(rs.l1_error >= rl.l1_error - 1e-12);
+    }
+
+    #[test]
+    fn exhaustion_reported_on_hubless_setup() {
+        // No hubs: iteration 0 covers everything reachable above ε; the
+        // first step must report exhaustion.
+        let g = toy::graph();
+        let hubs = HubSet::empty(8);
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let mut session = engine.session(toy::A);
+        assert!(!session.step());
+        assert!(session.is_exhausted());
+        let r = session.into_result();
+        assert!(r.l1_error < 1e-9, "hubless T0 covers the whole toy PPV");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_query() {
+        let config = Config::default();
+        let (g, hubs, index) = toy_setup(config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        engine.query(1000, &StoppingCondition::iterations(1));
+    }
+
+    #[test]
+    fn certified_top_k_matches_exact_ranking() {
+        let g = barabasi_albert(300, 3, 17);
+        let config = Config::exhaustive();
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        for q in [5u32, 120, 250] {
+            let res = engine.query_top_k(q, 5, 40);
+            assert!(res.certified, "q {q}: not certified at φ {}", res.l1_error);
+            let exact = exact_ppv(&g, q, ExactOptions::default());
+            let mut exact_top: Vec<u32> = (0..300u32).collect();
+            exact_top.sort_by(|&a, &b| {
+                exact[b as usize]
+                    .partial_cmp(&exact[a as usize])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            let mut got: Vec<u32> =
+                res.nodes.iter().map(|&(v, _)| v).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = exact_top[..5].to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "q {q}");
+        }
+    }
+
+    #[test]
+    fn certification_is_conservative() {
+        // Whenever a set is certified, it must actually be the exact top-k;
+        // at very low accuracy certification simply does not trigger.
+        let g = barabasi_albert(200, 3, 19);
+        let config = Config::exhaustive();
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 20, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let exact = exact_ppv(&g, 42, ExactOptions::default());
+        let mut session = engine.session(42);
+        loop {
+            if let Some(set) = session.certified_top_k(3) {
+                for &(v, s) in &set {
+                    // Lower bound within φ of the truth.
+                    assert!(s <= exact[v as usize] + 1e-12);
+                    assert!(exact[v as usize] - s <= session.l1_error() + 1e-12);
+                }
+                let min_in: f64 = set
+                    .iter()
+                    .map(|&(v, _)| exact[v as usize])
+                    .fold(f64::INFINITY, f64::min);
+                let max_out: f64 = (0..200u32)
+                    .filter(|v| !set.iter().any(|&(u, _)| u == *v))
+                    .map(|v| exact[v as usize])
+                    .fold(0.0, f64::max);
+                assert!(min_in >= max_out - 1e-12);
+                break;
+            }
+            assert!(session.step(), "exhausted before certification");
+        }
+    }
+
+    #[test]
+    fn uncertified_result_reported_when_budget_too_small() {
+        let g = barabasi_albert(300, 3, 23);
+        // Heavy truncation: φ stays large, certification can fail.
+        let config = Config::default().with_delta(0.05);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 10, 0);
+        let (index, _) = build_index(&g, &hubs, &config);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let res = engine.query_top_k(7, 10, 0);
+        assert_eq!(res.nodes.len(), 10);
+        // With zero extra iterations and φ ~ 0.5, a 10-way certification is
+        // implausible; whichever way it lands, the flag must be honest.
+        if res.certified {
+            assert!(res.l1_error < 1.0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Incremental construction of CSR graphs.
+
+use crate::csr::{Graph, NodeId};
+
+/// What to do with dangling (out-degree 0) nodes at build time.
+///
+/// The inverse P-distance identity `Σ_p r_q(p) = 1` (paper Eq. 6), on which
+/// FastPPV's accuracy-awareness rests, requires every node to have at least
+/// one out-edge. [`DanglingPolicy::SelfLoop`] is the standard graph-cleaning
+/// step that restores it; [`DanglingPolicy::Keep`] leaves the graph untouched
+/// (the reported L1 error then upper-bounds the true error).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DanglingPolicy {
+    /// Add a self-loop to every node with out-degree 0 (default).
+    #[default]
+    SelfLoop,
+    /// Leave dangling nodes as-is; random-walk mass reaching them is lost.
+    Keep,
+}
+
+/// Builder accumulating edges before the CSR arrays are laid out.
+///
+/// ```
+/// use fastppv_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_undirected_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.out_neighbors(1), &[2]);
+/// assert_eq!(g.out_neighbors(2), &[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    dedup: bool,
+    dangling: DanglingPolicy,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+            dedup: false,
+            dangling: DanglingPolicy::SelfLoop,
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// Deduplicate parallel edges at build time (default: keep multiplicity).
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Sets the [`DanglingPolicy`] (default: [`DanglingPolicy::SelfLoop`]).
+    pub fn dangling(mut self, policy: DanglingPolicy) -> Self {
+        self.dangling = policy;
+        self
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Adds both `u -> v` and `v -> u` (an undirected edge).
+    #[inline]
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        if u != v {
+            self.add_edge(v, u);
+        }
+    }
+
+    /// Lays out the CSR arrays and returns the immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.num_nodes;
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        if self.dangling == DanglingPolicy::SelfLoop {
+            let mut has_out = vec![false; n];
+            for &(u, _) in &self.edges {
+                has_out[u as usize] = true;
+            }
+            for v in 0..n {
+                if !has_out[v] {
+                    self.edges.push((v as NodeId, v as NodeId));
+                }
+            }
+        }
+        let (out_offsets, out_targets) = csr_arrays(n, self.edges.iter().copied());
+        let (in_offsets, in_targets) =
+            csr_arrays(n, self.edges.iter().map(|&(u, v)| (v, u)));
+        Graph::from_csr(out_offsets, out_targets, in_offsets, in_targets)
+    }
+}
+
+/// Counting sort of edges into offset/target arrays; targets sorted per row.
+fn csr_arrays(
+    n: usize,
+    edges: impl Iterator<Item = (NodeId, NodeId)> + Clone,
+) -> (Vec<usize>, Vec<NodeId>) {
+    let mut offsets = vec![0usize; n + 1];
+    for (u, _) in edges.clone() {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let m = offsets[n];
+    let mut targets = vec![0 as NodeId; m];
+    let mut cursor = offsets.clone();
+    for (u, v) in edges {
+        targets[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+    }
+    for i in 0..n {
+        targets[offsets[i]..offsets[i + 1]].sort_unstable();
+    }
+    (offsets, targets)
+}
+
+/// Builds a graph from an explicit edge list (directed).
+pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Builds a graph from an explicit edge list, storing each edge in both
+/// directions (undirected).
+pub fn from_undirected_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        b.add_undirected_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loop_policy_fixes_dangling() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        // 1 and 2 were dangling; they now carry self-loops.
+        assert_eq!(g.out_neighbors(1), &[1]);
+        assert_eq!(g.out_neighbors(2), &[2]);
+        assert_eq!(g.num_dangling(), 0);
+    }
+
+    #[test]
+    fn keep_policy_preserves_dangling() {
+        let mut b = GraphBuilder::new(3).dangling(DanglingPolicy::Keep);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_dangling(), 2);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = GraphBuilder::new(2).dedup(true);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn undirected_edge_adds_both_directions_once_for_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 0);
+        b.add_undirected_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for v in [4, 1, 3, 2] {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn from_edges_helpers() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        let u = from_undirected_edges(3, &[(0, 1)]);
+        assert_eq!(u.out_neighbors(1), &[0]);
+        assert_eq!(u.out_neighbors(0), &[1]);
+    }
+}

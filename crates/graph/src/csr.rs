@@ -1,0 +1,207 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The graph is immutable once built (see [`crate::builder::GraphBuilder`]).
+//! Both the forward (out-edge) and reverse (in-edge) adjacency are stored so
+//! that push-style algorithms (out-edges) and pull-style power iteration
+//! (in-edges) are both cache-friendly.
+
+/// Node identifier. Graphs with more than `u32::MAX` nodes are out of scope.
+pub type NodeId = u32;
+
+/// An immutable directed graph in CSR form.
+///
+/// Parallel edges are permitted (the builder can deduplicate them); an
+/// undirected graph is represented by storing each edge in both directions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Graph {
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from prepared CSR arrays. Intended for the
+    /// builder; prefer [`crate::builder::GraphBuilder`] in user code.
+    ///
+    /// # Panics
+    /// Panics if the offset arrays are malformed or any target is out of
+    /// range.
+    pub(crate) fn from_csr(
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_targets: Vec<NodeId>,
+    ) -> Self {
+        assert!(!out_offsets.is_empty() && !in_offsets.is_empty());
+        assert_eq!(out_offsets.len(), in_offsets.len());
+        assert_eq!(*out_offsets.last().unwrap(), out_targets.len());
+        assert_eq!(*in_offsets.last().unwrap(), in_targets.len());
+        let n = out_offsets.len() - 1;
+        debug_assert!(out_targets.iter().all(|&t| (t as usize) < n));
+        debug_assert!(in_targets.iter().all(|&t| (t as usize) < n));
+        Graph { out_offsets, out_targets, in_offsets, in_targets }
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            out_offsets: vec![0; n + 1],
+            out_targets: Vec::new(),
+            in_offsets: vec![0; n + 1],
+            in_targets: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges (an undirected edge counts twice).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `v`, in sorted order.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v`, in sorted order.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_targets[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Whether `v` has no out-edges. Dangling nodes break the probability-
+    /// conservation assumption of the accuracy-aware error (paper Eq. 6);
+    /// see [`crate::builder::DanglingPolicy`].
+    #[inline]
+    pub fn is_dangling(&self, v: NodeId) -> bool {
+        self.out_degree(v) == 0
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over all directed edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.out_neighbors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Number of dangling (out-degree 0) nodes.
+    pub fn num_dangling(&self) -> usize {
+        self.nodes().filter(|&v| self.is_dangling(v)).count()
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Rough in-memory footprint in bytes (CSR arrays only).
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>() * 2
+            + self.out_targets.len() * std::mem::size_of::<NodeId>() * 2
+    }
+
+    /// The transition probability of a single random-walk step `u -> v`,
+    /// i.e. `1/|Out(u)|` if the edge exists (with multiplicity for parallel
+    /// edges), else 0.
+    pub fn step_probability(&self, u: NodeId, v: NodeId) -> f64 {
+        let d = self.out_degree(u);
+        if d == 0 {
+            return 0.0;
+        }
+        let mult = self.out_neighbors(u).iter().filter(|&&t| t == v).count();
+        mult as f64 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.num_dangling(), 3);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.num_dangling(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_round_trip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn has_edge_and_step_probability() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.step_probability(0, 1), 0.5);
+        assert_eq!(g.step_probability(3, 0), 1.0);
+        assert_eq!(g.step_probability(1, 0), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_affect_step_probability() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 0);
+        let g = b.build();
+        assert_eq!(g.out_degree(0), 3);
+        assert!((g.step_probability(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

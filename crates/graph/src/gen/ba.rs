@@ -1,0 +1,83 @@
+//! Barabási–Albert preferential attachment (undirected).
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Generates an undirected Barabási–Albert graph with `n` nodes, each new
+/// node attaching to `m` existing nodes chosen preferentially by degree.
+///
+/// The result has a power-law degree tail — the regime in which hub-based
+/// scheduling pays off.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count must be >= 1");
+    let mut rng = super::rng(seed);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(2 * n * m);
+    // `stubs` holds one entry per edge endpoint: sampling uniformly from it
+    // is sampling nodes proportionally to degree.
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let seed_nodes = (m + 1).min(n);
+    // Seed clique over the first m+1 nodes.
+    for u in 0..seed_nodes {
+        for v in (u + 1)..seed_nodes {
+            b.add_undirected_edge(u as NodeId, v as NodeId);
+            stubs.push(u as NodeId);
+            stubs.push(v as NodeId);
+        }
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for u in seed_nodes..n {
+        targets.clear();
+        while targets.len() < m {
+            let t = stubs[rng.gen_range(0..stubs.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_undirected_edge(u as NodeId, t);
+            stubs.push(u as NodeId);
+            stubs.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(100, 3, 42);
+        assert_eq!(g.num_nodes(), 100);
+        // seed clique (4 choose 2) = 6 edges + 96 * 3 attachments, doubled.
+        assert_eq!(g.num_edges(), 2 * (6 + 96 * 3));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(50, 2, 7), barabasi_albert(50, 2, 7));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        assert_ne!(barabasi_albert(50, 2, 7), barabasi_albert(50, 2, 8));
+    }
+
+    #[test]
+    fn degree_skew_exists() {
+        let g = barabasi_albert(2000, 2, 1);
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(max_deg as f64 > 5.0 * avg, "max {max_deg} avg {avg}");
+    }
+
+    #[test]
+    fn tiny_n_is_clique() {
+        let g = barabasi_albert(3, 5, 0);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+}

@@ -1,0 +1,310 @@
+//! DBLP-like synthetic bibliographic network.
+//!
+//! An undirected tripartite author–paper–venue network mirroring the
+//! structural features the paper's DBLP dataset contributes to the
+//! evaluation:
+//!
+//! * **node kinds**: papers link to 1–`max_authors` authors and exactly one
+//!   venue (author–paper and paper–venue edges, as in the paper's §6);
+//! * **skew**: author productivity and venue size follow preferential
+//!   attachment, so degrees are power-law — venues and prolific authors are
+//!   natural hubs;
+//! * **time**: every paper carries a year, enabling the Fig. 13(a) snapshot
+//!   series (`snapshot`).
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// What a node in a [`BibNetwork`] represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An author node.
+    Author,
+    /// A paper node (carries a year).
+    Paper,
+    /// A publication venue node.
+    Venue,
+}
+
+/// Parameters for [`BibNetwork::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct DblpParams {
+    /// Number of paper nodes.
+    pub papers: usize,
+    /// Number of venue nodes.
+    pub venues: usize,
+    /// Probability that an author slot is filled by a brand-new author.
+    pub new_author_prob: f64,
+    /// Maximum authors per paper (1..=max, Zipf-distributed).
+    pub max_authors: usize,
+    /// First publication year.
+    pub first_year: u16,
+    /// Last publication year (inclusive).
+    pub last_year: u16,
+}
+
+impl Default for DblpParams {
+    fn default() -> Self {
+        DblpParams {
+            papers: 20_000,
+            venues: 150,
+            new_author_prob: 0.35,
+            max_authors: 5,
+            first_year: 1994,
+            last_year: 2010,
+        }
+    }
+}
+
+/// A generated bibliographic network.
+#[derive(Clone, Debug)]
+pub struct BibNetwork {
+    /// The undirected tripartite graph.
+    pub graph: Graph,
+    /// Kind of each node.
+    pub kinds: Vec<NodeKind>,
+    /// Publication year of each node (0 for non-papers).
+    pub years: Vec<u16>,
+}
+
+impl BibNetwork {
+    /// Generates a network. Node ids are assigned in creation order:
+    /// venues first, then papers and authors interleaved.
+    pub fn generate(params: DblpParams, seed: u64) -> Self {
+        assert!(params.venues >= 1 && params.max_authors >= 1);
+        assert!(params.first_year <= params.last_year);
+        let mut rng = super::rng(seed);
+        let mut kinds: Vec<NodeKind> = Vec::new();
+        let mut years: Vec<u16> = Vec::new();
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+        let new_node = |kinds: &mut Vec<NodeKind>,
+                            years: &mut Vec<u16>,
+                            kind: NodeKind,
+                            year: u16|
+         -> NodeId {
+            kinds.push(kind);
+            years.push(year);
+            (kinds.len() - 1) as NodeId
+        };
+
+        let venue_ids: Vec<NodeId> = (0..params.venues)
+            .map(|_| new_node(&mut kinds, &mut years, NodeKind::Venue, 0))
+            .collect();
+        // Preferential pools: one entry per incident edge (plus one base
+        // entry so new entities can be drawn at all).
+        let mut venue_pool: Vec<NodeId> = venue_ids.clone();
+        let mut author_pool: Vec<NodeId> = Vec::new();
+
+        let year_span = (params.last_year - params.first_year) as usize;
+        let mut paper_authors: Vec<NodeId> = Vec::new();
+        for p in 0..params.papers {
+            let year = params.first_year
+                + if params.papers <= 1 {
+                    0
+                } else {
+                    (p * year_span / (params.papers - 1)) as u16
+                };
+            let paper =
+                new_node(&mut kinds, &mut years, NodeKind::Paper, year);
+            // Venue: preferential by current size.
+            let venue = venue_pool[rng.gen_range(0..venue_pool.len())];
+            edges.push((paper, venue));
+            venue_pool.push(venue);
+            // Authors: 1..=max, Zipf; prolific authors are drawn more often.
+            let k = super::zipf_small(&mut rng, params.max_authors, 1.2);
+            paper_authors.clear();
+            for _ in 0..k {
+                let author = if author_pool.is_empty()
+                    || rng.gen::<f64>() < params.new_author_prob
+                {
+                    let a = new_node(
+                        &mut kinds,
+                        &mut years,
+                        NodeKind::Author,
+                        0,
+                    );
+                    author_pool.push(a);
+                    a
+                } else {
+                    author_pool[rng.gen_range(0..author_pool.len())]
+                };
+                if !paper_authors.contains(&author) {
+                    paper_authors.push(author);
+                }
+            }
+            for &a in &paper_authors {
+                edges.push((paper, a));
+                author_pool.push(a);
+            }
+        }
+
+        let mut b = GraphBuilder::new(kinds.len())
+            .with_edge_capacity(edges.len() * 2);
+        for (u, v) in edges {
+            b.add_undirected_edge(u, v);
+        }
+        BibNetwork { graph: b.build(), kinds, years }
+    }
+
+    /// Number of nodes of a given kind.
+    pub fn count(&self, kind: NodeKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Nodes of a given kind.
+    pub fn nodes_of_kind(
+        &self,
+        kind: NodeKind,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &k)| k == kind)
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// The snapshot containing papers published up to and including `year`,
+    /// together with their incident authors and venues (isolated entities
+    /// are dropped). Returns the snapshot network and the mapping from
+    /// snapshot node ids back to ids in `self`.
+    pub fn snapshot(&self, year: u16) -> (BibNetwork, Vec<NodeId>) {
+        let n = self.graph.num_nodes();
+        let mut keep = vec![false; n];
+        for v in self.graph.nodes() {
+            if self.kinds[v as usize] == NodeKind::Paper
+                && self.years[v as usize] <= year
+            {
+                keep[v as usize] = true;
+                for &u in self.graph.out_neighbors(v) {
+                    keep[u as usize] = true;
+                }
+            }
+        }
+        let mut map_back: Vec<NodeId> = Vec::new();
+        let mut remap: Vec<NodeId> = vec![NodeId::MAX; n];
+        for v in 0..n {
+            if keep[v] {
+                remap[v] = map_back.len() as NodeId;
+                map_back.push(v as NodeId);
+            }
+        }
+        let mut b = GraphBuilder::new(map_back.len());
+        for &old in &map_back {
+            if self.kinds[old as usize] != NodeKind::Paper {
+                continue;
+            }
+            if self.years[old as usize] > year {
+                continue;
+            }
+            for &u in self.graph.out_neighbors(old) {
+                // Undirected edges stored both ways; emit from papers only
+                // (every edge is incident to exactly one paper).
+                b.add_undirected_edge(remap[old as usize], remap[u as usize]);
+            }
+        }
+        let kinds =
+            map_back.iter().map(|&o| self.kinds[o as usize]).collect();
+        let years =
+            map_back.iter().map(|&o| self.years[o as usize]).collect();
+        (BibNetwork { graph: b.build(), kinds, years }, map_back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BibNetwork {
+        BibNetwork::generate(
+            DblpParams { papers: 500, venues: 10, ..Default::default() },
+            11,
+        )
+    }
+
+    #[test]
+    fn tripartite_structure() {
+        let net = small();
+        assert_eq!(net.count(NodeKind::Paper), 500);
+        assert_eq!(net.count(NodeKind::Venue), 10);
+        assert!(net.count(NodeKind::Author) > 0);
+        // Papers only link to authors and venues; authors/venues only to
+        // papers.
+        for v in net.graph.nodes() {
+            for &u in net.graph.out_neighbors(v) {
+                if u == v {
+                    continue; // dangling-fix self-loop
+                }
+                match net.kinds[v as usize] {
+                    NodeKind::Paper => assert_ne!(
+                        net.kinds[u as usize],
+                        NodeKind::Paper
+                    ),
+                    _ => assert_eq!(net.kinds[u as usize], NodeKind::Paper),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_paper_has_a_venue_and_an_author() {
+        let net = small();
+        for p in net.nodes_of_kind(NodeKind::Paper) {
+            let nbrs = net.graph.out_neighbors(p);
+            assert!(nbrs
+                .iter()
+                .any(|&u| net.kinds[u as usize] == NodeKind::Venue));
+            assert!(nbrs
+                .iter()
+                .any(|&u| net.kinds[u as usize] == NodeKind::Author));
+        }
+    }
+
+    #[test]
+    fn years_are_monotone_in_paper_id() {
+        let net = small();
+        let years: Vec<u16> = net
+            .nodes_of_kind(NodeKind::Paper)
+            .map(|p| net.years[p as usize])
+            .collect();
+        assert!(years.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*years.first().unwrap(), 1994);
+        assert_eq!(*years.last().unwrap(), 2010);
+    }
+
+    #[test]
+    fn snapshot_grows_with_year() {
+        let net = small();
+        let (s1, _) = net.snapshot(1998);
+        let (s2, _) = net.snapshot(2006);
+        assert!(s1.graph.num_nodes() < s2.graph.num_nodes());
+        assert!(s1.graph.num_edges() < s2.graph.num_edges());
+        assert!(s2.graph.num_nodes() < net.graph.num_nodes() + 1);
+    }
+
+    #[test]
+    fn snapshot_mapping_preserves_kinds() {
+        let net = small();
+        let (snap, map_back) = net.snapshot(2000);
+        for v in 0..snap.graph.num_nodes() {
+            assert_eq!(
+                snap.kinds[v],
+                net.kinds[map_back[v] as usize],
+            );
+        }
+        // No papers beyond the snapshot year.
+        for p in snap.nodes_of_kind(NodeKind::Paper) {
+            assert!(snap.years[p as usize] <= 2000);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.kinds, b.kinds);
+    }
+}

@@ -1,0 +1,59 @@
+//! Erdős–Rényi `G(n, m)` random directed graphs.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Generates a directed `G(n, m)` graph: `m` edges drawn uniformly at random
+/// (without parallel duplicates or self-loops, except dangling-fix loops).
+///
+/// Homogeneous degrees make this the *anti*-case for hub scheduling; it is
+/// used in tests and ablations as a contrast to the power-law generators.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0, "need at least 2 nodes to place edges");
+    let max_m = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_m, "too many edges requested: {m} > {max_m}");
+    let mut rng = super::rng(seed);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m).dedup(true);
+    let mut placed = std::collections::HashSet::with_capacity(m);
+    while placed.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v && placed.insert((u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_before_dangling_fix() {
+        let g = erdos_renyi(50, 200, 3);
+        // Dangling fix may add a few self-loops on top of the 200.
+        assert!(g.num_edges() >= 200);
+        assert!(g.num_edges() <= 200 + 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(30, 60, 9), erdos_renyi(30, 60, 9));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = erdos_renyi(5, 0, 0);
+        // All nodes dangling -> all get self-loops.
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn rejects_overfull() {
+        erdos_renyi(3, 10, 0);
+    }
+}

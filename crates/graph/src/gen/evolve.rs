@@ -1,0 +1,111 @@
+//! Growing-graph series: prefix sampling and induced subgraphs.
+//!
+//! The paper's scalability study (Fig. 13) uses DBLP snapshots by year and
+//! LiveJournal samples of increasing edge counts. [`sample_prefix`] produces
+//! the latter: the first `k` edges in creation order induce a graph over the
+//! nodes they touch (node ids compacted).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Builds the graph induced by the first `k` edges of `edges` (creation
+/// order). Returns the compacted graph and the map from new ids to old ids.
+pub fn sample_prefix(
+    edges: &[(NodeId, NodeId)],
+    k: usize,
+) -> (Graph, Vec<NodeId>) {
+    let k = k.min(edges.len());
+    let prefix = &edges[..k];
+    let mut seen: Vec<NodeId> = Vec::with_capacity(2 * k);
+    for &(u, v) in prefix {
+        seen.push(u);
+        seen.push(v);
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    let max_old = seen.last().copied().map_or(0, |m| m as usize + 1);
+    let mut remap = vec![NodeId::MAX; max_old];
+    for (new, &old) in seen.iter().enumerate() {
+        remap[old as usize] = new as NodeId;
+    }
+    let mut b =
+        GraphBuilder::new(seen.len()).with_edge_capacity(k).dedup(true);
+    for &(u, v) in prefix {
+        b.add_edge(remap[u as usize], remap[v as usize]);
+    }
+    (b.build(), seen)
+}
+
+/// Builds the subgraph induced by `nodes` (edges with both endpoints in the
+/// set). Returns the compacted graph and the map from new ids to old ids.
+pub fn induced_subgraph(
+    graph: &Graph,
+    nodes: &[NodeId],
+) -> (Graph, Vec<NodeId>) {
+    let mut keep: Vec<NodeId> = nodes.to_vec();
+    keep.sort_unstable();
+    keep.dedup();
+    let mut remap = vec![NodeId::MAX; graph.num_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        remap[old as usize] = new as NodeId;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for &old in &keep {
+        for &t in graph.out_neighbors(old) {
+            if remap[t as usize] != NodeId::MAX {
+                b.add_edge(remap[old as usize], remap[t as usize]);
+            }
+        }
+    }
+    (b.build(), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn prefix_compacts_ids() {
+        let edges = vec![(5, 9), (9, 5), (0, 5)];
+        let (g, map_back) = sample_prefix(&edges, 2);
+        assert_eq!(map_back, vec![5, 9]);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn prefix_larger_than_list_takes_all() {
+        let edges = vec![(0, 1)];
+        let (g, _) = sample_prefix(&edges, 100);
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn prefix_growth_is_monotone() {
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..100).map(|i| (i, (i + 1) % 100)).collect();
+        let (g1, _) = sample_prefix(&edges, 10);
+        let (g2, _) = sample_prefix(&edges, 50);
+        assert!(g1.num_nodes() < g2.num_nodes());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, map_back) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(map_back, vec![0, 1, 2]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2));
+        // Edge 2 -> 3 dropped; 2 becomes dangling -> self-loop.
+        assert!(sub.has_edge(2, 2));
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input_nodes() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let (sub, map_back) = induced_subgraph(&g, &[1, 1, 0]);
+        assert_eq!(map_back, vec![0, 1]);
+        assert_eq!(sub.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! LiveJournal-like synthetic directed social network.
+//!
+//! Directed preferential attachment with reciprocation: each arriving user
+//! declares friendship to a skewed number of existing users, chosen
+//! preferentially by in-degree (popularity), and each declaration is
+//! reciprocated with probability `reciprocity` — matching the paper's
+//! description of LiveJournal ("friendship not necessarily reciprocal",
+//! directed edges, power-law degrees).
+//!
+//! Edges are returned in creation order so that the Fig. 13(b) sampling
+//! series (`S1..S5`, growing edge counts) can be reproduced with
+//! [`super::evolve::sample_prefix`].
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Parameters for [`SocialNetwork::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct SocialParams {
+    /// Number of users.
+    pub nodes: usize,
+    /// Maximum friends declared on arrival (`1..=max`, Zipf-distributed
+    /// with exponent [`SocialParams::declared_exponent`]). Real LiveJournal
+    /// out-degrees are power-law into the hundreds, which is what gives
+    /// top-EU hubs their "decaying power"; keep this large.
+    pub max_declared: usize,
+    /// Zipf exponent of the declared-friends distribution (larger = lighter
+    /// tail; ~1.8 gives a mean around 4 with a tail into `max_declared`).
+    pub declared_exponent: f64,
+    /// Probability that a declared friendship is reciprocated.
+    pub reciprocity: f64,
+    /// Probability of picking a uniformly random target instead of a
+    /// preferential one (degree mixing).
+    pub uniform_mix: f64,
+}
+
+impl Default for SocialParams {
+    fn default() -> Self {
+        SocialParams {
+            nodes: 50_000,
+            max_declared: 300,
+            declared_exponent: 1.8,
+            reciprocity: 0.5,
+            uniform_mix: 0.15,
+        }
+    }
+}
+
+/// A generated directed social network.
+#[derive(Clone, Debug)]
+pub struct SocialNetwork {
+    /// The directed friendship graph (dangling users get self-loops).
+    pub graph: Graph,
+    /// All directed edges in creation order (before the dangling fix).
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl SocialNetwork {
+    /// Generates a network with the given parameters and seed.
+    pub fn generate(params: SocialParams, seed: u64) -> Self {
+        assert!(params.nodes >= 2);
+        assert!(params.max_declared >= 1);
+        let mut rng = super::rng(seed);
+        let n = params.nodes;
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        // Popularity pool: node v appears once per in-edge, plus once at
+        // arrival so newcomers can be befriended.
+        let mut pool: Vec<NodeId> = vec![0];
+        edges.push((1, 0));
+        pool.push(0);
+        pool.push(1);
+        if rng.gen::<f64>() < params.reciprocity {
+            edges.push((0, 1));
+            pool.push(1);
+        }
+        // Precompute the declared-count CDF once (zipf over 1..=max).
+        let weights: Vec<f64> = (1..=params.max_declared)
+            .map(|k| 1.0 / (k as f64).powf(params.declared_exponent))
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let sample_declared = move |rng: &mut rand_chacha::ChaCha8Rng| {
+            let mut x = rng.gen::<f64>() * total_w;
+            for (i, w) in weights.iter().enumerate() {
+                x -= w;
+                if x <= 0.0 {
+                    return i + 1;
+                }
+            }
+            weights.len()
+        };
+        for u in 2..n as NodeId {
+            let k = sample_declared(&mut rng).min(u as usize);
+            let mut declared: Vec<NodeId> = Vec::with_capacity(k);
+            let mut attempts = 0;
+            while declared.len() < k && attempts < 10 * k {
+                attempts += 1;
+                let v = if rng.gen::<f64>() < params.uniform_mix {
+                    rng.gen_range(0..u)
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                if v != u && !declared.contains(&v) {
+                    declared.push(v);
+                }
+            }
+            pool.push(u);
+            for &v in &declared {
+                edges.push((u, v));
+                pool.push(v);
+                if rng.gen::<f64>() < params.reciprocity {
+                    edges.push((v, u));
+                    pool.push(u);
+                }
+            }
+        }
+        let mut b =
+            GraphBuilder::new(n).with_edge_capacity(edges.len()).dedup(true);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        SocialNetwork { graph: b.build(), edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SocialNetwork {
+        SocialNetwork::generate(
+            SocialParams { nodes: 3000, ..Default::default() },
+            5,
+        )
+    }
+
+    #[test]
+    fn counts_and_determinism() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.graph.num_nodes(), 3000);
+        assert!(a.graph.num_edges() > 3000);
+    }
+
+    #[test]
+    fn directed_not_symmetric() {
+        let net = small();
+        let g = &net.graph;
+        let asym = g
+            .edges()
+            .filter(|&(u, v)| u != v && !g.has_edge(v, u))
+            .count();
+        assert!(asym > 0, "reciprocity < 1 must leave one-way edges");
+    }
+
+    #[test]
+    fn no_dangling_after_build() {
+        assert_eq!(small().graph.num_dangling(), 0);
+    }
+
+    #[test]
+    fn in_degree_skew() {
+        let net = small();
+        let g = &net.graph;
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(max_in as f64 > 5.0 * avg, "max {max_in} avg {avg}");
+    }
+
+    #[test]
+    fn edges_in_creation_order_reference_existing_nodes() {
+        let net = small();
+        // Every edge endpoint must have arrived before the edge: the larger
+        // endpoint id is the arrival time.
+        for (i, &(u, v)) in net.edges.iter().enumerate() {
+            let t = u.max(v);
+            // Find first edge index that could have created node t.
+            assert!(t < 3000, "edge {i} endpoints ({u},{v}) out of range");
+        }
+    }
+}

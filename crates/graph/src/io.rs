@@ -1,0 +1,177 @@
+//! Plain-text edge-list reading and writing.
+//!
+//! The format is the SNAP-style list used by the paper's public datasets:
+//! one `u v` pair per line, `#`-prefixed comment lines ignored.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::DanglingPolicy;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Parse { line_number: usize, line: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse { line_number, line } => {
+                write!(f, "cannot parse line {line_number}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader. Node ids need not be contiguous; the
+/// graph is sized by the maximum id seen.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    undirected: bool,
+    dangling: DanglingPolicy,
+) -> Result<Graph, EdgeListError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: NodeId = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<NodeId> {
+            s.and_then(|x| x.parse().ok())
+        };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => {
+                max_id = max_id.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line_number: i + 1,
+                    line: t.to_string(),
+                })
+            }
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::new(n)
+        .with_edge_capacity(if undirected { edges.len() * 2 } else { edges.len() })
+        .dangling(dangling);
+    for (u, v) in edges {
+        if undirected {
+            b.add_undirected_edge(u, v);
+        } else {
+            b.add_edge(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    undirected: bool,
+    dangling: DanglingPolicy,
+) -> Result<Graph, EdgeListError> {
+    let f = File::open(path)?;
+    read_edge_list(BufReader::new(f), undirected, dangling)
+}
+
+/// Writes the graph's directed edges as `u v` lines.
+pub fn write_edge_list<W: Write>(graph: &Graph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes the graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(
+    graph: &Graph,
+    path: P,
+) -> io::Result<()> {
+    write_edge_list(graph, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(
+            text.as_bytes(),
+            false,
+            DanglingPolicy::SelfLoop,
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = read_edge_list("0 1\n".as_bytes(), true, DanglingPolicy::Keep)
+            .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err =
+            read_edge_list("0 x\n".as_bytes(), false, DanglingPolicy::Keep)
+                .unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line_number: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), false, DanglingPolicy::Keep)
+            .unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let g = crate::builder::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(
+            buf.as_slice(),
+            false,
+            DanglingPolicy::SelfLoop,
+        )
+        .unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph substrate for the FastPPV reproduction.
+//!
+//! This crate provides everything the Personalized PageRank algorithms sit on
+//! top of:
+//!
+//! * a compact CSR [`Graph`] with forward and reverse adjacency ([`csr`]),
+//! * a [`GraphBuilder`] with dedup and dangling-node policies ([`builder`]),
+//! * global [`pagerank`] (needed by hub selection and the baselines),
+//! * seeded synthetic [`gen`]erators standing in for the paper's DBLP and
+//!   LiveJournal datasets (see `DESIGN.md` §4 for the substitution argument),
+//! * plain-text edge-list [`io`],
+//! * the paper's Figure 1 running-example graph ([`toy`]),
+//! * shared numeric kernels ([`SparseVector`], [`ScoreScratch`]) used by every
+//!   PPR computation in the workspace ([`vec`]).
+//!
+//! Node identifiers are `u32` ([`NodeId`]); scores are `f64` in memory.
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod pagerank;
+pub mod stats;
+pub mod toy;
+pub mod vec;
+
+pub use builder::{DanglingPolicy, GraphBuilder};
+pub use csr::{Graph, NodeId};
+pub use pagerank::{pagerank, PageRankOptions};
+pub use vec::{ScoreScratch, SparseVector};

@@ -1,0 +1,163 @@
+//! The paper's running-example graph (Figure 1).
+//!
+//! Eight nodes `a..h` and the edge set reconstructed from the tours
+//! enumerated in Figures 1(b) and 2:
+//!
+//! ```text
+//! a -> {b, c, d, f, h}    b -> {c, d, e}    d -> {c, e}
+//! f -> {d, g}             g -> {d}          h -> {c}
+//! ```
+//!
+//! With `α = 0.15` this reproduces the reachabilities of Fig. 1(b):
+//! `R(a→c) = 0.0255`, `R(a→h→c) = 0.0217`, `R(a→d→c) = 0.0108`,
+//! `R(a→b→c) = 0.0072`, `R(a→f→d→c) = 0.0046`.
+//! (The figure's printed values for `a→b→d→c` (0.0046) and `a→f→g→d→c`
+//! (0.0017) are inconsistent with the out-degrees implied by its own
+//! t4/t5 rows; Eq. 2 gives 0.0031 and 0.0039 — see DESIGN.md §3.)
+//!
+//! The graph is acyclic and `c`, `e` are sinks, so tour enumeration is
+//! finite — ideal for exact, tour-level validation of the whole pipeline.
+
+use crate::builder::{from_edges, GraphBuilder};
+use crate::csr::{Graph, NodeId};
+use crate::DanglingPolicy;
+
+/// Node ids for the paper's example.
+pub const A: NodeId = 0;
+/// Node `b`.
+pub const B: NodeId = 1;
+/// Node `c`.
+pub const C: NodeId = 2;
+/// Node `d`.
+pub const D: NodeId = 3;
+/// Node `e`.
+pub const E: NodeId = 4;
+/// Node `f`.
+pub const F: NodeId = 5;
+/// Node `g`.
+pub const G: NodeId = 6;
+/// Node `h`.
+pub const H: NodeId = 7;
+
+/// Names of the 8 nodes, indexed by node id.
+pub const NAMES: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+
+/// The hub set `{b, d, f}` used in the paper's Figure 3.
+pub const PAPER_HUBS: [NodeId; 3] = [B, D, F];
+
+const EDGES: [(NodeId, NodeId); 14] = [
+    (A, B),
+    (A, C),
+    (A, D),
+    (A, F),
+    (A, H),
+    (B, C),
+    (B, D),
+    (B, E),
+    (D, C),
+    (D, E),
+    (F, D),
+    (F, G),
+    (G, D),
+    (H, C),
+];
+
+/// The Figure 1 graph exactly as drawn: `c` and `e` are sinks (dangling).
+///
+/// Use this for tour-level reachability checks against Fig. 1(b).
+pub fn graph_raw() -> Graph {
+    let mut b = GraphBuilder::new(8).dangling(DanglingPolicy::Keep);
+    for &(u, v) in EDGES.iter() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// The Figure 1 graph with self-loops on the sinks `c` and `e`, so that PPVs
+/// are proper distributions (`Σ r = 1`) and Theorem 2 applies exactly.
+pub fn graph() -> Graph {
+    let mut b = GraphBuilder::new(8);
+    for &(u, v) in EDGES.iter() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Resolves a node name (`"a"`..`"h"`) to its id.
+pub fn node_by_name(name: &str) -> Option<NodeId> {
+    NAMES.iter().position(|&n| n == name).map(|i| i as NodeId)
+}
+
+/// Convenience: the edge list of the toy graph.
+pub fn edges() -> Vec<(NodeId, NodeId)> {
+    EDGES.to_vec()
+}
+
+/// A tiny 4-node line graph (`0 -> 1 -> 2 -> 3`), handy in unit tests.
+pub fn line(n: usize) -> Graph {
+    let edges: Vec<_> =
+        (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_degrees_match_figure() {
+        let g = graph_raw();
+        assert_eq!(g.out_degree(A), 5);
+        assert_eq!(g.out_degree(B), 3);
+        assert_eq!(g.out_degree(D), 2);
+        assert_eq!(g.out_degree(F), 2);
+        assert_eq!(g.out_degree(G), 1);
+        assert_eq!(g.out_degree(H), 1);
+        assert_eq!(g.out_degree(C), 0);
+        assert_eq!(g.out_degree(E), 0);
+    }
+
+    #[test]
+    fn tour_reachabilities_match_figure_1b() {
+        let g = graph_raw();
+        let alpha = 0.15;
+        let r = |tour: &[NodeId]| -> f64 {
+            let l = (tour.len() - 1) as i32;
+            let mut p = (1.0f64 - alpha).powi(l) * alpha;
+            for w in tour.windows(2) {
+                p *= 1.0 / g.out_degree(w[0]) as f64;
+            }
+            p
+        };
+        assert!((r(&[A, C]) - 0.0255).abs() < 1e-4);
+        assert!((r(&[A, H, C]) - 0.0217).abs() < 1e-4);
+        assert!((r(&[A, D, C]) - 0.0108).abs() < 1e-4);
+        assert!((r(&[A, B, C]) - 0.0072).abs() < 1e-4);
+        assert!((r(&[A, F, D, C]) - 0.0046).abs() < 1e-4);
+        // The figure prints 0.0046 for t6 and 0.0017 for t7, but those are
+        // inconsistent with the out-degrees its own t4/t5 values imply
+        // (Out(b)=3, Out(f)=Out(d)=2, Out(g)=1); Eq. 2 gives:
+        assert!((r(&[A, B, D, C]) - 0.00307).abs() < 1e-4);
+        assert!((r(&[A, F, G, D, C]) - 0.00392).abs() < 1e-4);
+    }
+
+    #[test]
+    fn self_loop_variant_has_no_dangling() {
+        assert_eq!(graph().num_dangling(), 0);
+        assert_eq!(graph_raw().num_dangling(), 2);
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(node_by_name("a"), Some(A));
+        assert_eq!(node_by_name("h"), Some(H));
+        assert_eq!(node_by_name("z"), None);
+    }
+
+    #[test]
+    fn line_graph() {
+        let g = line(4);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(3), &[3]); // self-loop policy
+    }
+}

@@ -1,0 +1,314 @@
+//! Shared numeric kernels for PPR computations.
+//!
+//! Every algorithm in the workspace accumulates scores over a small, shifting
+//! subset of nodes. [`ScoreScratch`] is the dense-array-plus-touched-list
+//! workspace that makes those accumulations allocation-free and hash-free on
+//! the hot path; [`SparseVector`] is the compact, sorted materialization used
+//! for results and the on-disk index.
+
+use crate::csr::NodeId;
+
+/// A sparse score vector: entries sorted by node id, strictly increasing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl SparseVector {
+    /// An empty vector.
+    pub fn new() -> Self {
+        SparseVector { entries: Vec::new() }
+    }
+
+    /// Builds from entries that are already sorted by node id (debug-checked).
+    pub fn from_sorted(entries: Vec<(NodeId, f64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        SparseVector { entries }
+    }
+
+    /// Builds from unsorted entries, summing duplicates.
+    pub fn from_unsorted(mut entries: Vec<(NodeId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let mut out: Vec<(NodeId, f64)> = Vec::with_capacity(entries.len());
+        for (id, s) in entries {
+            match out.last_mut() {
+                Some(last) if last.0 == id => last.1 += s,
+                _ => out.push((id, s)),
+            }
+        }
+        SparseVector { entries: out }
+    }
+
+    /// The entries, sorted by node id.
+    #[inline]
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no stored entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Score of `v` (0 if absent). Binary search.
+    pub fn get(&self, v: NodeId) -> f64 {
+        match self.entries.binary_search_by_key(&v, |&(id, _)| id) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of all scores (the L1 norm for non-negative vectors).
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Drops entries with score strictly below `threshold`.
+    pub fn clip(&mut self, threshold: f64) {
+        self.entries.retain(|&(_, s)| s >= threshold);
+    }
+
+    /// The `k` highest-scoring entries, ties broken by node id (ascending)
+    /// for determinism, returned in descending score order.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut v = self.entries.clone();
+        v.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Materializes into a dense vector of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut d = vec![0.0; n];
+        for &(id, s) in &self.entries {
+            d[id as usize] = s;
+        }
+        d
+    }
+
+    /// `self += coeff * other`, entry-wise (merge of two sorted lists).
+    pub fn axpy(&mut self, coeff: f64, other: &SparseVector) {
+        if coeff == 0.0 || other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((b[j].0, coeff * b[j].1));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a[i].0, a[i].1 + coeff * b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend(b[j..].iter().map(|&(id, s)| (id, coeff * s)));
+        self.entries = merged;
+    }
+
+    /// L1 distance to a dense vector (entries absent here count as 0).
+    pub fn l1_distance_dense(&self, dense: &[f64]) -> f64 {
+        let mut err = 0.0;
+        let mut covered = 0.0;
+        for &(id, s) in &self.entries {
+            let e = dense[id as usize];
+            err += (e - s).abs();
+            covered += e;
+        }
+        // Mass of dense entries we do not store at all.
+        err + (dense.iter().sum::<f64>() - covered)
+    }
+
+    /// Consumes the vector, returning its entries.
+    pub fn into_entries(self) -> Vec<(NodeId, f64)> {
+        self.entries
+    }
+}
+
+impl FromIterator<(NodeId, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (NodeId, f64)>>(iter: T) -> Self {
+        SparseVector::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Reusable dense accumulator with a touched list.
+///
+/// `add` is O(1); draining back to a [`SparseVector`] and resetting is
+/// O(touched). The backing array is sized to the graph once and reused across
+/// queries (the "workhorse collection" pattern).
+#[derive(Clone, Debug)]
+pub struct ScoreScratch {
+    values: Vec<f64>,
+    touched: Vec<NodeId>,
+}
+
+impl ScoreScratch {
+    /// A scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ScoreScratch { values: vec![0.0; n], touched: Vec::new() }
+    }
+
+    /// Capacity (number of node slots).
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the backing array if the graph is larger than the scratch.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, 0.0);
+        }
+    }
+
+    /// Adds `s` to node `v`'s accumulator.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, s: f64) {
+        let slot = &mut self.values[v as usize];
+        if *slot == 0.0 {
+            self.touched.push(v);
+        }
+        *slot += s;
+    }
+
+    /// Current value for `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.values[v as usize]
+    }
+
+    /// Nodes with a (possibly zero after cancellation) touched slot.
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Sum over touched slots.
+    pub fn sum(&self) -> f64 {
+        self.touched.iter().map(|&v| self.values[v as usize]).sum()
+    }
+
+    /// Materializes touched entries (> 0) into a sorted [`SparseVector`] and
+    /// resets the scratch for reuse.
+    pub fn drain_sparse(&mut self) -> SparseVector {
+        let mut entries = Vec::with_capacity(self.touched.len());
+        for &v in &self.touched {
+            let s = self.values[v as usize];
+            self.values[v as usize] = 0.0;
+            if s != 0.0 {
+                entries.push((v, s));
+            }
+        }
+        self.touched.clear();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        SparseVector::from_sorted(entries)
+    }
+
+    /// Resets without materializing.
+    pub fn clear(&mut self) {
+        for &v in &self.touched {
+            self.values[v as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_from_unsorted_merges_duplicates() {
+        let v = SparseVector::from_unsorted(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 1.5)]);
+        assert_eq!(v.get(3), 1.5);
+        assert_eq!(v.get(2), 0.0);
+    }
+
+    #[test]
+    fn axpy_merges_sorted_lists() {
+        let mut a = SparseVector::from_sorted(vec![(1, 1.0), (4, 2.0)]);
+        let b = SparseVector::from_sorted(vec![(0, 1.0), (4, 1.0), (7, 3.0)]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.entries(), &[(0, 2.0), (1, 1.0), (4, 4.0), (7, 6.0)]);
+    }
+
+    #[test]
+    fn axpy_zero_coeff_is_noop() {
+        let mut a = SparseVector::from_sorted(vec![(1, 1.0)]);
+        let b = SparseVector::from_sorted(vec![(2, 5.0)]);
+        a.axpy(0.0, &b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_id() {
+        let v = SparseVector::from_sorted(vec![(1, 0.5), (2, 0.5), (3, 0.9)]);
+        assert_eq!(v.top_k(2), vec![(3, 0.9), (1, 0.5)]);
+        assert_eq!(v.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn clip_drops_small_entries() {
+        let mut v = SparseVector::from_sorted(vec![(0, 1e-5), (1, 1e-3)]);
+        v.clip(1e-4);
+        assert_eq!(v.entries(), &[(1, 1e-3)]);
+    }
+
+    #[test]
+    fn l1_distance_counts_missing_mass() {
+        let v = SparseVector::from_sorted(vec![(0, 0.4)]);
+        let dense = vec![0.5, 0.5];
+        // |0.5-0.4| + 0.5 (missing node 1)
+        assert!((v.l1_distance_dense(&dense) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_drain_resets() {
+        let mut s = ScoreScratch::new(5);
+        s.add(3, 1.0);
+        s.add(0, 0.5);
+        s.add(3, 1.0);
+        assert_eq!(s.get(3), 2.0);
+        let v = s.drain_sparse();
+        assert_eq!(v.entries(), &[(0, 0.5), (3, 2.0)]);
+        assert_eq!(s.touched().len(), 0);
+        assert_eq!(s.get(3), 0.0);
+        // Reusable after drain.
+        s.add(1, 1.0);
+        assert_eq!(s.drain_sparse().entries(), &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn scratch_drops_cancelled_entries() {
+        let mut s = ScoreScratch::new(3);
+        s.add(1, 1.0);
+        s.add(1, -1.0);
+        let v = s.drain_sparse();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let v = SparseVector::from_sorted(vec![(1, 0.25), (3, 0.75)]);
+        assert_eq!(v.to_dense(4), vec![0.0, 0.25, 0.0, 0.75]);
+        assert!((v.l1_norm() - 1.0).abs() < 1e-12);
+    }
+}

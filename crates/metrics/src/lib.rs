@@ -1,0 +1,345 @@
+//! Accuracy metrics for approximate PPVs (paper §6, "Accuracy metrics").
+//!
+//! The paper evaluates approximations against the exact PPV on the top-10
+//! nodes with four metrics, following Chakrabarti et al.:
+//!
+//! * **Kendall's τ** ([`kendall_tau`]) — ranking agreement over the union of
+//!   both top-k sets (τ-b, tie-adjusted);
+//! * **precision@k** ([`precision_at_k`]) — overlap of the top-k sets;
+//! * **RAG** ([`rag`]) — *relative average goodness*: how much exact mass
+//!   the approximate top-k captures relative to the true top-k;
+//! * **L1 similarity** ([`l1_similarity`]) — `1 − ‖exact − approx‖₁`
+//!   (the paper reports the complement of the L1 error so that all four
+//!   metrics read "higher is better").
+//!
+//! [`AccuracyReport`] bundles all four; [`AccuracyReport::mean`] averages
+//! over test queries as in the paper's tables.
+
+use fastppv_graph::{NodeId, SparseVector};
+
+/// The `k` highest-scoring nodes of a dense score vector, ties broken by
+/// node id (ascending) for determinism, returned in descending score order.
+/// Zero-score nodes are included only if needed to fill `k`.
+pub fn top_k_dense(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
+    let mut entries: Vec<(NodeId, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as NodeId, s))
+        .collect();
+    entries.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+    });
+    entries.truncate(k);
+    entries
+}
+
+/// Precision@k: `|top_k(approx) ∩ top_k(exact)| / k`.
+pub fn precision_at_k(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let k = k.min(exact.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let exact_top: std::collections::HashSet<NodeId> =
+        top_k_dense(exact, k).into_iter().map(|(v, _)| v).collect();
+    let hits = approx
+        .top_k(k)
+        .iter()
+        .filter(|&&(v, _)| exact_top.contains(&v))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Relative Average Goodness:
+/// `Σ_{v ∈ top_k(approx)} exact(v) / Σ_{v ∈ top_k(exact)} exact(v)`.
+///
+/// 1.0 means the approximate top-k carries as much true mass as the exact
+/// top-k (the sets may still differ among near-ties).
+pub fn rag(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let k = k.min(exact.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let denom: f64 =
+        top_k_dense(exact, k).iter().map(|&(_, s)| s).sum();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    let num: f64 = approx
+        .top_k(k)
+        .iter()
+        .map(|&(v, _)| exact[v as usize])
+        .sum();
+    num / denom
+}
+
+/// Kendall's τ-b between the exact and approximate rankings, computed over
+/// the union of both top-k sets (the evaluation protocol of Chakrabarti et
+/// al., which the paper adopts).
+///
+/// Pairs tied in exactly one ranking reduce the respective tie-corrected
+/// denominator. Returns 1.0 for an empty or single-node union; 0.0 when one
+/// side is entirely tied and the other is not.
+pub fn kendall_tau(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut union: Vec<NodeId> =
+        top_k_dense(exact, k.min(exact.len()))
+            .into_iter()
+            .map(|(v, _)| v)
+            .chain(approx.top_k(k).into_iter().map(|(v, _)| v))
+            .collect();
+    union.sort_unstable();
+    union.dedup();
+    if union.len() < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut tied_exact = 0i64;
+    let mut tied_approx = 0i64;
+    for i in 0..union.len() {
+        for j in (i + 1)..union.len() {
+            let de = exact[union[i] as usize] - exact[union[j] as usize];
+            let da = approx.get(union[i]) - approx.get(union[j]);
+            match (de == 0.0, da == 0.0) {
+                (true, true) => {
+                    tied_exact += 1;
+                    tied_approx += 1;
+                }
+                (true, false) => tied_exact += 1,
+                (false, true) => tied_approx += 1,
+                (false, false) => {
+                    if (de > 0.0) == (da > 0.0) {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+    let n0 = (union.len() * (union.len() - 1) / 2) as i64;
+    let denom =
+        (((n0 - tied_exact) as f64) * ((n0 - tied_approx) as f64)).sqrt();
+    if denom == 0.0 {
+        // Both rankings entirely tied over the union: identical orderings.
+        return if tied_exact == n0 && tied_approx == n0 { 1.0 } else { 0.0 };
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Top-k L1 error: `Σ_{v ∈ top_k(exact) ∪ top_k(approx)} |exact(v) −
+/// approx(v)|`.
+///
+/// Like the other three metrics this is a *top-k* quantity (the evaluation
+/// protocol of Chakrabarti et al., which the paper adopts with `k = 10`) —
+/// the full-vector L1 gap after `η = 2` iterations is bounded below only by
+/// Theorem 2 (≈ 0.52 at k=2), so the paper's reported `L1 similarity ≈
+/// 0.996` can only be the top-k quantity. Use [`l1_error_full`] for the
+/// whole-vector gap (FastPPV's accuracy-aware `φ`).
+pub fn l1_error(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let mut union: Vec<NodeId> = top_k_dense(exact, k.min(exact.len()))
+        .into_iter()
+        .map(|(v, _)| v)
+        .chain(approx.top_k(k).into_iter().map(|(v, _)| v))
+        .collect();
+    union.sort_unstable();
+    union.dedup();
+    union
+        .iter()
+        .map(|&v| (exact[v as usize] - approx.get(v)).abs())
+        .sum()
+}
+
+/// Top-k L1 similarity `1 − l1_error@k` (clamped at 0), as reported by the
+/// paper.
+pub fn l1_similarity(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
+    (1.0 - l1_error(exact, approx, k)).max(0.0)
+}
+
+/// Full-vector L1 error `‖exact − approx‖₁` over all nodes (FastPPV's
+/// accuracy-aware `φ` measures exactly this quantity at query time).
+pub fn l1_error_full(exact: &[f64], approx: &SparseVector) -> f64 {
+    approx.l1_distance_dense(exact)
+}
+
+/// All four paper metrics for one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccuracyReport {
+    /// Kendall's τ-b over the top-k union.
+    pub kendall: f64,
+    /// Precision@k.
+    pub precision: f64,
+    /// Relative average goodness.
+    pub rag: f64,
+    /// `1 − L1 error`.
+    pub l1_similarity: f64,
+}
+
+impl AccuracyReport {
+    /// Computes all metrics at `k` (the paper uses `k = 10`).
+    pub fn compute(exact: &[f64], approx: &SparseVector, k: usize) -> Self {
+        AccuracyReport {
+            kendall: kendall_tau(exact, approx, k),
+            precision: precision_at_k(exact, approx, k),
+            rag: rag(exact, approx, k),
+            l1_similarity: l1_similarity(exact, approx, k),
+        }
+    }
+
+    /// Averages reports over test queries.
+    pub fn mean(reports: &[AccuracyReport]) -> AccuracyReport {
+        if reports.is_empty() {
+            return AccuracyReport::default();
+        }
+        let n = reports.len() as f64;
+        AccuracyReport {
+            kendall: reports.iter().map(|r| r.kendall).sum::<f64>() / n,
+            precision: reports.iter().map(|r| r.precision).sum::<f64>() / n,
+            rag: reports.iter().map(|r| r.rag).sum::<f64>() / n,
+            l1_similarity: reports.iter().map(|r| r.l1_similarity).sum::<f64>()
+                / n,
+        }
+    }
+
+    /// The minimum of the four metrics (a quick "worst dimension" summary).
+    pub fn min_metric(&self) -> f64 {
+        self.kendall
+            .min(self.precision)
+            .min(self.rag)
+            .min(self.l1_similarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(entries: &[(NodeId, f64)]) -> SparseVector {
+        SparseVector::from_unsorted(entries.to_vec())
+    }
+
+    #[test]
+    fn perfect_approximation_scores_one_everywhere() {
+        let exact = vec![0.4, 0.3, 0.2, 0.1];
+        let approx = sparse(&[(0, 0.4), (1, 0.3), (2, 0.2), (3, 0.1)]);
+        let r = AccuracyReport::compute(&exact, &approx, 3);
+        assert_eq!(r.kendall, 1.0);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.rag, 1.0);
+        assert!((r.l1_similarity - 1.0).abs() < 1e-12);
+        assert_eq!(r.min_metric(), r.kendall.min(1.0));
+    }
+
+    #[test]
+    fn reversed_ranking_has_negative_tau() {
+        let exact = vec![0.4, 0.3, 0.2, 0.1];
+        let approx = sparse(&[(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.4)]);
+        assert!(kendall_tau(&exact, &approx, 4) <= -0.99);
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        let exact = vec![0.4, 0.3, 0.2, 0.1, 0.0];
+        // Approx top-2 = {0, 4}: one of the true top-2 {0, 1}.
+        let approx = sparse(&[(0, 0.5), (4, 0.4), (1, 0.05)]);
+        assert!((precision_at_k(&exact, &approx, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rag_measures_captured_mass() {
+        let exact = vec![0.5, 0.3, 0.1, 0.1];
+        // Approx picks nodes 0 and 2: captured 0.6 of the best 0.8.
+        let approx = sparse(&[(0, 0.9), (2, 0.8)]);
+        assert!((rag(&exact, &approx, 2) - 0.6 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_counts_missing_entries() {
+        let exact = vec![0.5, 0.5];
+        let approx = sparse(&[(0, 0.5)]);
+        assert!((l1_error(&exact, &approx, 2) - 0.5).abs() < 1e-12);
+        assert!((l1_similarity(&exact, &approx, 2) - 0.5).abs() < 1e-12);
+        assert!((l1_error_full(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_similarity_clamps_at_zero() {
+        let exact = vec![1.0, 0.0];
+        let approx = sparse(&[(0, 3.0), (1, 2.0)]);
+        assert_eq!(l1_similarity(&exact, &approx, 2), 0.0);
+    }
+
+    #[test]
+    fn topk_l1_ignores_tail_error() {
+        // Error concentrated outside both top-1 sets does not count at k=1,
+        // but does count in the full-vector gap.
+        let exact = vec![0.6, 0.2, 0.2];
+        let approx = sparse(&[(0, 0.6)]);
+        assert!(l1_error(&exact, &approx, 1) < 1e-12);
+        assert!((l1_error_full(&exact, &approx) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_handles_ties() {
+        let exact = vec![0.4, 0.4, 0.2];
+        // Approx breaks the exact tie; the tied pair counts in neither
+        // direction but shrinks one denominator.
+        let approx = sparse(&[(0, 0.5), (1, 0.4), (2, 0.2)]);
+        let tau = kendall_tau(&exact, &approx, 3);
+        assert!(tau > 0.0 && tau <= 1.0);
+        // Fully tied on both sides -> 1.
+        let tied = sparse(&[(0, 0.1), (1, 0.1), (2, 0.1)]);
+        let exact_tied = vec![0.3, 0.3, 0.3];
+        assert_eq!(kendall_tau(&exact_tied, &tied, 3), 1.0);
+        // Tied exact, distinct approx -> 0.
+        assert_eq!(kendall_tau(&exact_tied, &approx, 3), 0.0);
+    }
+
+    #[test]
+    fn top_k_dense_tie_break_is_deterministic() {
+        let scores = vec![0.2, 0.5, 0.2, 0.5];
+        assert_eq!(
+            top_k_dense(&scores, 3),
+            vec![(1, 0.5), (3, 0.5), (0, 0.2)]
+        );
+    }
+
+    #[test]
+    fn k_larger_than_graph_is_clamped() {
+        let exact = vec![0.6, 0.4];
+        let approx = sparse(&[(0, 0.6), (1, 0.4)]);
+        assert_eq!(precision_at_k(&exact, &approx, 10), 1.0);
+        assert_eq!(rag(&exact, &approx, 10), 1.0);
+    }
+
+    #[test]
+    fn mean_averages_reports() {
+        let a = AccuracyReport {
+            kendall: 1.0,
+            precision: 0.8,
+            rag: 1.0,
+            l1_similarity: 0.9,
+        };
+        let b = AccuracyReport {
+            kendall: 0.0,
+            precision: 0.6,
+            rag: 0.8,
+            l1_similarity: 0.7,
+        };
+        let m = AccuracyReport::mean(&[a, b]);
+        assert!((m.kendall - 0.5).abs() < 1e-12);
+        assert!((m.precision - 0.7).abs() < 1e-12);
+        assert!((m.rag - 0.9).abs() < 1e-12);
+        assert!((m.l1_similarity - 0.8).abs() < 1e-12);
+        assert_eq!(AccuracyReport::mean(&[]), AccuracyReport::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        precision_at_k(&[0.5], &sparse(&[(0, 0.5)]), 0);
+    }
+}

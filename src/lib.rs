@@ -1,0 +1,30 @@
+//! # FastPPV — Incremental and Accuracy-Aware Personalized PageRank
+//!
+//! Umbrella crate re-exporting the whole FastPPV workspace: a from-scratch
+//! Rust reproduction of *Zhu, Fang, Chang, Ying. "Incremental and
+//! Accuracy-Aware Personalized PageRank through Scheduled Approximation",
+//! PVLDB 6(6), 2013*.
+//!
+//! ```
+//! use fastppv::graph::toy;
+//!
+//! let g = toy::graph();
+//! assert_eq!(g.num_nodes(), 8);
+//! ```
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+/// Graph substrate: CSR graphs, builders, generators, PageRank.
+pub use fastppv_graph as graph;
+
+/// The paper's contribution: scheduled approximation of PPVs.
+pub use fastppv_core as core;
+
+/// Baselines: exact power iteration, Monte Carlo fingerprints, HubRankP.
+pub use fastppv_baselines as baselines;
+
+/// Accuracy metrics: Kendall's τ, precision@k, RAG, L1 similarity.
+pub use fastppv_metrics as metrics;
+
+/// Disk-based processing: clustering, cluster store, fault-counted queries.
+pub use fastppv_cluster as cluster;

@@ -1,0 +1,125 @@
+//! Baseline integration: the three methods agree with ground truth at their
+//! respective accuracy knobs, on the generated evaluation datasets.
+
+use fastppv::baselines::exact::{exact_ppv, ExactOptions};
+use fastppv::baselines::hubrank::{
+    build_hubrank_index, hubrank_query, select_hubs_by_benefit,
+    HubRankOptions,
+};
+use fastppv::baselines::montecarlo::{
+    build_fingerprint_index, montecarlo_query, MonteCarloOptions,
+};
+use fastppv::graph::gen::{SocialNetwork, SocialParams};
+use fastppv::graph::{pagerank, PageRankOptions, ScoreScratch};
+use fastppv::metrics::AccuracyReport;
+
+fn dataset() -> fastppv::graph::Graph {
+    SocialNetwork::generate(SocialParams { nodes: 2_500, ..Default::default() }, 8)
+        .graph
+}
+
+#[test]
+fn hubrank_accuracy_improves_with_tighter_push() {
+    let g = dataset();
+    let pr = pagerank(&g, PageRankOptions::default());
+    let hubs = select_hubs_by_benefit(250, &pr);
+    let index = build_hubrank_index(
+        &g,
+        &hubs,
+        HubRankOptions { offline_residual: 1e-3, ..Default::default() },
+    );
+    let queries = [13u32, 444, 2100];
+    let mut gap = |push: f64| -> f64 {
+        let mut total = 0.0;
+        for &q in &queries {
+            let exact = exact_ppv(&g, q, ExactOptions::default());
+            let r = hubrank_query(&g, &index, q, push, 0.15);
+            total += r.estimate.l1_distance_dense(&exact);
+        }
+        total / queries.len() as f64
+    };
+    let loose = gap(0.2);
+    let tight = gap(0.01);
+    assert!(tight < loose, "tight {tight} loose {loose}");
+    assert!(tight < 0.1, "tight {tight}");
+}
+
+#[test]
+fn montecarlo_error_shrinks_with_samples() {
+    let g = dataset();
+    let mut scratch = ScoreScratch::new(g.num_nodes());
+    let opts = MonteCarloOptions::default();
+    let q = 99;
+    let exact = exact_ppv(&g, q, ExactOptions::default());
+    let mut gap = |n: usize| {
+        montecarlo_query(&g, None, q, n, opts, &mut scratch)
+            .estimate
+            .l1_distance_dense(&exact)
+    };
+    let small = gap(500);
+    let large = gap(50_000);
+    assert!(large < small, "large {large} small {small}");
+}
+
+#[test]
+fn all_methods_rank_the_top_nodes_correctly() {
+    let g = dataset();
+    let pr = pagerank(&g, PageRankOptions::default());
+    let hubs = select_hubs_by_benefit(250, &pr);
+    let hr_index = build_hubrank_index(
+        &g,
+        &hubs,
+        HubRankOptions { offline_residual: 1e-3, ..Default::default() },
+    );
+    let mc_index = build_fingerprint_index(
+        &g,
+        &hubs,
+        MonteCarloOptions { fingerprints_per_hub: 4_000, ..Default::default() },
+    );
+    let mut scratch = ScoreScratch::new(g.num_nodes());
+    for q in [55u32, 1300] {
+        let exact = exact_ppv(&g, q, ExactOptions::default());
+        let hr = hubrank_query(&g, &hr_index, q, 0.05, 0.15);
+        let hr_report = AccuracyReport::compute(&exact, &hr.estimate, 10);
+        assert!(hr_report.precision >= 0.7, "hubrank q {q}: {hr_report:?}");
+        let mc = montecarlo_query(
+            &g,
+            Some(&mc_index),
+            q,
+            20_000,
+            MonteCarloOptions::default(),
+            &mut scratch,
+        );
+        let mc_report = AccuracyReport::compute(&exact, &mc.estimate, 10);
+        assert!(mc_report.precision >= 0.6, "mc q {q}: {mc_report:?}");
+        assert!(mc_report.rag >= 0.9, "mc q {q}: {mc_report:?}");
+    }
+}
+
+#[test]
+fn fingerprint_reuse_does_not_bias_the_estimate() {
+    // With and without hub reuse, the MC estimate converges to the same
+    // distribution (reuse trades variance structure for speed, not bias).
+    let g = dataset();
+    let pr = pagerank(&g, PageRankOptions::default());
+    let hubs = select_hubs_by_benefit(100, &pr);
+    let index = build_fingerprint_index(
+        &g,
+        &hubs,
+        MonteCarloOptions { fingerprints_per_hub: 30_000, ..Default::default() },
+    );
+    let mut scratch = ScoreScratch::new(g.num_nodes());
+    let q = 321;
+    let exact = exact_ppv(&g, q, ExactOptions::default());
+    let with_reuse = montecarlo_query(
+        &g,
+        Some(&index),
+        q,
+        60_000,
+        MonteCarloOptions::default(),
+        &mut scratch,
+    );
+    let gap = with_reuse.estimate.l1_distance_dense(&exact);
+    assert!(gap < 0.15, "gap {gap}");
+    assert!(with_reuse.hub_hits > 0 || with_reuse.estimate.len() > 0);
+}

@@ -1,0 +1,144 @@
+//! Disk-based pipeline integration: clustering → cluster store → fault-
+//! counted queries, compared against the in-memory engine.
+
+use fastppv::cluster::partition::{cluster_graph, ClusteringOptions};
+use fastppv::cluster::query::{disk_query, DiskQueryWorkspace};
+use fastppv::cluster::store::{write_clustered_graph, DiskGraph};
+use fastppv::core::index::DiskIndex;
+use fastppv::core::query::{QueryEngine, StoppingCondition};
+use fastppv::core::{build_index_parallel, select_hubs, Config, HubPolicy};
+use fastppv::graph::gen::{BibNetwork, DblpParams};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fastppv-clint-{}-{}-{name}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    p
+}
+
+#[test]
+fn fully_disk_resident_pipeline_matches_memory() {
+    let net = BibNetwork::generate(
+        DblpParams { papers: 1_500, venues: 20, ..Default::default() },
+        6,
+    );
+    let graph = &net.graph;
+    let n = graph.num_nodes();
+    let config = Config::default().with_epsilon(1e-6).with_clip(0.0);
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / 25, 0);
+    let (index, _) = build_index_parallel(graph, &hubs, &config, 2);
+
+    // Graph and PPV index both on disk.
+    let clg = temp_path("graph.clg");
+    let idx = temp_path("index.fppv");
+    let clustering = cluster_graph(graph, 12, ClusteringOptions::default());
+    write_clustered_graph(graph, &clustering, &clg).unwrap();
+    index.write_to_file(&idx).unwrap();
+
+    let mut disk = DiskGraph::open(&clg, 1).unwrap();
+    let disk_index = DiskIndex::open(&idx, 32).unwrap();
+    let mut ws = DiskQueryWorkspace::new(n);
+    let mut mem_engine = QueryEngine::new(graph, &hubs, &index, config);
+    let stop = StoppingCondition::iterations(2);
+
+    let queries: Vec<u32> = (0..n as u32)
+        .filter(|&v| !hubs.is_hub(v))
+        .step_by(n / 5)
+        .take(4)
+        .collect();
+    for &q in &queries {
+        let mem = mem_engine.query(q, &stop);
+        let dsk = disk_query(
+            &mut disk,
+            &hubs,
+            &disk_index,
+            &config,
+            q,
+            &stop,
+            None,
+            &mut ws,
+        );
+        // f32 index storage rounds scores; structure must be identical.
+        assert_eq!(mem.scores.len(), dsk.result.scores.len(), "q {q}");
+        for (&(va, sa), &(vb, sb)) in mem
+            .scores
+            .entries()
+            .iter()
+            .zip(dsk.result.scores.entries())
+        {
+            assert_eq!(va, vb, "q {q}");
+            assert!((sa - sb).abs() < 1e-4, "q {q} node {va}: {sa} vs {sb}");
+        }
+    }
+    std::fs::remove_file(&clg).unwrap();
+    std::fs::remove_file(&idx).unwrap();
+}
+
+#[test]
+fn fault_cap_bounds_io_and_keeps_phi_sound() {
+    let net = BibNetwork::generate(
+        DblpParams { papers: 1_000, venues: 15, ..Default::default() },
+        7,
+    );
+    let graph = &net.graph;
+    let n = graph.num_nodes();
+    let config = Config::default().with_epsilon(1e-7);
+    // Few hubs -> large prime subgraphs -> many cluster touches.
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, 10, 0);
+    let (index, _) = build_index_parallel(graph, &hubs, &config, 2);
+    let clg = temp_path("capped.clg");
+    let clustering = cluster_graph(graph, 20, ClusteringOptions::default());
+    write_clustered_graph(graph, &clustering, &clg).unwrap();
+    let mut disk = DiskGraph::open(&clg, 1).unwrap();
+    let mut ws = DiskQueryWorkspace::new(n);
+    let q = (0..n as u32).find(|&v| !hubs.is_hub(v)).unwrap();
+    let stop = StoppingCondition::iterations(1);
+
+    let mut last_faults = u64::MAX;
+    for cap in [20u64, 5, 1] {
+        let res = disk_query(
+            &mut disk,
+            &hubs,
+            &index,
+            &config,
+            q,
+            &stop,
+            Some(cap),
+            &mut ws,
+        );
+        assert!(res.faults <= cap, "cap {cap}: faults {}", res.faults);
+        assert!(res.faults <= last_faults);
+        last_faults = res.faults;
+        // φ stays in [0, 1]: truncation only increases reported error.
+        assert!(res.result.l1_error >= 0.0 && res.result.l1_error <= 1.0);
+    }
+    std::fs::remove_file(&clg).unwrap();
+}
+
+#[test]
+fn clustering_quality_larger_cluster_count_shrinks_working_set() {
+    let net = BibNetwork::generate(
+        DblpParams { papers: 2_000, venues: 25, ..Default::default() },
+        9,
+    );
+    let graph = &net.graph;
+    let mut prev_ws = f64::INFINITY;
+    for k in [5usize, 20, 60] {
+        let clustering = cluster_graph(graph, k, ClusteringOptions::default());
+        let clg = temp_path(&format!("ws-{k}.clg"));
+        write_clustered_graph(graph, &clustering, &clg).unwrap();
+        let disk = DiskGraph::open(&clg, 1).unwrap();
+        let ws = disk.largest_cluster_bytes() as f64
+            / disk.total_cluster_bytes() as f64;
+        assert!(ws <= prev_ws + 0.05, "k {k}: {ws} vs {prev_ws}");
+        prev_ws = ws;
+        std::fs::remove_file(&clg).unwrap();
+    }
+    assert!(prev_ws < 0.35, "60 clusters must shrink the working set");
+}

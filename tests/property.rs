@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! full pipeline on small random graphs.
+
+use fastppv::baselines::exact::{exact_ppv, ExactOptions};
+use fastppv::core::index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
+use fastppv::core::query::{QueryEngine, StoppingCondition};
+use fastppv::core::{build_index_parallel, Config, HubSet};
+use fastppv::graph::builder::from_edges;
+use fastppv::graph::{NodeId, SparseVector};
+use fastppv::metrics::{kendall_tau, precision_at_k, rag, AccuracyReport};
+use proptest::prelude::*;
+
+/// Strategy: a small random directed graph as (n, edge list).
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (4usize..20).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as NodeId, 0..n as NodeId),
+            1..60,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_vector_axpy_matches_dense((xs, ys, coeff) in (
+        prop::collection::vec((0u32..50, -10.0..10.0f64), 0..30),
+        prop::collection::vec((0u32..50, -10.0..10.0f64), 0..30),
+        -4.0..4.0f64,
+    )) {
+        let a = SparseVector::from_unsorted(xs.clone());
+        let b = SparseVector::from_unsorted(ys.clone());
+        let mut c = a.clone();
+        c.axpy(coeff, &b);
+        for v in 0..50u32 {
+            let expected = a.get(v) + coeff * b.get(v);
+            prop_assert!((c.get(v) - expected).abs() < 1e-9);
+        }
+        // Entries stay strictly sorted.
+        prop_assert!(c.entries().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn fastppv_converges_to_exact_on_random_graphs(
+        (n, edges) in small_graph(),
+        hub_bits in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        let g = from_edges(n, &edges);
+        let hub_ids: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| hub_bits.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let hubs = HubSet::from_ids(n, hub_ids);
+        let config = Config::exhaustive();
+        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let q = (edges[0].0 as usize % n) as NodeId;
+        let exact = exact_ppv(&g, q, ExactOptions::default());
+        let result = engine.query(q, &StoppingCondition::l1_error(1e-8));
+        for v in 0..n as NodeId {
+            prop_assert!(
+                (result.scores.get(v) - exact[v as usize]).abs() < 1e-5,
+                "node {} of {}: {} vs {}", v, n, result.scores.get(v), exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_always_a_valid_upper_bound(
+        (n, edges) in small_graph(),
+        eta in 0usize..4,
+    ) {
+        let g = from_edges(n, &edges);
+        let hubs = HubSet::from_ids(n, vec![0, (n as NodeId) / 2]);
+        let config = Config::default(); // truncation on
+        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let q = (n as NodeId) - 1;
+        let exact = exact_ppv(&g, q, ExactOptions::default());
+        let result = engine.query(q, &StoppingCondition::iterations(eta));
+        let true_gap = result.scores.l1_distance_dense(&exact);
+        prop_assert!(result.l1_error >= true_gap - 1e-6);
+    }
+
+    #[test]
+    fn index_codec_round_trips(
+        hubs in prop::collection::btree_map(0u32..500, prop::collection::vec(
+            (0u32..1000, 1e-6..1.0f64), 0..40), 1..10),
+    ) {
+        let mut index = MemoryIndex::new(500);
+        for (&h, entries) in &hubs {
+            index.insert(h, PrimePpv {
+                entries: SparseVector::from_unsorted(entries.clone()),
+            });
+        }
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "fastppv-prop-{}-{}.idx",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        index.write_to_file(&path).unwrap();
+        let disk = DiskIndex::open(&path, 4).unwrap();
+        prop_assert_eq!(disk.hub_count(), index.hub_count());
+        for &h in hubs.keys() {
+            let a = index.get(h).unwrap();
+            let b = disk.get(h).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (&(va, sa), &(vb, sb)) in
+                a.entries.entries().iter().zip(b.entries.entries())
+            {
+                prop_assert_eq!(va, vb);
+                prop_assert!((sa - sb).abs() <= sa.abs() * 1e-6 + 1e-9);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metric_invariants(
+        exact in prop::collection::vec(0.0..1.0f64, 5..40),
+        approx_entries in prop::collection::vec((0u32..40, 0.0..1.0f64), 1..30),
+        k in 1usize..12,
+    ) {
+        let approx = SparseVector::from_unsorted(
+            approx_entries.into_iter()
+                .filter(|&(v, _)| (v as usize) < 5.max(exact.len()))
+                .filter(|&(v, _)| (v as usize) < exact.len())
+                .collect(),
+        );
+        let tau = kendall_tau(&exact, &approx, k);
+        prop_assert!((-1.0..=1.0).contains(&tau), "tau {}", tau);
+        let p = precision_at_k(&exact, &approx, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let r = rag(&exact, &approx, k);
+        prop_assert!(r >= 0.0 && r <= 1.0 + 1e-9, "rag {}", r);
+        // Self-comparison is perfect.
+        let self_sparse = SparseVector::from_sorted(
+            exact.iter().enumerate()
+                .filter(|&(_, &s)| s > 0.0)
+                .map(|(i, &s)| (i as u32, s)).collect(),
+        );
+        let report = AccuracyReport::compute(&exact, &self_sparse, k);
+        prop_assert!(report.kendall > 0.999);
+        prop_assert!(report.precision > 0.999);
+        prop_assert!((report.rag - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_sum_below_one(
+        (n, edges) in small_graph(),
+    ) {
+        // No PPV estimate may ever exceed total probability 1.
+        let g = from_edges(n, &edges);
+        let hubs = HubSet::from_ids(n, vec![1.min(n as u32 - 1)]);
+        let config = Config::default();
+        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        for q in 0..(n as NodeId).min(4) {
+            let r = engine.query(q, &StoppingCondition::iterations(5));
+            prop_assert!(r.scores.l1_norm() <= 1.0 + 1e-9);
+        }
+    }
+}
