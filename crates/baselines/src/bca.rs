@@ -27,7 +27,11 @@ pub struct BcaOptions {
 
 impl Default for BcaOptions {
     fn default() -> Self {
-        BcaOptions { alpha: 0.15, residual_target: 1e-4, max_pushes: 50_000_000 }
+        BcaOptions {
+            alpha: 0.15,
+            residual_target: 1e-4,
+            max_pushes: 50_000_000,
+        }
     }
 }
 
@@ -107,7 +111,9 @@ pub fn bca_push_with_hubs<H: HubVectors>(
     let mut hub_absorptions = 0usize;
 
     while total_residual > opts.residual_target && pushes < opts.max_pushes {
-        let Some(HeapEntry(val, u)) = heap.pop() else { break };
+        let Some(HeapEntry(val, u)) = heap.pop() else {
+            break;
+        };
         let ru = residual.get(u);
         if ru <= 0.0 {
             continue; // stale entry
@@ -172,7 +178,10 @@ mod tests {
         let res = bca_push(
             &g,
             toy::A,
-            BcaOptions { residual_target: 1e-10, ..Default::default() },
+            BcaOptions {
+                residual_target: 1e-10,
+                ..Default::default()
+            },
         );
         let exact = exact_ppv(&g, toy::A, ExactOptions::default());
         for v in g.nodes() {
@@ -189,7 +198,10 @@ mod tests {
         let res = bca_push(
             &g,
             7,
-            BcaOptions { residual_target: 0.05, ..Default::default() },
+            BcaOptions {
+                residual_target: 0.05,
+                ..Default::default()
+            },
         );
         let exact = exact_ppv(&g, 7, ExactOptions::default());
         let true_gap = res.estimate.l1_distance_dense(&exact);
@@ -208,7 +220,10 @@ mod tests {
         let res = bca_push(
             &g,
             0,
-            BcaOptions { residual_target: 0.02, ..Default::default() },
+            BcaOptions {
+                residual_target: 0.02,
+                ..Default::default()
+            },
         );
         let exact = exact_ppv(&g, 0, ExactOptions::default());
         for &(v, s) in res.estimate.entries() {
@@ -237,7 +252,10 @@ mod tests {
         let res = bca_push_with_hubs(
             &g,
             toy::A,
-            BcaOptions { residual_target: 1e-10, ..Default::default() },
+            BcaOptions {
+                residual_target: 1e-10,
+                ..Default::default()
+            },
             &OneHub(d_vec),
         );
         assert!(res.hub_absorptions >= 1);
@@ -253,12 +271,18 @@ mod tests {
         let loose = bca_push(
             &g,
             1,
-            BcaOptions { residual_target: 0.1, ..Default::default() },
+            BcaOptions {
+                residual_target: 0.1,
+                ..Default::default()
+            },
         );
         let tight = bca_push(
             &g,
             1,
-            BcaOptions { residual_target: 0.001, ..Default::default() },
+            BcaOptions {
+                residual_target: 0.001,
+                ..Default::default()
+            },
         );
         assert!(tight.pushes > loose.pushes);
     }

@@ -21,7 +21,11 @@ pub struct ExactOptions {
 
 impl Default for ExactOptions {
     fn default() -> Self {
-        ExactOptions { alpha: 0.15, tolerance: 1e-12, max_iterations: 500 }
+        ExactOptions {
+            alpha: 0.15,
+            tolerance: 1e-12,
+            max_iterations: 500,
+        }
     }
 }
 
@@ -57,8 +61,7 @@ pub fn exact_ppv(graph: &Graph, q: NodeId, opts: ExactOptions) -> Vec<f64> {
                 next[v as usize] += share;
             }
         }
-        let delta: f64 =
-            r.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = r.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut r, &mut next);
         if delta < opts.tolerance {
             break;
@@ -69,12 +72,7 @@ pub fn exact_ppv(graph: &Graph, q: NodeId, opts: ExactOptions) -> Vec<f64> {
 
 /// Like [`exact_ppv`] but returns a sparse vector, dropping entries below
 /// `clip`.
-pub fn exact_ppv_sparse(
-    graph: &Graph,
-    q: NodeId,
-    opts: ExactOptions,
-    clip: f64,
-) -> SparseVector {
+pub fn exact_ppv_sparse(graph: &Graph, q: NodeId, opts: ExactOptions, clip: f64) -> SparseVector {
     let dense = exact_ppv(graph, q, opts);
     SparseVector::from_sorted(
         dense
@@ -118,10 +116,7 @@ mod tests {
 
     #[test]
     fn satisfies_fixed_point() {
-        let g = from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (1, 4)],
-        );
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (1, 4)]);
         let r = exact_ppv(&g, 0, ExactOptions::default());
         for v in g.nodes() {
             let mut rhs = if v == 0 { 0.15 } else { 0.0 };

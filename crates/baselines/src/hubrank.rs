@@ -68,11 +68,7 @@ impl HubRankIndex {
 
     /// Total stored entries across all hub vectors.
     pub fn total_entries(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|v| v.len())
-            .sum()
+        self.slots.iter().flatten().map(|v| v.len()).sum()
     }
 
     /// Approximate index size in bytes (u32 id + f32 score per entry).
@@ -89,10 +85,7 @@ impl HubVectors for HubRankIndex {
 
 /// Selects `count` hubs by the uniform-query-log benefit proxy (descending
 /// global PageRank), returning them in benefit order.
-pub fn select_hubs_by_benefit(
-    count: usize,
-    pagerank: &[f64],
-) -> Vec<NodeId> {
+pub fn select_hubs_by_benefit(count: usize, pagerank: &[f64]) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = (0..pagerank.len() as NodeId).collect();
     order.sort_unstable_by(|&a, &b| {
         pagerank[b as usize]

@@ -182,8 +182,7 @@ pub fn build_fingerprint_index(
                 endpoints.push(e);
             }
         }
-        index.slots[h as usize] =
-            Some(Arc::new(Fingerprints::from_endpoints(endpoints)));
+        index.slots[h as usize] = Some(Arc::new(Fingerprints::from_endpoints(endpoints)));
     }
     index.build_time = start.elapsed();
     index
@@ -327,10 +326,17 @@ mod tests {
         let g = barabasi_albert(300, 3, 5);
         let pr = pagerank(&g, PageRankOptions::default());
         let hubs = crate::hubrank::select_hubs_by_benefit(15, &pr);
+        // Reused walks inherit the fingerprint index's empirical resolution
+        // (~sqrt of effective support / fingerprints_per_hub, ≈0.18 L1 at
+        // 5k per hub on this graph — a plateau more query samples cannot
+        // cross). 50k per hub brings the plateau under the 0.1 budget.
         let idx = build_fingerprint_index(
             &g,
             &hubs,
-            MonteCarloOptions { fingerprints_per_hub: 5_000, ..Default::default() },
+            MonteCarloOptions {
+                fingerprints_per_hub: 50_000,
+                ..Default::default()
+            },
         );
         let exact = exact_ppv(&g, 42, ExactOptions::default());
         let mut scratch = ScoreScratch::new(g.num_nodes());
@@ -351,8 +357,7 @@ mod tests {
         let g = barabasi_albert(200, 2, 6);
         let pr = pagerank(&g, PageRankOptions::default());
         let hubs = crate::hubrank::select_hubs_by_benefit(5, &pr);
-        let idx =
-            build_fingerprint_index(&g, &hubs, MonteCarloOptions::default());
+        let idx = build_fingerprint_index(&g, &hubs, MonteCarloOptions::default());
         let mut scratch = ScoreScratch::new(g.num_nodes());
         let res = montecarlo_query(
             &g,

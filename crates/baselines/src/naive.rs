@@ -11,12 +11,7 @@ use fastppv_graph::{Graph, NodeId};
 
 /// Sum of `R(t)` per endpoint over all tours from `q` with walk probability
 /// `≥ prune`. With `prune → 0` this converges to the exact PPV.
-pub fn inverse_p_distance(
-    graph: &Graph,
-    q: NodeId,
-    alpha: f64,
-    prune: f64,
-) -> Vec<f64> {
+pub fn inverse_p_distance(graph: &Graph, q: NodeId, alpha: f64, prune: f64) -> Vec<f64> {
     let parts = partition_by_hub_length(graph, q, &[], alpha, prune);
     let mut total = vec![0.0; graph.num_nodes()];
     for p in parts {
@@ -41,11 +36,28 @@ pub fn partition_by_hub_length(
     alpha: f64,
     prune: f64,
 ) -> Vec<Vec<f64>> {
+    partition_by_hub_length_with_pruned(graph, q, hubs, alpha, prune).0
+}
+
+/// Like [`partition_by_hub_length`], also returning `pruned`: element `l` is
+/// an upper bound on the tour mass lost to pruning at subtrees whose root
+/// has hub length `l`. Every pruned tour's hub length is ≥ its subtree
+/// root's, so the mass missing from partition `l` is at most
+/// `Σ_{i ≤ l} pruned[i]` — a computable per-level error budget for tests
+/// that compare these partitions against FastPPV's increments.
+pub fn partition_by_hub_length_with_pruned(
+    graph: &Graph,
+    q: NodeId,
+    hubs: &[bool],
+    alpha: f64,
+    prune: f64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
     assert!((q as usize) < graph.num_nodes(), "query node out of range");
     assert!(alpha > 0.0 && alpha < 1.0);
     assert!(prune > 0.0, "a zero prune threshold would not terminate");
     let is_hub = |v: NodeId| hubs.get(v as usize).copied().unwrap_or(false);
     let mut parts: Vec<Vec<f64>> = Vec::new();
+    let mut pruned: Vec<f64> = Vec::new();
     let add = |parts: &mut Vec<Vec<f64>>, level: usize, v: NodeId, mass: f64| {
         while parts.len() <= level {
             parts.push(vec![0.0; graph.num_nodes()]);
@@ -66,13 +78,19 @@ pub fn partition_by_hub_length(
         let hl_next = if depth > 0 && is_hub(v) { hl + 1 } else { hl };
         let w_next = w * (1.0 - alpha) / d as f64;
         if w_next < prune {
+            // The d dropped subtrees carry at most d·w_next = w·(1-α) of
+            // tour mass in total, all of it at hub length ≥ hl_next.
+            if pruned.len() <= hl_next {
+                pruned.resize(hl_next + 1, 0.0);
+            }
+            pruned[hl_next] += w * (1.0 - alpha);
             continue;
         }
         for &t in graph.out_neighbors(v) {
             stack.push((t, w_next, hl_next, depth + 1));
         }
     }
-    parts
+    (parts, pruned)
 }
 
 #[cfg(test)]
@@ -87,11 +105,7 @@ mod tests {
     fn matches_exact_on_toy_graph() {
         let g = toy::graph();
         let naive = inverse_p_distance(&g, toy::A, ALPHA, 1e-12);
-        let exact = crate::exact::exact_ppv(
-            &g,
-            toy::A,
-            crate::exact::ExactOptions::default(),
-        );
+        let exact = crate::exact::exact_ppv(&g, toy::A, crate::exact::ExactOptions::default());
         for v in g.nodes() {
             assert!(
                 (naive[v as usize] - exact[v as usize]).abs() < 1e-6,
@@ -106,11 +120,7 @@ mod tests {
     fn matches_exact_on_cyclic_graph() {
         let g = from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]);
         let naive = inverse_p_distance(&g, 0, ALPHA, 1e-11);
-        let exact = crate::exact::exact_ppv(
-            &g,
-            0,
-            crate::exact::ExactOptions::default(),
-        );
+        let exact = crate::exact::exact_ppv(&g, 0, crate::exact::ExactOptions::default());
         for v in g.nodes() {
             // Enumeration truncates per-path at 1e-11; the pruned frontier
             // can leave ~1e-5 of aggregate mass uncovered.
@@ -133,7 +143,7 @@ mod tests {
         }
         let parts = partition_by_hub_length(&g, toy::A, &hubs, ALPHA, 1e-12);
         let total = inverse_p_distance(&g, toy::A, ALPHA, 1e-12);
-        let mut sum = vec![0.0; 8];
+        let mut sum = [0.0; 8];
         for p in &parts {
             for (s, x) in sum.iter_mut().zip(p) {
                 *s += x;
@@ -171,8 +181,7 @@ mod tests {
             hubs[h as usize] = true;
         }
         let parts = partition_by_hub_length(&g, toy::A, &hubs, ALPHA, 1e-12);
-        let masses: Vec<f64> =
-            parts.iter().map(|p| p.iter().sum()).collect();
+        let masses: Vec<f64> = parts.iter().map(|p| p.iter().sum()).collect();
         assert!(masses.windows(2).all(|w| w[0] > w[1]), "{masses:?}");
     }
 

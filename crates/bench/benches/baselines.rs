@@ -5,12 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use fastppv_baselines::bca::{bca_push_with_hubs, BcaOptions};
-use fastppv_baselines::hubrank::{
-    build_hubrank_index, select_hubs_by_benefit, HubRankOptions,
-};
-use fastppv_baselines::montecarlo::{
-    build_fingerprint_index, montecarlo_query, MonteCarloOptions,
-};
+use fastppv_baselines::hubrank::{build_hubrank_index, select_hubs_by_benefit, HubRankOptions};
+use fastppv_baselines::montecarlo::{build_fingerprint_index, montecarlo_query, MonteCarloOptions};
 use fastppv_bench::datasets;
 use fastppv_bench::workload::sample_queries;
 use fastppv_core::hubs::{select_hubs, HubPolicy};
@@ -49,7 +45,10 @@ fn bench_methods(c: &mut Criterion) {
     let hr_index = build_hubrank_index(
         graph,
         &benefit_hubs,
-        HubRankOptions { offline_residual: 2e-3, ..Default::default() },
+        HubRankOptions {
+            offline_residual: 2e-3,
+            ..Default::default()
+        },
     );
     for push in [0.11f64, 0.02] {
         group.bench_with_input(
@@ -64,17 +63,17 @@ fn bench_methods(c: &mut Criterion) {
                 b.iter(|| {
                     let q = queries[i % queries.len()];
                     i += 1;
-                    std::hint::black_box(bca_push_with_hubs(
-                        graph, q, opts, &hr_index,
-                    ))
+                    std::hint::black_box(bca_push_with_hubs(graph, q, opts, &hr_index))
                 });
             },
         );
     }
 
     // MonteCarlo at two sample budgets.
-    let mc_opts =
-        MonteCarloOptions { fingerprints_per_hub: 2_000, ..Default::default() };
+    let mc_opts = MonteCarloOptions {
+        fingerprints_per_hub: 2_000,
+        ..Default::default()
+    };
     let mc_index = build_fingerprint_index(graph, &benefit_hubs, mc_opts);
     for samples in [2_000usize, 12_000] {
         group.bench_with_input(

@@ -26,9 +26,7 @@ fn bench_accuracy_report(c: &mut Criterion) {
             .collect(),
     );
     c.bench_function("accuracy_report_100k", |b| {
-        b.iter(|| {
-            std::hint::black_box(AccuracyReport::compute(&exact, &approx, 10))
-        });
+        b.iter(|| std::hint::black_box(AccuracyReport::compute(&exact, &approx, 10)));
     });
 }
 

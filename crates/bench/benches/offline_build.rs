@@ -17,30 +17,13 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("offline_build");
     group.sample_size(10);
     for divisor in [50usize, 25, 12] {
-        let hubs =
-            select_hubs(graph, HubPolicy::ExpectedUtility, n / divisor, 0);
-        group.bench_with_input(
-            BenchmarkId::new("serial", hubs.len()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(build_index_parallel(
-                        graph, &hubs, &config, 1,
-                    ))
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("threads4", hubs.len()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(build_index_parallel(
-                        graph, &hubs, &config, 4,
-                    ))
-                });
-            },
-        );
+        let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / divisor, 0);
+        group.bench_with_input(BenchmarkId::new("serial", hubs.len()), &(), |b, _| {
+            b.iter(|| std::hint::black_box(build_index_parallel(graph, &hubs, &config, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("threads4", hubs.len()), &(), |b, _| {
+            b.iter(|| std::hint::black_box(build_index_parallel(graph, &hubs, &config, 4)));
+        });
     }
     group.finish();
 }

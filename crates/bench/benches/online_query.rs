@@ -16,32 +16,22 @@ fn bench_eta(c: &mut Criterion) {
     let dataset = datasets::dblp(0.2, 42);
     let graph = &dataset.graph;
     let config = Config::default().with_epsilon(1e-6);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 25,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 25, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
     let queries = sample_queries(graph, 16, 7);
     let mut group = c.benchmark_group("online_query_eta");
     group.sample_size(20);
     for eta in [0usize, 1, 2, 3] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(eta),
-            &eta,
-            |b, &eta| {
-                let mut engine =
-                    QueryEngine::new(graph, &hubs, &index, config);
-                let stop = StoppingCondition::iterations(eta);
-                let mut i = 0;
-                b.iter(|| {
-                    let q = queries[i % queries.len()];
-                    i += 1;
-                    std::hint::black_box(engine.query(q, &stop))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
+            let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+            let stop = StoppingCondition::iterations(eta);
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(engine.query(q, &stop))
+            });
+        });
     }
     group.finish();
 }
@@ -61,21 +51,16 @@ fn bench_hub_count(c: &mut Criterion) {
             0,
         );
         let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(hubs.len()),
-            &(),
-            |b, _| {
-                let mut engine =
-                    QueryEngine::new(graph, &hubs, &index, config);
-                let stop = StoppingCondition::iterations(2);
-                let mut i = 0;
-                b.iter(|| {
-                    let q = queries[i % queries.len()];
-                    i += 1;
-                    std::hint::black_box(engine.query(q, &stop))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(hubs.len()), &(), |b, _| {
+            let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+            let stop = StoppingCondition::iterations(2);
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(engine.query(q, &stop))
+            });
+        });
     }
     group.finish();
 }

@@ -15,36 +15,18 @@ fn bench_extract_and_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("prime_ppv");
     group.sample_size(30);
     for (label, divisor) in [("hubs_1pct", 100usize), ("hubs_4pct", 25)] {
-        let hubs =
-            select_hubs(graph, HubPolicy::ExpectedUtility, n / divisor, 0);
+        let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / divisor, 0);
         let config = Config::default().with_epsilon(1e-6);
         // A non-hub source with an average-sized neighborhood.
-        let source =
-            (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
-        group.bench_with_input(
-            BenchmarkId::new("extract", label),
-            &(),
-            |b, _| {
-                let mut pc = PrimeComputer::new(n);
-                b.iter(|| {
-                    std::hint::black_box(
-                        pc.extract(graph, &hubs, source, &config),
-                    )
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("extract_and_solve", label),
-            &(),
-            |b, _| {
-                let mut pc = PrimeComputer::new(n);
-                b.iter(|| {
-                    std::hint::black_box(
-                        pc.prime_ppv(graph, &hubs, source, &config, 1e-4),
-                    )
-                });
-            },
-        );
+        let source = (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+        group.bench_with_input(BenchmarkId::new("extract", label), &(), |b, _| {
+            let mut pc = PrimeComputer::new(n);
+            b.iter(|| std::hint::black_box(pc.extract(graph, &hubs, source, &config)));
+        });
+        group.bench_with_input(BenchmarkId::new("extract_and_solve", label), &(), |b, _| {
+            let mut pc = PrimeComputer::new(n);
+            b.iter(|| std::hint::black_box(pc.prime_ppv(graph, &hubs, source, &config, 1e-4)));
+        });
     }
     group.finish();
 }
@@ -64,11 +46,7 @@ fn bench_epsilon(c: &mut Criterion) {
             &(),
             |b, _| {
                 let mut pc = PrimeComputer::new(n);
-                b.iter(|| {
-                    std::hint::black_box(
-                        pc.prime_ppv(graph, &hubs, source, &config, 1e-4),
-                    )
-                });
+                b.iter(|| std::hint::black_box(pc.prime_ppv(graph, &hubs, source, &config, 1e-4)));
             },
         );
     }

@@ -30,11 +30,7 @@ fn main() {
     println!("# Ablations: ε / δ / clip (DBLP-like)");
     let dataset = datasets::dblp(args.scale, args.seed);
     let graph = &dataset.graph;
-    println!(
-        "{} nodes, {} edges",
-        graph.num_nodes(),
-        graph.num_edges()
-    );
+    println!("{} nodes, {} edges", graph.num_nodes(), graph.num_edges());
     let pr = pagerank(graph, PageRankOptions::default());
     let queries = sample_queries(graph, args.queries, args.seed);
     let truth = ground_truth(graph, &queries);
@@ -64,25 +60,43 @@ fn main() {
         ]);
     };
     let headers = vec![
-        "value", "Kendall", "Precision", "L1 sim", "online/query",
-        "offline time", "offline space", "avg subgraph",
+        "value",
+        "Kendall",
+        "Precision",
+        "L1 sim",
+        "online/query",
+        "offline time",
+        "offline space",
+        "avg subgraph",
     ];
 
     let mut eps_table = Table::new(headers.clone());
     for eps in [1e-4, 1e-5, 1e-6, 1e-7, 1e-8] {
-        run(&mut eps_table, format!("eps={eps:.0e}"), base.with_epsilon(eps));
+        run(
+            &mut eps_table,
+            format!("eps={eps:.0e}"),
+            base.with_epsilon(eps),
+        );
     }
     eps_table.print("Ablation: prime-subgraph prune threshold ε");
 
     let mut delta_table = Table::new(headers.clone());
     for delta in [0.05, 0.01, 0.005, 0.001, 0.0] {
-        run(&mut delta_table, format!("delta={delta}"), base.with_delta(delta));
+        run(
+            &mut delta_table,
+            format!("delta={delta}"),
+            base.with_delta(delta),
+        );
     }
     delta_table.print("Ablation: border-hub expansion threshold δ");
 
     let mut clip_table = Table::new(headers);
     for clip in [1e-3, 1e-4, 1e-5, 0.0] {
-        run(&mut clip_table, format!("clip={clip:.0e}"), base.with_clip(clip));
+        run(
+            &mut clip_table,
+            format!("clip={clip:.0e}"),
+            base.with_clip(clip),
+        );
     }
     clip_table.print("Ablation: index storage clip threshold");
 
@@ -91,23 +105,16 @@ fn main() {
     use fastppv_core::codec::{write_compressed, ScoreQuantization};
     use fastppv_core::offline::build_index_parallel;
     use fastppv_core::select_hubs_with_pagerank;
-    let hubs = select_hubs_with_pagerank(
-        graph,
-        HubPolicy::ExpectedUtility,
-        hub_count,
-        0,
-        Some(&pr),
-    );
+    let hubs =
+        select_hubs_with_pagerank(graph, HubPolicy::ExpectedUtility, hub_count, 0, Some(&pr));
     let (index, _) = build_index_parallel(graph, &hubs, &base, args.threads);
     let tmp = std::env::temp_dir();
     let plain = tmp.join(format!("fastppv-abl-{}.idx", std::process::id()));
     let f32c = tmp.join(format!("fastppv-abl-{}.idx2", std::process::id()));
     let u16c = tmp.join(format!("fastppv-abl-{}.idx2q", std::process::id()));
     index.write_to_file(&plain).expect("write plain");
-    write_compressed(&index, &f32c, ScoreQuantization::F32)
-        .expect("write f32");
-    write_compressed(&index, &u16c, ScoreQuantization::LogU16)
-        .expect("write u16");
+    write_compressed(&index, &f32c, ScoreQuantization::F32).expect("write f32");
+    write_compressed(&index, &u16c, ScoreQuantization::LogU16).expect("write u16");
     let mut fmt_table = Table::new(vec!["format", "bytes", "vs plain"]);
     let plain_len = std::fs::metadata(&plain).unwrap().len();
     for (name, path) in [

@@ -36,22 +36,33 @@ fn main() {
     );
 
     let mut fig5 = Table::new(vec![
-        "Config", "dataset", "all:|H|", "HubRankP:push", "MonteCarlo:N",
+        "Config",
+        "dataset",
+        "all:|H|",
+        "HubRankP:push",
+        "MonteCarlo:N",
         "FastPPV:eta",
     ]);
     let mut fig6 = Table::new(vec![
-        "Config", "method", "Kendall", "Precision", "RAG", "L1 sim",
+        "Config",
+        "method",
+        "Kendall",
+        "Precision",
+        "RAG",
+        "L1 sim",
     ]);
     let mut fig7 = Table::new(vec![
-        "Config", "method", "online/query", "offline space", "offline time",
+        "Config",
+        "method",
+        "online/query",
+        "offline space",
+        "offline time",
     ]);
 
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(
@@ -101,7 +112,10 @@ fn main() {
                     // Looser offline residual keeps the (inherently
                     // sequential) hub-vector builds tractable; online
                     // accuracy is governed by the push knob.
-                    HubRankOptions { offline_residual: 2e-3, ..Default::default() },
+                    HubRankOptions {
+                        offline_residual: 2e-3,
+                        ..Default::default()
+                    },
                     &queries,
                     &truth,
                     &pr,
@@ -133,10 +147,8 @@ fn main() {
                 "config {}: FastPPV online {:.1}x vs HubRankP, {:.1}x vs MonteCarlo; \
                  offline {:.1}x / {:.1}x",
                 cfg.label,
-                h.online_per_query.as_secs_f64()
-                    / f.online_per_query.as_secs_f64(),
-                m.online_per_query.as_secs_f64()
-                    / f.online_per_query.as_secs_f64(),
+                h.online_per_query.as_secs_f64() / f.online_per_query.as_secs_f64(),
+                m.online_per_query.as_secs_f64() / f.online_per_query.as_secs_f64(),
                 h.offline_time.as_secs_f64() / f.offline_time.as_secs_f64(),
                 m.offline_time.as_secs_f64() / f.offline_time.as_secs_f64(),
             );
@@ -145,9 +157,7 @@ fn main() {
 
     fig5.print("Fig. 5 — accuracy-moderated configurations");
     fig6.print("Fig. 6 — accuracy parity (paper: all methods ~equal per config)");
-    fig7.print(
-        "Fig. 7 — cost comparison (paper: FastPPV fastest online AND offline)",
-    );
+    fig7.print("Fig. 7 — cost comparison (paper: FastPPV fastest online AND offline)");
 }
 
 fn push_accuracy(t: &mut Table, label: &str, row: &MethodRow) {

@@ -22,17 +22,15 @@ fn main() {
     let lj = datasets::livejournal(args.scale, args.seed);
 
     let mut t = Table::new(vec![
-        "property", "DBLP-like (gen)", "LiveJournal-like (gen)", "paper DBLP",
+        "property",
+        "DBLP-like (gen)",
+        "LiveJournal-like (gen)",
+        "paper DBLP",
         "paper LJ sample",
     ]);
     let ds = graph_stats(&dblp.graph);
     let ls = graph_stats(&lj.graph);
-    let row = |t: &mut Table,
-               name: &str,
-               d: String,
-               l: String,
-               pd: &str,
-               pl: &str| {
+    let row = |t: &mut Table, name: &str, d: String, l: String, pd: &str, pl: &str| {
         t.row(vec![name.to_string(), d, l, pd.to_string(), pl.to_string()]);
     };
     row(
@@ -93,9 +91,7 @@ fn main() {
     );
     t.print("Generated datasets vs the paper's (published/typical values)");
 
-    for (name, graph) in
-        [("DBLP-like", &dblp.graph), ("LiveJournal-like", &lj.graph)]
-    {
+    for (name, graph) in [("DBLP-like", &dblp.graph), ("LiveJournal-like", &lj.graph)] {
         let hist = out_degree_histogram(graph);
         let mut ht = Table::new(vec!["out-degree range", "nodes"]);
         for (i, &count) in hist.iter().enumerate() {

@@ -34,14 +34,16 @@ fn main() {
     println!("# Fig. 16: disk-based online query processing");
     let tmp = std::env::temp_dir();
     let mut fig16 = Table::new(vec![
-        "dataset", "#clusters", "faults/query", "time/query", "memory need",
+        "dataset",
+        "#clusters",
+        "faults/query",
+        "time/query",
+        "memory need",
     ]);
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(
@@ -67,26 +69,19 @@ fn main() {
             dataset.name
         ));
         index.write_to_file(&idx_path).expect("write index");
-        let disk_index =
-            DiskIndex::open(&idx_path, 64).expect("open disk index");
+        let disk_index = DiskIndex::open(&idx_path, 64).expect("open disk index");
         let queries = sample_queries(graph, args.queries, args.seed);
 
         for n_clusters in [10usize, 15, 25, 35, 50] {
-            let clustering = cluster_graph(
-                graph,
-                n_clusters,
-                ClusteringOptions::default(),
-            );
+            let clustering = cluster_graph(graph, n_clusters, ClusteringOptions::default());
             let clg_path = tmp.join(format!(
                 "fastppv-exp-disk-{}-{}-{n_clusters}.clg",
                 std::process::id(),
                 dataset.name
             ));
-            write_clustered_graph(graph, &clustering, &clg_path)
-                .expect("write clustered graph");
+            write_clustered_graph(graph, &clustering, &clg_path).expect("write clustered graph");
             // One resident cluster: the paper's reduced memory budget.
-            let mut disk =
-                DiskGraph::open(&clg_path, 1).expect("open clustered graph");
+            let mut disk = DiskGraph::open(&clg_path, 1).expect("open clustered graph");
             let mut ws = DiskQueryWorkspace::new(graph.num_nodes());
             let mut faults = 0u64;
             let mut elapsed = Duration::ZERO;
@@ -112,8 +107,7 @@ fn main() {
                 fmt_ms(elapsed / nq as u32),
                 format!(
                     "{:.1}%",
-                    100.0 * disk.largest_cluster_bytes() as f64
-                        / disk.total_cluster_bytes() as f64
+                    100.0 * disk.largest_cluster_bytes() as f64 / disk.total_cluster_bytes() as f64
                 ),
             ]);
             std::fs::remove_file(&clg_path).ok();

@@ -29,11 +29,7 @@ fn main() {
     println!("# Dynamic updates: incremental refresh vs full rebuild");
     let dataset = datasets::livejournal(args.scale, args.seed);
     let graph = dataset.graph;
-    println!(
-        "{} nodes, {} edges",
-        graph.num_nodes(),
-        graph.num_edges()
-    );
+    println!("{} nodes, {} edges", graph.num_nodes(), graph.num_edges());
     let pr = pagerank(&graph, PageRankOptions::default());
     let hubs = select_hubs_with_pagerank(
         &graph,
@@ -49,8 +45,7 @@ fn main() {
         Some(&pr),
     );
     let config = Config::default().with_epsilon(1e-6);
-    let (index, build_stats) =
-        build_index_parallel(&graph, &hubs, &config, args.threads);
+    let (index, build_stats) = build_index_parallel(&graph, &hubs, &config, args.threads);
     println!(
         "|H| = {}, initial build {:.2}s",
         hubs.len(),
@@ -58,8 +53,12 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "batch size", "affected hubs", "refresh time", "rebuild time",
-        "speedup", "identical",
+        "batch size",
+        "affected hubs",
+        "refresh time",
+        "rebuild time",
+        "speedup",
+        "identical",
     ]);
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     for batch in [1usize, 4, 16, 64] {
@@ -77,9 +76,7 @@ fn main() {
         let tails: Vec<NodeId> = edges.iter().map(|&(u, _)| u).collect();
 
         let t = std::time::Instant::now();
-        let (refreshed, stats) = refresh_index(
-            &index, &graph, &new_graph, &hubs, &tails, &config,
-        );
+        let (refreshed, stats) = refresh_index(&index, &graph, &new_graph, &hubs, &tails, &config);
         let refresh_time = t.elapsed();
 
         let t = std::time::Instant::now();
@@ -87,8 +84,7 @@ fn main() {
         let rebuild_time = t.elapsed();
 
         let identical = hubs.ids().iter().all(|&h| {
-            refreshed.get(h).map(|p| p.entries.clone())
-                == rebuilt.get(h).map(|p| p.entries.clone())
+            refreshed.get(h).map(|p| p.entries.clone()) == rebuilt.get(h).map(|p| p.entries.clone())
         });
         table.row(vec![
             batch.to_string(),
@@ -115,8 +111,7 @@ fn main() {
 fn insert_edges(graph: &Graph, new_edges: &[(NodeId, NodeId)]) -> Graph {
     let mut b = GraphBuilder::new(graph.num_nodes())
         .with_edge_capacity(graph.num_edges() + new_edges.len());
-    let gains: std::collections::HashSet<NodeId> =
-        new_edges.iter().map(|&(u, _)| u).collect();
+    let gains: std::collections::HashSet<NodeId> = new_edges.iter().map(|&(u, _)| u).collect();
     for (u, v) in graph.edges() {
         if u == v && gains.contains(&u) {
             continue;

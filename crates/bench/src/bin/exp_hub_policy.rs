@@ -33,18 +33,19 @@ fn main() {
         HubPolicy::Random,
     ];
     let mut fig8 = Table::new(vec![
-        "dataset", "policy", "Kendall", "Precision", "RAG", "L1 sim",
+        "dataset",
+        "policy",
+        "Kendall",
+        "Precision",
+        "RAG",
+        "L1 sim",
         "time/query",
     ]);
-    let mut fig9 = Table::new(vec![
-        "dataset", "policy", "offline space", "offline time",
-    ]);
+    let mut fig9 = Table::new(vec!["dataset", "policy", "offline space", "offline time"]);
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(

@@ -27,18 +27,19 @@ fn main() {
     let args = CommonArgs::parse(40);
     println!("# Fig. 12: incremental online processing (varying η)");
     let mut fig12 = Table::new(vec![
-        "dataset", "eta", "Kendall", "Precision", "RAG", "L1 sim",
+        "dataset",
+        "eta",
+        "Kendall",
+        "Precision",
+        "RAG",
+        "L1 sim",
         "time/query",
     ]);
-    let mut phi = Table::new(vec![
-        "dataset", "k", "mean φ(k) (Eq. 6)", "Theorem 2 bound",
-    ]);
+    let mut phi = Table::new(vec!["dataset", "k", "mean φ(k) (Eq. 6)", "Theorem 2 bound"]);
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(
@@ -97,17 +98,17 @@ fn main() {
             &setup_exact.index,
             setup_exact.config,
         );
-        let mut phis = vec![0.0f64; 4];
+        let mut phis = [0.0f64; 4];
         let sample = &queries[..queries.len().min(10)];
         for &q in sample {
             let r = engine.query(q, &StoppingCondition::iterations(3));
-            for k in 0..=3 {
+            for (k, phi_k) in phis.iter_mut().enumerate() {
                 let p = r
                     .iteration_stats
                     .get(k)
                     .map(|s| s.l1_error_after)
                     .unwrap_or(0.0);
-                phis[k] += p / sample.len() as f64;
+                *phi_k += p / sample.len() as f64;
             }
         }
         for (k, &p) in phis.iter().enumerate() {

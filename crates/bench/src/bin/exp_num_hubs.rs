@@ -29,17 +29,19 @@ fn main() {
         (DatasetKind::LiveJournal, &[0.04, 0.08, 0.125, 0.16, 0.20]),
     ];
     let mut fig10 = Table::new(vec![
-        "dataset", "|H|", "Kendall", "Precision", "RAG", "L1 sim",
+        "dataset",
+        "|H|",
+        "Kendall",
+        "Precision",
+        "RAG",
+        "L1 sim",
         "time/query",
     ]);
-    let mut fig11 =
-        Table::new(vec!["dataset", "|H|", "total space", "total time"]);
+    let mut fig11 = Table::new(vec!["dataset", "|H|", "total space", "total time"]);
     for (kind, fractions) in sweeps {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(
@@ -80,10 +82,6 @@ fn main() {
             ]);
         }
     }
-    fig10.print(
-        "Fig. 10 — |H| vs online (paper: time drops, accuracy robust)",
-    );
-    fig11.print(
-        "Fig. 11 — |H| vs offline (paper: space sublinear, time decreases)",
-    );
+    fig10.print("Fig. 10 — |H| vs online (paper: time drops, accuracy robust)");
+    fig11.print("Fig. 11 — |H| vs offline (paper: space sublinear, time decreases)");
 }

@@ -28,11 +28,21 @@ fn main() {
 
     let mut fig13 = Table::new(vec!["series", "label", "nodes", "edges"]);
     let mut fig14 = Table::new(vec![
-        "series", "label", "|H|", "Kendall", "Precision", "RAG", "L1 sim",
+        "series",
+        "label",
+        "|H|",
+        "Kendall",
+        "Precision",
+        "RAG",
+        "L1 sim",
         "time/query",
     ]);
     let mut fig15 = Table::new(vec![
-        "series", "label", "nodes+edges", "total space", "total time",
+        "series",
+        "label",
+        "nodes+edges",
+        "total space",
+        "total time",
     ]);
 
     // --- DBLP snapshots by year (Fig. 13a), |H| = 4% of each snapshot.
@@ -76,9 +86,7 @@ fn main() {
         "Fig. 14 — near-constant online time via growing |H| \
          (paper: ~15ms DBLP / ~29ms LJ at every size)",
     );
-    fig15.print(
-        "Fig. 15 — offline costs vs graph size (paper: linear growth)",
-    );
+    fig15.print("Fig. 15 — offline costs vs graph size (paper: linear growth)");
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -29,17 +29,22 @@ fn main() {
     println!("# Throughput: queries/second vs worker threads");
     println!(
         "(host exposes {} core(s); speedup is bounded by that)",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
     let mut table = Table::new(vec![
-        "dataset", "threads", "queries", "wall time", "QPS", "speedup",
+        "dataset",
+        "threads",
+        "queries",
+        "wall time",
+        "QPS",
+        "speedup",
     ]);
     for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
         let dataset = match kind {
             DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => {
-                datasets::livejournal(args.scale, args.seed)
-            }
+            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
         };
         let graph = &dataset.graph;
         println!(
@@ -65,24 +70,20 @@ fn main() {
         for threads in [1usize, 2, 4, 8] {
             let next = AtomicUsize::new(0);
             let started = Instant::now();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| {
-                        let mut engine =
-                            QueryEngine::new(graph, &hubs, &index, config);
+                    scope.spawn(|| {
+                        let mut engine = QueryEngine::new(graph, &hubs, &index, config);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= queries.len() {
                                 break;
                             }
-                            std::hint::black_box(
-                                engine.query(queries[i], &stop),
-                            );
+                            std::hint::black_box(engine.query(queries[i], &stop));
                         }
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
             let elapsed = started.elapsed();
             let qps = queries.len() as f64 / elapsed.as_secs_f64();
             if threads == 1 {
@@ -98,7 +99,5 @@ fn main() {
             ]);
         }
     }
-    table.print(
-        "Query throughput — read-only online phase scales with threads",
-    );
+    table.print("Query throughput — read-only online phase scales with threads");
 }

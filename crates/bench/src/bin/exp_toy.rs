@@ -36,10 +36,15 @@ fn main() {
         ("t4: a->b->c", &[toy::A, toy::B, toy::C]),
         ("t5: a->f->d->c", &[toy::A, toy::F, toy::D, toy::C]),
         ("t6: a->b->d->c", &[toy::A, toy::B, toy::D, toy::C]),
-        ("t7: a->f->g->d->c", &[toy::A, toy::F, toy::G, toy::D, toy::C]),
+        (
+            "t7: a->f->g->d->c",
+            &[toy::A, toy::F, toy::G, toy::D, toy::C],
+        ),
     ];
     let mut fig1 = Table::new(vec!["tour", "R(t) measured", "R(t) paper"]);
-    let paper_vals = ["0.0255", "0.0216", "0.0108", "0.0072", "0.0046", "0.0046*", "0.0017*"];
+    let paper_vals = [
+        "0.0255", "0.0216", "0.0108", "0.0072", "0.0046", "0.0046*", "0.0017*",
+    ];
     for ((name, tour), paper) in tours.iter().zip(paper_vals) {
         let mut r = ALPHA * (1.0 - ALPHA).powi(tour.len() as i32 - 1);
         for w in tour.windows(2) {
@@ -74,7 +79,11 @@ fn main() {
     let mut engine = QueryEngine::new(&g, &hubs, &index, config);
     let exact = exact_ppv(&g, toy::A, ExactOptions::default());
     let mut fig2 = Table::new(vec![
-        "node", "after T0", "after T0..T1", "after T0..T2", "exact r_a",
+        "node",
+        "after T0",
+        "after T0..T1",
+        "after T0..T2",
+        "exact r_a",
     ]);
     let snapshots: Vec<_> = (0..3)
         .map(|eta| {
@@ -96,7 +105,10 @@ fn main() {
 
     // Fig. 4 / Theorem 4: increments == naive partitions, level by level.
     let mut fig4 = Table::new(vec![
-        "level", "assembled increment", "naive tour mass", "abs diff",
+        "level",
+        "assembled increment",
+        "naive tour mass",
+        "abs diff",
     ]);
     let result = engine.query(toy::A, &StoppingCondition::iterations(8));
     for stat in &result.iteration_stats {

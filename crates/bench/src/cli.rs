@@ -37,10 +37,7 @@ impl CommonArgs {
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn parse_from(
-        args: impl IntoIterator<Item = String>,
-        default_queries: usize,
-    ) -> Self {
+    pub fn parse_from(args: impl IntoIterator<Item = String>, default_queries: usize) -> Self {
         let mut out = CommonArgs {
             scale: 1.0,
             queries: default_queries,
@@ -59,17 +56,11 @@ impl CommonArgs {
             };
             match flag.as_str() {
                 "--scale" => out.scale = take("--scale").parse().unwrap(),
-                "--queries" => {
-                    out.queries = take("--queries").parse().unwrap()
-                }
+                "--queries" => out.queries = take("--queries").parse().unwrap(),
                 "--seed" => out.seed = take("--seed").parse().unwrap(),
-                "--threads" => {
-                    out.threads = take("--threads").parse().unwrap()
-                }
+                "--threads" => out.threads = take("--threads").parse().unwrap(),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --scale F  --queries N  --seed S  --threads T"
-                    );
+                    eprintln!("options: --scale F  --queries N  --seed S  --threads T");
                     std::process::exit(0);
                 }
                 other => {
@@ -105,8 +96,14 @@ mod tests {
     fn overrides() {
         let a = CommonArgs::parse_from(
             strs(&[
-                "--scale", "2.5", "--queries", "7", "--seed", "9",
-                "--threads", "3",
+                "--scale",
+                "2.5",
+                "--queries",
+                "7",
+                "--seed",
+                "9",
+                "--threads",
+                "3",
             ]),
             40,
         );

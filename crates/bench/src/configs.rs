@@ -106,8 +106,10 @@ mod tests {
 
     #[test]
     fn two_per_dataset() {
-        let dblp =
-            CONFIGS.iter().filter(|c| c.dataset == DatasetKind::Dblp).count();
+        let dblp = CONFIGS
+            .iter()
+            .filter(|c| c.dataset == DatasetKind::Dblp)
+            .count();
         assert_eq!(dblp, 2);
     }
 }

@@ -50,7 +50,11 @@ pub fn dblp(scale: f64, seed: u64) -> Dataset {
     let papers = ((DBLP_BASE_PAPERS as f64 * scale) as usize).max(100);
     let venues = (papers / 200).max(10);
     let bib = BibNetwork::generate(
-        DblpParams { papers, venues, ..Default::default() },
+        DblpParams {
+            papers,
+            venues,
+            ..Default::default()
+        },
         seed,
     );
     Dataset {
@@ -67,7 +71,10 @@ pub fn livejournal(scale: f64, seed: u64) -> Dataset {
     assert!(scale > 0.0);
     let nodes = ((LJ_BASE_NODES as f64 * scale) as usize).max(100);
     let social = SocialNetwork::generate(
-        SocialParams { nodes, ..Default::default() },
+        SocialParams {
+            nodes,
+            ..Default::default()
+        },
         seed,
     );
     Dataset {

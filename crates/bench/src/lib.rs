@@ -21,7 +21,5 @@ pub mod table;
 pub mod workload;
 
 pub use datasets::{dblp, livejournal, Dataset};
-pub use runner::{
-    eval_fastppv, eval_hubrank, eval_montecarlo, FastPpvSetup, MethodRow,
-};
+pub use runner::{eval_fastppv, eval_hubrank, eval_montecarlo, FastPpvSetup, MethodRow};
 pub use workload::{ground_truth, sample_queries};

@@ -8,15 +8,10 @@
 use std::time::{Duration, Instant};
 
 use fastppv_baselines::hubrank::{
-    build_hubrank_index, hubrank_query, select_hubs_by_benefit,
-    HubRankOptions,
+    build_hubrank_index, hubrank_query, select_hubs_by_benefit, HubRankOptions,
 };
-use fastppv_baselines::montecarlo::{
-    build_fingerprint_index, montecarlo_query, MonteCarloOptions,
-};
-use fastppv_core::hubs::{
-    select_hubs_with_pagerank, HubPolicy, HubSet,
-};
+use fastppv_baselines::montecarlo::{build_fingerprint_index, montecarlo_query, MonteCarloOptions};
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
 use fastppv_core::offline::{build_index_parallel, OfflineStats};
 use fastppv_core::query::{QueryEngine, StoppingCondition};
 use fastppv_core::{Config, MemoryIndex};
@@ -62,10 +57,14 @@ pub fn build_fastppv(
     threads: usize,
     pagerank: Option<&[f64]>,
 ) -> FastPpvSetup {
-    let hubs =
-        select_hubs_with_pagerank(graph, policy, hub_count, 0, pagerank);
+    let hubs = select_hubs_with_pagerank(graph, policy, hub_count, 0, pagerank);
     let (index, stats) = build_index_parallel(graph, &hubs, &config, threads);
-    FastPpvSetup { hubs, index, config, stats }
+    FastPpvSetup {
+        hubs,
+        index,
+        config,
+        stats,
+    }
 }
 
 /// Evaluates a built FastPPV deployment on the queries.
@@ -76,8 +75,7 @@ pub fn eval_fastppv(
     truth: &[Vec<f64>],
     stop: &StoppingCondition,
 ) -> MethodRow {
-    let mut engine =
-        QueryEngine::new(graph, &setup.hubs, &setup.index, setup.config);
+    let mut engine = QueryEngine::new(graph, &setup.hubs, &setup.index, setup.config);
     let mut reports = Vec::with_capacity(queries.len());
     let mut total = Duration::ZERO;
     for (i, &q) in queries.iter().enumerate() {
@@ -113,11 +111,7 @@ pub fn eval_hubrank(
         let started = Instant::now();
         let result = hubrank_query(graph, &index, q, push, opts.alpha);
         total += started.elapsed();
-        reports.push(AccuracyReport::compute(
-            &truth[i],
-            &result.estimate,
-            TOP_K,
-        ));
+        reports.push(AccuracyReport::compute(&truth[i], &result.estimate, TOP_K));
     }
     MethodRow {
         method: "HubRankP".to_string(),
@@ -154,11 +148,7 @@ pub fn eval_montecarlo(
             &mut scratch,
         );
         total += started.elapsed();
-        reports.push(AccuracyReport::compute(
-            &truth[i],
-            &result.estimate,
-            TOP_K,
-        ));
+        reports.push(AccuracyReport::compute(&truth[i], &result.estimate, TOP_K));
     }
     MethodRow {
         method: "MonteCarlo".to_string(),

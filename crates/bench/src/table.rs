@@ -30,8 +30,7 @@ impl Table {
     /// Renders as aligned markdown.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> =
-            self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -27,30 +27,28 @@ pub fn ground_truth(graph: &Graph, queries: &[NodeId]) -> Vec<Vec<f64>> {
 }
 
 /// Like [`ground_truth`] with explicit solver options.
-pub fn ground_truth_with(
-    graph: &Graph,
-    queries: &[NodeId],
-    opts: ExactOptions,
-) -> Vec<Vec<f64>> {
+pub fn ground_truth_with(graph: &Graph, queries: &[NodeId], opts: ExactOptions) -> Vec<Vec<f64>> {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(queries.len().max(1));
     let chunk = queries.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|qs| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     qs.iter()
                         .map(|&q| exact_ppv(graph, q, opts))
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     })
-    .expect("ground-truth thread panicked")
 }
 
 #[cfg(test)]

@@ -11,11 +11,7 @@ pub struct Args {
 impl Args {
     /// Parses `argv`; `switch_names` lists flags that take no value.
     /// Prints `usage` and exits on `--help`.
-    pub fn parse(
-        argv: &[String],
-        switch_names: &[&str],
-        usage: &str,
-    ) -> Result<Args, String> {
+    pub fn parse(argv: &[String], switch_names: &[&str], usage: &str) -> Result<Args, String> {
         let mut values = BTreeMap::new();
         let mut switches = Vec::new();
         let mut it = argv.iter();
@@ -30,9 +26,7 @@ impl Args {
             if switch_names.contains(&name) {
                 switches.push(name.to_string());
             } else {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 values.insert(name.to_string(), value.clone());
             }
         }
@@ -50,11 +44,7 @@ impl Args {
     }
 
     /// An optional flag value with a default.
-    pub fn get_or<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, String> {
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {
             None => Ok(default),
             Some(raw) => raw
@@ -64,10 +54,7 @@ impl Args {
     }
 
     /// An optional flag value.
-    pub fn get<T: std::str::FromStr>(
-        &self,
-        name: &str,
-    ) -> Result<Option<T>, String> {
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.values.get(name) {
             None => Ok(None),
             Some(raw) => raw
@@ -121,8 +108,7 @@ mod tests {
 
     #[test]
     fn unparsable_value_errors() {
-        let a =
-            Args::parse(&strs(&["--hubs", "ten"]), &[], "usage").unwrap();
+        let a = Args::parse(&strs(&["--hubs", "ten"]), &[], "usage").unwrap();
         assert!(a.require::<usize>("hubs").is_err());
     }
 }

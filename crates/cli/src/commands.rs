@@ -11,8 +11,7 @@ use fastppv_core::offline::build_index_parallel;
 use fastppv_core::query::{QueryEngine, StoppingCondition};
 use fastppv_core::Config;
 use fastppv_graph::gen::{
-    barabasi_albert, erdos_renyi, BibNetwork, DblpParams, SocialNetwork,
-    SocialParams,
+    barabasi_albert, erdos_renyi, BibNetwork, DblpParams, SocialNetwork, SocialParams,
 };
 use fastppv_graph::io::{read_edge_list_file, write_edge_list_file};
 use fastppv_graph::{pagerank, DanglingPolicy, Graph, PageRankOptions};
@@ -72,14 +71,20 @@ pub fn generate(argv: &[String]) -> CmdResult {
     let graph = match kind.as_str() {
         "dblp" => {
             BibNetwork::generate(
-                DblpParams { papers: nodes / 2, ..Default::default() },
+                DblpParams {
+                    papers: nodes / 2,
+                    ..Default::default()
+                },
                 seed,
             )
             .graph
         }
         "lj" => {
             SocialNetwork::generate(
-                SocialParams { nodes, ..Default::default() },
+                SocialParams {
+                    nodes,
+                    ..Default::default()
+                },
                 seed,
             )
             .graph
@@ -132,15 +137,17 @@ pub fn build(argv: &[String]) -> CmdResult {
     let policy = parse_policy(&args.get_or("policy", "eu".to_string())?)?;
     let threads: usize = args.get_or(
         "threads",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
     )?;
     let seed: u64 = args.get_or("seed", 0)?;
     let hub_count = match args.get::<usize>("hubs")? {
         Some(h) => h,
         None => {
-            let target: f64 = args.require("auto-target").map_err(|_| {
-                "give either --hubs N or --auto-target NODES".to_string()
-            })?;
+            let target: f64 = args
+                .require("auto-target")
+                .map_err(|_| "give either --hubs N or --auto-target NODES".to_string())?;
             let started = Instant::now();
             let tuned = suggest_hub_count(
                 &graph,
@@ -163,8 +170,7 @@ pub fn build(argv: &[String]) -> CmdResult {
             tuned.hub_count
         }
     };
-    let hubs =
-        select_hubs_with_pagerank(&graph, policy, hub_count, seed, None);
+    let hubs = select_hubs_with_pagerank(&graph, policy, hub_count, seed, None);
     let (index, stats) = build_index_parallel(&graph, &hubs, &config, threads);
     index.write_to_file(&out).map_err(|e| e.to_string())?;
     println!(
@@ -181,14 +187,10 @@ pub fn build(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn open_index_and_hubs(
-    args: &Args,
-    graph: &Graph,
-) -> Result<(DiskIndex, HubSet), String> {
+fn open_index_and_hubs(args: &Args, graph: &Graph) -> Result<(DiskIndex, HubSet), String> {
     let path: String = args.require("index")?;
     let cache: usize = args.get_or("cache", 4096)?;
-    let index =
-        DiskIndex::open(&path, cache).map_err(|e| format!("{path}: {e}"))?;
+    let index = DiskIndex::open(&path, cache).map_err(|e| format!("{path}: {e}"))?;
     let hubs = HubSet::from_ids(graph.num_nodes(), index.hub_ids());
     Ok((index, hubs))
 }
@@ -212,9 +214,7 @@ pub fn query(argv: &[String]) -> CmdResult {
     let top: usize = args.get_or("top", 10)?;
     let (index, hubs) = open_index_and_hubs(&args, &graph)?;
     let stop = match (args.get::<usize>("eta")?, args.get::<f64>("l1")?) {
-        (Some(_), Some(_)) => {
-            return Err("give --eta or --l1, not both".to_string())
-        }
+        (Some(_), Some(_)) => return Err("give --eta or --l1, not both".to_string()),
         (Some(eta), None) => StoppingCondition::iterations(eta),
         (None, Some(l1)) => StoppingCondition::l1_error(l1),
         (None, None) => StoppingCondition::iterations(2),
@@ -226,7 +226,11 @@ pub fn query(argv: &[String]) -> CmdResult {
         result.iterations,
         result.l1_error,
         result.elapsed,
-        if result.exhausted { " (frontier exhausted)" } else { "" }
+        if result.exhausted {
+            " (frontier exhausted)"
+        } else {
+            ""
+        }
     );
     for (rank, (node, score)) in result.top_k(top).into_iter().enumerate() {
         println!("{:>4}. node {node:<10} score {score:.6}", rank + 1);
@@ -249,7 +253,11 @@ pub fn topk(argv: &[String]) -> CmdResult {
     let res = engine.query_top_k(q, k, max_eta);
     println!(
         "top-{k} for query {q}: {} after {} iterations (phi = {:.5})",
-        if res.certified { "CERTIFIED exact" } else { "not certified" },
+        if res.certified {
+            "CERTIFIED exact"
+        } else {
+            "not certified"
+        },
         res.iterations,
         res.l1_error
     );
@@ -264,8 +272,7 @@ pub fn stats(argv: &[String]) -> CmdResult {
     let usage = "fastppv stats --index index.fppv";
     let args = Args::parse(argv, &[], usage)?;
     let path: String = args.require("index")?;
-    let index =
-        DiskIndex::open(&path, 1).map_err(|e| format!("{path}: {e}"))?;
+    let index = DiskIndex::open(&path, 1).map_err(|e| format!("{path}: {e}"))?;
     let ids = index.hub_ids();
     println!("index {path}:");
     println!("  hubs:          {}", index.hub_count());
@@ -296,10 +303,12 @@ pub fn cluster(argv: &[String]) -> CmdResult {
     let clustering = cluster_graph(
         &graph,
         k,
-        ClusteringOptions { seed, ..Default::default() },
+        ClusteringOptions {
+            seed,
+            ..Default::default()
+        },
     );
-    let sizes = write_clustered_graph(&graph, &clustering, &out)
-        .map_err(|e| e.to_string())?;
+    let sizes = write_clustered_graph(&graph, &clustering, &out).map_err(|e| e.to_string())?;
     let largest = sizes.iter().copied().max().unwrap_or(0);
     let total: u64 = sizes.iter().sum();
     println!(

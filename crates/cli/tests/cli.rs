@@ -42,13 +42,16 @@ fn full_pipeline_generate_build_query() {
 
     let out = bin()
         .args([
-            "generate", "--kind", "lj", "--nodes", "800", "--seed", "3",
-            "--out",
+            "generate", "--kind", "lj", "--nodes", "800", "--seed", "3", "--out",
         ])
         .arg(&graph)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["build", "--graph"])
@@ -57,7 +60,11 @@ fn full_pipeline_generate_build_query() {
         .arg(&index)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("80 hubs"), "{text}");
 
@@ -78,7 +85,11 @@ fn full_pipeline_generate_build_query() {
         .args(["--node", "17", "--eta", "2", "--top", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("query 17"), "{text}");
     assert!(text.contains("node 17"), "query node ranks itself: {text}");
@@ -146,7 +157,11 @@ fn cluster_command_writes_store() {
         .arg(&clg)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("6 clusters"));
     assert!(clg.exists());
     std::fs::remove_file(&graph).ok();
@@ -170,7 +185,11 @@ fn build_with_autotune() {
         .arg(&index)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("autotune: |H| ="));
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&index).ok();

@@ -26,7 +26,11 @@ pub struct ClusteringOptions {
 
 impl Default for ClusteringOptions {
     fn default() -> Self {
-        ClusteringOptions { alpha: 0.15, residual_target: 0.01, seed: 0 }
+        ClusteringOptions {
+            alpha: 0.15,
+            residual_target: 0.01,
+            seed: 0,
+        }
     }
 }
 
@@ -59,11 +63,7 @@ impl Clustering {
 }
 
 /// Partitions `graph` into `num_clusters` clusters.
-pub fn cluster_graph(
-    graph: &Graph,
-    num_clusters: usize,
-    opts: ClusteringOptions,
-) -> Clustering {
+pub fn cluster_graph(graph: &Graph, num_clusters: usize, opts: ClusteringOptions) -> Clustering {
     let n = graph.num_nodes();
     assert!(num_clusters >= 1, "need at least one cluster");
     let num_clusters = num_clusters.min(n.max(1));
@@ -114,7 +114,11 @@ pub fn cluster_graph(
             next = (next + 1) % num_clusters as u32;
         }
     }
-    Clustering { assignment, num_clusters, anchors }
+    Clustering {
+        assignment,
+        num_clusters,
+        anchors,
+    }
 }
 
 #[cfg(test)]

@@ -56,22 +56,9 @@ pub fn disk_query<S: PpvStore>(
     disk.set_fault_cap(fault_cap);
     let prime0 = match store.get(q) {
         Some(stored) => (*stored).clone(),
-        None => {
-            workspace
-                .prime
-                .prime_ppv_from(disk, hubs, q, config, 0.0)
-                .0
-        }
+        None => workspace.prime.prime_ppv_from(disk, hubs, q, config, 0.0).0,
     };
-    let result = run_increments(
-        q,
-        prime0,
-        hubs,
-        store,
-        config,
-        stop,
-        &mut workspace.scratch,
-    );
+    let result = run_increments(q, prime0, hubs, store, config, stop, &mut workspace.scratch);
     DiskQueryResult {
         result,
         faults: disk.faults(),
@@ -132,16 +119,12 @@ mod tests {
         let mut ws = DiskQueryWorkspace::new(400);
         let stop = StoppingCondition::iterations(2);
         let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        let queries: Vec<u32> =
-            (0..400).filter(|&v| !hubs.is_hub(v)).take(3).collect();
+        let queries: Vec<u32> = (0..400).filter(|&v| !hubs.is_hub(v)).take(3).collect();
         for (i, &q) in queries.iter().enumerate() {
             let mem = engine.query(q, &stop);
-            let dsk = disk_query(
-                &mut disk, &hubs, &index, &config, q, &stop, None, &mut ws,
-            );
+            let dsk = disk_query(&mut disk, &hubs, &index, &config, q, &stop, None, &mut ws);
             assert_eq!(
-                mem.scores,
-                dsk.result.scores,
+                mem.scores, dsk.result.scores,
                 "query {q} must match the in-memory engine"
             );
             assert!(!dsk.truncated);
@@ -168,9 +151,7 @@ mod tests {
         let mut ws = DiskQueryWorkspace::new(600);
         let stop = StoppingCondition::iterations(1);
         let q = (0..600u32).find(|&v| !hubs.is_hub(v)).unwrap();
-        let free = disk_query(
-            &mut disk, &hubs, &index, &config, q, &stop, None, &mut ws,
-        );
+        let free = disk_query(&mut disk, &hubs, &index, &config, q, &stop, None, &mut ws);
         let capped = disk_query(
             &mut disk,
             &hubs,

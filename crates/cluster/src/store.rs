@@ -93,9 +93,8 @@ struct ResidentCluster {
 
 impl ResidentCluster {
     fn parse(id: u32, blob: &[u8]) -> io::Result<Self> {
-        let take_u32 = |b: &[u8], at: usize| -> u32 {
-            u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
-        };
+        let take_u32 =
+            |b: &[u8], at: usize| -> u32 { u32::from_le_bytes(b[at..at + 4].try_into().unwrap()) };
         if blob.len() < 4 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -120,7 +119,12 @@ impl ResidentCluster {
             pos += 4;
         }
         debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
-        Ok(ResidentCluster { id, members, offsets, targets })
+        Ok(ResidentCluster {
+            id,
+            members,
+            offsets,
+            targets,
+        })
     }
 
     fn local_index(&self, v: NodeId) -> Option<usize> {
@@ -148,10 +152,7 @@ pub struct DiskGraph {
 impl DiskGraph {
     /// Opens a file written by [`write_clustered_graph`], keeping at most
     /// `resident_capacity` clusters in memory (the paper uses 1).
-    pub fn open<P: AsRef<Path>>(
-        path: P,
-        resident_capacity: usize,
-    ) -> io::Result<Self> {
+    pub fn open<P: AsRef<Path>>(path: P, resident_capacity: usize) -> io::Result<Self> {
         assert!(resident_capacity >= 1);
         let mut file = File::open(path)?;
         let mut header = [0u8; 24];
@@ -263,8 +264,7 @@ impl DiskGraph {
             .seek(SeekFrom::Start(offset))
             .and_then(|_| self.file.read_exact(&mut blob))
             .expect("cluster file truncated or corrupt");
-        let parsed = ResidentCluster::parse(c, &blob)
-            .expect("cluster blob corrupt");
+        let parsed = ResidentCluster::parse(c, &blob).expect("cluster blob corrupt");
         if self.resident.len() >= self.resident_capacity {
             self.resident.remove(0); // FIFO eviction
         }
@@ -410,9 +410,7 @@ mod tests {
         write_clustered_graph(&g, &many, &path_many).unwrap();
         let dg_few = DiskGraph::open(&path_few, 1).unwrap();
         let dg_many = DiskGraph::open(&path_many, 1).unwrap();
-        assert!(
-            dg_many.largest_cluster_bytes() < dg_few.largest_cluster_bytes()
-        );
+        assert!(dg_many.largest_cluster_bytes() < dg_few.largest_cluster_bytes());
         // Same total adjacency payload (modulo per-cluster headers).
         std::fs::remove_file(&path_few).unwrap();
         std::fs::remove_file(&path_many).unwrap();

@@ -76,24 +76,21 @@ pub struct AutotuneResult {
 /// (§5.1: every added hub can only block more paths), so a geometric scan
 /// followed by a binary search converges quickly; non-monotone sampling
 /// noise only costs a slightly conservative answer.
-pub fn suggest_hub_count(
-    graph: &Graph,
-    config: &Config,
-    opts: AutotuneOptions,
-) -> AutotuneResult {
+pub fn suggest_hub_count(graph: &Graph, config: &Config, opts: AutotuneOptions) -> AutotuneResult {
     config.validate();
     let n = graph.num_nodes();
     assert!(n > 0, "empty graph");
     assert!(opts.sample_sources > 0);
     assert!(opts.target_subgraph_nodes >= 1.0);
-    let max_hubs = if opts.max_hubs == 0 { (n / 2).max(1) } else { opts.max_hubs };
+    let max_hubs = if opts.max_hubs == 0 {
+        (n / 2).max(1)
+    } else {
+        opts.max_hubs
+    };
     let min_hubs = opts.min_hubs.clamp(1, max_hubs);
 
     // Shared ingredients across candidates.
-    let pagerank = fastppv_graph::pagerank(
-        graph,
-        fastppv_graph::PageRankOptions::default(),
-    );
+    let pagerank = fastppv_graph::pagerank(graph, fastppv_graph::PageRankOptions::default());
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut sources: Vec<NodeId> = (0..n as NodeId).collect();
     sources.shuffle(&mut rng);
@@ -101,23 +98,18 @@ pub fn suggest_hub_count(
     let mut pc = PrimeComputer::new(n);
     let mut probes = Vec::new();
 
-    let measure = |count: usize,
-                       pc: &mut PrimeComputer,
-                       probes: &mut Vec<ProbePoint>|
-     -> f64 {
-        let hubs: HubSet = select_hubs_with_pagerank(
-            graph,
-            opts.policy,
-            count,
-            opts.seed,
-            Some(&pagerank),
-        );
+    let measure = |count: usize, pc: &mut PrimeComputer, probes: &mut Vec<ProbePoint>| -> f64 {
+        let hubs: HubSet =
+            select_hubs_with_pagerank(graph, opts.policy, count, opts.seed, Some(&pagerank));
         let total: usize = sources
             .iter()
             .map(|&s| pc.extract(graph, &hubs, s, config).num_nodes())
             .sum();
         let mean = total as f64 / sources.len() as f64;
-        probes.push(ProbePoint { hub_count: count, mean_subgraph_nodes: mean });
+        probes.push(ProbePoint {
+            hub_count: count,
+            mean_subgraph_nodes: mean,
+        });
         mean
     };
 
@@ -196,12 +188,18 @@ mod tests {
         let loose = suggest_hub_count(
             &g,
             &config,
-            AutotuneOptions { target_subgraph_nodes: 800.0, ..Default::default() },
+            AutotuneOptions {
+                target_subgraph_nodes: 800.0,
+                ..Default::default()
+            },
         );
         let tight = suggest_hub_count(
             &g,
             &config,
-            AutotuneOptions { target_subgraph_nodes: 100.0, ..Default::default() },
+            AutotuneOptions {
+                target_subgraph_nodes: 100.0,
+                ..Default::default()
+            },
         );
         assert!(
             tight.hub_count >= loose.hub_count,

@@ -97,9 +97,9 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
     let mut x: u32 = 0;
     let mut shift = 0;
     loop {
-        let &byte = buf.get(*pos).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "varint past blob end")
-        })?;
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "varint past blob end"))?;
         *pos += 1;
         if shift >= 32 {
             return Err(io::Error::new(
@@ -125,28 +125,25 @@ fn encode_blob(ppv: &PrimePpv, quant: ScoreQuantization) -> Vec<u8> {
     }
     for &(_, score) in entries {
         match quant {
-            ScoreQuantization::F32 => {
-                blob.extend_from_slice(&(score as f32).to_le_bytes())
-            }
-            ScoreQuantization::LogU16 => {
-                blob.extend_from_slice(&quantize_log(score).to_le_bytes())
-            }
+            ScoreQuantization::F32 => blob.extend_from_slice(&(score as f32).to_le_bytes()),
+            ScoreQuantization::LogU16 => blob.extend_from_slice(&quantize_log(score).to_le_bytes()),
         }
     }
     blob
 }
 
-fn decode_blob(
-    blob: &[u8],
-    count: usize,
-    quant: ScoreQuantization,
-) -> io::Result<PrimePpv> {
+fn decode_blob(blob: &[u8], count: usize, quant: ScoreQuantization) -> io::Result<PrimePpv> {
     let mut ids = Vec::with_capacity(count);
     let mut pos = 0usize;
     let mut prev: u32 = 0;
     for i in 0..count {
         let delta = read_varint(blob, &mut pos)?;
-        let id = if i == 0 { delta } else { prev.checked_add(delta).ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "id overflow"))? };
+        let id = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "id overflow"))?
+        };
         ids.push(id);
         prev = id;
     }
@@ -164,16 +161,18 @@ fn decode_blob(
     for (i, id) in ids.into_iter().enumerate() {
         let at = pos + i * score_len;
         let score = match quant {
-            ScoreQuantization::F32 => f32::from_le_bytes(
-                blob[at..at + 4].try_into().unwrap(),
-            ) as f64,
-            ScoreQuantization::LogU16 => dequantize_log(u16::from_le_bytes(
-                blob[at..at + 2].try_into().unwrap(),
-            )),
+            ScoreQuantization::F32 => {
+                f32::from_le_bytes(blob[at..at + 4].try_into().unwrap()) as f64
+            }
+            ScoreQuantization::LogU16 => {
+                dequantize_log(u16::from_le_bytes(blob[at..at + 2].try_into().unwrap()))
+            }
         };
         entries.push((id, score));
     }
-    Ok(PrimePpv { entries: SparseVector::from_sorted(entries) })
+    Ok(PrimePpv {
+        entries: SparseVector::from_sorted(entries),
+    })
 }
 
 /// Serializes a [`MemoryIndex`] in the compressed format.
@@ -224,10 +223,7 @@ pub struct CompressedDiskIndex {
 
 impl CompressedDiskIndex {
     /// Opens a file written by [`write_compressed`].
-    pub fn open<P: AsRef<Path>>(
-        path: P,
-        cache_capacity: usize,
-    ) -> io::Result<Self> {
+    pub fn open<P: AsRef<Path>>(path: P, cache_capacity: usize) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let mut header = [0u8; HEADER_LEN];
         file.read_exact(&mut header)?;
@@ -238,17 +234,13 @@ impl CompressedDiskIndex {
             ));
         }
         let quant = ScoreQuantization::from_tag(header[8])?;
-        let num_hubs =
-            u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
+        let num_hubs = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
         let file_len = file.metadata()?.len();
         let dir_bytes_len = (num_hubs as u64)
             .checked_mul(DIR_RECORD_LEN as u64)
             .filter(|&d| HEADER_LEN as u64 + d <= file_len)
             .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "directory exceeds file size",
-                )
+                io::Error::new(io::ErrorKind::InvalidData, "directory exceeds file size")
             })?;
         let mut dir = vec![0u8; dir_bytes_len as usize];
         file.read_exact(&mut dir)?;
@@ -257,10 +249,12 @@ impl CompressedDiskIndex {
         for rec in dir.chunks_exact(DIR_RECORD_LEN) {
             let hub = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
             let offset = u64::from_le_bytes(rec[4..12].try_into().unwrap());
-            let byte_len =
-                u32::from_le_bytes(rec[12..16].try_into().unwrap());
+            let byte_len = u32::from_le_bytes(rec[12..16].try_into().unwrap());
             let count = u32::from_le_bytes(rec[16..20].try_into().unwrap());
-            if offset + byte_len as u64 > file_len {
+            if offset
+                .checked_add(byte_len as u64)
+                .is_none_or(|end| end > file_len)
+            {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("hub {hub} blob out of bounds"),
@@ -304,10 +298,7 @@ impl PpvStore for CompressedDiskIndex {
             file.seek(SeekFrom::Start(offset)).expect("seek");
             file.read_exact(&mut blob).expect("index file corrupt");
         }
-        let ppv = Arc::new(
-            decode_blob(&blob, count as usize, self.quant)
-                .expect("blob corrupt"),
-        );
+        let ppv = Arc::new(decode_blob(&blob, count as usize, self.quant).expect("blob corrupt"));
         let mut cache = self.cache.lock();
         if cache.len() >= self.cache_capacity && self.cache_capacity > 0 {
             // Bounded cache with wholesale reset: simple and O(1) amortized.
@@ -332,11 +323,8 @@ impl PpvStore for CompressedDiskIndex {
     }
 
     fn storage_bytes(&self) -> usize {
-        let blob_bytes: u64 =
-            self.directory.values().map(|&(_, len, _)| len as u64).sum();
-        HEADER_LEN
-            + self.directory.len() * DIR_RECORD_LEN
-            + blob_bytes as usize
+        let blob_bytes: u64 = self.directory.values().map(|&(_, len, _)| len as u64).sum();
+        HEADER_LEN + self.directory.len() * DIR_RECORD_LEN + blob_bytes as usize
     }
 }
 
@@ -365,7 +353,9 @@ mod tests {
                 .collect();
             idx.insert(
                 h,
-                PrimePpv { entries: SparseVector::from_unsorted(entries) },
+                PrimePpv {
+                    entries: SparseVector::from_unsorted(entries),
+                },
             );
         }
         idx
@@ -418,9 +408,7 @@ mod tests {
             let a = idx.get(h).unwrap();
             let b = c.get(h).unwrap();
             assert_eq!(a.len(), b.len());
-            for (&(va, sa), &(vb, sb)) in
-                a.entries.entries().iter().zip(b.entries.entries())
-            {
+            for (&(va, sa), &(vb, sb)) in a.entries.entries().iter().zip(b.entries.entries()) {
                 assert_eq!(va, vb);
                 assert!((sa - sb).abs() < 1e-9 + sa * 1e-6);
             }
@@ -438,9 +426,7 @@ mod tests {
         for h in [3u32, 500, 9999] {
             let a = idx.get(h).unwrap();
             let b = c.get(h).unwrap();
-            for (&(va, sa), &(vb, sb)) in
-                a.entries.entries().iter().zip(b.entries.entries())
-            {
+            for (&(va, sa), &(vb, sb)) in a.entries.entries().iter().zip(b.entries.entries()) {
                 assert_eq!(va, vb);
                 assert!((sa - sb).abs() / sa < 1e-3, "{sa} vs {sb}");
             }
@@ -458,7 +444,10 @@ mod tests {
         write_compressed(&idx, &f32c, ScoreQuantization::F32).unwrap();
         write_compressed(&idx, &u16c, ScoreQuantization::LogU16).unwrap();
         let size = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
-        assert!(size(&f32c) < size(&plain), "varint ids must shrink the file");
+        assert!(
+            size(&f32c) < size(&plain),
+            "varint ids must shrink the file"
+        );
         assert!(size(&u16c) < size(&f32c), "u16 scores shrink further");
         for p in [plain, f32c, u16c] {
             std::fs::remove_file(p).unwrap();

@@ -76,7 +76,10 @@ impl HubSet {
     /// An empty hub set (FastPPV then degenerates to one exhaustive prime
     /// subgraph per query).
     pub fn empty(num_nodes: usize) -> Self {
-        HubSet { mask: vec![false; num_nodes], ids: Vec::new() }
+        HubSet {
+            mask: vec![false; num_nodes],
+            ids: Vec::new(),
+        }
     }
 
     /// Whether `v` is a hub.
@@ -109,12 +112,7 @@ impl HubSet {
 /// Selects `count` hubs under `policy`. PageRank is computed internally when
 /// the policy needs it; pass a precomputed vector to
 /// [`select_hubs_with_pagerank`] to avoid recomputation across policies.
-pub fn select_hubs(
-    graph: &Graph,
-    policy: HubPolicy,
-    count: usize,
-    seed: u64,
-) -> HubSet {
+pub fn select_hubs(graph: &Graph, policy: HubPolicy, count: usize, seed: u64) -> HubSet {
     select_hubs_with_pagerank(graph, policy, count, seed, None)
 }
 
@@ -139,12 +137,8 @@ pub fn select_hubs_with_pagerank(
             all.truncate(count);
             all
         }
-        HubPolicy::OutDegree => {
-            top_by(n, count, |v| graph.out_degree(v) as f64)
-        }
-        HubPolicy::InDegree => {
-            top_by(n, count, |v| graph.in_degree(v) as f64)
-        }
+        HubPolicy::OutDegree => top_by(n, count, |v| graph.out_degree(v) as f64),
+        HubPolicy::InDegree => top_by(n, count, |v| graph.in_degree(v) as f64),
         HubPolicy::PageRank | HubPolicy::ExpectedUtility => {
             let owned;
             let pr: &[f64] = match precomputed_pagerank {
@@ -159,9 +153,7 @@ pub fn select_hubs_with_pagerank(
             };
             match policy {
                 HubPolicy::PageRank => top_by(n, count, |v| pr[v as usize]),
-                _ => top_by(n, count, |v| {
-                    pr[v as usize] * graph.out_degree(v) as f64
-                }),
+                _ => top_by(n, count, |v| pr[v as usize] * graph.out_degree(v) as f64),
             }
         }
     };
@@ -171,9 +163,7 @@ pub fn select_hubs_with_pagerank(
 /// Top `count` node ids by score, ties broken by id (ascending).
 fn top_by(n: usize, count: usize, score: impl Fn(NodeId) -> f64) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.sort_unstable_by(|&a, &b| {
-        score(b).total_cmp(&score(a)).then(a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
     order.truncate(count);
     order
 }
@@ -247,13 +237,7 @@ mod tests {
         let g = barabasi_albert(150, 2, 9);
         let pr = pagerank(&g, PageRankOptions::default());
         let a = select_hubs(&g, HubPolicy::ExpectedUtility, 12, 0);
-        let b = select_hubs_with_pagerank(
-            &g,
-            HubPolicy::ExpectedUtility,
-            12,
-            0,
-            Some(&pr),
-        );
+        let b = select_hubs_with_pagerank(&g, HubPolicy::ExpectedUtility, 12, 0, Some(&pr));
         assert_eq!(a, b);
     }
 

@@ -52,10 +52,7 @@ impl PrimePpv {
     }
 
     /// The hub entries (expansion candidates of the next iteration).
-    pub fn border_hubs<'a>(
-        &'a self,
-        hubs: &'a HubSet,
-    ) -> impl Iterator<Item = (NodeId, f64)> + 'a {
+    pub fn border_hubs<'a>(&'a self, hubs: &'a HubSet) -> impl Iterator<Item = (NodeId, f64)> + 'a {
         self.entries
             .entries()
             .iter()
@@ -147,8 +144,7 @@ impl MemoryIndex {
         w.write_all(&0u32.to_le_bytes())?;
         w.write_all(&(self.hub_ids.len() as u64).to_le_bytes())?;
         // Directory.
-        let mut offset =
-            (HEADER_LEN + self.hub_ids.len() * DIR_RECORD_LEN) as u64;
+        let mut offset = (HEADER_LEN + self.hub_ids.len() * DIR_RECORD_LEN) as u64;
         let mut sorted_hubs = self.hub_ids.clone();
         sorted_hubs.sort_unstable();
         for &h in &sorted_hubs {
@@ -235,10 +231,7 @@ impl DiskIndex {
     /// Opens an index written by [`MemoryIndex::write_to_file`].
     ///
     /// `cache_capacity` bounds the number of prime PPVs kept in memory.
-    pub fn open<P: AsRef<Path>>(
-        path: P,
-        cache_capacity: usize,
-    ) -> io::Result<Self> {
+    pub fn open<P: AsRef<Path>>(path: P, cache_capacity: usize) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let mut header = [0u8; HEADER_LEN];
         file.read_exact(&mut header)?;
@@ -255,8 +248,7 @@ impl DiskIndex {
                 format!("unsupported index version {version}"),
             ));
         }
-        let num_hubs =
-            u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        let num_hubs = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
         let file_len = file.metadata()?.len();
         let dir_len = (num_hubs as u64).checked_mul(DIR_RECORD_LEN as u64);
         if dir_len.is_none_or(|d| HEADER_LEN as u64 + d > file_len) {
@@ -329,7 +321,9 @@ impl DiskIndex {
             let s = f32::from_le_bytes(rec[4..8].try_into().unwrap());
             entries.push((id, s as f64));
         }
-        Ok(PrimePpv { entries: SparseVector::from_sorted(entries) })
+        Ok(PrimePpv {
+            entries: SparseVector::from_sorted(entries),
+        })
     }
 }
 
@@ -365,7 +359,9 @@ mod tests {
     use super::*;
 
     fn sample_ppv(ids: &[(NodeId, f64)]) -> PrimePpv {
-        PrimePpv { entries: SparseVector::from_unsorted(ids.to_vec()) }
+        PrimePpv {
+            entries: SparseVector::from_unsorted(ids.to_vec()),
+        }
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -418,12 +414,7 @@ mod tests {
             let mem = idx.get(h).unwrap();
             let dsk = disk.get(h).unwrap();
             assert_eq!(mem.len(), dsk.len());
-            for (&(a, sa), &(b, sb)) in mem
-                .entries
-                .entries()
-                .iter()
-                .zip(dsk.entries.entries())
-            {
+            for (&(a, sa), &(b, sb)) in mem.entries.entries().iter().zip(dsk.entries.entries()) {
                 assert_eq!(a, b);
                 assert!((sa - sb).abs() < 1e-7); // f32 quantization
             }

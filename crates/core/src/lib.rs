@@ -54,9 +54,9 @@ pub mod offline;
 pub mod prime;
 pub mod query;
 
+pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
 pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
-pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
 pub use offline::{build_index, build_index_parallel, OfflineStats};
 pub use prime::{PrimeComputer, PrimeSubgraph};

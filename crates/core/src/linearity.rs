@@ -30,7 +30,10 @@ pub fn query_multi<S: PpvStore>(
     seeds: &[(NodeId, f64)],
     stop: &StoppingCondition,
 ) -> MultiQueryResult {
-    assert!(!seeds.is_empty(), "multi-node query needs at least one seed");
+    assert!(
+        !seeds.is_empty(),
+        "multi-node query needs at least one seed"
+    );
     let total: f64 = seeds.iter().map(|&(_, w)| w).sum();
     assert!(
         seeds.iter().all(|&(_, w)| w > 0.0),
@@ -46,7 +49,11 @@ pub fn query_multi<S: PpvStore>(
         l1_error += weight * result.l1_error;
         per_seed.push(result);
     }
-    MultiQueryResult { scores: combined, l1_error, per_seed }
+    MultiQueryResult {
+        scores: combined,
+        l1_error,
+        per_seed,
+    }
 }
 
 #[cfg(test)]
@@ -66,20 +73,12 @@ mod tests {
         let (index, _) = build_index(&g, &hubs, &config);
         let mut engine = QueryEngine::new(&g, &hubs, &index, config);
         let seeds = [(toy::A, 3.0), (toy::G, 1.0)];
-        let res = query_multi(
-            &mut engine,
-            &seeds,
-            &StoppingCondition::l1_error(1e-10),
-        );
+        let res = query_multi(&mut engine, &seeds, &StoppingCondition::l1_error(1e-10));
         let ea = exact_ppv(&g, toy::A, ExactOptions::default());
         let eg = exact_ppv(&g, toy::G, ExactOptions::default());
         for v in g.nodes() {
-            let expected =
-                0.75 * ea[v as usize] + 0.25 * eg[v as usize];
-            assert!(
-                (res.scores.get(v) - expected).abs() < 1e-6,
-                "node {v}"
-            );
+            let expected = 0.75 * ea[v as usize] + 0.25 * eg[v as usize];
+            assert!((res.scores.get(v) - expected).abs() < 1e-6, "node {v}");
         }
         assert!(res.l1_error < 1e-8);
         assert!((res.scores.l1_norm() - 1.0).abs() < 1e-6);

@@ -37,11 +37,7 @@ pub struct OfflineStats {
 }
 
 /// Builds the PPV index single-threaded.
-pub fn build_index(
-    graph: &Graph,
-    hubs: &HubSet,
-    config: &Config,
-) -> (MemoryIndex, OfflineStats) {
+pub fn build_index(graph: &Graph, hubs: &HubSet, config: &Config) -> (MemoryIndex, OfflineStats) {
     build_index_parallel(graph, hubs, config, 1)
 }
 
@@ -68,11 +64,11 @@ pub fn build_index_parallel(
     let shards: Vec<Shard> = if ids.is_empty() {
         Vec::new()
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = ids
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut pc = PrimeComputer::new(graph.num_nodes());
                         let mut shard = Shard {
                             ppvs: Vec::with_capacity(chunk.len()),
@@ -81,17 +77,10 @@ pub fn build_index_parallel(
                             border_hubs: 0,
                         };
                         for &h in chunk {
-                            let (ppv, size) = pc.prime_ppv(
-                                graph,
-                                hubs,
-                                h,
-                                config,
-                                config.clip,
-                            );
+                            let (ppv, size) = pc.prime_ppv(graph, hubs, h, config, config.clip);
                             shard.subgraph_nodes += size;
                             shard.max_subgraph = shard.max_subgraph.max(size);
-                            shard.border_hubs +=
-                                ppv.border_hubs(hubs).count();
+                            shard.border_hubs += ppv.border_hubs(hubs).count();
                             shard.ppvs.push((h, ppv));
                         }
                         shard
@@ -100,7 +89,6 @@ pub fn build_index_parallel(
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
-        .expect("offline build thread panicked")
     };
 
     let mut index = MemoryIndex::new(graph.num_nodes());
@@ -146,8 +134,7 @@ mod tests {
     #[test]
     fn builds_every_hub() {
         let g = toy::graph();
-        let hubs =
-            crate::hubs::HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let hubs = crate::hubs::HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let (index, stats) = build_index(&g, &hubs, &Config::default());
         assert_eq!(index.hub_count(), 3);
         assert_eq!(stats.hubs, 3);
@@ -208,10 +195,8 @@ mod tests {
     fn clip_shrinks_storage() {
         let g = barabasi_albert(500, 3, 8);
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
-        let (_, clipped) =
-            build_index(&g, &hubs, &Config::default().with_clip(1e-3));
-        let (_, full) =
-            build_index(&g, &hubs, &Config::default().with_clip(0.0));
+        let (_, clipped) = build_index(&g, &hubs, &Config::default().with_clip(1e-3));
+        let (_, full) = build_index(&g, &hubs, &Config::default().with_clip(0.0));
         assert!(clipped.total_entries < full.total_entries);
         assert!(clipped.storage_bytes < full.storage_bytes);
     }

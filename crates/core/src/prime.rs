@@ -178,7 +178,13 @@ impl PrimeComputer {
     ) -> PrimeSubgraph {
         let alpha = config.alpha;
         let eps = config.epsilon;
-        let PrimeComputer { best, local_of, touched, heap, .. } = self;
+        let PrimeComputer {
+            best,
+            local_of,
+            touched,
+            heap,
+            ..
+        } = self;
         debug_assert!(heap.is_empty());
         debug_assert!(touched.is_empty());
 
@@ -285,12 +291,7 @@ impl PrimeComputer {
     /// most `tolerance × |interior|` mass unaccounted. Returns the
     /// **trivial-tour-excluded** reachabilities `r̊⁰` (see module docs),
     /// clipped at `clip`.
-    pub fn solve(
-        &mut self,
-        sub: &PrimeSubgraph,
-        config: &Config,
-        clip: f64,
-    ) -> PrimePpv {
+    pub fn solve(&mut self, sub: &PrimeSubgraph, config: &Config, clip: f64) -> PrimePpv {
         let alpha = config.alpha;
         let ni = sub.num_interior;
         let ntot = sub.num_nodes();
@@ -372,7 +373,9 @@ impl PrimeComputer {
             }
         }
         entries.sort_unstable_by_key(|&(id, _)| id);
-        PrimePpv { entries: SparseVector::from_sorted(entries) }
+        PrimePpv {
+            entries: SparseVector::from_sorted(entries),
+        }
     }
 
     /// Convenience: extract + solve in one call.
@@ -423,8 +426,7 @@ mod tests {
         let sub = pc.extract(&g, &toy_hubs(), toy::A, &Config::default());
         assert_eq!(sub.source, toy::A);
         assert!(!sub.source_is_hub);
-        let interior: Vec<NodeId> =
-            sub.nodes[..sub.num_interior].to_vec();
+        let interior: Vec<NodeId> = sub.nodes[..sub.num_interior].to_vec();
         assert!(interior.contains(&toy::A));
         assert!(interior.contains(&toy::H));
         assert!(interior.contains(&toy::C)); // c interior (self-loop variant)
@@ -432,8 +434,7 @@ mod tests {
         assert!(!interior.contains(&toy::D));
         assert!(!interior.contains(&toy::F));
         // b, d, f appear as absorbers.
-        let absorbers: Vec<NodeId> =
-            sub.nodes[sub.num_interior..].to_vec();
+        let absorbers: Vec<NodeId> = sub.nodes[sub.num_interior..].to_vec();
         for h in toy::PAPER_HUBS {
             assert!(absorbers.contains(&h), "hub {h} must be a border");
         }
@@ -446,8 +447,7 @@ mod tests {
         let config = Config::exhaustive();
         let mut pc = PrimeComputer::new(8);
         let (ppv, _) = pc.prime_ppv(&g, &hubs, toy::A, &config, 0.0);
-        let parts =
-            partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
+        let parts = partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
         // T0 mass per endpoint == prime PPV + trivial tour at the source.
         for v in g.nodes() {
             let mut expected = parts[0][v as usize];
@@ -478,9 +478,7 @@ mod tests {
         // through hub 0 in the middle).
         assert!((ppv.entries.get(1) - a * (1.0 - a)).abs() < 1e-12);
         // Entry at 0 (returns): 0→1→0 only.
-        assert!(
-            (ppv.entries.get(0) - a * (1.0 - a) * (1.0 - a)).abs() < 1e-12
-        );
+        assert!((ppv.entries.get(0) - a * (1.0 - a) * (1.0 - a)).abs() < 1e-12);
     }
 
     #[test]
@@ -492,11 +490,7 @@ mod tests {
         let config = Config::exhaustive();
         let mut pc = PrimeComputer::new(2);
         let (ppv, _) = pc.prime_ppv(&g, &hubs, 0, &config, 0.0);
-        let exact = fastppv_baselines::exact_ppv(
-            &g,
-            0,
-            fastppv_baselines::ExactOptions::default(),
-        );
+        let exact = fastppv_baselines::exact_ppv(&g, 0, fastppv_baselines::ExactOptions::default());
         assert!((ppv.entries.get(0) - (exact[0] - 0.15)).abs() < 1e-9);
         assert!((ppv.entries.get(1) - exact[1]).abs() < 1e-9);
     }
@@ -506,18 +500,8 @@ mod tests {
         let g = barabasi_albert(500, 3, 1);
         let hubs = HubSet::empty(500);
         let mut pc = PrimeComputer::new(500);
-        let deep = pc.extract(
-            &g,
-            &hubs,
-            0,
-            &Config::default().with_epsilon(1e-10),
-        );
-        let shallow = pc.extract(
-            &g,
-            &hubs,
-            0,
-            &Config::default().with_epsilon(1e-3),
-        );
+        let deep = pc.extract(&g, &hubs, 0, &Config::default().with_epsilon(1e-10));
+        let shallow = pc.extract(&g, &hubs, 0, &Config::default().with_epsilon(1e-3));
         assert!(shallow.num_interior < deep.num_interior);
         assert!(shallow.num_nodes() <= deep.num_nodes());
     }
@@ -529,12 +513,7 @@ mod tests {
         let none = pc.extract(&g, &HubSet::empty(500), 3, &Config::default());
         let some = pc.extract(
             &g,
-            &crate::hubs::select_hubs(
-                &g,
-                crate::hubs::HubPolicy::ExpectedUtility,
-                50,
-                0,
-            ),
+            &crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 50, 0),
             3,
             &Config::default(),
         );
@@ -544,17 +523,10 @@ mod tests {
     #[test]
     fn clip_drops_small_entries() {
         let g = barabasi_albert(300, 3, 5);
-        let hubs = crate::hubs::select_hubs(
-            &g,
-            crate::hubs::HubPolicy::ExpectedUtility,
-            20,
-            0,
-        );
+        let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 20, 0);
         let mut pc = PrimeComputer::new(300);
-        let (unclipped, _) =
-            pc.prime_ppv(&g, &hubs, 0, &Config::default(), 0.0);
-        let (clipped, _) =
-            pc.prime_ppv(&g, &hubs, 0, &Config::default(), 1e-3);
+        let (unclipped, _) = pc.prime_ppv(&g, &hubs, 0, &Config::default(), 0.0);
+        let (clipped, _) = pc.prime_ppv(&g, &hubs, 0, &Config::default(), 1e-3);
         assert!(clipped.entries.len() < unclipped.entries.len());
         assert!(clipped.entries.entries().iter().all(|&(_, s)| s >= 1e-3));
     }
@@ -580,8 +552,7 @@ mod tests {
         let g = toy::graph_raw(); // c, e dangling
         let hubs = toy_hubs();
         let mut pc = PrimeComputer::new(8);
-        let (ppv, _) =
-            pc.prime_ppv(&g, &hubs, toy::A, &Config::exhaustive(), 0.0);
+        let (ppv, _) = pc.prime_ppv(&g, &hubs, toy::A, &Config::exhaustive(), 0.0);
         // c is interior (non-hub, reachable) with out-degree 0.
         assert!(ppv.entries.get(toy::C) > 0.0);
     }

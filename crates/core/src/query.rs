@@ -38,17 +38,26 @@ pub struct StoppingCondition {
 impl StoppingCondition {
     /// Run exactly `eta` increments (paper's "number of iterations η").
     pub fn iterations(eta: usize) -> Self {
-        StoppingCondition { max_iterations: Some(eta), ..Default::default() }
+        StoppingCondition {
+            max_iterations: Some(eta),
+            ..Default::default()
+        }
     }
 
     /// Run until `φ ≤ target`.
     pub fn l1_error(target: f64) -> Self {
-        StoppingCondition { l1_target: Some(target), ..Default::default() }
+        StoppingCondition {
+            l1_target: Some(target),
+            ..Default::default()
+        }
     }
 
     /// Run until the time limit expires.
     pub fn time_limit(limit: Duration) -> Self {
-        StoppingCondition { time_limit: Some(limit), ..Default::default() }
+        StoppingCondition {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
     }
 
     /// Adds an iteration cap to an existing condition.
@@ -80,9 +89,7 @@ impl StoppingCondition {
             return true;
         }
         // No condition at all means "run iteration 0 only".
-        self.max_iterations.is_none()
-            && self.l1_target.is_none()
-            && self.time_limit.is_none()
+        self.max_iterations.is_none() && self.l1_target.is_none() && self.time_limit.is_none()
     }
 }
 
@@ -154,12 +161,7 @@ pub struct QueryEngine<'a, S: PpvStore> {
 
 impl<'a, S: PpvStore> QueryEngine<'a, S> {
     /// Creates an engine over a graph, hub set, and PPV store.
-    pub fn new(
-        graph: &'a Graph,
-        hubs: &'a HubSet,
-        store: &'a S,
-        config: Config,
-    ) -> Self {
+    pub fn new(graph: &'a Graph, hubs: &'a HubSet, store: &'a S, config: Config) -> Self {
         config.validate();
         let n = graph.num_nodes();
         QueryEngine {
@@ -196,12 +198,7 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
     /// exact (see [`IncrementalState::certified_top_k`]) or `max_iterations`
     /// increments have run. Returns the best-effort set and whether it is
     /// certified.
-    pub fn query_top_k(
-        &mut self,
-        q: NodeId,
-        k: usize,
-        max_iterations: usize,
-    ) -> TopKResult {
+    pub fn query_top_k(&mut self, q: NodeId, k: usize, max_iterations: usize) -> TopKResult {
         let mut session = self.session(q);
         loop {
             if let Some(nodes) = session.certified_top_k(k) {
@@ -212,8 +209,7 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
                     l1_error: session.l1_error(),
                 };
             }
-            if session.iterations_done() >= max_iterations || !session.step()
-            {
+            if session.iterations_done() >= max_iterations || !session.step() {
                 return TopKResult {
                     nodes: session.estimate().top_k(k),
                     certified: false,
@@ -242,7 +238,10 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
             }
         };
         let state = IncrementalState::new(q, prime0, self.config.alpha);
-        QuerySession { engine: self, state }
+        QuerySession {
+            engine: self,
+            state,
+        }
     }
 }
 
@@ -382,7 +381,7 @@ impl IncrementalState {
             // Fewer than k+1 scored nodes: outside nodes have estimate 0,
             // so certification needs the k-th score to beat 0 + φ.
             let kth = top.last().map(|&(_, s)| s).unwrap_or(0.0);
-            return (top.len() == k && kth >= phi).then(|| top);
+            return (top.len() == k && kth >= phi).then_some(top);
         }
         let kth = top[k - 1].1;
         let next = top[k].1;
@@ -420,8 +419,7 @@ pub fn run_increments<S: PpvStore>(
     scratch: &mut ScoreScratch,
 ) -> QueryResult {
     let mut state = IncrementalState::new(q, prime0, config.alpha);
-    while !stop.met(state.iterations_done(), state.l1_error(), state.elapsed())
-    {
+    while !stop.met(state.iterations_done(), state.l1_error(), state.elapsed()) {
         if !state.step(hubs, store, config, scratch) {
             break;
         }
@@ -506,9 +504,7 @@ mod tests {
     use fastppv_graph::gen::barabasi_albert;
     use fastppv_graph::toy;
 
-    fn toy_setup(
-        config: Config,
-    ) -> (fastppv_graph::Graph, HubSet, crate::index::MemoryIndex) {
+    fn toy_setup(config: Config) -> (fastppv_graph::Graph, HubSet, crate::index::MemoryIndex) {
         let g = toy::graph();
         let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let (index, _) = build_index(&g, &hubs, &config);
@@ -523,8 +519,7 @@ mod tests {
         let (g, hubs, index) = toy_setup(config);
         let mut engine = QueryEngine::new(&g, &hubs, &index, config);
         let mut session = engine.session(toy::A);
-        let parts =
-            partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
+        let parts = partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
         // Iteration 0 vs T0 (the estimate includes the trivial tour; the
         // naive partition counts it too, at the query node).
         let t0: f64 = parts[0].iter().sum();
@@ -535,10 +530,7 @@ mod tests {
         );
         let mut level = 1;
         while session.step() {
-            let expected: f64 = parts
-                .get(level)
-                .map(|p| p.iter().sum())
-                .unwrap_or(0.0);
+            let expected: f64 = parts.get(level).map(|p| p.iter().sum()).unwrap_or(0.0);
             let got = session.iteration_stats()[level].increment_mass;
             assert!(
                 (got - expected).abs() < 1e-6,
@@ -625,8 +617,7 @@ mod tests {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
         let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        let result =
-            engine.query(toy::D, &StoppingCondition::l1_error(1e-9));
+        let result = engine.query(toy::D, &StoppingCondition::l1_error(1e-9));
         let exact = exact_ppv(&g, toy::D, ExactOptions::default());
         for v in g.nodes() {
             assert!((result.scores.get(v) - exact[v as usize]).abs() < 1e-6);
@@ -662,10 +653,7 @@ mod tests {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
         let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        let r = engine.query(
-            toy::A,
-            &StoppingCondition::time_limit(Duration::ZERO),
-        );
+        let r = engine.query(toy::A, &StoppingCondition::time_limit(Duration::ZERO));
         assert_eq!(r.iterations, 0);
     }
 
@@ -681,10 +669,8 @@ mod tests {
         let mut el = QueryEngine::new(&g, &hubs, &il, loose);
         let rs = es.query(5, &StoppingCondition::iterations(2));
         let rl = el.query(5, &StoppingCondition::iterations(2));
-        let hs: usize =
-            rs.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
-        let hl: usize =
-            rl.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
+        let hs: usize = rs.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
+        let hl: usize = rl.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
         assert!(hs <= hl);
         assert!(rs.l1_error >= rl.l1_error - 1e-12);
     }
@@ -732,8 +718,7 @@ mod tests {
                     .unwrap()
                     .then(a.cmp(&b))
             });
-            let mut got: Vec<u32> =
-                res.nodes.iter().map(|&(v, _)| v).collect();
+            let mut got: Vec<u32> = res.nodes.iter().map(|&(v, _)| v).collect();
             got.sort_unstable();
             let mut want: Vec<u32> = exact_top[..5].to_vec();
             want.sort_unstable();

@@ -111,15 +111,12 @@ impl GraphBuilder {
             for &(u, _) in &self.edges {
                 has_out[u as usize] = true;
             }
-            for v in 0..n {
-                if !has_out[v] {
-                    self.edges.push((v as NodeId, v as NodeId));
-                }
+            for (v, _) in has_out.iter().enumerate().filter(|(_, &h)| !h) {
+                self.edges.push((v as NodeId, v as NodeId));
             }
         }
         let (out_offsets, out_targets) = csr_arrays(n, self.edges.iter().copied());
-        let (in_offsets, in_targets) =
-            csr_arrays(n, self.edges.iter().map(|&(u, v)| (v, u)));
+        let (in_offsets, in_targets) = csr_arrays(n, self.edges.iter().map(|&(u, v)| (v, u)));
         Graph::from_csr(out_offsets, out_targets, in_offsets, in_targets)
     }
 }

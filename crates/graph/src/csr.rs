@@ -40,7 +40,12 @@ impl Graph {
         let n = out_offsets.len() - 1;
         debug_assert!(out_targets.iter().all(|&t| (t as usize) < n));
         debug_assert!(in_targets.iter().all(|&t| (t as usize) < n));
-        Graph { out_offsets, out_targets, in_offsets, in_targets }
+        Graph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
     }
 
     /// An empty graph with `n` isolated nodes.
@@ -108,9 +113,8 @@ impl Graph {
 
     /// Iterator over all directed edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.out_neighbors(u).iter().map(move |&v| (u, v))
-        })
+        self.nodes()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Number of dangling (out-degree 0) nodes.

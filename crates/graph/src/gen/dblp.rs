@@ -81,9 +81,9 @@ impl BibNetwork {
         let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
 
         let new_node = |kinds: &mut Vec<NodeKind>,
-                            years: &mut Vec<u16>,
-                            kind: NodeKind,
-                            year: u16|
+                        years: &mut Vec<u16>,
+                        kind: NodeKind,
+                        year: u16|
          -> NodeId {
             kinds.push(kind);
             years.push(year);
@@ -107,8 +107,7 @@ impl BibNetwork {
                 } else {
                     (p * year_span / (params.papers - 1)) as u16
                 };
-            let paper =
-                new_node(&mut kinds, &mut years, NodeKind::Paper, year);
+            let paper = new_node(&mut kinds, &mut years, NodeKind::Paper, year);
             // Venue: preferential by current size.
             let venue = venue_pool[rng.gen_range(0..venue_pool.len())];
             edges.push((paper, venue));
@@ -117,15 +116,9 @@ impl BibNetwork {
             let k = super::zipf_small(&mut rng, params.max_authors, 1.2);
             paper_authors.clear();
             for _ in 0..k {
-                let author = if author_pool.is_empty()
-                    || rng.gen::<f64>() < params.new_author_prob
+                let author = if author_pool.is_empty() || rng.gen::<f64>() < params.new_author_prob
                 {
-                    let a = new_node(
-                        &mut kinds,
-                        &mut years,
-                        NodeKind::Author,
-                        0,
-                    );
+                    let a = new_node(&mut kinds, &mut years, NodeKind::Author, 0);
                     author_pool.push(a);
                     a
                 } else {
@@ -141,12 +134,15 @@ impl BibNetwork {
             }
         }
 
-        let mut b = GraphBuilder::new(kinds.len())
-            .with_edge_capacity(edges.len() * 2);
+        let mut b = GraphBuilder::new(kinds.len()).with_edge_capacity(edges.len() * 2);
         for (u, v) in edges {
             b.add_undirected_edge(u, v);
         }
-        BibNetwork { graph: b.build(), kinds, years }
+        BibNetwork {
+            graph: b.build(),
+            kinds,
+            years,
+        }
     }
 
     /// Number of nodes of a given kind.
@@ -155,10 +151,7 @@ impl BibNetwork {
     }
 
     /// Nodes of a given kind.
-    pub fn nodes_of_kind(
-        &self,
-        kind: NodeKind,
-    ) -> impl Iterator<Item = NodeId> + '_ {
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
         self.kinds
             .iter()
             .enumerate()
@@ -174,9 +167,7 @@ impl BibNetwork {
         let n = self.graph.num_nodes();
         let mut keep = vec![false; n];
         for v in self.graph.nodes() {
-            if self.kinds[v as usize] == NodeKind::Paper
-                && self.years[v as usize] <= year
-            {
+            if self.kinds[v as usize] == NodeKind::Paper && self.years[v as usize] <= year {
                 keep[v as usize] = true;
                 for &u in self.graph.out_neighbors(v) {
                     keep[u as usize] = true;
@@ -205,11 +196,16 @@ impl BibNetwork {
                 b.add_undirected_edge(remap[old as usize], remap[u as usize]);
             }
         }
-        let kinds =
-            map_back.iter().map(|&o| self.kinds[o as usize]).collect();
-        let years =
-            map_back.iter().map(|&o| self.years[o as usize]).collect();
-        (BibNetwork { graph: b.build(), kinds, years }, map_back)
+        let kinds = map_back.iter().map(|&o| self.kinds[o as usize]).collect();
+        let years = map_back.iter().map(|&o| self.years[o as usize]).collect();
+        (
+            BibNetwork {
+                graph: b.build(),
+                kinds,
+                years,
+            },
+            map_back,
+        )
     }
 }
 
@@ -219,7 +215,11 @@ mod tests {
 
     fn small() -> BibNetwork {
         BibNetwork::generate(
-            DblpParams { papers: 500, venues: 10, ..Default::default() },
+            DblpParams {
+                papers: 500,
+                venues: 10,
+                ..Default::default()
+            },
             11,
         )
     }
@@ -238,10 +238,7 @@ mod tests {
                     continue; // dangling-fix self-loop
                 }
                 match net.kinds[v as usize] {
-                    NodeKind::Paper => assert_ne!(
-                        net.kinds[u as usize],
-                        NodeKind::Paper
-                    ),
+                    NodeKind::Paper => assert_ne!(net.kinds[u as usize], NodeKind::Paper),
                     _ => assert_eq!(net.kinds[u as usize], NodeKind::Paper),
                 }
             }
@@ -288,11 +285,8 @@ mod tests {
     fn snapshot_mapping_preserves_kinds() {
         let net = small();
         let (snap, map_back) = net.snapshot(2000);
-        for v in 0..snap.graph.num_nodes() {
-            assert_eq!(
-                snap.kinds[v],
-                net.kinds[map_back[v] as usize],
-            );
+        for (v, &orig) in map_back.iter().enumerate() {
+            assert_eq!(snap.kinds[v], net.kinds[orig as usize]);
         }
         // No papers beyond the snapshot year.
         for p in snap.nodes_of_kind(NodeKind::Paper) {

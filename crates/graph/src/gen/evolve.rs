@@ -10,10 +10,7 @@ use crate::csr::{Graph, NodeId};
 
 /// Builds the graph induced by the first `k` edges of `edges` (creation
 /// order). Returns the compacted graph and the map from new ids to old ids.
-pub fn sample_prefix(
-    edges: &[(NodeId, NodeId)],
-    k: usize,
-) -> (Graph, Vec<NodeId>) {
+pub fn sample_prefix(edges: &[(NodeId, NodeId)], k: usize) -> (Graph, Vec<NodeId>) {
     let k = k.min(edges.len());
     let prefix = &edges[..k];
     let mut seen: Vec<NodeId> = Vec::with_capacity(2 * k);
@@ -28,8 +25,9 @@ pub fn sample_prefix(
     for (new, &old) in seen.iter().enumerate() {
         remap[old as usize] = new as NodeId;
     }
-    let mut b =
-        GraphBuilder::new(seen.len()).with_edge_capacity(k).dedup(true);
+    let mut b = GraphBuilder::new(seen.len())
+        .with_edge_capacity(k)
+        .dedup(true);
     for &(u, v) in prefix {
         b.add_edge(remap[u as usize], remap[v as usize]);
     }
@@ -38,10 +36,7 @@ pub fn sample_prefix(
 
 /// Builds the subgraph induced by `nodes` (edges with both endpoints in the
 /// set). Returns the compacted graph and the map from new ids to old ids.
-pub fn induced_subgraph(
-    graph: &Graph,
-    nodes: &[NodeId],
-) -> (Graph, Vec<NodeId>) {
+pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
     let mut keep: Vec<NodeId> = nodes.to_vec();
     keep.sort_unstable();
     keep.dedup();
@@ -83,8 +78,7 @@ mod tests {
 
     #[test]
     fn prefix_growth_is_monotone() {
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..100).map(|i| (i, (i + 1) % 100)).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..100).map(|i| (i, (i + 1) % 100)).collect();
         let (g1, _) = sample_prefix(&edges, 10);
         let (g2, _) = sample_prefix(&edges, 50);
         assert!(g1.num_nodes() < g2.num_nodes());

@@ -38,8 +38,7 @@ pub fn rng(seed: u64) -> ChaCha8Rng {
 /// fan-out and other skewed small integers.
 pub(crate) fn zipf_small<R: Rng>(rng: &mut R, max: usize, s: f64) -> usize {
     debug_assert!(max >= 1);
-    let weights: Vec<f64> =
-        (1..=max).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let weights: Vec<f64> = (1..=max).map(|k| 1.0 / (k as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen::<f64>() * total;
     for (i, w) in weights.iter().enumerate() {

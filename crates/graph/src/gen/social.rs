@@ -115,12 +115,16 @@ impl SocialNetwork {
                 }
             }
         }
-        let mut b =
-            GraphBuilder::new(n).with_edge_capacity(edges.len()).dedup(true);
+        let mut b = GraphBuilder::new(n)
+            .with_edge_capacity(edges.len())
+            .dedup(true);
         for &(u, v) in &edges {
             b.add_edge(u, v);
         }
-        SocialNetwork { graph: b.build(), edges }
+        SocialNetwork {
+            graph: b.build(),
+            edges,
+        }
     }
 }
 
@@ -130,7 +134,10 @@ mod tests {
 
     fn small() -> SocialNetwork {
         SocialNetwork::generate(
-            SocialParams { nodes: 3000, ..Default::default() },
+            SocialParams {
+                nodes: 3000,
+                ..Default::default()
+            },
             5,
         )
     }

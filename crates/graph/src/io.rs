@@ -62,9 +62,7 @@ pub fn read_edge_list<R: BufRead>(
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse = |s: Option<&str>| -> Option<NodeId> {
-            s.and_then(|x| x.parse().ok())
-        };
+        let parse = |s: Option<&str>| -> Option<NodeId> { s.and_then(|x| x.parse().ok()) };
         match (parse(it.next()), parse(it.next())) {
             (Some(u), Some(v)) => {
                 max_id = max_id.max(u).max(v);
@@ -78,9 +76,17 @@ pub fn read_edge_list<R: BufRead>(
             }
         }
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::new(n)
-        .with_edge_capacity(if undirected { edges.len() * 2 } else { edges.len() })
+        .with_edge_capacity(if undirected {
+            edges.len() * 2
+        } else {
+            edges.len()
+        })
         .dangling(dangling);
     for (u, v) in edges {
         if undirected {
@@ -105,7 +111,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(
 /// Writes the graph's directed edges as `u v` lines.
 pub fn write_edge_list<W: Write>(graph: &Graph, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -113,10 +124,7 @@ pub fn write_edge_list<W: Write>(graph: &Graph, w: W) -> io::Result<()> {
 }
 
 /// Writes the graph to a file path.
-pub fn write_edge_list_file<P: AsRef<Path>>(
-    graph: &Graph,
-    path: P,
-) -> io::Result<()> {
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
     write_edge_list(graph, File::create(path)?)
 }
 
@@ -127,37 +135,28 @@ mod tests {
     #[test]
     fn parses_comments_and_blank_lines() {
         let text = "# header\n\n0 1\n1 2\n2 0\n";
-        let g = read_edge_list(
-            text.as_bytes(),
-            false,
-            DanglingPolicy::SelfLoop,
-        )
-        .unwrap();
+        let g = read_edge_list(text.as_bytes(), false, DanglingPolicy::SelfLoop).unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 3);
     }
 
     #[test]
     fn undirected_doubles_edges() {
-        let g = read_edge_list("0 1\n".as_bytes(), true, DanglingPolicy::Keep)
-            .unwrap();
+        let g = read_edge_list("0 1\n".as_bytes(), true, DanglingPolicy::Keep).unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.out_neighbors(1), &[0]);
     }
 
     #[test]
     fn rejects_garbage() {
-        let err =
-            read_edge_list("0 x\n".as_bytes(), false, DanglingPolicy::Keep)
-                .unwrap_err();
+        let err = read_edge_list("0 x\n".as_bytes(), false, DanglingPolicy::Keep).unwrap_err();
         assert!(matches!(err, EdgeListError::Parse { line_number: 1, .. }));
         assert!(err.to_string().contains("line 1"));
     }
 
     #[test]
     fn empty_input_is_empty_graph() {
-        let g = read_edge_list("# nothing\n".as_bytes(), false, DanglingPolicy::Keep)
-            .unwrap();
+        let g = read_edge_list("# nothing\n".as_bytes(), false, DanglingPolicy::Keep).unwrap();
         assert_eq!(g.num_nodes(), 0);
     }
 
@@ -166,12 +165,7 @@ mod tests {
         let g = crate::builder::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
-        let g2 = read_edge_list(
-            buf.as_slice(),
-            false,
-            DanglingPolicy::SelfLoop,
-        )
-        .unwrap();
+        let g2 = read_edge_list(buf.as_slice(), false, DanglingPolicy::SelfLoop).unwrap();
         assert_eq!(g, g2);
     }
 }

@@ -21,7 +21,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { alpha: 0.15, tolerance: 1e-10, max_iterations: 200 }
+        PageRankOptions {
+            alpha: 0.15,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -58,8 +62,7 @@ pub fn pagerank(graph: &Graph, opts: PageRankOptions) -> Vec<f64> {
                 next[v as usize] += share;
             }
         }
-        let delta: f64 =
-            rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < opts.tolerance {
             break;
@@ -72,7 +75,6 @@ pub fn pagerank(graph: &Graph, opts: PageRankOptions) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::builder::{from_edges, from_undirected_edges, GraphBuilder};
-    use crate::csr::NodeId;
 
     #[test]
     fn sums_to_one() {
@@ -102,8 +104,7 @@ mod tests {
 
     #[test]
     fn dangling_mass_redistributed() {
-        let mut b =
-            GraphBuilder::new(3).dangling(crate::DanglingPolicy::Keep);
+        let mut b = GraphBuilder::new(3).dangling(crate::DanglingPolicy::Keep);
         b.add_edge(0, 1);
         b.add_edge(0, 2);
         let g = b.build();
@@ -122,9 +123,21 @@ mod tests {
     fn matches_fixed_point_equation() {
         let g = from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (1, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (1, 4),
+            ],
         );
-        let opts = PageRankOptions { tolerance: 1e-14, ..Default::default() };
+        let opts = PageRankOptions {
+            tolerance: 1e-14,
+            ..Default::default()
+        };
         let pr = pagerank(&g, opts);
         // Verify r(v) = α/n + (1-α) Σ_{u→v} r(u)/out(u) for each v.
         let n = g.num_nodes() as f64;

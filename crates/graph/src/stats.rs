@@ -41,11 +41,9 @@ pub struct GraphStats {
 pub fn graph_stats(graph: &Graph) -> GraphStats {
     let n = graph.num_nodes();
     let m = graph.num_edges();
-    let out_degrees: Vec<usize> =
-        graph.nodes().map(|v| graph.out_degree(v)).collect();
+    let out_degrees: Vec<usize> = graph.nodes().map(|v| graph.out_degree(v)).collect();
     let max_out = out_degrees.iter().copied().max().unwrap_or(0);
-    let max_in =
-        graph.nodes().map(|v| graph.in_degree(v)).max().unwrap_or(0);
+    let max_in = graph.nodes().map(|v| graph.in_degree(v)).max().unwrap_or(0);
     let mut reciprocated = 0usize;
     let mut self_loops = 0usize;
     for v in graph.nodes() {
@@ -138,7 +136,11 @@ pub fn out_degree_histogram(graph: &Graph) -> Vec<usize> {
     let mut buckets: Vec<usize> = Vec::new();
     for v in graph.nodes() {
         let d = graph.out_degree(v);
-        let b = if d <= 1 { 0 } else { (usize::BITS - (d.leading_zeros())) as usize - 1 };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - (d.leading_zeros())) as usize - 1
+        };
         if buckets.len() <= b {
             buckets.resize(b + 1, 0);
         }
@@ -198,13 +200,21 @@ mod tests {
     #[test]
     fn social_generator_matches_its_spec() {
         let net = SocialNetwork::generate(
-            SocialParams { nodes: 5_000, reciprocity: 0.5, ..Default::default() },
+            SocialParams {
+                nodes: 5_000,
+                reciprocity: 0.5,
+                ..Default::default()
+            },
             2,
         );
         let s = graph_stats(&net.graph);
         // Declared reciprocity 0.5 ⇒ measured edge reciprocity well above
         // a purely random directed graph, below an undirected one.
-        assert!(s.reciprocity > 0.4 && s.reciprocity < 0.95, "{}", s.reciprocity);
+        assert!(
+            s.reciprocity > 0.4 && s.reciprocity < 0.95,
+            "{}",
+            s.reciprocity
+        );
         // Heavy out-degree tail (the hub "decaying power" requirement).
         assert!(s.max_out_degree > 100, "{}", s.max_out_degree);
     }
@@ -221,6 +231,6 @@ mod tests {
     #[test]
     fn hill_is_nan_on_degenerate_input() {
         assert!(hill_exponent(&[1, 2, 3]).is_nan());
-        assert!(hill_exponent(&vec![7usize; 100]).is_finite() == false);
+        assert!(!hill_exponent(&vec![7usize; 100]).is_finite());
     }
 }

@@ -95,8 +95,9 @@ pub fn edges() -> Vec<(NodeId, NodeId)> {
 
 /// A tiny 4-node line graph (`0 -> 1 -> 2 -> 3`), handy in unit tests.
 pub fn line(n: usize) -> Graph {
-    let edges: Vec<_> =
-        (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    let edges: Vec<_> = (0..n.saturating_sub(1))
+        .map(|i| (i as NodeId, i as NodeId + 1))
+        .collect();
     from_edges(n, &edges)
 }
 

@@ -17,7 +17,9 @@ pub struct SparseVector {
 impl SparseVector {
     /// An empty vector.
     pub fn new() -> Self {
-        SparseVector { entries: Vec::new() }
+        SparseVector {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from entries that are already sorted by node id (debug-checked).
@@ -79,9 +81,7 @@ impl SparseVector {
     /// for determinism, returned in descending score order.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut v = self.entries.clone();
-        v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
-        });
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }
@@ -164,7 +164,10 @@ pub struct ScoreScratch {
 impl ScoreScratch {
     /// A scratch for graphs of `n` nodes.
     pub fn new(n: usize) -> Self {
-        ScoreScratch { values: vec![0.0; n], touched: Vec::new() }
+        ScoreScratch {
+            values: vec![0.0; n],
+            touched: Vec::new(),
+        }
     }
 
     /// Capacity (number of node slots).

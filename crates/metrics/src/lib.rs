@@ -26,9 +26,7 @@ pub fn top_k_dense(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
         .enumerate()
         .map(|(i, &s)| (i as NodeId, s))
         .collect();
-    entries.sort_unstable_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
-    });
+    entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     entries.truncate(k);
     entries
 }
@@ -61,8 +59,7 @@ pub fn rag(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
     if k == 0 {
         return 1.0;
     }
-    let denom: f64 =
-        top_k_dense(exact, k).iter().map(|&(_, s)| s).sum();
+    let denom: f64 = top_k_dense(exact, k).iter().map(|&(_, s)| s).sum();
     if denom == 0.0 {
         return 1.0;
     }
@@ -83,12 +80,11 @@ pub fn rag(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
 /// side is entirely tied and the other is not.
 pub fn kendall_tau(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
     assert!(k > 0, "k must be positive");
-    let mut union: Vec<NodeId> =
-        top_k_dense(exact, k.min(exact.len()))
-            .into_iter()
-            .map(|(v, _)| v)
-            .chain(approx.top_k(k).into_iter().map(|(v, _)| v))
-            .collect();
+    let mut union: Vec<NodeId> = top_k_dense(exact, k.min(exact.len()))
+        .into_iter()
+        .map(|(v, _)| v)
+        .chain(approx.top_k(k).into_iter().map(|(v, _)| v))
+        .collect();
     union.sort_unstable();
     union.dedup();
     if union.len() < 2 {
@@ -120,11 +116,14 @@ pub fn kendall_tau(exact: &[f64], approx: &SparseVector, k: usize) -> f64 {
         }
     }
     let n0 = (union.len() * (union.len() - 1) / 2) as i64;
-    let denom =
-        (((n0 - tied_exact) as f64) * ((n0 - tied_approx) as f64)).sqrt();
+    let denom = (((n0 - tied_exact) as f64) * ((n0 - tied_approx) as f64)).sqrt();
     if denom == 0.0 {
         // Both rankings entirely tied over the union: identical orderings.
-        return if tied_exact == n0 && tied_approx == n0 { 1.0 } else { 0.0 };
+        return if tied_exact == n0 && tied_approx == n0 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (concordant - discordant) as f64 / denom
 }
@@ -199,8 +198,7 @@ impl AccuracyReport {
             kendall: reports.iter().map(|r| r.kendall).sum::<f64>() / n,
             precision: reports.iter().map(|r| r.precision).sum::<f64>() / n,
             rag: reports.iter().map(|r| r.rag).sum::<f64>() / n,
-            l1_similarity: reports.iter().map(|r| r.l1_similarity).sum::<f64>()
-                / n,
+            l1_similarity: reports.iter().map(|r| r.l1_similarity).sum::<f64>() / n,
         }
     }
 
@@ -301,10 +299,7 @@ mod tests {
     #[test]
     fn top_k_dense_tie_break_is_deterministic() {
         let scores = vec![0.2, 0.5, 0.2, 0.5];
-        assert_eq!(
-            top_k_dense(&scores, 3),
-            vec![(1, 0.5), (3, 0.5), (0, 0.2)]
-        );
+        assert_eq!(top_k_dense(&scores, 3), vec![(1, 0.5), (3, 0.5), (0, 0.2)]);
     }
 
     #[test]

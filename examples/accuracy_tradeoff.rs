@@ -18,7 +18,10 @@ use fastppv::graph::gen::{SocialNetwork, SocialParams};
 
 fn main() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 20_000, ..Default::default() },
+        SocialParams {
+            nodes: 20_000,
+            ..Default::default()
+        },
         3,
     );
     let graph = &net.graph;
@@ -28,12 +31,7 @@ fn main() {
         .with_epsilon(1e-8)
         .with_delta(0.0)
         .with_clip(0.0);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 10,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 10, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
     let mut engine = QueryEngine::new(graph, &hubs, &index, config);
 
@@ -53,10 +51,7 @@ fn main() {
             stats.increment_mass,
             stats.hubs_expanded
         );
-        if session.l1_error() < 1e-2
-            || session.iterations_done() >= 10
-            || !session.step()
-        {
+        if session.l1_error() < 1e-2 || session.iterations_done() >= 10 || !session.step() {
             break;
         }
     }

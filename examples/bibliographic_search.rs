@@ -15,7 +15,11 @@ use fastppv::graph::gen::{BibNetwork, DblpParams, NodeKind};
 
 fn main() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 20_000, venues: 120, ..Default::default() },
+        DblpParams {
+            papers: 20_000,
+            venues: 120,
+            ..Default::default()
+        },
         7,
     );
     let graph = &net.graph;
@@ -28,17 +32,9 @@ fn main() {
     );
 
     let config = Config::default().with_epsilon(1e-6);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 25,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 25, 0);
     let (index, stats) = build_index_parallel(graph, &hubs, &config, 4);
-    println!(
-        "indexed {} hubs in {:.2?}\n",
-        stats.hubs, stats.build_time
-    );
+    println!("indexed {} hubs in {:.2?}\n", stats.hubs, stats.build_time);
 
     // Query: a paper. We want the most relevant *authors* (reviewers), so
     // rank the PPV restricted to author nodes, excluding the paper's own
@@ -62,10 +58,7 @@ fn main() {
         .scores
         .entries()
         .iter()
-        .filter(|&&(v, _)| {
-            net.kinds[v as usize] == NodeKind::Author
-                && !own_authors.contains(&v)
-        })
+        .filter(|&&(v, _)| net.kinds[v as usize] == NodeKind::Author && !own_authors.contains(&v))
         .collect();
     let mut ranked = reviewers.clone();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

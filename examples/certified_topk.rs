@@ -17,7 +17,10 @@ use fastppv::graph::gen::{BibNetwork, DblpParams};
 
 fn main() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 15_000, ..Default::default() },
+        DblpParams {
+            papers: 15_000,
+            ..Default::default()
+        },
         21,
     );
     let graph = &net.graph;
@@ -26,12 +29,7 @@ fn main() {
         .with_epsilon(1e-7)
         .with_delta(0.0)
         .with_clip(0.0);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 25,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 25, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
     let mut engine = QueryEngine::new(graph, &hubs, &index, config);
 
@@ -41,7 +39,11 @@ fn main() {
         println!(
             "query {q:>6}, k={k:<2}: {} after {} iterations \
              (φ = {:.2e}, {:.2?})",
-            if res.certified { "CERTIFIED exact set" } else { "best effort" },
+            if res.certified {
+                "CERTIFIED exact set"
+            } else {
+                "best effort"
+            },
             res.iterations,
             res.l1_error,
             started.elapsed()

@@ -15,17 +15,15 @@ use fastppv::graph::gen::{SocialNetwork, SocialParams};
 
 fn main() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 20_000, ..Default::default() },
+        SocialParams {
+            nodes: 20_000,
+            ..Default::default()
+        },
         9,
     );
     let graph = &net.graph;
     let config = Config::default().with_epsilon(1e-6);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 10,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 10, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
 
     // Offline: segment the graph into clusters and put graph + PPV index on
@@ -34,8 +32,7 @@ fn main() {
     let clg = dir.join("fastppv-example.clg");
     let idx = dir.join("fastppv-example.idx");
     let n_clusters = 25;
-    let clustering =
-        cluster_graph(graph, n_clusters, ClusteringOptions::default());
+    let clustering = cluster_graph(graph, n_clusters, ClusteringOptions::default());
     write_clustered_graph(graph, &clustering, &clg).expect("write clusters");
     index.write_to_file(&idx).expect("write index");
 
@@ -47,8 +44,7 @@ fn main() {
         "disk-resident graph: {} clusters, minimum working set {:.1}% of \
          the graph",
         disk.num_clusters(),
-        100.0 * disk.largest_cluster_bytes() as f64
-            / disk.total_cluster_bytes() as f64
+        100.0 * disk.largest_cluster_bytes() as f64 / disk.total_cluster_bytes() as f64
     );
     let mut ws = DiskQueryWorkspace::new(graph.num_nodes());
     for q in [15u32, 7777, 19_000] {

@@ -13,7 +13,10 @@ use fastppv::graph::{Graph, GraphBuilder};
 
 fn main() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 15_000, ..Default::default() },
+        SocialParams {
+            nodes: 15_000,
+            ..Default::default()
+        },
         5,
     );
     let graph = net.graph;
@@ -34,8 +37,7 @@ fn main() {
     let (u, v) = (100u32, 9000u32);
     let new_graph = with_edge(&graph, u, v);
     let started = std::time::Instant::now();
-    let (new_index, refresh) =
-        refresh_index(&index, &graph, &new_graph, &hubs, &[u], &config);
+    let (new_index, refresh) = refresh_index(&index, &graph, &new_graph, &hubs, &[u], &config);
     println!(
         "edge ({u} -> {v}) inserted: recomputed {} of {} hub PPVs in {:.2?} \
          (reused {})",
@@ -62,8 +64,7 @@ fn main() {
 
 /// `graph` plus one edge (dropping `u`'s dangling-fix self-loop if any).
 fn with_edge(graph: &Graph, u: u32, v: u32) -> Graph {
-    let mut b = GraphBuilder::new(graph.num_nodes())
-        .with_edge_capacity(graph.num_edges() + 1);
+    let mut b = GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges() + 1);
     for (s, t) in graph.edges() {
         if s == t && s == u {
             continue;

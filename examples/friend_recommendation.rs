@@ -14,7 +14,10 @@ use fastppv::graph::gen::{SocialNetwork, SocialParams};
 
 fn main() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 30_000, ..Default::default() },
+        SocialParams {
+            nodes: 30_000,
+            ..Default::default()
+        },
         11,
     );
     let graph = &net.graph;
@@ -25,12 +28,7 @@ fn main() {
     );
 
     let config = Config::default().with_epsilon(1e-6);
-    let hubs = select_hubs(
-        graph,
-        HubPolicy::ExpectedUtility,
-        graph.num_nodes() / 10,
-        0,
-    );
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 10, 0);
     let (index, stats) = build_index_parallel(graph, &hubs, &config, 4);
     println!("indexed {} hubs in {:.2?}\n", stats.hubs, stats.build_time);
 

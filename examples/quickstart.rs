@@ -12,7 +12,11 @@ fn main() {
     // 1. A graph. Any `fastppv::graph::Graph` works: build one with
     //    `GraphBuilder`, read an edge list with `graph::io`, or generate one.
     let graph = barabasi_albert(10_000, 4, 42);
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // 2. Offline: select hubs by expected utility (paper Eq. 7) and
     //    precompute their prime PPVs. (ε bounds how deep hub-free
@@ -43,7 +47,17 @@ fn main() {
     }
 
     // 4. Or run until a target accuracy is met — the error is known at
-    //    query time without the exact PPV (paper Eq. 6).
+    //    query time without the exact PPV (paper Eq. 6). Note that the
+    //    offline truncation knobs (δ, clip) trade accuracy for index size:
+    //    they put a floor under the reachable φ. For guaranteed-accuracy
+    //    serving, index with truncation off (ε alone keeps the offline
+    //    phase tractable) and let the stopping condition pick the depth.
+    let accurate = Config::default()
+        .with_epsilon(1e-7)
+        .with_delta(0.0)
+        .with_clip(0.0);
+    let (index, _) = build_index_parallel(&graph, &hubs, &accurate, 4);
+    let mut engine = QueryEngine::new(&graph, &hubs, &index, accurate);
     let precise = engine.query(query, &StoppingCondition::l1_error(0.01));
     println!(
         "\nsame query to φ ≤ 0.01: {} iterations, φ = {:.5}",

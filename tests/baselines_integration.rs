@@ -3,8 +3,7 @@
 
 use fastppv::baselines::exact::{exact_ppv, ExactOptions};
 use fastppv::baselines::hubrank::{
-    build_hubrank_index, hubrank_query, select_hubs_by_benefit,
-    HubRankOptions,
+    build_hubrank_index, hubrank_query, select_hubs_by_benefit, HubRankOptions,
 };
 use fastppv::baselines::montecarlo::{
     build_fingerprint_index, montecarlo_query, MonteCarloOptions,
@@ -14,8 +13,14 @@ use fastppv::graph::{pagerank, PageRankOptions, ScoreScratch};
 use fastppv::metrics::AccuracyReport;
 
 fn dataset() -> fastppv::graph::Graph {
-    SocialNetwork::generate(SocialParams { nodes: 2_500, ..Default::default() }, 8)
-        .graph
+    SocialNetwork::generate(
+        SocialParams {
+            nodes: 2_500,
+            ..Default::default()
+        },
+        8,
+    )
+    .graph
 }
 
 #[test]
@@ -26,10 +31,13 @@ fn hubrank_accuracy_improves_with_tighter_push() {
     let index = build_hubrank_index(
         &g,
         &hubs,
-        HubRankOptions { offline_residual: 1e-3, ..Default::default() },
+        HubRankOptions {
+            offline_residual: 1e-3,
+            ..Default::default()
+        },
     );
     let queries = [13u32, 444, 2100];
-    let mut gap = |push: f64| -> f64 {
+    let gap = |push: f64| -> f64 {
         let mut total = 0.0;
         for &q in &queries {
             let exact = exact_ppv(&g, q, ExactOptions::default());
@@ -69,12 +77,18 @@ fn all_methods_rank_the_top_nodes_correctly() {
     let hr_index = build_hubrank_index(
         &g,
         &hubs,
-        HubRankOptions { offline_residual: 1e-3, ..Default::default() },
+        HubRankOptions {
+            offline_residual: 1e-3,
+            ..Default::default()
+        },
     );
     let mc_index = build_fingerprint_index(
         &g,
         &hubs,
-        MonteCarloOptions { fingerprints_per_hub: 4_000, ..Default::default() },
+        MonteCarloOptions {
+            fingerprints_per_hub: 4_000,
+            ..Default::default()
+        },
     );
     let mut scratch = ScoreScratch::new(g.num_nodes());
     for q in [55u32, 1300] {
@@ -106,7 +120,10 @@ fn fingerprint_reuse_does_not_bias_the_estimate() {
     let index = build_fingerprint_index(
         &g,
         &hubs,
-        MonteCarloOptions { fingerprints_per_hub: 30_000, ..Default::default() },
+        MonteCarloOptions {
+            fingerprints_per_hub: 30_000,
+            ..Default::default()
+        },
     );
     let mut scratch = ScoreScratch::new(g.num_nodes());
     let q = 321;
@@ -121,5 +138,5 @@ fn fingerprint_reuse_does_not_bias_the_estimate() {
     );
     let gap = with_reuse.estimate.l1_distance_dense(&exact);
     assert!(gap < 0.15, "gap {gap}");
-    assert!(with_reuse.hub_hits > 0 || with_reuse.estimate.len() > 0);
+    assert!(with_reuse.hub_hits > 0 || !with_reuse.estimate.is_empty());
 }

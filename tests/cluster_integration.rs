@@ -25,7 +25,11 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 #[test]
 fn fully_disk_resident_pipeline_matches_memory() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 1_500, venues: 20, ..Default::default() },
+        DblpParams {
+            papers: 1_500,
+            venues: 20,
+            ..Default::default()
+        },
         6,
     );
     let graph = &net.graph;
@@ -66,12 +70,7 @@ fn fully_disk_resident_pipeline_matches_memory() {
         );
         // f32 index storage rounds scores; structure must be identical.
         assert_eq!(mem.scores.len(), dsk.result.scores.len(), "q {q}");
-        for (&(va, sa), &(vb, sb)) in mem
-            .scores
-            .entries()
-            .iter()
-            .zip(dsk.result.scores.entries())
-        {
+        for (&(va, sa), &(vb, sb)) in mem.scores.entries().iter().zip(dsk.result.scores.entries()) {
             assert_eq!(va, vb, "q {q}");
             assert!((sa - sb).abs() < 1e-4, "q {q} node {va}: {sa} vs {sb}");
         }
@@ -83,7 +82,11 @@ fn fully_disk_resident_pipeline_matches_memory() {
 #[test]
 fn fault_cap_bounds_io_and_keeps_phi_sound() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 1_000, venues: 15, ..Default::default() },
+        DblpParams {
+            papers: 1_000,
+            venues: 15,
+            ..Default::default()
+        },
         7,
     );
     let graph = &net.graph;
@@ -124,7 +127,11 @@ fn fault_cap_bounds_io_and_keeps_phi_sound() {
 #[test]
 fn clustering_quality_larger_cluster_count_shrinks_working_set() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 2_000, venues: 25, ..Default::default() },
+        DblpParams {
+            papers: 2_000,
+            venues: 25,
+            ..Default::default()
+        },
         9,
     );
     let graph = &net.graph;
@@ -134,8 +141,7 @@ fn clustering_quality_larger_cluster_count_shrinks_working_set() {
         let clg = temp_path(&format!("ws-{k}.clg"));
         write_clustered_graph(graph, &clustering, &clg).unwrap();
         let disk = DiskGraph::open(&clg, 1).unwrap();
-        let ws = disk.largest_cluster_bytes() as f64
-            / disk.total_cluster_bytes() as f64;
+        let ws = disk.largest_cluster_bytes() as f64 / disk.total_cluster_bytes() as f64;
         assert!(ws <= prev_ws + 0.05, "k {k}: {ws} vs {prev_ws}");
         prev_ws = ws;
         std::fs::remove_file(&clg).unwrap();

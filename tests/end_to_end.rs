@@ -56,17 +56,28 @@ fn check_dataset(graph: &Graph, hub_count: usize, queries: &[u32]) {
 #[test]
 fn dblp_like_end_to_end() {
     let net = BibNetwork::generate(
-        DblpParams { papers: 3_000, venues: 30, ..Default::default() },
+        DblpParams {
+            papers: 3_000,
+            venues: 30,
+            ..Default::default()
+        },
         1,
     );
     let n = net.graph.num_nodes();
-    check_dataset(&net.graph, n / 25, &[5, 500, 2222, 4000u32.min(n as u32 - 1)]);
+    check_dataset(
+        &net.graph,
+        n / 25,
+        &[5, 500, 2222, 4000u32.min(n as u32 - 1)],
+    );
 }
 
 #[test]
 fn social_like_end_to_end() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 4_000, ..Default::default() },
+        SocialParams {
+            nodes: 4_000,
+            ..Default::default()
+        },
         2,
     );
     check_dataset(&net.graph, 500, &[1, 123, 3999]);
@@ -75,7 +86,10 @@ fn social_like_end_to_end() {
 #[test]
 fn disk_index_serves_identical_results() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 2_000, ..Default::default() },
+        SocialParams {
+            nodes: 2_000,
+            ..Default::default()
+        },
         3,
     );
     let graph = &net.graph;
@@ -102,9 +116,7 @@ fn disk_index_serves_identical_results() {
             a.l1_error,
             b.l1_error
         );
-        for (&(va, sa), &(vb, sb)) in
-            a.scores.entries().iter().zip(b.scores.entries())
-        {
+        for (&(va, sa), &(vb, sb)) in a.scores.entries().iter().zip(b.scores.entries()) {
             assert_eq!(va, vb);
             assert!((sa - sb).abs() < 1e-4);
         }
@@ -115,7 +127,10 @@ fn disk_index_serves_identical_results() {
 #[test]
 fn hub_queries_and_non_hub_queries_both_work() {
     let net = SocialNetwork::generate(
-        SocialParams { nodes: 1_500, ..Default::default() },
+        SocialParams {
+            nodes: 1_500,
+            ..Default::default()
+        },
         4,
     );
     let graph = &net.graph;
@@ -139,12 +154,14 @@ fn multi_seed_determinism() {
     // The whole pipeline is deterministic for a fixed seed.
     let make = || {
         let net = SocialNetwork::generate(
-            SocialParams { nodes: 1_000, ..Default::default() },
+            SocialParams {
+                nodes: 1_000,
+                ..Default::default()
+            },
             5,
         );
         let config = Config::default();
-        let hubs =
-            select_hubs(&net.graph, HubPolicy::ExpectedUtility, 100, 0);
+        let hubs = select_hubs(&net.graph, HubPolicy::ExpectedUtility, 100, 0);
         let (index, _) = build_index_parallel(&net.graph, &hubs, &config, 3);
         let mut engine = QueryEngine::new(&net.graph, &hubs, &index, config);
         engine.query(42, &StoppingCondition::iterations(2)).scores

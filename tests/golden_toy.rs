@@ -1,0 +1,136 @@
+//! Golden tests for the paper's 8-node running example (Figure 1).
+//!
+//! The toy graph is small enough that its PPV from `a` has a closed form:
+//! with the self-loop variant (`c`, `e` absorbing) every walk eventually
+//! settles in `c` or `e`, and the distribution `x_k = e_a P^k` stabilizes
+//! after four steps. Summing `α Σ_k (1-α)^k x_k` by hand gives exact
+//! terminating decimals, hard-coded below — any drift in the graph
+//! substrate, the power-iteration baseline, or the scheduled-approximation
+//! engine shows up as a golden mismatch here.
+
+use fastppv::baselines::exact::{exact_ppv, ExactOptions};
+use fastppv::core::query::StoppingCondition;
+use fastppv::core::{build_index, select_hubs, Config, HubPolicy, HubSet, QueryEngine};
+use fastppv::graph::toy;
+use fastppv::graph::NodeId;
+
+/// PPV from `a` with α = 0.15 on [`toy::graph`] (self-loops on `c`, `e`),
+/// computed by hand (exact decimals; the walk distribution is absorbed
+/// after four steps). Indexed by node id `a..h`.
+const GOLDEN_PPV_FROM_A: [f64; 8] = [
+    0.15,         // a: restart mass only
+    0.0255,       // b: α·(1-α)/5
+    0.5121940625, // c
+    0.052774375,  // d
+    0.1976940625, // e
+    0.0255,       // f: α·(1-α)/5
+    0.0108375,    // g: α·(1-α)²/10
+    0.0255,       // h: α·(1-α)/5
+];
+
+/// Untruncated configuration: Eq. 6 (`φ(k) = 1 − ‖r̂‖₁`) holds exactly.
+fn exact_config() -> Config {
+    Config::default()
+        .with_epsilon(1e-12)
+        .with_delta(0.0)
+        .with_clip(0.0)
+}
+
+#[test]
+fn exact_ppv_matches_hand_computed_values() {
+    let g = toy::graph();
+    let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+    for (v, (&got, &want)) in exact.iter().zip(GOLDEN_PPV_FROM_A.iter()).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-10,
+            "node {}: exact_ppv {got} vs golden {want}",
+            toy::NAMES[v]
+        );
+    }
+    let total: f64 = exact.iter().sum();
+    assert!((total - 1.0).abs() < 1e-10, "PPV mass {total}");
+}
+
+#[test]
+fn fastppv_engine_converges_to_golden_values() {
+    let g = toy::graph();
+    let config = exact_config();
+    let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+    let (index, _) = build_index(&g, &hubs, &config);
+    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let result = engine.query(toy::A, &StoppingCondition::l1_error(1e-11));
+    for v in 0..8u32 {
+        let got = result.scores.get(v);
+        let want = GOLDEN_PPV_FROM_A[v as usize];
+        assert!(
+            (got - want).abs() < 1e-9,
+            "node {}: engine {got} vs golden {want}",
+            toy::NAMES[v as usize]
+        );
+    }
+}
+
+#[test]
+fn hub_selection_by_expected_utility() {
+    // EU(v) = PageRank(v)·|Out(v)| (Eq. 7). On the self-loop variant the
+    // absorbing sinks dominate PageRank, and d is the strongest interior
+    // node: EU ranks c > e > d > a > b > f > g > h (hand-checked by power
+    // iteration; a's PageRank is pure teleport 0.15/8, b/f/h tie at
+    // 0.0219375 but differ in out-degree 3/2/1).
+    let g = toy::graph();
+    let expected_order: [NodeId; 8] = [
+        toy::C,
+        toy::E,
+        toy::D,
+        toy::A,
+        toy::B,
+        toy::F,
+        toy::G,
+        toy::H,
+    ];
+    for count in 1..=8usize {
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, count, 0);
+        assert_eq!(hubs.len(), count);
+        for (rank, &v) in expected_order.iter().enumerate() {
+            assert_eq!(
+                hubs.is_hub(v),
+                rank < count,
+                "count {count}: node {} (EU rank {rank})",
+                toy::NAMES[v as usize]
+            );
+        }
+    }
+}
+
+#[test]
+fn phi_equals_true_l1_error_to_1e12() {
+    // Eq. 6: after every increment, φ(k) = 1 − ‖r̂‖₁ IS the L1 error —
+    // no exact PPV needed. With truncation off, the identity must hold to
+    // floating-point accuracy against the hand-computed golden PPV.
+    let g = toy::graph();
+    let config = exact_config();
+    let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+    let (index, _) = build_index(&g, &hubs, &config);
+    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let mut session = engine.session(toy::A);
+    for step in 0..12 {
+        let phi = session.l1_error();
+        let true_gap: f64 = (0..8u32)
+            .map(|v| (GOLDEN_PPV_FROM_A[v as usize] - session.estimate().get(v)).abs())
+            .sum();
+        assert!(
+            (phi - true_gap).abs() <= 1e-12,
+            "step {step}: φ {phi} vs true gap {true_gap} \
+             (diff {:.3e})",
+            (phi - true_gap).abs()
+        );
+        if !session.step() {
+            break;
+        }
+    }
+    assert!(
+        session.l1_error() < 1e-9,
+        "toy query should converge essentially exactly: φ = {}",
+        session.l1_error()
+    );
+}

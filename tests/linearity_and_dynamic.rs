@@ -11,20 +11,28 @@ use fastppv::graph::gen::{SocialNetwork, SocialParams};
 use fastppv::graph::{Graph, GraphBuilder, NodeId};
 
 fn dataset(seed: u64) -> Graph {
-    SocialNetwork::generate(SocialParams { nodes: 1_200, ..Default::default() }, seed)
-        .graph
+    SocialNetwork::generate(
+        SocialParams {
+            nodes: 1_200,
+            ..Default::default()
+        },
+        seed,
+    )
+    .graph
 }
 
 #[test]
 fn multi_node_query_matches_weighted_exact() {
     let g = dataset(1);
-    let config = Config::default().with_epsilon(1e-10).with_delta(0.0).with_clip(0.0);
+    let config = Config::default()
+        .with_epsilon(1e-10)
+        .with_delta(0.0)
+        .with_clip(0.0);
     let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 120, 0);
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
     let mut engine = QueryEngine::new(&g, &hubs, &index, config);
     let seeds = [(10u32, 1.0), (500, 2.0), (1100, 1.0)];
-    let res =
-        query_multi(&mut engine, &seeds, &StoppingCondition::l1_error(1e-7));
+    let res = query_multi(&mut engine, &seeds, &StoppingCondition::l1_error(1e-7));
     let mut expected = vec![0.0; g.num_nodes()];
     for &(q, w) in &seeds {
         let e = exact_ppv(&g, q, ExactOptions::default());
@@ -49,10 +57,8 @@ fn refresh_after_insertions_matches_rebuild_and_serves_queries() {
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
 
     // Insert three edges from non-hub tails.
-    let tails: Vec<NodeId> =
-        (0..1200u32).filter(|&v| !hubs.is_hub(v)).take(3).collect();
-    let new_edges: Vec<(NodeId, NodeId)> =
-        tails.iter().map(|&u| (u, (u + 601) % 1200)).collect();
+    let tails: Vec<NodeId> = (0..1200u32).filter(|&v| !hubs.is_hub(v)).take(3).collect();
+    let new_edges: Vec<(NodeId, NodeId)> = tails.iter().map(|&u| (u, (u + 601) % 1200)).collect();
     let mut b = GraphBuilder::new(1200);
     for (u, v) in g.edges() {
         if u == v && tails.contains(&u) {
@@ -65,8 +71,7 @@ fn refresh_after_insertions_matches_rebuild_and_serves_queries() {
     }
     let g2 = b.build();
 
-    let (refreshed, stats) =
-        refresh_index(&index, &g, &g2, &hubs, &tails, &config);
+    let (refreshed, stats) = refresh_index(&index, &g, &g2, &hubs, &tails, &config);
     let (rebuilt, _) = build_index_parallel(&g2, &hubs, &config, 2);
     assert!(stats.recomputed + stats.reused == hubs.len());
     for &h in hubs.ids() {
@@ -92,8 +97,7 @@ fn refresh_with_no_changes_reuses_everything() {
     let config = Config::default();
     let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 60, 0);
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-    let (refreshed, stats) =
-        refresh_index(&index, &g, &g, &hubs, &[], &config);
+    let (refreshed, stats) = refresh_index(&index, &g, &g, &hubs, &[], &config);
     assert_eq!(stats.recomputed, 0);
     assert_eq!(stats.reused, hubs.len());
     for &h in hubs.ids() {

@@ -2,6 +2,7 @@
 //! full pipeline on small random graphs.
 
 use fastppv::baselines::exact::{exact_ppv, ExactOptions};
+use fastppv::core::error::l1_error_bound;
 use fastppv::core::index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
 use fastppv::core::query::{QueryEngine, StoppingCondition};
 use fastppv::core::{build_index_parallel, Config, HubSet};
@@ -13,10 +14,7 @@ use proptest::prelude::*;
 /// Strategy: a small random directed graph as (n, edge list).
 fn small_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     (4usize..20).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as NodeId, 0..n as NodeId),
-            1..60,
-        );
+        let edges = prop::collection::vec((0..n as NodeId, 0..n as NodeId), 1..60);
         (Just(n), edges)
     })
 }
@@ -64,23 +62,6 @@ proptest! {
                 "node {} of {}: {} vs {}", v, n, result.scores.get(v), exact[v as usize]
             );
         }
-    }
-
-    #[test]
-    fn phi_is_always_a_valid_upper_bound(
-        (n, edges) in small_graph(),
-        eta in 0usize..4,
-    ) {
-        let g = from_edges(n, &edges);
-        let hubs = HubSet::from_ids(n, vec![0, (n as NodeId) / 2]);
-        let config = Config::default(); // truncation on
-        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        let q = (n as NodeId) - 1;
-        let exact = exact_ppv(&g, q, ExactOptions::default());
-        let result = engine.query(q, &StoppingCondition::iterations(eta));
-        let true_gap = result.scores.l1_distance_dense(&exact);
-        prop_assert!(result.l1_error >= true_gap - 1e-6);
     }
 
     #[test]
@@ -137,7 +118,7 @@ proptest! {
         let p = precision_at_k(&exact, &approx, k);
         prop_assert!((0.0..=1.0).contains(&p));
         let r = rag(&exact, &approx, k);
-        prop_assert!(r >= 0.0 && r <= 1.0 + 1e-9, "rag {}", r);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r), "rag {}", r);
         // Self-comparison is perfect.
         let self_sparse = SparseVector::from_sorted(
             exact.iter().enumerate()
@@ -163,6 +144,65 @@ proptest! {
         for q in 0..(n as NodeId).min(4) {
             let r = engine.query(q, &StoppingCondition::iterations(5));
             prop_assert!(r.scores.l1_norm() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+// The Theorem 2 claims (φ is a true upper bound on the L1 gap, and with
+// truncation off φ(k) ≤ (1-α)^{k+2}) are the accuracy contract the whole
+// scheduled-approximation design rests on, so they get a deeper sweep than
+// the structural properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn phi_is_always_a_valid_upper_bound(
+        (n, edges) in small_graph(),
+        eta in 0usize..4,
+    ) {
+        let g = from_edges(n, &edges);
+        let hubs = HubSet::from_ids(n, vec![0, (n as NodeId) / 2]);
+        let config = Config::default(); // truncation on
+        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let q = (n as NodeId) - 1;
+        let exact = exact_ppv(&g, q, ExactOptions::default());
+        let result = engine.query(q, &StoppingCondition::iterations(eta));
+        let true_gap = result.scores.l1_distance_dense(&exact);
+        prop_assert!(result.l1_error >= true_gap - 1e-6);
+    }
+
+    #[test]
+    fn theorem_2_bound_with_truncation_off(
+        (n, edges) in small_graph(),
+        hub_bits in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        // Theorem 2: with truncation off, φ(k) ≤ (1-α)^{k+2} for every
+        // query, hub set, and graph — each iteration k covers the tour
+        // partition T^k in full, and the uncovered tail decays
+        // geometrically.
+        let g = from_edges(n, &edges);
+        let hub_ids: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| hub_bits.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let hubs = HubSet::from_ids(n, hub_ids);
+        let config = Config::exhaustive();
+        let alpha = config.alpha;
+        let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
+        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let q = (edges[0].1 as usize % n) as NodeId;
+        let mut session = engine.session(q);
+        for k in 0..6usize {
+            prop_assert!(
+                session.l1_error() <= l1_error_bound(alpha, k) + 1e-9,
+                "k {}: φ {} > bound {}",
+                k,
+                session.l1_error(),
+                l1_error_bound(alpha, k)
+            );
+            if !session.step() {
+                break;
+            }
         }
     }
 }

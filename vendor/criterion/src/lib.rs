@@ -1,0 +1,338 @@
+//! Offline, API-compatible subset of `criterion` 0.5.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the measurement surface its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Behavior mirrors real criterion's two modes:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is warmed
+//!   up and timed, and mean ns/iter is printed;
+//! * otherwise (e.g. `cargo test --benches`), each benchmark body runs
+//!   exactly once as a smoke test.
+//!
+//! No statistics, plots, or HTML reports — this exists so the bench suite
+//! compiles, runs, and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter component.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs the measured
+/// routine.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `cargo bench`: measure.
+    Measure,
+    /// `cargo test` / plain execution: run once, don't measure.
+    Test,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock cost (or
+    /// once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: a few untimed calls so caches and allocators settle.
+        let warmup = self.sample_size.clamp(1, 5);
+        for _ in 0..warmup {
+            std::hint::black_box(routine());
+        }
+        // Measure in batches until we have sample_size timed calls or the
+        // per-benchmark time budget runs out.
+        let budget = Duration::from_secs(3);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.sample_size as u64 && start.elapsed() < budget {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            elapsed += t.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, id: &str, mut f: F) {
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        mean_ns: f64::NAN,
+    };
+    match mode {
+        Mode::Test => {
+            f(&mut b);
+            println!("test {id} ... ok");
+        }
+        Mode::Measure => {
+            f(&mut b);
+            println!("{id:<50} time: {}", human_ns(b.mean_ns));
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments cargo passes to bench
+    /// binaries: `--bench` selects measurement mode; a bare argument is a
+    /// substring filter on benchmark ids. Other flags are ignored, and an
+    /// unrecognized `--flag value` pair is skipped whole — otherwise the
+    /// value would be mistaken for a filter and silently skip everything.
+    pub fn from_args() -> Self {
+        Self::parse_args(std::env::args().skip(1))
+    }
+
+    fn parse_args(args: impl Iterator<Item = String>) -> Self {
+        let mut mode = Mode::Test;
+        let mut filter = None;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                "--test" => mode = Mode::Test,
+                // Known boolean flags real criterion accepts: nothing to skip.
+                "--verbose" | "--quiet" | "--exact" | "--list" => {}
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                a => {
+                    // `--flag=value` carries its value; `--flag value` does
+                    // not — consume the value so it isn't read as a filter.
+                    if !a.contains('=') && args.peek().is_some_and(|v| !v.starts_with('-')) {
+                        args.next();
+                    }
+                }
+            }
+        }
+        Criterion { mode, filter }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(self.mode, 50, id, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.selected(&full) {
+            run_one(self.criterion.mode, self.sample_size, &full, f);
+        }
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.selected(&full) {
+            run_one(self.criterion.mode, self.sample_size, &full, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export of the `std` hint,
+/// matching criterion's public `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one group function, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default();
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_warmup_plus_samples() {
+        let mut calls = 0u64;
+        run_one(Mode::Measure, 10, "counted", |b| b.iter(|| calls += 1));
+        // clamp(1,5) warmup calls + 10 samples.
+        assert_eq!(calls, 15);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut calls = 0;
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("match_me".to_string()),
+        };
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        c.bench_function("yes_match_me_too", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn value_taking_flags_do_not_become_filters() {
+        let argv = |list: &[&str]| {
+            list.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
+        // `--sample-size 10`: the 10 must not be read as a filter.
+        let c = Criterion::parse_args(argv(&["--bench", "--sample-size", "10"]));
+        assert!(c.mode == Mode::Measure);
+        assert_eq!(c.filter, None);
+        // `--save-baseline main` likewise.
+        let c = Criterion::parse_args(argv(&["--save-baseline", "main"]));
+        assert_eq!(c.filter, None);
+        // A real bare filter still lands.
+        let c = Criterion::parse_args(argv(&["--bench", "axpy"]));
+        assert_eq!(c.filter.as_deref(), Some("axpy"));
+        // `--flag=value` form leaves following bare args as filters.
+        let c = Criterion::parse_args(argv(&["--output-format=bencher", "axpy"]));
+        assert_eq!(c.filter.as_deref(), Some("axpy"));
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("extract", "hubs_1pct").id,
+            "extract/hubs_1pct"
+        );
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,69 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type AnyStrategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for `Self`.
+    fn arbitrary() -> Self::AnyStrategy;
+}
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> T::AnyStrategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive (zero-sized marker).
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $body:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $body
+            }
+        }
+
+        impl Arbitrary for $t {
+            type AnyStrategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::AnyStrategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.bool(),
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    f64 => |rng| rng.unit_f64(),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = TestRng::from_seed(6);
+        let strat = any::<bool>();
+        let draws: Vec<bool> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline, API-compatible subset of `proptest` 1.x.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the property-testing surface its tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`strategy::Strategy`] with ranges, tuples, [`strategy::Just`], and
+//!   `prop_flat_map`,
+//! * [`collection::vec`] and [`collection::btree_map`],
+//! * [`arbitrary::any`],
+//! * deterministic case generation plus failing-seed persistence in
+//!   `proptest-regressions/<file>.txt` (`cc <seed> # <test name>` lines),
+//!   replayed before fresh cases on the next run — the same workflow as real
+//!   proptest's regression files, minus shrinking.
+//!
+//! Differences from upstream: no shrinking (the failing seed is persisted
+//! and replayed as-is), and case generation is deterministic per
+//! (file, test, case index) rather than OS-entropy seeded, so CI failures
+//! reproduce locally without copying seeds around.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! The `prop::` module alias used inside `proptest!` bodies.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (after replaying any persisted regression seeds).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(
+                &__config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng| {
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), __rng), )+
+                    );
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+}
+
+/// Like `assert!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Like `assert_eq!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", l, r);
+        }
+    }};
+}
+
+/// Like `assert_ne!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("prop_assert_ne failed: both sides are {:?}", l);
+        }
+    }};
+}

@@ -1,0 +1,239 @@
+//! Case generation, execution, and failing-seed persistence.
+
+use std::io::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand_chacha::rand_core::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only `cases` is interpreted; the struct is
+/// non-exhaustively constructible via [`ProptestConfig::with_cases`] and
+/// `Default` like the real crate.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG handed to strategies (ChaCha8 under the hood).
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// A generator for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// FNV-1a over the test's identity: the base of its deterministic seed
+/// sequence. Stable across runs and platforms.
+fn identity_hash(file: &str, name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in file.bytes().chain([0u8]).chain(name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `tests/property.rs` → `<manifest>/proptest-regressions/property.txt`,
+/// mirroring real proptest's layout.
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parses `cc <seed> # <test name>` lines addressed to `name`.
+fn load_persisted_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("cc ") else {
+            continue;
+        };
+        let (seed_part, comment) = match rest.split_once('#') {
+            Some((s, c)) => (s.trim(), c.trim()),
+            None => (rest.trim(), ""),
+        };
+        // Unattributed seeds replay for every test in the file.
+        if !comment.is_empty() && comment != name {
+            continue;
+        }
+        if let Ok(seed) = seed_part.parse::<u64>() {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+fn persist_seed(path: &Path, name: &str, seed: u64) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let new_file = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if new_file {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases found by proptest. It is recommended \
+             to check this file into source control; seeds listed here are \
+             replayed before fresh cases on every run."
+        );
+    }
+    let _ = writeln!(f, "cc {seed} # {name}");
+}
+
+/// Executes one property: replays persisted regression seeds, then runs
+/// `config.cases` fresh deterministic cases. On failure the seed is appended
+/// to the regression file and the panic is re-thrown with the case context.
+pub fn run<F>(config: &ProptestConfig, manifest_dir: &str, file: &str, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let reg_path = regression_path(manifest_dir, file);
+    let persisted = load_persisted_seeds(&reg_path, name);
+    for &seed in &persisted {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!(
+                "proptest: {name} failed replaying persisted seed {seed} \
+                 (from {})",
+                reg_path.display()
+            );
+            panic::resume_unwind(payload);
+        }
+    }
+    let base = identity_hash(file, name);
+    for case in 0..config.cases {
+        // SplitMix-style spread keeps per-case seeds decorrelated.
+        let seed = base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            if !persisted.contains(&seed) {
+                persist_seed(&reg_path, name, seed);
+            }
+            eprintln!(
+                "proptest: {name} failed at case {case}/{} (seed {seed}); \
+                 seed persisted to {}",
+                config.cases,
+                reg_path.display()
+            );
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_per_identity() {
+        assert_eq!(
+            identity_hash("tests/property.rs", "foo"),
+            identity_hash("tests/property.rs", "foo")
+        );
+        assert_ne!(
+            identity_hash("tests/property.rs", "foo"),
+            identity_hash("tests/property.rs", "bar")
+        );
+    }
+
+    #[test]
+    fn regression_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-stub-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let path = dir.join("property.txt");
+        persist_seed(&path, "my_test", 42);
+        persist_seed(&path, "other_test", 7);
+        assert_eq!(load_persisted_seeds(&path, "my_test"), vec![42]);
+        assert_eq!(load_persisted_seeds(&path, "other_test"), vec![7]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('#'), "header comment expected: {text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn run_executes_exactly_cases_times() {
+        let mut calls = 0u32;
+        let config = ProptestConfig::with_cases(17);
+        // Point the regression path somewhere harmless and empty.
+        let tmp = std::env::temp_dir();
+        run(
+            &config,
+            tmp.to_str().unwrap(),
+            "nonexistent_file.rs",
+            "counting",
+            |_| calls += 1,
+        );
+        assert_eq!(calls, 17);
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline, API-compatible subset of `rand_chacha` 0.3: [`ChaCha8Rng`].
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a real ChaCha implementation (Bernstein's quarter-round network, 8 rounds
+//! = 4 double rounds, as ChaCha8 specifies) behind the same type name. Streams are deterministic per seed but
+//! not bit-identical to upstream `rand_chacha` (which nobody in this
+//! workspace relies on — seeds only pin *a* reproducible stream).
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A cryptographically-strong-enough deterministic RNG: ChaCha8 (8 rounds =
+/// 4 double rounds), keyed by a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter state fed to the block function.
+    state: [u32; BLOCK_WORDS],
+    /// Output buffer of the current block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word in `buf`; `BLOCK_WORDS` means "refill".
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds total: column round + diagonal round, four times.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buf
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12..16: counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            buf: [0; BLOCK_WORDS],
+            cursor: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buf[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // More draws than one 16-word block; stream must not repeat the
+        // first block.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 100_000u64;
+        let ones: u32 = (0..n).map(|_| rng.next_u32().count_ones()).sum();
+        let frac = ones as f64 / (n as f64 * 32.0);
+        assert!((frac - 0.5).abs() < 0.005, "bit fraction {frac}");
+    }
+}

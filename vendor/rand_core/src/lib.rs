@@ -1,0 +1,112 @@
+//! Offline, API-compatible subset of `rand_core` 0.6.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the minimal surface it actually uses: the [`RngCore`] and [`SeedableRng`]
+//! traits. Semantics follow the real crate; the default `seed_from_u64`
+//! expansion is SplitMix64 (deterministic, well mixed) rather than the
+//! upstream PCG expansion, which is fine because no test in this workspace
+//! depends on upstream's exact stream.
+
+/// A random number generator core: the three primitive output methods every
+/// generator must provide.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// One step of the SplitMix64 sequence: updates `state` and returns the next
+/// output. Used to expand small seeds into full seed material.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array such as `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Counter(0);
+        let mut buf = [0xAAu8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &1u64.to_le_bytes());
+        assert_eq!(&buf[8..], &2u64.to_le_bytes()[..3]);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), {
+            let mut c = 42;
+            splitmix64(&mut c)
+        });
+    }
+}
