@@ -30,13 +30,14 @@ fn bench_methods(c: &mut Criterion) {
     let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, hub_count, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
     group.bench_function("fastppv_eta2", |b| {
-        let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+        let engine = QueryEngine::new(graph, &hubs, &index, config);
         let stop = StoppingCondition::iterations(2);
+        let mut ws = engine.workspace();
         let mut i = 0;
         b.iter(|| {
             let q = queries[i % queries.len()];
             i += 1;
-            std::hint::black_box(engine.query(q, &stop))
+            std::hint::black_box(engine.query_with(&mut ws, q, &stop))
         });
     });
 

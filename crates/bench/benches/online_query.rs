@@ -23,13 +23,14 @@ fn bench_eta(c: &mut Criterion) {
     group.sample_size(20);
     for eta in [0usize, 1, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
-            let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+            let engine = QueryEngine::new(graph, &hubs, &index, config);
             let stop = StoppingCondition::iterations(eta);
+            let mut ws = engine.workspace();
             let mut i = 0;
             b.iter(|| {
                 let q = queries[i % queries.len()];
                 i += 1;
-                std::hint::black_box(engine.query(q, &stop))
+                std::hint::black_box(engine.query_with(&mut ws, q, &stop))
             });
         });
     }
@@ -52,13 +53,14 @@ fn bench_hub_count(c: &mut Criterion) {
         );
         let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
         group.bench_with_input(BenchmarkId::from_parameter(hubs.len()), &(), |b, _| {
-            let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+            let engine = QueryEngine::new(graph, &hubs, &index, config);
             let stop = StoppingCondition::iterations(2);
+            let mut ws = engine.workspace();
             let mut i = 0;
             b.iter(|| {
                 let q = queries[i % queries.len()];
                 i += 1;
-                std::hint::black_box(engine.query(q, &stop))
+                std::hint::black_box(engine.query_with(&mut ws, q, &stop))
             });
         });
     }

@@ -92,7 +92,7 @@ fn main() {
             args.threads,
             Some(&pr),
         );
-        let mut engine = QueryEngine::new(
+        let engine = QueryEngine::new(
             graph,
             &setup_exact.hubs,
             &setup_exact.index,

@@ -1,103 +1,145 @@
-//! Extension experiment: multi-threaded query throughput.
+//! Extension experiment: concurrent query service throughput.
 //!
 //! The paper evaluates single-query latency; a production deployment cares
-//! about served queries per second. FastPPV's online phase is read-only
-//! over the graph + index, so engines parallelize trivially — this
-//! experiment measures QPS scaling with worker threads on both datasets
-//! (one engine per thread, shared index).
+//! about served queries per second under concurrent, skewed traffic. The
+//! online phase is read-only, so one engine (graph + hub set + index) is
+//! shared by every worker of the `fastppv-server` pool; this experiment
+//! drives it closed-loop with a Zipf query mix and reports QPS, p50/p99
+//! service latency, and speedup versus one worker — cache off (pure engine
+//! scaling) and cache warm (steady-state serving).
 //!
 //! ```text
-//! cargo run --release -p fastppv-bench --bin exp_throughput [--scale F]
+//! cargo run --release -p fastppv-bench --bin exp_throughput \
+//!     [--scale F] [--queries N] [--seed S] [--threads T]
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
 
 use fastppv_bench::cli::CommonArgs;
-use fastppv_bench::datasets::{self, DatasetKind};
+use fastppv_bench::datasets;
+use fastppv_bench::driver::{run_closed_loop, RunSpec};
 use fastppv_bench::table::Table;
-use fastppv_bench::workload::sample_queries;
-use fastppv_core::hubs::select_hubs_with_pagerank;
-use fastppv_core::hubs::HubPolicy;
+use fastppv_bench::workload::sample_queries_zipf;
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
 use fastppv_core::offline::build_index_parallel;
-use fastppv_core::query::{QueryEngine, StoppingCondition};
-use fastppv_core::Config;
-use fastppv_graph::{pagerank, PageRankOptions};
+use fastppv_core::{Config, HubSet, MemoryIndex};
+use fastppv_graph::gen::barabasi_albert;
+use fastppv_graph::{pagerank, Graph, PageRankOptions};
+
+/// Zipf exponent of the query mix (≈ web/social traffic skew).
+const ZIPF_EXPONENT: f64 = 1.0;
+/// Iteration budget η per request (the paper's default online setting).
+const ETA: usize = 2;
+
+struct WorkloadSpec {
+    name: String,
+    graph: Graph,
+    hub_count: usize,
+}
 
 fn main() {
     let args = CommonArgs::parse(2000);
-    println!("# Throughput: queries/second vs worker threads");
+    println!("# Service throughput: closed-loop QPS vs worker threads");
     println!(
         "(host exposes {} core(s); speedup is bounded by that)",
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
     );
+    let mut specs = Vec::new();
+    {
+        let dataset = datasets::dblp(args.scale, args.seed);
+        let hub_count = datasets::default_hub_count(&dataset);
+        specs.push(WorkloadSpec {
+            name: dataset.name.to_string(),
+            graph: dataset.graph,
+            hub_count,
+        });
+    }
+    {
+        let dataset = datasets::livejournal(args.scale, args.seed);
+        let hub_count = datasets::default_hub_count(&dataset);
+        specs.push(WorkloadSpec {
+            name: dataset.name.to_string(),
+            graph: dataset.graph,
+            hub_count,
+        });
+    }
+    // The acceptance workload: a 5k-node Barabási–Albert graph.
+    {
+        let n = ((5000.0 * args.scale) as usize).max(100);
+        specs.push(WorkloadSpec {
+            name: format!("BA-{}k", n / 1000),
+            graph: barabasi_albert(n, 4, args.seed),
+            hub_count: n / 25,
+        });
+    }
+
     let mut table = Table::new(vec![
-        "dataset",
-        "threads",
-        "queries",
-        "wall time",
-        "QPS",
-        "speedup",
+        "workload", "cache", "workers", "queries", "wall", "QPS", "p50", "p99", "hit%", "speedup",
     ]);
-    for kind in [DatasetKind::Dblp, DatasetKind::LiveJournal] {
-        let dataset = match kind {
-            DatasetKind::Dblp => datasets::dblp(args.scale, args.seed),
-            DatasetKind::LiveJournal => datasets::livejournal(args.scale, args.seed),
-        };
-        let graph = &dataset.graph;
+    for spec in specs {
+        let graph = Arc::new(spec.graph);
         println!(
-            "\n## {}: {} nodes, {} edges",
-            dataset.name,
+            "\n## {}: {} nodes, {} edges, {} hubs",
+            spec.name,
             graph.num_nodes(),
-            graph.num_edges()
+            graph.num_edges(),
+            spec.hub_count
         );
-        let pr = pagerank(graph, PageRankOptions::default());
-        let hubs = select_hubs_with_pagerank(
-            graph,
+        let pr = pagerank(&graph, PageRankOptions::default());
+        let hubs: Arc<HubSet> = Arc::new(select_hubs_with_pagerank(
+            &graph,
             HubPolicy::ExpectedUtility,
-            datasets::default_hub_count(&dataset),
+            spec.hub_count,
             0,
             Some(&pr),
-        );
+        ));
         let config = Config::default().with_epsilon(1e-6);
-        let (index, _) = build_index_parallel(graph, &hubs, &config, args.threads);
-        let queries = sample_queries(graph, args.queries, args.seed);
-        let stop = StoppingCondition::iterations(2);
+        let (index, _) = build_index_parallel(&graph, &hubs, &config, args.threads);
+        let store: Arc<MemoryIndex> = Arc::new(index);
+        let queries = sample_queries_zipf(&graph, args.queries, ZIPF_EXPONENT, args.seed);
 
-        let mut single_thread_qps = 0.0;
-        for threads in [1usize, 2, 4, 8] {
-            let next = AtomicUsize::new(0);
-            let started = Instant::now();
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| {
-                        let mut engine = QueryEngine::new(graph, &hubs, &index, config);
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
-                            }
-                            std::hint::black_box(engine.query(queries[i], &stop));
-                        }
-                    });
+        for (cache_label, cache_capacity, warm) in
+            [("off", 0usize, false), ("warm", 8192usize, true)]
+        {
+            let mut baseline_qps = 0.0;
+            for workers in [1usize, 2, 4, 8] {
+                let report = run_closed_loop(
+                    &graph,
+                    &hubs,
+                    &store,
+                    config,
+                    &queries,
+                    RunSpec {
+                        eta: ETA,
+                        workers,
+                        cache_capacity,
+                        warm_cache: warm,
+                    },
+                );
+                if workers == 1 {
+                    baseline_qps = report.qps;
                 }
-            });
-            let elapsed = started.elapsed();
-            let qps = queries.len() as f64 / elapsed.as_secs_f64();
-            if threads == 1 {
-                single_thread_qps = qps;
+                let served = report.cache_hits + report.cache_misses;
+                table.row(vec![
+                    spec.name.clone(),
+                    cache_label.to_string(),
+                    workers.to_string(),
+                    report.queries.to_string(),
+                    format!("{:.2?}", report.wall),
+                    format!("{:.0}", report.qps),
+                    format!("{:.2?}", report.p50),
+                    format!("{:.2?}", report.p99),
+                    if served == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.0}", 100.0 * report.cache_hits as f64 / served as f64)
+                    },
+                    format!("{:.2}x", report.qps / baseline_qps),
+                ]);
             }
-            table.row(vec![
-                dataset.name.to_string(),
-                threads.to_string(),
-                queries.len().to_string(),
-                format!("{:.2?}", elapsed),
-                format!("{qps:.0}"),
-                format!("{:.2}x", qps / single_thread_qps),
-            ]);
         }
     }
-    table.print("Query throughput — read-only online phase scales with threads");
+    table.print("Closed-loop service throughput — Zipf-skewed mix, shared read-only engine");
 }

@@ -76,7 +76,7 @@ fn main() {
     // Fig. 2: scheduled approximation — per-iteration estimates vs exact.
     let config = Config::exhaustive();
     let (index, _) = build_index(&g, &hubs, &config);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     let exact = exact_ppv(&g, toy::A, ExactOptions::default());
     let mut fig2 = Table::new(vec![
         "node",

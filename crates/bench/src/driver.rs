@@ -1,0 +1,168 @@
+//! Closed-loop throughput driver for the concurrent query service.
+//!
+//! *Closed loop*: a fixed worker pool serves requests back-to-back — the
+//! next request starts the moment a worker frees up — so measured QPS is
+//! the service's saturated capacity at that concurrency, and per-request
+//! latencies are service-side (queue wait excluded, cache probe included).
+//! The workload is the Zipf-skewed mix of
+//! [`crate::workload::sample_queries_zipf`], the traffic shape a hot-PPV
+//! cache exists for.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastppv_core::{Config, HubSet, PpvStore};
+use fastppv_graph::{Graph, NodeId};
+use fastppv_server::{QueryService, Request, ServiceOptions};
+
+pub use fastppv_server::percentile;
+
+/// One closed-loop measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Requests served.
+    pub queries: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Served queries per second.
+    pub qps: f64,
+    /// Median service-side latency.
+    pub p50: Duration,
+    /// 99th-percentile service-side latency.
+    pub p99: Duration,
+    /// Hot-PPV cache hits during the run.
+    pub cache_hits: u64,
+    /// Hot-PPV cache misses during the run.
+    pub cache_misses: u64,
+}
+
+/// One closed-loop run configuration (see [`run_closed_loop`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Iteration budget η per request.
+    pub eta: usize,
+    /// Worker threads draining the batch.
+    pub workers: usize,
+    /// Hot-PPV cache entries (0 measures pure engine throughput).
+    pub cache_capacity: usize,
+    /// Replay the batch once before measuring, so the measured run is the
+    /// steady-state (cache-saturated) figure.
+    pub warm_cache: bool,
+}
+
+/// Runs one closed-loop measurement: `spec.workers` threads drain
+/// `queries` (each run for `spec.eta` increments) through a fresh
+/// [`QueryService`] built over the shared deployment handles.
+pub fn run_closed_loop<S: PpvStore + Send + Sync>(
+    graph: &Arc<Graph>,
+    hubs: &Arc<HubSet>,
+    store: &Arc<S>,
+    config: Config,
+    queries: &[NodeId],
+    spec: RunSpec,
+) -> ThroughputReport {
+    let service = QueryService::new(
+        Arc::clone(graph),
+        Arc::clone(hubs),
+        Arc::clone(store),
+        config,
+        ServiceOptions {
+            workers: spec.workers,
+            queue_capacity: 1024,
+            cache_capacity: spec.cache_capacity,
+        },
+    );
+    let requests = || -> Vec<Request> {
+        queries
+            .iter()
+            .map(|&q| Request::iterations(q, spec.eta))
+            .collect()
+    };
+    if spec.warm_cache {
+        service.process_batch(requests());
+    }
+    let before = service.cache_stats();
+    let started = Instant::now();
+    let responses = service.process_batch(requests());
+    let wall = started.elapsed();
+    let after = service.cache_stats();
+    let latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+    ThroughputReport {
+        workers: spec.workers,
+        queries: responses.len(),
+        wall,
+        qps: responses.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        cache_hits: after.hits - before.hits,
+        cache_misses: after.misses - before.misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_core::offline::build_index;
+    use fastppv_core::{select_hubs, HubPolicy};
+    use fastppv_graph::gen::barabasi_albert;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let sample = vec![ms(5), ms(1), ms(3), ms(2), ms(4)];
+        assert_eq!(percentile(&sample, 0.5), ms(3));
+        assert_eq!(percentile(&sample, 0.99), ms(5));
+        assert_eq!(percentile(&sample, 1.0), ms(5));
+        assert_eq!(percentile(&sample, 0.2), ms(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn closed_loop_reports_consistent_counts() {
+        let graph = Arc::new(barabasi_albert(300, 3, 11));
+        let config = Config::default();
+        let hubs = Arc::new(select_hubs(&graph, HubPolicy::ExpectedUtility, 25, 0));
+        let (index, _) = build_index(&graph, &hubs, &config);
+        let store = Arc::new(index);
+        let queries: Vec<NodeId> = crate::workload::sample_queries_zipf(&graph, 60, 1.0, 7);
+
+        let cold = run_closed_loop(
+            &graph,
+            &hubs,
+            &store,
+            config,
+            &queries,
+            RunSpec {
+                eta: 2,
+                workers: 2,
+                cache_capacity: 0,
+                warm_cache: false,
+            },
+        );
+        assert_eq!(cold.queries, 60);
+        assert!(cold.qps > 0.0);
+        assert!(cold.p50 <= cold.p99);
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 0), "cache off");
+
+        let warm = run_closed_loop(
+            &graph,
+            &hubs,
+            &store,
+            config,
+            &queries,
+            RunSpec {
+                eta: 2,
+                workers: 2,
+                cache_capacity: 4096,
+                warm_cache: true,
+            },
+        );
+        assert_eq!(
+            warm.cache_hits, 60,
+            "after a warm-up replay every request must hit"
+        );
+        assert_eq!(warm.cache_misses, 0);
+    }
+}

@@ -5,7 +5,10 @@
 //!
 //! * [`datasets`] — the DBLP-like and LiveJournal-like default graphs (the
 //!   substitution for the paper's datasets, scaled for a laptop);
-//! * [`workload`] — seeded test-query sampling and parallel ground truth;
+//! * [`workload`] — seeded test-query sampling (uniform and Zipf-skewed)
+//!   and parallel ground truth;
+//! * [`driver`] — closed-loop throughput driver over the `fastppv-server`
+//!   query service (QPS, p50/p99 latency, cache hit rates);
 //! * [`runner`] — offline+online evaluation of FastPPV and both baselines,
 //!   producing method rows (time, space, four accuracy metrics);
 //! * [`configs`] — the four accuracy-moderated configurations (Fig. 5);
@@ -16,6 +19,7 @@
 pub mod cli;
 pub mod configs;
 pub mod datasets;
+pub mod driver;
 pub mod runner;
 pub mod table;
 pub mod workload;

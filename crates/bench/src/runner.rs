@@ -75,12 +75,13 @@ pub fn eval_fastppv(
     truth: &[Vec<f64>],
     stop: &StoppingCondition,
 ) -> MethodRow {
-    let mut engine = QueryEngine::new(graph, &setup.hubs, &setup.index, setup.config);
+    let engine = QueryEngine::new(graph, &setup.hubs, &setup.index, setup.config);
+    let mut ws = engine.workspace();
     let mut reports = Vec::with_capacity(queries.len());
     let mut total = Duration::ZERO;
     for (i, &q) in queries.iter().enumerate() {
         let started = Instant::now();
-        let result = engine.query(q, stop);
+        let result = engine.query_with(&mut ws, q, stop);
         total += started.elapsed();
         reports.push(AccuracyReport::compute(&truth[i], &result.scores, TOP_K));
     }

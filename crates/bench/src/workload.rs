@@ -21,6 +21,34 @@ pub fn sample_queries(graph: &Graph, count: usize, seed: u64) -> Vec<NodeId> {
     all
 }
 
+/// Samples `count` query nodes from a Zipf-skewed popularity distribution
+/// (with repetition — repeats are the point: they model the hot keys a
+/// serving cache exists for). Nodes are ranked by out-degree descending and
+/// rank `r` is drawn with probability ∝ `1/r^exponent`; `exponent = 0` is
+/// uniform, ~1 matches typical web/social query traffic.
+pub fn sample_queries_zipf(graph: &Graph, count: usize, exponent: f64, seed: u64) -> Vec<NodeId> {
+    assert!(exponent >= 0.0, "zipf exponent must be non-negative");
+    let n = graph.num_nodes();
+    assert!(n > 0, "empty graph");
+    let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+    // Cumulative weights over ranks; inverse-CDF sampling by binary search.
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for r in 1..=n {
+        total += (r as f64).powf(-exponent);
+        cdf.push(total);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5a1f);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rand::Rng::gen::<f64>(&mut rng) * total;
+            let rank = cdf.partition_point(|&c| c < u).min(n - 1);
+            by_degree[rank]
+        })
+        .collect()
+}
+
 /// Exact PPVs for every query (parallel power iteration).
 pub fn ground_truth(graph: &Graph, queries: &[NodeId]) -> Vec<Vec<f64>> {
     ground_truth_with(graph, queries, ExactOptions::default())
@@ -72,6 +100,30 @@ mod tests {
     fn count_clamped() {
         let g = barabasi_albert(10, 2, 1);
         assert_eq!(sample_queries(&g, 100, 0).len(), 10);
+    }
+
+    #[test]
+    fn zipf_queries_are_seeded_and_skewed() {
+        let g = barabasi_albert(500, 3, 9);
+        let a = sample_queries_zipf(&g, 400, 1.0, 3);
+        let b = sample_queries_zipf(&g, 400, 1.0, 3);
+        assert_eq!(a, b, "same seed, same workload");
+        assert!(a.iter().all(|&q| (q as usize) < 500));
+        // Skew: the most frequent node must appear far above the uniform
+        // expectation (400/500 < 1, so > 10 repeats means real skew).
+        let mut counts = vec![0usize; 500];
+        for &q in &a {
+            counts[q as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert!(max > 10, "hot key appeared only {max} times");
+        // Exponent 0 is uniform: far less concentrated.
+        let u = sample_queries_zipf(&g, 400, 0.0, 3);
+        let mut ucounts = vec![0usize; 500];
+        for &q in &u {
+            ucounts[q as usize] += 1;
+        }
+        assert!(*ucounts.iter().max().unwrap() < max);
     }
 
     #[test]

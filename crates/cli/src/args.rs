@@ -1,17 +1,64 @@
 //! Tiny flag parser shared by the subcommands (no external dependencies).
+//!
+//! Every subcommand declares its full flag vocabulary up front; anything
+//! else is a *usage* error, which the binary reports on stderr (naming the
+//! flag) and exits with code 2 — a silently ignored `--l1-error 0.05`
+//! would otherwise run with defaults and report success.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// What went wrong, split by exit code: usage errors (bad invocation,
+/// exit 2) versus runtime errors (I/O, bad data, exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is malformed (unknown flag, missing value).
+    Usage(String),
+    /// The invocation was fine but executing it failed.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
 
 /// Parsed `--flag value` pairs plus boolean switches.
+#[derive(Debug)]
 pub struct Args {
     values: BTreeMap<String, String>,
     switches: Vec<String>,
 }
 
 impl Args {
-    /// Parses `argv`; `switch_names` lists flags that take no value.
-    /// Prints `usage` and exits on `--help`.
-    pub fn parse(argv: &[String], switch_names: &[&str], usage: &str) -> Result<Args, String> {
+    /// Parses `argv` against a declared vocabulary: `value_names` take a
+    /// value, `switch_names` don't. Any other flag is rejected with a
+    /// [`CliError::Usage`] naming it. Prints `usage` and exits on `--help`.
+    pub fn parse(
+        argv: &[String],
+        value_names: &[&str],
+        switch_names: &[&str],
+        usage: &str,
+    ) -> Result<Args, CliError> {
         let mut values = BTreeMap::new();
         let mut switches = Vec::new();
         let mut it = argv.iter();
@@ -20,14 +67,20 @@ impl Args {
                 eprintln!("{usage}");
                 std::process::exit(0);
             }
-            let name = flag
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            let name = flag.strip_prefix("--").ok_or_else(|| {
+                CliError::Usage(format!("expected a --flag, got `{flag}`\n\n{usage}"))
+            })?;
             if switch_names.contains(&name) {
                 switches.push(name.to_string());
-            } else {
-                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            } else if value_names.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value\n\n{usage}")))?;
                 values.insert(name.to_string(), value.clone());
+            } else {
+                return Err(CliError::Usage(format!(
+                    "unrecognized flag `--{name}`\n\n{usage}"
+                )));
             }
         }
         Ok(Args { values, switches })
@@ -82,6 +135,7 @@ mod tests {
     fn parses_values_and_switches() {
         let a = Args::parse(
             &strs(&["--graph", "g.txt", "--undirected", "--hubs", "10"]),
+            &["graph", "hubs", "seed", "epsilon"],
             &["undirected"],
             "usage",
         )
@@ -96,19 +150,47 @@ mod tests {
 
     #[test]
     fn missing_required_flag_errors() {
-        let a = Args::parse(&strs(&[]), &[], "usage").unwrap();
+        let a = Args::parse(&strs(&[]), &["graph"], &[], "usage").unwrap();
         assert!(a.require::<String>("graph").is_err());
     }
 
     #[test]
     fn dangling_flag_errors() {
-        assert!(Args::parse(&strs(&["--graph"]), &[], "u").is_err());
-        assert!(Args::parse(&strs(&["oops"]), &[], "u").is_err());
+        assert!(Args::parse(&strs(&["--graph"]), &["graph"], &[], "u").is_err());
+        assert!(Args::parse(&strs(&["oops"]), &["graph"], &[], "u").is_err());
     }
 
     #[test]
     fn unparsable_value_errors() {
-        let a = Args::parse(&strs(&["--hubs", "ten"]), &[], "usage").unwrap();
+        let a = Args::parse(&strs(&["--hubs", "ten"]), &["hubs"], &[], "usage").unwrap();
         assert!(a.require::<usize>("hubs").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_a_usage_error_naming_the_flag() {
+        let err = Args::parse(
+            &strs(&["--graph", "g.txt", "--l1-error", "0.05"]),
+            &["graph"],
+            &[],
+            "usage",
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("--l1-error"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_switch_is_rejected_too() {
+        let err =
+            Args::parse(&strs(&["--directed"]), &["graph"], &["undirected"], "u").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("--directed"));
+    }
+
+    #[test]
+    fn runtime_errors_exit_1() {
+        let e: CliError = "something broke".to_string().into();
+        assert_eq!(e.exit_code(), 1);
     }
 }

@@ -15,10 +15,21 @@ use fastppv_graph::gen::{
 };
 use fastppv_graph::io::{read_edge_list_file, write_edge_list_file};
 use fastppv_graph::{pagerank, DanglingPolicy, Graph, PageRankOptions};
+use fastppv_server::{QueryService, Request, ServiceOptions};
 
-use crate::args::Args;
+use crate::args::{Args, CliError};
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
+
+/// Config flags every index-touching command accepts (see
+/// [`config_from_args`]).
+const CONFIG_FLAGS: [&str; 4] = ["alpha", "epsilon", "delta", "clip"];
+
+fn with_config_flags(base: &[&'static str]) -> Vec<&'static str> {
+    let mut v = CONFIG_FLAGS.to_vec();
+    v.extend_from_slice(base);
+    v
+}
 
 fn load_graph(args: &Args) -> Result<Graph, String> {
     let path: String = args.require("graph")?;
@@ -35,6 +46,16 @@ fn parse_policy(name: &str) -> Result<HubPolicy, String> {
         "indeg" | "in-degree" => HubPolicy::InDegree,
         "random" => HubPolicy::Random,
         other => return Err(format!("unknown hub policy `{other}`")),
+    })
+}
+
+/// Resolves the `--eta K | --l1 ERR` stopping condition (default η = 2).
+fn stop_from_args(args: &Args) -> Result<StoppingCondition, CliError> {
+    Ok(match (args.get::<usize>("eta")?, args.get::<f64>("l1")?) {
+        (Some(_), Some(_)) => return Err(CliError::Usage("give --eta or --l1, not both".into())),
+        (Some(eta), None) => StoppingCondition::iterations(eta),
+        (None, Some(l1)) => StoppingCondition::l1_error(l1),
+        (None, None) => StoppingCondition::iterations(2),
     })
 }
 
@@ -63,7 +84,7 @@ pub fn generate(argv: &[String]) -> CmdResult {
                  lj:   directed social network\n\
                  ba:   Barabasi-Albert (undirected)\n\
                  er:   Erdos-Renyi G(n, 5n) (directed)";
-    let args = Args::parse(argv, &[], usage)?;
+    let args = Args::parse(argv, &["kind", "out", "nodes", "seed"], &[], usage)?;
     let kind: String = args.require("kind")?;
     let out: String = args.require("out")?;
     let nodes: usize = args.get_or("nodes", 50_000)?;
@@ -91,7 +112,7 @@ pub fn generate(argv: &[String]) -> CmdResult {
         }
         "ba" => barabasi_albert(nodes, 4, seed),
         "er" => erdos_renyi(nodes, nodes * 5, seed),
-        other => return Err(format!("unknown kind `{other}`")),
+        other => return Err(format!("unknown kind `{other}`").into()),
     };
     write_edge_list_file(&graph, &out).map_err(|e| e.to_string())?;
     println!(
@@ -106,7 +127,7 @@ pub fn generate(argv: &[String]) -> CmdResult {
 /// `fastppv pagerank`
 pub fn pagerank_cmd(argv: &[String]) -> CmdResult {
     let usage = "fastppv pagerank --graph edges.txt [--undirected] [--top K]";
-    let args = Args::parse(argv, &["undirected"], usage)?;
+    let args = Args::parse(argv, &["graph", "top"], &["undirected"], usage)?;
     let graph = load_graph(&args)?;
     let top: usize = args.get_or("top", 10)?;
     let pr = pagerank(&graph, PageRankOptions::default());
@@ -130,7 +151,20 @@ pub fn build(argv: &[String]) -> CmdResult {
                  (--hubs N | --auto-target SUBGRAPH_NODES)\n\
                  [--policy eu|pagerank|outdeg|indeg|random] [--alpha A]\n\
                  [--epsilon E] [--delta D] [--clip C] [--threads T] [--seed S]";
-    let args = Args::parse(argv, &["undirected"], usage)?;
+    let args = Args::parse(
+        argv,
+        &with_config_flags(&[
+            "graph",
+            "out",
+            "hubs",
+            "auto-target",
+            "policy",
+            "threads",
+            "seed",
+        ]),
+        &["undirected"],
+        usage,
+    )?;
     let graph = load_graph(&args)?;
     let out: String = args.require("out")?;
     let config = config_from_args(&args)?;
@@ -201,25 +235,22 @@ pub fn query(argv: &[String]) -> CmdResult {
                  --index index.fppv --node Q\n\
                  [--eta K | --l1 ERR] [--top K] [--alpha A] [--epsilon E] \
                  [--delta D]";
-    let args = Args::parse(argv, &["undirected"], usage)?;
+    let args = Args::parse(
+        argv,
+        &with_config_flags(&["graph", "index", "node", "eta", "l1", "top", "cache"]),
+        &["undirected"],
+        usage,
+    )?;
     let graph = load_graph(&args)?;
     let q: u32 = args.require("node")?;
     if q as usize >= graph.num_nodes() {
-        return Err(format!(
-            "node {q} out of range ({} nodes)",
-            graph.num_nodes()
-        ));
+        return Err(format!("node {q} out of range ({} nodes)", graph.num_nodes()).into());
     }
     let config = config_from_args(&args)?;
     let top: usize = args.get_or("top", 10)?;
     let (index, hubs) = open_index_and_hubs(&args, &graph)?;
-    let stop = match (args.get::<usize>("eta")?, args.get::<f64>("l1")?) {
-        (Some(_), Some(_)) => return Err("give --eta or --l1, not both".to_string()),
-        (Some(eta), None) => StoppingCondition::iterations(eta),
-        (None, Some(l1)) => StoppingCondition::l1_error(l1),
-        (None, None) => StoppingCondition::iterations(2),
-    };
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let stop = stop_from_args(&args)?;
+    let engine = QueryEngine::new(&graph, &hubs, &index, config);
     let result = engine.query(q, &stop);
     println!(
         "query {q}: {} iterations, guaranteed L1 error <= {:.5}, {:.2?}{}",
@@ -242,14 +273,19 @@ pub fn query(argv: &[String]) -> CmdResult {
 pub fn topk(argv: &[String]) -> CmdResult {
     let usage = "fastppv topk --graph edges.txt [--undirected] \
                  --index index.fppv --node Q --k K [--max-eta K]";
-    let args = Args::parse(argv, &["undirected"], usage)?;
+    let args = Args::parse(
+        argv,
+        &with_config_flags(&["graph", "index", "node", "k", "max-eta", "cache"]),
+        &["undirected"],
+        usage,
+    )?;
     let graph = load_graph(&args)?;
     let q: u32 = args.require("node")?;
     let k: usize = args.require("k")?;
     let max_eta: usize = args.get_or("max-eta", 10)?;
     let config = config_from_args(&args)?;
     let (index, hubs) = open_index_and_hubs(&args, &graph)?;
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let engine = QueryEngine::new(&graph, &hubs, &index, config);
     let res = engine.query_top_k(q, k, max_eta);
     println!(
         "top-{k} for query {q}: {} after {} iterations (phi = {:.5})",
@@ -267,10 +303,191 @@ pub fn topk(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `fastppv serve`
+pub fn serve(argv: &[String]) -> CmdResult {
+    let usage = "fastppv serve --graph edges.txt [--undirected] --index index.fppv\n\
+                 [--workers N] [--queue N] [--hot-cache N] [--cache N]\n\
+                 [--eta K | --l1 ERR] [--top K] [--batch B] [--alpha A]\n\
+                 [--epsilon E] [--delta D]\n\
+                 \n\
+                 Reads one query per line from stdin: `NODE [eta=K | l1=ERR]`\n\
+                 (the optional suffix overrides the default stopping\n\
+                 condition per request). Writes one line per answer to\n\
+                 stdout, a summary to stderr on EOF.";
+    let args = Args::parse(
+        argv,
+        &with_config_flags(&[
+            "graph",
+            "index",
+            "workers",
+            "queue",
+            "hot-cache",
+            "cache",
+            "eta",
+            "l1",
+            "top",
+            "batch",
+        ]),
+        &["undirected"],
+        usage,
+    )?;
+    // Validate the invocation before the expensive graph/index loads: the
+    // service asserts on zero sizes, so reject them as usage errors
+    // (exit 2) instead of surfacing a panic.
+    let default_stop = stop_from_args(&args)?;
+    let options = ServiceOptions {
+        workers: args.get_or(
+            "workers",
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        )?,
+        queue_capacity: args.get_or("queue", 1024)?,
+        cache_capacity: args.get_or("hot-cache", 4096)?,
+    };
+    if options.workers == 0 {
+        return Err(CliError::Usage("--workers must be positive".into()));
+    }
+    if options.queue_capacity == 0 {
+        return Err(CliError::Usage("--queue must be positive".into()));
+    }
+    let top: usize = args.get_or("top", 5)?;
+    let batch: usize = args.get_or("batch", 256)?;
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be positive".into()));
+    }
+    let graph = load_graph(&args)?;
+    let config = config_from_args(&args)?;
+    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
+    let num_nodes = graph.num_nodes();
+    let service = QueryService::new(
+        std::sync::Arc::new(graph),
+        std::sync::Arc::new(hubs),
+        std::sync::Arc::new(index),
+        config,
+        options,
+    );
+    eprintln!(
+        "serving {num_nodes} nodes with {} workers (queue {}, hot cache {}); \
+         reading queries from stdin",
+        options.workers, options.queue_capacity, options.cache_capacity
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let started = Instant::now();
+    let mut served = 0u64;
+    // Bounded: past the cap the p50/p99 summary covers the first
+    // LATENCY_SAMPLE_CAP requests instead of growing without limit.
+    const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+    let mut latencies: Vec<std::time::Duration> = Vec::new();
+    let mut pending: Vec<Request> = Vec::with_capacity(batch);
+    let mut flush = |pending: &mut Vec<Request>,
+                     latencies: &mut Vec<std::time::Duration>,
+                     served: &mut u64|
+     -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let responses = service.process_batch(std::mem::take(pending));
+        for r in &responses {
+            use std::io::Write;
+            write!(
+                out,
+                "node {} iterations={} phi={:.6}{} top:",
+                r.query,
+                r.iterations,
+                r.l1_error,
+                if r.cached { " cached" } else { "" }
+            )
+            .map_err(|e| e.to_string())?;
+            for (v, s) in r.top_k(top) {
+                write!(out, " {v}:{s:.6}").map_err(|e| e.to_string())?;
+            }
+            writeln!(out).map_err(|e| e.to_string())?;
+            if latencies.len() < LATENCY_SAMPLE_CAP {
+                latencies.push(r.latency);
+            }
+        }
+        {
+            use std::io::Write;
+            out.flush().map_err(|e| e.to_string())?;
+        }
+        *served += responses.len() as u64;
+        Ok(())
+    };
+    for line in std::io::BufRead::lines(stdin.lock()) {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_serve_line(line, default_stop, num_nodes) {
+            Ok(request) => pending.push(request),
+            Err(e) => eprintln!("skipping `{line}`: {e}"),
+        }
+        if pending.len() >= batch {
+            flush(&mut pending, &mut latencies, &mut served)?;
+        }
+    }
+    flush(&mut pending, &mut latencies, &mut served)?;
+
+    let elapsed = started.elapsed();
+    let stats = service.cache_stats();
+    eprintln!(
+        "served {served} queries in {elapsed:.2?} ({:.0} QPS); \
+         p50 {:.2?}, p99 {:.2?}; cache hits {} / misses {}",
+        served as f64 / elapsed.as_secs_f64().max(1e-9),
+        fastppv_server::percentile(&latencies, 0.50),
+        fastppv_server::percentile(&latencies, 0.99),
+        stats.hits,
+        stats.misses
+    );
+    Ok(())
+}
+
+/// Parses a serve input line: `NODE [eta=K | l1=ERR]`.
+fn parse_serve_line(
+    line: &str,
+    default_stop: StoppingCondition,
+    num_nodes: usize,
+) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let node: u32 = parts
+        .next()
+        .ok_or("empty line")?
+        .parse()
+        .map_err(|_| "not a node id".to_string())?;
+    if node as usize >= num_nodes {
+        return Err(format!("node {node} out of range ({num_nodes} nodes)"));
+    }
+    let stop = match parts.next() {
+        None => default_stop,
+        Some(spec) => match spec.split_once('=') {
+            Some(("eta", v)) => {
+                StoppingCondition::iterations(v.parse().map_err(|_| format!("bad eta `{v}`"))?)
+            }
+            Some(("l1", v)) => {
+                StoppingCondition::l1_error(v.parse().map_err(|_| format!("bad l1 `{v}`"))?)
+            }
+            _ => return Err(format!("unknown per-query option `{spec}`")),
+        },
+    };
+    if parts.next().is_some() {
+        return Err("too many tokens".into());
+    }
+    Ok(Request {
+        query: node,
+        stop,
+        deadline: None,
+    })
+}
+
 /// `fastppv stats`
 pub fn stats(argv: &[String]) -> CmdResult {
     let usage = "fastppv stats --index index.fppv";
-    let args = Args::parse(argv, &[], usage)?;
+    let args = Args::parse(argv, &["index"], &[], usage)?;
     let path: String = args.require("index")?;
     let index = DiskIndex::open(&path, 1).map_err(|e| format!("{path}: {e}"))?;
     let ids = index.hub_ids();
@@ -295,7 +512,12 @@ pub fn stats(argv: &[String]) -> CmdResult {
 pub fn cluster(argv: &[String]) -> CmdResult {
     let usage = "fastppv cluster --graph edges.txt [--undirected] \
                  --clusters K --out graph.clg [--seed S]";
-    let args = Args::parse(argv, &["undirected"], usage)?;
+    let args = Args::parse(
+        argv,
+        &["graph", "clusters", "out", "seed"],
+        &["undirected"],
+        usage,
+    )?;
     let graph = load_graph(&args)?;
     let k: usize = args.require("clusters")?;
     let out: String = args.require("out")?;

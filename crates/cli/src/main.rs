@@ -10,9 +10,14 @@
 //!                   --node Q [--eta K | --l1 ERR] [--top K]
 //! fastppv topk      --graph edges.txt [--undirected] --index index.fppv
 //!                   --node Q --k K [--max-eta K]
+//! fastppv serve     --graph edges.txt [--undirected] --index index.fppv
+//!                   [--workers N] [--hot-cache N] [--eta K | --l1 ERR]
 //! fastppv stats     --index index.fppv
 //! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
 //! ```
+//!
+//! Unrecognized flags are usage errors: the binary names the flag on
+//! stderr and exits with code 2 (runtime failures exit with code 1).
 //!
 //! See `fastppv <command> --help` for details.
 
@@ -32,6 +37,7 @@ fn main() {
         "build" => commands::build(&argv),
         "query" => commands::query(&argv),
         "topk" => commands::topk(&argv),
+        "serve" => commands::serve(&argv),
         "stats" => commands::stats(&argv),
         "cluster" => commands::cluster(&argv),
         other => {
@@ -42,7 +48,7 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -56,6 +62,7 @@ commands:
   build      offline phase: select hubs and build the prime-PPV index
   query      online phase: answer one PPV query from an index
   topk       certified top-k query (iterates until the set is provably exact)
+  serve      concurrent query service: worker pool + hot-PPV cache over stdin
   stats      inspect an index file
   cluster    segment a graph for disk-based processing
 

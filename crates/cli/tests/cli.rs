@@ -194,3 +194,134 @@ fn build_with_autotune() {
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn unknown_flag_exits_2_and_names_the_flag() {
+    // The ROADMAP regression: `query --l1-error 0.05` used to run with
+    // defaults and exit 0. It must now be a usage error, exit code 2.
+    let out = bin()
+        .args(["query", "--graph", "nonexistent.txt", "--l1-error", "0.05"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--l1-error"), "must name the flag: {text}");
+
+    // Every subcommand rejects, not just query.
+    for cmd in [
+        "generate", "pagerank", "build", "topk", "serve", "stats", "cluster",
+    ] {
+        let out = bin().args([cmd, "--frobnicate", "1"]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{cmd} must exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--frobnicate"),
+            "{cmd} must name the flag"
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_zero_workers_as_usage_error() {
+    let out = bin()
+        .args([
+            "serve",
+            "--graph",
+            "g.txt",
+            "--index",
+            "i.fppv",
+            "--workers",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+}
+
+#[test]
+fn runtime_errors_still_exit_1() {
+    let out = bin()
+        .args(["stats", "--index", "/definitely/not/there.fppv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn serve_answers_queries_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let graph = temp("serve.txt");
+    let index = temp("serve.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "400", "--seed", "5", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--hubs", "40", "--out"])
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+
+    let mut child = bin()
+        .args(["serve", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--index"])
+        .arg(&index)
+        .args(["--workers", "4", "--batch", "3", "--top", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The repeat of node 17 sits in the SECOND batch (batch size 3): two
+    // concurrent misses in one batch may legitimately both run the engine,
+    // but a later batch is guaranteed to hit the warm cache.
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"17\n42 eta=3\n9 l1=0.2\n17\n# comment\n\nbogus line\n99999\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "4 valid queries served: {text}");
+    assert!(lines[0].starts_with("node 17 "), "{text}");
+    // The repeated query is served from the hot-PPV cache...
+    assert!(lines[3].contains(" cached "), "{text}");
+    // ...with scores identical to the miss.
+    assert_eq!(
+        lines[0].split("top:").nth(1),
+        lines[3].split("top:").nth(1),
+        "cache hit must return identical scores: {text}"
+    );
+    // eta=3 is an upper bound: the frontier may exhaust earlier under the
+    // default δ truncation, but never exceed the budget.
+    assert!(lines[1].starts_with("node 42 "), "{text}");
+    let iters: usize = lines[1]
+        .split("iterations=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(iters <= 3, "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("skipping `bogus line`"), "{err}");
+    assert!(err.contains("skipping `99999`"), "{err}");
+    assert!(err.contains("served 4 queries"), "{err}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}

@@ -118,7 +118,7 @@ mod tests {
         let mut disk = DiskGraph::open(&path, 1).unwrap();
         let mut ws = DiskQueryWorkspace::new(400);
         let stop = StoppingCondition::iterations(2);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let queries: Vec<u32> = (0..400).filter(|&v| !hubs.is_hub(v)).take(3).collect();
         for (i, &q) in queries.iter().enumerate() {
             let mem = engine.query(q, &stop);

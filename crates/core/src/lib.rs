@@ -24,6 +24,17 @@
 //!    (Theorem 2); [`linearity`] handles multi-node queries; [`dynamic`]
 //!    maintains the index under edge updates (the paper's future-work §7).
 //!
+//! ## Concurrency
+//!
+//! [`QueryEngine`] is immutable at query time: every query method takes
+//! `&self`, and per-query mutable scratch lives in a [`QueryWorkspace`]
+//! (one per thread, created with [`QueryEngine::workspace`]). A single
+//! engine can therefore serve many threads at once — share it by reference
+//! or in an `Arc` whenever the store is `Sync`, and call
+//! [`QueryEngine::query_with`] with a thread-local workspace. The
+//! `fastppv-server` crate builds a worker-pooled, cache-fronted query
+//! service on exactly this property.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -36,10 +47,15 @@
 //! let config = Config::default().with_delta(0.0).with_clip(0.0);
 //! let hubs = select_hubs(&graph, HubPolicy::ExpectedUtility, 25, 0);
 //! let (index, _stats) = build_index(&graph, &hubs, &config);
-//! let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+//! let engine = QueryEngine::new(&graph, &hubs, &index, config);
 //! let result = engine.query(7, &StoppingCondition::iterations(2));
 //! assert!(result.l1_error <= 0.85f64.powi(4)); // Theorem 2 bound φ(2)
 //! assert!(result.l1_error < 0.2); // in practice well below the bound
+//!
+//! // Hot loops reuse one workspace instead of allocating per query:
+//! let mut ws = engine.workspace();
+//! let refined = engine.query_with(&mut ws, 7, &StoppingCondition::l1_error(0.05));
+//! assert!(refined.l1_error <= 0.05);
 //! ```
 
 pub mod autotune;
@@ -60,4 +76,4 @@ pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
 pub use index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
 pub use offline::{build_index, build_index_parallel, OfflineStats};
 pub use prime::{PrimeComputer, PrimeSubgraph};
-pub use query::{QueryEngine, QueryResult, QuerySession, TopKResult};
+pub use query::{QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult};

@@ -26,7 +26,7 @@ pub struct MultiQueryResult {
 /// are normalized to sum to 1, preserving `Σ_p r(p) = 1` and hence the
 /// accuracy-awareness of the combined error.
 pub fn query_multi<S: PpvStore>(
-    engine: &mut QueryEngine<'_, S>,
+    engine: &QueryEngine<'_, S>,
     seeds: &[(NodeId, f64)],
     stop: &StoppingCondition,
 ) -> MultiQueryResult {
@@ -39,11 +39,12 @@ pub fn query_multi<S: PpvStore>(
         seeds.iter().all(|&(_, w)| w > 0.0),
         "seed weights must be positive"
     );
+    let mut ws = engine.workspace();
     let mut combined = SparseVector::new();
     let mut l1_error = 0.0;
     let mut per_seed = Vec::with_capacity(seeds.len());
     for &(q, w) in seeds {
-        let result = engine.query(q, stop);
+        let result = engine.query_with(&mut ws, q, stop);
         let weight = w / total;
         combined.axpy(weight, &result.scores);
         l1_error += weight * result.l1_error;
@@ -71,9 +72,9 @@ mod tests {
         let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let config = Config::exhaustive();
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let seeds = [(toy::A, 3.0), (toy::G, 1.0)];
-        let res = query_multi(&mut engine, &seeds, &StoppingCondition::l1_error(1e-10));
+        let res = query_multi(&engine, &seeds, &StoppingCondition::l1_error(1e-10));
         let ea = exact_ppv(&g, toy::A, ExactOptions::default());
         let eg = exact_ppv(&g, toy::G, ExactOptions::default());
         for v in g.nodes() {
@@ -91,9 +92,9 @@ mod tests {
         let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let config = Config::exhaustive();
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let stop = StoppingCondition::iterations(2);
-        let multi = query_multi(&mut engine, &[(toy::A, 7.0)], &stop);
+        let multi = query_multi(&engine, &[(toy::A, 7.0)], &stop);
         let single = engine.query(toy::A, &stop);
         assert_eq!(multi.scores, single.scores);
     }
@@ -105,8 +106,8 @@ mod tests {
         let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let config = Config::default();
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        query_multi(&mut engine, &[], &StoppingCondition::iterations(1));
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
+        query_multi(&engine, &[], &StoppingCondition::iterations(1));
     }
 
     #[test]
@@ -116,11 +117,7 @@ mod tests {
         let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
         let config = Config::default();
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
-        query_multi(
-            &mut engine,
-            &[(toy::A, 0.0)],
-            &StoppingCondition::iterations(1),
-        );
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
+        query_multi(&engine, &[(toy::A, 0.0)], &StoppingCondition::iterations(1));
     }
 }

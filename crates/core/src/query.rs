@@ -148,29 +148,56 @@ pub struct TopKResult {
     pub l1_error: f64,
 }
 
-/// The FastPPV online engine. Holds graph-sized scratch space, so it is
-/// cheap to query repeatedly; create one per thread.
+/// Per-query mutable scratch space, sized to the graph once and reused
+/// across queries. The engine itself is immutable at query time; each
+/// thread (or each in-flight query) brings its own workspace.
+pub struct QueryWorkspace {
+    prime: PrimeComputer,
+    scratch: ScoreScratch,
+}
+
+impl QueryWorkspace {
+    /// A workspace for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        QueryWorkspace {
+            prime: PrimeComputer::new(n),
+            scratch: ScoreScratch::new(n),
+        }
+    }
+
+    /// Number of node slots the workspace covers.
+    pub fn capacity(&self) -> usize {
+        self.scratch.capacity()
+    }
+}
+
+/// The FastPPV online engine: immutable shared state of the online phase
+/// (graph, hub set, PPV store, configuration).
+///
+/// Every query method takes `&self`; per-query mutable scratch lives in a
+/// [`QueryWorkspace`]. One engine can therefore be shared across threads
+/// (by reference or inside an `Arc`) as long as the store is `Sync` — each
+/// worker holds its own workspace and calls [`QueryEngine::query_with`].
+/// The workspace-free convenience methods ([`QueryEngine::query`],
+/// [`QueryEngine::query_top_k`], [`QueryEngine::session`]) allocate a fresh
+/// workspace per call; hot loops should reuse one via
+/// [`QueryEngine::workspace`].
 pub struct QueryEngine<'a, S: PpvStore> {
     graph: &'a Graph,
     hubs: &'a HubSet,
     store: &'a S,
     config: Config,
-    prime: PrimeComputer,
-    scratch: ScoreScratch,
 }
 
 impl<'a, S: PpvStore> QueryEngine<'a, S> {
     /// Creates an engine over a graph, hub set, and PPV store.
     pub fn new(graph: &'a Graph, hubs: &'a HubSet, store: &'a S, config: Config) -> Self {
         config.validate();
-        let n = graph.num_nodes();
         QueryEngine {
             graph,
             hubs,
             store,
             config,
-            prime: PrimeComputer::new(n),
-            scratch: ScoreScratch::new(n),
         }
     }
 
@@ -179,9 +206,30 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
         &self.config
     }
 
-    /// Answers a query, iterating until `stop` is met.
-    pub fn query(&mut self, q: NodeId, stop: &StoppingCondition) -> QueryResult {
-        let mut session = self.session(q);
+    /// The graph the engine queries.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Allocates a workspace sized to this engine's graph.
+    pub fn workspace(&self) -> QueryWorkspace {
+        QueryWorkspace::new(self.graph.num_nodes())
+    }
+
+    /// Answers a query, iterating until `stop` is met. Allocates a fresh
+    /// workspace; prefer [`QueryEngine::query_with`] in hot loops.
+    pub fn query(&self, q: NodeId, stop: &StoppingCondition) -> QueryResult {
+        self.query_with(&mut self.workspace(), q, stop)
+    }
+
+    /// Answers a query using caller-provided scratch space.
+    pub fn query_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        q: NodeId,
+        stop: &StoppingCondition,
+    ) -> QueryResult {
+        let mut session = self.session_in(ws, q);
         while !stop.met(
             session.iterations_done(),
             session.l1_error(),
@@ -198,8 +246,19 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
     /// exact (see [`IncrementalState::certified_top_k`]) or `max_iterations`
     /// increments have run. Returns the best-effort set and whether it is
     /// certified.
-    pub fn query_top_k(&mut self, q: NodeId, k: usize, max_iterations: usize) -> TopKResult {
-        let mut session = self.session(q);
+    pub fn query_top_k(&self, q: NodeId, k: usize, max_iterations: usize) -> TopKResult {
+        self.query_top_k_with(&mut self.workspace(), q, k, max_iterations)
+    }
+
+    /// Like [`QueryEngine::query_top_k`] using caller-provided scratch.
+    pub fn query_top_k_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        q: NodeId,
+        k: usize,
+        max_iterations: usize,
+    ) -> TopKResult {
+        let mut session = self.session_in(ws, q);
         loop {
             if let Some(nodes) = session.certified_top_k(k) {
                 return TopKResult {
@@ -220,9 +279,33 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
         }
     }
 
-    /// Starts an incremental session: iteration 0 is computed immediately;
-    /// call [`QuerySession::step`] to add increments one at a time.
-    pub fn session(&mut self, q: NodeId) -> QuerySession<'_, 'a, S> {
+    /// Starts an incremental session over a freshly allocated workspace
+    /// (owned by the session): iteration 0 is computed immediately; call
+    /// [`QuerySession::step`] to add increments one at a time.
+    pub fn session(&self, q: NodeId) -> QuerySession<'_, 'a, S> {
+        self.start_session(WorkspaceSlot::Owned(Box::new(self.workspace())), q)
+    }
+
+    /// Starts an incremental session over caller-provided scratch space.
+    pub fn session_in<'e>(
+        &'e self,
+        ws: &'e mut QueryWorkspace,
+        q: NodeId,
+    ) -> QuerySession<'e, 'a, S> {
+        assert!(
+            ws.capacity() >= self.graph.num_nodes(),
+            "workspace sized for {} nodes, graph has {}",
+            ws.capacity(),
+            self.graph.num_nodes()
+        );
+        self.start_session(WorkspaceSlot::Borrowed(ws), q)
+    }
+
+    fn start_session<'e>(
+        &'e self,
+        mut ws: WorkspaceSlot<'e>,
+        q: NodeId,
+    ) -> QuerySession<'e, 'a, S> {
         assert!(
             (q as usize) < self.graph.num_nodes(),
             "query node {q} out of range"
@@ -232,7 +315,8 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
         let prime0 = match self.store.get(q) {
             Some(stored) => (*stored).clone(),
             None => {
-                self.prime
+                ws.get_mut()
+                    .prime
                     .prime_ppv(self.graph, self.hubs, q, &self.config, 0.0)
                     .0
             }
@@ -240,6 +324,7 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
         let state = IncrementalState::new(q, prime0, self.config.alpha);
         QuerySession {
             engine: self,
+            ws,
             state,
         }
     }
@@ -427,9 +512,26 @@ pub fn run_increments<S: PpvStore>(
     state.into_result()
 }
 
+/// The scratch space a [`QuerySession`] runs over: either owned by the
+/// session (convenience path) or borrowed from the caller (hot path).
+enum WorkspaceSlot<'w> {
+    Owned(Box<QueryWorkspace>),
+    Borrowed(&'w mut QueryWorkspace),
+}
+
+impl WorkspaceSlot<'_> {
+    fn get_mut(&mut self) -> &mut QueryWorkspace {
+        match self {
+            WorkspaceSlot::Owned(ws) => ws,
+            WorkspaceSlot::Borrowed(ws) => ws,
+        }
+    }
+}
+
 /// An in-flight incremental query (paper's "incremental query processing").
 pub struct QuerySession<'e, 'a, S: PpvStore> {
-    engine: &'e mut QueryEngine<'a, S>,
+    engine: &'e QueryEngine<'a, S>,
+    ws: WorkspaceSlot<'e>,
     state: IncrementalState,
 }
 
@@ -438,12 +540,12 @@ impl<S: PpvStore> QuerySession<'_, '_, S> {
     /// frontier is exhausted (no border hub clears `δ`), in which case the
     /// session state is unchanged.
     pub fn step(&mut self) -> bool {
-        let engine = &mut *self.engine;
+        let engine = self.engine;
         self.state.step(
             engine.hubs,
             engine.store,
             &engine.config,
-            &mut engine.scratch,
+            &mut self.ws.get_mut().scratch,
         )
     }
 
@@ -517,7 +619,7 @@ mod tests {
         // equal the naive per-tour hub-length partition masses.
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let mut session = engine.session(toy::A);
         let parts = partition_by_hub_length(&g, toy::A, hubs.mask(), 0.15, 1e-13);
         // Iteration 0 vs T0 (the estimate includes the trivial tour; the
@@ -547,7 +649,7 @@ mod tests {
     fn estimate_converges_to_exact() {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let result = engine.query(toy::A, &StoppingCondition::l1_error(1e-9));
         let exact = exact_ppv(&g, toy::A, ExactOptions::default());
         for v in g.nodes() {
@@ -567,7 +669,7 @@ mod tests {
         let config = Config::exhaustive();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let exact = exact_ppv(&g, 11, ExactOptions::default());
         let mut session = engine.session(11);
         let mut prev = session.estimate().clone();
@@ -595,7 +697,7 @@ mod tests {
         let config = Config::exhaustive();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         for q in [0u32, 50, 150, 299] {
             let mut session = engine.session(q);
             for k in 0..5usize {
@@ -616,7 +718,7 @@ mod tests {
     fn hub_query_loads_from_index() {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let result = engine.query(toy::D, &StoppingCondition::l1_error(1e-9));
         let exact = exact_ppv(&g, toy::D, ExactOptions::default());
         for v in g.nodes() {
@@ -628,7 +730,7 @@ mod tests {
     fn stopping_condition_iterations() {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let r0 = engine.query(toy::A, &StoppingCondition::iterations(0));
         assert_eq!(r0.iterations, 0);
         let r2 = engine.query(toy::A, &StoppingCondition::iterations(2));
@@ -643,7 +745,7 @@ mod tests {
         let config = Config::default().with_clip(0.0);
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let r = engine.query(42, &StoppingCondition::l1_error(0.05));
         assert!(r.l1_error <= 0.05 || r.exhausted);
     }
@@ -652,7 +754,7 @@ mod tests {
     fn stopping_condition_time_limit_zero_stops_immediately() {
         let config = Config::exhaustive();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let r = engine.query(toy::A, &StoppingCondition::time_limit(Duration::ZERO));
         assert_eq!(r.iterations, 0);
     }
@@ -665,8 +767,8 @@ mod tests {
         let loose = Config::default().with_delta(0.0).with_clip(0.0);
         let (is, _) = build_index(&g, &hubs, &strict);
         let (il, _) = build_index(&g, &hubs, &loose);
-        let mut es = QueryEngine::new(&g, &hubs, &is, strict);
-        let mut el = QueryEngine::new(&g, &hubs, &il, loose);
+        let es = QueryEngine::new(&g, &hubs, &is, strict);
+        let el = QueryEngine::new(&g, &hubs, &il, loose);
         let rs = es.query(5, &StoppingCondition::iterations(2));
         let rl = el.query(5, &StoppingCondition::iterations(2));
         let hs: usize = rs.iteration_stats.iter().map(|s| s.hubs_expanded).sum();
@@ -683,7 +785,7 @@ mod tests {
         let hubs = HubSet::empty(8);
         let config = Config::exhaustive();
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let mut session = engine.session(toy::A);
         assert!(!session.step());
         assert!(session.is_exhausted());
@@ -696,7 +798,7 @@ mod tests {
     fn rejects_bad_query() {
         let config = Config::default();
         let (g, hubs, index) = toy_setup(config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         engine.query(1000, &StoppingCondition::iterations(1));
     }
 
@@ -706,7 +808,7 @@ mod tests {
         let config = Config::exhaustive();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         for q in [5u32, 120, 250] {
             let res = engine.query_top_k(q, 5, 40);
             assert!(res.certified, "q {q}: not certified at φ {}", res.l1_error);
@@ -734,7 +836,7 @@ mod tests {
         let config = Config::exhaustive();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 20, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let exact = exact_ppv(&g, 42, ExactOptions::default());
         let mut session = engine.session(42);
         loop {
@@ -766,7 +868,7 @@ mod tests {
         let config = Config::default().with_delta(0.05);
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 10, 0);
         let (index, _) = build_index(&g, &hubs, &config);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let res = engine.query_top_k(7, 10, 0);
         assert_eq!(res.nodes.len(), 10);
         // With zero extra iterations and φ ~ 0.5, a 10-way certification is

@@ -1,0 +1,602 @@
+//! The concurrent query service: one shared read-only engine, a fixed-size
+//! worker pool over a bounded submission queue, and a hot-PPV result cache.
+//!
+//! FastPPV's online phase is read-only over the graph, hub set, and index,
+//! so a single [`QueryEngine`] serves every worker; each worker brings its
+//! own [`QueryWorkspace`] (the only per-query mutable state). Requests
+//! carry their own stopping condition — iteration budget η, accuracy-aware
+//! L1 target (Eq. 6), or a wall-clock deadline — so one deployment serves
+//! latency-budgeted and accuracy-budgeted traffic side by side.
+//!
+//! Deterministic requests (pure iteration stops) are memoized in an LRU
+//! cache keyed by `(query, η)`; [`QueryService::apply_update`] refreshes
+//! the index after graph edits (via [`fastppv_core::dynamic`]) and
+//! invalidates the cache, so hits can never serve stale scores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use fastppv_core::dynamic::{refresh_index, RefreshStats};
+use fastppv_core::query::{QueryWorkspace, StoppingCondition};
+use fastppv_core::{Config, HubSet, MemoryIndex, PpvStore, QueryEngine};
+use fastppv_graph::{Graph, NodeId, SparseVector};
+
+use crate::cache::LruCache;
+
+/// Sizing knobs of a [`QueryService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Worker threads per batch (the paper's online phase is CPU-bound, so
+    /// more than the core count buys nothing).
+    pub workers: usize,
+    /// Bound of the submission queue; submission blocks when the pool falls
+    /// this far behind (backpressure instead of unbounded buffering).
+    pub queue_capacity: usize,
+    /// Entries in the hot-PPV result cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServiceOptions {
+    fn validate(&self) {
+        assert!(self.workers >= 1, "a service needs at least one worker");
+        assert!(self.queue_capacity >= 1, "queue capacity must be positive");
+    }
+}
+
+/// One query to serve.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// The query node.
+    pub query: NodeId,
+    /// When to stop iterating (see [`StoppingCondition`]).
+    pub stop: StoppingCondition,
+    /// Absolute wall-clock deadline; converted to a remaining-time limit at
+    /// execution, so time spent waiting in the queue counts against it.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// A request running exactly `eta` increments (cacheable).
+    pub fn iterations(query: NodeId, eta: usize) -> Self {
+        Request {
+            query,
+            stop: StoppingCondition::iterations(eta),
+            deadline: None,
+        }
+    }
+
+    /// A request running until `φ ≤ target`.
+    pub fn l1_error(query: NodeId, target: f64) -> Self {
+        Request {
+            query,
+            stop: StoppingCondition::l1_error(target),
+            deadline: None,
+        }
+    }
+
+    /// Adds an absolute deadline (disables caching for this request).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A served query.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The query node.
+    pub query: NodeId,
+    /// The PPV estimate (shared, so cache hits copy nothing).
+    pub scores: Arc<SparseVector>,
+    /// Accuracy-aware L1 error `φ` of the estimate (Eq. 6).
+    pub l1_error: f64,
+    /// Increments run beyond iteration 0.
+    pub iterations: usize,
+    /// Whether the expansion frontier emptied.
+    pub exhausted: bool,
+    /// Whether the hot-PPV cache served this response.
+    pub cached: bool,
+    /// Service-side latency: cache probe + (on a miss) engine time.
+    pub latency: Duration,
+}
+
+impl Response {
+    /// Top-`k` nodes by estimated score.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        self.scores.top_k(k)
+    }
+}
+
+/// The `p`-quantile (0 < p ≤ 1) of an unsorted latency sample, by the
+/// nearest-rank definition (the smallest value with at least `p·n` of the
+/// sample at or below it). Shared by the CLI serve summary and the bench
+/// crate's closed-loop driver.
+pub fn percentile(latencies: &[Duration], p: f64) -> Duration {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Cache hit/miss counters and current size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Cacheable requests answered from memory.
+    pub hits: u64,
+    /// Cacheable requests that ran the engine.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+type CacheKey = (NodeId, u64);
+
+struct CachedResult {
+    scores: Arc<SparseVector>,
+    l1_error: f64,
+    iterations: usize,
+    exhausted: bool,
+}
+
+/// A concurrent PPV query service over a shared read-only engine.
+///
+/// The graph, hub set, and store are held in `Arc`s: callers keep handles,
+/// [`QueryService::apply_update`] swaps them atomically between batches.
+pub struct QueryService<S: PpvStore + Send + Sync> {
+    graph: Arc<Graph>,
+    hubs: Arc<HubSet>,
+    store: Arc<S>,
+    config: Config,
+    options: ServiceOptions,
+    cache: Mutex<LruCache<CacheKey, Arc<CachedResult>>>,
+    // Recycled per-worker scratch: graph-sized, so worth keeping across
+    // batches instead of re-zeroing O(n) arrays every flush.
+    workspaces: Mutex<Vec<QueryWorkspace>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: PpvStore + Send + Sync> QueryService<S> {
+    /// Creates a service over a built deployment.
+    pub fn new(
+        graph: Arc<Graph>,
+        hubs: Arc<HubSet>,
+        store: Arc<S>,
+        config: Config,
+        options: ServiceOptions,
+    ) -> Self {
+        config.validate();
+        options.validate();
+        let cache = Mutex::new(LruCache::new(options.cache_capacity));
+        QueryService {
+            graph,
+            hubs,
+            store,
+            config,
+            options,
+            cache,
+            workspaces: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops a recycled workspace (or allocates one sized to the current
+    /// graph). Recycled workspaces too small for the graph — possible
+    /// after [`QueryService::apply_update`] grew it — are dropped.
+    fn take_workspace(&self) -> QueryWorkspace {
+        let n = self.graph.num_nodes();
+        loop {
+            match self.workspaces.lock().pop() {
+                Some(ws) if ws.capacity() >= n => return ws,
+                Some(_) => continue,
+                None => return QueryWorkspace::new(n),
+            }
+        }
+    }
+
+    fn recycle_workspace(&self, ws: QueryWorkspace) {
+        let mut pool = self.workspaces.lock();
+        if pool.len() < self.options.workers {
+            pool.push(ws);
+        }
+    }
+
+    /// The graph currently served.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The hub set currently served.
+    pub fn hubs(&self) -> &Arc<HubSet> {
+        &self.hubs
+    }
+
+    /// The PPV store currently served.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The sizing options.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Cache hit/miss counters (cacheable requests only) and current size.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().len(),
+        }
+    }
+
+    /// Drops every cached result, returning how many were evicted. Call
+    /// after any out-of-band change to the graph or store;
+    /// [`QueryService::apply_update`] does it automatically.
+    pub fn invalidate_cache(&self) -> usize {
+        self.cache.lock().clear()
+    }
+
+    /// Serves one request on the calling thread (no pool, no queue).
+    pub fn query(&self, request: Request) -> Response {
+        let engine = QueryEngine::new(&self.graph, &self.hubs, self.store.as_ref(), self.config);
+        let mut ws = self.take_workspace();
+        let response = self.execute(&engine, &mut ws, request);
+        self.recycle_workspace(ws);
+        response
+    }
+
+    /// Serves a batch through the worker pool: `options.workers` scoped
+    /// threads share one engine (each with its own workspace) and drain a
+    /// submission queue bounded at `options.queue_capacity`. Responses come
+    /// back in request order.
+    pub fn process_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Validate before spawning: an out-of-range id inside a worker
+        // would kill the pool and surface as a misleading channel error.
+        let nodes = self.graph.num_nodes();
+        for r in &requests {
+            assert!(
+                (r.query as usize) < nodes,
+                "query node {} out of range ({nodes} nodes)",
+                r.query
+            );
+        }
+        let engine = QueryEngine::new(&self.graph, &self.hubs, self.store.as_ref(), self.config);
+        let workers = self.options.workers.min(n);
+        if workers == 1 {
+            let mut ws = self.take_workspace();
+            let responses = requests
+                .into_iter()
+                .map(|r| self.execute(&engine, &mut ws, r))
+                .collect();
+            self.recycle_workspace(ws);
+            return responses;
+        }
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Request)>(self.options.queue_capacity);
+        let job_rx = Mutex::new(job_rx);
+        let slots: Vec<Mutex<Option<Response>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ws = self.take_workspace();
+                    loop {
+                        // Hold the receiver lock only for the dequeue, not
+                        // for the query execution.
+                        let job = job_rx.lock().recv();
+                        let Ok((i, request)) = job else { break };
+                        *slots[i].lock() = Some(self.execute(&engine, &mut ws, request));
+                    }
+                    self.recycle_workspace(ws);
+                });
+            }
+            for job in requests.into_iter().enumerate() {
+                // Blocks when the queue is full: bounded submission is the
+                // backpressure mechanism. Workers only stop once the sender
+                // is dropped, so this cannot fail.
+                job_tx.send(job).expect("worker pool hung up early");
+            }
+            drop(job_tx);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every request is answered"))
+            .collect()
+    }
+
+    /// A request is cacheable when its result is a pure function of
+    /// `(query, η)`: an iteration-only stop and no deadline.
+    fn cache_key(&self, request: &Request) -> Option<CacheKey> {
+        if self.options.cache_capacity == 0 || request.deadline.is_some() {
+            return None;
+        }
+        match request.stop {
+            StoppingCondition {
+                max_iterations: Some(eta),
+                l1_target: None,
+                time_limit: None,
+            } => Some((request.query, eta as u64)),
+            _ => None,
+        }
+    }
+
+    fn execute(
+        &self,
+        engine: &QueryEngine<'_, S>,
+        ws: &mut QueryWorkspace,
+        request: Request,
+    ) -> Response {
+        let started = Instant::now();
+        let key = self.cache_key(&request);
+        if let Some(ref k) = key {
+            let hit = self.cache.lock().get(k).cloned();
+            if let Some(hit) = hit {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Response {
+                    query: request.query,
+                    scores: Arc::clone(&hit.scores),
+                    l1_error: hit.l1_error,
+                    iterations: hit.iterations,
+                    exhausted: hit.exhausted,
+                    cached: true,
+                    latency: started.elapsed(),
+                };
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut stop = request.stop;
+        if let Some(deadline) = request.deadline {
+            // Queue wait counts against the deadline: the limit is whatever
+            // time remains *now*, clamped below any explicit time limit.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            stop.time_limit = Some(stop.time_limit.map_or(remaining, |l| l.min(remaining)));
+        }
+        let result = engine.query_with(ws, request.query, &stop);
+        let scores = Arc::new(result.scores);
+        if let Some(k) = key {
+            self.cache.lock().insert(
+                k,
+                Arc::new(CachedResult {
+                    scores: Arc::clone(&scores),
+                    l1_error: result.l1_error,
+                    iterations: result.iterations,
+                    exhausted: result.exhausted,
+                }),
+            );
+        }
+        Response {
+            query: request.query,
+            scores,
+            l1_error: result.l1_error,
+            iterations: result.iterations,
+            exhausted: result.exhausted,
+            cached: false,
+            latency: started.elapsed(),
+        }
+    }
+}
+
+impl QueryService<MemoryIndex> {
+    /// Applies a graph update: refreshes only the prime PPVs whose prime
+    /// subgraphs the changed edges touch ([`fastppv_core::dynamic`]), swaps
+    /// in the new graph and index, and invalidates the hot-PPV cache.
+    ///
+    /// `changed_tails` are the source nodes of every inserted or deleted
+    /// edge (both endpoints for undirected edits).
+    pub fn apply_update(&mut self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
+        let (index, stats) = refresh_index(
+            &self.store,
+            &self.graph,
+            &new_graph,
+            &self.hubs,
+            changed_tails,
+            &self.config,
+        );
+        self.store = Arc::new(index);
+        self.graph = Arc::new(new_graph);
+        self.invalidate_cache();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_core::offline::build_index;
+    use fastppv_core::HubSet;
+    use fastppv_graph::toy;
+    use fastppv_graph::GraphBuilder;
+
+    fn toy_service(options: ServiceOptions) -> QueryService<MemoryIndex> {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        QueryService::new(
+            Arc::new(g),
+            Arc::new(hubs),
+            Arc::new(index),
+            config,
+            options,
+        )
+    }
+
+    #[test]
+    fn batch_matches_direct_engine() {
+        let service = toy_service(ServiceOptions {
+            workers: 4,
+            queue_capacity: 2,
+            cache_capacity: 0,
+        });
+        let requests: Vec<Request> = (0..8u32)
+            .cycle()
+            .take(32)
+            .map(|q| Request::iterations(q, 3))
+            .collect();
+        let responses = service.process_batch(requests.clone());
+        assert_eq!(responses.len(), 32);
+        let engine = QueryEngine::new(
+            service.graph(),
+            service.hubs(),
+            service.store().as_ref(),
+            *service.config(),
+        );
+        for (req, resp) in requests.iter().zip(&responses) {
+            assert_eq!(resp.query, req.query, "responses keep request order");
+            let direct = engine.query(req.query, &req.stop);
+            assert_eq!(*resp.scores, direct.scores);
+            assert_eq!(resp.iterations, direct.iterations);
+            assert!((resp.l1_error - direct.l1_error).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_identical_and_flagged() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        let first = service.query(Request::iterations(toy::A, 2));
+        assert!(!first.cached);
+        let second = service.query(Request::iterations(toy::A, 2));
+        assert!(second.cached, "repeat (query, eta) must hit the cache");
+        assert!(Arc::ptr_eq(&first.scores, &second.scores));
+        assert_eq!(second.l1_error, first.l1_error);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Different eta is a different key.
+        let third = service.query(Request::iterations(toy::A, 3));
+        assert!(!third.cached);
+    }
+
+    #[test]
+    fn non_deterministic_requests_bypass_cache() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        for _ in 0..2 {
+            let r = service.query(
+                Request::iterations(toy::A, 1)
+                    .with_deadline(Instant::now() + Duration::from_secs(5)),
+            );
+            assert!(!r.cached);
+        }
+        let l1 = service.query(Request::l1_error(toy::A, 0.05));
+        assert!(!l1.cached);
+        assert_eq!(service.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_at_iteration_zero() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+        });
+        let r = service.query(
+            Request {
+                query: toy::A,
+                stop: StoppingCondition::iterations(50),
+                deadline: None,
+            }
+            .with_deadline(Instant::now() - Duration::from_millis(1)),
+        );
+        assert_eq!(r.iterations, 0, "an expired deadline must stop immediately");
+    }
+
+    #[test]
+    fn tiny_queue_still_serves_large_batch() {
+        let service = toy_service(ServiceOptions {
+            workers: 3,
+            queue_capacity: 1,
+            cache_capacity: 0,
+        });
+        let requests: Vec<Request> = (0..8u32)
+            .cycle()
+            .take(100)
+            .map(|q| Request::iterations(q, 2))
+            .collect();
+        let responses = service.process_batch(requests);
+        assert_eq!(responses.len(), 100);
+        assert!(responses.iter().all(|r| r.l1_error < 1.0));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let service = toy_service(ServiceOptions::default());
+        assert!(service.process_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn apply_update_invalidates_and_refreshes() {
+        let mut service = toy_service(ServiceOptions {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        let stale = service.query(Request::iterations(toy::A, 4));
+        assert_eq!(service.cache_stats().entries, 1);
+
+        // Add an edge a -> e: a's PPV must change.
+        let old = Arc::clone(service.graph());
+        let mut b = GraphBuilder::new(8);
+        for (s, t) in old.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(toy::A, toy::E);
+        let stats = service.apply_update(b.build(), &[toy::A]);
+        assert!(stats.recomputed + stats.reused > 0);
+        assert_eq!(
+            service.cache_stats().entries,
+            0,
+            "update must clear the cache"
+        );
+
+        let fresh = service.query(Request::iterations(toy::A, 4));
+        assert!(!fresh.cached);
+        // The new result reflects the new graph, not the stale cache: the
+        // fresh estimate must put mass on e (now a direct out-neighbor).
+        assert!(fresh.scores.get(toy::E) > stale.scores.get(toy::E));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        toy_service(ServiceOptions {
+            workers: 0,
+            queue_capacity: 1,
+            cache_capacity: 0,
+        });
+    }
+}

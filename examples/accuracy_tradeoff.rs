@@ -33,7 +33,7 @@ fn main() {
         .with_clip(0.0);
     let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 10, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
 
     println!("incremental session for query 777:");
     println!(

@@ -52,7 +52,7 @@ fn main() {
         own_authors.len()
     );
 
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
     let result = engine.query(paper, &StoppingCondition::iterations(2));
     let reviewers: Vec<_> = result
         .scores

@@ -31,7 +31,7 @@ fn main() {
         .with_clip(0.0);
     let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, graph.num_nodes() / 25, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 4);
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
 
     for (k, q) in [(3usize, 900u32), (5, 4321), (10, 17_000)] {
         let started = std::time::Instant::now();

@@ -48,7 +48,7 @@ fn main() {
     );
 
     // Queries against the refreshed index reflect the new edge immediately.
-    let mut engine = QueryEngine::new(&new_graph, &hubs, &new_index, config);
+    let engine = QueryEngine::new(&new_graph, &hubs, &new_index, config);
     let result = engine.query(u, &StoppingCondition::iterations(2));
     let rank_of_v = result
         .scores

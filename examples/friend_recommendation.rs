@@ -32,7 +32,7 @@ fn main() {
     let (index, stats) = build_index_parallel(graph, &hubs, &config, 4);
     println!("indexed {} hubs in {:.2?}\n", stats.hubs, stats.build_time);
 
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
     let user = 2718;
     let friends = graph.out_neighbors(user);
     println!("user {user} has {} declared friends", friends.len());

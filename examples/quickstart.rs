@@ -34,7 +34,7 @@ fn main() {
     );
 
     // 3. Online: incremental, accuracy-aware queries.
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let engine = QueryEngine::new(&graph, &hubs, &index, config);
     let query = 4321;
     let result = engine.query(query, &StoppingCondition::iterations(2));
     println!(
@@ -57,7 +57,7 @@ fn main() {
         .with_delta(0.0)
         .with_clip(0.0);
     let (index, _) = build_index_parallel(&graph, &hubs, &accurate, 4);
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, accurate);
+    let engine = QueryEngine::new(&graph, &hubs, &index, accurate);
     let precise = engine.query(query, &StoppingCondition::l1_error(0.01));
     println!(
         "\nsame query to φ ≤ 0.01: {} iterations, φ = {:.5}",

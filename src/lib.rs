@@ -28,3 +28,6 @@ pub use fastppv_metrics as metrics;
 
 /// Disk-based processing: clustering, cluster store, fault-counted queries.
 pub use fastppv_cluster as cluster;
+
+/// Concurrent serving: shared engine, worker-pooled batching, hot-PPV cache.
+pub use fastppv_server as server;

@@ -48,7 +48,7 @@ fn fully_disk_resident_pipeline_matches_memory() {
     let mut disk = DiskGraph::open(&clg, 1).unwrap();
     let disk_index = DiskIndex::open(&idx, 32).unwrap();
     let mut ws = DiskQueryWorkspace::new(n);
-    let mut mem_engine = QueryEngine::new(graph, &hubs, &index, config);
+    let mem_engine = QueryEngine::new(graph, &hubs, &index, config);
     let stop = StoppingCondition::iterations(2);
 
     let queries: Vec<u32> = (0..n as u32)

@@ -30,7 +30,7 @@ fn check_dataset(graph: &Graph, hub_count: usize, queries: &[u32]) {
     let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, hub_count, 0);
     let (index, stats) = build_index_parallel(graph, &hubs, &config, 4);
     assert_eq!(stats.hubs, hubs.len());
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
     let mut reports = Vec::new();
     for &q in queries {
         let exact = exact_ppv(graph, q, ExactOptions::default());
@@ -103,8 +103,8 @@ fn disk_index_serves_identical_results() {
     assert_eq!(disk_index.total_entries(), mem_index.total_entries());
 
     let stop = StoppingCondition::iterations(2);
-    let mut mem_engine = QueryEngine::new(graph, &hubs, &mem_index, config);
-    let mut disk_engine = QueryEngine::new(graph, &hubs, &disk_index, config);
+    let mem_engine = QueryEngine::new(graph, &hubs, &mem_index, config);
+    let disk_engine = QueryEngine::new(graph, &hubs, &disk_index, config);
     for q in [0u32, 77, 1500, 1999] {
         let a = mem_engine.query(q, &stop);
         let b = disk_engine.query(q, &stop);
@@ -137,7 +137,7 @@ fn hub_queries_and_non_hub_queries_both_work() {
     let config = Config::default().with_epsilon(1e-7).with_delta(1e-4);
     let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, 150, 0);
     let (index, _) = build_index_parallel(graph, &hubs, &config, 2);
-    let mut engine = QueryEngine::new(graph, &hubs, &index, config);
+    let engine = QueryEngine::new(graph, &hubs, &index, config);
     let hub_q = hubs.ids()[0];
     let non_hub_q = (0..1500u32).find(|&v| !hubs.is_hub(v)).unwrap();
     for q in [hub_q, non_hub_q] {
@@ -163,7 +163,7 @@ fn multi_seed_determinism() {
         let config = Config::default();
         let hubs = select_hubs(&net.graph, HubPolicy::ExpectedUtility, 100, 0);
         let (index, _) = build_index_parallel(&net.graph, &hubs, &config, 3);
-        let mut engine = QueryEngine::new(&net.graph, &hubs, &index, config);
+        let engine = QueryEngine::new(&net.graph, &hubs, &index, config);
         engine.query(42, &StoppingCondition::iterations(2)).scores
     };
     assert_eq!(make(), make());

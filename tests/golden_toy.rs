@@ -57,7 +57,7 @@ fn fastppv_engine_converges_to_golden_values() {
     let config = exact_config();
     let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
     let (index, _) = build_index(&g, &hubs, &config);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     let result = engine.query(toy::A, &StoppingCondition::l1_error(1e-11));
     for v in 0..8u32 {
         let got = result.scores.get(v);
@@ -111,7 +111,7 @@ fn phi_equals_true_l1_error_to_1e12() {
     let config = exact_config();
     let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
     let (index, _) = build_index(&g, &hubs, &config);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     let mut session = engine.session(toy::A);
     for step in 0..12 {
         let phi = session.l1_error();

@@ -30,9 +30,9 @@ fn multi_node_query_matches_weighted_exact() {
         .with_clip(0.0);
     let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 120, 0);
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     let seeds = [(10u32, 1.0), (500, 2.0), (1100, 1.0)];
-    let res = query_multi(&mut engine, &seeds, &StoppingCondition::l1_error(1e-7));
+    let res = query_multi(&engine, &seeds, &StoppingCondition::l1_error(1e-7));
     let mut expected = vec![0.0; g.num_nodes()];
     for &(q, w) in &seeds {
         let e = exact_ppv(&g, q, ExactOptions::default());
@@ -84,8 +84,8 @@ fn refresh_after_insertions_matches_rebuild_and_serves_queries() {
 
     // Queries over the refreshed index match queries over the rebuilt one.
     let stop = StoppingCondition::iterations(2);
-    let mut e1 = QueryEngine::new(&g2, &hubs, &refreshed, config);
-    let mut e2 = QueryEngine::new(&g2, &hubs, &rebuilt, config);
+    let e1 = QueryEngine::new(&g2, &hubs, &refreshed, config);
+    let e2 = QueryEngine::new(&g2, &hubs, &rebuilt, config);
     for &q in &[tails[0], 7, 900] {
         assert_eq!(e1.query(q, &stop).scores, e2.query(q, &stop).scores);
     }

@@ -52,7 +52,7 @@ proptest! {
         let hubs = HubSet::from_ids(n, hub_ids);
         let config = Config::exhaustive();
         let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let q = (edges[0].0 as usize % n) as NodeId;
         let exact = exact_ppv(&g, q, ExactOptions::default());
         let result = engine.query(q, &StoppingCondition::l1_error(1e-8));
@@ -140,7 +140,7 @@ proptest! {
         let hubs = HubSet::from_ids(n, vec![1.min(n as u32 - 1)]);
         let config = Config::default();
         let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         for q in 0..(n as NodeId).min(4) {
             let r = engine.query(q, &StoppingCondition::iterations(5));
             prop_assert!(r.scores.l1_norm() <= 1.0 + 1e-9);
@@ -164,7 +164,7 @@ proptest! {
         let hubs = HubSet::from_ids(n, vec![0, (n as NodeId) / 2]);
         let config = Config::default(); // truncation on
         let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let q = (n as NodeId) - 1;
         let exact = exact_ppv(&g, q, ExactOptions::default());
         let result = engine.query(q, &StoppingCondition::iterations(eta));
@@ -189,7 +189,7 @@ proptest! {
         let config = Config::exhaustive();
         let alpha = config.alpha;
         let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let q = (edges[0].1 as usize % n) as NodeId;
         let mut session = engine.session(q);
         for k in 0..6usize {

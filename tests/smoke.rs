@@ -21,7 +21,7 @@ fn quickstart_path_runs_to_completion() {
     assert!(stats.total_entries > 0);
     assert!(stats.storage_bytes > 0);
 
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let engine = QueryEngine::new(&graph, &hubs, &index, config);
     let query = 1_234;
     let result = engine.query(query, &StoppingCondition::iterations(2));
     assert!(result.iterations <= 2);
@@ -47,7 +47,7 @@ fn quickstart_path_runs_to_completion() {
         .with_delta(0.0)
         .with_clip(0.0);
     let (index, _) = build_index_parallel(&graph, &hubs, &accurate, 4);
-    let mut engine = QueryEngine::new(&graph, &hubs, &index, accurate);
+    let engine = QueryEngine::new(&graph, &hubs, &index, accurate);
     let precise = engine.query(query, &StoppingCondition::l1_error(0.01));
     assert!(
         precise.l1_error <= 0.01 + 1e-12,

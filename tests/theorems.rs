@@ -24,7 +24,7 @@ fn theorem_1_monotone_convergence_to_exact() {
         let config = exact_config();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
         let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let q = (seed * 37 % 250) as u32;
         let exact = exact_ppv(&g, q, ExactOptions::default());
         let mut session = engine.session(q);
@@ -64,7 +64,7 @@ fn theorem_2_bound_holds_across_graph_families() {
         let config = exact_config();
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
         let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         for q in [0u32, 111, 299] {
             let mut session = engine.session(q);
             for k in 0..8 {
@@ -86,7 +86,7 @@ fn eq_6_reported_error_equals_true_gap() {
     let config = exact_config();
     let hubs = select_hubs(&g, HubPolicy::PageRank, 20, 0);
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     for q in [3u32, 50, 170] {
         let exact = exact_ppv(&g, q, ExactOptions::default());
         let mut session = engine.session(q);
@@ -114,7 +114,7 @@ fn increments_equal_naive_partitions_on_random_graphs() {
         let hubs = select_hubs(&g, HubPolicy::OutDegree, 6, 0);
         let (index, _) = build_index_parallel(&g, &hubs, &config, 1);
         let (parts, pruned) = partition_by_hub_length_with_pruned(&g, 0, hubs.mask(), 0.15, 1e-9);
-        let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
         let result = engine.query(0, &StoppingCondition::iterations(4));
         // The naive side prunes whole tour subtrees once their walk
         // probability drops below the threshold, so each of its partitions
@@ -164,7 +164,7 @@ fn truncated_configs_stay_conservative() {
     let config = Config::default(); // paper defaults, truncation on
     let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
     let (index, _) = build_index_parallel(&g, &hubs, &config, 2);
-    let mut engine = QueryEngine::new(&g, &hubs, &index, config);
+    let engine = QueryEngine::new(&g, &hubs, &index, config);
     for q in [10u32, 150] {
         let exact = exact_ppv(&g, q, ExactOptions::default());
         let r = engine.query(q, &StoppingCondition::iterations(3));
