@@ -9,7 +9,6 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 use fastppv_graph::{Graph, NodeId, ScoreScratch, SparseVector};
 
@@ -70,15 +69,17 @@ impl Ord for HeapEntry {
 
 /// Looks up the precomputed full PPV of a hub, if any.
 pub trait HubVectors {
-    /// The stored PPV of `hub`, or `None` if `hub` has no vector.
-    fn hub_vector(&self, hub: NodeId) -> Option<Arc<SparseVector>>;
+    /// The stored PPV of `hub`, borrowed (the zero-copy store contract —
+    /// absorptions on the push hot path never clone or bump refcounts), or
+    /// `None` if `hub` has no vector.
+    fn hub_vector(&self, hub: NodeId) -> Option<&SparseVector>;
 }
 
 /// No hubs: plain BCA.
 pub struct NoHubs;
 
 impl HubVectors for NoHubs {
-    fn hub_vector(&self, _hub: NodeId) -> Option<Arc<SparseVector>> {
+    fn hub_vector(&self, _hub: NodeId) -> Option<&SparseVector> {
         None
     }
 }
@@ -235,18 +236,18 @@ mod tests {
     fn hub_absorption_resolves_mass_in_one_step() {
         let g = toy::graph();
         // Precompute an exact vector for hub d and absorb it.
-        let d_vec = Arc::new(SparseVector::from_sorted(
+        let d_vec = SparseVector::from_sorted(
             exact_ppv(&g, toy::D, ExactOptions::default())
                 .iter()
                 .enumerate()
                 .filter(|&(_, &s)| s > 0.0)
                 .map(|(i, &s)| (i as NodeId, s))
                 .collect(),
-        ));
-        struct OneHub(Arc<SparseVector>);
+        );
+        struct OneHub(SparseVector);
         impl HubVectors for OneHub {
-            fn hub_vector(&self, hub: NodeId) -> Option<Arc<SparseVector>> {
-                (hub == toy::D).then(|| Arc::clone(&self.0))
+            fn hub_vector(&self, hub: NodeId) -> Option<&SparseVector> {
+                (hub == toy::D).then_some(&self.0)
             }
         }
         let res = bca_push_with_hubs(

@@ -12,7 +12,6 @@
 //! offline phase computes *full-graph* PPVs per hub (expensive), while
 //! FastPPV only computes prime PPVs over small prime subgraphs.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use fastppv_graph::{Graph, NodeId, SparseVector};
@@ -45,7 +44,7 @@ impl Default for HubRankOptions {
 
 /// Precomputed hub vectors, slot-indexed by node id.
 pub struct HubRankIndex {
-    slots: Vec<Option<Arc<SparseVector>>>,
+    slots: Vec<Option<SparseVector>>,
     hub_ids: Vec<NodeId>,
     build_time: std::time::Duration,
 }
@@ -78,8 +77,8 @@ impl HubRankIndex {
 }
 
 impl HubVectors for HubRankIndex {
-    fn hub_vector(&self, hub: NodeId) -> Option<Arc<SparseVector>> {
-        self.slots.get(hub as usize).and_then(|s| s.clone())
+    fn hub_vector(&self, hub: NodeId) -> Option<&SparseVector> {
+        self.slots.get(hub as usize).and_then(|s| s.as_ref())
     }
 }
 
@@ -118,7 +117,7 @@ pub fn build_hubrank_index(
         let res = bca_push_with_hubs(graph, h, bca, &index);
         let mut vec = res.estimate;
         vec.clip(opts.clip);
-        index.slots[h as usize] = Some(Arc::new(vec));
+        index.slots[h as usize] = Some(vec);
         index.hub_ids.push(h);
     }
     index.build_time = start.elapsed();
@@ -135,9 +134,10 @@ pub fn hubrank_query(
     alpha: f64,
 ) -> BcaResult {
     if let Some(vec) = index.hub_vector(q) {
-        // The query is itself a hub: its stored vector answers directly.
+        // The query is itself a hub: its stored vector answers directly
+        // (the one deliberate clone: the result is owned by the caller).
         return BcaResult {
-            estimate: (*vec).clone(),
+            estimate: vec.clone(),
             remaining_residual: 0.0,
             pushes: 0,
             hub_absorptions: 1,

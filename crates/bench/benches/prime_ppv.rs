@@ -31,6 +31,31 @@ fn bench_extract_and_solve(c: &mut Criterion) {
     group.finish();
 }
 
+/// Solve in isolation (extraction hoisted out): exercises the reusable
+/// solve scratch — `absorbed`/`in_queue`/`queue` now live inside the
+/// computer, so repeated solves allocate nothing proportional to the
+/// subgraph once warm.
+fn bench_solve_reuse(c: &mut Criterion) {
+    let dataset = datasets::dblp(0.2, 42);
+    let graph = &dataset.graph;
+    let n = graph.num_nodes();
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / 25, 0);
+    let config = Config::default().with_epsilon(1e-6);
+    let source = (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+    let mut group = c.benchmark_group("prime_ppv_solve");
+    group.sample_size(30);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("reused_scratch"),
+        &(),
+        |b, _| {
+            let mut pc = PrimeComputer::new(n);
+            let sub = pc.extract(graph, &hubs, source, &config);
+            b.iter(|| std::hint::black_box(pc.solve(&sub, &config, 1e-4)));
+        },
+    );
+    group.finish();
+}
+
 fn bench_epsilon(c: &mut Criterion) {
     let dataset = datasets::dblp(0.2, 42);
     let graph = &dataset.graph;
@@ -53,5 +78,10 @@ fn bench_epsilon(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extract_and_solve, bench_epsilon);
+criterion_group!(
+    benches,
+    bench_extract_and_solve,
+    bench_solve_reuse,
+    bench_epsilon
+);
 criterion_main!(benches);

@@ -16,7 +16,6 @@ use fastppv_bench::datasets;
 use fastppv_bench::table::{fmt_ratio, fmt_s, Table};
 use fastppv_core::dynamic::refresh_index;
 use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
-use fastppv_core::index::PpvStore;
 use fastppv_core::offline::build_index_parallel;
 use fastppv_core::Config;
 use fastppv_graph::{pagerank, Graph, GraphBuilder, NodeId, PageRankOptions};

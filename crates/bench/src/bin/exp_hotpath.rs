@@ -1,0 +1,157 @@
+//! Extension experiment: the zero-copy flat-arena hot path.
+//!
+//! Measures exactly what the SoA index refactor is for: the same Zipf
+//! closed-loop workload served from the Arc/AoS [`MemoryIndex`] and from
+//! the flat SoA [`FlatIndex`] arena, on a BA-50k graph by default. Writes
+//! `BENCH_hotpath.json` (build time, index bytes, QPS, p50/p99, plus a
+//! deterministic result digest) so later PRs have a perf trajectory to
+//! beat.
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_hotpath \
+//!     [--scale F] [--queries N] [--seed S] [--threads T] [--out FILE]
+//! ```
+//!
+//! `--scale 0.02` is the CI smoke mode (BA-1k, a few seconds).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::driver::{run_closed_loop, RunSpec};
+use fastppv_bench::hotpath::{results_digest, HotpathReport, HotpathRun};
+use fastppv_bench::table::Table;
+use fastppv_bench::workload::sample_queries_zipf;
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
+use fastppv_core::index::FlatIndex;
+use fastppv_core::offline::build_index_parallel;
+use fastppv_core::{Config, HubSet, MemoryIndex, PpvStore};
+use fastppv_graph::gen::barabasi_albert;
+use fastppv_graph::{pagerank, PageRankOptions};
+
+/// Zipf exponent of the query mix (≈ web/social traffic skew).
+const ZIPF_EXPONENT: f64 = 1.0;
+/// Iteration budget η per request (the paper's default online setting).
+const ETA: usize = 2;
+/// Queries digested for the determinism fingerprint.
+const DIGEST_QUERIES: usize = 64;
+
+fn main() {
+    // Peel off `--out FILE`; everything else is the shared vocabulary.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_hotpath.json");
+    if let Some(i) = raw.iter().position(|a| a == "--out") {
+        raw.remove(i);
+        if i < raw.len() {
+            out_path = raw.remove(i);
+        } else {
+            eprintln!("missing value for --out");
+            std::process::exit(2);
+        }
+    }
+    let args = CommonArgs::parse_from(raw, 2000);
+
+    let n = ((50_000.0 * args.scale) as usize).max(200);
+    let dataset = format!("BA-{}k", (n as f64 / 1000.0).round().max(1.0) as usize);
+    println!("# Hot path: flat SoA arena vs Arc/AoS store ({dataset})");
+    let graph = Arc::new(barabasi_albert(n, 4, args.seed));
+    let hub_count = n / 25;
+    let pr = pagerank(&graph, PageRankOptions::default());
+    let hubs: Arc<HubSet> = Arc::new(select_hubs_with_pagerank(
+        &graph,
+        HubPolicy::ExpectedUtility,
+        hub_count,
+        0,
+        Some(&pr),
+    ));
+    let config = Config::default().with_epsilon(1e-6);
+
+    let build_started = Instant::now();
+    let (memory, stats) = build_index_parallel(&graph, &hubs, &config, args.threads);
+    let build = build_started.elapsed();
+    let convert_started = Instant::now();
+    let flat = FlatIndex::from_memory(&memory, &hubs);
+    let flat_convert = convert_started.elapsed();
+    println!(
+        "built |H| = {} ({} entries, {:.2} MB) in {:.2?}; arena conversion {:.2?}",
+        stats.hubs,
+        stats.total_entries,
+        stats.storage_bytes as f64 / (1024.0 * 1024.0),
+        build,
+        flat_convert
+    );
+
+    let queries = sample_queries_zipf(&graph, args.queries, ZIPF_EXPONENT, args.seed);
+    let digest_queries = &queries[..queries.len().min(DIGEST_QUERIES)];
+    let digest_mem = results_digest(&graph, &hubs, &memory, config, digest_queries, ETA);
+    let digest_flat = results_digest(&graph, &hubs, &flat, config, digest_queries, ETA);
+    assert_eq!(
+        digest_mem, digest_flat,
+        "flat arena must serve bit-identical results"
+    );
+
+    let memory: Arc<MemoryIndex> = Arc::new(memory);
+    let flat: Arc<FlatIndex> = Arc::new(flat);
+    let index_bytes = memory.storage_bytes();
+    let flat_arena_bytes = flat.arena_bytes();
+
+    let mut runs: Vec<HotpathRun> = Vec::new();
+    let spec = |cache_capacity: usize, warm_cache: bool| RunSpec {
+        eta: ETA,
+        workers: args.threads,
+        cache_capacity,
+        warm_cache,
+    };
+    runs.push(HotpathRun {
+        store: "arc_aos",
+        cache: "off",
+        report: run_closed_loop(&graph, &hubs, &memory, config, &queries, spec(0, false)),
+    });
+    runs.push(HotpathRun {
+        store: "flat_soa",
+        cache: "off",
+        report: run_closed_loop(&graph, &hubs, &flat, config, &queries, spec(0, false)),
+    });
+    runs.push(HotpathRun {
+        store: "flat_soa",
+        cache: "warm",
+        report: run_closed_loop(&graph, &hubs, &flat, config, &queries, spec(8192, true)),
+    });
+
+    let mut table = Table::new(vec![
+        "store", "cache", "workers", "queries", "wall", "QPS", "p50", "p99",
+    ]);
+    for run in &runs {
+        let r = &run.report;
+        table.row(vec![
+            run.store.to_string(),
+            run.cache.to_string(),
+            r.workers.to_string(),
+            r.queries.to_string(),
+            format!("{:.2?}", r.wall),
+            format!("{:.0}", r.qps),
+            format!("{:.2?}", r.p50),
+            format!("{:.2?}", r.p99),
+        ]);
+    }
+    table.print("Closed-loop hot path — Zipf mix, η = 2");
+
+    let report = HotpathReport {
+        dataset,
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        hubs: hubs.len(),
+        eta: ETA,
+        queries: queries.len(),
+        zipf_exponent: ZIPF_EXPONENT,
+        seed: args.seed,
+        build,
+        flat_convert,
+        index_bytes,
+        flat_arena_bytes,
+        results_digest: digest_flat,
+        runs,
+    };
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,232 @@
+//! Shared pieces of the hot-path experiment (`exp_hotpath`): the
+//! deterministic query-result digest and the `BENCH_hotpath.json` report.
+//!
+//! The digest pins down everything about a benchmark run that *should* be
+//! reproducible — the bit patterns of every query result — so the repo's
+//! tests can assert that two independent builds of the same deployment
+//! serve byte-identical answers, while the JSON report carries the
+//! timing-dependent figures (QPS, percentiles) those tests must ignore.
+
+use std::time::Duration;
+
+use fastppv_core::query::StoppingCondition;
+use fastppv_core::{Config, HubSet, PpvStore, QueryEngine};
+use fastppv_graph::{Graph, NodeId};
+
+use crate::driver::ThroughputReport;
+
+/// FNV-1a over a byte stream — stable, dependency-free.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of the full result stream of `queries` at iteration budget
+/// `eta`: every `(query, node, score-bits, φ-bits)` is folded in. Two runs
+/// over equal deployments must produce equal digests — this is the
+/// determinism half of the `BENCH` contract (timings are excluded).
+pub fn results_digest<S: PpvStore>(
+    graph: &Graph,
+    hubs: &HubSet,
+    store: &S,
+    config: Config,
+    queries: &[NodeId],
+    eta: usize,
+) -> u64 {
+    let engine = QueryEngine::new(graph, hubs, store, config);
+    let mut ws = engine.workspace();
+    let stop = StoppingCondition::iterations(eta);
+    let mut h = Fnv1a::default();
+    for &q in queries {
+        let result = engine.query_with(&mut ws, q, &stop);
+        h.update(&q.to_le_bytes());
+        h.update(&result.l1_error.to_bits().to_le_bytes());
+        for &(v, s) in result.scores.entries() {
+            h.update(&v.to_le_bytes());
+            h.update(&s.to_bits().to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// One measured closed-loop run in the report.
+pub struct HotpathRun {
+    /// Store layout label (`arc_aos` / `flat_soa`).
+    pub store: &'static str,
+    /// Cache mode label (`off` / `warm`).
+    pub cache: &'static str,
+    /// The driver's measurement.
+    pub report: ThroughputReport,
+}
+
+/// Everything `BENCH_hotpath.json` records.
+pub struct HotpathReport {
+    /// Workload label, e.g. `BA-50k`.
+    pub dataset: String,
+    /// Graph size.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Hub count |H|.
+    pub hubs: usize,
+    /// Iteration budget η per request.
+    pub eta: usize,
+    /// Queries per closed-loop run.
+    pub queries: usize,
+    /// Zipf exponent of the query mix.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Offline build wall-clock (memory layout).
+    pub build: Duration,
+    /// Arena conversion wall-clock on top of the build.
+    pub flat_convert: Duration,
+    /// Index size, on-disk-equivalent bytes.
+    pub index_bytes: usize,
+    /// Flat arena resident bytes (entries + border sublists + directory).
+    pub flat_arena_bytes: usize,
+    /// Deterministic digest of the result stream (see [`results_digest`]).
+    pub results_digest: u64,
+    /// The measured runs.
+    pub runs: Vec<HotpathRun>,
+}
+
+impl HotpathReport {
+    /// Hand-rolled JSON (the environment vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"hotpath\",\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!("  \"edges\": {},\n", self.edges));
+        out.push_str(&format!("  \"hubs\": {},\n", self.hubs));
+        out.push_str(&format!("  \"eta\": {},\n", self.eta));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"zipf_exponent\": {},\n", self.zipf_exponent));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"build_ms\": {:.3},\n", ms(self.build)));
+        out.push_str(&format!(
+            "  \"flat_convert_ms\": {:.3},\n",
+            ms(self.flat_convert)
+        ));
+        out.push_str(&format!("  \"index_bytes\": {},\n", self.index_bytes));
+        out.push_str(&format!(
+            "  \"flat_arena_bytes\": {},\n",
+            self.flat_arena_bytes
+        ));
+        out.push_str(&format!(
+            "  \"results_digest\": \"{:#018x}\",\n",
+            self.results_digest
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let r = &run.report;
+            out.push_str(&format!(
+                "    {{\"store\": \"{}\", \"cache\": \"{}\", \"workers\": {}, \
+                 \"queries\": {}, \"wall_ms\": {:.3}, \"qps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}}}{}\n",
+                run.store,
+                run.cache,
+                r.workers,
+                r.queries,
+                ms(r.wall),
+                r.qps,
+                us(r.p50),
+                us(r.p99),
+                r.cache_hits,
+                r.cache_misses,
+                if i + 1 < self.runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastppv_core::offline::{build_flat_index, build_index};
+    use fastppv_core::{select_hubs, HubPolicy};
+    use fastppv_graph::gen::barabasi_albert;
+
+    #[test]
+    fn digest_is_deterministic_and_layout_independent() {
+        let g = barabasi_albert(400, 3, 11);
+        let config = Config::default().with_epsilon(1e-6);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let (memory, _) = build_index(&g, &hubs, &config);
+        let (flat, _) = build_flat_index(&g, &hubs, &config, 1);
+        let queries = crate::workload::sample_queries_zipf(&g, 30, 1.0, 7);
+        let a = results_digest(&g, &hubs, &memory, config, &queries, 2);
+        let b = results_digest(&g, &hubs, &memory, config, &queries, 2);
+        let c = results_digest(&g, &hubs, &flat, config, &queries, 2);
+        assert_eq!(a, b, "same deployment, same digest");
+        assert_eq!(a, c, "flat layout serves bit-identical results");
+        let d = results_digest(&g, &hubs, &flat, config, &queries, 0);
+        assert_ne!(a, d, "different η must change the digest");
+    }
+
+    #[test]
+    fn json_has_required_keys() {
+        let report = HotpathReport {
+            dataset: "BA-1k".into(),
+            nodes: 1000,
+            edges: 4000,
+            hubs: 40,
+            eta: 2,
+            queries: 100,
+            zipf_exponent: 1.0,
+            seed: 42,
+            build: Duration::from_millis(12),
+            flat_convert: Duration::from_micros(345),
+            index_bytes: 123456,
+            flat_arena_bytes: 234567,
+            results_digest: 0xdead_beef,
+            runs: vec![],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"experiment\"",
+            "\"qps\"",
+            "\"build_ms\"",
+            "\"index_bytes\"",
+            "\"results_digest\"",
+            "\"runs\"",
+        ] {
+            if key == "\"qps\"" {
+                continue; // no runs in this fixture
+            }
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //!   and parallel ground truth;
 //! * [`driver`] — closed-loop throughput driver over the `fastppv-server`
 //!   query service (QPS, p50/p99 latency, cache hit rates);
+//! * [`hotpath`] — deterministic result digests and the
+//!   `BENCH_hotpath.json` report shared with `exp_hotpath`;
 //! * [`runner`] — offline+online evaluation of FastPPV and both baselines,
 //!   producing method rows (time, space, four accuracy metrics);
 //! * [`configs`] — the four accuracy-moderated configurations (Fig. 5);
@@ -20,6 +22,7 @@ pub mod cli;
 pub mod configs;
 pub mod datasets;
 pub mod driver;
+pub mod hotpath;
 pub mod runner;
 pub mod table;
 pub mod workload;

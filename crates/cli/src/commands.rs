@@ -6,7 +6,7 @@ use fastppv_cluster::partition::{cluster_graph, ClusteringOptions};
 use fastppv_cluster::store::write_clustered_graph;
 use fastppv_core::autotune::{suggest_hub_count, AutotuneOptions};
 use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
-use fastppv_core::index::{DiskIndex, PpvStore};
+use fastppv_core::index::{DiskIndex, FlatIndex, PpvStore};
 use fastppv_core::offline::build_index_parallel;
 use fastppv_core::query::{QueryEngine, StoppingCondition};
 use fastppv_core::Config;
@@ -229,15 +229,41 @@ fn open_index_and_hubs(args: &Args, graph: &Graph) -> Result<(DiskIndex, HubSet)
     Ok((index, hubs))
 }
 
+/// The serving store layout: the flat structure-of-arrays arena (default —
+/// the index file is pulled into RAM once, reads are zero-copy) or the
+/// file-backed store with a read cache (`--store disk`, for indexes larger
+/// than memory).
+enum StoreChoice {
+    Flat(FlatIndex),
+    Disk(DiskIndex),
+}
+
+fn open_store(args: &Args, graph: &Graph) -> Result<(StoreChoice, HubSet), CliError> {
+    let kind: String = args.get_or("store", "flat".to_string())?;
+    let (index, hubs) = open_index_and_hubs(args, graph)?;
+    match kind.as_str() {
+        "flat" => {
+            let flat = FlatIndex::from_store(graph.num_nodes(), &index, &index.hub_ids(), &hubs);
+            Ok((StoreChoice::Flat(flat), hubs))
+        }
+        "disk" => Ok((StoreChoice::Disk(index), hubs)),
+        other => Err(CliError::Usage(format!(
+            "--store must be flat or disk, got `{other}`"
+        ))),
+    }
+}
+
 /// `fastppv query`
 pub fn query(argv: &[String]) -> CmdResult {
     let usage = "fastppv query --graph edges.txt [--undirected] \
                  --index index.fppv --node Q\n\
-                 [--eta K | --l1 ERR] [--top K] [--alpha A] [--epsilon E] \
-                 [--delta D]";
+                 [--eta K | --l1 ERR] [--top K] [--store flat|disk] \
+                 [--alpha A] [--epsilon E] [--delta D]";
     let args = Args::parse(
         argv,
-        &with_config_flags(&["graph", "index", "node", "eta", "l1", "top", "cache"]),
+        &with_config_flags(&[
+            "graph", "index", "node", "eta", "l1", "top", "cache", "store",
+        ]),
         &["undirected"],
         usage,
     )?;
@@ -248,10 +274,26 @@ pub fn query(argv: &[String]) -> CmdResult {
     }
     let config = config_from_args(&args)?;
     let top: usize = args.get_or("top", 10)?;
-    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
+    let (store, hubs) = open_store(&args, &graph)?;
     let stop = stop_from_args(&args)?;
-    let engine = QueryEngine::new(&graph, &hubs, &index, config);
-    let result = engine.query(q, &stop);
+    match store {
+        StoreChoice::Flat(s) => run_query(&graph, &hubs, &s, config, q, &stop, top),
+        StoreChoice::Disk(s) => run_query(&graph, &hubs, &s, config, q, &stop, top),
+    }
+    Ok(())
+}
+
+fn run_query<S: PpvStore>(
+    graph: &Graph,
+    hubs: &HubSet,
+    store: &S,
+    config: Config,
+    q: u32,
+    stop: &StoppingCondition,
+    top: usize,
+) {
+    let engine = QueryEngine::new(graph, hubs, store, config);
+    let result = engine.query(q, stop);
     println!(
         "query {q}: {} iterations, guaranteed L1 error <= {:.5}, {:.2?}{}",
         result.iterations,
@@ -266,16 +308,16 @@ pub fn query(argv: &[String]) -> CmdResult {
     for (rank, (node, score)) in result.top_k(top).into_iter().enumerate() {
         println!("{:>4}. node {node:<10} score {score:.6}", rank + 1);
     }
-    Ok(())
 }
 
 /// `fastppv topk`
 pub fn topk(argv: &[String]) -> CmdResult {
     let usage = "fastppv topk --graph edges.txt [--undirected] \
-                 --index index.fppv --node Q --k K [--max-eta K]";
+                 --index index.fppv --node Q --k K [--max-eta K] \
+                 [--store flat|disk]";
     let args = Args::parse(
         argv,
-        &with_config_flags(&["graph", "index", "node", "k", "max-eta", "cache"]),
+        &with_config_flags(&["graph", "index", "node", "k", "max-eta", "cache", "store"]),
         &["undirected"],
         usage,
     )?;
@@ -284,8 +326,24 @@ pub fn topk(argv: &[String]) -> CmdResult {
     let k: usize = args.require("k")?;
     let max_eta: usize = args.get_or("max-eta", 10)?;
     let config = config_from_args(&args)?;
-    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
-    let engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let (store, hubs) = open_store(&args, &graph)?;
+    match store {
+        StoreChoice::Flat(s) => run_topk(&graph, &hubs, &s, config, q, k, max_eta),
+        StoreChoice::Disk(s) => run_topk(&graph, &hubs, &s, config, q, k, max_eta),
+    }
+    Ok(())
+}
+
+fn run_topk<S: PpvStore>(
+    graph: &Graph,
+    hubs: &HubSet,
+    store: &S,
+    config: Config,
+    q: u32,
+    k: usize,
+    max_eta: usize,
+) {
+    let engine = QueryEngine::new(graph, hubs, store, config);
     let res = engine.query_top_k(q, k, max_eta);
     println!(
         "top-{k} for query {q}: {} after {} iterations (phi = {:.5})",
@@ -300,15 +358,14 @@ pub fn topk(argv: &[String]) -> CmdResult {
     for (rank, (node, score)) in res.nodes.into_iter().enumerate() {
         println!("{:>4}. node {node:<10} score >= {score:.6}", rank + 1);
     }
-    Ok(())
 }
 
 /// `fastppv serve`
 pub fn serve(argv: &[String]) -> CmdResult {
     let usage = "fastppv serve --graph edges.txt [--undirected] --index index.fppv\n\
                  [--workers N] [--queue N] [--hot-cache N] [--cache N]\n\
-                 [--eta K | --l1 ERR] [--top K] [--batch B] [--alpha A]\n\
-                 [--epsilon E] [--delta D]\n\
+                 [--store flat|disk] [--eta K | --l1 ERR] [--top K]\n\
+                 [--batch B] [--alpha A] [--epsilon E] [--delta D]\n\
                  \n\
                  Reads one query per line from stdin: `NODE [eta=K | l1=ERR]`\n\
                  (the optional suffix overrides the default stopping\n\
@@ -327,6 +384,7 @@ pub fn serve(argv: &[String]) -> CmdResult {
             "l1",
             "top",
             "batch",
+            "store",
         ]),
         &["undirected"],
         usage,
@@ -358,12 +416,34 @@ pub fn serve(argv: &[String]) -> CmdResult {
     }
     let graph = load_graph(&args)?;
     let config = config_from_args(&args)?;
-    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
+    let (store, hubs) = open_store(&args, &graph)?;
+    match store {
+        StoreChoice::Flat(s) => {
+            serve_loop(graph, hubs, s, config, options, default_stop, top, batch)
+        }
+        StoreChoice::Disk(s) => {
+            serve_loop(graph, hubs, s, config, options, default_stop, top, batch)
+        }
+    }
+}
+
+/// The stdin/stdout serving loop, generic over the store layout.
+#[allow(clippy::too_many_arguments)]
+fn serve_loop<S: PpvStore + Send + Sync>(
+    graph: Graph,
+    hubs: HubSet,
+    store: S,
+    config: Config,
+    options: ServiceOptions,
+    default_stop: StoppingCondition,
+    top: usize,
+    batch: usize,
+) -> CmdResult {
     let num_nodes = graph.num_nodes();
     let service = QueryService::new(
         std::sync::Arc::new(graph),
         std::sync::Arc::new(hubs),
-        std::sync::Arc::new(index),
+        std::sync::Arc::new(store),
         config,
         options,
     );

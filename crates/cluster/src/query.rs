@@ -13,8 +13,8 @@ use fastppv_core::config::Config;
 use fastppv_core::hubs::HubSet;
 use fastppv_core::index::PpvStore;
 use fastppv_core::prime::PrimeComputer;
-use fastppv_core::query::{run_increments, QueryResult, StoppingCondition};
-use fastppv_graph::{NodeId, ScoreScratch};
+use fastppv_core::query::{run_increments, IncrementScratch, QueryResult, StoppingCondition};
+use fastppv_graph::NodeId;
 
 use crate::store::DiskGraph;
 
@@ -54,11 +54,11 @@ pub fn disk_query<S: PpvStore>(
     let started = Instant::now();
     disk.reset_faults();
     disk.set_fault_cap(fault_cap);
-    let prime0 = match store.get(q) {
-        Some(stored) => (*stored).clone(),
+    let prime0 = match store.load(q) {
+        Some(stored) => stored,
         None => workspace.prime.prime_ppv_from(disk, hubs, q, config, 0.0).0,
     };
-    let result = run_increments(q, prime0, hubs, store, config, stop, &mut workspace.scratch);
+    let result = run_increments(q, &prime0, hubs, store, config, stop, &mut workspace.inc);
     DiskQueryResult {
         result,
         faults: disk.faults(),
@@ -70,7 +70,7 @@ pub fn disk_query<S: PpvStore>(
 /// Reusable scratch for [`disk_query`].
 pub struct DiskQueryWorkspace {
     prime: PrimeComputer,
-    scratch: ScoreScratch,
+    inc: IncrementScratch,
 }
 
 impl DiskQueryWorkspace {
@@ -78,7 +78,7 @@ impl DiskQueryWorkspace {
     pub fn new(n: usize) -> Self {
         DiskQueryWorkspace {
             prime: PrimeComputer::new(n),
-            scratch: ScoreScratch::new(n),
+            inc: IncrementScratch::new(n),
         }
     }
 }

@@ -188,7 +188,7 @@ pub fn write_compressed<P: AsRef<Path>>(
         .map(|&h| {
             let ppv = index.get(h).expect("indexed hub");
             let count = ppv.len() as u32;
-            (h, count, encode_blob(&ppv, quant))
+            (h, count, encode_blob(ppv, quant))
         })
         .collect();
     let mut w = BufWriter::new(File::create(path)?);
@@ -286,12 +286,15 @@ impl CompressedDiskIndex {
     }
 }
 
-impl PpvStore for CompressedDiskIndex {
-    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
-        if let Some(hit) = self.cache.lock().get(&hub) {
+impl CompressedDiskIndex {
+    /// The stored prime PPV of `hub`, decoded (cache-fronted). The cache
+    /// lock is taken once; the read itself is serialized by the file lock.
+    pub fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        let &(offset, byte_len, count) = self.directory.get(&hub)?;
+        let mut cache = self.cache.lock();
+        if let Some(hit) = cache.get(&hub) {
             return Some(Arc::clone(hit));
         }
-        let &(offset, byte_len, count) = self.directory.get(&hub)?;
         let mut blob = vec![0u8; byte_len as usize];
         {
             let mut file = self.file.lock();
@@ -299,15 +302,20 @@ impl PpvStore for CompressedDiskIndex {
             file.read_exact(&mut blob).expect("index file corrupt");
         }
         let ppv = Arc::new(decode_blob(&blob, count as usize, self.quant).expect("blob corrupt"));
-        let mut cache = self.cache.lock();
-        if cache.len() >= self.cache_capacity && self.cache_capacity > 0 {
-            // Bounded cache with wholesale reset: simple and O(1) amortized.
-            cache.clear();
-        }
         if self.cache_capacity > 0 {
+            if cache.len() >= self.cache_capacity {
+                // Bounded cache with wholesale reset: simple, O(1) amortized.
+                cache.clear();
+            }
             cache.insert(hub, Arc::clone(&ppv));
         }
         Some(ppv)
+    }
+}
+
+impl PpvStore for CompressedDiskIndex {
+    fn view(&self, hub: NodeId) -> Option<crate::index::PpvRef<'_>> {
+        self.get(hub).map(crate::index::PpvRef::Owned)
     }
 
     fn contains(&self, hub: NodeId) -> bool {

@@ -24,7 +24,7 @@ use fastppv_graph::{Graph, NodeId};
 
 use crate::config::Config;
 use crate::hubs::HubSet;
-use crate::index::{MemoryIndex, PpvStore};
+use crate::index::{FlatIndex, MemoryIndex, PpvStore};
 use crate::prime::PrimeComputer;
 
 /// Hubs whose prime PPV depends on the out-edges of `u` in `graph`:
@@ -107,22 +107,17 @@ pub struct RefreshStats {
     pub elapsed: std::time::Duration,
 }
 
-/// Refreshes `old_index` after edge updates, recomputing only affected hubs.
-///
-/// `changed_tails` are the source nodes of every inserted or deleted edge.
-/// `old_graph` is consulted so that deletions (walks that existed only
-/// before the change) also invalidate their dependents; pass the same graph
-/// twice for pure insertions.
-pub fn refresh_index(
-    old_index: &MemoryIndex,
+/// The per-node dirty mask of an edge batch: true for every hub whose
+/// prime PPV may have changed. `old_graph` is consulted so that deletions
+/// (walks that existed only before the change) also invalidate their
+/// dependents.
+fn dirty_hubs(
     old_graph: &Graph,
     new_graph: &Graph,
     hubs: &HubSet,
     changed_tails: &[NodeId],
     config: &Config,
-) -> (MemoryIndex, RefreshStats) {
-    config.validate();
-    let start = std::time::Instant::now();
+) -> Vec<bool> {
     let mut dirty = vec![false; new_graph.num_nodes()];
     for &u in changed_tails {
         for h in affected_hubs(new_graph, hubs, u, config.epsilon, config.alpha) {
@@ -134,6 +129,27 @@ pub fn refresh_index(
             }
         }
     }
+    dirty
+}
+
+/// Refreshes `old_index` after edge updates, recomputing only affected hubs.
+///
+/// `changed_tails` are the source nodes of every inserted or deleted edge.
+/// `old_graph` is consulted so that deletions (walks that existed only
+/// before the change) also invalidate their dependents; pass the same graph
+/// twice for pure insertions. Unaffected PPVs are shared with the old
+/// index (`Arc` handles, no entry copies).
+pub fn refresh_index(
+    old_index: &MemoryIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+) -> (MemoryIndex, RefreshStats) {
+    config.validate();
+    let start = std::time::Instant::now();
+    let dirty = dirty_hubs(old_graph, new_graph, hubs, changed_tails, config);
     let mut index = MemoryIndex::new(new_graph.num_nodes());
     let mut pc = PrimeComputer::new(new_graph.num_nodes());
     let mut recomputed = 0usize;
@@ -144,8 +160,8 @@ pub fn refresh_index(
             index.insert(h, ppv);
             recomputed += 1;
         } else {
-            let ppv = old_index.get(h).expect("checked contains");
-            index.insert(h, (*ppv).clone());
+            let ppv = old_index.get_shared(h).expect("checked contains");
+            index.insert_shared(h, ppv);
             reused += 1;
         }
     }
@@ -157,6 +173,51 @@ pub fn refresh_index(
             elapsed: start.elapsed(),
         },
     )
+}
+
+/// Refreshes a [`FlatIndex`] arena in place after edge updates: affected
+/// hubs are recomputed and patched via [`FlatIndex::replace`]
+/// (tombstone-and-append; the arena compacts itself once dead entries
+/// cross [`FlatIndex::COMPACTION_THRESHOLD`]). Unaffected segments are
+/// untouched — no entry is copied for them.
+///
+/// `changed_tails` as in [`refresh_index`]. The arena must cover
+/// `new_graph` (node additions require a rebuild via
+/// [`crate::offline::build_flat_index`]).
+pub fn refresh_flat_index(
+    index: &mut FlatIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+) -> RefreshStats {
+    config.validate();
+    assert!(
+        index.capacity() >= new_graph.num_nodes(),
+        "arena sized for {} nodes, graph has {} (rebuild instead)",
+        index.capacity(),
+        new_graph.num_nodes()
+    );
+    let start = std::time::Instant::now();
+    let dirty = dirty_hubs(old_graph, new_graph, hubs, changed_tails, config);
+    let mut pc = PrimeComputer::new(new_graph.num_nodes());
+    let mut recomputed = 0usize;
+    let mut reused = 0usize;
+    for &h in hubs.ids() {
+        if dirty[h as usize] || !index.contains(h) {
+            let (ppv, _) = pc.prime_ppv(new_graph, hubs, h, config, config.clip);
+            index.replace(h, &ppv, hubs);
+            recomputed += 1;
+        } else {
+            reused += 1;
+        }
+    }
+    RefreshStats {
+        recomputed,
+        reused,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +289,28 @@ mod tests {
         // (Locality — reused > 0 — is asserted in
         // refresh_is_much_cheaper_than_rebuild on a larger graph; at 250
         // nodes with ε = 1e-8 every hub can legitimately be upstream.)
+    }
+
+    #[test]
+    fn flat_refresh_matches_full_rebuild() {
+        let g = barabasi_albert(250, 3, 7);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let config = Config::default();
+        let (mut flat, _) = crate::offline::build_flat_index(&g, &hubs, &config, 1);
+        let u = (0..250u32).find(|&v| !hubs.is_hub(v)).unwrap();
+        let g2 = add_edge(&g, u, (u + 17) % 250);
+        let stats = refresh_flat_index(&mut flat, &g, &g2, &hubs, &[u], &config);
+        let (rebuilt, _) = crate::offline::build_flat_index(&g2, &hubs, &config, 1);
+        assert_eq!(flat.hub_count(), rebuilt.hub_count());
+        for &h in hubs.ids() {
+            assert_eq!(flat.load(h).unwrap(), rebuilt.load(h).unwrap(), "hub {h}");
+            assert_eq!(
+                flat.border_sublist(h).unwrap().0,
+                rebuilt.border_sublist(h).unwrap().0,
+                "hub {h} border sublist"
+            );
+        }
+        assert!(stats.recomputed > 0);
     }
 
     #[test]

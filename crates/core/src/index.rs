@@ -1,12 +1,24 @@
 //! The PPV index: precomputed prime PPVs of hub nodes (paper §5.1).
 //!
-//! Two interchangeable stores implement [`PpvStore`]:
+//! Three interchangeable stores implement [`PpvStore`]:
 //!
-//! * [`MemoryIndex`] — a slot map of `Arc<PrimePpv>`, used when the index
-//!   fits in RAM (the paper's default setting);
+//! * [`FlatIndex`] — one contiguous structure-of-arrays arena (`ids` /
+//!   `scores` slices per hub plus a precomputed border-hub sublist), the
+//!   zero-copy hot path of the online engine;
+//! * [`MemoryIndex`] — a slot map of per-hub [`PrimePpv`]s, the mutable
+//!   build-time representation (convert with [`FlatIndex::from_memory`]);
 //! * [`DiskIndex`] — a file-backed store with a per-hub directory for O(1)
 //!   random access and a small FIFO read cache, used by the disk-resident
 //!   experiments (§5.3 / §6.4.2).
+//!
+//! ## The zero-copy store contract
+//!
+//! Reads go through [`PpvStore::view`], which returns a borrowed
+//! [`PpvRef`] — no `Arc` refcount traffic, no cloning, no allocation on the
+//! in-memory paths. Stores that must materialize on a miss (the disk
+//! stores) return the [`PpvRef::Owned`] fallback, which carries an `Arc`
+//! from their read cache. Code that genuinely needs an owned copy calls
+//! [`PpvStore::load`].
 //!
 //! The on-disk format (`FPPVIDX1`) is a hand-rolled little-endian layout:
 //!
@@ -24,6 +36,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -61,10 +74,107 @@ impl PrimePpv {
     }
 }
 
+/// A borrowed view of one stored prime PPV — the unit of the zero-copy
+/// store contract (see the module docs).
+///
+/// The borrowed variants alias the store's own memory; the `Owned` variant
+/// exists for stores that materialize on a miss (disk-backed reads).
+#[derive(Clone, Debug)]
+pub enum PpvRef<'a> {
+    /// Structure-of-arrays slices into a [`FlatIndex`] arena.
+    Soa {
+        /// Entry node ids, ascending.
+        ids: &'a [NodeId],
+        /// Scores, parallel to `ids`.
+        scores: &'a [f64],
+    },
+    /// Array-of-structs entries borrowed from a [`MemoryIndex`] slot.
+    Aos(&'a [(NodeId, f64)]),
+    /// Materialized fallback (disk stores): shared with the read cache.
+    Owned(Arc<PrimePpv>),
+}
+
+impl PpvRef<'_> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            PpvRef::Soa { ids, .. } => ids.len(),
+            PpvRef::Aos(entries) => entries.len(),
+            PpvRef::Owned(ppv) => ppv.len(),
+        }
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f(node, score)` for every entry, in ascending node-id order.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(NodeId, f64)) {
+        match self {
+            PpvRef::Soa { ids, scores } => {
+                for (&id, &s) in ids.iter().zip(scores.iter()) {
+                    f(id, s);
+                }
+            }
+            PpvRef::Aos(entries) => {
+                for &(id, s) in *entries {
+                    f(id, s);
+                }
+            }
+            PpvRef::Owned(ppv) => {
+                for &(id, s) in ppv.entries.entries() {
+                    f(id, s);
+                }
+            }
+        }
+    }
+
+    /// The score at entry position `pos` (used with the border-hub
+    /// sublists of [`PpvStore::border_sublist`], whose positions index
+    /// into this view).
+    #[inline]
+    pub fn score_at(&self, pos: usize) -> f64 {
+        match self {
+            PpvRef::Soa { scores, .. } => scores[pos],
+            PpvRef::Aos(entries) => entries[pos].1,
+            PpvRef::Owned(ppv) => ppv.entries.entries()[pos].1,
+        }
+    }
+
+    /// Sum of all scores.
+    pub fn l1_norm(&self) -> f64 {
+        let mut sum = 0.0;
+        self.for_each(|_, s| sum += s);
+        sum
+    }
+
+    /// Materializes an owned copy.
+    pub fn to_prime_ppv(&self) -> PrimePpv {
+        match self {
+            PpvRef::Soa { ids, scores } => PrimePpv {
+                entries: SparseVector::from_sorted(
+                    ids.iter().copied().zip(scores.iter().copied()).collect(),
+                ),
+            },
+            PpvRef::Aos(entries) => PrimePpv {
+                entries: SparseVector::from_sorted(entries.to_vec()),
+            },
+            PpvRef::Owned(ppv) => PrimePpv::clone(ppv),
+        }
+    }
+}
+
 /// Read access to precomputed prime PPVs.
+///
+/// The primary read is [`PpvStore::view`] — a borrowed, clone-free
+/// [`PpvRef`]. Per-query `Arc` bumps and deep copies are reserved for
+/// stores that must materialize (disk reads) and for callers that opt into
+/// [`PpvStore::load`].
 pub trait PpvStore {
-    /// The prime PPV of `hub`, or `None` if not indexed.
-    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>>;
+    /// A borrowed view of `hub`'s prime PPV, or `None` if not indexed.
+    fn view(&self, hub: NodeId) -> Option<PpvRef<'_>>;
 
     /// Whether `hub` is indexed.
     fn contains(&self, hub: NodeId) -> bool;
@@ -75,6 +185,21 @@ pub trait PpvStore {
     /// Total stored entries across hubs.
     fn total_entries(&self) -> usize;
 
+    /// The precomputed border-hub sublist of `hub`'s PPV, if this store
+    /// maintains one: the hub-entry node ids plus their positions within
+    /// the PPV's entry list (so `view.score_at(pos)` is the hub's score).
+    /// Stores without sublists return `None` and the query engine falls
+    /// back to filtering every entry through [`HubSet::is_hub`].
+    fn border_sublist(&self, _hub: NodeId) -> Option<(&[NodeId], &[u32])> {
+        None
+    }
+
+    /// Materializes an owned copy of `hub`'s prime PPV (convenience; not
+    /// the hot path).
+    fn load(&self, hub: NodeId) -> Option<PrimePpv> {
+        self.view(hub).map(|v| v.to_prime_ppv())
+    }
+
     /// Index size in bytes (on-disk layout equivalent).
     fn storage_bytes(&self) -> usize {
         HEADER_LEN + self.hub_count() * DIR_RECORD_LEN + self.total_entries() * ENTRY_LEN
@@ -82,8 +207,8 @@ pub trait PpvStore {
 }
 
 impl<S: PpvStore> PpvStore for &S {
-    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
-        (**self).get(hub)
+    fn view(&self, hub: NodeId) -> Option<PpvRef<'_>> {
+        (**self).view(hub)
     }
     fn contains(&self, hub: NodeId) -> bool {
         (**self).contains(hub)
@@ -94,6 +219,9 @@ impl<S: PpvStore> PpvStore for &S {
     fn total_entries(&self) -> usize {
         (**self).total_entries()
     }
+    fn border_sublist(&self, hub: NodeId) -> Option<(&[NodeId], &[u32])> {
+        (**self).border_sublist(hub)
+    }
 }
 
 const MAGIC: &[u8; 8] = b"FPPVIDX1";
@@ -102,7 +230,47 @@ const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 const DIR_RECORD_LEN: usize = 4 + 8 + 4;
 const ENTRY_LEN: usize = 8;
 
-/// In-memory PPV index.
+/// Writes the `FPPVIDX1` layout given sorted hub ids and a per-hub entry
+/// lookup. Shared by [`MemoryIndex::write_to_file`] and
+/// [`FlatIndex::write_to_file`] so both serialize byte-identically.
+fn write_index_file<'a, P, F>(path: P, sorted_hubs: &[NodeId], mut entries_of: F) -> io::Result<()>
+where
+    P: AsRef<Path>,
+    F: FnMut(NodeId) -> PpvRef<'a>,
+{
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&(sorted_hubs.len() as u64).to_le_bytes())?;
+    // Directory.
+    let mut offset = (HEADER_LEN + sorted_hubs.len() * DIR_RECORD_LEN) as u64;
+    for &h in sorted_hubs {
+        let view = entries_of(h);
+        w.write_all(&h.to_le_bytes())?;
+        w.write_all(&offset.to_le_bytes())?;
+        w.write_all(&(view.len() as u32).to_le_bytes())?;
+        offset += (view.len() * ENTRY_LEN) as u64;
+    }
+    // Data blobs.
+    for &h in sorted_hubs {
+        let mut err = None;
+        entries_of(h).for_each(|id, s| {
+            if err.is_none() {
+                err = w
+                    .write_all(&id.to_le_bytes())
+                    .and_then(|()| w.write_all(&(s as f32).to_le_bytes()))
+                    .err();
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    w.flush()
+}
+
+/// In-memory PPV index: the mutable build-time store.
 #[derive(Clone, Debug, Default)]
 pub struct MemoryIndex {
     slots: Vec<Option<Arc<PrimePpv>>>,
@@ -120,15 +288,37 @@ impl MemoryIndex {
         }
     }
 
+    /// Number of node slots (the graph size the index was created for).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Inserts (or replaces) the prime PPV of `hub`.
     pub fn insert(&mut self, hub: NodeId, ppv: PrimePpv) {
+        self.insert_shared(hub, Arc::new(ppv));
+    }
+
+    /// Inserts (or replaces) an already-shared prime PPV without copying
+    /// its entries — the sharing path of [`crate::dynamic::refresh_index`].
+    pub fn insert_shared(&mut self, hub: NodeId, ppv: Arc<PrimePpv>) {
         let slot = &mut self.slots[hub as usize];
         match slot {
             Some(old) => self.total_entries -= old.len(),
             None => self.hub_ids.push(hub),
         }
         self.total_entries += ppv.len();
-        *slot = Some(Arc::new(ppv));
+        *slot = Some(ppv);
+    }
+
+    /// The stored prime PPV of `hub`, borrowed (no refcount traffic).
+    pub fn get(&self, hub: NodeId) -> Option<&PrimePpv> {
+        self.slots.get(hub as usize).and_then(|s| s.as_deref())
+    }
+
+    /// The stored prime PPV of `hub` as a shared handle (for callers that
+    /// retain it past the index borrow, e.g. index refresh reuse).
+    pub fn get_shared(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        self.slots.get(hub as usize).and_then(|s| s.clone())
     }
 
     /// Indexed hub ids, in insertion order.
@@ -138,37 +328,26 @@ impl MemoryIndex {
 
     /// Serializes the index to the `FPPVIDX1` format.
     pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&0u32.to_le_bytes())?;
-        w.write_all(&(self.hub_ids.len() as u64).to_le_bytes())?;
-        // Directory.
-        let mut offset = (HEADER_LEN + self.hub_ids.len() * DIR_RECORD_LEN) as u64;
         let mut sorted_hubs = self.hub_ids.clone();
         sorted_hubs.sort_unstable();
-        for &h in &sorted_hubs {
-            let ppv = self.slots[h as usize].as_ref().expect("indexed hub");
-            w.write_all(&h.to_le_bytes())?;
-            w.write_all(&offset.to_le_bytes())?;
-            w.write_all(&(ppv.len() as u32).to_le_bytes())?;
-            offset += (ppv.len() * ENTRY_LEN) as u64;
-        }
-        // Data blobs.
-        for &h in &sorted_hubs {
-            let ppv = self.slots[h as usize].as_ref().expect("indexed hub");
-            for &(id, s) in ppv.entries.entries() {
-                w.write_all(&id.to_le_bytes())?;
-                w.write_all(&(s as f32).to_le_bytes())?;
-            }
-        }
-        w.flush()
+        write_index_file(path, &sorted_hubs, |h| {
+            PpvRef::Aos(
+                self.slots[h as usize]
+                    .as_ref()
+                    .expect("indexed hub")
+                    .entries
+                    .entries(),
+            )
+        })
     }
 }
 
 impl PpvStore for MemoryIndex {
-    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
-        self.slots.get(hub as usize).and_then(|s| s.clone())
+    fn view(&self, hub: NodeId) -> Option<PpvRef<'_>> {
+        self.slots
+            .get(hub as usize)
+            .and_then(|s| s.as_deref())
+            .map(|ppv| PpvRef::Aos(ppv.entries.entries()))
     }
 
     fn contains(&self, hub: NodeId) -> bool {
@@ -181,6 +360,305 @@ impl PpvStore for MemoryIndex {
 
     fn total_entries(&self) -> usize {
         self.total_entries
+    }
+}
+
+/// Sentinel for "node is not an indexed hub" in [`FlatIndex::slot_of`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// The flat structure-of-arrays PPV index — the online hot path.
+///
+/// All entries live in one contiguous arena (`ids` / `scores`, parallel
+/// arrays); a per-hub directory (`starts` / `lens`) carves it into
+/// segments, and a second arena holds each segment's precomputed
+/// *border-hub sublist*: the positions of the entries that are themselves
+/// hubs, so the query engine's `step()` walks only the expansion
+/// candidates instead of filtering every entry through a hub mask.
+///
+/// Reads are zero-copy: [`PpvStore::view`] returns slices into the arena.
+///
+/// ## Dynamic updates
+///
+/// [`FlatIndex::replace`] patches a segment by tombstoning the old one and
+/// appending the new entries at the arena tail (so readers holding other
+/// segments see stable memory and the patch is O(new segment)). When dead
+/// entries exceed [`FlatIndex::COMPACTION_THRESHOLD`] of the arena the
+/// whole arena is compacted in one pass.
+#[derive(Clone, Debug)]
+pub struct FlatIndex {
+    /// node id → directory slot (or [`NO_SLOT`]).
+    slot_of: Vec<u32>,
+    /// slot → hub id.
+    hub_ids: Vec<NodeId>,
+    /// slot → arena start of the hub's segment.
+    starts: Vec<u64>,
+    /// slot → segment length (entries).
+    lens: Vec<u32>,
+    /// Entry node ids, all segments concatenated.
+    ids: Vec<NodeId>,
+    /// Entry scores, parallel to `ids`.
+    scores: Vec<f64>,
+    /// slot → start into the border arena.
+    border_starts: Vec<u64>,
+    /// slot → border sublist length.
+    border_lens: Vec<u32>,
+    /// Border-hub node ids.
+    border_ids: Vec<NodeId>,
+    /// Border-hub positions *within the owning segment* (indexes into the
+    /// segment's `ids`/`scores` slices).
+    border_pos: Vec<u32>,
+    /// Live (non-tombstoned) arena entries.
+    live_entries: usize,
+    /// Tombstoned arena entries awaiting compaction.
+    dead_entries: usize,
+    /// Compactions performed over the arena's lifetime.
+    compactions: u64,
+}
+
+impl FlatIndex {
+    /// Dead-entry fraction of the arena that triggers compaction on the
+    /// next [`FlatIndex::replace`].
+    pub const COMPACTION_THRESHOLD: f64 = 0.3;
+
+    /// An empty arena for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlatIndex {
+            slot_of: vec![NO_SLOT; n],
+            hub_ids: Vec::new(),
+            starts: Vec::new(),
+            lens: Vec::new(),
+            ids: Vec::new(),
+            scores: Vec::new(),
+            border_starts: Vec::new(),
+            border_lens: Vec::new(),
+            border_ids: Vec::new(),
+            border_pos: Vec::new(),
+            live_entries: 0,
+            dead_entries: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Builds the arena from a [`MemoryIndex`] (hubs laid out in ascending
+    /// hub-id order, so two builds from equal inputs are byte-identical).
+    pub fn from_memory(index: &MemoryIndex, hubs: &HubSet) -> Self {
+        let mut sorted: Vec<NodeId> = index.hub_ids().to_vec();
+        sorted.sort_unstable();
+        let mut flat = FlatIndex::new(index.capacity());
+        flat.ids.reserve_exact(index.total_entries());
+        flat.scores.reserve_exact(index.total_entries());
+        for h in sorted {
+            let ppv = index.get(h).expect("indexed hub");
+            flat.append_segment(h, &PpvRef::Aos(ppv.entries.entries()), hubs);
+        }
+        flat
+    }
+
+    /// Builds the arena from any store (e.g. a [`DiskIndex`], to pull a
+    /// file-resident index into the zero-copy layout). Hubs are laid out
+    /// in the order given.
+    pub fn from_store<S: PpvStore>(n: usize, store: &S, hub_ids: &[NodeId], hubs: &HubSet) -> Self {
+        let mut flat = FlatIndex::new(n);
+        flat.ids.reserve_exact(store.total_entries());
+        flat.scores.reserve_exact(store.total_entries());
+        for &h in hub_ids {
+            let view = store.view(h).expect("hub listed but not stored");
+            flat.append_segment(h, &view, hubs);
+        }
+        flat
+    }
+
+    /// Appends a brand-new segment for `hub` (which must not be indexed
+    /// yet — use [`FlatIndex::replace`] to patch an existing hub).
+    pub fn insert(&mut self, hub: NodeId, ppv: &PrimePpv, hubs: &HubSet) {
+        assert!(
+            self.slot_of[hub as usize] == NO_SLOT,
+            "hub {hub} already indexed (use replace)"
+        );
+        self.append_segment(hub, &PpvRef::Aos(ppv.entries.entries()), hubs);
+    }
+
+    /// Replaces `hub`'s prime PPV: tombstone-and-append, then compaction
+    /// once the dead fraction crosses [`FlatIndex::COMPACTION_THRESHOLD`].
+    pub fn replace(&mut self, hub: NodeId, ppv: &PrimePpv, hubs: &HubSet) {
+        let view = PpvRef::Aos(ppv.entries.entries());
+        let slot = self.slot_of[hub as usize];
+        if slot == NO_SLOT {
+            self.append_segment(hub, &view, hubs);
+            return;
+        }
+        let slot = slot as usize;
+        // Tombstone the old segment (its arena range is simply abandoned).
+        let old_len = self.lens[slot] as usize;
+        self.live_entries -= old_len;
+        self.dead_entries += old_len;
+        // Append the new segment and point the directory at it.
+        let (start, border_start, n_border) = self.push_segment_data(&view, hubs);
+        self.starts[slot] = start;
+        self.lens[slot] = view.len() as u32;
+        self.border_starts[slot] = border_start;
+        self.border_lens[slot] = n_border;
+        if (self.dead_entries as f64)
+            > Self::COMPACTION_THRESHOLD * (self.live_entries + self.dead_entries) as f64
+        {
+            self.compact();
+        }
+    }
+
+    /// Rewrites the arena without tombstoned segments (ascending hub-id
+    /// order, the same layout a fresh [`FlatIndex::from_memory`] build
+    /// produces).
+    pub fn compact(&mut self) {
+        let mut sorted: Vec<NodeId> = self.hub_ids.clone();
+        sorted.sort_unstable();
+        let mut ids = Vec::with_capacity(self.live_entries);
+        let mut scores = Vec::with_capacity(self.live_entries);
+        let mut border_ids = Vec::with_capacity(self.border_ids.len());
+        let mut border_pos = Vec::with_capacity(self.border_pos.len());
+        let mut starts = vec![0u64; self.starts.len()];
+        let mut border_starts = vec![0u64; self.border_starts.len()];
+        for &h in &sorted {
+            let slot = self.slot_of[h as usize] as usize;
+            let (s, l) = (self.starts[slot] as usize, self.lens[slot] as usize);
+            starts[slot] = ids.len() as u64;
+            ids.extend_from_slice(&self.ids[s..s + l]);
+            scores.extend_from_slice(&self.scores[s..s + l]);
+            let (bs, bl) = (
+                self.border_starts[slot] as usize,
+                self.border_lens[slot] as usize,
+            );
+            border_starts[slot] = border_ids.len() as u64;
+            border_ids.extend_from_slice(&self.border_ids[bs..bs + bl]);
+            border_pos.extend_from_slice(&self.border_pos[bs..bs + bl]);
+        }
+        self.ids = ids;
+        self.scores = scores;
+        self.border_ids = border_ids;
+        self.border_pos = border_pos;
+        self.starts = starts;
+        self.border_starts = border_starts;
+        self.dead_entries = 0;
+        self.compactions += 1;
+    }
+
+    /// Appends a fresh directory slot for `hub` backed by a new arena
+    /// segment.
+    fn append_segment(&mut self, hub: NodeId, view: &PpvRef<'_>, hubs: &HubSet) {
+        let slot = self.hub_ids.len() as u32;
+        self.slot_of[hub as usize] = slot;
+        self.hub_ids.push(hub);
+        let (start, border_start, n_border) = self.push_segment_data(view, hubs);
+        self.starts.push(start);
+        self.lens.push(view.len() as u32);
+        self.border_starts.push(border_start);
+        self.border_lens.push(n_border);
+    }
+
+    /// Copies one segment's entries (and its border-hub sublist) to the
+    /// arena tail — the single place the segment encoding is written.
+    /// Returns `(start, border_start, n_border)` for the directory.
+    fn push_segment_data(&mut self, view: &PpvRef<'_>, hubs: &HubSet) -> (u64, u64, u32) {
+        let start = self.ids.len() as u64;
+        let border_start = self.border_ids.len() as u64;
+        let mut n_border = 0u32;
+        view.for_each(|id, s| {
+            if hubs.is_hub(id) {
+                self.border_ids.push(id);
+                self.border_pos.push((self.ids.len() as u64 - start) as u32);
+                n_border += 1;
+            }
+            self.ids.push(id);
+            self.scores.push(s);
+        });
+        self.live_entries += view.len();
+        (start, border_start, n_border)
+    }
+
+    /// Indexed hub ids, in slot order (insertion order).
+    pub fn hub_ids(&self) -> &[NodeId] {
+        &self.hub_ids
+    }
+
+    /// Number of node slots (the graph size the arena was created for).
+    pub fn capacity(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Tombstoned arena entries currently awaiting compaction.
+    pub fn dead_entries(&self) -> usize {
+        self.dead_entries
+    }
+
+    /// Compactions performed over the arena's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Bytes resident in the arena arrays (including tombstoned segments
+    /// and the border sublists) — the in-RAM figure, as opposed to the
+    /// on-disk-equivalent [`PpvStore::storage_bytes`].
+    pub fn arena_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<NodeId>()
+            + self.scores.len() * std::mem::size_of::<f64>()
+            + self.border_ids.len() * std::mem::size_of::<NodeId>()
+            + self.border_pos.len() * std::mem::size_of::<u32>()
+            + self.starts.len() * (8 + 4 + 8 + 4)
+            + self.slot_of.len() * 4
+    }
+
+    /// Serializes to the `FPPVIDX1` format (byte-identical to a
+    /// [`MemoryIndex`] holding the same PPVs).
+    pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut sorted = self.hub_ids.clone();
+        sorted.sort_unstable();
+        write_index_file(path, &sorted, |h| self.view(h).expect("indexed hub"))
+    }
+}
+
+impl PpvStore for FlatIndex {
+    #[inline]
+    fn view(&self, hub: NodeId) -> Option<PpvRef<'_>> {
+        let slot = *self.slot_of.get(hub as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        let slot = slot as usize;
+        let (start, len) = (self.starts[slot] as usize, self.lens[slot] as usize);
+        Some(PpvRef::Soa {
+            ids: &self.ids[start..start + len],
+            scores: &self.scores[start..start + len],
+        })
+    }
+
+    fn contains(&self, hub: NodeId) -> bool {
+        self.slot_of
+            .get(hub as usize)
+            .is_some_and(|&s| s != NO_SLOT)
+    }
+
+    fn hub_count(&self) -> usize {
+        self.hub_ids.len()
+    }
+
+    fn total_entries(&self) -> usize {
+        self.live_entries
+    }
+
+    #[inline]
+    fn border_sublist(&self, hub: NodeId) -> Option<(&[NodeId], &[u32])> {
+        let slot = *self.slot_of.get(hub as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        let slot = slot as usize;
+        let (start, len) = (
+            self.border_starts[slot] as usize,
+            self.border_lens[slot] as usize,
+        );
+        Some((
+            &self.border_ids[start..start + len],
+            &self.border_pos[start..start + len],
+        ))
     }
 }
 
@@ -224,7 +702,7 @@ pub struct DiskIndex {
     directory: HashMap<NodeId, (u64, u32)>,
     total_entries: usize,
     cache: Mutex<FifoCache>,
-    reads: Mutex<u64>,
+    reads: AtomicU64,
 }
 
 impl DiskIndex {
@@ -289,13 +767,13 @@ impl DiskIndex {
             directory,
             total_entries,
             cache: Mutex::new(FifoCache::new(cache_capacity)),
-            reads: Mutex::new(0),
+            reads: AtomicU64::new(0),
         })
     }
 
     /// Number of disk reads performed so far (cache misses).
     pub fn disk_reads(&self) -> u64 {
-        *self.reads.lock()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Indexed hub ids, sorted ascending. The hub set is implicit in the
@@ -307,13 +785,33 @@ impl DiskIndex {
         ids
     }
 
+    /// The stored prime PPV of `hub`, served from the read cache when
+    /// possible. The cache lock is taken exactly once and held across the
+    /// (already file-lock serialized) miss read — deliberately trading
+    /// concurrent hits during a cold miss (they wait one disk read) for a
+    /// single lock acquisition per `get`; a hot multi-reader deployment
+    /// should serve from a [`FlatIndex`] instead.
+    pub fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
+        let &(offset, count) = self.directory.get(&hub)?;
+        let mut cache = self.cache.lock();
+        if let Some(hit) = cache.get(hub) {
+            return Some(hit);
+        }
+        let ppv = Arc::new(
+            self.read_ppv(offset, count)
+                .expect("index file truncated or corrupt"),
+        );
+        cache.put(hub, Arc::clone(&ppv));
+        Some(ppv)
+    }
+
     fn read_ppv(&self, offset: u64, count: u32) -> io::Result<PrimePpv> {
         let mut buf = vec![0u8; count as usize * ENTRY_LEN];
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(&mut buf)?;
-            *self.reads.lock() += 1;
+            self.reads.fetch_add(1, Ordering::Relaxed);
         }
         let mut entries = Vec::with_capacity(count as usize);
         for rec in buf.chunks_exact(ENTRY_LEN) {
@@ -328,17 +826,8 @@ impl DiskIndex {
 }
 
 impl PpvStore for DiskIndex {
-    fn get(&self, hub: NodeId) -> Option<Arc<PrimePpv>> {
-        if let Some(hit) = self.cache.lock().get(hub) {
-            return Some(hit);
-        }
-        let &(offset, count) = self.directory.get(&hub)?;
-        let ppv = Arc::new(
-            self.read_ppv(offset, count)
-                .expect("index file truncated or corrupt"),
-        );
-        self.cache.lock().put(hub, Arc::clone(&ppv));
-        Some(ppv)
+    fn view(&self, hub: NodeId) -> Option<PpvRef<'_>> {
+        self.get(hub).map(PpvRef::Owned)
     }
 
     fn contains(&self, hub: NodeId) -> bool {
@@ -387,6 +876,8 @@ mod tests {
         assert!(idx.contains(3) && !idx.contains(4));
         assert_eq!(idx.get(3).unwrap().entries.get(2), 0.25);
         assert!(idx.get(4).is_none());
+        assert!(idx.view(4).is_none());
+        assert_eq!(idx.load(3).unwrap().entries.get(1), 0.5);
     }
 
     #[test]
@@ -397,6 +888,160 @@ mod tests {
         assert_eq!(idx.hub_count(), 1);
         assert_eq!(idx.total_entries(), 1);
         assert_eq!(idx.get(3).unwrap().entries.get(1), 0.9);
+    }
+
+    #[test]
+    fn ppv_ref_variants_agree() {
+        let ppv = sample_ppv(&[(1, 0.5), (4, 0.25), (9, 0.125)]);
+        let ids: Vec<NodeId> = ppv.entries.entries().iter().map(|&(v, _)| v).collect();
+        let scores: Vec<f64> = ppv.entries.entries().iter().map(|&(_, s)| s).collect();
+        let views = [
+            PpvRef::Soa {
+                ids: &ids,
+                scores: &scores,
+            },
+            PpvRef::Aos(ppv.entries.entries()),
+            PpvRef::Owned(Arc::new(ppv.clone())),
+        ];
+        for view in &views {
+            assert_eq!(view.len(), 3);
+            assert_eq!(view.to_prime_ppv(), ppv);
+            assert_eq!(view.score_at(1), 0.25);
+            assert!((view.l1_norm() - 0.875).abs() < 1e-15);
+            let mut collected = Vec::new();
+            view.for_each(|v, s| collected.push((v, s)));
+            assert_eq!(collected, ppv.entries.entries());
+        }
+    }
+
+    #[test]
+    fn flat_index_matches_memory_index() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(3, sample_ppv(&[(1, 0.5), (2, 0.25), (7, 0.1)]));
+        idx.insert(7, sample_ppv(&[(0, 0.1), (3, 0.2)]));
+        idx.insert(5, sample_ppv(&[]));
+        let hubs = HubSet::from_ids(10, vec![3, 5, 7]);
+        let flat = FlatIndex::from_memory(&idx, &hubs);
+        assert_eq!(flat.hub_count(), 3);
+        assert_eq!(flat.total_entries(), 5);
+        assert_eq!(flat.storage_bytes(), idx.storage_bytes());
+        for h in [3u32, 5, 7] {
+            assert!(flat.contains(h));
+            assert_eq!(flat.load(h).unwrap(), *idx.get(h).unwrap(), "hub {h}");
+        }
+        assert!(!flat.contains(4));
+        assert!(flat.view(4).is_none());
+    }
+
+    #[test]
+    fn flat_index_border_sublist_points_at_hub_entries() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(2, sample_ppv(&[(1, 0.5), (4, 0.3), (6, 0.2), (9, 0.1)]));
+        idx.insert(4, sample_ppv(&[(2, 0.7)]));
+        let hubs = HubSet::from_ids(10, vec![2, 4, 9]);
+        let flat = FlatIndex::from_memory(&idx, &hubs);
+        let (bids, bpos) = flat.border_sublist(2).unwrap();
+        assert_eq!(bids, &[4, 9]);
+        let view = flat.view(2).unwrap();
+        let borders: Vec<(NodeId, f64)> = bids
+            .iter()
+            .zip(bpos)
+            .map(|(&id, &p)| (id, view.score_at(p as usize)))
+            .collect();
+        let expected: Vec<(NodeId, f64)> = idx.get(2).unwrap().border_hubs(&hubs).collect();
+        assert_eq!(borders, expected);
+        // Non-hub-entry segments have empty sublists.
+        let (bids4, _) = flat.border_sublist(4).unwrap();
+        assert_eq!(bids4, &[2]);
+    }
+
+    #[test]
+    fn flat_replace_tombstones_then_compacts() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(1, sample_ppv(&[(2, 0.5), (3, 0.25)]));
+        idx.insert(2, sample_ppv(&[(1, 0.5)]));
+        let hubs = HubSet::from_ids(10, vec![1, 2]);
+        let mut flat = FlatIndex::from_memory(&idx, &hubs);
+        assert_eq!(flat.dead_entries(), 0);
+        flat.replace(1, &sample_ppv(&[(2, 0.9), (5, 0.05)]), &hubs);
+        // 2 of 5 arena entries are dead (40% > 30%): compaction fired.
+        assert_eq!(flat.dead_entries(), 0, "threshold crossed, compacted");
+        assert_eq!(flat.total_entries(), 3);
+        assert_eq!(
+            flat.load(1).unwrap().entries.entries(),
+            &[(2, 0.9), (5, 0.05)]
+        );
+        assert_eq!(flat.load(2).unwrap().entries.entries(), &[(1, 0.5)]);
+        // Border sublists survive the patch + compaction.
+        let (bids, _) = flat.border_sublist(1).unwrap();
+        assert_eq!(bids, &[2]);
+    }
+
+    #[test]
+    fn flat_replace_below_threshold_keeps_tombstones() {
+        let mut idx = MemoryIndex::new(20);
+        let big: Vec<(NodeId, f64)> = (0..15).map(|v| (v, 0.01)).collect();
+        idx.insert(1, sample_ppv(&big));
+        idx.insert(2, sample_ppv(&[(3, 0.5)]));
+        let hubs = HubSet::from_ids(20, vec![1, 2]);
+        let mut flat = FlatIndex::from_memory(&idx, &hubs);
+        flat.replace(2, &sample_ppv(&[(4, 0.25)]), &hubs);
+        // 1 dead of 17 total: below the 30% threshold, tombstone retained.
+        assert_eq!(flat.dead_entries(), 1);
+        assert_eq!(flat.total_entries(), 16);
+        assert_eq!(flat.load(2).unwrap().entries.entries(), &[(4, 0.25)]);
+        flat.compact();
+        assert_eq!(flat.dead_entries(), 0);
+        assert_eq!(flat.load(2).unwrap().entries.entries(), &[(4, 0.25)]);
+    }
+
+    #[test]
+    fn flat_insert_appends_new_hub() {
+        let hubs = HubSet::from_ids(10, vec![1, 6]);
+        let mut flat = FlatIndex::new(10);
+        flat.insert(1, &sample_ppv(&[(0, 0.5), (6, 0.1)]), &hubs);
+        flat.insert(6, &sample_ppv(&[(1, 0.3)]), &hubs);
+        assert_eq!(flat.hub_count(), 2);
+        assert_eq!(flat.border_sublist(1).unwrap().0, &[6]);
+        assert_eq!(flat.load(6).unwrap().entries.entries(), &[(1, 0.3)]);
+    }
+
+    #[test]
+    fn flat_write_matches_memory_write() {
+        let mut idx = MemoryIndex::new(100);
+        idx.insert(42, sample_ppv(&[(0, 0.125), (42, 0.5), (99, 0.0625)]));
+        idx.insert(7, sample_ppv(&[(7, 1.0)]));
+        let hubs = HubSet::from_ids(100, vec![7, 42]);
+        let flat = FlatIndex::from_memory(&idx, &hubs);
+        let pm = temp_path("mem.idx");
+        let pf = temp_path("flat.idx");
+        idx.write_to_file(&pm).unwrap();
+        flat.write_to_file(&pf).unwrap();
+        assert_eq!(
+            std::fs::read(&pm).unwrap(),
+            std::fs::read(&pf).unwrap(),
+            "flat and memory serialization must be byte-identical"
+        );
+        std::fs::remove_file(&pm).unwrap();
+        std::fs::remove_file(&pf).unwrap();
+    }
+
+    #[test]
+    fn flat_from_store_round_trips_disk() {
+        let mut idx = MemoryIndex::new(50);
+        idx.insert(10, sample_ppv(&[(1, 0.5), (20, 0.25)]));
+        idx.insert(20, sample_ppv(&[(10, 0.125)]));
+        let path = temp_path("fromstore.idx");
+        idx.write_to_file(&path).unwrap();
+        let disk = DiskIndex::open(&path, 4).unwrap();
+        let hubs = HubSet::from_ids(50, disk.hub_ids());
+        let flat = FlatIndex::from_store(50, &disk, &disk.hub_ids(), &hubs);
+        assert_eq!(flat.hub_count(), 2);
+        for h in [10u32, 20] {
+            assert_eq!(flat.load(h).unwrap(), *disk.get(h).unwrap(), "hub {h}");
+        }
+        assert_eq!(flat.border_sublist(10).unwrap().0, &[20]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -420,6 +1065,7 @@ mod tests {
             }
         }
         assert!(disk.get(1).is_none());
+        assert!(disk.view(1).is_none());
         std::fs::remove_file(&path).unwrap();
     }
 

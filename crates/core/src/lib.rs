@@ -13,7 +13,10 @@
 //! 2. [`prime`] extracts, per node, the *prime subgraph* (the hub-free
 //!    neighborhood, pruned at reachability `ε`) and computes its *prime PPV*.
 //! 3. [`offline`] precomputes prime PPVs for every hub into a [`index`]
-//!    (in-memory or on-disk) — the query-independent building blocks.
+//!    (in-memory or on-disk) — the query-independent building blocks. The
+//!    serving layout is the flat structure-of-arrays arena
+//!    ([`index::FlatIndex`], built by [`offline::build_flat_index`]), whose
+//!    reads are zero-copy borrowed views ([`index::PpvRef`]).
 //! 4. [`query`] answers queries incrementally: iteration `i` assembles the
 //!    tour partition `T^i` from the previous increment and the stored prime
 //!    PPVs (Theorem 4), adding one increment per iteration. After each
@@ -73,7 +76,9 @@ pub mod query;
 pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
 pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
-pub use index::{DiskIndex, MemoryIndex, PpvStore, PrimePpv};
-pub use offline::{build_index, build_index_parallel, OfflineStats};
+pub use index::{DiskIndex, FlatIndex, MemoryIndex, PpvRef, PpvStore, PrimePpv};
+pub use offline::{build_flat_index, build_index, build_index_parallel, OfflineStats};
 pub use prime::{PrimeComputer, PrimeSubgraph};
-pub use query::{QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult};
+pub use query::{
+    IncrementScratch, QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult,
+};

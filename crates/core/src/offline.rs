@@ -13,7 +13,7 @@ use fastppv_graph::Graph;
 
 use crate::config::Config;
 use crate::hubs::HubSet;
-use crate::index::{MemoryIndex, PpvStore, PrimePpv};
+use crate::index::{FlatIndex, MemoryIndex, PpvStore, PrimePpv};
 use crate::prime::PrimeComputer;
 
 /// Statistics from an offline build.
@@ -116,6 +116,23 @@ pub fn build_index_parallel(
     (index, stats)
 }
 
+/// Builds the PPV index directly into the flat structure-of-arrays arena
+/// (the online hot-path layout): a [`build_index_parallel`] build followed
+/// by [`FlatIndex::from_memory`]. The conversion is one linear pass over
+/// the entries and is included in the reported build time.
+pub fn build_flat_index(
+    graph: &Graph,
+    hubs: &HubSet,
+    config: &Config,
+    threads: usize,
+) -> (FlatIndex, OfflineStats) {
+    let start = Instant::now();
+    let (memory, mut stats) = build_index_parallel(graph, hubs, config, threads);
+    let flat = FlatIndex::from_memory(&memory, hubs);
+    stats.build_time = start.elapsed();
+    (flat, stats)
+}
+
 fn ratio(total: usize, count: usize) -> f64 {
     if count == 0 {
         0.0
@@ -161,6 +178,20 @@ mod tests {
                 parallel.get(h).unwrap().entries,
                 "hub {h}"
             );
+        }
+    }
+
+    #[test]
+    fn flat_build_matches_memory_build() {
+        let g = barabasi_albert(500, 3, 13);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 40, 0);
+        let config = Config::default();
+        let (memory, m_stats) = build_index(&g, &hubs, &config);
+        let (flat, f_stats) = build_flat_index(&g, &hubs, &config, 1);
+        assert_eq!(m_stats.total_entries, f_stats.total_entries);
+        assert_eq!(flat.hub_count(), memory.hub_count());
+        for &h in hubs.ids() {
+            assert_eq!(flat.load(h).unwrap(), *memory.get(h).unwrap(), "hub {h}");
         }
     }
 

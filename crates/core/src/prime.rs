@@ -136,9 +136,13 @@ pub struct PrimeComputer {
     local_of: Vec<u32>,
     touched: Vec<NodeId>,
     heap: BinaryHeap<ProbEntry>,
-    // Solve scratch, sized per subgraph.
+    // Solve scratch, sized per subgraph and reused across solves (the
+    // reusable-workspace contract: no per-call allocations once warm).
     mass: Vec<f64>,
     mass_next: Vec<f64>,
+    absorbed: Vec<f64>,
+    in_queue: Vec<bool>,
+    queue: std::collections::VecDeque<u32>,
 }
 
 const NO_LOCAL: u32 = u32::MAX;
@@ -153,6 +157,9 @@ impl PrimeComputer {
             heap: BinaryHeap::new(),
             mass: Vec::new(),
             mass_next: Vec::new(),
+            absorbed: Vec::new(),
+            in_queue: Vec::new(),
+            queue: std::collections::VecDeque::new(),
         }
     }
 
@@ -297,26 +304,28 @@ impl PrimeComputer {
         let ntot = sub.num_nodes();
         let theta = config.solve_tolerance;
         // mass = settled visit mass m; mass_next = pending residual ρ.
+        // All solve scratch lives in the computer and is cleared on reuse.
         self.mass.clear();
         self.mass.resize(ni, 0.0);
         self.mass_next.clear();
         self.mass_next.resize(ni, 0.0);
-        let mut absorbed = vec![0.0; ntot - ni];
+        self.absorbed.clear();
+        self.absorbed.resize(ntot - ni, 0.0);
+        self.in_queue.clear();
+        self.in_queue.resize(ni, false);
+        self.queue.clear();
         let mut source_returns = 0.0;
-        let mut in_queue = vec![false; ni];
-        let mut queue: std::collections::VecDeque<u32> =
-            std::collections::VecDeque::with_capacity(ni.min(1024));
         self.mass_next[0] = 1.0;
-        in_queue[0] = true;
-        queue.push_back(0);
+        self.in_queue[0] = true;
+        self.queue.push_back(0);
         let max_pushes = config
             .solve_max_iterations
             .saturating_mul(ni.max(1))
             .max(1_000);
         let mut pushes = 0usize;
-        while let Some(u) = queue.pop_front() {
+        while let Some(u) = self.queue.pop_front() {
             let u = u as usize;
-            in_queue[u] = false;
+            self.in_queue[u] = false;
             let r = self.mass_next[u];
             if r == 0.0 {
                 continue;
@@ -335,16 +344,16 @@ impl PrimeComputer {
             for &t in sub.targets(u) {
                 let t = t as usize;
                 if t >= ni {
-                    absorbed[t - ni] += share;
+                    self.absorbed[t - ni] += share;
                 } else if t == 0 && sub.source_is_hub {
                     // Mass returning to a hub source absorbs (the second
                     // visit would be an interior hub occurrence).
                     source_returns += share;
                 } else {
                     self.mass_next[t] += share;
-                    if self.mass_next[t] > theta && !in_queue[t] {
-                        in_queue[t] = true;
-                        queue.push_back(t as u32);
+                    if self.mass_next[t] > theta && !self.in_queue[t] {
+                        self.in_queue[t] = true;
+                        self.queue.push_back(t as u32);
                     }
                 }
             }
@@ -366,7 +375,7 @@ impl PrimeComputer {
                 entries.push((sub.nodes[u], s));
             }
         }
-        for (i, &a) in absorbed.iter().enumerate() {
+        for (i, &a) in self.absorbed.iter().enumerate() {
             let s = alpha * a;
             if s >= clip && s > 0.0 {
                 entries.push((sub.nodes[ni + i], s));
@@ -545,6 +554,23 @@ mod tests {
         assert_eq!(first.nodes, third.nodes);
         assert_eq!(first.adj_targets, third.adj_targets);
         assert_eq!(first.num_interior, third.num_interior);
+    }
+
+    #[test]
+    fn solve_scratch_reuse_is_clean() {
+        // The solve scratch (absorbed / in_queue / queue) now lives in the
+        // computer; interleaved solves of different subgraphs must not
+        // contaminate each other.
+        let g = barabasi_albert(300, 3, 5);
+        let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 20, 0);
+        let config = Config::default();
+        let mut pc = PrimeComputer::new(300);
+        let sub_a = pc.extract(&g, &hubs, 0, &config);
+        let sub_b = pc.extract(&g, &hubs, 7, &config);
+        let first_a = pc.solve(&sub_a, &config, 0.0);
+        let _b = pc.solve(&sub_b, &config, 0.0);
+        let again_a = pc.solve(&sub_a, &config, 0.0);
+        assert_eq!(first_a, again_a);
     }
 
     #[test]

@@ -12,6 +12,20 @@
 //! After every iteration the L1 error of the running estimate is exactly
 //! `φ(k) = 1 − ‖r̂_q^(k)‖₁` (Eq. 6) — no exact PPV needed — which powers the
 //! accuracy-aware [`StoppingCondition`].
+//!
+//! ## The allocation-free hot path
+//!
+//! The increment loop never materializes intermediate sparse vectors: the
+//! running estimate lives in a dense [`ScoreScratch`] inside the
+//! [`IncrementScratch`], increments are accumulated straight into it from
+//! borrowed store views ([`PpvRef`]), the frontier of border hubs is
+//! tracked in a second dense scratch and drained into a reused buffer, and
+//! the covered mass `‖r̂‖₁` is maintained incrementally. The sorted sparse
+//! estimate is materialized exactly once, in
+//! [`IncrementalState::into_result`]. On a warmed-up workspace over a
+//! [`crate::index::FlatIndex`], [`IncrementalState::step`] performs no
+//! heap allocation at all (the per-iteration stats vector is preallocated
+//! for 16 iterations and only reallocates — amortized — beyond that).
 
 use std::time::{Duration, Instant};
 
@@ -19,7 +33,7 @@ use fastppv_graph::{Graph, NodeId, ScoreScratch, SparseVector};
 
 use crate::config::Config;
 use crate::hubs::HubSet;
-use crate::index::PpvStore;
+use crate::index::{PpvRef, PpvStore};
 use crate::prime::PrimeComputer;
 
 /// When to stop the incremental iterations. Conditions combine with OR: the
@@ -148,12 +162,46 @@ pub struct TopKResult {
     pub l1_error: f64,
 }
 
+/// The dense per-query scratch Algorithm 2's increment loop runs over:
+/// the running estimate, the border-hub frontier accumulator, and the
+/// reused previous-increment buffer. Graph-sized once, reused across
+/// queries; [`IncrementalState`] holds only bookkeeping, so the same
+/// scratch serves the in-memory engine and the disk engine in
+/// `fastppv-cluster`.
+pub struct IncrementScratch {
+    estimate: ScoreScratch,
+    frontier: ScoreScratch,
+    prev: Vec<(NodeId, f64)>,
+}
+
+impl IncrementScratch {
+    /// A scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        IncrementScratch {
+            estimate: ScoreScratch::new(n),
+            frontier: ScoreScratch::new(n),
+            prev: Vec::new(),
+        }
+    }
+
+    /// Number of node slots the scratch covers.
+    pub fn capacity(&self) -> usize {
+        self.estimate.capacity()
+    }
+
+    fn reset(&mut self) {
+        self.estimate.clear();
+        self.frontier.clear();
+        self.prev.clear();
+    }
+}
+
 /// Per-query mutable scratch space, sized to the graph once and reused
 /// across queries. The engine itself is immutable at query time; each
 /// thread (or each in-flight query) brings its own workspace.
 pub struct QueryWorkspace {
     prime: PrimeComputer,
-    scratch: ScoreScratch,
+    inc: IncrementScratch,
 }
 
 impl QueryWorkspace {
@@ -161,13 +209,13 @@ impl QueryWorkspace {
     pub fn new(n: usize) -> Self {
         QueryWorkspace {
             prime: PrimeComputer::new(n),
-            scratch: ScoreScratch::new(n),
+            inc: IncrementScratch::new(n),
         }
     }
 
     /// Number of node slots the workspace covers.
     pub fn capacity(&self) -> usize {
-        self.scratch.capacity()
+        self.inc.capacity()
     }
 }
 
@@ -270,7 +318,7 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
             }
             if session.iterations_done() >= max_iterations || !session.step() {
                 return TopKResult {
-                    nodes: session.estimate().top_k(k),
+                    nodes: session.top_k(k),
                     certified: false,
                     iterations: session.iterations_done(),
                     l1_error: session.l1_error(),
@@ -310,18 +358,29 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
             (q as usize) < self.graph.num_nodes(),
             "query node {q} out of range"
         );
-        // Iteration 0: r̊⁰_q from the index if q is a hub, else on the fly.
-        // Query-time prime PPVs are not clipped (they are never stored).
-        let prime0 = match self.store.get(q) {
-            Some(stored) => (*stored).clone(),
-            None => {
-                ws.get_mut()
-                    .prime
-                    .prime_ppv(self.graph, self.hubs, q, &self.config, 0.0)
-                    .0
+        // Iteration 0: r̊⁰_q viewed straight from the index (zero-copy)
+        // when q is a hub, computed on the fly otherwise. Query-time prime
+        // PPVs are not clipped (they are never stored).
+        let state = {
+            let qws = ws.get_mut();
+            match self.store.view(q) {
+                Some(view) => {
+                    IncrementalState::new(q, view, self.hubs, self.config.alpha, &mut qws.inc)
+                }
+                None => {
+                    let (ppv, _) = qws
+                        .prime
+                        .prime_ppv(self.graph, self.hubs, q, &self.config, 0.0);
+                    IncrementalState::new(
+                        q,
+                        PpvRef::Aos(ppv.entries.entries()),
+                        self.hubs,
+                        self.config.alpha,
+                        &mut qws.inc,
+                    )
+                }
             }
         };
-        let state = IncrementalState::new(q, prime0, self.config.alpha);
         QuerySession {
             engine: self,
             ws,
@@ -330,15 +389,16 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
     }
 }
 
-/// The engine-independent core of Algorithm 2: the running estimate plus the
-/// previous increment, advanced one iteration at a time. Shared by the
-/// in-memory [`QuerySession`] and the disk-based engine in `fastppv-cluster`
-/// (via [`run_increments`]).
+/// The engine-independent bookkeeping of Algorithm 2: covered mass,
+/// iteration count, and diagnostics. The dense numeric state (estimate,
+/// frontier, previous increment) lives in the caller's
+/// [`IncrementScratch`], passed into every method — that is what makes the
+/// loop allocation-free and the scratch reusable across queries. Shared by
+/// the in-memory [`QuerySession`] and the disk-based engine in
+/// `fastppv-cluster` (via [`run_increments`]).
 #[derive(Clone, Debug)]
 pub struct IncrementalState {
     query: NodeId,
-    estimate: SparseVector,
-    prev_increment: SparseVector,
     covered: f64,
     iterations_done: usize,
     exhausted: bool,
@@ -347,24 +407,41 @@ pub struct IncrementalState {
 }
 
 impl IncrementalState {
-    /// Initializes iteration 0 from the query's prime PPV `r̊⁰_q` (with the
-    /// trivial tour excluded, as stored; it is added back here).
-    pub fn new(q: NodeId, prime0: crate::index::PrimePpv, alpha: f64) -> Self {
+    /// Initializes iteration 0 from a view of the query's prime PPV `r̊⁰_q`
+    /// (with the trivial tour excluded, as stored; it is added back here).
+    /// Resets `scratch` first, so a dirty scratch from an abandoned session
+    /// is safe to reuse.
+    pub fn new(
+        q: NodeId,
+        prime0: PpvRef<'_>,
+        hubs: &HubSet,
+        alpha: f64,
+        scratch: &mut IncrementScratch,
+    ) -> Self {
         let started = Instant::now();
-        let mut estimate = prime0.entries.clone();
-        estimate.axpy(1.0, &SparseVector::from_sorted(vec![(q, alpha)]));
-        let covered = estimate.l1_norm();
-        let stats = vec![IterationStats {
+        scratch.reset();
+        let IncrementScratch { estimate, prev, .. } = scratch;
+        let mut covered = 0.0;
+        prime0.for_each(|p, s| {
+            estimate.add(p, s);
+            covered += s;
+            if hubs.is_hub(p) {
+                prev.push((p, s));
+            }
+        });
+        // The trivial tour: α at the query node (excluded from storage).
+        estimate.add(q, alpha);
+        covered += alpha;
+        let mut stats = Vec::with_capacity(16);
+        stats.push(IterationStats {
             iteration: 0,
             increment_mass: covered,
             hubs_expanded: 0,
             l1_error_after: (1.0 - covered).max(0.0),
             elapsed: started.elapsed(),
-        }];
+        });
         IncrementalState {
             query: q,
-            estimate,
-            prev_increment: prime0.entries,
             covered,
             iterations_done: 0,
             exhausted: false,
@@ -375,47 +452,85 @@ impl IncrementalState {
 
     /// Computes the next increment (Theorem 4). Returns `false` when the
     /// frontier is exhausted (no border hub clears `δ`).
+    ///
+    /// `scratch` must be the same scratch this state was created over.
     pub fn step<S: PpvStore>(
         &mut self,
         hubs: &HubSet,
         store: &S,
         config: &Config,
-        scratch: &mut ScoreScratch,
+        scratch: &mut IncrementScratch,
     ) -> bool {
         if self.exhausted {
             return false;
         }
         let inv_alpha = 1.0 / config.alpha;
+        let IncrementScratch {
+            estimate,
+            frontier,
+            prev,
+        } = scratch;
         let mut hubs_expanded = 0usize;
-        for &(h, mass) in self.prev_increment.entries() {
-            if mass <= config.delta || !hubs.is_hub(h) {
+        let mut inc_mass = 0.0;
+        for &(h, mass) in prev.iter() {
+            if mass <= config.delta {
                 continue;
             }
-            let Some(ppv) = store.get(h) else {
+            let Some(view) = store.view(h) else {
                 // Every hub is indexed by construction; a missing entry
                 // would silently bias results, so fail loudly.
                 panic!("hub {h} has no prime PPV in the store");
             };
             hubs_expanded += 1;
             let coeff = mass * inv_alpha;
-            for &(p, s) in ppv.entries.entries() {
-                scratch.add(p, coeff * s);
+            // The bandwidth-bound loop: scale every entry into the dense
+            // estimate. The SoA arm runs over two contiguous slices with
+            // no tuple loads.
+            match &view {
+                PpvRef::Soa { ids, scores } => {
+                    for (&p, &s) in ids.iter().zip(scores.iter()) {
+                        let x = coeff * s;
+                        estimate.add(p, x);
+                        inc_mass += x;
+                    }
+                }
+                other => other.for_each(|p, s| {
+                    let x = coeff * s;
+                    estimate.add(p, x);
+                    inc_mass += x;
+                }),
+            }
+            // The next frontier: only this PPV's hub entries matter. With
+            // a precomputed border sublist we touch exactly those; other
+            // stores fall back to the hub-mask filter.
+            match store.border_sublist(h) {
+                Some((border_ids, border_pos)) => {
+                    for (&b, &pos) in border_ids.iter().zip(border_pos.iter()) {
+                        frontier.add(b, coeff * view.score_at(pos as usize));
+                    }
+                }
+                None => view.for_each(|p, s| {
+                    if hubs.is_hub(p) {
+                        frontier.add(p, coeff * s);
+                    }
+                }),
             }
         }
         if hubs_expanded == 0 {
-            scratch.clear();
             self.exhausted = true;
             return false;
         }
-        let increment = scratch.drain_sparse();
-        let mass = increment.l1_norm();
-        self.covered += mass;
-        self.estimate.axpy(1.0, &increment);
-        self.prev_increment = increment;
+        // The frontier becomes the next previous-increment: drained into
+        // the reused buffer and sorted by node id (in place) so expansion
+        // order — and therefore floating-point accumulation order — is
+        // identical across store implementations.
+        frontier.drain_into(prev);
+        prev.sort_unstable_by_key(|&(id, _)| id);
+        self.covered += inc_mass;
         self.iterations_done += 1;
         self.stats.push(IterationStats {
             iteration: self.iterations_done,
-            increment_mass: mass,
+            increment_mass: inc_mass,
             hubs_expanded,
             l1_error_after: self.l1_error(),
             elapsed: self.started.elapsed(),
@@ -443,9 +558,16 @@ impl IncrementalState {
         self.started.elapsed()
     }
 
-    /// The current estimate.
-    pub fn estimate(&self) -> &SparseVector {
-        &self.estimate
+    /// Materializes the current estimate as a sorted sparse vector (the
+    /// scratch keeps its state). Prefer [`IncrementalState::into_result`],
+    /// which materializes exactly once.
+    pub fn estimate_sparse(&self, scratch: &IncrementScratch) -> SparseVector {
+        scratch.estimate.to_sparse()
+    }
+
+    /// Top-`k` nodes of the current estimate, descending (ties by id).
+    pub fn top_k(&self, k: usize, scratch: &IncrementScratch) -> Vec<(NodeId, f64)> {
+        scratch.estimate.top_k(k)
     }
 
     /// The certified top-`k` set, if the current accuracy proves it.
@@ -458,10 +580,14 @@ impl IncrementalState {
     /// accuracy-aware error into rank certification, in the spirit of the
     /// top-K lines of work the paper cites ([Gupta et al. 2008; Fujiwara et
     /// al. 2012]).
-    pub fn certified_top_k(&self, k: usize) -> Option<Vec<(NodeId, f64)>> {
+    pub fn certified_top_k(
+        &self,
+        k: usize,
+        scratch: &IncrementScratch,
+    ) -> Option<Vec<(NodeId, f64)>> {
         assert!(k > 0, "k must be positive");
         let phi = self.l1_error();
-        let top = self.estimate.top_k(k + 1);
+        let top = scratch.estimate.top_k(k + 1);
         if top.len() <= k {
             // Fewer than k+1 scored nodes: outside nodes have estimate 0,
             // so certification needs the k-th score to beat 0 + φ.
@@ -477,12 +603,14 @@ impl IncrementalState {
         })
     }
 
-    /// Finalizes into a [`QueryResult`].
-    pub fn into_result(self) -> QueryResult {
+    /// Finalizes into a [`QueryResult`], materializing the sorted sparse
+    /// estimate (the single materialization of the query) and resetting
+    /// the scratch's estimate for reuse.
+    pub fn into_result(self, scratch: &mut IncrementScratch) -> QueryResult {
         QueryResult {
             query: self.query,
             l1_error: (1.0 - self.covered).max(0.0),
-            scores: self.estimate,
+            scores: scratch.estimate.drain_sparse(),
             iterations: self.iterations_done,
             elapsed: self.started.elapsed(),
             exhausted: self.exhausted,
@@ -496,20 +624,26 @@ impl IncrementalState {
 /// by other means (e.g. the disk-based engine in `fastppv-cluster`).
 pub fn run_increments<S: PpvStore>(
     q: NodeId,
-    prime0: crate::index::PrimePpv,
+    prime0: &crate::index::PrimePpv,
     hubs: &HubSet,
     store: &S,
     config: &Config,
     stop: &StoppingCondition,
-    scratch: &mut ScoreScratch,
+    scratch: &mut IncrementScratch,
 ) -> QueryResult {
-    let mut state = IncrementalState::new(q, prime0, config.alpha);
+    let mut state = IncrementalState::new(
+        q,
+        PpvRef::Aos(prime0.entries.entries()),
+        hubs,
+        config.alpha,
+        scratch,
+    );
     while !stop.met(state.iterations_done(), state.l1_error(), state.elapsed()) {
         if !state.step(hubs, store, config, scratch) {
             break;
         }
     }
-    state.into_result()
+    state.into_result(scratch)
 }
 
 /// The scratch space a [`QuerySession`] runs over: either owned by the
@@ -520,6 +654,13 @@ enum WorkspaceSlot<'w> {
 }
 
 impl WorkspaceSlot<'_> {
+    fn get(&self) -> &QueryWorkspace {
+        match self {
+            WorkspaceSlot::Owned(ws) => ws,
+            WorkspaceSlot::Borrowed(ws) => ws,
+        }
+    }
+
     fn get_mut(&mut self) -> &mut QueryWorkspace {
         match self {
             WorkspaceSlot::Owned(ws) => ws,
@@ -545,7 +686,7 @@ impl<S: PpvStore> QuerySession<'_, '_, S> {
             engine.hubs,
             engine.store,
             &engine.config,
-            &mut self.ws.get_mut().scratch,
+            &mut self.ws.get_mut().inc,
         )
     }
 
@@ -569,15 +710,23 @@ impl<S: PpvStore> QuerySession<'_, '_, S> {
         self.state.elapsed()
     }
 
-    /// The current estimate.
-    pub fn estimate(&self) -> &SparseVector {
-        self.state.estimate()
+    /// The current estimate, materialized as a sorted sparse vector. The
+    /// estimate itself lives densely in the session's workspace; calling
+    /// this mid-session costs one sort — [`QuerySession::into_result`]
+    /// is the materialize-once path.
+    pub fn estimate(&self) -> SparseVector {
+        self.state.estimate_sparse(&self.ws.get().inc)
+    }
+
+    /// Top-`k` nodes of the current estimate, descending (ties by id).
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        self.state.top_k(k, &self.ws.get().inc)
     }
 
     /// The certified top-`k` set, if the current accuracy proves it (see
     /// [`IncrementalState::certified_top_k`]).
     pub fn certified_top_k(&self, k: usize) -> Option<Vec<(NodeId, f64)>> {
-        self.state.certified_top_k(k)
+        self.state.certified_top_k(k, &self.ws.get().inc)
     }
 
     /// The query node.
@@ -592,7 +741,8 @@ impl<S: PpvStore> QuerySession<'_, '_, S> {
 
     /// Finalizes the session.
     pub fn into_result(self) -> QueryResult {
-        self.state.into_result()
+        let QuerySession { mut ws, state, .. } = self;
+        state.into_result(&mut ws.get_mut().inc)
     }
 }
 
@@ -672,7 +822,7 @@ mod tests {
         let engine = QueryEngine::new(&g, &hubs, &index, config);
         let exact = exact_ppv(&g, 11, ExactOptions::default());
         let mut session = engine.session(11);
-        let mut prev = session.estimate().clone();
+        let mut prev = session.estimate();
         for _ in 0..4 {
             let reported = session.l1_error();
             let true_gap = session.estimate().l1_distance_dense(&exact);
@@ -684,10 +834,11 @@ mod tests {
                 break;
             }
             // Entry-wise monotone growth.
+            let current = session.estimate();
             for &(v, s) in prev.entries() {
-                assert!(session.estimate().get(v) >= s - 1e-12);
+                assert!(current.get(v) >= s - 1e-12);
             }
-            prev = session.estimate().clone();
+            prev = current;
         }
     }
 
@@ -791,6 +942,25 @@ mod tests {
         assert!(session.is_exhausted());
         let r = session.into_result();
         assert!(r.l1_error < 1e-9, "hubless T0 covers the whole toy PPV");
+    }
+
+    #[test]
+    fn session_reuses_dirty_workspace_cleanly() {
+        // Abandoning a session mid-flight (no into_result) must not leak
+        // estimate mass into the next session over the same workspace.
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
+        let mut ws = engine.workspace();
+        {
+            let mut abandoned = engine.session_in(&mut ws, toy::A);
+            abandoned.step();
+            // Dropped without materializing.
+        }
+        let clean = engine.query(toy::G, &StoppingCondition::iterations(2));
+        let reused = engine.query_with(&mut ws, toy::G, &StoppingCondition::iterations(2));
+        assert_eq!(clean.scores, reused.scores);
+        assert_eq!(clean.l1_error, reused.l1_error);
     }
 
     #[test]

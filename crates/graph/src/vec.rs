@@ -79,11 +79,11 @@ impl SparseVector {
 
     /// The `k` highest-scoring entries, ties broken by node id (ascending)
     /// for determinism, returned in descending score order.
+    ///
+    /// O(n + k log k): a selection partitions the top `k` to the front, and
+    /// only that prefix is sorted — the full list is never ordered.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
-        let mut v = self.entries.clone();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        v.truncate(k);
-        v
+        top_k_entries(self.entries.clone(), k)
     }
 
     /// Materializes into a dense vector of length `n`.
@@ -142,6 +142,25 @@ impl SparseVector {
     pub fn into_entries(self) -> Vec<(NodeId, f64)> {
         self.entries
     }
+}
+
+/// Selects the `k` highest-scoring entries of `v` (ties broken by ascending
+/// node id), returned in descending score order. Shared by
+/// [`SparseVector::top_k`] and [`ScoreScratch::top_k`].
+pub fn top_k_entries(mut v: Vec<(NodeId, f64)>, k: usize) -> Vec<(NodeId, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let by_rank =
+        |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
+    if k < v.len() {
+        // Partition: everything at or before index k-1 ranks at least as
+        // high as everything after it. The prefix is unsorted until below.
+        v.select_nth_unstable_by(k - 1, by_rank);
+        v.truncate(k);
+    }
+    v.sort_unstable_by(by_rank);
+    v
 }
 
 impl FromIterator<(NodeId, f64)> for SparseVector {
@@ -222,6 +241,52 @@ impl ScoreScratch {
         self.touched.clear();
         entries.sort_unstable_by_key(|&(id, _)| id);
         SparseVector::from_sorted(entries)
+    }
+
+    /// Drains touched entries (≠ 0) into `out` in touched (first-insertion)
+    /// order and resets the scratch. `out` is cleared first; with a reused
+    /// `out` whose capacity has warmed up, the call performs no heap
+    /// allocation — this is the hot-path alternative to
+    /// [`ScoreScratch::drain_sparse`].
+    pub fn drain_into(&mut self, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        for &v in &self.touched {
+            let s = self.values[v as usize];
+            self.values[v as usize] = 0.0;
+            if s != 0.0 {
+                out.push((v, s));
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Materializes touched entries (≠ 0) into a sorted [`SparseVector`]
+    /// *without* resetting the scratch.
+    pub fn to_sparse(&self) -> SparseVector {
+        let mut entries: Vec<(NodeId, f64)> = self
+            .touched
+            .iter()
+            .filter_map(|&v| {
+                let s = self.values[v as usize];
+                (s != 0.0).then_some((v, s))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        SparseVector::from_sorted(entries)
+    }
+
+    /// The `k` highest-scoring touched entries (ties broken by ascending
+    /// node id), descending, without resetting the scratch.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let candidates: Vec<(NodeId, f64)> = self
+            .touched
+            .iter()
+            .filter_map(|&v| {
+                let s = self.values[v as usize];
+                (s != 0.0).then_some((v, s))
+            })
+            .collect();
+        top_k_entries(candidates, k)
     }
 
     /// Resets without materializing.
@@ -306,6 +371,54 @@ mod tests {
         s.add(1, -1.0);
         let v = s.drain_sparse();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort() {
+        // The select-then-sort fast path must agree with a naive full sort
+        // for every k, including ties and k ∈ {0, len, len+1}.
+        let entries = vec![(5, 0.25), (1, 0.5), (9, 0.25), (2, 0.9), (7, 0.1), (3, 0.5)];
+        let v = SparseVector::from_unsorted(entries.clone());
+        for k in 0..=entries.len() + 1 {
+            let mut naive = entries.clone();
+            naive.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            naive.truncate(k);
+            assert_eq!(v.top_k(k), naive, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn scratch_drain_into_reuses_buffer() {
+        let mut s = ScoreScratch::new(6);
+        let mut buf = Vec::new();
+        s.add(4, 1.0);
+        s.add(1, 0.5);
+        s.add(2, 1.0);
+        s.add(2, -1.0); // cancels: must be skipped
+        s.drain_into(&mut buf);
+        assert_eq!(
+            buf,
+            vec![(4, 1.0), (1, 0.5)],
+            "touched order, zeros dropped"
+        );
+        assert_eq!(s.touched().len(), 0);
+        assert_eq!(s.get(4), 0.0);
+        // Reuse: previous contents are replaced, not appended.
+        s.add(0, 2.0);
+        s.drain_into(&mut buf);
+        assert_eq!(buf, vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn scratch_to_sparse_and_top_k_do_not_reset() {
+        let mut s = ScoreScratch::new(6);
+        s.add(3, 0.75);
+        s.add(0, 0.25);
+        assert_eq!(s.to_sparse().entries(), &[(0, 0.25), (3, 0.75)]);
+        assert_eq!(s.top_k(1), vec![(3, 0.75)]);
+        // Still intact afterwards.
+        assert_eq!(s.get(3), 0.75);
+        assert_eq!(s.touched().len(), 2);
     }
 
     #[test]

@@ -19,9 +19,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use fastppv_core::dynamic::{refresh_index, RefreshStats};
+use fastppv_core::dynamic::{refresh_flat_index, refresh_index, RefreshStats};
 use fastppv_core::query::{QueryWorkspace, StoppingCondition};
-use fastppv_core::{Config, HubSet, MemoryIndex, PpvStore, QueryEngine};
+use fastppv_core::{Config, FlatIndex, HubSet, MemoryIndex, PpvStore, QueryEngine};
 use fastppv_graph::{Graph, NodeId, SparseVector};
 
 use crate::cache::LruCache;
@@ -427,6 +427,30 @@ impl QueryService<MemoryIndex> {
     }
 }
 
+impl QueryService<FlatIndex> {
+    /// Applies a graph update to a flat-arena deployment: affected
+    /// segments are patched in place via
+    /// [`fastppv_core::dynamic::refresh_flat_index`] (tombstone-and-append
+    /// with threshold compaction), and the hot-PPV cache is invalidated.
+    /// The arena is only deep-copied when a caller still holds the old
+    /// `Arc` (copy-on-write via [`Arc::make_mut`]) — such readers keep
+    /// seeing the pre-update arena, undisturbed.
+    pub fn apply_update(&mut self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
+        let flat = Arc::make_mut(&mut self.store);
+        let stats = refresh_flat_index(
+            flat,
+            &self.graph,
+            &new_graph,
+            &self.hubs,
+            changed_tails,
+            &self.config,
+        );
+        self.graph = Arc::new(new_graph);
+        self.invalidate_cache();
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,6 +612,46 @@ mod tests {
         // The new result reflects the new graph, not the stale cache: the
         // fresh estimate must put mass on e (now a direct out-neighbor).
         assert!(fresh.scores.get(toy::E) > stale.scores.get(toy::E));
+    }
+
+    #[test]
+    fn flat_service_matches_memory_service_and_updates() {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let flat = fastppv_core::FlatIndex::from_memory(&index, &hubs);
+        let options = ServiceOptions {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        };
+        let mem_service = QueryService::new(
+            Arc::new(g.clone()),
+            Arc::new(hubs.clone()),
+            Arc::new(index),
+            config,
+            options,
+        );
+        let mut flat_service =
+            QueryService::new(Arc::new(g), Arc::new(hubs), Arc::new(flat), config, options);
+        for q in 0..8u32 {
+            let a = mem_service.query(Request::iterations(q, 3));
+            let b = flat_service.query(Request::iterations(q, 3));
+            assert_eq!(*a.scores, *b.scores, "query {q}");
+        }
+        // A flat deployment takes updates too: patch, then reflect them.
+        let old = Arc::clone(flat_service.graph());
+        let mut b = GraphBuilder::new(8);
+        for (s, t) in old.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(toy::A, toy::E);
+        let stats = flat_service.apply_update(b.build(), &[toy::A]);
+        assert!(stats.recomputed + stats.reused > 0);
+        assert_eq!(flat_service.cache_stats().entries, 0);
+        let fresh = flat_service.query(Request::iterations(toy::A, 4));
+        assert!(fresh.scores.get(toy::E) > 0.0);
     }
 
     #[test]

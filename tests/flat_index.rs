@@ -1,0 +1,223 @@
+//! The flat SoA arena versus the slot-map store: equivalence, determinism,
+//! dynamic patching, and a round-trip property test.
+
+use fastppv::core::dynamic::{refresh_flat_index, refresh_index};
+use fastppv::core::index::{FlatIndex, MemoryIndex, PpvStore, PrimePpv};
+use fastppv::core::offline::{build_flat_index, build_index};
+use fastppv::core::query::{QueryEngine, StoppingCondition};
+use fastppv::core::{select_hubs, Config, HubPolicy, HubSet};
+use fastppv::graph::gen::barabasi_albert;
+use fastppv::graph::{Graph, GraphBuilder, NodeId, SparseVector};
+use proptest::prelude::*;
+
+fn ba2k_setup() -> (Graph, HubSet, MemoryIndex, FlatIndex) {
+    let g = barabasi_albert(2000, 4, 42);
+    let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 80, 0);
+    let config = Config::default().with_epsilon(1e-6);
+    let (memory, _) = build_index(&g, &hubs, &config);
+    let flat = FlatIndex::from_memory(&memory, &hubs);
+    (g, hubs, memory, flat)
+}
+
+fn assert_scores_close(a: &SparseVector, b: &SparseVector, tol: f64, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: support sizes differ");
+    for (&(va, sa), &(vb, sb)) in a.entries().iter().zip(b.entries()) {
+        assert_eq!(va, vb, "{ctx}: node ids diverge");
+        assert!(
+            (sa - sb).abs() <= tol,
+            "{ctx}: node {va}: {sa} vs {sb} (gap {})",
+            (sa - sb).abs()
+        );
+    }
+}
+
+#[test]
+fn flat_matches_memory_on_ba2k_all_stopping_conditions() {
+    let (g, hubs, memory, flat) = ba2k_setup();
+    let config = Config::default().with_epsilon(1e-6);
+    let mem_engine = QueryEngine::new(&g, &hubs, &memory, config);
+    let flat_engine = QueryEngine::new(&g, &hubs, &flat, config);
+    let mut mem_ws = mem_engine.workspace();
+    let mut flat_ws = flat_engine.workspace();
+    // A hub query, high-degree non-hubs, and arbitrary nodes.
+    let mut queries: Vec<NodeId> = vec![hubs.ids()[0], hubs.ids()[40]];
+    queries.extend((0..2000u32).filter(|v| !hubs.is_hub(*v)).step_by(311));
+    let stops: Vec<(&str, StoppingCondition)> = vec![
+        ("eta0", StoppingCondition::iterations(0)),
+        ("eta2", StoppingCondition::iterations(2)),
+        ("eta6", StoppingCondition::iterations(6)),
+        ("l1=0.05", StoppingCondition::l1_error(0.05)),
+        ("l1=1e-4", StoppingCondition::l1_error(1e-4)),
+        (
+            "combined",
+            StoppingCondition::l1_error(1e-3).or_iterations(4),
+        ),
+    ];
+    for &q in &queries {
+        for (label, stop) in &stops {
+            let a = mem_engine.query_with(&mut mem_ws, q, stop);
+            let b = flat_engine.query_with(&mut flat_ws, q, stop);
+            let ctx = format!("q {q}, stop {label}");
+            assert_eq!(a.iterations, b.iterations, "{ctx}: iterations");
+            assert_eq!(a.exhausted, b.exhausted, "{ctx}: exhaustion");
+            assert!(
+                (a.l1_error - b.l1_error).abs() <= 1e-12,
+                "{ctx}: φ {} vs {}",
+                a.l1_error,
+                b.l1_error
+            );
+            assert_scores_close(&a.scores, &b.scores, 1e-12, &ctx);
+        }
+        // Certified top-k agrees too.
+        let ka = mem_engine.query_top_k(q, 5, 10);
+        let kb = flat_engine.query_top_k(q, 5, 10);
+        assert_eq!(ka.certified, kb.certified, "q {q} topk certification");
+        assert_eq!(ka.nodes.len(), kb.nodes.len());
+        for (&(va, sa), &(vb, sb)) in ka.nodes.iter().zip(&kb.nodes) {
+            assert_eq!(va, vb, "q {q} topk node order");
+            assert!((sa - sb).abs() <= 1e-12);
+        }
+    }
+}
+
+#[test]
+fn bench_inputs_are_byte_identical_across_builds() {
+    // The BENCH determinism contract: two independent builds of the same
+    // deployment serve bit-identical result streams and serialize to
+    // byte-identical index files (timing fields are the only thing a
+    // repeated benchmark run may legitimately change).
+    let g = barabasi_albert(2000, 4, 42);
+    let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 80, 0);
+    let config = Config::default().with_epsilon(1e-6);
+    let (flat_a, _) = build_flat_index(&g, &hubs, &config, 1);
+    let (flat_b, _) = build_flat_index(&g, &hubs, &config, 2);
+    let queries = fastppv_bench::workload::sample_queries_zipf(&g, 64, 1.0, 42);
+    let da = fastppv_bench::hotpath::results_digest(&g, &hubs, &flat_a, config, &queries, 2);
+    let db = fastppv_bench::hotpath::results_digest(&g, &hubs, &flat_b, config, &queries, 2);
+    assert_eq!(da, db, "result digests differ across independent builds");
+
+    let mut pa = std::env::temp_dir();
+    pa.push(format!("fastppv-flatdet-a-{}.idx", std::process::id()));
+    let mut pb = std::env::temp_dir();
+    pb.push(format!("fastppv-flatdet-b-{}.idx", std::process::id()));
+    flat_a.write_to_file(&pa).unwrap();
+    flat_b.write_to_file(&pb).unwrap();
+    let bytes_a = std::fs::read(&pa).unwrap();
+    let bytes_b = std::fs::read(&pb).unwrap();
+    std::fs::remove_file(&pa).unwrap();
+    std::fs::remove_file(&pb).unwrap();
+    assert_eq!(bytes_a, bytes_b, "serialized arenas differ");
+}
+
+fn add_edges(graph: &Graph, new_edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_nodes());
+    let gains: std::collections::HashSet<NodeId> = new_edges.iter().map(|&(u, _)| u).collect();
+    for (s, t) in graph.edges() {
+        // Drop the dangling-fix self-loop once the node gains a real edge.
+        if s == t && gains.contains(&s) {
+            continue;
+        }
+        b.add_edge(s, t);
+    }
+    for &(u, v) in new_edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[test]
+fn dynamic_patching_agrees_with_rebuild_and_memory_refresh() {
+    // Apply several update batches so the arena accumulates tombstones and
+    // crosses the compaction threshold at least once; after every batch the
+    // patched arena must answer queries exactly like a fresh build and
+    // like the MemoryIndex refresh path.
+    let mut graph = barabasi_albert(600, 3, 9);
+    let hubs = select_hubs(&graph, HubPolicy::ExpectedUtility, 40, 0);
+    // ε matched to the graph scale so refreshes stay local (see dynamic.rs).
+    let config = Config::default().with_epsilon(1e-4);
+    let (mut flat, _) = build_flat_index(&graph, &hubs, &config, 1);
+    let (mut memory, _) = build_index(&graph, &hubs, &config);
+    for round in 0u32..6 {
+        let u = (37 * round + 11) % 600;
+        let v = (u + 101 + round) % 600;
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        let new_graph = add_edges(&graph, &[(u, v)]);
+        let stats = refresh_flat_index(&mut flat, &graph, &new_graph, &hubs, &[u], &config);
+        let (mem_refreshed, mem_stats) =
+            refresh_index(&memory, &graph, &new_graph, &hubs, &[u], &config);
+        assert_eq!(stats.recomputed, mem_stats.recomputed, "round {round}");
+        memory = mem_refreshed;
+        graph = new_graph;
+
+        let (rebuilt, _) = build_flat_index(&graph, &hubs, &config, 1);
+        let engine_patched = QueryEngine::new(&graph, &hubs, &flat, config);
+        let engine_rebuilt = QueryEngine::new(&graph, &hubs, &rebuilt, config);
+        let engine_memory = QueryEngine::new(&graph, &hubs, &memory, config);
+        let stop = StoppingCondition::iterations(3);
+        for q in [u, v, hubs.ids()[0], 599] {
+            let a = engine_patched.query(q, &stop);
+            let b = engine_rebuilt.query(q, &stop);
+            let c = engine_memory.query(q, &stop);
+            let ctx = format!("round {round} q {q}");
+            assert_scores_close(&a.scores, &b.scores, 1e-12, &format!("{ctx} vs rebuild"));
+            assert_scores_close(&a.scores, &c.scores, 1e-12, &format!("{ctx} vs memory"));
+        }
+    }
+    assert!(
+        flat.compactions() > 0,
+        "updates never exercised arena compaction"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arena_round_trips_random_ppv_sets(
+        hubs_map in prop::collection::btree_map(0u32..300, prop::collection::vec(
+            (0u32..300, 1e-9..1.0f64), 0..50), 1..12),
+        replace in prop::collection::vec((0u32..300, prop::collection::vec(
+            (0u32..300, 1e-9..1.0f64), 0..50)), 0..4),
+    ) {
+        let mut memory = MemoryIndex::new(300);
+        for (&h, entries) in &hubs_map {
+            memory.insert(h, PrimePpv {
+                entries: SparseVector::from_unsorted(entries.clone()),
+            });
+        }
+        let hub_ids: Vec<NodeId> = hubs_map.keys().copied().collect();
+        let hub_set = HubSet::from_ids(300, hub_ids.clone());
+        let mut flat = FlatIndex::from_memory(&memory, &hub_set);
+        prop_assert_eq!(flat.hub_count(), memory.hub_count());
+        prop_assert_eq!(flat.total_entries(), memory.total_entries());
+
+        // Patch a few segments (only over indexed hubs) and mirror in the
+        // slot map; equality must survive tombstoning and compaction.
+        for (pick, entries) in &replace {
+            let h = hub_ids[*pick as usize % hub_ids.len()];
+            let ppv = PrimePpv { entries: SparseVector::from_unsorted(entries.clone()) };
+            flat.replace(h, &ppv, &hub_set);
+            memory.insert(h, ppv);
+        }
+        flat.compact();
+        prop_assert_eq!(flat.total_entries(), memory.total_entries());
+        for &h in &hub_ids {
+            let expected = memory.get(h).unwrap();
+            let got = flat.load(h).unwrap();
+            prop_assert_eq!(&got, expected);
+            // Border sublists point exactly at the hub entries.
+            let view = flat.view(h).unwrap();
+            let (bids, bpos) = flat.border_sublist(h).unwrap();
+            let borders: Vec<(NodeId, f64)> = bids
+                .iter()
+                .zip(bpos)
+                .map(|(&b, &p)| (b, view.score_at(p as usize)))
+                .collect();
+            let want: Vec<(NodeId, f64)> = expected.border_hubs(&hub_set).collect();
+            prop_assert_eq!(borders, want);
+        }
+        prop_assert!(!flat.contains(299) || hubs_map.contains_key(&299));
+    }
+}

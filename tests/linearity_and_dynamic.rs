@@ -3,7 +3,6 @@
 
 use fastppv::baselines::exact::{exact_ppv, ExactOptions};
 use fastppv::core::dynamic::refresh_index;
-use fastppv::core::index::PpvStore;
 use fastppv::core::linearity::query_multi;
 use fastppv::core::query::{QueryEngine, StoppingCondition};
 use fastppv::core::{build_index_parallel, select_hubs, Config, HubPolicy};
