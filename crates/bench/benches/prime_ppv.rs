@@ -56,6 +56,44 @@ fn bench_solve_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused one-shot kernel against the materialized two-step pipeline
+/// and the dynamic-dispatch `AdjacencyAccess` path: what the online cold
+/// non-hub query saves by staying inside the reused arena, and what the
+/// CSR fast path saves over trait-object adjacency.
+fn bench_kernel_paths(c: &mut Criterion) {
+    let dataset = datasets::dblp(0.2, 42);
+    let graph = &dataset.graph;
+    let n = graph.num_nodes();
+    let hubs = select_hubs(graph, HubPolicy::ExpectedUtility, n / 25, 0);
+    let config = Config::default().with_epsilon(1e-6);
+    let source = (0..n as u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+    let mut group = c.benchmark_group("prime_ppv_kernel");
+    group.sample_size(30);
+    group.bench_with_input(BenchmarkId::from_parameter("fused_into"), &(), |b, _| {
+        let mut pc = PrimeComputer::new(n);
+        b.iter(|| {
+            let (entries, size) = pc.prime_ppv_into(graph, &hubs, source, &config, 1e-4);
+            std::hint::black_box((entries.len(), size));
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("extract_then_solve"),
+        &(),
+        |b, _| {
+            let mut pc = PrimeComputer::new(n);
+            b.iter(|| {
+                let sub = pc.extract(graph, &hubs, source, &config);
+                std::hint::black_box(pc.solve(&sub, &config, 1e-4));
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("dyn_adjacency"), &(), |b, _| {
+        let mut pc = PrimeComputer::new(n);
+        b.iter(|| std::hint::black_box(pc.prime_ppv_from(graph, &hubs, source, &config, 1e-4)));
+    });
+    group.finish();
+}
+
 fn bench_epsilon(c: &mut Criterion) {
     let dataset = datasets::dblp(0.2, 42);
     let graph = &dataset.graph;
@@ -82,6 +120,7 @@ criterion_group!(
     benches,
     bench_extract_and_solve,
     bench_solve_reuse,
+    bench_kernel_paths,
     bench_epsilon
 );
 criterion_main!(benches);

@@ -119,7 +119,17 @@ fn main() {
     });
 
     let mut table = Table::new(vec![
-        "store", "cache", "workers", "queries", "wall", "QPS", "p50", "p99",
+        "store",
+        "cache",
+        "workers",
+        "queries",
+        "wall",
+        "QPS",
+        "p50",
+        "p99",
+        "hub p99",
+        "non-hub p50",
+        "non-hub p99",
     ]);
     for run in &runs {
         let r = &run.report;
@@ -132,9 +142,12 @@ fn main() {
             format!("{:.0}", r.qps),
             format!("{:.2?}", r.p50),
             format!("{:.2?}", r.p99),
+            format!("{:.2?}", r.hub.p99),
+            format!("{:.2?}", r.nonhub.p50),
+            format!("{:.2?}", r.nonhub.p99),
         ]);
     }
-    table.print("Closed-loop hot path — Zipf mix, η = 2");
+    table.print("Closed-loop hot path — Zipf mix, η = 2 (hub vs non-hub sources split)");
 
     let report = HotpathReport {
         dataset,
@@ -147,6 +160,7 @@ fn main() {
         seed: args.seed,
         build,
         flat_convert,
+        build_threads: args.threads,
         index_bytes,
         flat_arena_bytes,
         results_digest: digest_flat,

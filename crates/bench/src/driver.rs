@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use fastppv_core::{Config, HubSet, PpvStore};
 use fastppv_graph::{Graph, NodeId};
-use fastppv_server::{QueryService, Request, ServiceOptions};
+use fastppv_server::{LatencySummary, QueryService, Request, ServiceOptions};
 
 pub use fastppv_server::percentile;
 
@@ -32,6 +32,12 @@ pub struct ThroughputReport {
     pub p50: Duration,
     /// 99th-percentile service-side latency.
     pub p99: Duration,
+    /// Latencies of requests whose source is a hub (iteration 0 is an
+    /// index lookup).
+    pub hub: LatencySummary,
+    /// Latencies of requests whose source is not a hub (iteration 0 runs
+    /// the prime-PPV kernel — the tail-latency regime).
+    pub nonhub: LatencySummary,
     /// Hot-PPV cache hits during the run.
     pub cache_hits: u64,
     /// Hot-PPV cache misses during the run.
@@ -89,6 +95,15 @@ pub fn run_closed_loop<S: PpvStore + Send + Sync>(
     let wall = started.elapsed();
     let after = service.cache_stats();
     let latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+    let mut hub_lat: Vec<Duration> = Vec::new();
+    let mut nonhub_lat: Vec<Duration> = Vec::new();
+    for r in &responses {
+        if hubs.is_hub(r.query) {
+            hub_lat.push(r.latency);
+        } else {
+            nonhub_lat.push(r.latency);
+        }
+    }
     ThroughputReport {
         workers: spec.workers,
         queries: responses.len(),
@@ -96,6 +111,8 @@ pub fn run_closed_loop<S: PpvStore + Send + Sync>(
         qps: responses.len() as f64 / wall.as_secs_f64().max(1e-9),
         p50: percentile(&latencies, 0.50),
         p99: percentile(&latencies, 0.99),
+        hub: LatencySummary::of(&hub_lat),
+        nonhub: LatencySummary::of(&nonhub_lat),
         cache_hits: after.hits - before.hits,
         cache_misses: after.misses - before.misses,
     }

@@ -96,10 +96,13 @@ pub struct HotpathReport {
     pub zipf_exponent: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Offline build wall-clock (memory layout).
+    /// Offline build wall-clock (memory layout — the `arc_aos` store).
     pub build: Duration,
-    /// Arena conversion wall-clock on top of the build.
+    /// Arena conversion wall-clock on top of the build (the `flat_soa`
+    /// store's build cost is `build + flat_convert`).
     pub flat_convert: Duration,
+    /// Build threads used.
+    pub build_threads: usize,
     /// Index size, on-disk-equivalent bytes.
     pub index_bytes: usize,
     /// Flat arena resident bytes (entries + border sublists + directory).
@@ -129,6 +132,14 @@ impl HotpathReport {
             "  \"flat_convert_ms\": {:.3},\n",
             ms(self.flat_convert)
         ));
+        out.push_str(&format!("  \"build_threads\": {},\n", self.build_threads));
+        // Per-layout build cost: what each store's deployment pays before
+        // it can serve (the flat arena is converted from the memory build).
+        out.push_str(&format!("  \"build_ms_arc_aos\": {:.3},\n", ms(self.build)));
+        out.push_str(&format!(
+            "  \"build_ms_flat_soa\": {:.3},\n",
+            ms(self.build + self.flat_convert)
+        ));
         out.push_str(&format!("  \"index_bytes\": {},\n", self.index_bytes));
         out.push_str(&format!(
             "  \"flat_arena_bytes\": {},\n",
@@ -144,8 +155,10 @@ impl HotpathReport {
             out.push_str(&format!(
                 "    {{\"store\": \"{}\", \"cache\": \"{}\", \"workers\": {}, \
                  \"queries\": {}, \"wall_ms\": {:.3}, \"qps\": {:.1}, \
-                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cache_hits\": {}, \
-                 \"cache_misses\": {}}}{}\n",
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"hub_queries\": {}, \"hub_p50_us\": {:.1}, \"hub_p99_us\": {:.1}, \
+                 \"nonhub_queries\": {}, \"nonhub_p50_us\": {:.1}, \"nonhub_p99_us\": {:.1}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
                 run.store,
                 run.cache,
                 r.workers,
@@ -154,6 +167,12 @@ impl HotpathReport {
                 r.qps,
                 us(r.p50),
                 us(r.p99),
+                r.hub.queries,
+                us(r.hub.p50),
+                us(r.hub.p99),
+                r.nonhub.queries,
+                us(r.nonhub.p50),
+                us(r.nonhub.p99),
                 r.cache_hits,
                 r.cache_misses,
                 if i + 1 < self.runs.len() { "," } else { "" }
@@ -209,23 +228,53 @@ mod tests {
             seed: 42,
             build: Duration::from_millis(12),
             flat_convert: Duration::from_micros(345),
+            build_threads: 1,
             index_bytes: 123456,
             flat_arena_bytes: 234567,
             results_digest: 0xdead_beef,
-            runs: vec![],
+            runs: vec![HotpathRun {
+                store: "flat_soa",
+                cache: "off",
+                report: crate::driver::ThroughputReport {
+                    workers: 1,
+                    queries: 100,
+                    wall: Duration::from_millis(50),
+                    qps: 2000.0,
+                    p50: Duration::from_micros(10),
+                    p99: Duration::from_micros(900),
+                    hub: fastppv_server::LatencySummary {
+                        queries: 80,
+                        p50: Duration::from_micros(9),
+                        p99: Duration::from_micros(20),
+                    },
+                    nonhub: fastppv_server::LatencySummary {
+                        queries: 20,
+                        p50: Duration::from_micros(300),
+                        p99: Duration::from_micros(900),
+                    },
+                    cache_hits: 0,
+                    cache_misses: 0,
+                },
+            }],
         };
         let json = report.to_json();
         for key in [
             "\"experiment\"",
             "\"qps\"",
             "\"build_ms\"",
+            "\"build_ms_arc_aos\"",
+            "\"build_ms_flat_soa\"",
+            "\"build_threads\"",
             "\"index_bytes\"",
             "\"results_digest\"",
             "\"runs\"",
+            "\"hub_queries\"",
+            "\"hub_p50_us\"",
+            "\"hub_p99_us\"",
+            "\"nonhub_queries\"",
+            "\"nonhub_p50_us\"",
+            "\"nonhub_p99_us\"",
         ] {
-            if key == "\"qps\"" {
-                continue; // no runs in this fixture
-            }
             assert!(json.contains(key), "missing {key} in {json}");
         }
     }

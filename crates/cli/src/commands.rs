@@ -461,10 +461,14 @@ fn serve_loop<S: PpvStore + Send + Sync>(
     // Bounded: past the cap the p50/p99 summary covers the first
     // LATENCY_SAMPLE_CAP requests instead of growing without limit.
     const LATENCY_SAMPLE_CAP: usize = 1 << 20;
-    let mut latencies: Vec<std::time::Duration> = Vec::new();
+    // Hub and non-hub sources are different latency regimes (index lookup
+    // vs on-the-fly prime-PPV), so the summary keeps them apart.
+    let mut hub_latencies: Vec<std::time::Duration> = Vec::new();
+    let mut nonhub_latencies: Vec<std::time::Duration> = Vec::new();
     let mut pending: Vec<Request> = Vec::with_capacity(batch);
     let mut flush = |pending: &mut Vec<Request>,
-                     latencies: &mut Vec<std::time::Duration>,
+                     hub_latencies: &mut Vec<std::time::Duration>,
+                     nonhub_latencies: &mut Vec<std::time::Duration>,
                      served: &mut u64|
      -> Result<(), String> {
         if pending.is_empty() {
@@ -486,8 +490,13 @@ fn serve_loop<S: PpvStore + Send + Sync>(
                 write!(out, " {v}:{s:.6}").map_err(|e| e.to_string())?;
             }
             writeln!(out).map_err(|e| e.to_string())?;
-            if latencies.len() < LATENCY_SAMPLE_CAP {
-                latencies.push(r.latency);
+            let sample = if service.hubs().is_hub(r.query) {
+                &mut *hub_latencies
+            } else {
+                &mut *nonhub_latencies
+            };
+            if sample.len() < LATENCY_SAMPLE_CAP {
+                sample.push(r.latency);
             }
         }
         {
@@ -508,19 +517,43 @@ fn serve_loop<S: PpvStore + Send + Sync>(
             Err(e) => eprintln!("skipping `{line}`: {e}"),
         }
         if pending.len() >= batch {
-            flush(&mut pending, &mut latencies, &mut served)?;
+            flush(
+                &mut pending,
+                &mut hub_latencies,
+                &mut nonhub_latencies,
+                &mut served,
+            )?;
         }
     }
-    flush(&mut pending, &mut latencies, &mut served)?;
+    flush(
+        &mut pending,
+        &mut hub_latencies,
+        &mut nonhub_latencies,
+        &mut served,
+    )?;
 
     let elapsed = started.elapsed();
     let stats = service.cache_stats();
+    let mut all = hub_latencies.clone();
+    all.extend_from_slice(&nonhub_latencies);
+    let overall = fastppv_server::LatencySummary::of(&all);
+    let hub = fastppv_server::LatencySummary::of(&hub_latencies);
+    let nonhub = fastppv_server::LatencySummary::of(&nonhub_latencies);
     eprintln!(
         "served {served} queries in {elapsed:.2?} ({:.0} QPS); \
-         p50 {:.2?}, p99 {:.2?}; cache hits {} / misses {}",
+         p50 {:.2?}, p99 {:.2?}; \
+         hub sources {} (p50 {:.2?}, p99 {:.2?}), \
+         non-hub sources {} (p50 {:.2?}, p99 {:.2?}); \
+         cache hits {} / misses {}",
         served as f64 / elapsed.as_secs_f64().max(1e-9),
-        fastppv_server::percentile(&latencies, 0.50),
-        fastppv_server::percentile(&latencies, 0.99),
+        overall.p50,
+        overall.p99,
+        hub.queries,
+        hub.p50,
+        hub.p99,
+        nonhub.queries,
+        nonhub.p50,
+        nonhub.p99,
         stats.hits,
         stats.misses
     );

@@ -17,19 +17,18 @@
 //! [`affected_hubs`] on both graphs and union, or use [`refresh_index`]
 //! which takes the changed edge tails and both graphs.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use fastppv_graph::{Graph, NodeId};
 
 use crate::config::Config;
 use crate::hubs::HubSet;
 use crate::index::{FlatIndex, MemoryIndex, PpvStore};
-use crate::prime::PrimeComputer;
+use crate::prime::{BucketQueue, PrimeComputer};
 
 /// Hubs whose prime PPV depends on the out-edges of `u` in `graph`:
 /// `{h ∈ H : u is an expanded node of G'(h)}`, found by a reverse
-/// max-probability search from `u` over hub-free interiors.
+/// max-probability search from `u` over hub-free interiors — driven by the
+/// same monotone [`BucketQueue`] as the forward extraction kernel, so the
+/// set is exact and pop-order independent (see [`crate::prime`]).
 pub fn affected_hubs(
     graph: &Graph,
     hubs: &HubSet,
@@ -38,46 +37,29 @@ pub fn affected_hubs(
     alpha: f64,
 ) -> Vec<NodeId> {
     assert!((u as usize) < graph.num_nodes());
-    let mut affected = Vec::new();
     // A hub's own subgraph always expands its source.
     if hubs.is_hub(u) {
-        affected.push(u);
-        return affected;
-    }
-
-    struct Entry(f64, NodeId);
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.0 == other.0 && self.1 == other.1
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
-        }
+        return vec![u];
     }
 
     // best[x] = max probability of a walk x ⇝ u whose interior (nodes
     // strictly between x and u) is hub-free. Relaxing x's in-neighbors is
-    // only sound when x itself may be interior, i.e. x is not a hub.
+    // only sound when x itself may be interior, i.e. x is not a hub; the
+    // reached set {x : best(x) ≥ ε} is a fixed point of max-relaxation, so
+    // it does not depend on the (quantized) pop order.
     let n = graph.num_nodes();
     let mut best = vec![0.0f64; n];
-    let mut heap = BinaryHeap::new();
+    let mut reached: Vec<NodeId> = Vec::new();
+    let mut queue = BucketQueue::new();
+    queue.configure(alpha);
     best[u as usize] = 1.0;
-    heap.push(Entry(1.0, u));
-    while let Some(Entry(p, x)) = heap.pop() {
-        if p < best[x as usize] {
-            continue;
+    reached.push(u);
+    queue.push(1.0, u);
+    while let Some((p, x)) = queue.pop() {
+        if p != best[x as usize] {
+            continue; // stale entry
         }
-        best[x as usize] = f64::INFINITY; // popped marker
         if hubs.is_hub(x) {
-            affected.push(x);
             continue; // x would be interior for any longer walk: stop here
         }
         for &y in graph.in_neighbors(x) {
@@ -87,11 +69,15 @@ pub fn affected_hubs(
             }
             let w = p * (1.0 - alpha) / d as f64;
             if w >= epsilon && w > best[y as usize] {
+                if best[y as usize] == 0.0 {
+                    reached.push(y);
+                }
                 best[y as usize] = w;
-                heap.push(Entry(w, y));
+                queue.push(w, y);
             }
         }
     }
+    let mut affected: Vec<NodeId> = reached.into_iter().filter(|&x| hubs.is_hub(x)).collect();
     affected.sort_unstable();
     affected
 }

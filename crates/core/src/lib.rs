@@ -27,6 +27,20 @@
 //!    (Theorem 2); [`linearity`] handles multi-node queries; [`dynamic`]
 //!    maintains the index under edge updates (the paper's future-work §7).
 //!
+//! ## The shared kernel
+//!
+//! Both phases funnel through one kernel: the prime-PPV computation in
+//! [`prime`] (extract the hub-free neighborhood, renumber it for cache
+//! locality, solve it with a worklist push). Its priority structure is a
+//! monotone bucket queue over *quantized log-probabilities*
+//! ([`prime::BucketQueue`]): bucket indices come from the raw IEEE-754
+//! exponent/mantissa bits, the bucket width is matched to the per-step
+//! decay `1-α` so pops stay exact despite quantization, and everything
+//! downstream (interior set, best probabilities, degree-ordered local
+//! numbering) is independent of pop order — so results are deterministic
+//! and bit-identical across runs, thread counts, and platforms. See the
+//! [`prime`] module docs for the full argument.
+//!
 //! ## Concurrency
 //!
 //! [`QueryEngine`] is immutable at query time: every query method takes
@@ -77,8 +91,10 @@ pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
 pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
 pub use index::{DiskIndex, FlatIndex, MemoryIndex, PpvRef, PpvStore, PrimePpv};
-pub use offline::{build_flat_index, build_index, build_index_parallel, OfflineStats};
-pub use prime::{PrimeComputer, PrimeSubgraph};
+pub use offline::{
+    build_flat_index, build_index, build_index_in_order, build_index_parallel, OfflineStats,
+};
+pub use prime::{AdjacencyAccess, BucketQueue, PrimeComputer, PrimeSubgraph};
 pub use query::{
     IncrementScratch, QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult,
 };

@@ -4,9 +4,16 @@
 //! store everything in a [`MemoryIndex`] (serialize with
 //! [`MemoryIndex::write_to_file`] for the disk-based setting). Hub builds
 //! are independent, so [`build_index_parallel`] shards them across scoped
-//! threads — this changes wall-clock only, not results (builds are
-//! deterministic and merged in hub order).
+//! threads pulling hubs off a shared atomic counter (work stealing):
+//! prime-subgraph sizes follow the graph's power law, so any static
+//! partition of the hub list leaves most threads idle behind whichever one
+//! drew the giants. Stealing changes wall-clock only, not results — each
+//! hub's PPV is deterministic, workers remember the list position of
+//! everything they built, and the merge reassembles hub order, so the
+//! output is byte-identical to a serial build regardless of thread count
+//! or hub ordering.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use fastppv_graph::Graph;
@@ -41,47 +48,60 @@ pub fn build_index(graph: &Graph, hubs: &HubSet, config: &Config) -> (MemoryInde
     build_index_parallel(graph, hubs, config, 1)
 }
 
-/// Builds the PPV index with `threads` worker threads.
+/// Builds the PPV index with `threads` worker threads (work-stealing over
+/// the hub list; byte-identical output to [`build_index`]).
 pub fn build_index_parallel(
     graph: &Graph,
     hubs: &HubSet,
     config: &Config,
     threads: usize,
 ) -> (MemoryIndex, OfflineStats) {
+    build_index_in_order(graph, hubs, hubs.ids(), config, threads)
+}
+
+/// Like [`build_index_parallel`], building the hubs of `order` (each id
+/// must be a hub, listed at most once) and inserting them into the index
+/// in exactly that order. Output depends only on `order`, never on
+/// `threads`: workers steal the next unbuilt hub off a shared counter, tag
+/// each PPV with its list position, and the merge reassembles the list —
+/// so even an adversarial order (largest prime subgraph first, the
+/// worst case for static chunking) parallelizes without skew.
+pub fn build_index_in_order(
+    graph: &Graph,
+    hubs: &HubSet,
+    order: &[fastppv_graph::NodeId],
+    config: &Config,
+    threads: usize,
+) -> (MemoryIndex, OfflineStats) {
     config.validate();
-    let threads = threads.max(1);
+    let threads = threads.clamp(1, order.len().max(1));
     let start = Instant::now();
-    let ids = hubs.ids();
-    let chunk_size = ids.len().div_ceil(threads).max(1);
 
     struct Shard {
-        ppvs: Vec<(fastppv_graph::NodeId, PrimePpv)>,
-        subgraph_nodes: usize,
-        max_subgraph: usize,
+        // (position in `order`, built PPV, subgraph node count)
+        ppvs: Vec<(usize, PrimePpv, usize)>,
         border_hubs: usize,
     }
 
-    let shards: Vec<Shard> = if ids.is_empty() {
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Shard> = if order.is_empty() {
         Vec::new()
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = ids
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
                         let mut pc = PrimeComputer::new(graph.num_nodes());
                         let mut shard = Shard {
-                            ppvs: Vec::with_capacity(chunk.len()),
-                            subgraph_nodes: 0,
-                            max_subgraph: 0,
+                            ppvs: Vec::new(),
                             border_hubs: 0,
                         };
-                        for &h in chunk {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&h) = order.get(i) else { break };
                             let (ppv, size) = pc.prime_ppv(graph, hubs, h, config, config.clip);
-                            shard.subgraph_nodes += size;
-                            shard.max_subgraph = shard.max_subgraph.max(size);
                             shard.border_hubs += ppv.border_hubs(hubs).count();
-                            shard.ppvs.push((h, ppv));
+                            shard.ppvs.push((i, ppv, size));
                         }
                         shard
                     })
@@ -91,17 +111,25 @@ pub fn build_index_parallel(
         })
     };
 
-    let mut index = MemoryIndex::new(graph.num_nodes());
+    // Reassemble `order`: stats are order-insensitive sums, but index
+    // insertion order (and therefore the serialized layout) must not
+    // depend on which worker built what.
+    let mut slots: Vec<Option<PrimePpv>> = Vec::with_capacity(order.len());
+    slots.resize_with(order.len(), || None);
     let mut subgraph_nodes = 0usize;
     let mut max_subgraph = 0usize;
     let mut border_hubs = 0usize;
     for shard in shards {
-        subgraph_nodes += shard.subgraph_nodes;
-        max_subgraph = max_subgraph.max(shard.max_subgraph);
         border_hubs += shard.border_hubs;
-        for (h, ppv) in shard.ppvs {
-            index.insert(h, ppv);
+        for (i, ppv, size) in shard.ppvs {
+            subgraph_nodes += size;
+            max_subgraph = max_subgraph.max(size);
+            slots[i] = Some(ppv);
         }
+    }
+    let mut index = MemoryIndex::new(graph.num_nodes());
+    for (slot, &h) in slots.iter_mut().zip(order) {
+        index.insert(h, slot.take().expect("every ordered hub is built"));
     }
     let n_hubs = index.hub_count();
     let stats = OfflineStats {
@@ -193,6 +221,37 @@ mod tests {
         for &h in hubs.ids() {
             assert_eq!(flat.load(h).unwrap(), *memory.get(h).unwrap(), "hub {h}");
         }
+    }
+
+    #[test]
+    fn in_order_build_respects_order_and_matches_default() {
+        let g = barabasi_albert(400, 3, 19);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let config = Config::default();
+        let (default, _) = build_index(&g, &hubs, &config);
+        // Reversed order: same PPVs, insertion order follows `order`.
+        let mut reversed: Vec<_> = hubs.ids().to_vec();
+        reversed.reverse();
+        let (ordered, _) = build_index_in_order(&g, &hubs, &reversed, &config, 3);
+        assert_eq!(ordered.hub_ids(), &reversed[..]);
+        for &h in hubs.ids() {
+            assert_eq!(
+                ordered.get(h).unwrap().entries,
+                default.get(h).unwrap().entries,
+                "hub {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_clamped() {
+        let g = toy::graph();
+        let hubs = crate::hubs::HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        // More threads than hubs: workers beyond the hub count exit
+        // immediately; output unaffected.
+        let (index, stats) = build_index_parallel(&g, &hubs, &Config::default(), 64);
+        assert_eq!(index.hub_count(), 3);
+        assert_eq!(stats.hubs, 3);
     }
 
     #[test]

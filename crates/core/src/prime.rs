@@ -12,9 +12,9 @@
 //!   at nodes with reachability `< ε`. On cyclic graphs a per-path DFS does
 //!   not terminate; the node set it defines is exactly
 //!   `{u : max hub-free walk probability v ⇝ u ≥ ε}`, which we compute with
-//!   a max-probability Dijkstra (walk probability is monotonically
-//!   decreasing along a path, so best-first expansion is correct and each
-//!   node is expanded once).
+//!   a best-first search (walk probability is monotonically decreasing
+//!   along a path, so best-first expansion is correct and each node is
+//!   expanded once).
 //! * Stored prime PPVs exclude the *trivial tour* mass `α` at the source:
 //!   Theorems 3–4 assemble tours from **non-empty** hub-free segments (a
 //!   transfer at a hub requires actually arriving there), so the empty tour
@@ -24,20 +24,71 @@
 //! * Mass arriving at a **hub** source is absorbed rather than re-propagated
 //!   (the second visit is an interior hub occurrence, i.e. hub length ≥ 1);
 //!   mass arriving at a non-hub source re-propagates.
+//!
+//! ## The kernel, anatomically
+//!
+//! This module is the one hot kernel both phases share: the offline build
+//! runs it once per hub, the online engine once per cold non-hub query. It
+//! is organized for throughput and tail latency:
+//!
+//! 1. **Extraction** runs a max-probability search whose priority queue is
+//!    a monotone [`BucketQueue`] over quantized log-probabilities — O(1)
+//!    push/pop with no float comparator — iterating the graph's CSR arrays
+//!    directly ([`fastppv_graph::CsrView`]) on the in-memory path instead
+//!    of the dynamic-dispatch [`AdjacencyAccess`] indirection (which
+//!    remains available for disk-resident graphs).
+//! 2. **Renumbering**: interior nodes get local ids ordered by descending
+//!    global out-degree (source first, ties by node id). High-degree nodes
+//!    are the ones every other row's target list points at, so packing
+//!    them into the low local ids keeps the solve's dense `mass` array
+//!    traffic inside a few cache lines — and puts the subgraph's own core
+//!    at the front of every sweep. The local CSR is *class-split*: each
+//!    node's interior targets and sink targets (absorbers, plus a hub
+//!    source's return slot) live in separate, per-node-sorted arrays, so
+//!    the solve's inner loops are branch-free.
+//! 3. **Solve** runs threshold-gated Gauss–Seidel sweeps in ascending
+//!    local-id order: each pass settles every residual above
+//!    `solve_tolerance` and re-propagates mass forward within the same
+//!    pass, until a pass settles nothing — the same
+//!    `tolerance × |interior|` leftover guarantee as a worklist push, in a
+//!    fraction of the edge-visits.
+//!
+//! The three stages share one reusable arena inside [`PrimeComputer`]:
+//! after warmup, [`PrimeComputer::prime_ppv_into`] — the *fused* one-shot
+//! path — extracts, solves, and emits the sorted entry list without a
+//! single heap allocation (the materializing [`PrimeComputer::extract`] /
+//! [`PrimeComputer::solve`] pair still exists for callers that keep the
+//! [`PrimeSubgraph`] around, and is pinned bit-for-bit equal to the fused
+//! path by the kernel-equivalence tests).
+//!
+//! ## Why quantized priorities preserve determinism
+//!
+//! Bucketing pops nodes in quantized-priority order, not exact priority
+//! order — but everything downstream depends only on quantities that are
+//! *pop-order independent*: the interior node **set** (`{u : best(u) ≥ ε}`,
+//! a fixed point of max-relaxation), the per-node **best probabilities**
+//! (maxima of per-path products, each evaluated left-to-right), and the
+//! local numbering (sorted by degree/id, not by discovery). The bucket
+//! width is chosen ≤ `log2(1/(1-α))` — one random-walk step always decays
+//! probability past at least one full bucket — so a popped node's best is
+//! final, exactly as in an exact-priority search; even if a coarser width
+//! is ever in effect (α < 1/65), the queue re-expands improved nodes and
+//! converges to the same maxima. Two runs of any kernel entry point over
+//! equal inputs are therefore bit-identical, which is what lets the
+//! offline build merge worker output in hub order and stay byte-identical
+//! to a serial build.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use fastppv_graph::{Graph, NodeId, SparseVector};
+use fastppv_graph::{CsrView, Graph, NodeId, SparseVector};
 
 use crate::config::Config;
 use crate::hubs::HubSet;
 use crate::index::PrimePpv;
 
-/// Abstract adjacency access, so extraction can run against an in-memory
-/// [`Graph`] or a disk-resident clustered graph (`fastppv-cluster`), where
-/// every probe may trigger a cluster load. Methods take `&mut self` for
-/// exactly that reason.
+/// Abstract adjacency access, so extraction can run against a disk-resident
+/// clustered graph (`fastppv-cluster`), where every probe may trigger a
+/// cluster load. Methods take `&mut self` for exactly that reason; plain
+/// in-memory graphs get the zero-indirection CSR path instead and only
+/// implement this trait for API uniformity.
 pub trait AdjacencyAccess {
     /// Number of nodes in the underlying graph.
     fn num_nodes(&self) -> usize;
@@ -65,31 +116,192 @@ impl AdjacencyAccess for &Graph {
     }
 }
 
-/// A max-heap entry ordered by walk probability.
-struct ProbEntry(f64, NodeId);
+/// Mutable references delegate, so call sites hand a `&mut DiskGraph` (or
+/// any other access) straight to the generic kernel entry points without
+/// re-borrowing contortions.
+impl<A: AdjacencyAccess + ?Sized> AdjacencyAccess for &mut A {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
 
-impl PartialEq for ProbEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0 && self.1 == other.1
+    fn out_degree(&mut self, v: NodeId) -> usize {
+        (**self).out_degree(v)
+    }
+
+    fn visit_out_neighbors(&mut self, v: NodeId, f: &mut dyn FnMut(NodeId)) {
+        (**self).visit_out_neighbors(v, f)
     }
 }
-impl Eq for ProbEntry {}
-impl PartialOrd for ProbEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+/// Internal neighbor source the extraction is generic over: unlike
+/// [`AdjacencyAccess`], `visit` takes a monomorphized closure, so the CSR
+/// implementation compiles down to a plain slice loop.
+trait NbrSource {
+    fn degree(&mut self, v: NodeId) -> usize;
+    fn visit<F: FnMut(NodeId)>(&mut self, v: NodeId, f: F);
+}
+
+/// The in-memory fast path: direct CSR slice iteration.
+struct CsrSource<'a>(CsrView<'a>);
+
+impl NbrSource for CsrSource<'_> {
+    #[inline]
+    fn degree(&mut self, v: NodeId) -> usize {
+        self.0.out_degree(v)
+    }
+
+    #[inline]
+    fn visit<F: FnMut(NodeId)>(&mut self, v: NodeId, mut f: F) {
+        for &t in self.0.out_neighbors(v) {
+            f(t);
+        }
     }
 }
-impl Ord for ProbEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+
+/// Bridge from the dynamic-dispatch trait (disk-resident graphs).
+struct DynSource<A>(A);
+
+impl<A: AdjacencyAccess> NbrSource for DynSource<A> {
+    fn degree(&mut self, v: NodeId) -> usize {
+        self.0.out_degree(v)
+    }
+
+    fn visit<F: FnMut(NodeId)>(&mut self, v: NodeId, mut f: F) {
+        self.0.visit_out_neighbors(v, &mut f)
+    }
+}
+
+/// A monotone bucket queue over walk probabilities in `(0, 1]`, keyed on a
+/// quantized log-probability: O(1) push and pop, no float comparisons.
+///
+/// ## Priority quantization
+///
+/// The bucket index of a probability `p` is derived from the raw IEEE-754
+/// bits: `key(p) = key_base - (p.to_bits() >> (52 - k))`. The shifted bit
+/// pattern keeps the sign (0), the exponent, and the top `k` mantissa bits,
+/// and — for positive finite floats — is monotone in `p`, so `key` is
+/// monotone *decreasing* in `p` and splits every octave `[2^e, 2^{e+1})`
+/// into `2^k` linear sub-buckets. The widest sub-bucket spans
+/// `log2(1 + 2^-k)` in log-probability; picking the smallest `k` with
+/// `2^k ≥ (1-α)/α` makes that width at most `log2(1/(1-α))`, the decay of
+/// a single degree-1 random-walk step. One relaxation therefore always
+/// moves at least one bucket forward: the queue is *monotone* (drained
+/// buckets never refill), pops are exact despite quantization, and the
+/// entire priority structure uses integer ops only — fully deterministic
+/// across platforms.
+///
+/// `k` is clamped to 6; below α = 1/65 the monotone guarantee lapses, and
+/// the queue compensates by re-expanding a node whenever its best
+/// probability improves after a pop (see [`PrimeComputer`]'s search loop),
+/// which preserves exactness at the cost of occasional duplicate pops.
+#[derive(Debug, Default)]
+pub struct BucketQueue {
+    buckets: Vec<Vec<(f64, NodeId)>>,
+    cursor: usize,
+    high: usize,
+    len: usize,
+    shift: u32,
+    key_base: u64,
+}
+
+impl BucketQueue {
+    /// An empty queue (call [`BucketQueue::configure`] before use).
+    pub fn new() -> Self {
+        BucketQueue::default()
+    }
+
+    /// Resets the queue and derives the quantization width from `alpha`
+    /// (see the type docs). Bucket storage is retained across calls.
+    pub fn configure(&mut self, alpha: f64) {
+        debug_assert!(self.len == 0, "configure on a non-empty queue");
+        let mut k = 0u32;
+        while k < 6 && ((1u64 << k) as f64) * alpha < 1.0 - alpha {
+            k += 1;
+        }
+        self.shift = 52 - k;
+        self.key_base = 1.0f64.to_bits() >> self.shift;
+        self.cursor = 0;
+        self.high = 0;
+    }
+
+    #[inline]
+    fn key(&self, p: f64) -> usize {
+        debug_assert!(p > 0.0 && p <= 1.0);
+        (self.key_base - (p.to_bits() >> self.shift)) as usize
+    }
+
+    /// Enqueues `v` at probability `p ∈ (0, 1]`.
+    #[inline]
+    pub fn push(&mut self, p: f64, v: NodeId) {
+        // Monotonicity bounds keys below by the drain cursor; clamping is a
+        // release-mode safety net that keeps late entries poppable.
+        let key = self.key(p).max(self.cursor);
+        if key >= self.buckets.len() {
+            self.buckets.resize_with(key + 1, Vec::new);
+        }
+        self.buckets[key].push((p, v));
+        self.high = self.high.max(key);
+        self.len += 1;
+    }
+
+    /// Pops an entry from the lowest non-empty bucket (within a bucket,
+    /// LIFO — deterministic, since insertion order is).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f64, NodeId)> {
+        while self.cursor <= self.high {
+            if let Some(entry) = self.buckets[self.cursor].pop() {
+                self.len -= 1;
+                return Some(entry);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all entries (bucket capacities are retained).
+    pub fn clear(&mut self) {
+        for bucket in self.buckets.iter_mut().take(self.high + 1) {
+            bucket.clear();
+        }
+        self.cursor = 0;
+        self.high = 0;
+        self.len = 0;
     }
 }
 
 /// The extracted prime subgraph of a source node, in local-id form.
 ///
-/// Local ids `0..num_interior` are *interior* (propagating) nodes, source
-/// first; ids `num_interior..nodes.len()` are absorbers (border hubs and
-/// sub-`ε` frontier nodes).
+/// Local ids `0..num_interior` are *interior* (propagating) nodes — the
+/// source first, then descending global out-degree (ties by node id, the
+/// cache-locality numbering the solve runs over); ids
+/// `num_interior..nodes.len()` are absorbers (border hubs and sub-`ε`
+/// frontier nodes).
+///
+/// Each interior node's out-edges are stored **split by target class** and
+/// sorted ascending within the class:
+///
+/// * [`PrimeSubgraph::interior_targets`] — interior locals, the solve's
+///   scatter targets (ascending order turns the scatter into a forward
+///   walk over the dense mass array);
+/// * [`PrimeSubgraph::sink_targets`] — *sink* indices: when the source is
+///   a hub, sink `0` is the source's own return-mass accumulator (the
+///   second visit would be an interior hub occurrence, so it absorbs) and
+///   absorber local `num_interior + k` is sink `k + 1`; for a non-hub
+///   source, absorber local `num_interior + k` is sink `k`.
+///
+/// Splitting is exact, not a reordering trick: each target's accumulator
+/// still receives its contributions in the same processing order, so the
+/// solved values are independent of the within-list target order.
 #[derive(Clone, Debug)]
 pub struct PrimeSubgraph {
     /// The source node (global id).
@@ -98,10 +310,17 @@ pub struct PrimeSubgraph {
     pub nodes: Vec<NodeId>,
     /// Number of interior (propagating) nodes; the rest absorb.
     pub num_interior: usize,
-    /// CSR offsets over interior locals.
-    pub adj_offsets: Vec<usize>,
-    /// CSR targets (local ids, spanning interior and absorbers).
-    pub adj_targets: Vec<u32>,
+    /// CSR offsets over interior locals into `int_targets`
+    /// (`num_interior + 1` entries).
+    pub int_offsets: Vec<u32>,
+    /// Interior-local targets, per-node ranges sorted ascending.
+    pub int_targets: Vec<u32>,
+    /// CSR offsets over interior locals into `sink_targets`
+    /// (`num_interior + 1` entries).
+    pub sink_offsets: Vec<u32>,
+    /// Sink-index targets (see type docs), per-node ranges sorted
+    /// ascending.
+    pub sink_targets: Vec<u32>,
     /// Global out-degree of each interior local (propagation denominators —
     /// mass leaking to pruned out-neighbors is intentionally lost).
     pub out_degree: Vec<u32>,
@@ -120,29 +339,174 @@ impl PrimeSubgraph {
         self.nodes.len() - self.num_interior
     }
 
-    /// Local out-edges of interior local `u`.
-    pub fn targets(&self, u: usize) -> &[u32] {
-        &self.adj_targets[self.adj_offsets[u]..self.adj_offsets[u + 1]]
+    /// Number of sink accumulators (absorbers, plus the hub source's
+    /// return slot).
+    pub fn num_sinks(&self) -> usize {
+        self.num_absorbers() + usize::from(self.source_is_hub)
     }
+
+    /// Interior out-edges of interior local `u` (interior locals,
+    /// ascending).
+    pub fn interior_targets(&self, u: usize) -> &[u32] {
+        &self.int_targets[self.int_offsets[u] as usize..self.int_offsets[u + 1] as usize]
+    }
+
+    /// Sink out-edges of interior local `u` (sink indices, ascending).
+    pub fn sink_targets(&self, u: usize) -> &[u32] {
+        &self.sink_targets[self.sink_offsets[u] as usize..self.sink_offsets[u + 1] as usize]
+    }
+}
+
+/// Sweep scratch of the prime-PPV solve, reused across solves.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    mass: Vec<f64>,
+    mass_next: Vec<f64>,
+    absorbed: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Solves the linear system over a split local CSR (see
+    /// [`PrimeSubgraph`]) with threshold-gated Gauss–Seidel sweeps:
+    /// ascending-local-id passes settle every residual above
+    /// `solve_tolerance`, until a pass finds none. Because the numbering
+    /// is degree-descending, a sweep pushes mass *forward* through the
+    /// subgraph's own high-degree core in the same pass (mass sent to a
+    /// higher local id is re-propagated within the sweep), so the residual
+    /// tail decays in far fewer edge-visits than a FIFO worklist — and the
+    /// per-edge work is a branch-free scatter into the dense `mass_next`
+    /// array, walked in ascending order. The exit guarantee is unchanged:
+    /// at most `tolerance × |interior|` mass is left unaccounted. On
+    /// return `self.mass` holds interior visit mass and `self.absorbed`
+    /// the per-sink mass (sink 0 is a hub source's returns).
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &mut self,
+        int_offsets: &[u32],
+        int_targets: &[u32],
+        sink_offsets: &[u32],
+        sink_targets: &[u32],
+        out_degree: &[u32],
+        num_interior: usize,
+        num_sinks: usize,
+        config: &Config,
+    ) {
+        let alpha = config.alpha;
+        let ni = num_interior;
+        let theta = config.solve_tolerance;
+        // mass = settled visit mass m; mass_next = pending residual ρ.
+        self.mass.clear();
+        self.mass.resize(ni, 0.0);
+        self.mass_next.clear();
+        self.mass_next.resize(ni, 0.0);
+        self.absorbed.clear();
+        self.absorbed.resize(num_sinks, 0.0);
+        self.mass_next[0] = 1.0;
+        let max_settles = config
+            .solve_max_iterations
+            .saturating_mul(ni.max(1))
+            .max(1_000);
+        let mut settles = 0usize;
+        loop {
+            let mut settled_this_sweep = 0usize;
+            for u in 0..ni {
+                let r = self.mass_next[u];
+                if r <= theta {
+                    continue;
+                }
+                settled_this_sweep += 1;
+                self.mass_next[u] = 0.0;
+                self.mass[u] += r;
+                let d = out_degree[u];
+                if d == 0 {
+                    continue;
+                }
+                let share = r * (1.0 - alpha) / d as f64;
+                for &t in &int_targets[int_offsets[u] as usize..int_offsets[u + 1] as usize] {
+                    self.mass_next[t as usize] += share;
+                }
+                for &t in &sink_targets[sink_offsets[u] as usize..sink_offsets[u + 1] as usize] {
+                    self.absorbed[t as usize] += share;
+                }
+            }
+            settles += settled_this_sweep;
+            if settled_this_sweep == 0 || settles > max_settles {
+                // Clean sweep: every residual ≤ θ — or the safety valve
+                // tripped (residual left is reported via clip/φ).
+                break;
+            }
+        }
+    }
+}
+
+/// Gathers a solved system into `(global id, score)` entries sorted by id:
+/// α × visit mass, trivial tour excluded at the source, clipped at `clip`.
+fn emit_entries(
+    out: &mut Vec<(NodeId, f64)>,
+    solve: &SolveScratch,
+    nodes: &[NodeId],
+    num_interior: usize,
+    source_is_hub: bool,
+    alpha: f64,
+    clip: f64,
+) {
+    out.clear();
+    // A hub source's returning mass lives in sink 0; a non-hub source
+    // re-propagates, so its own entry is visit mass minus the trivial tour.
+    let (src_score, absorbers) = if source_is_hub {
+        (alpha * solve.absorbed[0], &solve.absorbed[1..])
+    } else {
+        (alpha * (solve.mass[0] - 1.0), &solve.absorbed[..])
+    };
+    if src_score >= clip && src_score > 0.0 {
+        out.push((nodes[0], src_score));
+    }
+    for (&v, &m) in nodes[1..num_interior]
+        .iter()
+        .zip(&solve.mass[1..num_interior])
+    {
+        let s = alpha * m;
+        if s >= clip && s > 0.0 {
+            out.push((v, s));
+        }
+    }
+    for (i, &a) in absorbers.iter().enumerate() {
+        let s = alpha * a;
+        if s >= clip && s > 0.0 {
+            out.push((nodes[num_interior + i], s));
+        }
+    }
+    out.sort_unstable_by_key(|&(id, _)| id);
 }
 
 /// Reusable workspace for prime-subgraph extraction and prime-PPV solves.
 ///
-/// Holds graph-sized scratch arrays so repeated extractions (one per hub
-/// offline; one per non-hub query online) allocate nothing proportional to
-/// the graph.
+/// Holds graph-sized search scratch, the renumbered local-CSR arena of the
+/// last extraction, the solve scratch, and the emitted-entries buffer, so
+/// repeated computations (one per hub offline; one per cold non-hub query
+/// online) allocate nothing once warm — the fused
+/// [`PrimeComputer::prime_ppv_into`] is fully allocation-free after the
+/// buffers have grown to the workload's footprint.
 pub struct PrimeComputer {
+    // Graph-sized search scratch.
     best: Vec<f64>,
     local_of: Vec<u32>,
     touched: Vec<NodeId>,
-    heap: BinaryHeap<ProbEntry>,
-    // Solve scratch, sized per subgraph and reused across solves (the
-    // reusable-workspace contract: no per-call allocations once warm).
-    mass: Vec<f64>,
-    mass_next: Vec<f64>,
-    absorbed: Vec<f64>,
-    in_queue: Vec<bool>,
-    queue: std::collections::VecDeque<u32>,
+    queue: BucketQueue,
+    // The renumbered, class-split local CSR of the last extraction (the
+    // arena).
+    nodes: Vec<NodeId>,
+    deg_order: Vec<(u32, NodeId)>,
+    int_offsets: Vec<u32>,
+    int_targets: Vec<u32>,
+    sink_offsets: Vec<u32>,
+    sink_targets: Vec<u32>,
+    out_degree: Vec<u32>,
+    num_interior: usize,
+    source_is_hub: bool,
+    // Solve scratch and the fused path's output buffer.
+    solve: SolveScratch,
+    entries: Vec<(NodeId, f64)>,
 }
 
 const NO_LOCAL: u32 = u32::MAX;
@@ -154,13 +518,212 @@ impl PrimeComputer {
             best: vec![0.0; n],
             local_of: vec![NO_LOCAL; n],
             touched: Vec::new(),
-            heap: BinaryHeap::new(),
-            mass: Vec::new(),
-            mass_next: Vec::new(),
-            absorbed: Vec::new(),
-            in_queue: Vec::new(),
-            queue: std::collections::VecDeque::new(),
+            queue: BucketQueue::new(),
+            nodes: Vec::new(),
+            deg_order: Vec::new(),
+            int_offsets: Vec::new(),
+            int_targets: Vec::new(),
+            sink_offsets: Vec::new(),
+            sink_targets: Vec::new(),
+            out_degree: Vec::new(),
+            num_interior: 0,
+            source_is_hub: false,
+            solve: SolveScratch::default(),
+            entries: Vec::new(),
         }
+    }
+
+    /// Extracts `source`'s prime subgraph into the internal arena: bucket-
+    /// queue best-first search, then degree-ordered renumbering and the
+    /// local CSR build.
+    fn extract_arena<Src: NbrSource>(
+        &mut self,
+        src: &mut Src,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+    ) {
+        let alpha = config.alpha;
+        let eps = config.epsilon;
+        let PrimeComputer {
+            best,
+            local_of,
+            touched,
+            queue,
+            nodes,
+            deg_order,
+            int_offsets,
+            int_targets,
+            sink_offsets,
+            sink_targets,
+            out_degree,
+            num_interior,
+            source_is_hub,
+            ..
+        } = self;
+        debug_assert!(queue.is_empty());
+        debug_assert!(touched.is_empty());
+
+        // Phase 1: monotone bucket-queue search over walk probability.
+        // Interior = every node reached with probability ≥ ε (hubs are
+        // never enqueued; they are collected as absorbers in phase 2, as is
+        // a hub source re-encountered). A popped entry whose probability no
+        // longer matches `best` is stale; a node improved after its pop
+        // (possible only below the monotone-width α threshold) re-enqueues
+        // itself on the improvement, so `best` always converges to the
+        // exact per-node maximum.
+        best[source as usize] = 1.0;
+        touched.push(source);
+        queue.configure(alpha);
+        queue.push(1.0, source);
+        while let Some((p, v)) = queue.pop() {
+            if p != best[v as usize] {
+                continue; // stale entry
+            }
+            let d = src.degree(v);
+            if d == 0 {
+                continue;
+            }
+            let w = p * (1.0 - alpha) / d as f64;
+            if w < eps {
+                continue;
+            }
+            src.visit(v, |t| {
+                if hubs.is_hub(t) {
+                    return;
+                }
+                let b = &mut best[t as usize];
+                if w > *b {
+                    if *b == 0.0 {
+                        touched.push(t);
+                    }
+                    *b = w;
+                    queue.push(w, t);
+                }
+            });
+        }
+
+        // Phase 2: renumber interior nodes — source first, then descending
+        // global out-degree (ties by id; a deterministic order independent
+        // of pop order) — and build the class-split local CSR over the new
+        // numbering: interior targets and sink targets in separate arrays,
+        // each per-node range sorted ascending (the solve's scatter then
+        // walks the dense mass array forward). Absorbers get locals after
+        // the interior block as they are discovered; a hub source's
+        // returning mass is routed to the reserved sink 0.
+        debug_assert_eq!(touched[0], source);
+        let src_hub = hubs.is_hub(source);
+        let sink_base = u32::from(src_hub);
+        deg_order.clear();
+        for &v in touched[1..].iter() {
+            deg_order.push((src.degree(v) as u32, v));
+        }
+        deg_order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        nodes.clear();
+        nodes.push(source);
+        nodes.extend(deg_order.iter().map(|&(_, v)| v));
+        let ni = nodes.len();
+        for (i, &v) in nodes.iter().enumerate() {
+            local_of[v as usize] = i as u32;
+        }
+        out_degree.clear();
+        out_degree.push(src.degree(source) as u32);
+        out_degree.extend(deg_order.iter().map(|&(d, _)| d));
+        int_offsets.clear();
+        int_offsets.push(0);
+        int_targets.clear();
+        sink_offsets.clear();
+        sink_offsets.push(0);
+        sink_targets.clear();
+        for u in 0..ni {
+            let v = nodes[u];
+            let int_start = int_targets.len();
+            let sink_start = sink_targets.len();
+            src.visit(v, |t| {
+                if src_hub && t == source {
+                    sink_targets.push(0);
+                    return;
+                }
+                let slot = &mut local_of[t as usize];
+                if *slot == NO_LOCAL {
+                    *slot = nodes.len() as u32;
+                    nodes.push(t);
+                    touched.push(t);
+                }
+                let l = *slot;
+                if (l as usize) < ni {
+                    int_targets.push(l);
+                } else {
+                    sink_targets.push(l - ni as u32 + sink_base);
+                }
+            });
+            int_targets[int_start..].sort_unstable();
+            sink_targets[sink_start..].sort_unstable();
+            int_offsets.push(int_targets.len() as u32);
+            sink_offsets.push(sink_targets.len() as u32);
+        }
+        *num_interior = ni;
+        *source_is_hub = src_hub;
+
+        // Reset graph-sized scratch.
+        for &v in touched.iter() {
+            best[v as usize] = 0.0;
+            local_of[v as usize] = NO_LOCAL;
+        }
+        touched.clear();
+    }
+
+    /// Copies the arena out into an owned [`PrimeSubgraph`].
+    fn materialize_subgraph(&self, source: NodeId) -> PrimeSubgraph {
+        PrimeSubgraph {
+            source,
+            nodes: self.nodes.clone(),
+            num_interior: self.num_interior,
+            int_offsets: self.int_offsets.clone(),
+            int_targets: self.int_targets.clone(),
+            sink_offsets: self.sink_offsets.clone(),
+            sink_targets: self.sink_targets.clone(),
+            out_degree: self.out_degree.clone(),
+            source_is_hub: self.source_is_hub,
+        }
+    }
+
+    /// Solves over the internal arena, leaving sorted clipped entries in
+    /// `self.entries`.
+    fn solve_arena(&mut self, config: &Config, clip: f64) {
+        let PrimeComputer {
+            nodes,
+            int_offsets,
+            int_targets,
+            sink_offsets,
+            sink_targets,
+            out_degree,
+            num_interior,
+            source_is_hub,
+            solve,
+            entries,
+            ..
+        } = self;
+        let num_sinks = nodes.len() - *num_interior + usize::from(*source_is_hub);
+        solve.run(
+            int_offsets,
+            int_targets,
+            sink_offsets,
+            sink_targets,
+            out_degree,
+            *num_interior,
+            num_sinks,
+            config,
+        );
+        emit_entries(
+            entries,
+            solve,
+            nodes,
+            *num_interior,
+            *source_is_hub,
+            config.alpha,
+            clip,
+        );
     }
 
     /// Extracts the prime subgraph of `source` (paper §5.1): best-first
@@ -172,222 +735,55 @@ impl PrimeComputer {
         source: NodeId,
         config: &Config,
     ) -> PrimeSubgraph {
-        self.extract_from(&mut { graph }, hubs, source, config)
+        self.extract_arena(&mut CsrSource(graph.out_csr()), hubs, source, config);
+        self.materialize_subgraph(source)
     }
 
-    /// Like [`PrimeComputer::extract`], over any [`AdjacencyAccess`].
+    /// Like [`PrimeComputer::extract`], over any [`AdjacencyAccess`] (pass
+    /// `&mut access` for by-reference use).
     pub fn extract_from<A: AdjacencyAccess>(
         &mut self,
-        graph: &mut A,
+        graph: A,
         hubs: &HubSet,
         source: NodeId,
         config: &Config,
     ) -> PrimeSubgraph {
-        let alpha = config.alpha;
-        let eps = config.epsilon;
-        let PrimeComputer {
-            best,
-            local_of,
-            touched,
-            heap,
-            ..
-        } = self;
-        debug_assert!(heap.is_empty());
-        debug_assert!(touched.is_empty());
-
-        let mut nodes: Vec<NodeId> = Vec::new();
-        fn push_local(
-            v: NodeId,
-            nodes: &mut Vec<NodeId>,
-            local_of: &mut [u32],
-            touched: &mut Vec<NodeId>,
-        ) -> u32 {
-            let slot = &mut local_of[v as usize];
-            if *slot == NO_LOCAL {
-                *slot = nodes.len() as u32;
-                nodes.push(v);
-                touched.push(v);
-            }
-            *slot
-        }
-
-        // Phase 1: Dijkstra over walk probability; interior nodes are popped
-        // in decreasing-probability order. The source is always interior.
-        best[source as usize] = 1.0;
-        touched.push(source);
-        heap.push(ProbEntry(1.0, source));
-        let mut interior: Vec<NodeId> = Vec::new();
-        while let Some(ProbEntry(p, v)) = heap.pop() {
-            if p < best[v as usize] {
-                continue; // stale entry
-            }
-            // Mark popped so duplicates are skipped (any other heap entry
-            // for v has prob <= p and is discarded against infinity).
-            best[v as usize] = f64::INFINITY;
-            interior.push(v);
-            let d = graph.out_degree(v);
-            if d == 0 {
-                continue;
-            }
-            let w = p * (1.0 - alpha) / d as f64;
-            if w < eps {
-                continue;
-            }
-            graph.visit_out_neighbors(v, &mut |t| {
-                // Hubs never propagate; they are collected as absorbers in
-                // phase 2. The source re-encountered is handled the same
-                // way if it is a hub.
-                if hubs.is_hub(t) {
-                    return;
-                }
-                if w > best[t as usize] {
-                    if best[t as usize] == 0.0 {
-                        touched.push(t);
-                    }
-                    best[t as usize] = w;
-                    heap.push(ProbEntry(w, t));
-                }
-            });
-        }
-
-        // Phase 2: assign local ids — interior first (source is interior[0]
-        // because it entered the heap with probability 1), then absorbers
-        // discovered on interior out-edges.
-        debug_assert_eq!(interior[0], source);
-        for &v in &interior {
-            push_local(v, &mut nodes, local_of, touched);
-        }
-        let num_interior = nodes.len();
-        let mut adj_offsets = Vec::with_capacity(num_interior + 1);
-        let mut adj_targets: Vec<u32> = Vec::new();
-        let mut out_degree = Vec::with_capacity(num_interior);
-        adj_offsets.push(0);
-        for u in 0..num_interior {
-            let v = nodes[u];
-            out_degree.push(graph.out_degree(v) as u32);
-            graph.visit_out_neighbors(v, &mut |t| {
-                let lt = push_local(t, &mut nodes, local_of, touched);
-                adj_targets.push(lt);
-            });
-            adj_offsets.push(adj_targets.len());
-        }
-
-        // Reset graph-sized scratch.
-        for &v in touched.iter() {
-            best[v as usize] = 0.0;
-            local_of[v as usize] = NO_LOCAL;
-        }
-        touched.clear();
-        heap.clear();
-
-        PrimeSubgraph {
-            source,
-            nodes,
-            num_interior,
-            adj_offsets,
-            adj_targets,
-            out_degree,
-            source_is_hub: hubs.is_hub(source),
-        }
+        self.extract_arena(&mut DynSource(graph), hubs, source, config);
+        self.materialize_subgraph(source)
     }
 
-    /// Solves for the prime PPV of `sub.source` over the subgraph with an
-    /// adaptive worklist push: residual mass is propagated node by node
-    /// until every interior residual falls below `solve_tolerance` (work is
-    /// proportional to actual mass flow, not sweeps × edges), leaving at
-    /// most `tolerance × |interior|` mass unaccounted. Returns the
-    /// **trivial-tour-excluded** reachabilities `r̊⁰` (see module docs),
-    /// clipped at `clip`.
+    /// Solves for the prime PPV of `sub.source` over the subgraph
+    /// (threshold-gated Gauss–Seidel sweeps, see [`SolveScratch::run`]).
+    /// Returns the **trivial-tour-excluded** reachabilities `r̊⁰` (see
+    /// module docs), clipped at `clip`.
     pub fn solve(&mut self, sub: &PrimeSubgraph, config: &Config, clip: f64) -> PrimePpv {
-        let alpha = config.alpha;
-        let ni = sub.num_interior;
-        let ntot = sub.num_nodes();
-        let theta = config.solve_tolerance;
-        // mass = settled visit mass m; mass_next = pending residual ρ.
-        // All solve scratch lives in the computer and is cleared on reuse.
-        self.mass.clear();
-        self.mass.resize(ni, 0.0);
-        self.mass_next.clear();
-        self.mass_next.resize(ni, 0.0);
-        self.absorbed.clear();
-        self.absorbed.resize(ntot - ni, 0.0);
-        self.in_queue.clear();
-        self.in_queue.resize(ni, false);
-        self.queue.clear();
-        let mut source_returns = 0.0;
-        self.mass_next[0] = 1.0;
-        self.in_queue[0] = true;
-        self.queue.push_back(0);
-        let max_pushes = config
-            .solve_max_iterations
-            .saturating_mul(ni.max(1))
-            .max(1_000);
-        let mut pushes = 0usize;
-        while let Some(u) = self.queue.pop_front() {
-            let u = u as usize;
-            self.in_queue[u] = false;
-            let r = self.mass_next[u];
-            if r == 0.0 {
-                continue;
-            }
-            self.mass_next[u] = 0.0;
-            self.mass[u] += r;
-            pushes += 1;
-            if pushes > max_pushes {
-                break; // safety valve; residual left is reported via clip
-            }
-            let d = sub.out_degree[u];
-            if d == 0 {
-                continue;
-            }
-            let share = r * (1.0 - alpha) / d as f64;
-            for &t in sub.targets(u) {
-                let t = t as usize;
-                if t >= ni {
-                    self.absorbed[t - ni] += share;
-                } else if t == 0 && sub.source_is_hub {
-                    // Mass returning to a hub source absorbs (the second
-                    // visit would be an interior hub occurrence).
-                    source_returns += share;
-                } else {
-                    self.mass_next[t] += share;
-                    if self.mass_next[t] > theta && !self.in_queue[t] {
-                        self.in_queue[t] = true;
-                        self.queue.push_back(t as u32);
-                    }
-                }
-            }
-        }
-        // Materialize entries: α × visit mass, with the trivial tour
-        // excluded at the source.
-        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(ntot);
-        let src_score = if sub.source_is_hub {
-            alpha * source_returns
-        } else {
-            alpha * (self.mass[0] - 1.0)
-        };
-        if src_score >= clip && src_score > 0.0 {
-            entries.push((sub.source, src_score));
-        }
-        for u in 1..ni {
-            let s = alpha * self.mass[u];
-            if s >= clip && s > 0.0 {
-                entries.push((sub.nodes[u], s));
-            }
-        }
-        for (i, &a) in self.absorbed.iter().enumerate() {
-            let s = alpha * a;
-            if s >= clip && s > 0.0 {
-                entries.push((sub.nodes[ni + i], s));
-            }
-        }
-        entries.sort_unstable_by_key(|&(id, _)| id);
+        self.solve.run(
+            &sub.int_offsets,
+            &sub.int_targets,
+            &sub.sink_offsets,
+            &sub.sink_targets,
+            &sub.out_degree,
+            sub.num_interior,
+            sub.num_sinks(),
+            config,
+        );
+        emit_entries(
+            &mut self.entries,
+            &self.solve,
+            &sub.nodes,
+            sub.num_interior,
+            sub.source_is_hub,
+            config.alpha,
+            clip,
+        );
         PrimePpv {
-            entries: SparseVector::from_sorted(entries),
+            entries: SparseVector::from_sorted(self.entries.clone()),
         }
     }
 
-    /// Convenience: extract + solve in one call.
+    /// Convenience: extract + solve in one call (fused internally — no
+    /// [`PrimeSubgraph`] is materialized). Returns the PPV and the prime
+    /// subgraph's node count.
     pub fn prime_ppv(
         &mut self,
         graph: &Graph,
@@ -396,21 +792,53 @@ impl PrimeComputer {
         config: &Config,
         clip: f64,
     ) -> (PrimePpv, usize) {
-        self.prime_ppv_from(&mut { graph }, hubs, source, config, clip)
+        let (entries, size) = self.prime_ppv_into(graph, hubs, source, config, clip);
+        let entries = entries.to_vec();
+        (
+            PrimePpv {
+                entries: SparseVector::from_sorted(entries),
+            },
+            size,
+        )
     }
 
-    /// Like [`PrimeComputer::prime_ppv`], over any [`AdjacencyAccess`].
+    /// Like [`PrimeComputer::prime_ppv`], over any [`AdjacencyAccess`]
+    /// (pass `&mut access` for by-reference use).
     pub fn prime_ppv_from<A: AdjacencyAccess>(
         &mut self,
-        graph: &mut A,
+        graph: A,
         hubs: &HubSet,
         source: NodeId,
         config: &Config,
         clip: f64,
     ) -> (PrimePpv, usize) {
-        let sub = self.extract_from(graph, hubs, source, config);
-        let size = sub.num_nodes();
-        (self.solve(&sub, config, clip), size)
+        self.extract_arena(&mut DynSource(graph), hubs, source, config);
+        self.solve_arena(config, clip);
+        let size = self.nodes.len();
+        (
+            PrimePpv {
+                entries: SparseVector::from_sorted(self.entries.clone()),
+            },
+            size,
+        )
+    }
+
+    /// The fused one-shot path: extract + solve entirely inside the reused
+    /// arena and return the sorted, clipped entry list as a borrowed slice
+    /// — **zero heap allocations** once the workspace is warm. This is
+    /// what the online engine runs for cold non-hub queries; the slice is
+    /// valid until the next call on this computer.
+    pub fn prime_ppv_into(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        source: NodeId,
+        config: &Config,
+        clip: f64,
+    ) -> (&[(NodeId, f64)], usize) {
+        self.extract_arena(&mut CsrSource(graph.out_csr()), hubs, source, config);
+        self.solve_arena(config, clip);
+        (&self.entries, self.nodes.len())
     }
 }
 
@@ -424,6 +852,59 @@ mod tests {
 
     fn toy_hubs() -> HubSet {
         HubSet::from_ids(8, toy::PAPER_HUBS.to_vec())
+    }
+
+    #[test]
+    fn bucket_queue_pops_in_nonincreasing_probability_order() {
+        let mut q = BucketQueue::new();
+        q.configure(0.15);
+        let probs = [0.9, 0.001, 0.5, 0.25, 1.0, 3e-7, 0.125, 0.06];
+        for (i, &p) in probs.iter().enumerate() {
+            q.push(p, i as NodeId);
+        }
+        assert_eq!(q.len(), probs.len());
+        let mut last = f64::INFINITY;
+        let mut popped = 0;
+        while let Some((p, _)) = q.pop() {
+            // Quantized order: p may only drop below the previous bucket's
+            // floor, never rise above the previous value's bucket. With
+            // these widely spaced probabilities order is strict.
+            assert!(p <= last, "popped {p} after {last}");
+            last = p;
+            popped += 1;
+        }
+        assert_eq!(popped, probs.len());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucket_queue_one_step_decay_moves_at_least_one_bucket() {
+        // The monotone guarantee: for α = 0.15, p and p·(1-α)/d must never
+        // share a bucket (d ≥ 1), across many magnitudes.
+        let mut q = BucketQueue::new();
+        q.configure(0.15);
+        let mut p = 1.0f64;
+        while p > 1e-12 {
+            let w = p * 0.85;
+            assert!(q.key(w) > q.key(p), "p {p} and w {w} share a bucket");
+            p = w;
+        }
+    }
+
+    #[test]
+    fn bucket_queue_clear_resets_between_uses() {
+        let mut q = BucketQueue::new();
+        q.clear(); // never-pushed queue: clear must be a no-op, not a panic
+        q.configure(0.15);
+        q.clear(); // configured-but-unpushed: same
+        q.push(0.5, 1);
+        q.push(0.25, 2);
+        q.clear();
+        assert!(q.is_empty());
+        q.configure(0.15);
+        q.push(1.0, 7);
+        assert_eq!(q.pop(), Some((1.0, 7)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -446,6 +927,44 @@ mod tests {
         let absorbers: Vec<NodeId> = sub.nodes[sub.num_interior..].to_vec();
         for h in toy::PAPER_HUBS {
             assert!(absorbers.contains(&h), "hub {h} must be a border");
+        }
+    }
+
+    #[test]
+    fn interior_numbering_is_source_then_degree_descending() {
+        let g = barabasi_albert(400, 3, 9);
+        let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 30, 0);
+        let q = (0..400u32).find(|&v| !hubs.is_hub(v)).unwrap();
+        let mut pc = PrimeComputer::new(400);
+        let sub = pc.extract(&g, &hubs, q, &Config::default());
+        assert_eq!(sub.nodes[0], q);
+        for w in sub.nodes[1..sub.num_interior].windows(2) {
+            let (da, db) = (g.out_degree(w[0]), g.out_degree(w[1]));
+            assert!(
+                da > db || (da == db && w[0] < w[1]),
+                "interior numbering must be degree-descending with id ties"
+            );
+        }
+        // Stored denominators match the global degrees of the numbering.
+        for (u, &v) in sub.nodes[..sub.num_interior].iter().enumerate() {
+            assert_eq!(sub.out_degree[u] as usize, g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn fused_path_is_bit_identical_to_materialized_path() {
+        let g = barabasi_albert(500, 3, 77);
+        let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 40, 0);
+        let config = Config::default().with_epsilon(1e-7);
+        let mut pc = PrimeComputer::new(500);
+        for q in [0u32, 17, 123, 499] {
+            let sub = pc.extract(&g, &hubs, q, &config);
+            let materialized = pc.solve(&sub, &config, config.clip);
+            let (fused, size) = pc.prime_ppv(&g, &hubs, q, &config, config.clip);
+            assert_eq!(size, sub.num_nodes(), "query {q}");
+            assert_eq!(materialized, fused, "query {q}: fused must be exact");
+            let (slice, _) = pc.prime_ppv_into(&g, &hubs, q, &config, config.clip);
+            assert_eq!(slice, fused.entries.entries(), "query {q}");
         }
     }
 
@@ -552,15 +1071,15 @@ mod tests {
         let _second = pc.extract(&g, &hubs, toy::G, &config);
         let third = pc.extract(&g, &hubs, toy::A, &config);
         assert_eq!(first.nodes, third.nodes);
-        assert_eq!(first.adj_targets, third.adj_targets);
+        assert_eq!(first.int_targets, third.int_targets);
+        assert_eq!(first.sink_targets, third.sink_targets);
         assert_eq!(first.num_interior, third.num_interior);
     }
 
     #[test]
     fn solve_scratch_reuse_is_clean() {
-        // The solve scratch (absorbed / in_queue / queue) now lives in the
-        // computer; interleaved solves of different subgraphs must not
-        // contaminate each other.
+        // The solve scratch lives in the computer; interleaved solves of
+        // different subgraphs must not contaminate each other.
         let g = barabasi_albert(300, 3, 5);
         let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 20, 0);
         let config = Config::default();
@@ -571,6 +1090,26 @@ mod tests {
         let _b = pc.solve(&sub_b, &config, 0.0);
         let again_a = pc.solve(&sub_a, &config, 0.0);
         assert_eq!(first_a, again_a);
+    }
+
+    #[test]
+    fn generic_access_path_matches_csr_path() {
+        // The AdjacencyAccess path (disk-resident graphs) must agree with
+        // the CSR fast path exactly: same arena, same numbering, same PPV.
+        let g = barabasi_albert(300, 3, 41);
+        let hubs = crate::hubs::select_hubs(&g, crate::hubs::HubPolicy::ExpectedUtility, 25, 0);
+        let config = Config::default();
+        let mut pc = PrimeComputer::new(300);
+        for q in [0u32, 50, 123] {
+            let fast = pc.extract(&g, &hubs, q, &config);
+            let generic = pc.extract_from(&g, &hubs, q, &config);
+            assert_eq!(fast.nodes, generic.nodes, "query {q}");
+            assert_eq!(fast.int_targets, generic.int_targets, "query {q}");
+            assert_eq!(fast.sink_targets, generic.sink_targets, "query {q}");
+            let (fast_ppv, _) = pc.prime_ppv(&g, &hubs, q, &config, 0.0);
+            let (generic_ppv, _) = pc.prime_ppv_from(&g, &hubs, q, &config, 0.0);
+            assert_eq!(fast_ppv, generic_ppv, "query {q}");
+        }
     }
 
     #[test]

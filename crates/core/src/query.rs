@@ -26,6 +26,10 @@
 //! [`crate::index::FlatIndex`], [`IncrementalState::step`] performs no
 //! heap allocation at all (the per-iteration stats vector is preallocated
 //! for 16 iterations and only reallocates — amortized — beyond that).
+//! Cold **non-hub** queries are allocation-free too: iteration 0 runs the
+//! fused [`PrimeComputer::prime_ppv_into`] extract+solve inside the
+//! workspace's reused arena and is consumed as a borrowed slice, so no
+//! per-query prime subgraph or PPV is ever materialized.
 
 use std::time::{Duration, Instant};
 
@@ -359,24 +363,26 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
             "query node {q} out of range"
         );
         // Iteration 0: r̊⁰_q viewed straight from the index (zero-copy)
-        // when q is a hub, computed on the fly otherwise. Query-time prime
-        // PPVs are not clipped (they are never stored).
+        // when q is a hub, computed on the fly otherwise — through the
+        // fused extract+solve path, which leaves the sorted entries in the
+        // workspace's prime computer instead of materializing a
+        // `PrimeSubgraph` and a `PrimePpv` per query. Either way iteration
+        // 0 borrows; the only allocation on a cold warm-workspace query is
+        // the per-session stats vector. Query-time prime PPVs are not
+        // clipped (they are never stored).
         let state = {
-            let qws = ws.get_mut();
+            let QueryWorkspace { prime, inc } = ws.get_mut();
             match self.store.view(q) {
-                Some(view) => {
-                    IncrementalState::new(q, view, self.hubs, self.config.alpha, &mut qws.inc)
-                }
+                Some(view) => IncrementalState::new(q, view, self.hubs, self.config.alpha, inc),
                 None => {
-                    let (ppv, _) = qws
-                        .prime
-                        .prime_ppv(self.graph, self.hubs, q, &self.config, 0.0);
+                    let (entries, _) =
+                        prime.prime_ppv_into(self.graph, self.hubs, q, &self.config, 0.0);
                     IncrementalState::new(
                         q,
-                        PpvRef::Aos(ppv.entries.entries()),
+                        PpvRef::Aos(entries),
                         self.hubs,
                         self.config.alpha,
-                        &mut qws.inc,
+                        inc,
                     )
                 }
             }

@@ -144,6 +144,50 @@ impl Graph {
         let mult = self.out_neighbors(u).iter().filter(|&&t| t == v).count();
         mult as f64 / d as f64
     }
+
+    /// A borrowed view of the forward (out-edge) CSR arrays, for kernels
+    /// that want raw slice access without going through `&Graph` method
+    /// dispatch (see [`CsrView`]).
+    #[inline]
+    pub fn out_csr(&self) -> CsrView<'_> {
+        CsrView {
+            offsets: &self.out_offsets,
+            targets: &self.out_targets,
+        }
+    }
+}
+
+/// A borrowed view of one CSR adjacency (offsets + targets slices).
+///
+/// This is the raw form hot kernels iterate: `Copy`, two slices, no
+/// indirection. [`Graph::out_csr`] produces the forward view; neighbor
+/// slices borrow the graph (`'a`), not the view, so they can outlive it.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrView<'a> {
+    offsets: &'a [usize],
+    targets: &'a [NodeId],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of nodes covered by the view.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbors of `v`, in sorted order.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &'a [NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +240,17 @@ mod tests {
         assert_eq!(g.step_probability(0, 1), 0.5);
         assert_eq!(g.step_probability(3, 0), 1.0);
         assert_eq!(g.step_probability(1, 0), 0.0);
+    }
+
+    #[test]
+    fn csr_view_matches_graph_accessors() {
+        let g = diamond();
+        let view = g.out_csr();
+        assert_eq!(view.num_nodes(), g.num_nodes());
+        for v in g.nodes() {
+            assert_eq!(view.out_degree(v), g.out_degree(v));
+            assert_eq!(view.out_neighbors(v), g.out_neighbors(v));
+        }
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod toy;
 pub mod vec;
 
 pub use builder::{DanglingPolicy, GraphBuilder};
-pub use csr::{Graph, NodeId};
+pub use csr::{CsrView, Graph, NodeId};
 pub use pagerank::{pagerank, PageRankOptions};
 pub use vec::{ScoreScratch, SparseVector};

@@ -51,4 +51,6 @@ pub mod cache;
 pub mod service;
 
 pub use cache::LruCache;
-pub use service::{percentile, CacheStats, QueryService, Request, Response, ServiceOptions};
+pub use service::{
+    percentile, CacheStats, LatencySummary, QueryService, Request, Response, ServiceOptions,
+};

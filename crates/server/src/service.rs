@@ -137,6 +137,34 @@ pub fn percentile(latencies: &[Duration], p: f64) -> Duration {
     sorted[rank - 1]
 }
 
+/// A latency sample boiled down to the figures every serving report needs:
+/// request count, median, and 99th percentile (nearest-rank, see
+/// [`percentile`]). Used by the CLI serve summary and the bench crate's
+/// closed-loop driver to report hub and non-hub sources separately —
+/// hub-source requests are index lookups while cold non-hub sources run
+/// the prime-PPV kernel, so their latency distributions are different
+/// regimes and a pooled percentile hides the tail.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Requests in the sample.
+    pub queries: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes an unsorted latency sample.
+    pub fn of(latencies: &[Duration]) -> Self {
+        LatencySummary {
+            queries: latencies.len(),
+            p50: percentile(latencies, 0.50),
+            p99: percentile(latencies, 0.99),
+        }
+    }
+}
+
 /// Cache hit/miss counters and current size.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
@@ -471,6 +499,18 @@ mod tests {
             config,
             options,
         )
+    }
+
+    #[test]
+    fn latency_summary_matches_percentiles() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let sample = vec![ms(9), ms(1), ms(5), ms(3), ms(7)];
+        let s = LatencySummary::of(&sample);
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.p50, ms(5));
+        assert_eq!(s.p99, ms(9));
+        let empty = LatencySummary::of(&[]);
+        assert_eq!((empty.queries, empty.p50, empty.p99), (0, ms(0), ms(0)));
     }
 
     #[test]

@@ -1,6 +1,12 @@
-//! Proves the acceptance criterion "zero per-iteration heap allocations in
-//! `IncrementalState::step` on the `FlatIndex` path" with a counting global
-//! allocator.
+//! Proves two acceptance criteria with a counting global allocator:
+//!
+//! * zero per-iteration heap allocations in `IncrementalState::step` on
+//!   the `FlatIndex` path (hub sources — iteration 0 is an arena view);
+//! * O(1) amortized allocations for a **cold non-hub query** on the fused
+//!   extract+solve path (`PrimeComputer::prime_ppv_into`): once the
+//!   workspace is warm, starting a session computes the whole prime PPV
+//!   on the fly with the session bookkeeping's single allocation, and
+//!   every subsequent step allocates nothing.
 //!
 //! This file deliberately holds a single test: the allocation counter is
 //! process-global, and a lone test keeps other threads from muddying the
@@ -70,6 +76,40 @@ fn steps_allocate_nothing_on_flat_path_with_warm_workspace() {
     assert_eq!(
         during, 0,
         "{during} heap allocations across {steps} warm steps on the flat path"
+    );
+    drop(session);
+
+    // Phase 2: a cold non-hub source. Iteration 0 must run the fused
+    // extract+solve inside the workspace's reused arena: no PrimeSubgraph,
+    // no materialized PrimePpv. After one warmup query (which grows the
+    // arena buffers to this source's footprint), starting a session costs
+    // a small constant number of allocations — the session's stats vector
+    // and nothing proportional to the subgraph — and steps cost zero.
+    let q_cold = (0..2000u32).find(|&v| !hubs.is_hub(v)).expect("non-hub");
+    let warm_cold = engine.query_with(&mut ws, q_cold, &StoppingCondition::iterations(6));
+    assert!(
+        warm_cold.iterations >= 3,
+        "non-hub workload too shallow to measure steps"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut session = engine.session_in(&mut ws, q_cold);
+    let session_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        session_allocs <= 2,
+        "{session_allocs} heap allocations to start a warm cold-source \
+         session (fused extract+solve must stay inside the arena)"
+    );
+    let mut steps = 0usize;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    while steps < 6 && session.step() {
+        steps += 1;
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(steps >= 3, "non-hub frontier exhausted after {steps} steps");
+    assert_eq!(
+        during, 0,
+        "{during} heap allocations across {steps} warm non-hub steps"
     );
 
     // Sanity check that the counter is actually live.

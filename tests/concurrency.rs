@@ -15,9 +15,11 @@
 
 use std::sync::Arc;
 
-use fastppv::core::offline::{build_index, build_index_parallel};
+use fastppv::core::offline::{build_index, build_index_in_order, build_index_parallel};
 use fastppv::core::query::StoppingCondition;
-use fastppv::core::{select_hubs, Config, HubPolicy, HubSet, MemoryIndex, QueryEngine};
+use fastppv::core::{
+    select_hubs, Config, HubPolicy, HubSet, MemoryIndex, PrimeComputer, QueryEngine,
+};
 use fastppv::graph::gen::barabasi_albert;
 use fastppv::graph::{Graph, GraphBuilder, NodeId, SparseVector};
 use fastppv::server::{QueryService, Request, ServiceOptions};
@@ -134,32 +136,77 @@ fn service_pool_matches_single_threaded_engine() {
     }
 }
 
+fn serialize_index(index: &MemoryIndex, name: &str) -> Vec<u8> {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "fastppv-determinism-{}-{name}.idx",
+        std::process::id()
+    ));
+    index.write_to_file(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
 #[test]
 fn parallel_build_is_byte_identical() {
     let g = barabasi_albert(500, 3, 31);
     let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 50, 0);
     let config = Config::default();
-    let serialize = |index: &MemoryIndex, name: &str| -> Vec<u8> {
-        let mut path = std::env::temp_dir();
-        path.push(format!(
-            "fastppv-determinism-{}-{name}.idx",
-            std::process::id()
-        ));
-        index.write_to_file(&path).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::remove_file(&path).unwrap();
-        bytes
-    };
     let (serial, _) = build_index(&g, &hubs, &config);
-    let reference = serialize(&serial, "serial");
-    for threads in [2usize, 4] {
+    let reference = serialize_index(&serial, "serial");
+    for threads in [2usize, 4, 8] {
         let (parallel, _) = build_index_parallel(&g, &hubs, &config, threads);
-        let bytes = serialize(&parallel, &format!("t{threads}"));
+        let bytes = serialize_index(&parallel, &format!("t{threads}"));
         assert_eq!(
             bytes, reference,
             "{threads}-thread build must serialize byte-identically to serial"
         );
     }
+}
+
+#[test]
+fn work_stealing_build_is_byte_identical_under_pathological_order() {
+    // Largest prime subgraph first: the adversarial ordering for static
+    // contiguous chunking (one chunk would draw every giant while the
+    // others idle). Work stealing must both survive it (no skew
+    // assumptions baked into the merge) and stay byte-identical to a
+    // serial build of the same order — and, because the serialized file
+    // sorts hubs, to the default-order build too.
+    let g = barabasi_albert(500, 3, 31);
+    let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 50, 0);
+    // ε = 1e-3 keeps prime subgraphs genuinely size-skewed at this scale
+    // (at 1e-8 every ε-ball spans the whole 500-node graph).
+    let config = Config::default().with_epsilon(1e-3);
+    let mut pc = PrimeComputer::new(g.num_nodes());
+    let mut sized: Vec<(usize, NodeId)> = hubs
+        .ids()
+        .iter()
+        .map(|&h| (pc.extract(&g, &hubs, h, &config).num_nodes(), h))
+        .collect();
+    sized.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    assert!(
+        sized.first().unwrap().0 > 2 * sized.last().unwrap().0,
+        "workload not skewed enough to be a meaningful ordering test"
+    );
+    let order: Vec<NodeId> = sized.into_iter().map(|(_, h)| h).collect();
+
+    let (serial, _) = build_index_in_order(&g, &hubs, &order, &config, 1);
+    let reference = serialize_index(&serial, "pathological-serial");
+    for threads in [2usize, 4, 8] {
+        let (parallel, _) = build_index_in_order(&g, &hubs, &order, &config, threads);
+        let bytes = serialize_index(&parallel, &format!("pathological-t{threads}"));
+        assert_eq!(
+            bytes, reference,
+            "{threads}-thread largest-first build must serialize byte-identically"
+        );
+    }
+    let (default_order, _) = build_index(&g, &hubs, &config);
+    assert_eq!(
+        serialize_index(&default_order, "default-order"),
+        reference,
+        "serialized index must not depend on build order at all"
+    );
 }
 
 #[test]

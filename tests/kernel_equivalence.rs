@@ -1,0 +1,335 @@
+//! Kernel-equivalence suite: the bucket-queue + CSR prime-PPV kernel
+//! against a self-contained reference implementation of the original
+//! binary-heap kernel (exact float priorities, discovery-order local
+//! numbering).
+//!
+//! The two kernels must agree on the *semantics* — the prime-subgraph node
+//! sets are order-free fixed points and match exactly; the solved prime
+//! PPVs differ only in floating-point accumulation order (the new kernel
+//! renumbers interiors by degree), so entries match to ≤ 1e-12. On top of
+//! that, the fused one-shot path (`prime_ppv_into`) is pinned bit-for-bit
+//! against the materialized `extract` + `solve` pipeline.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fastppv::core::{Config, HubSet, PrimeComputer};
+use fastppv::graph::gen::barabasi_albert;
+use fastppv::graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// The original kernel, kept verbatim as a test oracle: max-probability
+/// Dijkstra over a `BinaryHeap` with exact float priorities, interior
+/// locals in pop order, adjacency copied into a per-call subgraph, and the
+/// same worklist solve.
+mod reference {
+    use super::*;
+
+    struct ProbEntry(f64, NodeId);
+
+    impl PartialEq for ProbEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0 && self.1 == other.1
+        }
+    }
+    impl Eq for ProbEntry {}
+    impl PartialOrd for ProbEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for ProbEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+        }
+    }
+
+    pub struct Subgraph {
+        pub nodes: Vec<NodeId>,
+        pub num_interior: usize,
+        adj_offsets: Vec<usize>,
+        adj_targets: Vec<u32>,
+        out_degree: Vec<u32>,
+        source_is_hub: bool,
+    }
+
+    pub fn extract(graph: &Graph, hubs: &HubSet, source: NodeId, config: &Config) -> Subgraph {
+        let alpha = config.alpha;
+        let eps = config.epsilon;
+        let n = graph.num_nodes();
+        let mut best = vec![0.0f64; n];
+        let mut local_of = vec![u32::MAX; n];
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let push_local = |v: NodeId, nodes: &mut Vec<NodeId>, local_of: &mut [u32]| -> u32 {
+            let slot = &mut local_of[v as usize];
+            if *slot == u32::MAX {
+                *slot = nodes.len() as u32;
+                nodes.push(v);
+            }
+            *slot
+        };
+        let mut heap = BinaryHeap::new();
+        best[source as usize] = 1.0;
+        heap.push(ProbEntry(1.0, source));
+        let mut interior: Vec<NodeId> = Vec::new();
+        while let Some(ProbEntry(p, v)) = heap.pop() {
+            if p < best[v as usize] {
+                continue;
+            }
+            best[v as usize] = f64::INFINITY;
+            interior.push(v);
+            let d = graph.out_degree(v);
+            if d == 0 {
+                continue;
+            }
+            let w = p * (1.0 - alpha) / d as f64;
+            if w < eps {
+                continue;
+            }
+            for &t in graph.out_neighbors(v) {
+                if hubs.is_hub(t) {
+                    continue;
+                }
+                if w > best[t as usize] {
+                    best[t as usize] = w;
+                    heap.push(ProbEntry(w, t));
+                }
+            }
+        }
+        for &v in &interior {
+            push_local(v, &mut nodes, &mut local_of);
+        }
+        let num_interior = nodes.len();
+        let mut adj_offsets = vec![0usize];
+        let mut adj_targets: Vec<u32> = Vec::new();
+        let mut out_degree = Vec::new();
+        for u in 0..num_interior {
+            let v = nodes[u];
+            out_degree.push(graph.out_degree(v) as u32);
+            for &t in graph.out_neighbors(v) {
+                let lt = push_local(t, &mut nodes, &mut local_of);
+                adj_targets.push(lt);
+            }
+            adj_offsets.push(adj_targets.len());
+        }
+        Subgraph {
+            nodes,
+            num_interior,
+            adj_offsets,
+            adj_targets,
+            out_degree,
+            source_is_hub: hubs.is_hub(source),
+        }
+    }
+
+    pub fn solve(sub: &Subgraph, config: &Config, clip: f64) -> Vec<(NodeId, f64)> {
+        let alpha = config.alpha;
+        let ni = sub.num_interior;
+        let ntot = sub.nodes.len();
+        let theta = config.solve_tolerance;
+        let mut mass = vec![0.0f64; ni];
+        let mut mass_next = vec![0.0f64; ni];
+        let mut absorbed = vec![0.0f64; ntot - ni];
+        let mut in_queue = vec![false; ni];
+        let mut queue = std::collections::VecDeque::new();
+        let mut source_returns = 0.0;
+        mass_next[0] = 1.0;
+        in_queue[0] = true;
+        queue.push_back(0u32);
+        let max_pushes = config
+            .solve_max_iterations
+            .saturating_mul(ni.max(1))
+            .max(1_000);
+        let mut pushes = 0usize;
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            in_queue[u] = false;
+            let r = mass_next[u];
+            if r == 0.0 {
+                continue;
+            }
+            mass_next[u] = 0.0;
+            mass[u] += r;
+            pushes += 1;
+            if pushes > max_pushes {
+                break;
+            }
+            let d = sub.out_degree[u];
+            if d == 0 {
+                continue;
+            }
+            let share = r * (1.0 - alpha) / d as f64;
+            for &t in &sub.adj_targets[sub.adj_offsets[u]..sub.adj_offsets[u + 1]] {
+                let t = t as usize;
+                if t >= ni {
+                    absorbed[t - ni] += share;
+                } else if t == 0 && sub.source_is_hub {
+                    source_returns += share;
+                } else {
+                    mass_next[t] += share;
+                    if mass_next[t] > theta && !in_queue[t] {
+                        in_queue[t] = true;
+                        queue.push_back(t as u32);
+                    }
+                }
+            }
+        }
+        let mut entries: Vec<(NodeId, f64)> = Vec::new();
+        let src_score = if sub.source_is_hub {
+            alpha * source_returns
+        } else {
+            alpha * (mass[0] - 1.0)
+        };
+        if src_score >= clip && src_score > 0.0 {
+            entries.push((sub.nodes[0], src_score));
+        }
+        for (&v, &m) in sub.nodes[1..ni].iter().zip(&mass[1..ni]) {
+            let s = alpha * m;
+            if s >= clip && s > 0.0 {
+                entries.push((v, s));
+            }
+        }
+        for (i, &a) in absorbed.iter().enumerate() {
+            let s = alpha * a;
+            if s >= clip && s > 0.0 {
+                entries.push((sub.nodes[ni + i], s));
+            }
+        }
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        entries
+    }
+}
+
+fn sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort_unstable();
+    v
+}
+
+/// Asserts the new kernel against the reference for one (graph, hubs,
+/// source, config) instance. `clip` is 0 throughout: a positive clip would
+/// let sub-ulp score differences flip borderline entries in or out.
+fn assert_kernels_agree(
+    g: &Graph,
+    hubs: &HubSet,
+    pc: &mut PrimeComputer,
+    q: NodeId,
+    config: &Config,
+) {
+    let ref_sub = reference::extract(g, hubs, q, config);
+    let new_sub = pc.extract(g, hubs, q, config);
+    assert_eq!(new_sub.num_interior, ref_sub.num_interior);
+    assert_eq!(
+        sorted(new_sub.nodes[..new_sub.num_interior].to_vec()),
+        sorted(ref_sub.nodes[..ref_sub.num_interior].to_vec())
+    );
+    assert_eq!(
+        sorted(new_sub.nodes[new_sub.num_interior..].to_vec()),
+        sorted(ref_sub.nodes[ref_sub.num_interior..].to_vec())
+    );
+
+    let ref_entries = reference::solve(&ref_sub, config, 0.0);
+    let (new_ppv, size) = pc.prime_ppv(g, hubs, q, config, 0.0);
+    assert_eq!(size, ref_sub.nodes.len());
+    let new_entries = new_ppv.entries.entries();
+    assert_eq!(new_entries.len(), ref_entries.len());
+    for (&(nv, ns), &(rv, rs)) in new_entries.iter().zip(&ref_entries) {
+        assert_eq!(nv, rv);
+        assert!(
+            (ns - rs).abs() <= 1e-12,
+            "source {q} node {nv}: bucket kernel {ns} vs heap kernel {rs}"
+        );
+    }
+
+    // The fused one-shot path is pinned bit-for-bit to the materialized
+    // extract + solve pipeline (same arrays, same op order).
+    let materialized = pc.solve(&new_sub, config, 0.0);
+    assert_eq!(&materialized, &new_ppv);
+    let (slice, fused_size) = pc.prime_ppv_into(g, hubs, q, config, 0.0);
+    assert_eq!(fused_size, size);
+    assert_eq!(slice, new_ppv.entries.entries());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bucket_kernel_matches_heap_kernel_on_random_ba_graphs(
+        n in 60usize..240,
+        m in 2usize..5,
+        seed in 0u64..1_000,
+        hub_stride in 2usize..12,
+        eps_exp in 4u32..9,
+    ) {
+        let g = barabasi_albert(n, m, seed);
+        // Deterministic but varied hub sets: every `hub_stride`-th node.
+        let hub_ids: Vec<NodeId> =
+            (0..n as NodeId).step_by(hub_stride).collect();
+        let hubs = HubSet::from_ids(n, hub_ids);
+        let mut config = Config::default()
+            .with_epsilon(10f64.powi(-(eps_exp as i32)))
+            .with_clip(0.0);
+        // The sweep solver and the FIFO oracle place their sub-tolerance
+        // leftovers differently; per-entry divergence is bounded by
+        // 2·|interior|·θ, so θ = 1e-15 keeps it well inside 1e-12.
+        config.solve_tolerance = 1e-15;
+        let mut pc = PrimeComputer::new(n);
+        // A hub source, a non-hub source, and the highest-degree node.
+        let non_hub = (0..n as NodeId).find(|&v| !hubs.is_hub(v));
+        let top_degree = (0..n as NodeId).max_by_key(|&v| (g.out_degree(v), v)).unwrap();
+        let mut sources = vec![0 as NodeId, top_degree];
+        if let Some(v) = non_hub {
+            sources.push(v);
+        }
+        for q in sources {
+            assert_kernels_agree(&g, &hubs, &mut pc, q, &config);
+        }
+    }
+
+    #[test]
+    fn bucket_kernel_matches_heap_kernel_without_hubs(
+        n in 40usize..150,
+        seed in 0u64..500,
+    ) {
+        // No hubs: the prime subgraph is the whole ε-ball — the deepest
+        // searches and largest solves the kernel sees.
+        let g = barabasi_albert(n, 3, seed);
+        let hubs = HubSet::empty(n);
+        let mut config = Config::default().with_epsilon(1e-7).with_clip(0.0);
+        config.solve_tolerance = 1e-15;
+        let mut pc = PrimeComputer::new(n);
+        assert_kernels_agree(&g, &hubs, &mut pc, 0, &config);
+    }
+}
+
+#[test]
+fn kernels_agree_on_exhaustive_config() {
+    // Deep ε (1e-14) drives the bucket queue across ~50 octaves.
+    let g = barabasi_albert(120, 3, 7);
+    let hub_ids: Vec<NodeId> = (0..120).step_by(5).collect();
+    let hubs = HubSet::from_ids(120, hub_ids);
+    let config = Config::exhaustive();
+    let mut pc = PrimeComputer::new(120);
+    for q in [0u32, 5, 17, 119] {
+        assert_kernels_agree(&g, &hubs, &mut pc, q, &config);
+    }
+}
+
+#[test]
+fn kernels_agree_for_unusual_alphas() {
+    // α above 0.5 (k = 0, octave-wide buckets) and α below the monotone
+    // clamp threshold 1/65 (the re-expansion fallback path).
+    let g = barabasi_albert(150, 3, 11);
+    let hub_ids: Vec<NodeId> = (0..150).step_by(4).collect();
+    let hubs = HubSet::from_ids(150, hub_ids);
+    for alpha in [0.6, 0.3, 0.01, 0.005] {
+        let mut config = Config::default()
+            .with_alpha(alpha)
+            .with_epsilon(1e-7)
+            .with_clip(0.0);
+        config.solve_tolerance = 1e-15;
+        let mut pc = PrimeComputer::new(150);
+        for q in [0u32, 3, 77] {
+            assert_kernels_agree(&g, &hubs, &mut pc, q, &config);
+        }
+    }
+}
