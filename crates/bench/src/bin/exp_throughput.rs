@@ -8,6 +8,12 @@
 //! service latency, and speedup versus one worker — cache off (pure engine
 //! scaling) and cache warm (steady-state serving).
 //!
+//! The final section replays the acceptance workload **over the TCP
+//! front-end** (`fastppv_server::net`) on a loopback socket: latencies are
+//! client-side round trips, so framing and queueing effects are included,
+//! split by hub / non-hub source — the regime split the in-process driver
+//! reports, now as a remote caller sees it.
+//!
 //! ```text
 //! cargo run --release -p fastppv-bench --bin exp_throughput \
 //!     [--scale F] [--queries N] [--seed S] [--threads T]
@@ -17,7 +23,7 @@ use std::sync::Arc;
 
 use fastppv_bench::cli::CommonArgs;
 use fastppv_bench::datasets;
-use fastppv_bench::driver::{run_closed_loop, RunSpec};
+use fastppv_bench::driver::{run_closed_loop, run_closed_loop_socket, RunSpec, SocketRunSpec};
 use fastppv_bench::table::Table;
 use fastppv_bench::workload::sample_queries_zipf;
 use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
@@ -25,6 +31,7 @@ use fastppv_core::offline::build_index_parallel;
 use fastppv_core::{Config, HubSet, MemoryIndex};
 use fastppv_graph::gen::barabasi_albert;
 use fastppv_graph::{pagerank, Graph, PageRankOptions};
+use fastppv_server::{net, QueryService, ServiceOptions};
 
 /// Zipf exponent of the query mix (≈ web/social traffic skew).
 const ZIPF_EXPONENT: f64 = 1.0;
@@ -36,6 +43,10 @@ struct WorkloadSpec {
     graph: Graph,
     hub_count: usize,
 }
+
+/// The deployment handles the socket section replays: graph, hubs, store,
+/// and the Zipf query mix of the acceptance (BA) workload.
+type SocketDeployment = (Arc<Graph>, Arc<HubSet>, Arc<MemoryIndex>, Vec<u32>);
 
 fn main() {
     let args = CommonArgs::parse(2000);
@@ -78,7 +89,10 @@ fn main() {
     let mut table = Table::new(vec![
         "workload", "cache", "workers", "queries", "wall", "QPS", "p50", "p99", "hit%", "speedup",
     ]);
+    // The acceptance (BA) deployment is kept for the socket section below.
+    let mut socket_deployment: Option<SocketDeployment> = None;
     for spec in specs {
+        let is_socket_workload = spec.name.starts_with("BA");
         let graph = Arc::new(spec.graph);
         println!(
             "\n## {}: {} nodes, {} edges, {} hubs",
@@ -99,6 +113,14 @@ fn main() {
         let (index, _) = build_index_parallel(&graph, &hubs, &config, args.threads);
         let store: Arc<MemoryIndex> = Arc::new(index);
         let queries = sample_queries_zipf(&graph, args.queries, ZIPF_EXPONENT, args.seed);
+        if is_socket_workload {
+            socket_deployment = Some((
+                Arc::clone(&graph),
+                Arc::clone(&hubs),
+                Arc::clone(&store),
+                queries.clone(),
+            ));
+        }
 
         for (cache_label, cache_capacity, warm) in
             [("off", 0usize, false), ("warm", 8192usize, true)]
@@ -142,4 +164,74 @@ fn main() {
         }
     }
     table.print("Closed-loop service throughput — Zipf-skewed mix, shared read-only engine");
+
+    // ----------------------------------------------------------------------
+    // Socket section: the same closed loop, but through the TCP front-end.
+    // ----------------------------------------------------------------------
+    let (graph, hubs, store, queries) = socket_deployment.expect("BA workload always runs");
+    println!(
+        "\n## TCP front-end (loopback): client-side round trips, \
+         queueing effects included"
+    );
+    let config = Config::default().with_epsilon(1e-6);
+    let service = Arc::new(QueryService::new(
+        Arc::clone(&graph),
+        Arc::clone(&hubs),
+        store,
+        config,
+        ServiceOptions {
+            workers: args.threads,
+            queue_capacity: 1024,
+            cache_capacity: 0, // every round trip exercises the engine
+        },
+    ));
+    let server = net::serve(
+        service,
+        std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+    )
+    .expect("start TCP front-end");
+    let mut socket_table = Table::new(vec![
+        "clients",
+        "queries",
+        "wall",
+        "QPS",
+        "p50",
+        "p99",
+        "hub q",
+        "hub p50",
+        "hub p99",
+        "nonhub q",
+        "nonhub p50",
+        "nonhub p99",
+    ]);
+    for clients in [1usize, 2, 4] {
+        let report = run_closed_loop_socket(
+            server.local_addr(),
+            &hubs,
+            &queries,
+            SocketRunSpec {
+                eta: ETA,
+                clients,
+                top_k: 8,
+            },
+        )
+        .expect("socket closed loop");
+        socket_table.row(vec![
+            clients.to_string(),
+            report.queries.to_string(),
+            format!("{:.2?}", report.wall),
+            format!("{:.0}", report.qps),
+            format!("{:.2?}", report.p50),
+            format!("{:.2?}", report.p99),
+            report.hub.queries.to_string(),
+            format!("{:.2?}", report.hub.p50),
+            format!("{:.2?}", report.hub.p99),
+            report.nonhub.queries.to_string(),
+            format!("{:.2?}", report.nonhub.p50),
+            format!("{:.2?}", report.nonhub.p99),
+        ]);
+    }
+    server.shutdown();
+    socket_table
+        .print("Socket closed loop — hub vs non-hub tail latency as a remote caller sees it");
 }

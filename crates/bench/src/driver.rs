@@ -1,21 +1,27 @@
-//! Closed-loop throughput driver for the concurrent query service.
+//! Closed-loop throughput drivers for the concurrent query service —
+//! in-process ([`run_closed_loop`]) and over the TCP front-end
+//! ([`run_closed_loop_socket`]).
 //!
-//! *Closed loop*: a fixed worker pool serves requests back-to-back — the
-//! next request starts the moment a worker frees up — so measured QPS is
-//! the service's saturated capacity at that concurrency, and per-request
-//! latencies are service-side (queue wait excluded, cache probe included).
-//! The workload is the Zipf-skewed mix of
-//! [`crate::workload::sample_queries_zipf`], the traffic shape a hot-PPV
-//! cache exists for.
+//! *Closed loop*: a fixed set of workers serves requests back-to-back —
+//! the next request starts the moment a worker frees up — so measured QPS
+//! is the service's saturated capacity at that concurrency. In-process,
+//! per-request latencies are service-side (queue wait excluded, cache
+//! probe included); over the socket they are client-side round trips, so
+//! framing, kernel scheduling, and queueing effects are all *included* —
+//! the number a remote caller actually experiences. The workload is the
+//! Zipf-skewed mix of [`crate::workload::sample_queries_zipf`], the
+//! traffic shape a hot-PPV cache exists for.
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fastppv_core::{Config, HubSet, PpvStore};
 use fastppv_graph::{Graph, NodeId};
+use fastppv_server::net::{Client, WireRequest};
 use fastppv_server::{LatencySummary, QueryService, Request, ServiceOptions};
 
-pub use fastppv_server::percentile;
+pub use fastppv_server::{percentile, percentile_of_sorted};
 
 /// One closed-loop measurement.
 #[derive(Clone, Copy, Debug)]
@@ -94,28 +100,142 @@ pub fn run_closed_loop<S: PpvStore + Send + Sync>(
     let responses = service.process_batch(requests());
     let wall = started.elapsed();
     let after = service.cache_stats();
-    let latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+    let samples = responses.iter().map(|r| (r.query, r.latency));
+    summarize(
+        samples,
+        hubs,
+        spec.workers,
+        wall,
+        after.hits - before.hits,
+        after.misses - before.misses,
+    )
+}
+
+/// Aggregates `(query, latency)` samples into a [`ThroughputReport`]: one
+/// sort per class (hub / non-hub), every quantile — including the pooled
+/// p50/p99, via the sorted-pair merge walk — taken from those two sorted
+/// samples without re-sorting or cloning.
+fn summarize(
+    samples: impl Iterator<Item = (NodeId, Duration)>,
+    hubs: &HubSet,
+    workers: usize,
+    wall: Duration,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> ThroughputReport {
     let mut hub_lat: Vec<Duration> = Vec::new();
     let mut nonhub_lat: Vec<Duration> = Vec::new();
-    for r in &responses {
-        if hubs.is_hub(r.query) {
-            hub_lat.push(r.latency);
+    for (query, latency) in samples {
+        if hubs.is_hub(query) {
+            hub_lat.push(latency);
         } else {
-            nonhub_lat.push(r.latency);
+            nonhub_lat.push(latency);
         }
     }
+    let hub = LatencySummary::of_mut(&mut hub_lat);
+    let nonhub = LatencySummary::of_mut(&mut nonhub_lat);
+    let queries = hub_lat.len() + nonhub_lat.len();
     ThroughputReport {
-        workers: spec.workers,
-        queries: responses.len(),
+        workers,
+        queries,
         wall,
-        qps: responses.len() as f64 / wall.as_secs_f64().max(1e-9),
-        p50: percentile(&latencies, 0.50),
-        p99: percentile(&latencies, 0.99),
-        hub: LatencySummary::of(&hub_lat),
-        nonhub: LatencySummary::of(&nonhub_lat),
-        cache_hits: after.hits - before.hits,
-        cache_misses: after.misses - before.misses,
+        qps: queries as f64 / wall.as_secs_f64().max(1e-9),
+        p50: fastppv_server::percentile_of_sorted_pair(&hub_lat, &nonhub_lat, 0.50),
+        p99: fastppv_server::percentile_of_sorted_pair(&hub_lat, &nonhub_lat, 0.99),
+        hub,
+        nonhub,
+        cache_hits,
+        cache_misses,
     }
+}
+
+/// Per-connection socket samples: `(query, round trip)` pairs plus cache
+/// hit and miss counts read off the wire.
+type ClientSamples = (Vec<(NodeId, Duration)>, u64, u64);
+
+/// One socket closed-loop run configuration (see
+/// [`run_closed_loop_socket`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SocketRunSpec {
+    /// Iteration budget η per request.
+    pub eta: usize,
+    /// Concurrent client connections, each running its share of the
+    /// workload back-to-back (closed loop).
+    pub clients: usize,
+    /// Top-`k` entries to request per answer (0 = full score vector);
+    /// smaller answers isolate serving latency from payload size.
+    pub top_k: u32,
+}
+
+/// Runs one closed-loop measurement **over the TCP front-end**:
+/// `spec.clients` connections split `queries` round-robin and each sends
+/// its share one request frame at a time, timing every round trip
+/// client-side — so the reported p50/p99 include framing and queueing
+/// effects, split by hub and non-hub source exactly like
+/// [`run_closed_loop`]. Cache hit/miss counts come from the per-answer
+/// `cached` flag on the wire.
+pub fn run_closed_loop_socket(
+    addr: SocketAddr,
+    hubs: &HubSet,
+    queries: &[NodeId],
+    spec: SocketRunSpec,
+) -> std::io::Result<ThroughputReport> {
+    assert!(spec.clients >= 1, "need at least one client connection");
+    // Connect before starting the clock so the measured window is pure
+    // request traffic.
+    let mut connections: Vec<Client> = (0..spec.clients)
+        .map(|_| Client::connect(addr))
+        .collect::<std::io::Result<_>>()?;
+    let started = Instant::now();
+    let results: Vec<ClientSamples> = std::thread::scope(|scope| {
+        let handles: Vec<_> = connections
+            .iter_mut()
+            .enumerate()
+            .map(|(c, client)| {
+                scope.spawn(move || -> std::io::Result<ClientSamples> {
+                    let mut samples = Vec::new();
+                    let (mut hits, mut misses) = (0u64, 0u64);
+                    for &q in queries.iter().skip(c).step_by(spec.clients) {
+                        let request =
+                            WireRequest::iterations(q, spec.eta as u32).with_top_k(spec.top_k);
+                        let sent = Instant::now();
+                        let response = client.request_one(request)?;
+                        let rtt = sent.elapsed();
+                        let answer = response.answer().ok_or_else(|| {
+                            std::io::Error::other(
+                                response.error().unwrap_or("rejected").to_string(),
+                            )
+                        })?;
+                        if answer.cached {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                        samples.push((q, rtt));
+                    }
+                    Ok((samples, hits, misses))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<std::io::Result<_>>()
+    })?;
+    let wall = started.elapsed();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (_, h, m) in &results {
+        hits += h;
+        misses += m;
+    }
+    Ok(summarize(
+        results.iter().flat_map(|(s, _, _)| s.iter().copied()),
+        hubs,
+        spec.clients,
+        wall,
+        hits,
+        misses,
+    ))
 }
 
 #[cfg(test)]
@@ -181,5 +301,48 @@ mod tests {
             "after a warm-up replay every request must hit"
         );
         assert_eq!(warm.cache_misses, 0);
+    }
+
+    #[test]
+    fn socket_closed_loop_reports_consistent_counts() {
+        let graph = Arc::new(barabasi_albert(300, 3, 11));
+        let config = Config::default();
+        let hubs = Arc::new(select_hubs(&graph, HubPolicy::ExpectedUtility, 25, 0));
+        let (index, _) = build_index(&graph, &hubs, &config);
+        let service = Arc::new(QueryService::new(
+            Arc::clone(&graph),
+            Arc::clone(&hubs),
+            Arc::new(index),
+            config,
+            ServiceOptions {
+                workers: 2,
+                queue_capacity: 64,
+                cache_capacity: 4096,
+            },
+        ));
+        let server = fastppv_server::net::serve(
+            Arc::clone(&service),
+            std::net::TcpListener::bind("127.0.0.1:0").unwrap(),
+        )
+        .unwrap();
+        let queries: Vec<NodeId> = crate::workload::sample_queries_zipf(&graph, 40, 1.0, 7);
+
+        let spec = SocketRunSpec {
+            eta: 2,
+            clients: 2,
+            top_k: 4,
+        };
+        let cold = run_closed_loop_socket(server.local_addr(), &hubs, &queries, spec).unwrap();
+        assert_eq!(cold.queries, 40);
+        assert!(cold.qps > 0.0);
+        assert!(cold.p50 <= cold.p99);
+        assert_eq!(cold.hub.queries + cold.nonhub.queries, 40);
+        assert_eq!(cold.cache_hits + cold.cache_misses, 40);
+
+        // Same mix again: the server's hot-PPV cache answers everything.
+        let warm = run_closed_loop_socket(server.local_addr(), &hubs, &queries, spec).unwrap();
+        assert_eq!(warm.cache_hits, 40, "repeat mix must be all cache hits");
+        assert_eq!(warm.cache_misses, 0);
+        server.shutdown();
     }
 }

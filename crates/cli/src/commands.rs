@@ -363,19 +363,26 @@ fn run_topk<S: PpvStore>(
 /// `fastppv serve`
 pub fn serve(argv: &[String]) -> CmdResult {
     let usage = "fastppv serve --graph edges.txt [--undirected] --index index.fppv\n\
-                 [--workers N] [--queue N] [--hot-cache N] [--cache N]\n\
-                 [--store flat|disk] [--eta K | --l1 ERR] [--top K]\n\
-                 [--batch B] [--alpha A] [--epsilon E] [--delta D]\n\
+                 [--listen ADDR] [--workers N] [--queue N] [--hot-cache N]\n\
+                 [--cache N] [--store flat|disk] [--eta K | --l1 ERR]\n\
+                 [--top K] [--batch B] [--alpha A] [--epsilon E] [--delta D]\n\
                  \n\
-                 Reads one query per line from stdin: `NODE [eta=K | l1=ERR]`\n\
-                 (the optional suffix overrides the default stopping\n\
-                 condition per request). Writes one line per answer to\n\
-                 stdout, a summary to stderr on EOF.";
+                 Default mode reads one query per line from stdin:\n\
+                 `NODE [eta=K | l1=ERR]` (the optional suffix overrides the\n\
+                 default stopping condition per request), writes one line\n\
+                 per answer to stdout, a summary to stderr on EOF.\n\
+                 \n\
+                 With --listen ADDR (e.g. 127.0.0.1:7878, port 0 for an\n\
+                 ephemeral port) the service speaks the length-prefixed\n\
+                 binary TCP protocol of fastppv_server::net instead: the\n\
+                 bound address is announced on stderr, connections are\n\
+                 served until the process is killed.";
     let args = Args::parse(
         argv,
         &with_config_flags(&[
             "graph",
             "index",
+            "listen",
             "workers",
             "queue",
             "hot-cache",
@@ -414,22 +421,40 @@ pub fn serve(argv: &[String]) -> CmdResult {
     if batch == 0 {
         return Err(CliError::Usage("--batch must be positive".into()));
     }
+    let listen: Option<String> = args.get("listen")?;
     let graph = load_graph(&args)?;
     let config = config_from_args(&args)?;
     let (store, hubs) = open_store(&args, &graph)?;
     match store {
-        StoreChoice::Flat(s) => {
-            serve_loop(graph, hubs, s, config, options, default_stop, top, batch)
-        }
-        StoreChoice::Disk(s) => {
-            serve_loop(graph, hubs, s, config, options, default_stop, top, batch)
-        }
+        StoreChoice::Flat(s) => serve_entry(
+            graph,
+            hubs,
+            s,
+            config,
+            options,
+            default_stop,
+            top,
+            batch,
+            listen,
+        ),
+        StoreChoice::Disk(s) => serve_entry(
+            graph,
+            hubs,
+            s,
+            config,
+            options,
+            default_stop,
+            top,
+            batch,
+            listen,
+        ),
     }
 }
 
-/// The stdin/stdout serving loop, generic over the store layout.
+/// Builds the service and dispatches to the stdin/stdout loop or the TCP
+/// front-end, generic over the store layout.
 #[allow(clippy::too_many_arguments)]
-fn serve_loop<S: PpvStore + Send + Sync>(
+fn serve_entry<S: PpvStore + Send + Sync + 'static>(
     graph: Graph,
     hubs: HubSet,
     store: S,
@@ -438,15 +463,52 @@ fn serve_loop<S: PpvStore + Send + Sync>(
     default_stop: StoppingCondition,
     top: usize,
     batch: usize,
+    listen: Option<String>,
 ) -> CmdResult {
     let num_nodes = graph.num_nodes();
-    let service = QueryService::new(
+    let service = std::sync::Arc::new(QueryService::new(
         std::sync::Arc::new(graph),
         std::sync::Arc::new(hubs),
         std::sync::Arc::new(store),
         config,
         options,
+    ));
+    match listen {
+        Some(addr) => serve_net(service, &addr, num_nodes, options),
+        None => serve_loop(service, num_nodes, options, default_stop, top, batch),
+    }
+}
+
+/// The `--listen` mode: the length-prefixed binary TCP protocol of
+/// [`fastppv_server::net`], served until the process is killed.
+fn serve_net<S: PpvStore + Send + Sync + 'static>(
+    service: std::sync::Arc<QueryService<S>>,
+    addr: &str,
+    num_nodes: usize,
+    options: ServiceOptions,
+) -> CmdResult {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let server = fastppv_server::net::serve(service, listener).map_err(|e| e.to_string())?;
+    eprintln!(
+        "listening on {} ({num_nodes} nodes, {} workers, queue {}, hot cache {})",
+        server.local_addr(),
+        options.workers,
+        options.queue_capacity,
+        options.cache_capacity
     );
+    server.wait();
+    Ok(())
+}
+
+/// The stdin/stdout serving loop.
+fn serve_loop<S: PpvStore + Send + Sync>(
+    service: std::sync::Arc<QueryService<S>>,
+    num_nodes: usize,
+    options: ServiceOptions,
+    default_stop: StoppingCondition,
+    top: usize,
+    batch: usize,
+) -> CmdResult {
     eprintln!(
         "serving {num_nodes} nodes with {} workers (queue {}, hot cache {}); \
          reading queries from stdin",
@@ -465,6 +527,10 @@ fn serve_loop<S: PpvStore + Send + Sync>(
     // vs on-the-fly prime-PPV), so the summary keeps them apart.
     let mut hub_latencies: Vec<std::time::Duration> = Vec::new();
     let mut nonhub_latencies: Vec<std::time::Duration> = Vec::new();
+    // Hoisted out of the per-response loop: `hubs()` pins a snapshot
+    // (lock + Arc clones) per call, and the hub set is shared unchanged
+    // across updates, so one handle serves the whole session.
+    let hubs = service.hubs();
     let mut pending: Vec<Request> = Vec::with_capacity(batch);
     let mut flush = |pending: &mut Vec<Request>,
                      hub_latencies: &mut Vec<std::time::Duration>,
@@ -490,7 +556,7 @@ fn serve_loop<S: PpvStore + Send + Sync>(
                 write!(out, " {v}:{s:.6}").map_err(|e| e.to_string())?;
             }
             writeln!(out).map_err(|e| e.to_string())?;
-            let sample = if service.hubs().is_hub(r.query) {
+            let sample = if hubs.is_hub(r.query) {
                 &mut *hub_latencies
             } else {
                 &mut *nonhub_latencies
@@ -534,11 +600,14 @@ fn serve_loop<S: PpvStore + Send + Sync>(
 
     let elapsed = started.elapsed();
     let stats = service.cache_stats();
-    let mut all = hub_latencies.clone();
-    all.extend_from_slice(&nonhub_latencies);
-    let overall = fastppv_server::LatencySummary::of(&all);
-    let hub = fastppv_server::LatencySummary::of(&hub_latencies);
-    let nonhub = fastppv_server::LatencySummary::of(&nonhub_latencies);
+    // One sort per class; the pooled p50/p99 come from the two sorted
+    // samples via a merge walk — no clone, no third sort.
+    let hub = fastppv_server::LatencySummary::of_mut(&mut hub_latencies);
+    let nonhub = fastppv_server::LatencySummary::of_mut(&mut nonhub_latencies);
+    let overall_p50 =
+        fastppv_server::percentile_of_sorted_pair(&hub_latencies, &nonhub_latencies, 0.50);
+    let overall_p99 =
+        fastppv_server::percentile_of_sorted_pair(&hub_latencies, &nonhub_latencies, 0.99);
     eprintln!(
         "served {served} queries in {elapsed:.2?} ({:.0} QPS); \
          p50 {:.2?}, p99 {:.2?}; \
@@ -546,8 +615,8 @@ fn serve_loop<S: PpvStore + Send + Sync>(
          non-hub sources {} (p50 {:.2?}, p99 {:.2?}); \
          cache hits {} / misses {}",
         served as f64 / elapsed.as_secs_f64().max(1e-9),
-        overall.p50,
-        overall.p99,
+        overall_p50,
+        overall_p99,
         hub.queries,
         hub.p50,
         hub.p99,

@@ -11,7 +11,8 @@
 //! fastppv topk      --graph edges.txt [--undirected] --index index.fppv
 //!                   --node Q --k K [--max-eta K]
 //! fastppv serve     --graph edges.txt [--undirected] --index index.fppv
-//!                   [--workers N] [--hot-cache N] [--eta K | --l1 ERR]
+//!                   [--listen ADDR] [--workers N] [--hot-cache N]
+//!                   [--eta K | --l1 ERR]
 //! fastppv stats     --index index.fppv
 //! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
 //! ```
@@ -62,7 +63,8 @@ commands:
   build      offline phase: select hubs and build the prime-PPV index
   query      online phase: answer one PPV query from an index
   topk       certified top-k query (iterates until the set is provably exact)
-  serve      concurrent query service: worker pool + hot-PPV cache over stdin
+  serve      concurrent query service: worker pool + hot-PPV cache, over
+             stdin or a binary TCP socket (--listen ADDR)
   stats      inspect an index file
   cluster    segment a graph for disk-based processing
 

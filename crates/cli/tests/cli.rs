@@ -325,3 +325,127 @@ fn serve_answers_queries_from_stdin() {
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn serve_listen_answers_over_tcp_identical_to_direct_engine() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    use fastppv_core::index::DiskIndex;
+    use fastppv_core::query::StoppingCondition;
+    use fastppv_core::{Config, FlatIndex, HubSet, QueryEngine};
+    use fastppv_graph::io::read_edge_list_file;
+    use fastppv_graph::DanglingPolicy;
+    use fastppv_server::net::{Client, WireRequest};
+
+    let graph_path = temp("listen.txt");
+    let index_path = temp("listen.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "300", "--seed", "9", "--out"])
+        .arg(&graph_path)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph_path)
+        .args(["--undirected", "--hubs", "30", "--out"])
+        .arg(&index_path)
+        .status()
+        .unwrap()
+        .success());
+
+    // The server runs until killed; kill it on drop so a failing assertion
+    // below cannot orphan a live process holding the port.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    // Port 0: the kernel picks a free port, the server announces it.
+    let mut child = KillOnDrop(
+        bin()
+            .args(["serve", "--graph"])
+            .arg(&graph_path)
+            .args(["--undirected", "--index"])
+            .arg(&index_path)
+            .args(["--workers", "2", "--listen", "127.0.0.1:0"])
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    let mut stderr = std::io::BufReader::new(child.0.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    assert!(line.starts_with("listening on "), "{line}");
+    let addr = line["listening on ".len()..]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    // An independent engine over the exact deployment the server loaded.
+    let graph = read_edge_list_file(&graph_path, true, DanglingPolicy::SelfLoop).unwrap();
+    let disk = DiskIndex::open(&index_path, 16).unwrap();
+    let hubs = HubSet::from_ids(graph.num_nodes(), disk.hub_ids());
+    let flat = FlatIndex::from_store(graph.num_nodes(), &disk, &disk.hub_ids(), &hubs);
+    let config = Config::default();
+    let engine = QueryEngine::new(&graph, &hubs, &flat, config);
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.num_nodes(), 300);
+    let queries: Vec<u32> = vec![0, 17, 42, 123, 299];
+    let requests: Vec<WireRequest> = queries
+        .iter()
+        .map(|&q| WireRequest::iterations(q, 2))
+        .collect();
+    let responses = client.request_batch(&requests).unwrap();
+    for (r, &q) in responses.iter().zip(&queries) {
+        let answer = r.answer().expect("in-range query is served");
+        let direct = engine.query(q, &StoppingCondition::iterations(2));
+        let mut diff: f64 = answer
+            .entries
+            .iter()
+            .map(|&(v, s)| (s - direct.scores.get(v)).abs())
+            .sum();
+        for &(v, s) in direct.scores.entries() {
+            if !answer.entries.iter().any(|&(e, _)| e == v) {
+                diff += s.abs();
+            }
+        }
+        assert!(
+            diff <= 1e-12,
+            "query {q}: socket answer diverges from direct engine by {diff}"
+        );
+        assert_eq!(answer.iterations as usize, direct.iterations);
+    }
+
+    // The repeat batch is served from the hot-PPV cache, identically.
+    let again = client.request_batch(&requests).unwrap();
+    for (a, b) in responses.iter().zip(&again) {
+        let (a, b) = (a.answer().unwrap(), b.answer().unwrap());
+        assert!(b.cached, "repeat deterministic batch must hit the cache");
+        assert_eq!(a.entries, b.entries);
+    }
+
+    // Out-of-range ids are rejected per request, connection intact.
+    let mixed = client
+        .request_batch(&[
+            WireRequest::iterations(5, 2),
+            WireRequest::iterations(300, 2),
+        ])
+        .unwrap();
+    assert!(mixed[0].answer().is_some());
+    assert!(
+        mixed[1].error().unwrap().contains("out of range"),
+        "{mixed:?}"
+    );
+
+    drop(client);
+    drop(child);
+    std::fs::remove_file(&graph_path).ok();
+    std::fs::remove_file(&index_path).ok();
+}

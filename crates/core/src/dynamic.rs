@@ -206,6 +206,28 @@ pub fn refresh_flat_index(
     }
 }
 
+/// Snapshot-style counterpart of [`refresh_flat_index`]: leaves `old`
+/// untouched and returns a freshly patched arena. This is the entry point
+/// an epoch-snapshot service wants — readers pinning the old arena (behind
+/// an `Arc` swap cell) keep seeing it undisturbed while the clone is
+/// patched and published as the next epoch's store.
+///
+/// The clone is always a deep copy: under concurrent serving somebody is
+/// holding the old arena by definition, so there is no in-place fast path
+/// worth special-casing.
+pub fn refresh_flat_index_snapshot(
+    old: &FlatIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+) -> (FlatIndex, RefreshStats) {
+    let mut next = old.clone();
+    let stats = refresh_flat_index(&mut next, old_graph, new_graph, hubs, changed_tails, config);
+    (next, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +319,28 @@ mod tests {
             );
         }
         assert!(stats.recomputed > 0);
+    }
+
+    #[test]
+    fn snapshot_refresh_leaves_old_arena_untouched() {
+        let g = barabasi_albert(250, 3, 7);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let config = Config::default();
+        let (flat, _) = crate::offline::build_flat_index(&g, &hubs, &config, 1);
+        let before: Vec<_> = hubs.ids().iter().map(|&h| flat.load(h).unwrap()).collect();
+        let u = (0..250u32).find(|&v| !hubs.is_hub(v)).unwrap();
+        let g2 = add_edge(&g, u, (u + 17) % 250);
+        let (next, stats) = refresh_flat_index_snapshot(&flat, &g, &g2, &hubs, &[u], &config);
+        assert!(stats.recomputed > 0);
+        // The old arena still answers exactly as before the update…
+        for (&h, old) in hubs.ids().iter().zip(&before) {
+            assert_eq!(flat.load(h).unwrap(), *old, "hub {h} must be untouched");
+        }
+        // …and the new one matches a from-scratch build of the new graph.
+        let (rebuilt, _) = crate::offline::build_flat_index(&g2, &hubs, &config, 1);
+        for &h in hubs.ids() {
+            assert_eq!(next.load(h).unwrap(), rebuilt.load(h).unwrap(), "hub {h}");
+        }
     }
 
     #[test]

@@ -13,9 +13,19 @@
 //! * a **fixed-size worker pool** over a **bounded submission queue**
 //!   (backpressure instead of unbounded buffering), batching requests with
 //!   per-request stopping conditions (iterations η / L1 target / deadline);
+//! * **epoch-stamped snapshots** — the graph, hub set, and store live in
+//!   one immutable [`ServingState`] behind a swap cell; queries pin a
+//!   snapshot, and [`QueryService::apply_update`] (`&self`, concurrent
+//!   with serving) refreshes the index against the pinned old state and
+//!   publishes the next epoch while in-flight queries finish undisturbed;
 //! * a **hot-PPV cache** — an [`cache::LruCache`] keyed by `(query, η)`
-//!   memoizing deterministic requests, invalidated by
-//!   [`QueryService::apply_update`] when the graph changes.
+//!   memoizing deterministic requests; every entry is stamped with its
+//!   snapshot's epoch, so an update both clears the cache and rejects
+//!   late inserts computed against the old state;
+//! * a **TCP front-end** ([`net`]) — a length-prefixed binary protocol
+//!   (`fastppv serve --listen ADDR`) with a thread-per-connection acceptor
+//!   feeding the worker pool, relative-millisecond deadlines on the wire,
+//!   and a blocking [`net::Client`] for drivers.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -48,9 +58,11 @@
 //! ```
 
 pub mod cache;
+pub mod net;
 pub mod service;
 
 pub use cache::LruCache;
 pub use service::{
-    percentile, CacheStats, LatencySummary, QueryService, Request, Response, ServiceOptions,
+    percentile, percentile_of_sorted, percentile_of_sorted_pair, CacheStats, LatencySummary,
+    QueryService, Request, Response, ServiceOptions, ServingState,
 };

@@ -1,0 +1,908 @@
+//! Length-prefixed binary TCP front-end for the query service.
+//!
+//! The stdin/stdout serving loop is fine for pipelines, but measuring tail
+//! latency with queueing effects — and serving real remote traffic — needs
+//! a socket. This module speaks a deliberately tiny protocol over TCP:
+//! every message is one *frame* (`u32` little-endian payload length, then
+//! the payload), the server greets each connection with a hello frame, and
+//! after that the client sends request-batch frames and receives one
+//! response-batch frame per request frame, answers in request order.
+//!
+//! ## Wire format (version 1, all integers little-endian)
+//!
+//! ```text
+//! frame          := len:u32 payload[len]            (len ≤ 64 MiB)
+//! hello          := magic:u32 ("FPPV" = 0x46505056) version:u16 num_nodes:u64
+//! request-batch  := count:u32 request*
+//! request        := query:u32 top_k:u32 deadline_ms:u32 stop
+//!                   -- top_k 0 returns the full score vector
+//!                   -- deadline_ms 0xFFFF_FFFF means "no deadline";
+//!                      otherwise a *relative* budget in milliseconds from
+//!                      server receipt (an absolute `Instant` does not
+//!                      serialize; queue wait counts against it)
+//! stop           := 0:u8 eta:u32                    (iteration budget η)
+//!                 | 1:u8 l1_target:f64              (accuracy target φ)
+//! response-batch := count:u32 response*
+//! response       := 0:u8 answer | 1:u8 msg_len:u32 msg[msg_len]
+//! answer         := query:u32 iterations:u32 l1_error:f64 exhausted:u8
+//!                   cached:u8 latency_ns:u64 n:u32 (node:u32 score:f64)*n
+//! ```
+//!
+//! A malformed frame closes the connection; a *well-formed* request for an
+//! out-of-range node gets a per-request error response (the connection —
+//! and the batch's other requests — are unaffected). Validation happens
+//! against the same pinned snapshot the batch executes on, so a
+//! concurrently published update can never turn a validated id into a
+//! panic.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fastppv_core::query::StoppingCondition;
+use fastppv_core::PpvStore;
+use fastppv_graph::NodeId;
+
+use crate::service::{QueryService, Request, Response};
+
+/// Protocol magic: `"FPPV"` read as a little-endian `u32`.
+pub const MAGIC: u32 = 0x4650_5056;
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Upper bound on a frame payload; larger frames are a protocol error.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// Upper bound on requests per batch frame (a protocol error beyond it).
+/// Bounds the worst-case response: even a batch of all-error responses
+/// stays far below [`MAX_FRAME_BYTES`], and a batch whose *answers*
+/// overflow the frame cap degrades into per-request errors instead of
+/// killing the connection (see [`serve`]).
+pub const MAX_BATCH_REQUESTS: usize = 1 << 16;
+/// Concurrent connections the server accepts; beyond it new connections
+/// are closed before the hello frame (admission control — each connection
+/// gets a thread, and each in-flight batch its own scoped worker set, so
+/// the cap bounds total threads).
+pub const MAX_CONNECTIONS: usize = 1024;
+/// `deadline_ms` sentinel for "no deadline".
+const NO_DEADLINE: u32 = u32::MAX;
+
+/// Per-request stopping condition on the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WireStop {
+    /// Run exactly this many increments (η).
+    Iterations(u32),
+    /// Iterate until the guaranteed L1 error φ falls below the target.
+    L1Error(f64),
+}
+
+/// One query as sent by a client.
+#[derive(Clone, Copy, Debug)]
+pub struct WireRequest {
+    /// The query node.
+    pub query: NodeId,
+    /// When to stop iterating.
+    pub stop: WireStop,
+    /// Relative deadline in milliseconds from server receipt (`None` = no
+    /// deadline). Queue wait on the server counts against it.
+    pub deadline_ms: Option<u32>,
+    /// How many top entries to return; 0 returns the full score vector.
+    pub top_k: u32,
+}
+
+impl WireRequest {
+    /// A request running exactly `eta` increments, returning the full
+    /// score vector.
+    pub fn iterations(query: NodeId, eta: u32) -> Self {
+        WireRequest {
+            query,
+            stop: WireStop::Iterations(eta),
+            deadline_ms: None,
+            top_k: 0,
+        }
+    }
+
+    /// A request running until `φ ≤ target`.
+    pub fn l1_error(query: NodeId, target: f64) -> Self {
+        WireRequest {
+            query,
+            stop: WireStop::L1Error(target),
+            deadline_ms: None,
+            top_k: 0,
+        }
+    }
+
+    /// Caps the response to the `k` highest-scoring entries.
+    pub fn with_top_k(mut self, k: u32) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Adds a relative deadline in milliseconds from server receipt.
+    pub fn with_deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    fn to_request(self, received: Instant) -> Request {
+        let stop = match self.stop {
+            WireStop::Iterations(eta) => StoppingCondition::iterations(eta as usize),
+            WireStop::L1Error(target) => StoppingCondition::l1_error(target),
+        };
+        Request {
+            query: self.query,
+            stop,
+            deadline: self
+                .deadline_ms
+                .map(|ms| received + Duration::from_millis(ms as u64)),
+        }
+    }
+}
+
+/// A served answer as decoded by a client.
+#[derive(Clone, Debug)]
+pub struct WireAnswer {
+    /// The query node.
+    pub query: NodeId,
+    /// Increments run beyond iteration 0.
+    pub iterations: u32,
+    /// Accuracy-aware L1 error φ of the estimate.
+    pub l1_error: f64,
+    /// Whether the expansion frontier emptied.
+    pub exhausted: bool,
+    /// Whether the server's hot-PPV cache served this answer.
+    pub cached: bool,
+    /// Server-side service latency (queue wait within the batch included).
+    pub latency: Duration,
+    /// Score entries: the full vector (ascending node id) when the request
+    /// asked `top_k = 0`, else the `top_k` best scores in descending order.
+    pub entries: Vec<(NodeId, f64)>,
+}
+
+/// One per-request outcome in a response batch.
+#[derive(Clone, Debug)]
+pub enum WireResponse {
+    /// The query was served.
+    Answer(WireAnswer),
+    /// The request was rejected (e.g. node out of range); the rest of the
+    /// batch is unaffected.
+    Error(String),
+}
+
+impl WireResponse {
+    /// The answer, if the request was served.
+    pub fn answer(&self) -> Option<&WireAnswer> {
+        match self {
+            WireResponse::Answer(a) => Some(a),
+            WireResponse::Error(_) => None,
+        }
+    }
+
+    /// The rejection message, if the request failed.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            WireResponse::Answer(_) => None,
+            WireResponse::Error(e) => Some(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding / decoding
+// ---------------------------------------------------------------------------
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Payload<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Payload { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad_data("truncated frame payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad_data(format!(
+                "{} trailing bytes after frame payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "oversized outgoing frame");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data(format!("frame of {len} bytes exceeds the cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn encode_hello(num_nodes: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14);
+    put_u32(&mut buf, MAGIC);
+    buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    put_u64(&mut buf, num_nodes);
+    buf
+}
+
+fn decode_hello(payload: &[u8]) -> io::Result<u64> {
+    let mut p = Payload::new(payload);
+    if p.u32()? != MAGIC {
+        return Err(bad_data("bad magic: not a fastppv server"));
+    }
+    let version = p.u16()?;
+    if version != PROTOCOL_VERSION {
+        return Err(bad_data(format!(
+            "protocol version {version} (this client speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let num_nodes = p.u64()?;
+    p.finish()?;
+    Ok(num_nodes)
+}
+
+fn encode_request_batch(requests: &[WireRequest]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + requests.len() * 17);
+    put_u32(&mut buf, requests.len() as u32);
+    for r in requests {
+        put_u32(&mut buf, r.query);
+        put_u32(&mut buf, r.top_k);
+        put_u32(&mut buf, r.deadline_ms.unwrap_or(NO_DEADLINE));
+        match r.stop {
+            WireStop::Iterations(eta) => {
+                buf.push(0);
+                put_u32(&mut buf, eta);
+            }
+            WireStop::L1Error(target) => {
+                buf.push(1);
+                put_f64(&mut buf, target);
+            }
+        }
+    }
+    buf
+}
+
+fn decode_request_batch(payload: &[u8]) -> io::Result<Vec<WireRequest>> {
+    let mut p = Payload::new(payload);
+    let count = p.u32()? as usize;
+    // The smallest request is 17 bytes; a count the payload cannot hold is
+    // rejected before any allocation trusts it, as is a batch past the
+    // response-size cap.
+    if count > payload.len() / 17 {
+        return Err(bad_data(format!("request count {count} overruns frame")));
+    }
+    if count > MAX_BATCH_REQUESTS {
+        return Err(bad_data(format!(
+            "request count {count} exceeds the per-frame cap ({MAX_BATCH_REQUESTS})"
+        )));
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        let query = p.u32()?;
+        let top_k = p.u32()?;
+        let deadline = p.u32()?;
+        let stop = match p.u8()? {
+            0 => WireStop::Iterations(p.u32()?),
+            1 => WireStop::L1Error(p.f64()?),
+            tag => return Err(bad_data(format!("unknown stop tag {tag}"))),
+        };
+        requests.push(WireRequest {
+            query,
+            stop,
+            deadline_ms: (deadline != NO_DEADLINE).then_some(deadline),
+            top_k,
+        });
+    }
+    p.finish()?;
+    Ok(requests)
+}
+
+fn encode_response_batch(responses: &[WireResponse]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, responses.len() as u32);
+    for r in responses {
+        match r {
+            WireResponse::Error(msg) => {
+                buf.push(1);
+                put_u32(&mut buf, msg.len() as u32);
+                buf.extend_from_slice(msg.as_bytes());
+            }
+            WireResponse::Answer(a) => {
+                buf.push(0);
+                put_u32(&mut buf, a.query);
+                put_u32(&mut buf, a.iterations);
+                put_f64(&mut buf, a.l1_error);
+                buf.push(a.exhausted as u8);
+                buf.push(a.cached as u8);
+                put_u64(&mut buf, a.latency.as_nanos().min(u64::MAX as u128) as u64);
+                put_u32(&mut buf, a.entries.len() as u32);
+                for &(node, score) in &a.entries {
+                    put_u32(&mut buf, node);
+                    put_f64(&mut buf, score);
+                }
+            }
+        }
+    }
+    buf
+}
+
+fn decode_response_batch(payload: &[u8]) -> io::Result<Vec<WireResponse>> {
+    let mut p = Payload::new(payload);
+    // The smallest response (an empty error) is 5 bytes; reject counts the
+    // payload cannot hold before sizing any allocation off them.
+    let count = p.u32()? as usize;
+    if count > payload.len() / 5 {
+        return Err(bad_data(format!("response count {count} overruns frame")));
+    }
+    let mut responses = Vec::with_capacity(count);
+    for _ in 0..count {
+        match p.u8()? {
+            1 => {
+                let len = p.u32()? as usize;
+                let msg = std::str::from_utf8(p.take(len)?)
+                    .map_err(|_| bad_data("error message is not UTF-8"))?;
+                responses.push(WireResponse::Error(msg.to_string()));
+            }
+            0 => {
+                let query = p.u32()?;
+                let iterations = p.u32()?;
+                let l1_error = p.f64()?;
+                let exhausted = p.u8()? != 0;
+                let cached = p.u8()? != 0;
+                let latency = Duration::from_nanos(p.u64()?);
+                let n = p.u32()? as usize;
+                if n > payload.len() / 12 {
+                    return Err(bad_data(format!("entry count {n} overruns frame")));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let node = p.u32()?;
+                    let score = p.f64()?;
+                    entries.push((node, score));
+                }
+                responses.push(WireResponse::Answer(WireAnswer {
+                    query,
+                    iterations,
+                    l1_error,
+                    exhausted,
+                    cached,
+                    latency,
+                    entries,
+                }));
+            }
+            tag => return Err(bad_data(format!("unknown response tag {tag}"))),
+        }
+    }
+    p.finish()?;
+    Ok(responses)
+}
+
+fn answer_of(response: &Response, top_k: u32) -> WireAnswer {
+    let entries = if top_k == 0 {
+        response.scores.entries().to_vec()
+    } else {
+        response.top_k(top_k as usize)
+    };
+    WireAnswer {
+        query: response.query,
+        iterations: response.iterations as u32,
+        l1_error: response.l1_error,
+        exhausted: response.exhausted,
+        cached: response.cached,
+        latency: response.latency,
+        entries,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A running TCP front-end: a thread-per-connection acceptor feeding the
+/// service's worker pool. Dropped or [`NetServer::shutdown`]: stops
+/// accepting and joins the acceptor (connections already established run
+/// until their client disconnects).
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the acceptor exits (i.e. forever, absent a shutdown
+    /// from another handle or a listener error). The CLI's
+    /// `serve --listen` foreground mode.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting new connections and joins the acceptor.
+    pub fn shutdown(mut self) {
+        self.signal_and_join();
+    }
+
+    fn signal_and_join(&mut self) {
+        let Some(handle) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Poke the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.signal_and_join();
+    }
+}
+
+/// Starts serving `service` on `listener`: one acceptor thread plus one
+/// thread per connection, each feeding whole request-batch frames to
+/// [`QueryService::process_batch`]'s scoped worker set. Returns
+/// immediately with a [`NetServer`] handle.
+///
+/// Threading model, explicitly: the batching worker pool is *per
+/// in-flight batch* (bounded by `options.workers`), so total compute
+/// threads scale with concurrent connections × workers. The
+/// [`MAX_CONNECTIONS`] admission cap bounds that product; past it, new
+/// connections are closed before the hello frame (a connecting
+/// [`Client`] sees "server closed before sending hello"). Size
+/// `options.workers` for the *expected concurrency*, not the core count
+/// alone, when many simultaneous connections are the workload.
+pub fn serve<S: PpvStore + Send + Sync + 'static>(
+    service: Arc<QueryService<S>>,
+    listener: TcpListener,
+) -> io::Result<NetServer> {
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let active = Arc::new(AtomicUsize::new(0));
+    let acceptor = std::thread::Builder::new()
+        .name("fastppv-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // Persistent accept failures (fd exhaustion) yield
+                        // Err immediately and repeatedly; back off instead
+                        // of busy-spinning the acceptor at 100% CPU.
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                // Admission control: past the cap, close before hello. The
+                // slot is released by a Drop guard so a panicking handler
+                // cannot leak it and starve future connections.
+                if active.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+                    active.fetch_sub(1, Ordering::AcqRel);
+                    drop(stream);
+                    continue;
+                }
+                let slot = SlotGuard(Arc::clone(&active));
+                let service = Arc::clone(&service);
+                // If the spawn itself fails, the closure — and the guard
+                // inside it — is dropped here, releasing the slot.
+                let _ = std::thread::Builder::new()
+                    .name("fastppv-conn".into())
+                    .spawn(move || {
+                        let _slot = slot;
+                        // A protocol error or broken pipe closes just this
+                        // connection; the acceptor keeps serving others.
+                        let _ = handle_connection(&service, stream);
+                    });
+            }
+        })?;
+    Ok(NetServer {
+        local_addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Releases one admission slot on drop — including on unwind, so a panic
+/// inside a connection handler cannot permanently shrink the accept cap.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn handle_connection<S: PpvStore + Send + Sync>(
+    service: &QueryService<S>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        &encode_hello(service.snapshot().graph().num_nodes() as u64),
+    )?;
+    while let Some(payload) = read_frame(&mut reader)? {
+        let wire_requests = decode_request_batch(&payload)?;
+        let received = Instant::now();
+        // Pin one snapshot for the whole frame: ids are validated against
+        // the exact graph the batch will run on, so a concurrent update
+        // cannot invalidate the check mid-flight.
+        let state = service.snapshot();
+        let mut slots: Vec<Option<WireResponse>> = Vec::new();
+        slots.resize_with(wire_requests.len(), || None);
+        let mut batch: Vec<Request> = Vec::with_capacity(wire_requests.len());
+        let mut batch_slots: Vec<usize> = Vec::with_capacity(wire_requests.len());
+        for (i, wr) in wire_requests.iter().enumerate() {
+            match crate::service::check_in_range(state.graph(), wr.query) {
+                Err(e) => slots[i] = Some(WireResponse::Error(e)),
+                Ok(()) => {
+                    batch.push(wr.to_request(received));
+                    batch_slots.push(i);
+                }
+            }
+        }
+        let responses = service.process_batch_on(&state, batch);
+        for (&slot, response) in batch_slots.iter().zip(&responses) {
+            slots[slot] = Some(WireResponse::Answer(answer_of(
+                response,
+                wire_requests[slot].top_k,
+            )));
+        }
+        let out: Vec<WireResponse> = slots
+            .into_iter()
+            .map(|s| s.expect("every request got a slot"))
+            .collect();
+        let mut encoded = encode_response_batch(&out);
+        if encoded.len() > MAX_FRAME_BYTES {
+            // A well-formed batch whose *answers* (full score vectors on a
+            // big graph) overflow the frame cap degrades into per-request
+            // errors — bounded by MAX_BATCH_REQUESTS, so this frame always
+            // fits — instead of killing the connection.
+            let errors: Vec<WireResponse> = out
+                .iter()
+                .map(|r| match r {
+                    WireResponse::Error(e) => WireResponse::Error(e.clone()),
+                    WireResponse::Answer(a) => WireResponse::Error(format!(
+                        "response batch exceeds the {} MiB frame cap; request \
+                         fewer entries (top_k) or smaller batches (answer for \
+                         node {} alone held {} entries)",
+                        MAX_FRAME_BYTES >> 20,
+                        a.query,
+                        a.entries.len()
+                    )),
+                })
+                .collect();
+            encoded = encode_response_batch(&errors);
+        }
+        write_frame(&mut writer, &encoded)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking client for the fastppv TCP protocol (one connection, one
+/// outstanding request frame at a time).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    num_nodes: u64,
+}
+
+impl Client {
+    /// Connects and consumes the server's hello frame.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let hello = read_frame(&mut reader)?
+            .ok_or_else(|| bad_data("server closed before sending hello"))?;
+        let num_nodes = decode_hello(&hello)?;
+        Ok(Client {
+            reader,
+            writer,
+            num_nodes,
+        })
+    }
+
+    /// Number of graph nodes the server announced at connect time.
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    /// Sends one request batch and blocks for the response batch
+    /// (responses in request order, one per request). Batches above
+    /// [`MAX_BATCH_REQUESTS`] are rejected here with a precise error —
+    /// the server would reject the frame and close the connection.
+    pub fn request_batch(&mut self, requests: &[WireRequest]) -> io::Result<Vec<WireResponse>> {
+        if requests.len() > MAX_BATCH_REQUESTS {
+            return Err(bad_data(format!(
+                "batch of {} requests exceeds the per-frame cap ({MAX_BATCH_REQUESTS})",
+                requests.len()
+            )));
+        }
+        write_frame(&mut self.writer, &encode_request_batch(requests))?;
+        let payload =
+            read_frame(&mut self.reader)?.ok_or_else(|| bad_data("server closed mid-request"))?;
+        let responses = decode_response_batch(&payload)?;
+        if responses.len() != requests.len() {
+            return Err(bad_data(format!(
+                "{} responses for {} requests",
+                responses.len(),
+                requests.len()
+            )));
+        }
+        Ok(responses)
+    }
+
+    /// Sends a single request and blocks for its response.
+    pub fn request_one(&mut self, request: WireRequest) -> io::Result<WireResponse> {
+        let mut responses = self.request_batch(std::slice::from_ref(&request))?;
+        Ok(responses.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceOptions;
+    use fastppv_core::offline::build_index;
+    use fastppv_core::{Config, HubSet, MemoryIndex, QueryEngine};
+    use fastppv_graph::toy;
+
+    fn toy_service() -> Arc<QueryService<MemoryIndex>> {
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        Arc::new(QueryService::new(
+            Arc::new(g),
+            Arc::new(hubs),
+            Arc::new(index),
+            config,
+            ServiceOptions {
+                workers: 2,
+                queue_capacity: 8,
+                cache_capacity: 16,
+            },
+        ))
+    }
+
+    #[test]
+    fn request_batch_round_trips() {
+        let requests = vec![
+            WireRequest::iterations(3, 2),
+            WireRequest::l1_error(5, 0.125).with_top_k(7),
+            WireRequest::iterations(0, 9).with_deadline_ms(1500),
+        ];
+        let decoded = decode_request_batch(&encode_request_batch(&requests)).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (a, b) in requests.iter().zip(&decoded) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.stop, b.stop);
+            assert_eq!(a.deadline_ms, b.deadline_ms);
+            assert_eq!(a.top_k, b.top_k);
+        }
+    }
+
+    #[test]
+    fn response_batch_round_trips() {
+        let responses = vec![
+            WireResponse::Answer(WireAnswer {
+                query: 4,
+                iterations: 3,
+                l1_error: 0.25,
+                exhausted: true,
+                cached: false,
+                latency: Duration::from_micros(1234),
+                entries: vec![(1, 0.5), (7, 0.25)],
+            }),
+            WireResponse::Error("node 99 out of range".into()),
+        ];
+        let decoded = decode_response_batch(&encode_response_batch(&responses)).unwrap();
+        let a = decoded[0].answer().unwrap();
+        assert_eq!((a.query, a.iterations), (4, 3));
+        assert_eq!(a.l1_error, 0.25);
+        assert!(a.exhausted && !a.cached);
+        assert_eq!(a.latency, Duration::from_micros(1234));
+        assert_eq!(a.entries, vec![(1, 0.5), (7, 0.25)]);
+        assert_eq!(decoded[1].error(), Some("node 99 out of range"));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let good = encode_request_batch(&[WireRequest::iterations(1, 2)]);
+        assert!(decode_request_batch(&good[..good.len() - 1]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_request_batch(&trailing).is_err());
+        // A count that the payload cannot possibly hold is rejected early.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        assert!(decode_request_batch(&huge).is_err());
+        assert!(decode_hello(&encode_hello(5)[..3]).is_err());
+        assert_eq!(decode_hello(&encode_hello(42)).unwrap(), 42);
+    }
+
+    #[test]
+    fn batch_and_count_caps_are_enforced() {
+        // A frame large enough to hold MAX_BATCH_REQUESTS + 1 requests is
+        // still rejected by the per-frame cap (bounds the response size).
+        let over = MAX_BATCH_REQUESTS + 1;
+        let mut payload = vec![0u8; 4 + over * 17];
+        payload[..4].copy_from_slice(&(over as u32).to_le_bytes());
+        let err = decode_request_batch(&payload).unwrap_err();
+        assert!(err.to_string().contains("per-frame cap"), "{err}");
+        // A response count the payload cannot hold is rejected before any
+        // allocation is sized off it (client-side OOM guard).
+        let mut bogus = Vec::new();
+        put_u32(&mut bogus, 1000);
+        let err = decode_response_batch(&bogus).unwrap_err();
+        assert!(err.to_string().contains("overruns frame"), "{err}");
+    }
+
+    #[test]
+    fn loopback_serves_exact_answers_and_per_request_errors() {
+        let service = toy_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = serve(Arc::clone(&service), listener).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.num_nodes(), 8);
+
+        let responses = client
+            .request_batch(&[
+                WireRequest::iterations(toy::A, 3),
+                WireRequest::iterations(99, 3), // out of range
+                WireRequest::iterations(toy::E, 2).with_top_k(2),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+
+        let state = service.snapshot();
+        let engine = state.engine(*service.config());
+        let direct = engine.query(toy::A, &StoppingCondition::iterations(3));
+        let a = responses[0].answer().unwrap();
+        assert_eq!(a.entries, direct.scores.entries().to_vec());
+        assert_eq!(a.iterations as usize, direct.iterations);
+        assert!((a.l1_error - direct.l1_error).abs() < 1e-15);
+
+        let err = responses[1].error().unwrap();
+        assert!(err.contains("out of range"), "{err}");
+
+        let top2 = responses[2].answer().unwrap();
+        let direct_e = engine.query(toy::E, &StoppingCondition::iterations(2));
+        assert_eq!(top2.entries, direct_e.scores.top_k(2));
+
+        // The connection survived the per-request error.
+        let again = client
+            .request_one(WireRequest::iterations(toy::A, 3))
+            .unwrap();
+        let again = again.answer().unwrap();
+        assert!(again.cached, "repeat deterministic request hits the cache");
+        assert_eq!(again.entries, direct.scores.entries().to_vec());
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn loopback_expired_deadline_stops_immediately() {
+        let service = toy_service();
+        let server = serve(
+            Arc::clone(&service),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client
+            .request_one(WireRequest::iterations(toy::A, 50).with_deadline_ms(0))
+            .unwrap();
+        let a = r.answer().unwrap();
+        assert_eq!(a.iterations, 0, "0 ms deadline must stop at iteration 0");
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn engine_matches_queryengine_reference() {
+        // Guard against drift between `ServingState::engine` and a
+        // hand-built QueryEngine over the same pieces.
+        let service = toy_service();
+        let state = service.snapshot();
+        let by_state = state
+            .engine(*service.config())
+            .query(toy::B, &StoppingCondition::iterations(2));
+        let by_hand = QueryEngine::new(
+            state.graph(),
+            state.hubs(),
+            state.store().as_ref(),
+            *service.config(),
+        )
+        .query(toy::B, &StoppingCondition::iterations(2));
+        assert_eq!(by_state.scores, by_hand.scores);
+    }
+}

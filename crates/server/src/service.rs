@@ -1,25 +1,38 @@
-//! The concurrent query service: one shared read-only engine, a fixed-size
-//! worker pool over a bounded submission queue, and a hot-PPV result cache.
+//! The concurrent query service: an epoch-stamped immutable serving
+//! snapshot behind a swap cell, a fixed-size worker pool over a bounded
+//! submission queue, and a hot-PPV result cache.
 //!
 //! FastPPV's online phase is read-only over the graph, hub set, and index,
-//! so a single [`QueryEngine`] serves every worker; each worker brings its
-//! own [`QueryWorkspace`] (the only per-query mutable state). Requests
-//! carry their own stopping condition — iteration budget η, accuracy-aware
-//! L1 target (Eq. 6), or a wall-clock deadline — so one deployment serves
-//! latency-budgeted and accuracy-budgeted traffic side by side.
+//! so everything a query touches lives in one immutable [`ServingState`]
+//! (graph + hubs + store + epoch) published through an `ArcSwap`. Workers
+//! pin one snapshot per request ([`QueryService::snapshot`] is an `Arc`
+//! clone); each brings its own [`fastppv_core::QueryWorkspace`] (the only
+//! per-query mutable state). Requests carry their own stopping condition —
+//! iteration budget η, accuracy-aware L1 target (Eq. 6), or a wall-clock
+//! deadline — so one deployment serves latency-budgeted and
+//! accuracy-budgeted traffic side by side.
+//!
+//! [`QueryService::apply_update`] takes `&self` and runs **concurrently
+//! with serving**: it refreshes the index against the pinned old snapshot
+//! (via [`fastppv_core::dynamic`]), then publishes a new snapshot with a
+//! bumped epoch. In-flight queries finish on the old state undisturbed —
+//! they hold its `Arc` — and simply drop it when done.
 //!
 //! Deterministic requests (pure iteration stops) are memoized in an LRU
-//! cache keyed by `(query, η)`; [`QueryService::apply_update`] refreshes
-//! the index after graph edits (via [`fastppv_core::dynamic`]) and
-//! invalidates the cache, so hits can never serve stale scores.
+//! cache keyed by `(query, η)`. Every cache entry is stamped with the
+//! epoch of the snapshot that produced it; publishing a new snapshot
+//! clears the cache *and* rejects late inserts stamped with an older
+//! epoch, so a worker that raced an update can never resurrect pre-update
+//! scores.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use arc_swap::ArcSwap;
 use parking_lot::Mutex;
 
-use fastppv_core::dynamic::{refresh_flat_index, refresh_index, RefreshStats};
+use fastppv_core::dynamic::{refresh_flat_index_snapshot, refresh_index, RefreshStats};
 use fastppv_core::query::{QueryWorkspace, StoppingCondition};
 use fastppv_core::{Config, FlatIndex, HubSet, MemoryIndex, PpvStore, QueryEngine};
 use fastppv_graph::{Graph, NodeId, SparseVector};
@@ -122,26 +135,65 @@ impl Response {
     }
 }
 
-/// The `p`-quantile (0 < p ≤ 1) of an unsorted latency sample, by the
-/// nearest-rank definition (the smallest value with at least `p·n` of the
-/// sample at or below it). Shared by the CLI serve summary and the bench
-/// crate's closed-loop driver.
-pub fn percentile(latencies: &[Duration], p: f64) -> Duration {
+/// The `p`-quantile (0 < p ≤ 1) of an **ascending-sorted** latency sample,
+/// by the nearest-rank definition (the smallest value with at least `p·n`
+/// of the sample at or below it). Sort once, then take every quantile you
+/// need from the same slice.
+pub fn percentile_of_sorted(sorted: &[Duration], p: f64) -> Duration {
     assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
-    if latencies.is_empty() {
+    if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let mut sorted = latencies.to_vec();
-    sorted.sort_unstable();
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
     let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 
+/// The `p`-quantile of the *union* of two ascending-sorted samples,
+/// without materializing (or re-sorting) the merged sample: a two-pointer
+/// walk to the nearest rank. Lets a serving report derive its overall
+/// percentile from the per-class (hub / non-hub) sorted samples for free.
+pub fn percentile_of_sorted_pair(a: &[Duration], b: &[Duration], p: f64) -> Duration {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    let total = a.len() + b.len();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * p).ceil() as usize).clamp(1, total);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut last = Duration::ZERO;
+    for _ in 0..rank {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x <= y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("rank is clamped to the union size"),
+        };
+        if take_a {
+            last = a[i];
+            i += 1;
+        } else {
+            last = b[j];
+            j += 1;
+        }
+    }
+    last
+}
+
+/// The `p`-quantile of an unsorted latency sample (one clone + one sort).
+/// For more than one quantile over the same sample, sort it once yourself
+/// and use [`percentile_of_sorted`] / [`LatencySummary::of_mut`].
+pub fn percentile(latencies: &[Duration], p: f64) -> Duration {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    percentile_of_sorted(&sorted, p)
+}
+
 /// A latency sample boiled down to the figures every serving report needs:
 /// request count, median, and 99th percentile (nearest-rank, see
-/// [`percentile`]). Used by the CLI serve summary and the bench crate's
-/// closed-loop driver to report hub and non-hub sources separately —
-/// hub-source requests are index lookups while cold non-hub sources run
+/// [`percentile_of_sorted`]). Used by the CLI serve summary and the bench
+/// crate's closed-loop driver to report hub and non-hub sources separately
+/// — hub-source requests are index lookups while cold non-hub sources run
 /// the prime-PPV kernel, so their latency distributions are different
 /// regimes and a pooled percentile hides the tail.
 #[derive(Clone, Copy, Debug, Default)]
@@ -155,13 +207,27 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes an unsorted latency sample.
-    pub fn of(latencies: &[Duration]) -> Self {
+    /// Summarizes a sample that is already ascending-sorted.
+    pub fn of_sorted(sorted: &[Duration]) -> Self {
         LatencySummary {
-            queries: latencies.len(),
-            p50: percentile(latencies, 0.50),
-            p99: percentile(latencies, 0.99),
+            queries: sorted.len(),
+            p50: percentile_of_sorted(sorted, 0.50),
+            p99: percentile_of_sorted(sorted, 0.99),
         }
+    }
+
+    /// Sorts the sample in place (once), then summarizes it. The sample is
+    /// left sorted, so callers can keep slicing quantiles out of it.
+    pub fn of_mut(sample: &mut [Duration]) -> Self {
+        sample.sort_unstable();
+        Self::of_sorted(sample)
+    }
+
+    /// Summarizes an unsorted sample the caller must not mutate (one
+    /// clone + one sort; prefer [`LatencySummary::of_mut`] in reports).
+    pub fn of(latencies: &[Duration]) -> Self {
+        let mut sample = latencies.to_vec();
+        Self::of_mut(&mut sample)
     }
 }
 
@@ -174,6 +240,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Inserts rejected because the result was computed against a snapshot
+    /// older than the current epoch (a worker raced an update; accepting
+    /// the entry would resurrect pre-update scores).
+    pub stale_rejects: u64,
 }
 
 type CacheKey = (NodeId, u64);
@@ -183,28 +253,102 @@ struct CachedResult {
     l1_error: f64,
     iterations: usize,
     exhausted: bool,
+    /// Epoch of the snapshot this result was computed against.
+    epoch: u64,
 }
 
-/// A concurrent PPV query service over a shared read-only engine.
-///
-/// The graph, hub set, and store are held in `Arc`s: callers keep handles,
-/// [`QueryService::apply_update`] swaps them atomically between batches.
-pub struct QueryService<S: PpvStore + Send + Sync> {
+/// One immutable serving snapshot: everything a query reads, published
+/// atomically as a unit. Readers pin a snapshot (an `Arc` clone) and keep
+/// it for the duration of a request or batch; an update never mutates a
+/// published snapshot — it builds the next one and swaps it in.
+pub struct ServingState<S> {
     graph: Arc<Graph>,
     hubs: Arc<HubSet>,
     store: Arc<S>,
+    epoch: u64,
+}
+
+impl<S: PpvStore> ServingState<S> {
+    /// The graph of this snapshot.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The hub set of this snapshot.
+    pub fn hubs(&self) -> &Arc<HubSet> {
+        &self.hubs
+    }
+
+    /// The PPV store of this snapshot.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    /// The snapshot's epoch: 0 at service creation, +1 per published
+    /// update or invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A query engine borrowing this snapshot's pieces.
+    pub fn engine(&self, config: Config) -> QueryEngine<'_, S> {
+        QueryEngine::new(&self.graph, &self.hubs, self.store.as_ref(), config)
+    }
+}
+
+/// A concurrent PPV query service over epoch-stamped immutable snapshots.
+///
+/// The graph, hub set, and store live in a [`ServingState`] behind a swap
+/// cell: queries pin the current snapshot, [`QueryService::apply_update`]
+/// (`&self` — concurrent with serving) publishes the next one.
+pub struct QueryService<S: PpvStore + Send + Sync> {
+    state: ArcSwap<ServingState<S>>,
     config: Config,
     options: ServiceOptions,
     cache: Mutex<LruCache<CacheKey, Arc<CachedResult>>>,
+    // Mirror of the published snapshot's epoch, readable under the cache
+    // lock without loading the snapshot (stale-insert rejection).
+    current_epoch: AtomicU64,
+    // Mirror of the published graph's node count: recycled workspaces are
+    // checked against it so an update that grew the graph retires the
+    // now-undersized scratch at recycle time.
+    current_nodes: AtomicUsize,
+    // Serializes updates (publishers) against each other — never against
+    // readers. Without it, two concurrent refreshes would both pin the
+    // same old snapshot and the second publish would silently drop the
+    // first update's work.
+    update_lock: Mutex<()>,
     // Recycled per-worker scratch: graph-sized, so worth keeping across
     // batches instead of re-zeroing O(n) arrays every flush.
     workspaces: Mutex<Vec<QueryWorkspace>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale_rejects: AtomicU64,
+}
+
+/// Shared range check of every serving path ([`QueryService::query`],
+/// [`QueryService::process_batch`], and the network front-end): an
+/// out-of-range id would otherwise surface as an opaque
+/// index-out-of-bounds panic deep inside the engine. One owner for the
+/// rule and the message; in-process paths panic via [`assert_in_range`],
+/// the wire path turns the `Err` into a per-request error response.
+pub(crate) fn check_in_range(graph: &Graph, query: NodeId) -> Result<(), String> {
+    let nodes = graph.num_nodes();
+    if (query as usize) < nodes {
+        Ok(())
+    } else {
+        Err(format!("query node {query} out of range ({nodes} nodes)"))
+    }
+}
+
+fn assert_in_range(graph: &Graph, request: &Request) {
+    if let Err(e) = check_in_range(graph, request.query) {
+        panic!("{e}");
+    }
 }
 
 impl<S: PpvStore + Send + Sync> QueryService<S> {
-    /// Creates a service over a built deployment.
+    /// Creates a service over a built deployment (epoch 0).
     pub fn new(
         graph: Arc<Graph>,
         hubs: Arc<HubSet>,
@@ -214,54 +358,92 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     ) -> Self {
         config.validate();
         options.validate();
+        let nodes = graph.num_nodes();
         let cache = Mutex::new(LruCache::new(options.cache_capacity));
         QueryService {
-            graph,
-            hubs,
-            store,
+            state: ArcSwap::from_pointee(ServingState {
+                graph,
+                hubs,
+                store,
+                epoch: 0,
+            }),
             config,
             options,
             cache,
+            current_epoch: AtomicU64::new(0),
+            current_nodes: AtomicUsize::new(nodes),
+            update_lock: Mutex::new(()),
             workspaces: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
         }
     }
 
-    /// Pops a recycled workspace (or allocates one sized to the current
-    /// graph). Recycled workspaces too small for the graph — possible
-    /// after [`QueryService::apply_update`] grew it — are dropped.
-    fn take_workspace(&self) -> QueryWorkspace {
-        let n = self.graph.num_nodes();
+    /// Pins the current serving snapshot (an `Arc` clone). The caller's
+    /// view is immutable and survives any number of concurrent updates.
+    pub fn snapshot(&self) -> Arc<ServingState<S>> {
+        self.state.load_full()
+    }
+
+    /// Publishes `state` as the next snapshot and clears the hot-PPV
+    /// cache, all under the cache lock so a racing insert is either
+    /// cleared (it landed first) or epoch-rejected (it lands after).
+    /// Returns how many cache entries were dropped.
+    fn publish(&self, state: ServingState<S>) -> usize {
+        let mut cache = self.cache.lock();
+        self.current_epoch.store(state.epoch, Ordering::Release);
+        self.current_nodes
+            .store(state.graph.num_nodes(), Ordering::Relaxed);
+        self.state.store(Arc::new(state));
+        cache.clear()
+    }
+
+    /// Pops a recycled workspace covering at least `nodes` slots (or
+    /// allocates one). Recycled workspaces that are too small — possible
+    /// after [`QueryService::apply_update`] grew the graph — are dropped.
+    fn take_workspace(&self, nodes: usize) -> QueryWorkspace {
         loop {
             match self.workspaces.lock().pop() {
-                Some(ws) if ws.capacity() >= n => return ws,
+                Some(ws) if ws.capacity() >= nodes => return ws,
                 Some(_) => continue,
-                None => return QueryWorkspace::new(n),
+                None => return QueryWorkspace::new(nodes),
             }
         }
     }
 
+    /// Returns a workspace to the pool — unless it is undersized for the
+    /// *currently published* graph (an update grew it mid-flight), in
+    /// which case it is dropped here instead of being popped-and-dropped
+    /// forever by [`QueryService::take_workspace`].
     fn recycle_workspace(&self, ws: QueryWorkspace) {
+        if ws.capacity() < self.current_nodes.load(Ordering::Relaxed) {
+            return;
+        }
         let mut pool = self.workspaces.lock();
         if pool.len() < self.options.workers {
             pool.push(ws);
         }
     }
 
-    /// The graph currently served.
-    pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+    /// The graph of the current snapshot.
+    pub fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.snapshot().graph)
     }
 
-    /// The hub set currently served.
-    pub fn hubs(&self) -> &Arc<HubSet> {
-        &self.hubs
+    /// The hub set of the current snapshot.
+    pub fn hubs(&self) -> Arc<HubSet> {
+        Arc::clone(&self.snapshot().hubs)
     }
 
-    /// The PPV store currently served.
-    pub fn store(&self) -> &Arc<S> {
-        &self.store
+    /// The PPV store of the current snapshot.
+    pub fn store(&self) -> Arc<S> {
+        Arc::clone(&self.snapshot().store)
+    }
+
+    /// The current epoch: 0 at creation, +1 per update or invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch.load(Ordering::Acquire)
     }
 
     /// The service configuration.
@@ -274,57 +456,81 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         &self.options
     }
 
-    /// Cache hit/miss counters (cacheable requests only) and current size.
+    /// Cache hit/miss/stale-reject counters (cacheable requests only) and
+    /// current size.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().len(),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached result, returning how many were evicted. Call
-    /// after any out-of-band change to the graph or store;
+    /// Drops every cached result, returning how many were evicted, and
+    /// bumps the epoch (republishing the current snapshot) so in-flight
+    /// results computed before the invalidation cannot be re-inserted.
+    /// Call after any out-of-band change to the graph or store;
     /// [`QueryService::apply_update`] does it automatically.
     pub fn invalidate_cache(&self) -> usize {
-        self.cache.lock().clear()
+        let _updates = self.update_lock.lock();
+        let old = self.snapshot();
+        self.publish(ServingState {
+            graph: Arc::clone(&old.graph),
+            hubs: Arc::clone(&old.hubs),
+            store: Arc::clone(&old.store),
+            epoch: old.epoch + 1,
+        })
     }
 
     /// Serves one request on the calling thread (no pool, no queue).
     pub fn query(&self, request: Request) -> Response {
-        let engine = QueryEngine::new(&self.graph, &self.hubs, self.store.as_ref(), self.config);
-        let mut ws = self.take_workspace();
-        let response = self.execute(&engine, &mut ws, request);
+        let state = self.snapshot();
+        assert_in_range(&state.graph, &request);
+        let engine = state.engine(self.config);
+        let mut ws = self.take_workspace(state.graph.num_nodes());
+        let response = self.execute(&engine, state.epoch, &mut ws, request);
         self.recycle_workspace(ws);
         response
     }
 
     /// Serves a batch through the worker pool: `options.workers` scoped
-    /// threads share one engine (each with its own workspace) and drain a
-    /// submission queue bounded at `options.queue_capacity`. Responses come
-    /// back in request order.
+    /// threads share one pinned snapshot (each with its own workspace) and
+    /// drain a submission queue bounded at `options.queue_capacity`.
+    /// Responses come back in request order. An update published while the
+    /// batch is in flight does not disturb it — the whole batch answers on
+    /// the snapshot pinned at entry.
     pub fn process_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        let state = self.snapshot();
+        // Validate against the same snapshot the batch will run on, before
+        // spawning: an out-of-range id inside a worker would kill the pool
+        // and surface as a misleading channel error.
+        for r in &requests {
+            assert_in_range(&state.graph, r);
+        }
+        self.process_batch_on(&state, requests)
+    }
+
+    /// [`QueryService::process_batch`] against an explicitly pinned
+    /// snapshot. Callers (the network front-end) must have range-checked
+    /// every request against `state`'s graph.
+    pub(crate) fn process_batch_on(
+        &self,
+        state: &Arc<ServingState<S>>,
+        requests: Vec<Request>,
+    ) -> Vec<Response> {
         let n = requests.len();
         if n == 0 {
             return Vec::new();
         }
-        // Validate before spawning: an out-of-range id inside a worker
-        // would kill the pool and surface as a misleading channel error.
-        let nodes = self.graph.num_nodes();
-        for r in &requests {
-            assert!(
-                (r.query as usize) < nodes,
-                "query node {} out of range ({nodes} nodes)",
-                r.query
-            );
-        }
-        let engine = QueryEngine::new(&self.graph, &self.hubs, self.store.as_ref(), self.config);
+        let nodes = state.graph.num_nodes();
+        let engine = state.engine(self.config);
         let workers = self.options.workers.min(n);
         if workers == 1 {
-            let mut ws = self.take_workspace();
+            let mut ws = self.take_workspace(nodes);
             let responses = requests
                 .into_iter()
-                .map(|r| self.execute(&engine, &mut ws, r))
+                .map(|r| self.execute(&engine, state.epoch, &mut ws, r))
                 .collect();
             self.recycle_workspace(ws);
             return responses;
@@ -335,13 +541,14 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut ws = self.take_workspace();
+                    let mut ws = self.take_workspace(nodes);
                     loop {
                         // Hold the receiver lock only for the dequeue, not
                         // for the query execution.
                         let job = job_rx.lock().recv();
                         let Ok((i, request)) = job else { break };
-                        *slots[i].lock() = Some(self.execute(&engine, &mut ws, request));
+                        *slots[i].lock() =
+                            Some(self.execute(&engine, state.epoch, &mut ws, request));
                     }
                     self.recycle_workspace(ws);
                 });
@@ -379,13 +586,25 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     fn execute(
         &self,
         engine: &QueryEngine<'_, S>,
+        epoch: u64,
         ws: &mut QueryWorkspace,
         request: Request,
     ) -> Response {
         let started = Instant::now();
         let key = self.cache_key(&request);
         if let Some(ref k) = key {
-            let hit = self.cache.lock().get(k).cloned();
+            // Snapshot isolation: only accept an entry computed against
+            // the *same* epoch this request pinned. A newer entry (a
+            // racing update published mid-batch) would be a perfectly
+            // fresh answer — but it would let one pooled batch mix
+            // snapshots, and the contract is that a batch answers
+            // entirely on the state it pinned at entry.
+            let hit = self
+                .cache
+                .lock()
+                .get(k)
+                .filter(|v| v.epoch == epoch)
+                .cloned();
             if let Some(hit) = hit {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Response {
@@ -410,14 +629,15 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         let result = engine.query_with(ws, request.query, &stop);
         let scores = Arc::new(result.scores);
         if let Some(k) = key {
-            self.cache.lock().insert(
+            self.try_cache_insert(
                 k,
-                Arc::new(CachedResult {
+                CachedResult {
                     scores: Arc::clone(&scores),
                     l1_error: result.l1_error,
                     iterations: result.iterations,
                     exhausted: result.exhausted,
-                }),
+                    epoch,
+                },
             );
         }
         Response {
@@ -430,51 +650,80 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             latency: started.elapsed(),
         }
     }
+
+    /// Inserts a computed result unless it was produced against a snapshot
+    /// older than the current epoch. The epoch mirror is read under the
+    /// cache lock, and [`QueryService::publish`] bumps it under the same
+    /// lock, so an insert racing an update is either cleared by the
+    /// publish (it landed first) or rejected here (it landed after) —
+    /// never resurrected.
+    fn try_cache_insert(&self, key: CacheKey, entry: CachedResult) {
+        let mut cache = self.cache.lock();
+        if entry.epoch < self.current_epoch.load(Ordering::Acquire) {
+            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        cache.insert(key, Arc::new(entry));
+    }
 }
 
 impl QueryService<MemoryIndex> {
-    /// Applies a graph update: refreshes only the prime PPVs whose prime
-    /// subgraphs the changed edges touch ([`fastppv_core::dynamic`]), swaps
-    /// in the new graph and index, and invalidates the hot-PPV cache.
+    /// Applies a graph update **concurrently with serving**: pins the
+    /// current snapshot, refreshes only the prime PPVs whose prime
+    /// subgraphs the changed edges touch ([`fastppv_core::dynamic`])
+    /// against that pinned state, then publishes a new snapshot with a
+    /// bumped epoch and clears the hot-PPV cache. In-flight queries keep
+    /// answering on the old snapshot until they finish.
     ///
     /// `changed_tails` are the source nodes of every inserted or deleted
-    /// edge (both endpoints for undirected edits).
-    pub fn apply_update(&mut self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
+    /// edge (both endpoints for undirected edits). Concurrent updates
+    /// serialize against each other (never against readers).
+    pub fn apply_update(&self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
+        let _updates = self.update_lock.lock();
+        let old = self.snapshot();
         let (index, stats) = refresh_index(
-            &self.store,
-            &self.graph,
+            &old.store,
+            &old.graph,
             &new_graph,
-            &self.hubs,
+            &old.hubs,
             changed_tails,
             &self.config,
         );
-        self.store = Arc::new(index);
-        self.graph = Arc::new(new_graph);
-        self.invalidate_cache();
+        self.publish(ServingState {
+            graph: Arc::new(new_graph),
+            hubs: Arc::clone(&old.hubs),
+            store: Arc::new(index),
+            epoch: old.epoch + 1,
+        });
         stats
     }
 }
 
 impl QueryService<FlatIndex> {
-    /// Applies a graph update to a flat-arena deployment: affected
-    /// segments are patched in place via
-    /// [`fastppv_core::dynamic::refresh_flat_index`] (tombstone-and-append
-    /// with threshold compaction), and the hot-PPV cache is invalidated.
-    /// The arena is only deep-copied when a caller still holds the old
-    /// `Arc` (copy-on-write via [`Arc::make_mut`]) — such readers keep
-    /// seeing the pre-update arena, undisturbed.
-    pub fn apply_update(&mut self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
-        let flat = Arc::make_mut(&mut self.store);
-        let stats = refresh_flat_index(
-            flat,
-            &self.graph,
+    /// Applies a graph update to a flat-arena deployment, concurrently
+    /// with serving: the pinned snapshot's arena is cloned and patched via
+    /// [`fastppv_core::dynamic::refresh_flat_index_snapshot`]
+    /// (tombstone-and-append with threshold compaction), then published as
+    /// the next epoch. The clone is the copy-on-write half of the scheme —
+    /// readers pinning the old snapshot keep the pre-update arena,
+    /// undisturbed, for as long as they hold it.
+    pub fn apply_update(&self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
+        let _updates = self.update_lock.lock();
+        let old = self.snapshot();
+        let (store, stats) = refresh_flat_index_snapshot(
+            &old.store,
+            &old.graph,
             &new_graph,
-            &self.hubs,
+            &old.hubs,
             changed_tails,
             &self.config,
         );
-        self.graph = Arc::new(new_graph);
-        self.invalidate_cache();
+        self.publish(ServingState {
+            graph: Arc::new(new_graph),
+            hubs: Arc::clone(&old.hubs),
+            store: Arc::new(store),
+            epoch: old.epoch + 1,
+        });
         stats
     }
 }
@@ -511,6 +760,32 @@ mod tests {
         assert_eq!(s.p99, ms(9));
         let empty = LatencySummary::of(&[]);
         assert_eq!((empty.queries, empty.p50, empty.p99), (0, ms(0), ms(0)));
+        // of_mut: sorts in place once, same figures.
+        let mut sample = sample;
+        let s2 = LatencySummary::of_mut(&mut sample);
+        assert_eq!((s2.p50, s2.p99), (s.p50, s.p99));
+        assert!(sample.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorted_pair_percentile_matches_merged_sample() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let a: Vec<Duration> = [1u64, 4, 9, 12].into_iter().map(ms).collect();
+        let b: Vec<Duration> = [2u64, 3, 5, 20, 21].into_iter().map(ms).collect();
+        let mut merged = a.clone();
+        merged.extend_from_slice(&b);
+        merged.sort_unstable();
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(
+                percentile_of_sorted_pair(&a, &b, p),
+                percentile_of_sorted(&merged, p),
+                "p = {p}"
+            );
+        }
+        // Degenerate shapes: one side empty, both empty.
+        assert_eq!(percentile_of_sorted_pair(&a, &[], 0.5), percentile(&a, 0.5));
+        assert_eq!(percentile_of_sorted_pair(&[], &b, 0.5), percentile(&b, 0.5));
+        assert_eq!(percentile_of_sorted_pair(&[], &[], 0.5), Duration::ZERO);
     }
 
     #[test]
@@ -527,12 +802,8 @@ mod tests {
             .collect();
         let responses = service.process_batch(requests.clone());
         assert_eq!(responses.len(), 32);
-        let engine = QueryEngine::new(
-            service.graph(),
-            service.hubs(),
-            service.store().as_ref(),
-            *service.config(),
-        );
+        let state = service.snapshot();
+        let engine = state.engine(*service.config());
         for (req, resp) in requests.iter().zip(&responses) {
             assert_eq!(resp.query, req.query, "responses keep request order");
             let direct = engine.query(req.query, &req.stop);
@@ -540,6 +811,30 @@ mod tests {
             assert_eq!(resp.iterations, direct.iterations);
             assert!((resp.l1_error - direct.l1_error).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_query_path_rejects_out_of_range_node() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+        });
+        // The toy graph has 8 nodes; node 8 must fail the shared range
+        // check with a named-node panic, not an opaque slice index.
+        service.query(Request::iterations(8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_path_rejects_out_of_range_node() {
+        let service = toy_service(ServiceOptions {
+            workers: 2,
+            queue_capacity: 4,
+            cache_capacity: 0,
+        });
+        service.process_batch(vec![Request::iterations(0, 2), Request::iterations(99, 2)]);
     }
 
     #[test]
@@ -624,16 +919,17 @@ mod tests {
 
     #[test]
     fn apply_update_invalidates_and_refreshes() {
-        let mut service = toy_service(ServiceOptions {
+        let service = toy_service(ServiceOptions {
             workers: 2,
             queue_capacity: 8,
             cache_capacity: 16,
         });
         let stale = service.query(Request::iterations(toy::A, 4));
         assert_eq!(service.cache_stats().entries, 1);
+        assert_eq!(service.epoch(), 0);
 
         // Add an edge a -> e: a's PPV must change.
-        let old = Arc::clone(service.graph());
+        let old = service.graph();
         let mut b = GraphBuilder::new(8);
         for (s, t) in old.edges() {
             b.add_edge(s, t);
@@ -641,6 +937,7 @@ mod tests {
         b.add_edge(toy::A, toy::E);
         let stats = service.apply_update(b.build(), &[toy::A]);
         assert!(stats.recomputed + stats.reused > 0);
+        assert_eq!(service.epoch(), 1, "an update bumps the epoch");
         assert_eq!(
             service.cache_stats().entries,
             0,
@@ -652,6 +949,91 @@ mod tests {
         // The new result reflects the new graph, not the stale cache: the
         // fresh estimate must put mass on e (now a direct out-neighbor).
         assert!(fresh.scores.get(toy::E) > stale.scores.get(toy::E));
+    }
+
+    #[test]
+    fn in_flight_snapshot_survives_update() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+        });
+        // Pin the pre-update snapshot, as a worker mid-request would.
+        let pinned = service.snapshot();
+        let before = pinned
+            .engine(*service.config())
+            .query(toy::A, &StoppingCondition::iterations(4));
+
+        let old = service.graph();
+        let mut b = GraphBuilder::new(8);
+        for (s, t) in old.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(toy::A, toy::E);
+        service.apply_update(b.build(), &[toy::A]);
+
+        // The pinned snapshot still answers exactly as before the update.
+        let after = pinned
+            .engine(*service.config())
+            .query(toy::A, &StoppingCondition::iterations(4));
+        assert_eq!(before.scores, after.scores);
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(service.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_rejected() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        // Simulate the race: a worker computed a result against epoch 0,
+        // but the update (epoch 1, cache cleared) lands before its insert.
+        let key = service
+            .cache_key(&Request::iterations(toy::A, 2))
+            .expect("iteration stop is cacheable");
+        let scores = Arc::new(SparseVector::default());
+        service.invalidate_cache(); // epoch 0 -> 1
+        service.try_cache_insert(
+            key,
+            CachedResult {
+                scores: Arc::clone(&scores),
+                l1_error: 0.0,
+                iterations: 2,
+                exhausted: false,
+                epoch: 0,
+            },
+        );
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 0, "stale insert must be rejected");
+        assert_eq!(stats.stale_rejects, 1);
+        // A current-epoch insert is accepted.
+        service.try_cache_insert(
+            key,
+            CachedResult {
+                scores,
+                l1_error: 0.0,
+                iterations: 2,
+                exhausted: false,
+                epoch: service.epoch(),
+            },
+        );
+        assert_eq!(service.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn invalidate_cache_bumps_epoch() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        service.query(Request::iterations(toy::A, 2));
+        assert_eq!(service.cache_stats().entries, 1);
+        assert_eq!(service.invalidate_cache(), 1);
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(service.cache_stats().entries, 0);
     }
 
     #[test]
@@ -673,15 +1055,21 @@ mod tests {
             config,
             options,
         );
-        let mut flat_service =
+        let flat_service =
             QueryService::new(Arc::new(g), Arc::new(hubs), Arc::new(flat), config, options);
         for q in 0..8u32 {
             let a = mem_service.query(Request::iterations(q, 3));
             let b = flat_service.query(Request::iterations(q, 3));
             assert_eq!(*a.scores, *b.scores, "query {q}");
         }
-        // A flat deployment takes updates too: patch, then reflect them.
-        let old = Arc::clone(flat_service.graph());
+        // A flat deployment takes updates too: patch a clone, publish it,
+        // and reflect the edit — while a pinned pre-update snapshot keeps
+        // the old arena.
+        let pinned = flat_service.snapshot();
+        let before = pinned
+            .engine(config)
+            .query(toy::A, &StoppingCondition::iterations(4));
+        let old = flat_service.graph();
         let mut b = GraphBuilder::new(8);
         for (s, t) in old.edges() {
             b.add_edge(s, t);
@@ -691,7 +1079,15 @@ mod tests {
         assert!(stats.recomputed + stats.reused > 0);
         assert_eq!(flat_service.cache_stats().entries, 0);
         let fresh = flat_service.query(Request::iterations(toy::A, 4));
-        assert!(fresh.scores.get(toy::E) > 0.0);
+        // The inserted direct edge a -> e must raise a's mass on e.
+        assert!(fresh.scores.get(toy::E) > before.scores.get(toy::E));
+        // Copy-on-write: the pinned snapshot's arena is a different
+        // allocation now and still answers exactly as pre-update.
+        assert!(!Arc::ptr_eq(pinned.store(), &flat_service.store()));
+        let pre = pinned
+            .engine(config)
+            .query(toy::A, &StoppingCondition::iterations(4));
+        assert_eq!(pre.scores, before.scores, "pinned arena is pre-update");
     }
 
     #[test]

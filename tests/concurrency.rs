@@ -117,12 +117,8 @@ fn service_pool_matches_single_threaded_engine() {
     let responses = service.process_batch(requests.clone());
     assert_eq!(responses.len(), requests.len());
 
-    let engine = QueryEngine::new(
-        service.graph(),
-        service.hubs(),
-        service.store().as_ref(),
-        *service.config(),
-    );
+    let state = service.snapshot();
+    let engine = state.engine(*service.config());
     let mut ws = engine.workspace();
     for (req, resp) in requests.iter().zip(&responses) {
         assert_eq!(resp.query, req.query, "request order must be preserved");
@@ -214,7 +210,7 @@ fn cache_hits_equal_misses_and_dynamic_update_invalidates() {
     let config = Config::default();
     let (g, hubs, index) = build_deployment(400, 40, 47, config);
     let query: NodeId = (0..400).find(|&v| !hubs.is_hub(v)).unwrap();
-    let mut service = QueryService::new(
+    let service = QueryService::new(
         Arc::new(g),
         Arc::new(hubs),
         Arc::new(index),
@@ -235,7 +231,7 @@ fn cache_hits_equal_misses_and_dynamic_update_invalidates() {
 
     // A dynamic edge insertion at the query node must invalidate: the next
     // request is a miss again and matches a fresh engine on the new graph.
-    let old = Arc::clone(service.graph());
+    let old = service.graph();
     let mut b = GraphBuilder::new(400);
     for (s, t) in old.edges() {
         b.add_edge(s, t);
@@ -246,12 +242,8 @@ fn cache_hits_equal_misses_and_dynamic_update_invalidates() {
 
     let after = service.query(Request::iterations(query, 2));
     assert!(!after.cached, "update must invalidate the hot-PPV cache");
-    let engine = QueryEngine::new(
-        service.graph(),
-        service.hubs(),
-        service.store().as_ref(),
-        *service.config(),
-    );
+    let state = service.snapshot();
+    let engine = state.engine(*service.config());
     let expected = engine.query(query, &StoppingCondition::iterations(2));
     assert!(
         l1_diff(&after.scores, &expected.scores) <= 1e-12,

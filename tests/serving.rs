@@ -1,0 +1,371 @@
+//! Serve-while-updating test suite: the guarantees the epoch-snapshot
+//! service rests on.
+//!
+//! 1. **Hammer**: N threads query (mixing the single-request path and
+//!    pooled batches) while `apply_update` fires repeatedly from another
+//!    thread. Every response must *exactly* equal a from-scratch answer on
+//!    one of the published graphs — no torn reads, no half-applied
+//!    updates — and once the last update is in, no response (cached or
+//!    not) may carry pre-update scores.
+//! 2. The same contract holds for the flat-arena deployment, whose update
+//!    path is copy-on-write (clone, patch, publish).
+//! 3. The TCP front-end serves answers identical (≤ 1e-12) to a direct
+//!    engine over the same snapshot, keeps serving across updates, and
+//!    turns out-of-range ids into per-request errors.
+//!
+//! CI runs this file twice — `RUST_TEST_THREADS=1` and default
+//! parallelism — so scheduling-order flakiness surfaces there, not in
+//! users' terminals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fastppv::core::offline::{build_flat_index, build_index};
+use fastppv::core::query::StoppingCondition;
+use fastppv::core::{select_hubs, Config, FlatIndex, HubPolicy, HubSet, PpvStore, QueryEngine};
+use fastppv::graph::gen::barabasi_albert;
+use fastppv::graph::{Graph, GraphBuilder, NodeId, SparseVector};
+use fastppv::server::net::{Client, WireRequest};
+use fastppv::server::{QueryService, Request, ServiceOptions};
+
+const NODES: usize = 250;
+const HUBS: usize = 25;
+const UPDATES: usize = 3;
+const ETAS: [usize; 2] = [2, 3];
+
+/// The evolving graph sequence: `graphs[0]` is the seed, each successor
+/// inserts one edge from `tail` (a non-hub) to a fresh target.
+fn graph_sequence(hubs: &HubSet, seed: u64) -> (Vec<Graph>, NodeId) {
+    let g0 = barabasi_albert(NODES, 3, seed);
+    let tail = (0..NODES as u32).find(|&v| !hubs.is_hub(v)).unwrap();
+    let mut graphs = vec![g0];
+    for i in 0..UPDATES {
+        let prev = graphs.last().unwrap();
+        let mut b = GraphBuilder::new(NODES);
+        for (s, t) in prev.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(tail, (tail + 41 + 13 * i as u32) % NODES as u32);
+        graphs.push(b.build());
+    }
+    (graphs, tail)
+}
+
+/// Query sample: every 10th node, plus the updated tail itself.
+fn query_sample(tail: NodeId) -> Vec<NodeId> {
+    let mut qs: Vec<NodeId> = (0..NODES as u32).step_by(10).collect();
+    qs.push(tail);
+    qs
+}
+
+/// From-scratch ground truth: `truth[epoch]` maps `(query, eta)` to the
+/// exact scores an independent engine computes on that epoch's graph.
+fn ground_truth<S: PpvStore>(
+    stores: &[S],
+    graphs: &[Graph],
+    hubs: &HubSet,
+    config: &Config,
+    queries: &[NodeId],
+) -> Vec<Vec<((NodeId, usize), SparseVector)>> {
+    stores
+        .iter()
+        .zip(graphs)
+        .map(|(store, graph)| {
+            let engine = QueryEngine::new(graph, hubs, store, *config);
+            let mut ws = engine.workspace();
+            let mut map = Vec::new();
+            for &q in queries {
+                for eta in ETAS {
+                    let r = engine.query_with(&mut ws, q, &StoppingCondition::iterations(eta));
+                    map.push(((q, eta), r.scores));
+                }
+            }
+            map
+        })
+        .collect()
+}
+
+fn lookup(truth: &[((NodeId, usize), SparseVector)], q: NodeId, eta: usize) -> &SparseVector {
+    &truth
+        .iter()
+        .find(|((tq, te), _)| *tq == q && *te == eta)
+        .expect("query in sample")
+        .1
+}
+
+/// The epoch(s) whose ground truth exactly matches `scores` (a response
+/// may legitimately match several epochs when the query is unaffected).
+fn matching_epochs(
+    truth: &[Vec<((NodeId, usize), SparseVector)>],
+    q: NodeId,
+    eta: usize,
+    scores: &SparseVector,
+) -> Vec<usize> {
+    truth
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| lookup(t, q, eta) == scores)
+        .map(|(e, _)| e)
+        .collect()
+}
+
+/// The hammer itself, generic over the store layout. `service` must be
+/// freshly built over `graphs[0]`; `truth[i]` is the from-scratch answer
+/// key for `graphs[i]`.
+fn hammer<S: PpvStore + Send + Sync>(
+    service: &QueryService<S>,
+    graphs: &[Graph],
+    tail: NodeId,
+    queries: &[NodeId],
+    truth: &[Vec<((NodeId, usize), SparseVector)>],
+    apply: impl Fn(&QueryService<S>, Graph, &[NodeId]),
+) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Two single-request hammer threads…
+        for t in 0..2usize {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut served = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    for (i, &q) in queries.iter().enumerate() {
+                        let eta = ETAS[(i + t) % ETAS.len()];
+                        let r = service.query(Request::iterations(q, eta));
+                        assert!(
+                            !matching_epochs(truth, q, eta, &r.scores).is_empty(),
+                            "query {q} η={eta}: response matches no published epoch \
+                             (torn read or stale cache)"
+                        );
+                        served += 1;
+                    }
+                }
+                assert!(served > 0);
+            });
+        }
+        // …one pooled-batch hammer thread…
+        {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let requests: Vec<Request> = queries
+                        .iter()
+                        .map(|&q| Request::iterations(q, ETAS[0]))
+                        .collect();
+                    let responses = service.process_batch(requests);
+                    // A batch pins one snapshot: every response must match
+                    // the *same* epoch, not merely some epoch each.
+                    let mut common: Option<Vec<usize>> = None;
+                    for r in &responses {
+                        let epochs = matching_epochs(truth, r.query, ETAS[0], &r.scores);
+                        assert!(!epochs.is_empty(), "batch response matches no epoch");
+                        common = Some(match common {
+                            None => epochs,
+                            Some(prev) => prev.into_iter().filter(|e| epochs.contains(e)).collect(),
+                        });
+                    }
+                    assert!(
+                        common.map(|c| !c.is_empty()).unwrap_or(true),
+                        "pooled batch mixed snapshots"
+                    );
+                }
+            });
+        }
+        // …while the updater publishes each successor graph.
+        for (i, g) in graphs.iter().enumerate().skip(1) {
+            std::thread::sleep(Duration::from_millis(40));
+            apply(service, g.clone(), &[tail]);
+            assert_eq!(service.epoch(), i as u64, "one epoch per update");
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        stop.store(true, Ordering::Release);
+    });
+
+    // Post-invalidation: every response — and in particular every *cached*
+    // response — must carry final-epoch scores, never resurrected ones.
+    let last = truth.last().unwrap();
+    for &q in queries {
+        for eta in ETAS {
+            let fresh = service.query(Request::iterations(q, eta));
+            assert_eq!(
+                *fresh.scores,
+                *lookup(last, q, eta),
+                "query {q} η={eta}: post-update response is not the final graph's answer"
+            );
+            let hit = service.query(Request::iterations(q, eta));
+            assert!(hit.cached, "repeat deterministic request must hit");
+            assert_eq!(*hit.scores, *lookup(last, q, eta));
+        }
+    }
+}
+
+#[test]
+fn hammer_memory_service_updates_concurrent_with_queries() {
+    let config = Config::default().with_epsilon(1e-6);
+    let g0 = barabasi_albert(NODES, 3, 71);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, HUBS, 0);
+    let (graphs, tail) = graph_sequence(&hubs, 71);
+    let queries = query_sample(tail);
+    let stores: Vec<_> = graphs
+        .iter()
+        .map(|g| build_index(g, &hubs, &config).0)
+        .collect();
+    let truth = ground_truth(&stores, &graphs, &hubs, &config, &queries);
+    let service = QueryService::new(
+        Arc::new(graphs[0].clone()),
+        Arc::new(hubs),
+        Arc::new(stores.into_iter().next().unwrap()),
+        config,
+        ServiceOptions {
+            workers: 3,
+            queue_capacity: 16,
+            cache_capacity: 256,
+        },
+    );
+    hammer(&service, &graphs, tail, &queries, &truth, |s, g, tails| {
+        s.apply_update(g, tails);
+    });
+}
+
+#[test]
+fn hammer_flat_service_copy_on_write_updates() {
+    let config = Config::default().with_epsilon(1e-6);
+    let g0 = barabasi_albert(NODES, 3, 72);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, HUBS, 0);
+    let (graphs, tail) = graph_sequence(&hubs, 72);
+    let queries = query_sample(tail);
+    let stores: Vec<FlatIndex> = graphs
+        .iter()
+        .map(|g| build_flat_index(g, &hubs, &config, 1).0)
+        .collect();
+    let truth = ground_truth(&stores, &graphs, &hubs, &config, &queries);
+    let service = QueryService::new(
+        Arc::new(graphs[0].clone()),
+        Arc::new(hubs),
+        Arc::new(stores.into_iter().next().unwrap()),
+        config,
+        ServiceOptions {
+            workers: 3,
+            queue_capacity: 16,
+            cache_capacity: 256,
+        },
+    );
+    // Pin the epoch-0 snapshot for the whole run: copy-on-write must leave
+    // it bit-for-bit intact through every update.
+    let pinned = service.snapshot();
+    hammer(&service, &graphs, tail, &queries, &truth, |s, g, tails| {
+        s.apply_update(g, tails);
+    });
+    let engine = pinned.engine(config);
+    for &q in &queries {
+        let r = engine.query(q, &StoppingCondition::iterations(ETAS[0]));
+        assert_eq!(
+            r.scores,
+            *lookup(&truth[0], q, ETAS[0]),
+            "pinned pre-update snapshot drifted under COW updates"
+        );
+    }
+}
+
+/// L1 distance between a wire entry list and a sparse vector.
+fn l1_diff_entries(entries: &[(NodeId, f64)], b: &SparseVector) -> f64 {
+    let mut d: f64 = entries.iter().map(|&(v, s)| (s - b.get(v)).abs()).sum();
+    for &(v, s) in b.entries() {
+        if !entries.iter().any(|&(e, _)| e == v) {
+            d += s.abs();
+        }
+    }
+    d
+}
+
+#[test]
+fn loopback_socket_serves_across_updates() {
+    let config = Config::default().with_epsilon(1e-6);
+    let g0 = barabasi_albert(NODES, 3, 73);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, HUBS, 0);
+    let (graphs, tail) = graph_sequence(&hubs, 73);
+    let queries = query_sample(tail);
+    let stores: Vec<_> = graphs
+        .iter()
+        .map(|g| build_index(g, &hubs, &config).0)
+        .collect();
+    let truth = ground_truth(&stores, &graphs, &hubs, &config, &queries);
+    let service = Arc::new(QueryService::new(
+        Arc::new(graphs[0].clone()),
+        Arc::new(hubs),
+        Arc::new(stores.into_iter().next().unwrap()),
+        config,
+        ServiceOptions {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+        },
+    ));
+    let server = fastppv::server::net::serve(
+        Arc::clone(&service),
+        std::net::TcpListener::bind("127.0.0.1:0").unwrap(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.num_nodes(), NODES as u64);
+
+    // Pre-update: full vectors over the wire match epoch-0 truth ≤ 1e-12
+    // (bit-exact, in fact — the wire carries f64 bits verbatim).
+    let requests: Vec<WireRequest> = queries
+        .iter()
+        .map(|&q| WireRequest::iterations(q, ETAS[0] as u32))
+        .collect();
+    let responses = client.request_batch(&requests).unwrap();
+    for (r, &q) in responses.iter().zip(&queries) {
+        let a = r.answer().expect("in-range id is served");
+        assert!(
+            l1_diff_entries(&a.entries, lookup(&truth[0], q, ETAS[0])) <= 1e-12,
+            "socket answer for {q} diverges from the direct engine"
+        );
+    }
+
+    // Updates land while the connection stays open; every answer matches
+    // a published epoch, and after the last update, exactly the final one.
+    for g in graphs.iter().skip(1) {
+        service.apply_update(g.clone(), &[tail]);
+        let responses = client.request_batch(&requests).unwrap();
+        for (r, &q) in responses.iter().zip(&queries) {
+            let a = r.answer().unwrap();
+            let exact: SparseVector = a.entries.iter().copied().collect();
+            assert!(
+                !matching_epochs(&truth, q, ETAS[0], &exact).is_empty(),
+                "socket answer for {q} matches no published epoch"
+            );
+        }
+    }
+    let responses = client.request_batch(&requests).unwrap();
+    let last = truth.last().unwrap();
+    for (r, &q) in responses.iter().zip(&queries) {
+        let a = r.answer().unwrap();
+        assert!(
+            l1_diff_entries(&a.entries, lookup(last, q, ETAS[0])) <= 1e-12,
+            "post-update socket answer for {q} is not the final graph's"
+        );
+    }
+
+    // Out-of-range ids are per-request errors; the connection survives.
+    let mixed = client
+        .request_batch(&[
+            WireRequest::iterations(queries[0], 2),
+            WireRequest::iterations(NODES as u32, 2),
+        ])
+        .unwrap();
+    assert!(mixed[0].answer().is_some());
+    assert!(mixed[1].error().unwrap().contains("out of range"));
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn service_stays_sync_with_snapshot_state() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService<fastppv::core::MemoryIndex>>();
+    assert_send_sync::<QueryService<FlatIndex>>();
+    assert_send_sync::<fastppv::server::ServingState<FlatIndex>>();
+}

@@ -1,0 +1,160 @@
+//! Offline, API-compatible subset of `arc-swap` 1.x.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the one primitive the query service needs: a cell holding an
+//! `Arc<T>` that readers can copy out and writers can replace, each in a
+//! critical section no longer than an `Arc` clone. The real crate does this
+//! lock-free with hazard-pointer-style debt tracking; this subset uses a
+//! `std::sync::RwLock<Arc<T>>` held only for the pointer copy, which gives
+//! the same progress property that matters to the service — a publisher
+//! never blocks behind an in-flight query, because queries clone the `Arc`
+//! out of the cell and drop the lock before doing any work.
+//!
+//! Covered surface: [`ArcSwap::new`], [`ArcSwap::from_pointee`],
+//! [`ArcSwap::load_full`], [`ArcSwap::store`], [`ArcSwap::swap`],
+//! [`ArcSwap::into_inner`]. (`load()` with its `Guard` type is not
+//! vendored; `load_full` is the only read path callers use.)
+
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// An atomically swappable `Arc<T>` cell.
+///
+/// Readers call [`ArcSwap::load_full`] to pin the current value (an `Arc`
+/// clone — the value itself is never copied); writers call
+/// [`ArcSwap::store`] or [`ArcSwap::swap`] to publish a new one. Readers
+/// holding a previously loaded `Arc` are undisturbed by a swap: they keep
+/// the old value alive until they drop it.
+pub struct ArcSwap<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Creates a cell holding `Arc::new(value)`.
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns a clone of the current `Arc` (the caller's pin on the
+    /// current value). The internal lock is held only for the clone.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(
+            &self
+                .inner
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Publishes `new`, dropping the cell's reference to the old value.
+    pub fn store(&self, new: Arc<T>) {
+        self.swap(new);
+    }
+
+    /// Publishes `new` and returns the previously held `Arc`.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let mut slot = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::replace(&mut *slot, new)
+    }
+
+    /// Consumes the cell and returns the held `Arc`.
+    pub fn into_inner(self) -> Arc<T> {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap_round_trip() {
+        let cell = ArcSwap::from_pointee(1u32);
+        assert_eq!(*cell.load_full(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.into_inner(), 3);
+    }
+
+    #[test]
+    fn readers_keep_pinned_value_across_swaps() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let pinned = cell.load_full();
+        cell.store(Arc::new(vec![9]));
+        assert_eq!(*pinned, vec![1, 2, 3], "pinned Arc survives the swap");
+        assert_eq!(*cell.load_full(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_loads_see_some_published_value() {
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        let v = *cell.load_full();
+                        assert!(v <= 1000, "value must be one a writer published");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 1..=1000u64 {
+                    cell.store(Arc::new(i));
+                }
+            });
+        });
+        assert_eq!(*cell.load_full(), 1000);
+    }
+
+    #[test]
+    fn swap_returns_each_value_exactly_once() {
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        let mut seen: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let cell = Arc::clone(&cell);
+                    scope.spawn(move || {
+                        (0..100u64)
+                            .map(|i| *cell.swap(Arc::new(1 + t * 100 + i)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        seen.push(*cell.load_full());
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..=400).collect();
+        assert_eq!(seen, expected, "every stored Arc is handed back once");
+    }
+}
