@@ -11,6 +11,8 @@
 //!   query service (QPS, p50/p99 latency, cache hit rates);
 //! * [`hotpath`] — deterministic result digests and the
 //!   `BENCH_hotpath.json` report shared with `exp_hotpath`;
+//! * [`update`] — the `BENCH_update.json` report shared with `exp_update`
+//!   (streaming delta-patched maintenance vs full recompute);
 //! * [`runner`] — offline+online evaluation of FastPPV and both baselines,
 //!   producing method rows (time, space, four accuracy metrics);
 //! * [`configs`] — the four accuracy-moderated configurations (Fig. 5);
@@ -25,6 +27,7 @@ pub mod driver;
 pub mod hotpath;
 pub mod runner;
 pub mod table;
+pub mod update;
 pub mod workload;
 
 pub use datasets::{dblp, livejournal, Dataset};

@@ -13,6 +13,8 @@
 //! fastppv serve     --graph edges.txt [--undirected] --index index.fppv
 //!                   [--listen ADDR] [--workers N] [--hot-cache N]
 //!                   [--eta K | --l1 ERR]
+//! fastppv update    --graph edges.txt [--undirected] --index index.fppv
+//!                   [--events N] [--delete-fraction F] [--budget B] [--seed S]
 //! fastppv stats     --index index.fppv
 //! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
 //! ```
@@ -39,6 +41,7 @@ fn main() {
         "query" => commands::query(&argv),
         "topk" => commands::topk(&argv),
         "serve" => commands::serve(&argv),
+        "update" => commands::update(&argv),
         "stats" => commands::stats(&argv),
         "cluster" => commands::cluster(&argv),
         other => {
@@ -65,6 +68,8 @@ commands:
   topk       certified top-k query (iterates until the set is provably exact)
   serve      concurrent query service: worker pool + hot-PPV cache, over
              stdin or a binary TCP socket (--listen ADDR)
+  update     stream seeded edge events through a serving refresh loop
+             (delta-patched under an error budget, or exact with --budget 0)
   stats      inspect an index file
   cluster    segment a graph for disk-based processing
 

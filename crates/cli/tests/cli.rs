@@ -449,3 +449,99 @@ fn serve_listen_answers_over_tcp_identical_to_direct_engine() {
     std::fs::remove_file(&graph_path).ok();
     std::fs::remove_file(&index_path).ok();
 }
+
+#[test]
+fn update_streams_events_delta_and_exact() {
+    let graph = temp("update.txt");
+    let index = temp("update.fppv");
+    let out = bin()
+        .args([
+            "generate", "--kind", "ba", "--nodes", "300", "--seed", "9", "--out",
+        ])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--hubs", "20", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Delta mode: events stream, a watermark is certified under the budget.
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args([
+            "--events",
+            "20",
+            "--budget",
+            "0.01",
+            "--seed",
+            "5",
+            "--epsilon",
+            "1e-6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("streamed 20 events"), "{text}");
+    assert!(text.contains("events/s"), "{text}");
+    assert!(text.contains("delta-patched"), "{text}");
+    assert!(text.contains("certified error watermark"), "{text}");
+
+    // Budget 0: the exact path, no watermark line.
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args([
+            "--events",
+            "5",
+            "--budget",
+            "0",
+            "--seed",
+            "5",
+            "--epsilon",
+            "1e-6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recomputed exactly"), "{text}");
+    assert!(!text.contains("certified error watermark"), "{text}");
+
+    // Bad delete fraction is a usage error (exit 2), caught before loads.
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--delete-fraction", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}

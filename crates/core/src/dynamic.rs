@@ -2,33 +2,81 @@
 //!
 //! The paper's future work (§7) sketches the idea: "a simple idea to process
 //! graph updates is to only re-compute the affected prime PPVs, without
-//! touching the unaffected ones". This module implements it.
+//! touching the unaffected ones". This module implements it — twice.
 //!
-//! A hub `h`'s prime PPV depends only on its prime subgraph `G'(h)`, and an
-//! edge change at tail `u` can alter `G'(h)` only if `u` is an *expanded*
-//! (propagating) node of `G'(h)` — i.e. there is a hub-free walk `h ⇝ u`
-//! with probability ≥ ε and `u` is not itself a hub (hubs absorb; nothing
-//! beyond them is explored, and entries *at* `u` only depend on the
-//! out-degrees of nodes strictly before `u`). [`affected_hubs`] finds that
-//! set with a reverse max-probability search; [`refresh_index`] recomputes
-//! exactly those PPVs and shares the rest (`Arc` clones).
+//! **Invalidation.** A hub `h`'s prime PPV depends only on its prime
+//! subgraph `G'(h)`, and an edge change at tail `u` can alter `G'(h)` only
+//! if `u` is an *expanded* (propagating) node of `G'(h)` — i.e. there is a
+//! hub-free walk `h ⇝ u` with probability ≥ ε and `u` is not itself a hub
+//! (hubs absorb; nothing beyond them is explored, and entries *at* `u` only
+//! depend on the out-degrees of nodes strictly before `u`).
+//! [`affected_hubs`] finds that set with a reverse max-probability search;
+//! [`ReverseScratch`] seeds one such search with a whole batch of tails at
+//! once (the fixed point of max-relaxation from all seeds is exactly the
+//! union of the per-seed fixed points), so a k-event batch costs one pass
+//! and zero per-event allocation. For deletions, walks that existed only in
+//! the old graph matter too, so invalidation runs on both graphs.
 //!
-//! For deletions, walks that existed only in the old graph matter too; call
-//! [`affected_hubs`] on both graphs and union, or use [`refresh_index`]
-//! which takes the changed edge tails and both graphs.
+//! **Exact refresh.** [`refresh_index`] / [`refresh_flat_index`] recompute
+//! every dirty hub's prime PPV from scratch and share (memory) or keep
+//! (flat arena) the rest. Correct, but a single edge event near a
+//! well-connected node dirties many hubs and costs a full extract + solve
+//! for each — the streaming-update throughput blocker.
+//!
+//! **Delta refresh.** [`refresh_index_delta`] and friends instead *patch*
+//! each dirty hub's stored PPV. The stored vector `S` is read as settled
+//! mass `m̂ = S/α` of a forward push whose invariant is
+//! `ρ = e_σ + (1-α)·Pᵀm̂ − m̂` (the virtual start node `σ` carries the
+//! source hub's out-row with unit mass; hubs — the source included — never
+//! re-propagate). An edge change at tail `u` alters only `u`'s row of `P`,
+//! so the invariant is restored *exactly* by injecting
+//! `m̂(u)·(1-α)·(new_row − old_row)` as signed residual and pushing it
+//! forward through the full graph with hub absorption
+//! ([`DeltaPush`]). Tails with no stored entry inject nothing (the
+//! maintained state has no mass there), so most dirty hubs turn out to be
+//! no-op patches.
+//!
+//! **Error budget.** The patch is inexact in two places, both charged to a
+//! per-hub accumulated budget stored alongside the index entry
+//! ([`MemoryIndex::budget_spent`] / [`FlatIndex::budget_spent`]):
+//!
+//! * push **leftover** — Σ|residual| never settled (sub-threshold crumbs,
+//!   or the settle safety valve). One unit of residual mass yields at most
+//!   one unit of score L1 (`α·Σ(1-α)^i = 1`), so the mass-unit leftover
+//!   bounds the score-L1 error directly;
+//! * **clamp loss** — a patched entry that would go negative (possible
+//!   because stored entries were clipped) is clamped to absent; storing `0`
+//!   instead of `v < 0` perturbs `m̂` by `|v|/α`, and a point perturbation
+//!   `δ` of `m̂` moves the invariant by at most `2δ` in mass units —
+//!   charged as `2|v|/α`.
+//!
+//! When a hub's accumulated spend would exceed [`DeltaConfig::budget`], it
+//! falls back to an exact recompute, which resets its spend to zero. Every
+//! served PPV therefore stays within `budget` (score L1) of an exact
+//! recompute, on top of the baseline approximation the index already
+//! carries (clip/ε/solve-tolerance crumbs — which the query layer's φ
+//! accounting absorbs as unretained mass). `budget = 0` disables the delta
+//! path entirely: [`DeltaConfig::exact`] makes the `_delta` entry points
+//! bit-identical to the exact refreshers, which are thin wrappers over
+//! them.
 
-use fastppv_graph::{Graph, NodeId};
+use std::time::{Duration, Instant};
+
+use fastppv_graph::{Graph, NodeId, SparseVector};
 
 use crate::config::Config;
 use crate::hubs::HubSet;
-use crate::index::{FlatIndex, MemoryIndex, PpvStore};
-use crate::prime::{BucketQueue, PrimeComputer};
+use crate::index::{FlatIndex, MemoryIndex, PpvRef, PpvStore, PrimePpv};
+use crate::prime::{BucketQueue, DeltaPush, PrimeComputer};
 
 /// Hubs whose prime PPV depends on the out-edges of `u` in `graph`:
 /// `{h ∈ H : u is an expanded node of G'(h)}`, found by a reverse
 /// max-probability search from `u` over hub-free interiors — driven by the
 /// same monotone [`BucketQueue`] as the forward extraction kernel, so the
 /// set is exact and pop-order independent (see [`crate::prime`]).
+///
+/// One-shot convenience over [`ReverseScratch`]; batch callers should hold
+/// a scratch and seed all tails at once.
 pub fn affected_hubs(
     graph: &Graph,
     hubs: &HubSet,
@@ -37,60 +85,223 @@ pub fn affected_hubs(
     alpha: f64,
 ) -> Vec<NodeId> {
     assert!((u as usize) < graph.num_nodes());
-    // A hub's own subgraph always expands its source.
-    if hubs.is_hub(u) {
-        return vec![u];
-    }
-
-    // best[x] = max probability of a walk x ⇝ u whose interior (nodes
-    // strictly between x and u) is hub-free. Relaxing x's in-neighbors is
-    // only sound when x itself may be interior, i.e. x is not a hub; the
-    // reached set {x : best(x) ≥ ε} is a fixed point of max-relaxation, so
-    // it does not depend on the (quantized) pop order.
-    let n = graph.num_nodes();
-    let mut best = vec![0.0f64; n];
-    let mut reached: Vec<NodeId> = Vec::new();
-    let mut queue = BucketQueue::new();
-    queue.configure(alpha);
-    best[u as usize] = 1.0;
-    reached.push(u);
-    queue.push(1.0, u);
-    while let Some((p, x)) = queue.pop() {
-        if p != best[x as usize] {
-            continue; // stale entry
-        }
-        if hubs.is_hub(x) {
-            continue; // x would be interior for any longer walk: stop here
-        }
-        for &y in graph.in_neighbors(x) {
-            let d = graph.out_degree(y);
-            if d == 0 {
-                continue;
-            }
-            let w = p * (1.0 - alpha) / d as f64;
-            if w >= epsilon && w > best[y as usize] {
-                if best[y as usize] == 0.0 {
-                    reached.push(y);
-                }
-                best[y as usize] = w;
-                queue.push(w, y);
-            }
-        }
-    }
-    let mut affected: Vec<NodeId> = reached.into_iter().filter(|&x| hubs.is_hub(x)).collect();
+    let mut scratch = ReverseScratch::new(graph.num_nodes());
+    let mut dirty = vec![false; graph.num_nodes()];
+    scratch.mark_affected(graph, hubs, &[u], epsilon, alpha, &mut dirty);
+    let mut affected: Vec<NodeId> = hubs
+        .ids()
+        .iter()
+        .copied()
+        .filter(|&h| dirty[h as usize])
+        .collect();
     affected.sort_unstable();
     affected
+}
+
+/// Reusable scratch for the reverse dependence search: one graph-sized
+/// `best` array, one reached list, one [`BucketQueue`] — shared by every
+/// tail of a batch and across batches, so invalidating a k-event batch is
+/// one multi-source pass instead of k searches with k fresh `O(n)`
+/// allocations.
+pub struct ReverseScratch {
+    best: Vec<f64>,
+    reached: Vec<NodeId>,
+    queue: BucketQueue,
+}
+
+impl ReverseScratch {
+    /// A scratch for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ReverseScratch {
+            best: vec![0.0; n],
+            reached: Vec::new(),
+            queue: BucketQueue::new(),
+        }
+    }
+
+    /// Number of node slots.
+    pub fn capacity(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Sets `dirty[h] = true` for every hub whose prime PPV depends on the
+    /// out-row of any tail in `tails` (out-of-range tails are skipped —
+    /// the old-graph pass of a node-growing update). All tails seed one
+    /// search: `best` converges to the max over seeds of the best hub-free
+    /// walk probability, whose ≥ ε sublevel set is exactly the union of
+    /// the per-seed reached sets, since per-step thresholding and
+    /// end-to-end thresholding agree for monotonically decaying walk
+    /// probabilities. Hub tails are their own sole dependents and are
+    /// marked directly, never seeded.
+    pub fn mark_affected(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        tails: &[NodeId],
+        epsilon: f64,
+        alpha: f64,
+        dirty: &mut [bool],
+    ) {
+        debug_assert!(self.best.len() >= graph.num_nodes());
+        self.queue.configure(alpha);
+        for &u in tails {
+            if (u as usize) >= graph.num_nodes() {
+                continue;
+            }
+            if hubs.is_hub(u) {
+                dirty[u as usize] = true;
+                continue;
+            }
+            if self.best[u as usize] == 0.0 {
+                self.reached.push(u);
+            }
+            self.best[u as usize] = 1.0;
+            self.queue.push(1.0, u);
+        }
+        // best[x] = max probability of a walk x ⇝ some seed whose interior
+        // (nodes strictly between x and the seed) is hub-free. Relaxing
+        // x's in-neighbors is only sound when x itself may be interior,
+        // i.e. x is not a hub; the reached set {x : best(x) ≥ ε} is a
+        // fixed point of max-relaxation, so it does not depend on the
+        // (quantized) pop order.
+        while let Some((p, x)) = self.queue.pop() {
+            if p != self.best[x as usize] {
+                continue; // stale entry
+            }
+            if hubs.is_hub(x) {
+                continue; // x would be interior for any longer walk: stop
+            }
+            for &y in graph.in_neighbors(x) {
+                let d = graph.out_degree(y);
+                if d == 0 {
+                    continue;
+                }
+                let w = p * (1.0 - alpha) / d as f64;
+                if w >= epsilon && w > self.best[y as usize] {
+                    if self.best[y as usize] == 0.0 {
+                        self.reached.push(y);
+                    }
+                    self.best[y as usize] = w;
+                    self.queue.push(w, y);
+                }
+            }
+        }
+        for &x in &self.reached {
+            if hubs.is_hub(x) {
+                dirty[x as usize] = true;
+            }
+            self.best[x as usize] = 0.0;
+        }
+        self.reached.clear();
+    }
+}
+
+/// Tuning of the delta-propagation patch path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaConfig {
+    /// Per-hub accumulated error budget, in score-L1 units: the maximum
+    /// certified distance between a served (patched) prime PPV and an
+    /// exact recompute. Exceeding it triggers an exact recompute for that
+    /// hub (resetting its spend). `0` disables the delta path — every
+    /// dirty hub recomputes, exactly like [`refresh_index`].
+    pub budget: f64,
+    /// Residual magnitude (mass units) below which [`DeltaPush`] does not
+    /// propagate; sub-threshold crumbs are charged to the budget instead.
+    pub push_threshold: f64,
+    /// Safety cap on push settles per patch; a truncated push falls back
+    /// to exact recompute.
+    pub max_settles: usize,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            budget: 0.01,
+            push_threshold: 1e-9,
+            max_settles: 1_000_000,
+        }
+    }
+}
+
+impl DeltaConfig {
+    /// A configuration with the delta path disabled: every dirty hub is
+    /// recomputed exactly. The exact refreshers are wrappers over this.
+    pub fn exact() -> Self {
+        DeltaConfig {
+            budget: 0.0,
+            ..DeltaConfig::default()
+        }
+    }
+
+    /// Sets the per-hub error budget.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Panics if any parameter is out of its valid range.
+    pub fn validate(&self) {
+        assert!(
+            self.budget >= 0.0 && self.budget.is_finite(),
+            "delta budget must be finite and ≥ 0, got {}",
+            self.budget
+        );
+        assert!(
+            self.push_threshold > 0.0,
+            "push_threshold must be > 0, got {}",
+            self.push_threshold
+        );
+        assert!(self.max_settles > 0, "max_settles must be > 0");
+    }
 }
 
 /// Statistics from an index refresh.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RefreshStats {
-    /// Hubs whose prime PPVs were recomputed.
+    /// Hubs whose prime PPVs were recomputed exactly (dirty hubs the delta
+    /// path declined — budget exhausted, push truncated, or delta
+    /// disabled — plus hubs missing from the old index).
     pub recomputed: usize,
-    /// Hubs reused unchanged.
+    /// Dirty hubs resolved by the delta patch path (includes
+    /// [`RefreshStats::delta_noop`]).
+    pub delta_patched: usize,
+    /// Delta-patched hubs whose patch turned out empty — the perturbation
+    /// never touched their stored mass, so the segment was not rewritten
+    /// (the common case for far-away events).
+    pub delta_noop: usize,
+    /// Hubs reused unchanged (not dirty).
     pub reused: usize,
-    /// Wall-clock time of the refresh.
-    pub elapsed: std::time::Duration,
+    /// Largest per-hub accumulated budget spend in the refreshed index —
+    /// ≤ [`DeltaConfig::budget`] by construction (exceeding it forces a
+    /// recompute, which resets the hub's spend to zero).
+    pub budget_watermark: f64,
+    /// Deep-copy time of the snapshot entry points (zero for in-place
+    /// refreshes). Included in `elapsed`; reported separately because on
+    /// large arenas the clone dominates and would otherwise silently
+    /// flatter the per-refresh cost.
+    pub clone_elapsed: Duration,
+    /// Wall-clock time of the whole refresh, clone included.
+    pub elapsed: Duration,
+}
+
+impl RefreshStats {
+    /// Hubs invalidated by the batch: `recomputed + delta_patched`.
+    pub fn dirty(&self) -> usize {
+        self.recomputed + self.delta_patched
+    }
+}
+
+/// Whether `old` and `new` agree on node count, edge count, and the
+/// out-rows of every changed tail. Under the update contract (all edge
+/// changes have their tails listed in `changed_tails`) this means the
+/// batch was vacuous — the serving layer uses it to skip publishing an
+/// epoch (and evicting the warm cache) for no-op batches.
+pub fn same_adjacency(old: &Graph, new: &Graph, changed_tails: &[NodeId]) -> bool {
+    old.num_nodes() == new.num_nodes()
+        && old.num_edges() == new.num_edges()
+        && changed_tails.iter().all(|&u| {
+            (u as usize) < old.num_nodes() && old.out_neighbors(u) == new.out_neighbors(u)
+        })
 }
 
 /// The per-node dirty mask of an edge batch: true for every hub whose
@@ -98,6 +309,7 @@ pub struct RefreshStats {
 /// (walks that existed only before the change) also invalidate their
 /// dependents.
 fn dirty_hubs(
+    scratch: &mut ReverseScratch,
     old_graph: &Graph,
     new_graph: &Graph,
     hubs: &HubSet,
@@ -105,17 +317,202 @@ fn dirty_hubs(
     config: &Config,
 ) -> Vec<bool> {
     let mut dirty = vec![false; new_graph.num_nodes()];
-    for &u in changed_tails {
-        for h in affected_hubs(new_graph, hubs, u, config.epsilon, config.alpha) {
-            dirty[h as usize] = true;
-        }
-        if (u as usize) < old_graph.num_nodes() {
-            for h in affected_hubs(old_graph, hubs, u, config.epsilon, config.alpha) {
-                dirty[h as usize] = true;
-            }
+    scratch.mark_affected(
+        new_graph,
+        hubs,
+        changed_tails,
+        config.epsilon,
+        config.alpha,
+        &mut dirty,
+    );
+    scratch.mark_affected(
+        old_graph,
+        hubs,
+        changed_tails,
+        config.epsilon,
+        config.alpha,
+        &mut dirty,
+    );
+    dirty
+}
+
+/// Sorted, deduplicated copy of an event batch's tails. Dedup is
+/// load-bearing for the delta path: each tail's row swap must be injected
+/// exactly once per hub.
+fn dedup_tails(changed_tails: &[NodeId]) -> Vec<NodeId> {
+    let mut tails = changed_tails.to_vec();
+    tails.sort_unstable();
+    tails.dedup();
+    tails
+}
+
+/// How a dirty hub was resolved.
+enum Patch {
+    /// Delta declined; recompute the prime PPV exactly.
+    Recompute,
+    /// The perturbation never reached the stored mass: keep the stored
+    /// PPV, carry the (leftover-charged) spend.
+    Unchanged { spent: f64 },
+    /// Merged entries are in the scratch; store them with this spend.
+    Patched { spent: f64 },
+}
+
+/// Mutable state of the delta patch path, reused across hubs and batches.
+struct DeltaScratch {
+    push: DeltaPush,
+    deposits: Vec<(NodeId, f64)>,
+    merged: Vec<(NodeId, f64)>,
+}
+
+impl DeltaScratch {
+    fn new(n: usize) -> Self {
+        DeltaScratch {
+            push: DeltaPush::new(n),
+            deposits: Vec::new(),
+            merged: Vec::new(),
         }
     }
-    dirty
+}
+
+#[inline]
+fn view_entry(view: &PpvRef<'_>, i: usize) -> (NodeId, f64) {
+    match view {
+        PpvRef::Soa { ids, scores } => (ids[i], scores[i]),
+        PpvRef::Aos(entries) => entries[i],
+        PpvRef::Owned(ppv) => ppv.entries.entries()[i],
+    }
+}
+
+/// Injects `scale / row.len()` at every target of `row` (parallel edges
+/// contribute once per occurrence, matching the solver's degree counting).
+fn inject_row(push: &mut DeltaPush, row: &[NodeId], scale: f64) {
+    if row.is_empty() {
+        return; // dangling rows absorb: no transition mass to perturb
+    }
+    let share = scale / row.len() as f64;
+    for &t in row {
+        push.inject(t, share);
+    }
+}
+
+#[inline]
+fn merge_entry(out: &mut Vec<(NodeId, f64)>, clamp_loss: &mut f64, id: NodeId, s: f64) {
+    if s > 0.0 {
+        out.push((id, s));
+    } else if s < 0.0 {
+        *clamp_loss += -s;
+    }
+    // s == 0.0 exactly: absent and value zero are the same state — free.
+}
+
+/// Merges sorted score deltas into a stored view: `out = view + deposits`,
+/// ascending, entries clamped at zero. Returns the total clamped magnitude
+/// in score units (the caller charges `2·loss/α` to the budget).
+fn merge_patch(view: &PpvRef<'_>, deposits: &[(NodeId, f64)], out: &mut Vec<(NodeId, f64)>) -> f64 {
+    out.clear();
+    out.reserve(view.len() + deposits.len());
+    let mut clamp_loss = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let n_view = view.len();
+    while i < n_view && j < deposits.len() {
+        let (vid, vs) = view_entry(view, i);
+        let (did, ds) = deposits[j];
+        if vid < did {
+            out.push((vid, vs));
+            i += 1;
+        } else if did < vid {
+            merge_entry(out, &mut clamp_loss, did, ds);
+            j += 1;
+        } else {
+            merge_entry(out, &mut clamp_loss, vid, vs + ds);
+            i += 1;
+            j += 1;
+        }
+    }
+    while i < n_view {
+        out.push(view_entry(view, i));
+        i += 1;
+    }
+    while j < deposits.len() {
+        let (did, ds) = deposits[j];
+        merge_entry(out, &mut clamp_loss, did, ds);
+        j += 1;
+    }
+    clamp_loss
+}
+
+/// Attempts to patch one dirty hub's stored PPV in place of an exact
+/// recompute. `tails` must be deduplicated. On [`Patch::Patched`] the
+/// merged entries are left in `scratch.merged`.
+#[allow(clippy::too_many_arguments)]
+fn try_delta_patch(
+    view: &PpvRef<'_>,
+    spent_old: f64,
+    hub: NodeId,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    tails: &[NodeId],
+    config: &Config,
+    delta: &DeltaConfig,
+    scratch: &mut DeltaScratch,
+) -> Patch {
+    let alpha = config.alpha;
+    for &u in tails {
+        if hubs.is_hub(u) && u != hub {
+            continue; // another hub's row never propagates inside G'(hub)
+        }
+        // Settled mass sitting on u's row in the maintained state. The
+        // source hub is the virtual start node: its row carries unit mass
+        // (its stored returns absorb and add nothing).
+        let m = if u == hub {
+            1.0
+        } else {
+            match view.score_of(u) {
+                Some(s) if s != 0.0 => s / alpha,
+                // No stored mass at u: the row swap is exactly invisible
+                // to this hub's maintained state.
+                _ => continue,
+            }
+        };
+        let old_row = if (u as usize) < old_graph.num_nodes() {
+            old_graph.out_neighbors(u)
+        } else {
+            &[][..]
+        };
+        let new_row = if (u as usize) < new_graph.num_nodes() {
+            new_graph.out_neighbors(u)
+        } else {
+            &[][..]
+        };
+        if old_row == new_row {
+            continue;
+        }
+        inject_row(&mut scratch.push, old_row, -m * (1.0 - alpha));
+        inject_row(&mut scratch.push, new_row, m * (1.0 - alpha));
+    }
+    let outcome = scratch.push.run(
+        new_graph,
+        hubs,
+        alpha,
+        delta.push_threshold,
+        delta.max_settles,
+    );
+    let mut spent = spent_old + outcome.leftover;
+    if outcome.truncated || spent > delta.budget {
+        scratch.push.reset();
+        return Patch::Recompute;
+    }
+    scratch.push.drain_deposits(&mut scratch.deposits);
+    if scratch.deposits.is_empty() {
+        return Patch::Unchanged { spent };
+    }
+    let clamp_loss = merge_patch(view, &scratch.deposits, &mut scratch.merged);
+    spent += 2.0 * clamp_loss / alpha;
+    if spent > delta.budget {
+        return Patch::Recompute;
+    }
+    Patch::Patched { spent }
 }
 
 /// Refreshes `old_index` after edge updates, recomputing only affected hubs.
@@ -125,6 +522,9 @@ fn dirty_hubs(
 /// before the change) also invalidate their dependents; pass the same graph
 /// twice for pure insertions. Unaffected PPVs are shared with the old
 /// index (`Arc` handles, no entry copies).
+///
+/// Every dirty hub is recomputed exactly; this is
+/// [`refresh_index_delta`] with [`DeltaConfig::exact`].
 pub fn refresh_index(
     old_index: &MemoryIndex,
     old_graph: &Graph,
@@ -133,32 +533,100 @@ pub fn refresh_index(
     changed_tails: &[NodeId],
     config: &Config,
 ) -> (MemoryIndex, RefreshStats) {
+    refresh_index_delta(
+        old_index,
+        old_graph,
+        new_graph,
+        hubs,
+        changed_tails,
+        config,
+        &DeltaConfig::exact(),
+    )
+}
+
+/// [`refresh_index`] with the delta patch path: dirty hubs whose
+/// perturbation can be pushed within the per-hub error budget are patched
+/// (or kept untouched when the patch is empty) instead of recomputed. See
+/// the module docs for the accounting.
+pub fn refresh_index_delta(
+    old_index: &MemoryIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+    delta: &DeltaConfig,
+) -> (MemoryIndex, RefreshStats) {
     config.validate();
-    let start = std::time::Instant::now();
-    let dirty = dirty_hubs(old_graph, new_graph, hubs, changed_tails, config);
-    let mut index = MemoryIndex::new(new_graph.num_nodes());
-    let mut pc = PrimeComputer::new(new_graph.num_nodes());
-    let mut recomputed = 0usize;
-    let mut reused = 0usize;
+    delta.validate();
+    let start = Instant::now();
+    let n = new_graph.num_nodes();
+    let tails = dedup_tails(changed_tails);
+    let mut reverse = ReverseScratch::new(n.max(old_graph.num_nodes()));
+    let dirty = dirty_hubs(&mut reverse, old_graph, new_graph, hubs, &tails, config);
+    // The push scratch is sized for (and runs on) the new graph; a node
+    // count change would let old-row injections land out of range.
+    let delta_enabled = delta.budget > 0.0 && old_graph.num_nodes() == n;
+    let mut index = MemoryIndex::new(n);
+    let mut pc: Option<PrimeComputer> = None;
+    let mut ds: Option<DeltaScratch> = None;
+    let mut stats = RefreshStats::default();
     for &h in hubs.ids() {
-        if dirty[h as usize] || !old_index.contains(h) {
-            let (ppv, _) = pc.prime_ppv(new_graph, hubs, h, config, config.clip);
-            index.insert(h, ppv);
-            recomputed += 1;
+        let present = old_index.contains(h);
+        if present && !dirty[h as usize] {
+            index.insert_shared(h, old_index.get_shared(h).expect("checked contains"));
+            index.set_budget_spent(h, old_index.budget_spent(h));
+            stats.reused += 1;
+            continue;
+        }
+        let patch = if present && delta_enabled {
+            let scratch = ds.get_or_insert_with(|| DeltaScratch::new(n));
+            let view = old_index.view(h).expect("checked contains");
+            try_delta_patch(
+                &view,
+                old_index.budget_spent(h),
+                h,
+                old_graph,
+                new_graph,
+                hubs,
+                &tails,
+                config,
+                delta,
+                scratch,
+            )
         } else {
-            let ppv = old_index.get_shared(h).expect("checked contains");
-            index.insert_shared(h, ppv);
-            reused += 1;
+            Patch::Recompute
+        };
+        match patch {
+            Patch::Recompute => {
+                let pc = pc.get_or_insert_with(|| PrimeComputer::new(n));
+                let (ppv, _) = pc.prime_ppv(new_graph, hubs, h, config, config.clip);
+                index.insert(h, ppv);
+                stats.recomputed += 1;
+            }
+            Patch::Unchanged { spent } => {
+                index.insert_shared(h, old_index.get_shared(h).expect("checked contains"));
+                index.set_budget_spent(h, spent);
+                stats.delta_patched += 1;
+                stats.delta_noop += 1;
+            }
+            Patch::Patched { spent } => {
+                let scratch = ds.as_mut().expect("patched implies scratch");
+                let entries = std::mem::take(&mut scratch.merged);
+                index.insert(
+                    h,
+                    PrimePpv {
+                        entries: SparseVector::from_sorted(entries),
+                    },
+                );
+                index.set_budget_spent(h, spent);
+                stats.delta_patched += 1;
+            }
         }
     }
-    (
-        index,
-        RefreshStats {
-            recomputed,
-            reused,
-            elapsed: start.elapsed(),
-        },
-    )
+    stats.budget_watermark = index.budget_watermark();
+    stats.elapsed = start.elapsed();
+    (index, stats)
 }
 
 /// Refreshes a [`FlatIndex`] arena in place after edge updates: affected
@@ -170,6 +638,9 @@ pub fn refresh_index(
 /// `changed_tails` as in [`refresh_index`]. The arena must cover
 /// `new_graph` (node additions require a rebuild via
 /// [`crate::offline::build_flat_index`]).
+///
+/// Every dirty hub is recomputed exactly; this is
+/// [`refresh_flat_index_delta`] with [`DeltaConfig::exact`].
 pub fn refresh_flat_index(
     index: &mut FlatIndex,
     old_graph: &Graph,
@@ -178,32 +649,95 @@ pub fn refresh_flat_index(
     changed_tails: &[NodeId],
     config: &Config,
 ) -> RefreshStats {
+    refresh_flat_index_delta(
+        index,
+        old_graph,
+        new_graph,
+        hubs,
+        changed_tails,
+        config,
+        &DeltaConfig::exact(),
+    )
+}
+
+/// [`refresh_flat_index`] with the delta patch path. Patched segments go
+/// through [`FlatIndex::replace_entries`] straight from the merge scratch;
+/// empty patches leave the segment untouched entirely (no tombstone, no
+/// arena growth) and only bump the slot's budget spend.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_flat_index_delta(
+    index: &mut FlatIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+    delta: &DeltaConfig,
+) -> RefreshStats {
     config.validate();
+    delta.validate();
     assert!(
         index.capacity() >= new_graph.num_nodes(),
         "arena sized for {} nodes, graph has {} (rebuild instead)",
         index.capacity(),
         new_graph.num_nodes()
     );
-    let start = std::time::Instant::now();
-    let dirty = dirty_hubs(old_graph, new_graph, hubs, changed_tails, config);
-    let mut pc = PrimeComputer::new(new_graph.num_nodes());
-    let mut recomputed = 0usize;
-    let mut reused = 0usize;
+    let start = Instant::now();
+    let n = new_graph.num_nodes();
+    let tails = dedup_tails(changed_tails);
+    let mut reverse = ReverseScratch::new(n.max(old_graph.num_nodes()));
+    let dirty = dirty_hubs(&mut reverse, old_graph, new_graph, hubs, &tails, config);
+    let delta_enabled = delta.budget > 0.0 && old_graph.num_nodes() == n;
+    let mut pc: Option<PrimeComputer> = None;
+    let mut ds: Option<DeltaScratch> = None;
+    let mut stats = RefreshStats::default();
     for &h in hubs.ids() {
-        if dirty[h as usize] || !index.contains(h) {
-            let (ppv, _) = pc.prime_ppv(new_graph, hubs, h, config, config.clip);
-            index.replace(h, &ppv, hubs);
-            recomputed += 1;
+        let present = index.contains(h);
+        if present && !dirty[h as usize] {
+            stats.reused += 1;
+            continue;
+        }
+        let patch = if present && delta_enabled {
+            let scratch = ds.get_or_insert_with(|| DeltaScratch::new(n));
+            let view = index.view(h).expect("checked contains");
+            try_delta_patch(
+                &view,
+                index.budget_spent(h),
+                h,
+                old_graph,
+                new_graph,
+                hubs,
+                &tails,
+                config,
+                delta,
+                scratch,
+            )
         } else {
-            reused += 1;
+            Patch::Recompute
+        };
+        match patch {
+            Patch::Recompute => {
+                let pc = pc.get_or_insert_with(|| PrimeComputer::new(n));
+                let (ppv, _) = pc.prime_ppv(new_graph, hubs, h, config, config.clip);
+                index.replace(h, &ppv, hubs);
+                stats.recomputed += 1;
+            }
+            Patch::Unchanged { spent } => {
+                index.set_budget_spent(h, spent);
+                stats.delta_patched += 1;
+                stats.delta_noop += 1;
+            }
+            Patch::Patched { spent } => {
+                let scratch = ds.as_ref().expect("patched implies scratch");
+                index.replace_entries(h, &scratch.merged, hubs);
+                index.set_budget_spent(h, spent);
+                stats.delta_patched += 1;
+            }
         }
     }
-    RefreshStats {
-        recomputed,
-        reused,
-        elapsed: start.elapsed(),
-    }
+    stats.budget_watermark = index.budget_watermark();
+    stats.elapsed = start.elapsed();
+    stats
 }
 
 /// Snapshot-style counterpart of [`refresh_flat_index`]: leaves `old`
@@ -214,7 +748,9 @@ pub fn refresh_flat_index(
 ///
 /// The clone is always a deep copy: under concurrent serving somebody is
 /// holding the old arena by definition, so there is no in-place fast path
-/// worth special-casing.
+/// worth special-casing. Its cost is included in
+/// [`RefreshStats::elapsed`] and broken out in
+/// [`RefreshStats::clone_elapsed`].
 pub fn refresh_flat_index_snapshot(
     old: &FlatIndex,
     old_graph: &Graph,
@@ -223,8 +759,42 @@ pub fn refresh_flat_index_snapshot(
     changed_tails: &[NodeId],
     config: &Config,
 ) -> (FlatIndex, RefreshStats) {
+    refresh_flat_index_snapshot_delta(
+        old,
+        old_graph,
+        new_graph,
+        hubs,
+        changed_tails,
+        config,
+        &DeltaConfig::exact(),
+    )
+}
+
+/// [`refresh_flat_index_snapshot`] with the delta patch path.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_flat_index_snapshot_delta(
+    old: &FlatIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    changed_tails: &[NodeId],
+    config: &Config,
+    delta: &DeltaConfig,
+) -> (FlatIndex, RefreshStats) {
+    let clone_start = Instant::now();
     let mut next = old.clone();
-    let stats = refresh_flat_index(&mut next, old_graph, new_graph, hubs, changed_tails, config);
+    let clone_elapsed = clone_start.elapsed();
+    let mut stats = refresh_flat_index_delta(
+        &mut next,
+        old_graph,
+        new_graph,
+        hubs,
+        changed_tails,
+        config,
+        delta,
+    );
+    stats.clone_elapsed = clone_elapsed;
+    stats.elapsed += clone_elapsed;
     (next, stats)
 }
 
@@ -247,6 +817,49 @@ mod tests {
         }
         b.add_edge(u, v);
         b.build()
+    }
+
+    fn remove_edge(graph: &Graph, u: NodeId, v: NodeId) -> Graph {
+        let mut b = GraphBuilder::new(graph.num_nodes());
+        let mut removed = false;
+        let mut remaining = 0usize;
+        for (s, t) in graph.edges() {
+            if s == u {
+                if !removed && t == v {
+                    removed = true;
+                    continue;
+                }
+                remaining += 1;
+            }
+            b.add_edge(s, t);
+        }
+        assert!(removed, "edge ({u}, {v}) not present");
+        if remaining == 0 {
+            b.add_edge(u, u); // keep the dangling-fix invariant
+        }
+        b.build()
+    }
+
+    /// L1 distance between two sorted sparse entry lists.
+    fn entries_l1(a: &[(NodeId, f64)], b: &[(NodeId, f64)]) -> f64 {
+        let mut d = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].0 < b[j].0 {
+                d += a[i].1.abs();
+                i += 1;
+            } else if b[j].0 < a[i].0 {
+                d += b[j].1.abs();
+                j += 1;
+            } else {
+                d += (a[i].1 - b[j].1).abs();
+                i += 1;
+                j += 1;
+            }
+        }
+        d += a[i..].iter().map(|&(_, s)| s.abs()).sum::<f64>();
+        d += b[j..].iter().map(|&(_, s)| s.abs()).sum::<f64>();
+        d
     }
 
     #[test]
@@ -274,6 +887,29 @@ mod tests {
     }
 
     #[test]
+    fn multi_source_search_equals_union_of_single_sources() {
+        let g = barabasi_albert(300, 3, 5);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+        let tails: Vec<NodeId> = vec![4, 17, 17, 42, hubs.ids()[3], 201];
+        for epsilon in [1e-3, 1e-5, 1e-8] {
+            let mut union = vec![false; 300];
+            for &u in &tails {
+                for h in affected_hubs(&g, &hubs, u, epsilon, 0.15) {
+                    union[h as usize] = true;
+                }
+            }
+            let mut scratch = ReverseScratch::new(300);
+            let mut multi = vec![false; 300];
+            scratch.mark_affected(&g, &hubs, &tails, epsilon, 0.15, &mut multi);
+            assert_eq!(multi, union, "epsilon {epsilon}");
+            // The scratch resets itself: a second batch sees clean state.
+            let mut again = vec![false; 300];
+            scratch.mark_affected(&g, &hubs, &tails, epsilon, 0.15, &mut again);
+            assert_eq!(again, union, "epsilon {epsilon} (scratch reuse)");
+        }
+    }
+
+    #[test]
     fn refresh_matches_full_rebuild() {
         let g = barabasi_albert(250, 3, 7);
         let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
@@ -294,6 +930,8 @@ mod tests {
             );
         }
         assert!(stats.recomputed > 0);
+        assert_eq!(stats.delta_patched, 0, "exact refresh never patches");
+        assert_eq!(stats.budget_watermark, 0.0);
         // (Locality — reused > 0 — is asserted in
         // refresh_is_much_cheaper_than_rebuild on a larger graph; at 250
         // nodes with ε = 1e-8 every hub can legitimately be upstream.)
@@ -332,6 +970,8 @@ mod tests {
         let g2 = add_edge(&g, u, (u + 17) % 250);
         let (next, stats) = refresh_flat_index_snapshot(&flat, &g, &g2, &hubs, &[u], &config);
         assert!(stats.recomputed > 0);
+        // The clone is timed, and inside the total.
+        assert!(stats.elapsed >= stats.clone_elapsed);
         // The old arena still answers exactly as before the update…
         for (&h, old) in hubs.ids().iter().zip(&before) {
             assert_eq!(flat.load(h).unwrap(), *old, "hub {h} must be untouched");
@@ -350,17 +990,7 @@ mod tests {
         let config = Config::default();
         let u = (0..200u32).find(|&v| !hubs.is_hub(v)).unwrap();
         let v = g.out_neighbors(u)[0];
-        // Delete edge (u, v).
-        let mut b = GraphBuilder::new(200);
-        let mut removed = false;
-        for (s, t) in g.edges() {
-            if !removed && s == u && t == v {
-                removed = true;
-                continue;
-            }
-            b.add_edge(s, t);
-        }
-        let g2 = b.build();
+        let g2 = remove_edge(&g, u, v);
         let (old_index, _) = build_index(&g, &hubs, &config);
         let (refreshed, _) = refresh_index(&old_index, &g, &g2, &hubs, &[u], &config);
         let (rebuilt, _) = build_index(&g2, &hubs, &config);
@@ -393,5 +1023,161 @@ mod tests {
             stats.recomputed,
             hubs.len()
         );
+    }
+
+    /// A tight-tolerance config: clip 0 and tiny thresholds make the fresh
+    /// build essentially exact, so the delta path's budget accounting can
+    /// be checked sharply against a rebuild.
+    fn tight_config() -> Config {
+        let mut c = Config::default().with_epsilon(1e-10).with_clip(0.0);
+        c.solve_tolerance = 1e-12;
+        c
+    }
+
+    #[test]
+    fn delta_refresh_stays_within_budget_of_rebuild() {
+        let g0 = barabasi_albert(300, 3, 13);
+        let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, 30, 0);
+        let config = tight_config();
+        let delta = DeltaConfig {
+            budget: 0.05,
+            push_threshold: 1e-13,
+            ..DeltaConfig::default()
+        };
+        let (mut index, _) = build_index(&g0, &hubs, &config);
+        let mut g = g0;
+        let mut patched_total = 0usize;
+        // A mixed insert/delete event stream through the delta path.
+        for step in 0..8u32 {
+            let u = (step * 37 + 5) % 300;
+            let (g2, tail) = if step % 3 == 2 {
+                let t = g.out_neighbors(u)[0];
+                (remove_edge(&g, u, t), u)
+            } else {
+                (add_edge(&g, u, (u + 59 + step) % 300), u)
+            };
+            let (next, stats) =
+                refresh_index_delta(&index, &g, &g2, &hubs, &[tail], &config, &delta);
+            assert_eq!(
+                stats.delta_patched + stats.recomputed + stats.reused,
+                hubs.len()
+            );
+            assert!(
+                stats.budget_watermark <= delta.budget,
+                "watermark {} > budget {}",
+                stats.budget_watermark,
+                delta.budget
+            );
+            patched_total += stats.delta_patched;
+            index = next;
+            g = g2;
+        }
+        assert!(patched_total > 0, "delta path never engaged");
+        // Each stored PPV is within its accounted spend (plus solver
+        // crumbs) of an exact rebuild on the final graph.
+        let (rebuilt, _) = build_index(&g, &hubs, &config);
+        for &h in hubs.ids() {
+            let l1 = entries_l1(
+                index.get(h).unwrap().entries.entries(),
+                rebuilt.get(h).unwrap().entries.entries(),
+            );
+            let allowed = index.budget_spent(h) + 1e-6;
+            assert!(l1 <= allowed, "hub {h}: L1 {l1} > allowed {allowed}");
+        }
+    }
+
+    #[test]
+    fn budget_zero_delta_is_bit_identical_to_exact() {
+        let g = barabasi_albert(250, 3, 19);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let config = Config::default();
+        let (old_index, _) = build_index(&g, &hubs, &config);
+        let u = (0..250u32).find(|&v| !hubs.is_hub(v)).unwrap();
+        let g2 = add_edge(&g, u, (u + 23) % 250);
+        let (exact, es) = refresh_index(&old_index, &g, &g2, &hubs, &[u], &config);
+        let (zero, zs) = refresh_index_delta(
+            &old_index,
+            &g,
+            &g2,
+            &hubs,
+            &[u],
+            &config,
+            &DeltaConfig::exact(),
+        );
+        assert_eq!(es.recomputed, zs.recomputed);
+        assert_eq!(zs.delta_patched, 0);
+        for &h in hubs.ids() {
+            assert_eq!(
+                exact.get(h).unwrap().entries,
+                zero.get(h).unwrap().entries,
+                "hub {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn vacuous_batch_is_all_noop_patches() {
+        let g = barabasi_albert(250, 3, 29);
+        let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 25, 0);
+        let config = Config::default();
+        let delta = DeltaConfig::default();
+        let (old_index, _) = build_index(&g, &hubs, &config);
+        let u = (0..250u32).find(|&v| !hubs.is_hub(v)).unwrap();
+        assert!(same_adjacency(&g, &g, &[u]));
+        // Same graph on both sides: hubs are invalidated (the dependence
+        // search cannot know the rows are equal) but every patch is empty.
+        let (next, stats) = refresh_index_delta(&old_index, &g, &g, &hubs, &[u], &config, &delta);
+        assert!(stats.dirty() > 0);
+        assert_eq!(stats.recomputed, 0);
+        assert_eq!(stats.delta_noop, stats.delta_patched);
+        assert_eq!(stats.budget_watermark, 0.0);
+        for &h in hubs.ids() {
+            assert_eq!(
+                next.get(h).unwrap().entries,
+                old_index.get(h).unwrap().entries,
+                "hub {h}"
+            );
+        }
+        // A genuine change is *not* vacuous.
+        let g2 = add_edge(&g, u, (u + 11) % 250);
+        assert!(!same_adjacency(&g, &g2, &[u]));
+    }
+
+    #[test]
+    fn flat_delta_matches_memory_delta() {
+        let g0 = barabasi_albert(300, 3, 31);
+        let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, 30, 0);
+        let config = tight_config();
+        let delta = DeltaConfig {
+            budget: 0.05,
+            push_threshold: 1e-13,
+            ..DeltaConfig::default()
+        };
+        let (mut mem, _) = build_index(&g0, &hubs, &config);
+        let (mut flat, _) = crate::offline::build_flat_index(&g0, &hubs, &config, 1);
+        let mut g = g0;
+        for step in 0..5u32 {
+            let u = (step * 41 + 7) % 300;
+            let g2 = add_edge(&g, u, (u + 83 + step) % 300);
+            let (next, ms) = refresh_index_delta(&mem, &g, &g2, &hubs, &[u], &config, &delta);
+            let fs = refresh_flat_index_delta(&mut flat, &g, &g2, &hubs, &[u], &config, &delta);
+            assert_eq!(ms.recomputed, fs.recomputed, "step {step}");
+            assert_eq!(ms.delta_patched, fs.delta_patched, "step {step}");
+            assert_eq!(ms.delta_noop, fs.delta_noop, "step {step}");
+            mem = next;
+            g = g2;
+        }
+        for &h in hubs.ids() {
+            assert_eq!(
+                flat.load(h).unwrap().entries,
+                mem.get(h).unwrap().entries,
+                "hub {h}"
+            );
+            assert_eq!(
+                flat.budget_spent(h),
+                mem.budget_spent(h),
+                "hub {h} budget spend"
+            );
+        }
     }
 }

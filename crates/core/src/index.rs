@@ -150,6 +150,26 @@ impl PpvRef<'_> {
         sum
     }
 
+    /// Score of node `id`, or `None` if it has no entry. Binary search —
+    /// the point lookup the delta-update path uses to read a changed
+    /// tail's settled mass out of a stored PPV.
+    pub fn score_of(&self, id: NodeId) -> Option<f64> {
+        match self {
+            PpvRef::Soa { ids, scores } => ids.binary_search(&id).ok().map(|pos| scores[pos]),
+            PpvRef::Aos(entries) => entries
+                .binary_search_by_key(&id, |&(v, _)| v)
+                .ok()
+                .map(|pos| entries[pos].1),
+            PpvRef::Owned(ppv) => {
+                let entries = ppv.entries.entries();
+                entries
+                    .binary_search_by_key(&id, |&(v, _)| v)
+                    .ok()
+                    .map(|pos| entries[pos].1)
+            }
+        }
+    }
+
     /// Materializes an owned copy.
     pub fn to_prime_ppv(&self) -> PrimePpv {
         match self {
@@ -276,6 +296,10 @@ pub struct MemoryIndex {
     slots: Vec<Option<Arc<PrimePpv>>>,
     hub_ids: Vec<NodeId>,
     total_entries: usize,
+    /// Per-hub accumulated score-L1 error bound of the stored PPV relative
+    /// to an exact recompute — runtime state of the delta-update path
+    /// ([`crate::dynamic`]), not serialized. 0 for freshly computed PPVs.
+    spent: Vec<f64>,
 }
 
 impl MemoryIndex {
@@ -285,6 +309,7 @@ impl MemoryIndex {
             slots: vec![None; n],
             hub_ids: Vec::new(),
             total_entries: 0,
+            spent: vec![0.0; n],
         }
     }
 
@@ -308,6 +333,29 @@ impl MemoryIndex {
         }
         self.total_entries += ppv.len();
         *slot = Some(ppv);
+        // An inserted PPV is presumed exact; the delta refresh path
+        // re-applies a carried-over budget via `set_budget_spent`.
+        self.spent[hub as usize] = 0.0;
+    }
+
+    /// Accumulated error-budget spend of `hub`'s stored PPV (score-L1
+    /// bound vs an exact recompute; see [`crate::dynamic`]).
+    pub fn budget_spent(&self, hub: NodeId) -> f64 {
+        self.spent.get(hub as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Sets `hub`'s accumulated error-budget spend (delta refresh only).
+    pub fn set_budget_spent(&mut self, hub: NodeId, spent: f64) {
+        self.spent[hub as usize] = spent;
+    }
+
+    /// Largest per-hub budget spend in the index — the watermark reported
+    /// by [`crate::dynamic::RefreshStats`].
+    pub fn budget_watermark(&self) -> f64 {
+        self.hub_ids
+            .iter()
+            .map(|&h| self.spent[h as usize])
+            .fold(0.0, f64::max)
     }
 
     /// The stored prime PPV of `hub`, borrowed (no refcount traffic).
@@ -413,6 +461,10 @@ pub struct FlatIndex {
     dead_entries: usize,
     /// Compactions performed over the arena's lifetime.
     compactions: u64,
+    /// slot → accumulated score-L1 error bound of the segment relative to
+    /// an exact recompute — runtime state of the delta-update path
+    /// ([`crate::dynamic`]), not serialized. 0 for freshly built segments.
+    spent: Vec<f64>,
 }
 
 impl FlatIndex {
@@ -436,6 +488,7 @@ impl FlatIndex {
             live_entries: 0,
             dead_entries: 0,
             compactions: 0,
+            spent: Vec::new(),
         }
     }
 
@@ -481,7 +534,15 @@ impl FlatIndex {
     /// Replaces `hub`'s prime PPV: tombstone-and-append, then compaction
     /// once the dead fraction crosses [`FlatIndex::COMPACTION_THRESHOLD`].
     pub fn replace(&mut self, hub: NodeId, ppv: &PrimePpv, hubs: &HubSet) {
-        let view = PpvRef::Aos(ppv.entries.entries());
+        self.replace_entries(hub, ppv.entries.entries(), hubs);
+    }
+
+    /// [`FlatIndex::replace`] over a raw sorted entry slice — the
+    /// delta-update path patches segments from its merge scratch without
+    /// materializing a [`PrimePpv`]. Resets the slot's budget spend to 0;
+    /// delta patches re-apply theirs via [`FlatIndex::set_budget_spent`].
+    pub fn replace_entries(&mut self, hub: NodeId, entries: &[(NodeId, f64)], hubs: &HubSet) {
+        let view = PpvRef::Aos(entries);
         let slot = self.slot_of[hub as usize];
         if slot == NO_SLOT {
             self.append_segment(hub, &view, hubs);
@@ -498,6 +559,7 @@ impl FlatIndex {
         self.lens[slot] = view.len() as u32;
         self.border_starts[slot] = border_start;
         self.border_lens[slot] = n_border;
+        self.spent[slot] = 0.0;
         if (self.dead_entries as f64)
             > Self::COMPACTION_THRESHOLD * (self.live_entries + self.dead_entries) as f64
         {
@@ -552,6 +614,7 @@ impl FlatIndex {
         self.lens.push(view.len() as u32);
         self.border_starts.push(border_start);
         self.border_lens.push(n_border);
+        self.spent.push(0.0);
     }
 
     /// Copies one segment's entries (and its border-hub sublist) to the
@@ -592,6 +655,28 @@ impl FlatIndex {
     /// Compactions performed over the arena's lifetime.
     pub fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Accumulated error-budget spend of `hub`'s segment (score-L1 bound
+    /// vs an exact recompute; see [`crate::dynamic`]).
+    pub fn budget_spent(&self, hub: NodeId) -> f64 {
+        match self.slot_of.get(hub as usize) {
+            Some(&slot) if slot != NO_SLOT => self.spent[slot as usize],
+            _ => 0.0,
+        }
+    }
+
+    /// Sets `hub`'s accumulated error-budget spend (delta refresh only).
+    pub fn set_budget_spent(&mut self, hub: NodeId, spent: f64) {
+        let slot = self.slot_of[hub as usize];
+        assert!(slot != NO_SLOT, "hub {hub} not indexed");
+        self.spent[slot as usize] = spent;
+    }
+
+    /// Largest per-hub budget spend in the arena — the watermark reported
+    /// by [`crate::dynamic::RefreshStats`].
+    pub fn budget_watermark(&self) -> f64 {
+        self.spent.iter().copied().fold(0.0, f64::max)
     }
 
     /// Bytes resident in the arena arrays (including tombstoned segments

@@ -89,12 +89,15 @@ pub mod query;
 
 pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
+pub use dynamic::{DeltaConfig, RefreshStats};
 pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
 pub use index::{DiskIndex, FlatIndex, MemoryIndex, PpvRef, PpvStore, PrimePpv};
 pub use offline::{
     build_flat_index, build_index, build_index_in_order, build_index_parallel, OfflineStats,
 };
-pub use prime::{AdjacencyAccess, BucketQueue, PrimeComputer, PrimeSubgraph};
+pub use prime::{
+    AdjacencyAccess, BucketQueue, DeltaOutcome, DeltaPush, PrimeComputer, PrimeSubgraph,
+};
 pub use query::{
     IncrementScratch, QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult,
 };

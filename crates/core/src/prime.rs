@@ -248,6 +248,11 @@ impl BucketQueue {
     /// LIFO — deterministic, since insertion order is).
     #[inline]
     pub fn pop(&mut self) -> Option<(f64, NodeId)> {
+        if self.len == 0 {
+            // Also covers a configured-but-never-pushed queue, where no
+            // bucket storage exists yet.
+            return None;
+        }
         while self.cursor <= self.high {
             if let Some(entry) = self.buckets[self.cursor].pop() {
                 self.len -= 1;
@@ -839,6 +844,186 @@ impl PrimeComputer {
         self.extract_arena(&mut CsrSource(graph.out_csr()), hubs, source, config);
         self.solve_arena(config, clip);
         (&self.entries, self.nodes.len())
+    }
+}
+
+/// What a [`DeltaPush::run`] left behind.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaOutcome {
+    /// Σ|residual| (mass units) never settled — sub-threshold crumbs plus
+    /// anything abandoned by the safety valve. Because one unit of residual
+    /// mass can contribute at most one unit of score-L1 after α-scaling
+    /// (the geometric series `α · Σ (1-α)^i = 1`), this is a sound bound on
+    /// the score-L1 the patch fails to account for.
+    pub leftover: f64,
+    /// Node settles performed.
+    pub settles: usize,
+    /// Whether the settle safety valve tripped (the leftover still bounds
+    /// the abandoned mass, so the patch remains certified).
+    pub truncated: bool,
+}
+
+/// Signed-residual forward push over the full graph with hub absorption —
+/// the delta counterpart of the [`SolveScratch`] sweeps, used by
+/// [`crate::dynamic`] to patch a stored prime PPV after an edge change
+/// instead of re-extracting and re-solving its subgraph.
+///
+/// The solve maintains `ρ = e_s + (1-α)/d · Pᵀm − m` ≡ 0 over settled mass
+/// `m` and residual `ρ`. Changing the out-row of a tail `u` perturbs only
+/// `Pᵀ`'s column block for `u`, so the invariant is restored by injecting
+/// `m(u) · (w_new − w_old)` at `u`'s old and new targets and pushing the
+/// signed residual forward: non-hub nodes re-propagate, hubs (including
+/// the source hub — its returns absorb) and dangling nodes do not. Every
+/// settle deposits `α·r` into the node's score delta, exactly like the
+/// forward solve; what is never settled is returned as
+/// [`DeltaOutcome::leftover`] and charged against the error budget.
+#[derive(Debug, Default)]
+pub struct DeltaPush {
+    residual: Vec<f64>,
+    deposit: Vec<f64>,
+    in_queue: Vec<bool>,
+    queue: std::collections::VecDeque<NodeId>,
+    touched: Vec<NodeId>,
+}
+
+impl DeltaPush {
+    /// A push scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DeltaPush {
+            residual: vec![0.0; n],
+            deposit: vec![0.0; n],
+            in_queue: vec![false; n],
+            queue: std::collections::VecDeque::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of node slots.
+    pub fn capacity(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Accumulates signed residual mass at `v` (call before
+    /// [`DeltaPush::run`]; repeated injections at one node sum).
+    #[inline]
+    pub fn inject(&mut self, v: NodeId, mass: f64) {
+        if mass == 0.0 {
+            return;
+        }
+        let slot = &mut self.residual[v as usize];
+        if *slot == 0.0 && self.deposit[v as usize] == 0.0 && !self.in_queue[v as usize] {
+            self.touched.push(v);
+        }
+        *slot += mass;
+    }
+
+    /// Σ|injected residual| currently pending (mass units) — the a-priori
+    /// bound on the score-L1 effect of the pending perturbation.
+    pub fn pending_mass(&self) -> f64 {
+        self.touched
+            .iter()
+            .map(|&v| self.residual[v as usize].abs())
+            .sum()
+    }
+
+    /// Pushes every injected residual with `|r| ≥ threshold` through the
+    /// non-hub nodes of `graph` (hubs and dangling nodes absorb), FIFO
+    /// worklist. Deposits accumulate per node; collect them with
+    /// [`DeltaPush::drain_deposits`].
+    pub fn run(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        alpha: f64,
+        threshold: f64,
+        max_settles: usize,
+    ) -> DeltaOutcome {
+        debug_assert!(self.capacity() >= graph.num_nodes());
+        debug_assert!(threshold > 0.0);
+        for i in 0..self.touched.len() {
+            let v = self.touched[i];
+            if self.residual[v as usize].abs() >= threshold && !self.in_queue[v as usize] {
+                self.in_queue[v as usize] = true;
+                self.queue.push_back(v);
+            }
+        }
+        let mut settles = 0usize;
+        let mut truncated = false;
+        while let Some(x) = self.queue.pop_front() {
+            self.in_queue[x as usize] = false;
+            let r = self.residual[x as usize];
+            if r == 0.0 {
+                continue;
+            }
+            if settles >= max_settles {
+                // Safety valve: leave the rest as residual (it is counted
+                // into the leftover below, so the bound still holds).
+                truncated = true;
+                break;
+            }
+            settles += 1;
+            self.residual[x as usize] = 0.0;
+            self.deposit[x as usize] += alpha * r;
+            if hubs.is_hub(x) {
+                continue; // absorbed (source returns land here too)
+            }
+            let d = graph.out_degree(x);
+            if d == 0 {
+                continue;
+            }
+            let share = r * (1.0 - alpha) / d as f64;
+            for &t in graph.out_neighbors(x) {
+                let slot = &mut self.residual[t as usize];
+                if *slot == 0.0 && self.deposit[t as usize] == 0.0 && !self.in_queue[t as usize] {
+                    self.touched.push(t);
+                }
+                *slot += share;
+                if slot.abs() >= threshold && !self.in_queue[t as usize] {
+                    self.in_queue[t as usize] = true;
+                    self.queue.push_back(t);
+                }
+            }
+        }
+        let leftover = self
+            .touched
+            .iter()
+            .map(|&v| self.residual[v as usize].abs())
+            .sum();
+        DeltaOutcome {
+            leftover,
+            settles,
+            truncated,
+        }
+    }
+
+    /// Emits the accumulated score deltas `(id, α·settled)` sorted by node
+    /// id into `out` (cleared first) and resets the scratch for reuse.
+    pub fn drain_deposits(&mut self, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        self.touched.sort_unstable();
+        for &v in &self.touched {
+            let d = self.deposit[v as usize];
+            self.deposit[v as usize] = 0.0;
+            self.residual[v as usize] = 0.0;
+            self.in_queue[v as usize] = false;
+            if d != 0.0 {
+                out.push((v, d));
+            }
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Discards pending residuals and deposits (the recompute fallback
+    /// path) and resets the scratch for reuse.
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.deposit[v as usize] = 0.0;
+            self.residual[v as usize] = 0.0;
+            self.in_queue[v as usize] = false;
+        }
+        self.touched.clear();
+        self.queue.clear();
     }
 }
 

@@ -1,9 +1,17 @@
-//! Growing-graph series: prefix sampling and induced subgraphs.
+//! Growing-graph series: prefix sampling, induced subgraphs, and edge
+//! event streams.
 //!
 //! The paper's scalability study (Fig. 13) uses DBLP snapshots by year and
 //! LiveJournal samples of increasing edge counts. [`sample_prefix`] produces
 //! the latter: the first `k` edges in creation order induce a graph over the
-//! nodes they touch (node ids compacted).
+//! nodes they touch (node ids compacted). [`synth_events`] /
+//! [`apply_event`] drive the dynamic-update experiments (§7): a seeded
+//! stream of single-edge insert/delete events applied one at a time to an
+//! otherwise fixed node set.
+
+use std::collections::HashSet;
+
+use rand::Rng;
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, NodeId};
@@ -55,6 +63,101 @@ pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>)
     (b.build(), keep)
 }
 
+/// One edge change in a streaming-update workload. The node set is fixed;
+/// only the adjacency evolves. `tail` is the single node whose out-row the
+/// event touches — what an index refresh wants as its changed-tails list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// Source of the inserted or deleted edge.
+    pub tail: NodeId,
+    /// Target of the inserted or deleted edge.
+    pub head: NodeId,
+    /// `true` inserts the edge, `false` deletes it.
+    pub insert: bool,
+}
+
+/// Synthesizes a seeded stream of `count` single-edge events against
+/// `graph`: inserts of fresh non-self edges, mixed with deletes of live
+/// edges at rate `delete_fraction`. The stream is *sequentially
+/// consistent* — each delete targets an edge that exists at that point of
+/// the stream (initial edges or earlier inserts), each insert an edge that
+/// does not — so it can be applied one event at a time with
+/// [`apply_event`]. Dangling-fix self-loops are never deleted directly;
+/// they come and go through the builder's dangling policy.
+pub fn synth_events(
+    graph: &Graph,
+    count: usize,
+    delete_fraction: f64,
+    seed: u64,
+) -> Vec<EdgeEvent> {
+    assert!(graph.num_nodes() >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&delete_fraction));
+    let n = graph.num_nodes() as NodeId;
+    let mut rng = super::rng(seed);
+    // Live real edges; dangling-fix self-loops are bookkeeping, not data.
+    let mut live: Vec<(NodeId, NodeId)> = graph.edges().filter(|&(s, t)| s != t).collect();
+    let mut present: HashSet<(NodeId, NodeId)> = live.iter().copied().collect();
+    let mut events = Vec::with_capacity(count);
+    while events.len() < count {
+        if !live.is_empty() && rng.gen::<f64>() < delete_fraction {
+            let i = rng.gen_range(0..live.len());
+            let (u, v) = live.swap_remove(i);
+            present.remove(&(u, v));
+            events.push(EdgeEvent {
+                tail: u,
+                head: v,
+                insert: false,
+            });
+        } else {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || present.contains(&(u, v)) {
+                continue;
+            }
+            present.insert((u, v));
+            live.push((u, v));
+            events.push(EdgeEvent {
+                tail: u,
+                head: v,
+                insert: true,
+            });
+        }
+    }
+    events
+}
+
+/// Applies one event, returning the updated graph (same node set). The
+/// builder's dangling policy keeps the self-loop invariant: a node gaining
+/// its first real edge sheds its dangling-fix self-loop, a node losing its
+/// last real edge gets one back at build time.
+pub fn apply_event(graph: &Graph, event: &EdgeEvent) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges() + 1);
+    if event.insert {
+        for (s, t) in graph.edges() {
+            if s == t && s == event.tail {
+                continue; // shed the dangling-fix self-loop
+            }
+            b.add_edge(s, t);
+        }
+        b.add_edge(event.tail, event.head);
+    } else {
+        let mut removed = false;
+        for (s, t) in graph.edges() {
+            if !removed && s == event.tail && t == event.head {
+                removed = true;
+                continue;
+            }
+            b.add_edge(s, t);
+        }
+        debug_assert!(
+            removed,
+            "delete of absent edge ({}, {})",
+            event.tail, event.head
+        );
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +204,56 @@ mod tests {
         let (sub, map_back) = induced_subgraph(&g, &[1, 1, 0]);
         assert_eq!(map_back, vec![0, 1]);
         assert_eq!(sub.num_nodes(), 2);
+    }
+
+    #[test]
+    fn event_stream_is_sequentially_consistent() {
+        let g0 = crate::gen::barabasi_albert(60, 2, 9);
+        let events = synth_events(&g0, 120, 0.4, 17);
+        assert_eq!(events.len(), 120);
+        let mut g = g0;
+        for (i, ev) in events.iter().enumerate() {
+            if ev.insert {
+                assert!(!g.has_edge(ev.tail, ev.head), "event {i} inserts a dup");
+                assert_ne!(ev.tail, ev.head, "event {i} inserts a self-loop");
+            } else {
+                assert!(g.has_edge(ev.tail, ev.head), "event {i} deletes a ghost");
+            }
+            g = apply_event(&g, ev);
+            if ev.insert {
+                assert!(g.has_edge(ev.tail, ev.head));
+            } else {
+                assert!(!g.has_edge(ev.tail, ev.head) || ev.tail == ev.head);
+            }
+            assert_eq!(g.num_nodes(), 60, "node set is fixed");
+        }
+    }
+
+    #[test]
+    fn event_stream_is_deterministic() {
+        let g = crate::gen::barabasi_albert(40, 2, 3);
+        assert_eq!(synth_events(&g, 50, 0.3, 5), synth_events(&g, 50, 0.3, 5));
+        assert_ne!(synth_events(&g, 50, 0.3, 5), synth_events(&g, 50, 0.3, 6));
+    }
+
+    #[test]
+    fn dangling_invariant_survives_events() {
+        // Node 2's only real edge is deleted: the builder restores its
+        // dangling-fix self-loop; re-inserting sheds it again.
+        let g = from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        let del = EdgeEvent {
+            tail: 2,
+            head: 0,
+            insert: false,
+        };
+        let g2 = apply_event(&g, &del);
+        assert!(g2.has_edge(2, 2), "dangling node gets its self-loop back");
+        let ins = EdgeEvent {
+            tail: 2,
+            head: 1,
+            insert: true,
+        };
+        let g3 = apply_event(&g2, &ins);
+        assert!(g3.has_edge(2, 1) && !g3.has_edge(2, 2));
     }
 }

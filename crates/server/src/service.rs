@@ -32,7 +32,10 @@ use std::time::{Duration, Instant};
 use arc_swap::ArcSwap;
 use parking_lot::Mutex;
 
-use fastppv_core::dynamic::{refresh_flat_index_snapshot, refresh_index, RefreshStats};
+use fastppv_core::dynamic::{
+    refresh_flat_index_snapshot_delta, refresh_index_delta, same_adjacency, DeltaConfig,
+    RefreshStats,
+};
 use fastppv_core::query::{QueryWorkspace, StoppingCondition};
 use fastppv_core::{Config, FlatIndex, HubSet, MemoryIndex, PpvStore, QueryEngine};
 use fastppv_graph::{Graph, NodeId, SparseVector};
@@ -244,6 +247,11 @@ pub struct CacheStats {
     /// older than the current epoch (a worker raced an update; accepting
     /// the entry would resurrect pre-update scores).
     pub stale_rejects: u64,
+    /// Update batches that changed nothing ([`QueryService::apply_update`]
+    /// found the adjacency unchanged and every refresh a no-op) and were
+    /// therefore *not* published — the epoch stayed put and the warm
+    /// hot-PPV cache survived.
+    pub noop_update_skips: u64,
 }
 
 type CacheKey = (NodeId, u64);
@@ -304,6 +312,10 @@ impl<S: PpvStore> ServingState<S> {
 pub struct QueryService<S: PpvStore + Send + Sync> {
     state: ArcSwap<ServingState<S>>,
     config: Config,
+    // Delta-patch tuning of apply_update. The default is exact
+    // (budget 0): every update keeps the store bit-identical to a dirty-hub
+    // recompute; opt into patching with QueryService::with_delta_config.
+    delta: DeltaConfig,
     options: ServiceOptions,
     cache: Mutex<LruCache<CacheKey, Arc<CachedResult>>>,
     // Mirror of the published snapshot's epoch, readable under the cache
@@ -324,6 +336,7 @@ pub struct QueryService<S: PpvStore + Send + Sync> {
     hits: AtomicU64,
     misses: AtomicU64,
     stale_rejects: AtomicU64,
+    noop_skips: AtomicU64,
 }
 
 /// Shared range check of every serving path ([`QueryService::query`],
@@ -368,6 +381,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                 epoch: 0,
             }),
             config,
+            delta: DeltaConfig::exact(),
             options,
             cache,
             current_epoch: AtomicU64::new(0),
@@ -377,7 +391,23 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale_rejects: AtomicU64::new(0),
+            noop_skips: AtomicU64::new(0),
         }
+    }
+
+    /// Opts [`QueryService::apply_update`] into delta-patched refreshes
+    /// with the given per-hub error budget configuration. The default is
+    /// [`DeltaConfig::exact`] (budget 0): every dirty hub is recomputed
+    /// and served answers carry no update-induced error at all.
+    pub fn with_delta_config(mut self, delta: DeltaConfig) -> Self {
+        delta.validate();
+        self.delta = delta;
+        self
+    }
+
+    /// The delta-patch configuration updates run with.
+    pub fn delta_config(&self) -> &DeltaConfig {
+        &self.delta
     }
 
     /// Pins the current serving snapshot (an `Arc` clone). The caller's
@@ -464,7 +494,25 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().len(),
             stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            noop_update_skips: self.noop_skips.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether an update batch changed nothing: the adjacency is unchanged
+    /// at every claimed tail and the refresh neither recomputed nor
+    /// rewrote any stored PPV (empty delta patches carry no budget spend
+    /// on an unchanged graph). Publishing such a batch would evict the
+    /// entire warm cache for nothing, so `apply_update` skips it.
+    fn update_was_noop(
+        &self,
+        stats: &RefreshStats,
+        old_graph: &Graph,
+        new_graph: &Graph,
+        changed_tails: &[NodeId],
+    ) -> bool {
+        stats.recomputed == 0
+            && stats.delta_patched == stats.delta_noop
+            && same_adjacency(old_graph, new_graph, changed_tails)
     }
 
     /// Drops every cached result, returning how many were evicted, and
@@ -678,17 +726,28 @@ impl QueryService<MemoryIndex> {
     /// `changed_tails` are the source nodes of every inserted or deleted
     /// edge (both endpoints for undirected edits). Concurrent updates
     /// serialize against each other (never against readers).
+    ///
+    /// Dirty hubs are patched by delta propagation when
+    /// [`QueryService::with_delta_config`] enabled a budget (recomputed
+    /// exactly otherwise), and a batch that changed nothing is *not*
+    /// published at all — the epoch stays put and the warm cache survives
+    /// ([`CacheStats::noop_update_skips`]).
     pub fn apply_update(&self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
         let _updates = self.update_lock.lock();
         let old = self.snapshot();
-        let (index, stats) = refresh_index(
+        let (index, stats) = refresh_index_delta(
             &old.store,
             &old.graph,
             &new_graph,
             &old.hubs,
             changed_tails,
             &self.config,
+            &self.delta,
         );
+        if self.update_was_noop(&stats, &old.graph, &new_graph, changed_tails) {
+            self.noop_skips.fetch_add(1, Ordering::Relaxed);
+            return stats;
+        }
         self.publish(ServingState {
             graph: Arc::new(new_graph),
             hubs: Arc::clone(&old.hubs),
@@ -707,17 +766,26 @@ impl QueryService<FlatIndex> {
     /// the next epoch. The clone is the copy-on-write half of the scheme —
     /// readers pinning the old snapshot keep the pre-update arena,
     /// undisturbed, for as long as they hold it.
+    /// Dirty hubs are patched by delta propagation when
+    /// [`QueryService::with_delta_config`] enabled a budget, and no-op
+    /// batches skip the publish (and the cache eviction) entirely, exactly
+    /// as in the [`MemoryIndex`] variant.
     pub fn apply_update(&self, new_graph: Graph, changed_tails: &[NodeId]) -> RefreshStats {
         let _updates = self.update_lock.lock();
         let old = self.snapshot();
-        let (store, stats) = refresh_flat_index_snapshot(
+        let (store, stats) = refresh_flat_index_snapshot_delta(
             &old.store,
             &old.graph,
             &new_graph,
             &old.hubs,
             changed_tails,
             &self.config,
+            &self.delta,
         );
+        if self.update_was_noop(&stats, &old.graph, &new_graph, changed_tails) {
+            self.noop_skips.fetch_add(1, Ordering::Relaxed);
+            return stats;
+        }
         self.publish(ServingState {
             graph: Arc::new(new_graph),
             hubs: Arc::clone(&old.hubs),
@@ -949,6 +1017,56 @@ mod tests {
         // The new result reflects the new graph, not the stale cache: the
         // fresh estimate must put mass on e (now a direct out-neighbor).
         assert!(fresh.scores.get(toy::E) > stale.scores.get(toy::E));
+    }
+
+    #[test]
+    fn noop_update_skips_publish_and_keeps_cache() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        service.query(Request::iterations(toy::A, 4));
+        assert_eq!(service.cache_stats().entries, 1);
+        // Replaying the same graph with no affected hubs changes nothing:
+        // the publish (and the cache eviction) must be skipped.
+        let stats = service.apply_update(toy::graph(), &[]);
+        assert_eq!(stats.dirty(), 0);
+        assert_eq!(service.epoch(), 0, "no-op update must not bump the epoch");
+        assert_eq!(service.cache_stats().entries, 1, "warm cache survives");
+        assert_eq!(service.cache_stats().noop_update_skips, 1);
+        // A genuine update still publishes and evicts.
+        let old = service.graph();
+        let mut b = GraphBuilder::new(8);
+        for (s, t) in old.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(toy::A, toy::E);
+        service.apply_update(b.build(), &[toy::A]);
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(service.cache_stats().entries, 0);
+        assert_eq!(service.cache_stats().noop_update_skips, 1);
+    }
+
+    #[test]
+    fn delta_service_skips_vacuous_batches_with_tails() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        })
+        .with_delta_config(DeltaConfig::default());
+        service.query(Request::iterations(toy::A, 4));
+        // A hub tail is listed, so hubs *are* invalidated — but its row is
+        // unchanged, every patch comes back empty, and nothing publishes.
+        let h = service.hubs().ids()[0];
+        let stats = service.apply_update(toy::graph(), &[h]);
+        assert!(stats.delta_patched > 0);
+        assert_eq!(stats.delta_patched, stats.delta_noop);
+        assert_eq!(stats.recomputed, 0);
+        assert_eq!(service.epoch(), 0);
+        assert_eq!(service.cache_stats().entries, 1);
+        assert_eq!(service.cache_stats().noop_update_skips, 1);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Property-based tests of the delta-propagated index refresh: over random
+//! graphs and random insert/delete event sequences, the patched index must
+//! stay within its *declared* per-hub error budget of an exact rebuild,
+//! budget 0 must be bit-identical to the exact refresher, and the flat
+//! arena must evolve exactly like the memory layout.
+
+use fastppv::core::dynamic::{
+    refresh_flat_index_delta, refresh_index, refresh_index_delta, DeltaConfig,
+};
+use fastppv::core::index::PpvStore;
+use fastppv::core::offline::{build_flat_index, build_index};
+use fastppv::core::{select_hubs, Config, HubPolicy};
+use fastppv::graph::builder::{from_edges, GraphBuilder};
+use fastppv::graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Exact-ish config: no clipping and a deep ε so the rebuild the budget is
+/// checked against is the maintained state itself, not a pruning artifact.
+fn tight_config() -> Config {
+    let mut c = Config::default().with_epsilon(1e-10).with_clip(0.0);
+    c.solve_tolerance = 1e-12;
+    c
+}
+
+fn add_edge(graph: &Graph, u: NodeId, v: NodeId) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_nodes());
+    for (s, t) in graph.edges() {
+        if s == t && s == u {
+            continue; // shed the dangling-fix self-loop
+        }
+        b.add_edge(s, t);
+    }
+    b.add_edge(u, v);
+    b.build()
+}
+
+fn remove_edge(graph: &Graph, u: NodeId, v: NodeId) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_nodes());
+    let mut removed = false;
+    let mut remaining = 0usize;
+    for (s, t) in graph.edges() {
+        if s == u {
+            if !removed && t == v {
+                removed = true;
+                continue;
+            }
+            remaining += 1;
+        }
+        b.add_edge(s, t);
+    }
+    assert!(removed, "edge ({u}, {v}) not present");
+    if remaining == 0 {
+        b.add_edge(u, u); // keep the dangling-fix invariant
+    }
+    b.build()
+}
+
+fn entries_l1(a: &[(NodeId, f64)], b: &[(NodeId, f64)]) -> f64 {
+    let mut d = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].0 < b[j].0 {
+            d += a[i].1.abs();
+            i += 1;
+        } else if b[j].0 < a[i].0 {
+            d += b[j].1.abs();
+            j += 1;
+        } else {
+            d += (a[i].1 - b[j].1).abs();
+            i += 1;
+            j += 1;
+        }
+    }
+    d += a[i..].iter().map(|&(_, s)| s.abs()).sum::<f64>();
+    d += b[j..].iter().map(|&(_, s)| s.abs()).sum::<f64>();
+    d
+}
+
+/// A generated case: node count, initial edge list, proposed edge flips.
+type GraphAndFlips = (usize, Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>);
+
+/// Strategy: a small random directed graph plus a list of proposed edge
+/// flips. Each proposal toggles the named edge: delete it when live,
+/// insert it otherwise (self-loop proposals are dropped — self-loops are
+/// the builder's dangling bookkeeping, not data).
+fn graph_and_flips() -> impl Strategy<Value = GraphAndFlips> {
+    (6usize..16).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as NodeId, 0..n as NodeId), n..4 * n);
+        let flips = prop::collection::vec((0..n as NodeId, 0..n as NodeId), 1..8);
+        (Just(n), edges, flips)
+    })
+}
+
+/// Resolves one proposed flip against the live edge set, or skips it.
+fn apply_flip(graph: &Graph, u: NodeId, v: NodeId) -> Option<Graph> {
+    if u == v {
+        return None;
+    }
+    if graph.has_edge(u, v) {
+        Some(remove_edge(graph, u, v))
+    } else {
+        Some(add_edge(graph, u, v))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline contract: across a random insert/delete sequence,
+    /// every hub of the delta-maintained index stays within its *recorded*
+    /// budget spend — itself capped by the declared budget — of a
+    /// from-scratch rebuild, in both layouts, which also march in lockstep.
+    #[test]
+    fn delta_maintained_index_stays_within_declared_budget(
+        (n, edges, flips) in graph_and_flips()
+    ) {
+        let config = tight_config();
+        let delta = DeltaConfig {
+            budget: 0.05,
+            push_threshold: 1e-13,
+            ..DeltaConfig::default()
+        };
+        let mut graph = from_edges(n, &edges);
+        let hubs = select_hubs(&graph, HubPolicy::ExpectedUtility, (n / 3).max(2), 0);
+        let (mut memory, _) = build_index(&graph, &hubs, &config);
+        let (mut flat, _) = build_flat_index(&graph, &hubs, &config, 1);
+        for &(u, v) in &flips {
+            let Some(next) = apply_flip(&graph, u, v) else { continue };
+            let (patched, stats) = refresh_index_delta(
+                &memory, &graph, &next, &hubs, &[u], &config, &delta,
+            );
+            prop_assert!(stats.budget_watermark <= delta.budget);
+            prop_assert_eq!(
+                stats.delta_patched + stats.recomputed + stats.reused,
+                hubs.len()
+            );
+            let flat_stats = refresh_flat_index_delta(
+                &mut flat, &graph, &next, &hubs, &[u], &config, &delta,
+            );
+            prop_assert_eq!(flat_stats.delta_patched, stats.delta_patched);
+            prop_assert_eq!(flat_stats.recomputed, stats.recomputed);
+            memory = patched;
+            graph = next;
+        }
+        // Certified accuracy: per-hub L1 against a fresh exact rebuild is
+        // bounded by that hub's recorded spend (small float slack).
+        let (rebuilt, _) = build_index(&graph, &hubs, &config);
+        for &h in hubs.ids() {
+            let ours = memory.get(h).expect("maintained hub");
+            let fresh = rebuilt.get(h).expect("rebuilt hub");
+            let l1 = entries_l1(ours.entries.entries(), fresh.entries.entries());
+            prop_assert!(
+                l1 <= memory.budget_spent(h) + 1e-6,
+                "hub {}: L1 {} exceeds recorded spend {}",
+                h, l1, memory.budget_spent(h)
+            );
+            // Both layouts hold the same bits and the same spend.
+            let flat_ppv = flat.load(h).expect("flat hub");
+            prop_assert_eq!(&flat_ppv.entries, &ours.entries);
+            prop_assert_eq!(flat.budget_spent(h), memory.budget_spent(h));
+        }
+    }
+
+    /// Budget 0 must disable the delta path entirely: the refresher's
+    /// output is bit-identical to the exact one, with nothing patched.
+    #[test]
+    fn zero_budget_is_bit_identical_to_exact_refresh(
+        (n, edges, flips) in graph_and_flips()
+    ) {
+        let config = tight_config();
+        let graph = from_edges(n, &edges);
+        let hubs = select_hubs(&graph, HubPolicy::ExpectedUtility, (n / 3).max(2), 0);
+        let (index, _) = build_index(&graph, &hubs, &config);
+        let Some(next) = flips
+            .iter()
+            .find_map(|&(u, v)| apply_flip(&graph, u, v).map(|g| (u, g)))
+        else {
+            return; // every proposal was a self-loop
+        };
+        let (u, next) = next;
+        let (exact, exact_stats) = refresh_index(&index, &graph, &next, &hubs, &[u], &config);
+        let (zero, zero_stats) = refresh_index_delta(
+            &index, &graph, &next, &hubs, &[u], &config, &DeltaConfig::exact(),
+        );
+        prop_assert_eq!(exact_stats.delta_patched, 0);
+        prop_assert_eq!(zero_stats.delta_patched, 0);
+        prop_assert_eq!(zero_stats.recomputed, exact_stats.recomputed);
+        for &h in hubs.ids() {
+            prop_assert_eq!(
+                &zero.get(h).unwrap().entries,
+                &exact.get(h).unwrap().entries
+            );
+            prop_assert_eq!(zero.budget_spent(h), 0.0);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use fastppv::core::dynamic::{refresh_flat_index_snapshot_delta, DeltaConfig};
 use fastppv::core::offline::{build_flat_index, build_index};
 use fastppv::core::query::StoppingCondition;
 use fastppv::core::{select_hubs, Config, FlatIndex, HubPolicy, HubSet, PpvStore, QueryEngine};
@@ -265,6 +266,55 @@ fn hammer_flat_service_copy_on_write_updates() {
             "pinned pre-update snapshot drifted under COW updates"
         );
     }
+}
+
+#[test]
+fn hammer_flat_service_delta_patched_updates() {
+    let config = Config::default().with_epsilon(1e-6);
+    let delta = DeltaConfig::default().with_budget(0.05);
+    let g0 = barabasi_albert(NODES, 3, 74);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, HUBS, 0);
+    let (graphs, tail) = graph_sequence(&hubs, 74);
+    let queries = query_sample(tail);
+    // The delta refresh is deterministic, so the published store chain is
+    // known in advance: epoch i's store is epoch i-1's patched under the
+    // same DeltaConfig the service runs. Ground truth per epoch comes from
+    // an independent engine over exactly those stores — every hammered
+    // answer must land on one of them, bit for bit.
+    let mut stores: Vec<FlatIndex> = vec![build_flat_index(&graphs[0], &hubs, &config, 1).0];
+    for i in 1..graphs.len() {
+        let (next, stats) = refresh_flat_index_snapshot_delta(
+            &stores[i - 1],
+            &graphs[i - 1],
+            &graphs[i],
+            &hubs,
+            &[tail],
+            &config,
+            &delta,
+        );
+        assert!(
+            stats.delta_patched > 0 || stats.recomputed > 0,
+            "the inserted edge must dirty at least one hub"
+        );
+        assert!(stats.budget_watermark <= delta.budget);
+        stores.push(next);
+    }
+    let truth = ground_truth(&stores, &graphs, &hubs, &config, &queries);
+    let service = QueryService::new(
+        Arc::new(graphs[0].clone()),
+        Arc::new(hubs),
+        Arc::new(stores.into_iter().next().unwrap()),
+        config,
+        ServiceOptions {
+            workers: 3,
+            queue_capacity: 16,
+            cache_capacity: 256,
+        },
+    )
+    .with_delta_config(delta);
+    hammer(&service, &graphs, tail, &queries, &truth, |s, g, tails| {
+        s.apply_update(g, tails);
+    });
 }
 
 /// L1 distance between a wire entry list and a sparse vector.
