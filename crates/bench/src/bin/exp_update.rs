@@ -134,12 +134,42 @@ fn main() {
     let build_started = Instant::now();
     let (memory, stats) = build_index_parallel(&graph, &hubs, &config, args.threads);
     let flat = FlatIndex::from_memory(&memory, &hubs);
-    drop(memory);
     println!(
         "built |H| = {} ({} entries) in {:.2?}",
         stats.hubs,
         stats.total_entries,
         build_started.elapsed()
+    );
+
+    // Open-path timing: the single-file arena (mmap, zero-copy) against
+    // the record-format deserialize path, over the same index.
+    let tmp = std::env::temp_dir();
+    let arena_path = tmp.join(format!("fastppv-exp-update-{}.fppv3", std::process::id()));
+    let record_path = tmp.join(format!("fastppv-exp-update-{}.fppv", std::process::id()));
+    flat.write_to_file(&arena_path).expect("write arena file");
+    memory
+        .write_to_file(&record_path)
+        .expect("write record file");
+    drop(memory);
+    let started = Instant::now();
+    let opened = FlatIndex::open(&arena_path).expect("open arena");
+    let open = started.elapsed();
+    let started = Instant::now();
+    let disk = fastppv_core::DiskIndex::open(&record_path, 4096).expect("open record file");
+    let deserialized = FlatIndex::from_store(graph.num_nodes(), &disk, &disk.hub_ids(), &hubs);
+    let open_deserialize = started.elapsed();
+    drop(disk);
+    drop(deserialized);
+    // The mmap-opened arena must answer bit-identically to the built one.
+    for &h in hubs.ids().iter().step_by((hubs.len() / 64).max(1)) {
+        assert_eq!(opened.load(h), flat.load(h), "hub {h} differs after open");
+    }
+    drop(opened);
+    std::fs::remove_file(&arena_path).ok();
+    std::fs::remove_file(&record_path).ok();
+    println!(
+        "open: arena {open:.2?} vs deserialize {open_deserialize:.2?} ({:.1}x)",
+        open_deserialize.as_secs_f64() / open.as_secs_f64().max(1e-9)
     );
 
     let options = ServiceOptions {
@@ -180,6 +210,7 @@ fn main() {
     let mut clone_wall = Duration::ZERO;
     let (mut dirty_hubs, mut delta_patched, mut delta_noop) = (0usize, 0usize, 0usize);
     let (mut recomputed, mut reused) = (0usize, 0usize);
+    let (mut cloned_bytes, mut cloned_bytes_max_event) = (0u64, 0u64);
     let mut budget_watermark = 0.0f64;
     let mut cur = delta_service.graph();
     for ev in &events {
@@ -193,6 +224,8 @@ fn main() {
         delta_noop += stats.delta_noop;
         recomputed += stats.recomputed;
         reused += stats.reused;
+        cloned_bytes += stats.cloned_bytes;
+        cloned_bytes_max_event = cloned_bytes_max_event.max(stats.cloned_bytes);
         budget_watermark = budget_watermark.max(stats.budget_watermark);
         cur = delta_service.graph();
     }
@@ -281,6 +314,13 @@ fn main() {
         reused,
         budget_watermark,
         clone_wall,
+        cloned_bytes,
+        cloned_bytes_max_event,
+        arena_bytes: streamed.arena_bytes(),
+        resident_bytes: streamed.resident_bytes(),
+        mapped_bytes: streamed.mapped_bytes(),
+        open,
+        open_deserialize,
         noop_update_skips: delta_service.cache_stats().noop_update_skips,
         serve_quiet,
         serve_updating,
@@ -319,6 +359,16 @@ fn main() {
         report.serve_quiet.queries,
         report.serve_updating.p99,
         report.serve_updating.queries,
+    );
+    println!(
+        "publish: clone wall {:.2?}, {} bytes copied total (max {} per event) \
+         of a {} byte arena; final store {} bytes resident, {} mapped",
+        report.clone_wall,
+        report.cloned_bytes,
+        report.cloned_bytes_max_event,
+        report.arena_bytes,
+        report.resident_bytes,
+        report.mapped_bytes,
     );
 
     std::fs::write(&extra.out_path, report.to_json()).expect("write BENCH json");

@@ -53,8 +53,29 @@ pub struct UpdateReport {
     /// the certified error bound of every served answer; ≤ `budget` by
     /// construction.
     pub budget_watermark: f64,
-    /// Summed snapshot deep-clone time inside `delta_wall`.
+    /// Summed snapshot-clone time inside `delta_wall` (a shallow
+    /// chunk-sharing clone since the arena went copy-on-write).
     pub clone_wall: Duration,
+    /// Σ bytes actually copied by publishes across the stream (compaction
+    /// only under chunked COW; appends and tombstones copy nothing).
+    pub cloned_bytes: u64,
+    /// Max bytes copied by any single event's publish; CI asserts
+    /// `cloned_bytes_max_event <= arena_bytes` (one event never costs a
+    /// whole-arena deep clone again).
+    pub cloned_bytes_max_event: u64,
+    /// Final arena size (chunk data + directory) after the stream.
+    pub arena_bytes: usize,
+    /// Heap-resident bytes of the final arena (< `arena_bytes` when chunks
+    /// still borrow from an mmap'd file).
+    pub resident_bytes: usize,
+    /// File-mapped bytes of the final arena.
+    pub mapped_bytes: usize,
+    /// Wall-clock of `FlatIndex::open` on the single-file arena format.
+    pub open: Duration,
+    /// Wall-clock of the deserialize path (record file → `DiskIndex` →
+    /// `FlatIndex::from_store`) over the same index; `open_deserialize_ms /
+    /// open_ms` is the ≥ 10× open-speed criterion.
+    pub open_deserialize: Duration,
     /// Batches that skipped the publish (expected 0: every synthesized
     /// event changes the adjacency).
     pub noop_update_skips: u64,
@@ -141,6 +162,19 @@ impl UpdateReport {
             "  \"clone_wall_ms\": {:.3},\n",
             ms(self.clone_wall)
         ));
+        out.push_str(&format!("  \"cloned_bytes\": {},\n", self.cloned_bytes));
+        out.push_str(&format!(
+            "  \"cloned_bytes_max_event\": {},\n",
+            self.cloned_bytes_max_event
+        ));
+        out.push_str(&format!("  \"arena_bytes\": {},\n", self.arena_bytes));
+        out.push_str(&format!("  \"resident_bytes\": {},\n", self.resident_bytes));
+        out.push_str(&format!("  \"mapped_bytes\": {},\n", self.mapped_bytes));
+        out.push_str(&format!("  \"open_ms\": {:.3},\n", ms(self.open)));
+        out.push_str(&format!(
+            "  \"open_deserialize_ms\": {:.3},\n",
+            ms(self.open_deserialize)
+        ));
         out.push_str(&format!(
             "  \"noop_update_skips\": {},\n",
             self.noop_update_skips
@@ -220,6 +254,13 @@ mod tests {
             reused: 7680,
             budget_watermark: 0.004,
             clone_wall: Duration::from_millis(40),
+            cloned_bytes: 65536,
+            cloned_bytes_max_event: 4096,
+            arena_bytes: 1 << 20,
+            resident_bytes: 1 << 18,
+            mapped_bytes: 3 << 18,
+            open: Duration::from_millis(2),
+            open_deserialize: Duration::from_millis(120),
             noop_update_skips: 0,
             serve_quiet: LatencySummary {
                 queries: 400,
@@ -268,6 +309,13 @@ mod tests {
             "\"reused\"",
             "\"budget_watermark\"",
             "\"clone_wall_ms\"",
+            "\"cloned_bytes\"",
+            "\"cloned_bytes_max_event\"",
+            "\"arena_bytes\"",
+            "\"resident_bytes\"",
+            "\"mapped_bytes\"",
+            "\"open_ms\"",
+            "\"open_deserialize_ms\"",
             "\"noop_update_skips\"",
             "\"serve_quiet_p99_us\"",
             "\"serve_updating_p99_us\"",

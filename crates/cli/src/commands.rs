@@ -150,13 +150,19 @@ pub fn pagerank_cmd(argv: &[String]) -> CmdResult {
 pub fn build(argv: &[String]) -> CmdResult {
     let usage = "fastppv build --graph edges.txt [--undirected] --out index.fppv\n\
                  (--hubs N | --auto-target SUBGRAPH_NODES)\n\
+                 [--arena-out arena.fppv3]\n\
                  [--policy eu|pagerank|outdeg|indeg|random] [--alpha A]\n\
-                 [--epsilon E] [--delta D] [--clip C] [--threads T] [--seed S]";
+                 [--epsilon E] [--delta D] [--clip C] [--threads T] [--seed S]\n\
+                 \n\
+                 --arena-out additionally writes the single-file arena\n\
+                 format, which `query`/`serve`/`update` open zero-copy\n\
+                 (mmap) instead of deserializing.";
     let args = Args::parse(
         argv,
         &with_config_flags(&[
             "graph",
             "out",
+            "arena-out",
             "hubs",
             "auto-target",
             "policy",
@@ -219,6 +225,15 @@ pub fn build(argv: &[String]) -> CmdResult {
         stats.avg_subgraph_nodes,
         stats.avg_border_hubs
     );
+    if let Some(arena_out) = args.get::<String>("arena-out")? {
+        let flat = FlatIndex::from_memory(&index, &hubs);
+        flat.write_to_file(&arena_out).map_err(|e| e.to_string())?;
+        println!(
+            "wrote arena {}: {:.2} MB single-file layout (opens zero-copy)",
+            arena_out,
+            flat.file_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
     Ok(())
 }
 
@@ -228,6 +243,43 @@ fn open_index_and_hubs(args: &Args, graph: &Graph) -> Result<(DiskIndex, HubSet)
     let index = DiskIndex::open(&path, cache).map_err(|e| format!("{path}: {e}"))?;
     let hubs = HubSet::from_ids(graph.num_nodes(), index.hub_ids());
     Ok((index, hubs))
+}
+
+/// Whether `path` starts with the single-file arena magic (`FPPVIDX3`).
+/// Used to pick the opener: arena files load zero-copy via
+/// [`FlatIndex::open`], everything else goes through the record-format
+/// openers (which produce their own magic errors on mismatch).
+fn is_arena_file(path: &str) -> Result<bool, String> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut magic = [0u8; 8];
+    let n = f.read(&mut magic).map_err(|e| format!("{path}: {e}"))?;
+    Ok(n == 8 && &magic == b"FPPVIDX3")
+}
+
+/// Opens `--index` as a serving [`FlatIndex`]: zero-copy (mmap) when the
+/// file is the single-file arena format, otherwise deserialized from the
+/// plain record format through [`FlatIndex::from_store`].
+fn open_flat_store(args: &Args, graph: &Graph) -> Result<(FlatIndex, HubSet), CliError> {
+    let path: String = args.require("index")?;
+    if is_arena_file(&path)? {
+        let flat = FlatIndex::open(&path).map_err(|e| format!("{path}: {e}"))?;
+        if flat.capacity() != graph.num_nodes() {
+            return Err(format!(
+                "{path}: arena built for {} nodes but the graph has {}; \
+                 rebuild the arena against this graph",
+                flat.capacity(),
+                graph.num_nodes()
+            )
+            .into());
+        }
+        let hubs = HubSet::from_ids(graph.num_nodes(), flat.hub_ids().to_vec());
+        Ok((flat, hubs))
+    } else {
+        let (index, hubs) = open_index_and_hubs(args, graph)?;
+        let flat = FlatIndex::from_store(graph.num_nodes(), &index, &index.hub_ids(), &hubs);
+        Ok((flat, hubs))
+    }
 }
 
 /// The serving store layout: the flat structure-of-arrays arena (default —
@@ -241,13 +293,22 @@ enum StoreChoice {
 
 fn open_store(args: &Args, graph: &Graph) -> Result<(StoreChoice, HubSet), CliError> {
     let kind: String = args.get_or("store", "flat".to_string())?;
-    let (index, hubs) = open_index_and_hubs(args, graph)?;
     match kind.as_str() {
         "flat" => {
-            let flat = FlatIndex::from_store(graph.num_nodes(), &index, &index.hub_ids(), &hubs);
+            let (flat, hubs) = open_flat_store(args, graph)?;
             Ok((StoreChoice::Flat(flat), hubs))
         }
-        "disk" => Ok((StoreChoice::Disk(index), hubs)),
+        "disk" => {
+            let path: String = args.require("index")?;
+            if is_arena_file(&path)? {
+                return Err(CliError::Usage(format!(
+                    "{path} is a single-file arena; serve it with --store flat \
+                     (the arena is mmap'd, not pulled into RAM)"
+                )));
+            }
+            let (index, hubs) = open_index_and_hubs(args, graph)?;
+            Ok((StoreChoice::Disk(index), hubs))
+        }
         other => Err(CliError::Usage(format!(
             "--store must be flat or disk, got `{other}`"
         ))),
@@ -488,14 +549,19 @@ fn serve_net<S: PpvStore + Send + Sync + 'static>(
     num_nodes: usize,
     options: ServiceOptions,
 ) -> CmdResult {
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    let store = service.store();
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let server = fastppv_server::net::serve(service, listener).map_err(|e| e.to_string())?;
     eprintln!(
-        "listening on {} ({num_nodes} nodes, {} workers, queue {}, hot cache {})",
+        "listening on {} ({num_nodes} nodes, {} workers, queue {}, hot cache {}; \
+         index {:.2} MB resident, {:.2} MB mapped)",
         server.local_addr(),
         options.workers,
         options.queue_capacity,
-        options.cache_capacity
+        options.cache_capacity,
+        mb(store.resident_bytes()),
+        mb(store.mapped_bytes())
     );
     server.wait();
     Ok(())
@@ -510,10 +576,15 @@ fn serve_loop<S: PpvStore + Send + Sync>(
     top: usize,
     batch: usize,
 ) -> CmdResult {
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
     eprintln!(
-        "serving {num_nodes} nodes with {} workers (queue {}, hot cache {}); \
-         reading queries from stdin",
-        options.workers, options.queue_capacity, options.cache_capacity
+        "serving {num_nodes} nodes with {} workers (queue {}, hot cache {}; \
+         index {:.2} MB resident, {:.2} MB mapped); reading queries from stdin",
+        options.workers,
+        options.queue_capacity,
+        options.cache_capacity,
+        mb(service.store().resident_bytes()),
+        mb(service.store().mapped_bytes())
     );
 
     let stdin = std::io::stdin();
@@ -614,7 +685,8 @@ fn serve_loop<S: PpvStore + Send + Sync>(
          p50 {:.2?}, p99 {:.2?}; \
          hub sources {} (p50 {:.2?}, p99 {:.2?}), \
          non-hub sources {} (p50 {:.2?}, p99 {:.2?}); \
-         cache hits {} / misses {}",
+         cache hits {} / misses {}; \
+         index {:.2} MB resident, {:.2} MB mapped",
         served as f64 / elapsed.as_secs_f64().max(1e-9),
         overall_p50,
         overall_p99,
@@ -625,7 +697,9 @@ fn serve_loop<S: PpvStore + Send + Sync>(
         nonhub.p50,
         nonhub.p99,
         stats.hits,
-        stats.misses
+        stats.misses,
+        mb(service.store().resident_bytes()),
+        mb(service.store().mapped_bytes())
     );
     Ok(())
 }
@@ -715,9 +789,7 @@ pub fn update(argv: &[String]) -> CmdResult {
             .into());
     }
     let config = config_from_args(&args)?;
-    let (index, hubs) = open_index_and_hubs(&args, &graph)?;
-    let flat = FlatIndex::from_store(graph.num_nodes(), &index, &index.hub_ids(), &hubs);
-    drop(index);
+    let (flat, hubs) = open_flat_store(&args, &graph)?;
     let delta = if budget > 0.0 {
         DeltaConfig::default().with_budget(budget)
     } else {
@@ -789,6 +861,25 @@ pub fn stats(argv: &[String]) -> CmdResult {
     let usage = "fastppv stats --index index.fppv";
     let args = Args::parse(argv, &["index"], &[], usage)?;
     let path: String = args.require("index")?;
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    if is_arena_file(&path)? {
+        let flat = FlatIndex::open(&path).map_err(|e| format!("{path}: {e}"))?;
+        let ids = flat.hub_ids();
+        println!("index {path} (single-file arena):");
+        println!("  hubs:          {}", flat.hub_count());
+        println!("  total entries: {}", flat.total_entries());
+        println!("  file size:     {:.2} MB", mb(flat.file_bytes()));
+        println!("  resident:      {:.2} MB", mb(flat.resident_bytes()));
+        println!("  mapped:        {:.2} MB", mb(flat.mapped_bytes()));
+        println!(
+            "  entries/hub:   {:.1}",
+            flat.total_entries() as f64 / flat.hub_count().max(1) as f64
+        );
+        if let (Some(first), Some(last)) = (ids.first(), ids.last()) {
+            println!("  hub id range:  {first}..={last}");
+        }
+        return Ok(());
+    }
     let index = DiskIndex::open(&path, 1).map_err(|e| format!("{path}: {e}"))?;
     let ids = index.hub_ids();
     println!("index {path}:");

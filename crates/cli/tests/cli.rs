@@ -545,3 +545,121 @@ fn update_streams_events_delta_and_exact() {
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn arena_pipeline_build_query_stats() {
+    let graph = temp("arena.txt");
+    let index = temp("arena.fppv");
+    let arena = temp("arena.fppv3");
+
+    let out = bin()
+        .args([
+            "generate", "--kind", "ba", "--nodes", "400", "--seed", "7", "--out",
+        ])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Build writes both the record format and the single-file arena.
+    let out = bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--hubs", "40", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .args(["--arena-out"])
+        .arg(&arena)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote arena"), "{text}");
+
+    // The arena-opened query must answer exactly like the record-format
+    // deserialize path.
+    let query_with = |idx: &PathBuf| {
+        let out = bin()
+            .args(["query", "--graph"])
+            .arg(&graph)
+            .args(["--undirected", "--index"])
+            .arg(idx)
+            .args(["--node", "11", "--eta", "3", "--top", "5"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let from_record = query_with(&index);
+    let from_arena = query_with(&arena);
+    // The header line carries wall-clock timing; the ranked top-k lines
+    // are deterministic and must match exactly (scores to 6 decimals).
+    let ranks = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("score"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert!(from_arena.contains("query 11"));
+    assert_eq!(ranks(&from_record), ranks(&from_arena));
+    assert_eq!(ranks(&from_arena).len(), 5);
+
+    // stats recognizes the arena format and reports memory accounting.
+    let out = bin()
+        .args(["stats", "--index"])
+        .arg(&arena)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("single-file arena"), "{text}");
+    assert!(text.contains("hubs:          40"), "{text}");
+    assert!(text.contains("resident:"), "{text}");
+    assert!(text.contains("mapped:"), "{text}");
+
+    // --store disk on an arena file is a usage error (exit 2).
+    let out = bin()
+        .args(["query", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--index"])
+        .arg(&arena)
+        .args(["--node", "11", "--store", "disk"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // update accepts the arena directly (zero-copy open, then COW patch).
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--undirected", "--index"])
+        .arg(&arena)
+        .args([
+            "--events",
+            "4",
+            "--budget",
+            "0.01",
+            "--seed",
+            "3",
+            "--epsilon",
+            "1e-6",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+    std::fs::remove_file(&arena).ok();
+}

@@ -13,13 +13,19 @@
 //!   with < 0.03% relative error — far below the approximation error
 //!   budget.
 //!
-//! Layout:
+//! Layout (format version 1):
 //!
 //! ```text
-//! magic "FPPVIDX2" | u8 quantization | u8×3 reserved | u64 num_hubs
+//! magic "FPPVIDX2" | u8 quantization | u8 version | u8×2 reserved | u64 num_hubs
 //! directory: num_hubs × { u32 hub_id, u64 offset, u32 byte_len, u32 count }
+//! spend:     num_hubs × f64 budget_spent   (directory order)
 //! blobs: per hub { varint-delta ids ..., scores ... }
 //! ```
+//!
+//! Version 1 added the per-hub budget-spend section (the error budget each
+//! hub's stored PPV has consumed under delta maintenance); version-0 files
+//! are rejected with a rebuild hint rather than silently read with spends
+//! of zero.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -34,8 +40,10 @@ use fastppv_graph::{NodeId, SparseVector};
 use crate::index::{MemoryIndex, PpvStore, PrimePpv};
 
 const MAGIC: &[u8; 8] = b"FPPVIDX2";
+const CODEC_VERSION: u8 = 1;
 const HEADER_LEN: usize = 8 + 4 + 8;
 const DIR_RECORD_LEN: usize = 4 + 8 + 4 + 4;
+const SPEND_LEN: usize = 8;
 
 /// How scores are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -193,15 +201,18 @@ pub fn write_compressed<P: AsRef<Path>>(
         .collect();
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
-    w.write_all(&[quant.tag(), 0, 0, 0])?;
+    w.write_all(&[quant.tag(), CODEC_VERSION, 0, 0])?;
     w.write_all(&(hubs.len() as u64).to_le_bytes())?;
-    let mut offset = (HEADER_LEN + hubs.len() * DIR_RECORD_LEN) as u64;
+    let mut offset = (HEADER_LEN + hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
     for (h, count, blob) in &blobs {
         w.write_all(&h.to_le_bytes())?;
         w.write_all(&offset.to_le_bytes())?;
         w.write_all(&(blob.len() as u32).to_le_bytes())?;
         w.write_all(&count.to_le_bytes())?;
         offset += blob.len() as u64;
+    }
+    for &h in &hubs {
+        w.write_all(&index.budget_spent(h).to_le_bytes())?;
     }
     for (_, _, blob) in &blobs {
         w.write_all(blob)?;
@@ -215,6 +226,7 @@ pub fn write_compressed<P: AsRef<Path>>(
 pub struct CompressedDiskIndex {
     file: Mutex<File>,
     directory: HashMap<NodeId, (u64, u32, u32)>,
+    spent: HashMap<NodeId, f64>,
     total_entries: usize,
     quant: ScoreQuantization,
     cache: Mutex<HashMap<NodeId, Arc<PrimePpv>>>,
@@ -234,19 +246,34 @@ impl CompressedDiskIndex {
             ));
         }
         let quant = ScoreQuantization::from_tag(header[8])?;
+        let version = header[9];
+        if version != CODEC_VERSION {
+            let hint = if version == 0 {
+                " (version 0 predates the budget-spend section; rebuild the index)"
+            } else {
+                ""
+            };
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported compressed index version {version} (expected {CODEC_VERSION}){hint}"),
+            ));
+        }
         let num_hubs = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
         let file_len = file.metadata()?.len();
-        let dir_bytes_len = (num_hubs as u64)
-            .checked_mul(DIR_RECORD_LEN as u64)
+        (num_hubs as u64)
+            .checked_mul((DIR_RECORD_LEN + SPEND_LEN) as u64)
             .filter(|&d| HEADER_LEN as u64 + d <= file_len)
             .ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidData, "directory exceeds file size")
             })?;
-        let mut dir = vec![0u8; dir_bytes_len as usize];
+        let mut dir = vec![0u8; num_hubs * DIR_RECORD_LEN];
         file.read_exact(&mut dir)?;
+        let mut spend_bytes = vec![0u8; num_hubs * SPEND_LEN];
+        file.read_exact(&mut spend_bytes)?;
         let mut directory = HashMap::with_capacity(num_hubs);
+        let mut spent = HashMap::with_capacity(num_hubs);
         let mut total_entries = 0usize;
-        for rec in dir.chunks_exact(DIR_RECORD_LEN) {
+        for (i, rec) in dir.chunks_exact(DIR_RECORD_LEN).enumerate() {
             let hub = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
             let offset = u64::from_le_bytes(rec[4..12].try_into().unwrap());
             let byte_len = u32::from_le_bytes(rec[12..16].try_into().unwrap());
@@ -261,11 +288,18 @@ impl CompressedDiskIndex {
                 ));
             }
             directory.insert(hub, (offset, byte_len, count));
+            let spend = f64::from_le_bytes(
+                spend_bytes[i * SPEND_LEN..(i + 1) * SPEND_LEN]
+                    .try_into()
+                    .unwrap(),
+            );
+            spent.insert(hub, spend);
             total_entries += count as usize;
         }
         Ok(CompressedDiskIndex {
             file: Mutex::new(file),
             directory,
+            spent,
             total_entries,
             quant,
             cache: Mutex::new(HashMap::new()),
@@ -283,6 +317,12 @@ impl CompressedDiskIndex {
         let mut ids: Vec<NodeId> = self.directory.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Error budget already consumed by `hub`'s stored PPV (0.0 if `hub` is
+    /// not indexed). Round-tripped through the file's spend section.
+    pub fn budget_spent(&self, hub: NodeId) -> f64 {
+        self.spent.get(&hub).copied().unwrap_or(0.0)
     }
 }
 
@@ -332,7 +372,13 @@ impl PpvStore for CompressedDiskIndex {
 
     fn storage_bytes(&self) -> usize {
         let blob_bytes: u64 = self.directory.values().map(|&(_, len, _)| len as u64).sum();
-        HEADER_LEN + self.directory.len() * DIR_RECORD_LEN + blob_bytes as usize
+        HEADER_LEN + self.directory.len() * (DIR_RECORD_LEN + SPEND_LEN) + blob_bytes as usize
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // Blobs stay on disk (modulo the decode cache); only the directory
+        // and spend table are held in memory.
+        self.directory.len() * (4 + 8 + 4 + 4 + SPEND_LEN)
     }
 }
 
@@ -460,6 +506,38 @@ mod tests {
         for p in [plain, f32c, u16c] {
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn compressed_round_trips_budget_spend() {
+        let mut idx = sample_index();
+        idx.set_budget_spent(3, 0.0075);
+        idx.set_budget_spent(9999, 2.5e-4);
+        let path = temp_path("spend.idx2");
+        write_compressed(&idx, &path, ScoreQuantization::F32).unwrap();
+        let c = CompressedDiskIndex::open(&path, 8).unwrap();
+        assert_eq!(c.budget_spent(3).to_bits(), 0.0075f64.to_bits());
+        assert_eq!(c.budget_spent(500), 0.0);
+        assert_eq!(c.budget_spent(9999).to_bits(), 2.5e-4f64.to_bits());
+        assert_eq!(c.budget_spent(42), 0.0, "unindexed hub spends nothing");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_version_0_with_hint() {
+        let idx = sample_index();
+        let path = temp_path("v0.idx2");
+        write_compressed(&idx, &path, ScoreQuantization::F32).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] = 0; // version byte
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match CompressedDiskIndex::open(&path, 1) {
+            Ok(_) => panic!("version-0 file must be rejected"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("rebuild"), "got: {msg}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -275,13 +275,25 @@ pub struct RefreshStats {
     /// ≤ [`DeltaConfig::budget`] by construction (exceeding it forces a
     /// recompute, which resets the hub's spend to zero).
     pub budget_watermark: f64,
-    /// Deep-copy time of the snapshot entry points (zero for in-place
-    /// refreshes). Included in `elapsed`; reported separately because on
-    /// large arenas the clone dominates and would otherwise silently
-    /// flatter the per-refresh cost.
+    /// Snapshot-clone time (zero for in-place refreshes). The clone is
+    /// shallow — chunks are `Arc`-shared and only the per-hub directory is
+    /// copied — so this is microseconds even on arenas where the old deep
+    /// copy took tens of seconds. Included in `elapsed`; reported
+    /// separately so a regression back to deep copying is visible.
     pub clone_elapsed: Duration,
     /// Wall-clock time of the whole refresh, clone included.
     pub elapsed: Duration,
+    /// Chunk bytes deep-copied during this refresh (compaction rewrites;
+    /// tombstone patches and shallow clones contribute zero). Only the
+    /// flat-arena refresh paths fill this; [`MemoryIndex`]-based refreshes
+    /// leave it 0.
+    pub cloned_bytes: u64,
+    /// [`FlatIndex::resident_bytes`] of the refreshed arena (0 for
+    /// [`MemoryIndex`]-based refreshes).
+    pub resident_bytes: usize,
+    /// [`FlatIndex::mapped_bytes`] of the refreshed arena (0 for
+    /// [`MemoryIndex`]-based refreshes).
+    pub mapped_bytes: usize,
 }
 
 impl RefreshStats {
@@ -683,6 +695,7 @@ pub fn refresh_flat_index_delta(
         new_graph.num_nodes()
     );
     let start = Instant::now();
+    let cloned_before = index.bytes_cloned();
     let n = new_graph.num_nodes();
     let tails = dedup_tails(changed_tails);
     let mut reverse = ReverseScratch::new(n.max(old_graph.num_nodes()));
@@ -736,6 +749,9 @@ pub fn refresh_flat_index_delta(
         }
     }
     stats.budget_watermark = index.budget_watermark();
+    stats.cloned_bytes = index.bytes_cloned() - cloned_before;
+    stats.resident_bytes = index.resident_bytes();
+    stats.mapped_bytes = index.mapped_bytes();
     stats.elapsed = start.elapsed();
     stats
 }
@@ -746,11 +762,14 @@ pub fn refresh_flat_index_delta(
 /// an `Arc` swap cell) keep seeing it undisturbed while the clone is
 /// patched and published as the next epoch's store.
 ///
-/// The clone is always a deep copy: under concurrent serving somebody is
-/// holding the old arena by definition, so there is no in-place fast path
-/// worth special-casing. Its cost is included in
-/// [`RefreshStats::elapsed`] and broken out in
-/// [`RefreshStats::clone_elapsed`].
+/// The clone is *shallow*: the arena chunks are `Arc`-shared with the old
+/// snapshot and only the per-hub directory is copied, so publishing costs
+/// microseconds regardless of arena size. Patches seal shared chunks and
+/// append to fresh ones (copy-on-write at chunk granularity) — readers
+/// pinning the old arena keep seeing every byte of it undisturbed. Clone
+/// cost is included in [`RefreshStats::elapsed`] and broken out in
+/// [`RefreshStats::clone_elapsed`]; bulk bytes copied by compactions show
+/// up in [`RefreshStats::cloned_bytes`].
 pub fn refresh_flat_index_snapshot(
     old: &FlatIndex,
     old_graph: &Graph,

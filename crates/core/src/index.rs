@@ -20,17 +20,46 @@
 //! from their read cache. Code that genuinely needs an owned copy calls
 //! [`PpvStore::load`].
 //!
-//! The on-disk format (`FPPVIDX1`) is a hand-rolled little-endian layout:
+//! Two hand-rolled little-endian on-disk formats:
+//!
+//! `FPPVIDX1` version 2 — the record-oriented format of [`MemoryIndex`] /
+//! [`DiskIndex`]:
 //!
 //! ```text
-//! magic "FPPVIDX1" | u32 version | u32 flags | u64 num_hubs
+//! magic "FPPVIDX1" | u32 version=2 | u32 flags | u64 num_hubs
 //! directory: num_hubs × { u32 hub_id, u64 offset, u32 num_entries }
+//! spend:     num_hubs × f64 budget_spent   (directory order)
 //! data:      per hub { num_entries × (u32 node, f32 score) }
 //! ```
 //!
 //! Scores are stored as `f32`: entries are clipped at 1e-4 anyway (§6), so
 //! the ~1e-7 relative quantization error is far below the approximation
 //! error budget.
+//!
+//! `FPPVIDX3` — the arena file of [`FlatIndex`]: its body *is* the flat
+//! structure-of-arrays arena, section-aligned so [`FlatIndex::open`] can
+//! borrow it zero-copy from an `mmap` (see the private `mapfile` module):
+//!
+//! ```text
+//! magic "FPPVIDX3" | u32 version=3 | u32 flags
+//! u64 × { num_nodes, num_hubs, num_entries, num_border,
+//!         dir_off, spend_off, ids_off, scores_off,
+//!         border_ids_off, border_pos_off, file_len }          (104-byte header)
+//! directory:  num_hubs × { u32 hub_id, u32 len, u32 border_len, u32 0,
+//!                          u64 entry_start, u64 border_start }
+//! spend:      num_hubs × f64 budget_spent                     (directory order)
+//! ids:        num_entries × u32, zero-padded to 8 bytes
+//! scores:     num_entries × f64
+//! border_ids: num_border × u32, zero-padded to 8 bytes
+//! border_pos: num_border × u32, zero-padded to 8 bytes
+//! ```
+//!
+//! Every section starts 8-byte aligned and hubs are laid out ascending with
+//! tightly packed `entry_start`/`border_start`, so an opened arena carves
+//! the sections into borrowed [`FlatIndex`] chunks without any decode pass.
+//! [`FlatIndex::open`] fails closed ([`OpenError`]): every header and
+//! directory field is validated with checked arithmetic before any slice of
+//! the backing is formed.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -44,6 +73,7 @@ use parking_lot::Mutex;
 use fastppv_graph::{NodeId, SparseVector};
 
 use crate::hubs::HubSet;
+use crate::mapfile::Backing;
 
 /// A stored prime PPV: the trivial-tour-excluded reachabilities `r̊⁰_v`
 /// (see [`crate::prime`] for why the empty tour is excluded).
@@ -222,7 +252,23 @@ pub trait PpvStore {
 
     /// Index size in bytes (on-disk layout equivalent).
     fn storage_bytes(&self) -> usize {
-        HEADER_LEN + self.hub_count() * DIR_RECORD_LEN + self.total_entries() * ENTRY_LEN
+        HEADER_LEN
+            + self.hub_count() * (DIR_RECORD_LEN + SPEND_LEN)
+            + self.total_entries() * ENTRY_LEN
+    }
+
+    /// Bytes this store keeps resident in process memory. The default —
+    /// the serialized size — is right for fully in-memory stores;
+    /// file-backed stores override it with their actual heap footprint.
+    fn resident_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+
+    /// Bytes this store serves through a memory-mapped file (0 for
+    /// heap-only stores). Mapped bytes are page-cache resident at the
+    /// kernel's discretion, not process heap.
+    fn mapped_bytes(&self) -> usize {
+        0
     }
 }
 
@@ -242,35 +288,54 @@ impl<S: PpvStore> PpvStore for &S {
     fn border_sublist(&self, hub: NodeId) -> Option<(&[NodeId], &[u32])> {
         (**self).border_sublist(hub)
     }
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
+    }
+    fn mapped_bytes(&self) -> usize {
+        (**self).mapped_bytes()
+    }
 }
 
 const MAGIC: &[u8; 8] = b"FPPVIDX1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 const DIR_RECORD_LEN: usize = 4 + 8 + 4;
+const SPEND_LEN: usize = 8;
 const ENTRY_LEN: usize = 8;
 
-/// Writes the `FPPVIDX1` layout given sorted hub ids and a per-hub entry
-/// lookup. Shared by [`MemoryIndex::write_to_file`] and
-/// [`FlatIndex::write_to_file`] so both serialize byte-identically.
-fn write_index_file<'a, P, F>(path: P, sorted_hubs: &[NodeId], mut entries_of: F) -> io::Result<()>
+/// Writes the `FPPVIDX1` (version 2) layout given sorted hub ids, a
+/// per-hub entry lookup, and a per-hub budget spend. Used by
+/// [`MemoryIndex::write_to_file`]; [`FlatIndex`] serializes to the
+/// `FPPVIDX3` arena format instead.
+fn write_index_file<'a, P, F, G>(
+    path: P,
+    sorted_hubs: &[NodeId],
+    mut entries_of: F,
+    mut spent_of: G,
+) -> io::Result<()>
 where
     P: AsRef<Path>,
     F: FnMut(NodeId) -> PpvRef<'a>,
+    G: FnMut(NodeId) -> f64,
 {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&0u32.to_le_bytes())?;
     w.write_all(&(sorted_hubs.len() as u64).to_le_bytes())?;
-    // Directory.
-    let mut offset = (HEADER_LEN + sorted_hubs.len() * DIR_RECORD_LEN) as u64;
+    // Directory (blobs start after the directory and the spend section).
+    let mut offset = (HEADER_LEN + sorted_hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
     for &h in sorted_hubs {
         let view = entries_of(h);
         w.write_all(&h.to_le_bytes())?;
         w.write_all(&offset.to_le_bytes())?;
         w.write_all(&(view.len() as u32).to_le_bytes())?;
         offset += (view.len() * ENTRY_LEN) as u64;
+    }
+    // Budget-spend section, directory order: the PR 6 self-certification
+    // state must survive a serialize/reopen cycle.
+    for &h in sorted_hubs {
+        w.write_all(&spent_of(h).to_le_bytes())?;
     }
     // Data blobs.
     for &h in sorted_hubs {
@@ -374,19 +439,25 @@ impl MemoryIndex {
         &self.hub_ids
     }
 
-    /// Serializes the index to the `FPPVIDX1` format.
+    /// Serializes the index to the `FPPVIDX1` (version 2) format,
+    /// including the per-hub budget-spend section.
     pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
         let mut sorted_hubs = self.hub_ids.clone();
         sorted_hubs.sort_unstable();
-        write_index_file(path, &sorted_hubs, |h| {
-            PpvRef::Aos(
-                self.slots[h as usize]
-                    .as_ref()
-                    .expect("indexed hub")
-                    .entries
-                    .entries(),
-            )
-        })
+        write_index_file(
+            path,
+            &sorted_hubs,
+            |h| {
+                PpvRef::Aos(
+                    self.slots[h as usize]
+                        .as_ref()
+                        .expect("indexed hub")
+                        .entries
+                        .entries(),
+                )
+            },
+            |h| self.spent[h as usize],
+        )
     }
 }
 
@@ -414,56 +485,337 @@ impl PpvStore for MemoryIndex {
 /// Sentinel for "node is not an indexed hub" in [`FlatIndex::slot_of`].
 const NO_SLOT: u32 = u32::MAX;
 
+/// Why [`FlatIndex::open`] rejected a file. Header parsing fails closed:
+/// a corrupt or truncated file yields `Format`, never a panic or an
+/// out-of-bounds slice.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The underlying I/O failed.
+    Io(io::Error),
+    /// The file is not a well-formed `FPPVIDX3` arena.
+    Format(String),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Io(e) => write!(f, "arena open failed: {e}"),
+            OpenError::Format(detail) => write!(f, "invalid arena file: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenError::Io(e) => Some(e),
+            OpenError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for OpenError {
+    fn from(e: io::Error) -> Self {
+        OpenError::Io(e)
+    }
+}
+
+fn bad(detail: impl Into<String>) -> OpenError {
+    OpenError::Format(detail.into())
+}
+
+const FLAT_MAGIC: &[u8; 8] = b"FPPVIDX3";
+const FLAT_VERSION: u32 = 3;
+const FLAT_HEADER_LEN: usize = 8 + 4 + 4 + 11 * 8;
+const FLAT_DIR_RECORD_LEN: usize = 4 + 4 + 4 + 4 + 8 + 8;
+/// Headers claiming more nodes than this are rejected before the
+/// `slot_of` table is allocated (a corrupt header must not OOM the open).
+const MAX_ARENA_NODES: u64 = 1 << 31;
+
+/// Rounds up to the next multiple of 8 (section alignment), checked.
+fn pad8(x: u64) -> Option<u64> {
+    x.checked_add(7).map(|v| v & !7)
+}
+
+/// Section offsets of the `FPPVIDX3` layout, derived from the four counts
+/// with checked arithmetic. The writer and the opener both compute it, so
+/// a file whose stored offsets disagree is rejected as corrupt.
+struct ArenaLayout {
+    num_nodes: u64,
+    num_hubs: u64,
+    num_entries: u64,
+    num_border: u64,
+    dir_off: u64,
+    spend_off: u64,
+    ids_off: u64,
+    scores_off: u64,
+    border_ids_off: u64,
+    border_pos_off: u64,
+    file_len: u64,
+}
+
+impl ArenaLayout {
+    fn compute(num_nodes: u64, num_hubs: u64, num_entries: u64, num_border: u64) -> Option<Self> {
+        let dir_off = FLAT_HEADER_LEN as u64;
+        let spend_off = dir_off.checked_add(num_hubs.checked_mul(FLAT_DIR_RECORD_LEN as u64)?)?;
+        let ids_off = spend_off.checked_add(num_hubs.checked_mul(8)?)?;
+        let scores_off = ids_off.checked_add(pad8(num_entries.checked_mul(4)?)?)?;
+        let border_ids_off = scores_off.checked_add(num_entries.checked_mul(8)?)?;
+        let border_pos_off = border_ids_off.checked_add(pad8(num_border.checked_mul(4)?)?)?;
+        let file_len = border_pos_off.checked_add(pad8(num_border.checked_mul(4)?)?)?;
+        Some(ArenaLayout {
+            num_nodes,
+            num_hubs,
+            num_entries,
+            num_border,
+            dir_off,
+            spend_off,
+            ids_off,
+            scores_off,
+            border_ids_off,
+            border_pos_off,
+            file_len,
+        })
+    }
+
+    /// The header fields after magic/version/flags, in file order.
+    fn header_words(&self) -> [u64; 11] {
+        [
+            self.num_nodes,
+            self.num_hubs,
+            self.num_entries,
+            self.num_border,
+            self.dir_off,
+            self.spend_off,
+            self.ids_off,
+            self.scores_off,
+            self.border_ids_off,
+            self.border_pos_off,
+            self.file_len,
+        ]
+    }
+}
+
+/// Directory entry of one hub segment: which chunk holds it and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SegRef {
+    /// Index into [`FlatIndex::chunks`].
+    chunk: u32,
+    /// Entry offset within the chunk.
+    off: u32,
+    /// Segment length (entries).
+    len: u32,
+    /// Border-sublist offset within the chunk.
+    border_off: u32,
+    /// Border-sublist length.
+    border_len: u32,
+}
+
+/// Heap-resident chunk storage (the mutable kind).
+#[derive(Clone, Debug, Default)]
+struct OwnedChunk {
+    ids: Vec<NodeId>,
+    scores: Vec<f64>,
+    border_ids: Vec<NodeId>,
+    border_pos: Vec<u32>,
+}
+
+/// Chunk storage: heap vectors, or borrowed spans of an opened arena file.
+#[derive(Debug)]
+enum ChunkData {
+    Owned(OwnedChunk),
+    /// Byte spans of [`Backing`] (an `mmap` or its heap fallback). Only
+    /// constructed on little-endian targets, where the file encoding *is*
+    /// the in-memory encoding.
+    Mapped {
+        backing: Arc<Backing>,
+        ids_off: usize,
+        scores_off: usize,
+        border_ids_off: usize,
+        border_pos_off: usize,
+        len: usize,
+        border_len: usize,
+    },
+}
+
+/// One fixed-capacity span of the arena. Chunks are immutable once sealed
+/// (shared with a snapshot, file-backed, or full); only the unique owned
+/// tail chunk ever grows. Snapshot clones `Arc`-share chunks wholesale —
+/// the copy-on-write unit of the publish path.
+#[derive(Debug)]
+struct Chunk {
+    data: ChunkData,
+}
+
+#[cfg(target_endian = "little")]
+fn map_u32s(backing: &Backing, off: usize, n: usize) -> &[u32] {
+    let bytes = &backing.bytes()[off..off + n * 4];
+    debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), n) }
+}
+
+#[cfg(target_endian = "little")]
+fn map_f64s(backing: &Backing, off: usize, n: usize) -> &[f64] {
+    let bytes = &backing.bytes()[off..off + n * 8];
+    debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), n) }
+}
+
+impl Chunk {
+    fn empty() -> Self {
+        Chunk {
+            data: ChunkData::Owned(OwnedChunk::default()),
+        }
+    }
+
+    fn from_owned(owned: OwnedChunk) -> Self {
+        Chunk {
+            data: ChunkData::Owned(owned),
+        }
+    }
+
+    fn is_owned(&self) -> bool {
+        matches!(self.data, ChunkData::Owned(_))
+    }
+
+    /// Whether the chunk borrows from a kernel file mapping (as opposed to
+    /// heap memory, owned or heap-fallback backing).
+    fn is_file_mapped(&self) -> bool {
+        match &self.data {
+            ChunkData::Owned(_) => false,
+            ChunkData::Mapped { backing, .. } => backing.is_file_mapped(),
+        }
+    }
+
+    fn owned_mut(&mut self) -> &mut OwnedChunk {
+        match &mut self.data {
+            ChunkData::Owned(o) => o,
+            ChunkData::Mapped { .. } => unreachable!("appends only target owned tail chunks"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.data {
+            ChunkData::Owned(o) => o.ids.len(),
+            ChunkData::Mapped { len, .. } => *len,
+        }
+    }
+
+    fn border_len(&self) -> usize {
+        match &self.data {
+            ChunkData::Owned(o) => o.border_ids.len(),
+            ChunkData::Mapped { border_len, .. } => *border_len,
+        }
+    }
+
+    fn ids(&self) -> &[NodeId] {
+        match &self.data {
+            ChunkData::Owned(o) => &o.ids,
+            ChunkData::Mapped {
+                backing,
+                ids_off,
+                len,
+                ..
+            } => map_u32s(backing, *ids_off, *len),
+        }
+    }
+
+    fn scores(&self) -> &[f64] {
+        match &self.data {
+            ChunkData::Owned(o) => &o.scores,
+            ChunkData::Mapped {
+                backing,
+                scores_off,
+                len,
+                ..
+            } => map_f64s(backing, *scores_off, *len),
+        }
+    }
+
+    fn border_ids(&self) -> &[NodeId] {
+        match &self.data {
+            ChunkData::Owned(o) => &o.border_ids,
+            ChunkData::Mapped {
+                backing,
+                border_ids_off,
+                border_len,
+                ..
+            } => map_u32s(backing, *border_ids_off, *border_len),
+        }
+    }
+
+    fn border_pos(&self) -> &[u32] {
+        match &self.data {
+            ChunkData::Owned(o) => &o.border_pos,
+            ChunkData::Mapped {
+                backing,
+                border_pos_off,
+                border_len,
+                ..
+            } => map_u32s(backing, *border_pos_off, *border_len),
+        }
+    }
+
+    /// Bytes of entry + border data viewed through this chunk.
+    fn data_bytes(&self) -> usize {
+        self.len() * (4 + 8) + self.border_len() * (4 + 4)
+    }
+}
+
 /// The flat structure-of-arrays PPV index — the online hot path.
 ///
-/// All entries live in one contiguous arena (`ids` / `scores`, parallel
-/// arrays); a per-hub directory (`starts` / `lens`) carves it into
-/// segments, and a second arena holds each segment's precomputed
-/// *border-hub sublist*: the positions of the entries that are themselves
-/// hubs, so the query engine's `step()` walks only the expansion
-/// candidates instead of filtering every entry through a hub mask.
+/// All entries live in fixed-capacity *chunks* (`ids` / `scores` parallel
+/// arrays plus each segment's precomputed *border-hub sublist*: the
+/// positions of the entries that are themselves hubs, so the query
+/// engine's `step()` walks only the expansion candidates instead of
+/// filtering every entry through a hub mask). A per-hub directory
+/// ([`SegRef`]) carves the chunks into segments; segments never span a
+/// chunk boundary.
 ///
-/// Reads are zero-copy: [`PpvStore::view`] returns slices into the arena.
+/// Reads are zero-copy: [`PpvStore::view`] returns slices into the chunk.
+/// A chunk either owns its vectors on the heap or borrows spans of an
+/// opened `FPPVIDX3` file ([`FlatIndex::open`] — `mmap` where available).
+///
+/// ## Copy-on-write snapshots
+///
+/// `Clone` is shallow: chunks are `Arc`-shared and only the directory
+/// (`slot_of`, `segs`, `spent` — a few bytes per node/hub) is copied, so
+/// publishing a patched snapshot costs microseconds instead of a deep
+/// arena copy. Mutations never write through a shared chunk: appends that
+/// would touch a shared (or file-backed, or full) tail chunk *seal* it and
+/// start a fresh owned chunk instead — see [`FlatIndex::CHUNK_ENTRIES`].
+/// The only bulk copying left is compaction, and [`FlatIndex::bytes_cloned`]
+/// meters it.
 ///
 /// ## Dynamic updates
 ///
-/// [`FlatIndex::replace`] patches a segment by tombstoning the old one and
-/// appending the new entries at the arena tail (so readers holding other
-/// segments see stable memory and the patch is O(new segment)). When dead
-/// entries exceed [`FlatIndex::COMPACTION_THRESHOLD`] of the arena the
-/// whole arena is compacted in one pass.
+/// [`FlatIndex::replace`] patches a segment by tombstoning the old one
+/// (a directory edit — chunk bytes are left in place) and appending the
+/// new entries at the tail chunk. When dead entries exceed
+/// [`FlatIndex::COMPACTION_THRESHOLD`] of the arena, compaction rewrites
+/// the live segments into fresh owned chunks in ascending hub order.
 #[derive(Clone, Debug)]
 pub struct FlatIndex {
     /// node id → directory slot (or [`NO_SLOT`]).
     slot_of: Vec<u32>,
     /// slot → hub id.
     hub_ids: Vec<NodeId>,
-    /// slot → arena start of the hub's segment.
-    starts: Vec<u64>,
-    /// slot → segment length (entries).
-    lens: Vec<u32>,
-    /// Entry node ids, all segments concatenated.
-    ids: Vec<NodeId>,
-    /// Entry scores, parallel to `ids`.
-    scores: Vec<f64>,
-    /// slot → start into the border arena.
-    border_starts: Vec<u64>,
-    /// slot → border sublist length.
-    border_lens: Vec<u32>,
-    /// Border-hub node ids.
-    border_ids: Vec<NodeId>,
-    /// Border-hub positions *within the owning segment* (indexes into the
-    /// segment's `ids`/`scores` slices).
-    border_pos: Vec<u32>,
+    /// slot → segment location.
+    segs: Vec<SegRef>,
+    /// The arena: `Arc`-shared fixed-capacity chunks.
+    chunks: Vec<Arc<Chunk>>,
     /// Live (non-tombstoned) arena entries.
     live_entries: usize,
     /// Tombstoned arena entries awaiting compaction.
     dead_entries: usize,
     /// Compactions performed over the arena's lifetime.
     compactions: u64,
+    /// Cumulative chunk bytes deep-copied (compactions and any other
+    /// copy-on-write materialization) over the arena's lifetime.
+    bytes_cloned: u64,
     /// slot → accumulated score-L1 error bound of the segment relative to
     /// an exact recompute — runtime state of the delta-update path
-    /// ([`crate::dynamic`]), not serialized. 0 for freshly built segments.
+    /// ([`crate::dynamic`]), serialized in the arena's spend section.
     spent: Vec<f64>,
 }
 
@@ -472,22 +824,22 @@ impl FlatIndex {
     /// next [`FlatIndex::replace`].
     pub const COMPACTION_THRESHOLD: f64 = 0.3;
 
+    /// Target entries per chunk — the copy-on-write granule. A segment
+    /// larger than this gets a chunk of its own (segments never span
+    /// chunks).
+    pub const CHUNK_ENTRIES: usize = 1 << 16;
+
     /// An empty arena for graphs of `n` nodes.
     pub fn new(n: usize) -> Self {
         FlatIndex {
             slot_of: vec![NO_SLOT; n],
             hub_ids: Vec::new(),
-            starts: Vec::new(),
-            lens: Vec::new(),
-            ids: Vec::new(),
-            scores: Vec::new(),
-            border_starts: Vec::new(),
-            border_lens: Vec::new(),
-            border_ids: Vec::new(),
-            border_pos: Vec::new(),
+            segs: Vec::new(),
+            chunks: Vec::new(),
             live_entries: 0,
             dead_entries: 0,
             compactions: 0,
+            bytes_cloned: 0,
             spent: Vec::new(),
         }
     }
@@ -498,11 +850,10 @@ impl FlatIndex {
         let mut sorted: Vec<NodeId> = index.hub_ids().to_vec();
         sorted.sort_unstable();
         let mut flat = FlatIndex::new(index.capacity());
-        flat.ids.reserve_exact(index.total_entries());
-        flat.scores.reserve_exact(index.total_entries());
         for h in sorted {
             let ppv = index.get(h).expect("indexed hub");
             flat.append_segment(h, &PpvRef::Aos(ppv.entries.entries()), hubs);
+            flat.set_budget_spent(h, index.budget_spent(h));
         }
         flat
     }
@@ -512,8 +863,6 @@ impl FlatIndex {
     /// in the order given.
     pub fn from_store<S: PpvStore>(n: usize, store: &S, hub_ids: &[NodeId], hubs: &HubSet) -> Self {
         let mut flat = FlatIndex::new(n);
-        flat.ids.reserve_exact(store.total_entries());
-        flat.scores.reserve_exact(store.total_entries());
         for &h in hub_ids {
             let view = store.view(h).expect("hub listed but not stored");
             flat.append_segment(h, &view, hubs);
@@ -549,16 +898,14 @@ impl FlatIndex {
             return;
         }
         let slot = slot as usize;
-        // Tombstone the old segment (its arena range is simply abandoned).
-        let old_len = self.lens[slot] as usize;
+        // Tombstone the old segment: a pure directory edit. The old chunk
+        // bytes are left in place, so snapshots sharing the chunk keep
+        // reading them untouched.
+        let old_len = self.segs[slot].len as usize;
         self.live_entries -= old_len;
         self.dead_entries += old_len;
         // Append the new segment and point the directory at it.
-        let (start, border_start, n_border) = self.push_segment_data(&view, hubs);
-        self.starts[slot] = start;
-        self.lens[slot] = view.len() as u32;
-        self.border_starts[slot] = border_start;
-        self.border_lens[slot] = n_border;
+        self.segs[slot] = self.push_segment_data(&view, hubs);
         self.spent[slot] = 0.0;
         if (self.dead_entries as f64)
             > Self::COMPACTION_THRESHOLD * (self.live_entries + self.dead_entries) as f64
@@ -567,40 +914,54 @@ impl FlatIndex {
         }
     }
 
-    /// Rewrites the arena without tombstoned segments (ascending hub-id
-    /// order, the same layout a fresh [`FlatIndex::from_memory`] build
-    /// produces).
+    /// Rewrites the live segments into fresh owned chunks in ascending
+    /// hub-id order (the same layout a fresh [`FlatIndex::from_memory`]
+    /// build produces), dropping tombstoned bytes and releasing any shared
+    /// or file-backed chunks. The copied bytes are metered in
+    /// [`FlatIndex::bytes_cloned`].
     pub fn compact(&mut self) {
         let mut sorted: Vec<NodeId> = self.hub_ids.clone();
         sorted.sort_unstable();
-        let mut ids = Vec::with_capacity(self.live_entries);
-        let mut scores = Vec::with_capacity(self.live_entries);
-        let mut border_ids = Vec::with_capacity(self.border_ids.len());
-        let mut border_pos = Vec::with_capacity(self.border_pos.len());
-        let mut starts = vec![0u64; self.starts.len()];
-        let mut border_starts = vec![0u64; self.border_starts.len()];
+        let mut chunks: Vec<Arc<Chunk>> = Vec::new();
+        let mut cur = OwnedChunk::default();
+        let mut segs = self.segs.clone();
+        let mut copied = 0u64;
         for &h in &sorted {
             let slot = self.slot_of[h as usize] as usize;
-            let (s, l) = (self.starts[slot] as usize, self.lens[slot] as usize);
-            starts[slot] = ids.len() as u64;
-            ids.extend_from_slice(&self.ids[s..s + l]);
-            scores.extend_from_slice(&self.scores[s..s + l]);
-            let (bs, bl) = (
-                self.border_starts[slot] as usize,
-                self.border_lens[slot] as usize,
-            );
-            border_starts[slot] = border_ids.len() as u64;
-            border_ids.extend_from_slice(&self.border_ids[bs..bs + bl]);
-            border_pos.extend_from_slice(&self.border_pos[bs..bs + bl]);
+            let old = self.segs[slot];
+            if !cur.ids.is_empty() && cur.ids.len() + old.len as usize > Self::CHUNK_ENTRIES {
+                chunks.push(Arc::new(Chunk::from_owned(std::mem::take(&mut cur))));
+            }
+            let off = cur.ids.len() as u32;
+            let border_off = cur.border_ids.len() as u32;
+            if old.len > 0 {
+                let src = &self.chunks[old.chunk as usize];
+                let (o, l) = (old.off as usize, old.len as usize);
+                cur.ids.extend_from_slice(&src.ids()[o..o + l]);
+                cur.scores.extend_from_slice(&src.scores()[o..o + l]);
+                let (bo, bl) = (old.border_off as usize, old.border_len as usize);
+                cur.border_ids
+                    .extend_from_slice(&src.border_ids()[bo..bo + bl]);
+                cur.border_pos
+                    .extend_from_slice(&src.border_pos()[bo..bo + bl]);
+                copied += old.len as u64 * (4 + 8) + old.border_len as u64 * (4 + 4);
+            }
+            segs[slot] = SegRef {
+                chunk: chunks.len() as u32,
+                off,
+                len: old.len,
+                border_off,
+                border_len: old.border_len,
+            };
         }
-        self.ids = ids;
-        self.scores = scores;
-        self.border_ids = border_ids;
-        self.border_pos = border_pos;
-        self.starts = starts;
-        self.border_starts = border_starts;
+        if !cur.ids.is_empty() {
+            chunks.push(Arc::new(Chunk::from_owned(cur)));
+        }
+        self.chunks = chunks;
+        self.segs = segs;
         self.dead_entries = 0;
         self.compactions += 1;
+        self.bytes_cloned += copied;
     }
 
     /// Appends a fresh directory slot for `hub` backed by a new arena
@@ -609,32 +970,76 @@ impl FlatIndex {
         let slot = self.hub_ids.len() as u32;
         self.slot_of[hub as usize] = slot;
         self.hub_ids.push(hub);
-        let (start, border_start, n_border) = self.push_segment_data(view, hubs);
-        self.starts.push(start);
-        self.lens.push(view.len() as u32);
-        self.border_starts.push(border_start);
-        self.border_lens.push(n_border);
+        let seg = self.push_segment_data(view, hubs);
+        self.segs.push(seg);
         self.spent.push(0.0);
     }
 
-    /// Copies one segment's entries (and its border-hub sublist) to the
-    /// arena tail — the single place the segment encoding is written.
-    /// Returns `(start, border_start, n_border)` for the directory.
-    fn push_segment_data(&mut self, view: &PpvRef<'_>, hubs: &HubSet) -> (u64, u64, u32) {
-        let start = self.ids.len() as u64;
-        let border_start = self.border_ids.len() as u64;
+    /// Copies one segment's entries (and its border-hub sublist) into the
+    /// tail chunk — the single place the segment encoding is written.
+    ///
+    /// The tail chunk is grown in place only while it is uniquely owned,
+    /// heap-resident, and has room; otherwise it is *sealed* and a fresh
+    /// owned chunk is started. Appends therefore never deep-copy a chunk a
+    /// snapshot is still reading — that is what makes the shallow `Clone`
+    /// a sound copy-on-write publish.
+    fn push_segment_data(&mut self, view: &PpvRef<'_>, hubs: &HubSet) -> SegRef {
+        let need = view.len();
+        let start_new = match self.chunks.last() {
+            None => true,
+            Some(c) => {
+                !c.is_owned()
+                    || Arc::strong_count(c) > 1
+                    || (c.len() > 0 && c.len() + need > Self::CHUNK_ENTRIES)
+            }
+        };
+        if start_new {
+            self.chunks.push(Arc::new(Chunk::empty()));
+        }
+        let ci = self.chunks.len() - 1;
+        let chunk = Arc::get_mut(&mut self.chunks[ci])
+            .expect("tail chunk is uniquely owned")
+            .owned_mut();
+        let off = chunk.ids.len() as u32;
+        let border_off = chunk.border_ids.len() as u32;
         let mut n_border = 0u32;
         view.for_each(|id, s| {
             if hubs.is_hub(id) {
-                self.border_ids.push(id);
-                self.border_pos.push((self.ids.len() as u64 - start) as u32);
+                chunk.border_ids.push(id);
+                chunk.border_pos.push(chunk.ids.len() as u32 - off);
                 n_border += 1;
             }
-            self.ids.push(id);
-            self.scores.push(s);
+            chunk.ids.push(id);
+            chunk.scores.push(s);
         });
-        self.live_entries += view.len();
-        (start, border_start, n_border)
+        self.live_entries += need;
+        SegRef {
+            chunk: ci as u32,
+            off,
+            len: need as u32,
+            border_off,
+            border_len: n_border,
+        }
+    }
+
+    /// The entry slices of a segment.
+    fn seg_entries(&self, seg: SegRef) -> (&[NodeId], &[f64]) {
+        if seg.len == 0 {
+            return (&[], &[]);
+        }
+        let c = &self.chunks[seg.chunk as usize];
+        let (o, l) = (seg.off as usize, seg.len as usize);
+        (&c.ids()[o..o + l], &c.scores()[o..o + l])
+    }
+
+    /// The border-sublist slices of a segment.
+    fn seg_borders(&self, seg: SegRef) -> (&[NodeId], &[u32]) {
+        if seg.border_len == 0 {
+            return (&[], &[]);
+        }
+        let c = &self.chunks[seg.chunk as usize];
+        let (o, l) = (seg.border_off as usize, seg.border_len as usize);
+        (&c.border_ids()[o..o + l], &c.border_pos()[o..o + l])
     }
 
     /// Indexed hub ids, in slot order (insertion order).
@@ -679,24 +1084,399 @@ impl FlatIndex {
         self.spent.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Bytes resident in the arena arrays (including tombstoned segments
-    /// and the border sublists) — the in-RAM figure, as opposed to the
-    /// on-disk-equivalent [`PpvStore::storage_bytes`].
-    pub fn arena_bytes(&self) -> usize {
-        self.ids.len() * std::mem::size_of::<NodeId>()
-            + self.scores.len() * std::mem::size_of::<f64>()
-            + self.border_ids.len() * std::mem::size_of::<NodeId>()
-            + self.border_pos.len() * std::mem::size_of::<u32>()
-            + self.starts.len() * (8 + 4 + 8 + 4)
-            + self.slot_of.len() * 4
+    /// Directory overhead in bytes (`slot_of`, `hub_ids`, `segs`, `spent`)
+    /// — the part a shallow snapshot clone actually copies.
+    fn directory_bytes(&self) -> usize {
+        self.slot_of.len() * 4
+            + self.hub_ids.len() * 4
+            + self.segs.len() * std::mem::size_of::<SegRef>()
+            + self.spent.len() * 8
     }
 
-    /// Serializes to the `FPPVIDX1` format (byte-identical to a
-    /// [`MemoryIndex`] holding the same PPVs).
+    /// Bytes viewed through the arena chunks (including tombstoned
+    /// segments and the border sublists) plus the directory — the total
+    /// working-set figure, as opposed to the on-disk-equivalent
+    /// [`PpvStore::storage_bytes`].
+    pub fn arena_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.data_bytes()).sum::<usize>() + self.directory_bytes()
+    }
+
+    /// Bytes resident on the process heap: owned chunks, heap-fallback
+    /// file backings, and the directory. Memory behind a kernel file
+    /// mapping is *not* counted here — see [`FlatIndex::mapped_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| !c.is_file_mapped())
+            .map(|c| c.data_bytes())
+            .sum::<usize>()
+            + self.directory_bytes()
+    }
+
+    /// Bytes served through `mmap`-backed chunks (page-cache resident at
+    /// the kernel's discretion; an arena larger than RAM stays openable).
+    pub fn mapped_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.is_file_mapped())
+            .map(|c| c.data_bytes())
+            .sum::<usize>()
+    }
+
+    /// Cumulative chunk bytes deep-copied over the arena's lifetime
+    /// (compaction rewrites; zero for shallow snapshot clones and
+    /// tombstone patches). The delta-refresh path reports the per-refresh
+    /// difference as [`crate::dynamic::RefreshStats::cloned_bytes`].
+    pub fn bytes_cloned(&self) -> u64 {
+        self.bytes_cloned
+    }
+
+    /// Number of chunks currently backing the arena.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// How many of `self`'s chunks are the *same allocation* as one of
+    /// `other`'s — the copy-on-write sharing observable across a snapshot
+    /// clone.
+    pub fn shared_chunk_count(&self, other: &FlatIndex) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| other.chunks.iter().any(|o| Arc::ptr_eq(c, o)))
+            .count()
+    }
+
+    /// Exact byte size of the `FPPVIDX3` serialization of this arena.
+    pub fn file_bytes(&self) -> usize {
+        let num_border: u64 = self.segs.iter().map(|s| s.border_len as u64).sum();
+        ArenaLayout::compute(
+            self.slot_of.len() as u64,
+            self.hub_ids.len() as u64,
+            self.live_entries as u64,
+            num_border,
+        )
+        .expect("arena sizes fit u64")
+        .file_len as usize
+    }
+
+    /// Serializes to the `FPPVIDX3` arena format: live segments only, in
+    /// ascending hub-id order — so the bytes are independent of the
+    /// in-memory chunk/tombstone state and two equal arenas serialize
+    /// byte-identically. The per-hub budget spend is included.
     pub fn write_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
         let mut sorted = self.hub_ids.clone();
         sorted.sort_unstable();
-        write_index_file(path, &sorted, |h| self.view(h).expect("indexed hub"))
+        let num_border: u64 = self.segs.iter().map(|s| s.border_len as u64).sum();
+        let layout = ArenaLayout::compute(
+            self.slot_of.len() as u64,
+            sorted.len() as u64,
+            self.live_entries as u64,
+            num_border,
+        )
+        .expect("arena sizes fit u64");
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(FLAT_MAGIC)?;
+        w.write_all(&FLAT_VERSION.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        for word in layout.header_words() {
+            w.write_all(&word.to_le_bytes())?;
+        }
+        // Directory: tightly packed ascending hubs.
+        let (mut entry_start, mut border_start) = (0u64, 0u64);
+        for &h in &sorted {
+            let seg = self.segs[self.slot_of[h as usize] as usize];
+            w.write_all(&h.to_le_bytes())?;
+            w.write_all(&seg.len.to_le_bytes())?;
+            w.write_all(&seg.border_len.to_le_bytes())?;
+            w.write_all(&0u32.to_le_bytes())?;
+            w.write_all(&entry_start.to_le_bytes())?;
+            w.write_all(&border_start.to_le_bytes())?;
+            entry_start += seg.len as u64;
+            border_start += seg.border_len as u64;
+        }
+        // Spend section (directory order).
+        for &h in &sorted {
+            let spent = self.spent[self.slot_of[h as usize] as usize];
+            w.write_all(&spent.to_le_bytes())?;
+        }
+        // Entry ids, then scores; then the border sublists.
+        let pad = |n: u64| (pad8(n).unwrap() - n) as usize;
+        for &h in &sorted {
+            let seg = self.segs[self.slot_of[h as usize] as usize];
+            write_u32s(&mut w, self.seg_entries(seg).0)?;
+        }
+        w.write_all(&[0u8; 8][..pad(layout.num_entries * 4)])?;
+        for &h in &sorted {
+            let seg = self.segs[self.slot_of[h as usize] as usize];
+            write_f64s(&mut w, self.seg_entries(seg).1)?;
+        }
+        for &h in &sorted {
+            let seg = self.segs[self.slot_of[h as usize] as usize];
+            write_u32s(&mut w, self.seg_borders(seg).0)?;
+        }
+        w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
+        for &h in &sorted {
+            let seg = self.segs[self.slot_of[h as usize] as usize];
+            write_u32s(&mut w, self.seg_borders(seg).1)?;
+        }
+        w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
+        w.flush()
+    }
+
+    /// Opens a `FPPVIDX3` arena file zero-copy: the file is mapped (or
+    /// heap-loaded where `mmap` is unavailable) and the sections become
+    /// borrowed chunks — no decode pass, so open time is O(header +
+    /// directory) instead of O(arena).
+    ///
+    /// Fails closed: every header and directory field is validated with
+    /// checked arithmetic (magic, version, section offsets, bounds,
+    /// tight packing, border positions) before any data is referenced. A
+    /// corrupt file yields [`OpenError::Format`], never a panic.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<FlatIndex, OpenError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FLAT_HEADER_LEN as u64 {
+            return Err(bad("file too short for an arena header"));
+        }
+        let byte_len =
+            usize::try_from(file_len).map_err(|_| bad("file larger than the address space"))?;
+        let mut header = [0u8; FLAT_HEADER_LEN];
+        {
+            let mut r = &file;
+            r.read_exact(&mut header)?;
+        }
+        if &header[..8] != FLAT_MAGIC {
+            return Err(bad("not a FastPPV arena (bad magic)"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FLAT_VERSION {
+            return Err(bad(format!(
+                "unsupported arena version {version} (expected {FLAT_VERSION}); \
+                 rebuild the index with this binary"
+            )));
+        }
+        let flags = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if flags != 0 {
+            return Err(bad(format!("unknown flags 0x{flags:x}")));
+        }
+        let mut words = [0u64; 11];
+        for (i, word) in words.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(header[16 + i * 8..24 + i * 8].try_into().unwrap());
+        }
+        let [num_nodes, num_hubs, num_entries, num_border, ..] = words;
+        if num_nodes > MAX_ARENA_NODES {
+            return Err(bad(format!("implausible node count {num_nodes}")));
+        }
+        if num_hubs > num_nodes {
+            return Err(bad("more hubs than nodes"));
+        }
+        let layout = ArenaLayout::compute(num_nodes, num_hubs, num_entries, num_border)
+            .ok_or_else(|| bad("section sizes overflow (corrupt header)"))?;
+        if layout.header_words() != words {
+            return Err(bad("section offsets disagree with the declared counts \
+                 (misaligned or overlapping sections)"));
+        }
+        if layout.file_len != file_len {
+            return Err(bad(format!(
+                "file is {file_len} bytes but the header declares {}",
+                layout.file_len
+            )));
+        }
+        let backing = Arc::new(Backing::open(&file, byte_len)?);
+        FlatIndex::from_backing(backing, &layout)
+    }
+
+    /// Builds the directory and carves the chunks out of a validated
+    /// backing. Separated from [`FlatIndex::open`] so tests can drive it
+    /// with heap backings.
+    fn from_backing(backing: Arc<Backing>, layout: &ArenaLayout) -> Result<FlatIndex, OpenError> {
+        let bytes = backing.bytes();
+        let num_nodes = layout.num_nodes as usize;
+        let num_hubs = layout.num_hubs as usize;
+        let mut slot_of = vec![NO_SLOT; num_nodes];
+        let mut hub_ids = Vec::with_capacity(num_hubs);
+        let mut segs: Vec<SegRef> = Vec::with_capacity(num_hubs);
+        let mut chunks: Vec<Arc<Chunk>> = Vec::new();
+        // Running sums double as tight-packing validation and as the
+        // entry/border offsets of the chunk under construction.
+        let (mut entry_sum, mut border_sum) = (0u64, 0u64);
+        // Chunk under construction: first entry/border and counts.
+        let (mut c_entry0, mut c_border0) = (0u64, 0u64);
+        let (mut c_len, mut c_blen) = (0u64, 0u64);
+        let dir = &bytes[layout.dir_off as usize..layout.spend_off as usize];
+        for (slot, rec) in dir.chunks_exact(FLAT_DIR_RECORD_LEN).enumerate() {
+            let hub = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let blen = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+            let reserved = u32::from_le_bytes(rec[12..16].try_into().unwrap());
+            let entry_start = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+            let border_start = u64::from_le_bytes(rec[24..32].try_into().unwrap());
+            if (hub as u64) >= layout.num_nodes {
+                return Err(bad(format!("hub {hub} out of node range")));
+            }
+            if hub_ids.last().is_some_and(|&prev| prev >= hub) {
+                return Err(bad("directory hubs not strictly ascending"));
+            }
+            if reserved != 0 {
+                return Err(bad("nonzero reserved directory field"));
+            }
+            if blen > len {
+                return Err(bad(format!(
+                    "hub {hub}: border sublist longer than its segment"
+                )));
+            }
+            if entry_start != entry_sum || border_start != border_sum {
+                return Err(bad(format!(
+                    "hub {hub}: segment offsets not tightly packed (corrupt directory)"
+                )));
+            }
+            entry_sum = entry_sum
+                .checked_add(len as u64)
+                .filter(|&e| e <= layout.num_entries)
+                .ok_or_else(|| bad("directory entry counts exceed the header total"))?;
+            border_sum = border_sum
+                .checked_add(blen as u64)
+                .filter(|&b| b <= layout.num_border)
+                .ok_or_else(|| bad("directory border counts exceed the header total"))?;
+            // Seal the chunk under construction when this segment would
+            // overflow it (oversized segments get a chunk of their own).
+            if c_len > 0 && c_len + len as u64 > Self::CHUNK_ENTRIES as u64 {
+                chunks.push(Arc::new(carve_chunk(
+                    &backing, layout, c_entry0, c_len, c_border0, c_blen,
+                )));
+                (c_entry0, c_border0) = (entry_start, border_start);
+                (c_len, c_blen) = (0, 0);
+            }
+            segs.push(SegRef {
+                chunk: chunks.len() as u32,
+                off: c_len as u32,
+                len,
+                border_off: c_blen as u32,
+                border_len: blen,
+            });
+            c_len += len as u64;
+            c_blen += blen as u64;
+            slot_of[hub as usize] = slot as u32;
+            hub_ids.push(hub);
+        }
+        if entry_sum != layout.num_entries || border_sum != layout.num_border {
+            return Err(bad("directory totals disagree with the header"));
+        }
+        if c_len > 0 || c_blen > 0 {
+            chunks.push(Arc::new(carve_chunk(
+                &backing, layout, c_entry0, c_len, c_border0, c_blen,
+            )));
+        }
+        let spend = &bytes[layout.spend_off as usize..layout.ids_off as usize];
+        let spent: Vec<f64> = spend
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let flat = FlatIndex {
+            slot_of,
+            hub_ids,
+            segs,
+            chunks,
+            live_entries: layout.num_entries as usize,
+            dead_entries: 0,
+            compactions: 0,
+            bytes_cloned: 0,
+            spent,
+        };
+        // Border positions index into their segment's entry slice at query
+        // time; validate them now so a corrupt file cannot panic later.
+        for (slot, &seg) in flat.segs.iter().enumerate() {
+            let (_, positions) = flat.seg_borders(seg);
+            if positions.iter().any(|&p| p >= seg.len) {
+                return Err(bad(format!(
+                    "hub {}: border position out of segment range",
+                    flat.hub_ids[slot]
+                )));
+            }
+        }
+        Ok(flat)
+    }
+}
+
+/// A chunk borrowing the byte spans of entries `[entry0, entry0+len)` and
+/// borders `[border0, border0+blen)` from an opened arena. On big-endian
+/// targets the spans are decoded into an owned chunk instead.
+fn carve_chunk(
+    backing: &Arc<Backing>,
+    layout: &ArenaLayout,
+    entry0: u64,
+    len: u64,
+    border0: u64,
+    blen: u64,
+) -> Chunk {
+    #[cfg(target_endian = "little")]
+    {
+        Chunk {
+            data: ChunkData::Mapped {
+                backing: Arc::clone(backing),
+                ids_off: (layout.ids_off + entry0 * 4) as usize,
+                scores_off: (layout.scores_off + entry0 * 8) as usize,
+                border_ids_off: (layout.border_ids_off + border0 * 4) as usize,
+                border_pos_off: (layout.border_pos_off + border0 * 4) as usize,
+                len: len as usize,
+                border_len: blen as usize,
+            },
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let bytes = backing.bytes();
+        let u32s = |off: u64, n: u64| -> Vec<u32> {
+            bytes[off as usize..(off + n * 4) as usize]
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect()
+        };
+        let scores = bytes[(layout.scores_off + entry0 * 8) as usize
+            ..(layout.scores_off + (entry0 + len) * 8) as usize]
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        Chunk::from_owned(OwnedChunk {
+            ids: u32s(layout.ids_off + entry0 * 4, len),
+            scores,
+            border_ids: u32s(layout.border_ids_off + border0 * 4, blen),
+            border_pos: u32s(layout.border_pos_off + border0 * 4, blen),
+        })
+    }
+}
+
+/// Writes a `u32` slice little-endian (bulk memcpy on LE targets).
+fn write_u32s(w: &mut impl Write, vals: &[u32]) -> io::Result<()> {
+    #[cfg(target_endian = "little")]
+    {
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 4) };
+        w.write_all(bytes)
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for v in vals {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes an `f64` slice little-endian (bulk memcpy on LE targets).
+fn write_f64s(w: &mut impl Write, vals: &[f64]) -> io::Result<()> {
+    #[cfg(target_endian = "little")]
+    {
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 8) };
+        w.write_all(bytes)
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for v in vals {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
     }
 }
 
@@ -707,12 +1487,8 @@ impl PpvStore for FlatIndex {
         if slot == NO_SLOT {
             return None;
         }
-        let slot = slot as usize;
-        let (start, len) = (self.starts[slot] as usize, self.lens[slot] as usize);
-        Some(PpvRef::Soa {
-            ids: &self.ids[start..start + len],
-            scores: &self.scores[start..start + len],
-        })
+        let (ids, scores) = self.seg_entries(self.segs[slot as usize]);
+        Some(PpvRef::Soa { ids, scores })
     }
 
     fn contains(&self, hub: NodeId) -> bool {
@@ -735,15 +1511,20 @@ impl PpvStore for FlatIndex {
         if slot == NO_SLOT {
             return None;
         }
-        let slot = slot as usize;
-        let (start, len) = (
-            self.border_starts[slot] as usize,
-            self.border_lens[slot] as usize,
-        );
-        Some((
-            &self.border_ids[start..start + len],
-            &self.border_pos[start..start + len],
-        ))
+        Some(self.seg_borders(self.segs[slot as usize]))
+    }
+
+    /// The `FPPVIDX3` serialized size.
+    fn storage_bytes(&self) -> usize {
+        self.file_bytes()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        FlatIndex::resident_bytes(self)
+    }
+
+    fn mapped_bytes(&self) -> usize {
+        FlatIndex::mapped_bytes(self)
     }
 }
 
@@ -785,6 +1566,8 @@ impl FifoCache {
 pub struct DiskIndex {
     file: Mutex<File>,
     directory: HashMap<NodeId, (u64, u32)>,
+    /// Per-hub budget spend from the file's spend section.
+    spent: HashMap<NodeId, f64>,
     total_entries: usize,
     cache: Mutex<FifoCache>,
     reads: AtomicU64,
@@ -806,14 +1589,19 @@ impl DiskIndex {
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
         if version != VERSION {
+            let hint = if version == 1 {
+                " (version 1 predates the budget-spend section; rebuild the index)"
+            } else {
+                ""
+            };
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unsupported index version {version}"),
+                format!("unsupported index version {version}{hint}"),
             ));
         }
         let num_hubs = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
         let file_len = file.metadata()?.len();
-        let dir_len = (num_hubs as u64).checked_mul(DIR_RECORD_LEN as u64);
+        let dir_len = (num_hubs as u64).checked_mul((DIR_RECORD_LEN + SPEND_LEN) as u64);
         if dir_len.is_none_or(|d| HEADER_LEN as u64 + d > file_len) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -822,9 +1610,12 @@ impl DiskIndex {
         }
         let mut dir_bytes = vec![0u8; num_hubs * DIR_RECORD_LEN];
         file.read_exact(&mut dir_bytes)?;
+        let mut spend_bytes = vec![0u8; num_hubs * SPEND_LEN];
+        file.read_exact(&mut spend_bytes)?;
         let mut directory = HashMap::with_capacity(num_hubs);
+        let mut spent = HashMap::with_capacity(num_hubs);
         let mut total_entries = 0usize;
-        for rec in dir_bytes.chunks_exact(DIR_RECORD_LEN) {
+        for (i, rec) in dir_bytes.chunks_exact(DIR_RECORD_LEN).enumerate() {
             let hub = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
             let offset = u64::from_le_bytes(rec[4..12].try_into().unwrap());
             let count = u32::from_le_bytes(rec[12..16].try_into().unwrap());
@@ -845,15 +1636,28 @@ impl DiskIndex {
                     format!("hub {hub} appears twice in the directory"),
                 ));
             }
+            let s = f64::from_le_bytes(
+                spend_bytes[i * SPEND_LEN..(i + 1) * SPEND_LEN]
+                    .try_into()
+                    .unwrap(),
+            );
+            spent.insert(hub, s);
             total_entries += count as usize;
         }
         Ok(DiskIndex {
             file: Mutex::new(file),
             directory,
+            spent,
             total_entries,
             cache: Mutex::new(FifoCache::new(cache_capacity)),
             reads: AtomicU64::new(0),
         })
+    }
+
+    /// Accumulated error-budget spend of `hub`'s stored PPV, as carried by
+    /// the file's spend section (0 for unindexed hubs).
+    pub fn budget_spent(&self, hub: NodeId) -> f64 {
+        self.spent.get(&hub).copied().unwrap_or(0.0)
     }
 
     /// Number of disk reads performed so far (cache misses).
@@ -925,6 +1729,12 @@ impl PpvStore for DiskIndex {
 
     fn total_entries(&self) -> usize {
         self.total_entries
+    }
+
+    /// Only the directory and spend tables stay resident; entry blobs live
+    /// on disk (plus a bounded read cache not counted here).
+    fn resident_bytes(&self) -> usize {
+        self.directory.len() * (4 + 8 + 4 + 4 + 8)
     }
 }
 
@@ -1009,7 +1819,9 @@ mod tests {
         let flat = FlatIndex::from_memory(&idx, &hubs);
         assert_eq!(flat.hub_count(), 3);
         assert_eq!(flat.total_entries(), 5);
-        assert_eq!(flat.storage_bytes(), idx.storage_bytes());
+        assert_eq!(flat.storage_bytes(), flat.file_bytes());
+        assert!(flat.resident_bytes() > 0);
+        assert_eq!(flat.mapped_bytes(), 0, "built arena is heap-resident");
         for h in [3u32, 5, 7] {
             assert!(flat.contains(h));
             assert_eq!(flat.load(h).unwrap(), *idx.get(h).unwrap(), "hub {h}");
@@ -1092,23 +1904,63 @@ mod tests {
     }
 
     #[test]
-    fn flat_write_matches_memory_write() {
+    fn arena_file_round_trips_bit_exact() {
         let mut idx = MemoryIndex::new(100);
         idx.insert(42, sample_ppv(&[(0, 0.125), (42, 0.5), (99, 0.0625)]));
         idx.insert(7, sample_ppv(&[(7, 1.0)]));
-        let hubs = HubSet::from_ids(100, vec![7, 42]);
-        let flat = FlatIndex::from_memory(&idx, &hubs);
-        let pm = temp_path("mem.idx");
-        let pf = temp_path("flat.idx");
-        idx.write_to_file(&pm).unwrap();
-        flat.write_to_file(&pf).unwrap();
+        idx.insert(9, sample_ppv(&[]));
+        let hubs = HubSet::from_ids(100, vec![7, 9, 42]);
+        let mut flat = FlatIndex::from_memory(&idx, &hubs);
+        flat.set_budget_spent(42, 0.0042);
+        let path = temp_path("arena.fppv");
+        flat.write_to_file(&path).unwrap();
         assert_eq!(
-            std::fs::read(&pm).unwrap(),
-            std::fs::read(&pf).unwrap(),
-            "flat and memory serialization must be byte-identical"
+            std::fs::metadata(&path).unwrap().len() as usize,
+            flat.file_bytes(),
+            "file_bytes must predict the serialized size exactly"
         );
-        std::fs::remove_file(&pm).unwrap();
-        std::fs::remove_file(&pf).unwrap();
+        let opened = FlatIndex::open(&path).unwrap();
+        assert_eq!(opened.hub_count(), 3);
+        assert_eq!(opened.capacity(), 100);
+        assert_eq!(opened.total_entries(), flat.total_entries());
+        for h in [7u32, 9, 42] {
+            // Bit-exact: scores are stored as raw f64, never quantized.
+            assert_eq!(
+                opened.load(h).unwrap().entries.entries(),
+                flat.load(h).unwrap().entries.entries(),
+                "hub {h}"
+            );
+            assert_eq!(opened.border_sublist(h), flat.border_sublist(h));
+            assert_eq!(opened.budget_spent(h), flat.budget_spent(h));
+        }
+        assert_eq!(opened.budget_spent(42), 0.0042, "spend survives reopen");
+        assert!(!opened.contains(8));
+        // The reopened arena is file-backed: mapped (or, if mmap was
+        // unavailable, heap-fallback) rather than deep-copied.
+        assert!(opened.resident_bytes() + opened.mapped_bytes() > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn arena_writer_is_independent_of_tombstone_state() {
+        let hubs = HubSet::from_ids(50, vec![1, 2, 3]);
+        let mut a = FlatIndex::new(50);
+        a.insert(1, &sample_ppv(&[(2, 0.5), (9, 0.1)]), &hubs);
+        a.insert(2, &sample_ppv(&[(1, 0.25)]), &hubs);
+        a.insert(3, &sample_ppv(&[(4, 0.125)]), &hubs);
+        let mut b = a.clone();
+        // Dirty b's chunk layout: replace forces a tombstone + fresh chunk.
+        b.replace(2, &sample_ppv(&[(1, 0.25)]), &hubs);
+        let (pa, pb) = (temp_path("ser-a.fppv"), temp_path("ser-b.fppv"));
+        a.write_to_file(&pa).unwrap();
+        b.write_to_file(&pb).unwrap();
+        assert_eq!(
+            std::fs::read(&pa).unwrap(),
+            std::fs::read(&pb).unwrap(),
+            "equal logical content must serialize byte-identically"
+        );
+        std::fs::remove_file(&pa).unwrap();
+        std::fs::remove_file(&pb).unwrap();
     }
 
     #[test]
@@ -1237,5 +2089,222 @@ mod tests {
         let hubs = HubSet::from_ids(5, vec![2, 4]);
         let borders: Vec<_> = ppv.border_hubs(&hubs).collect();
         assert_eq!(borders, vec![(2, 0.3), (4, 0.1)]);
+    }
+
+    #[test]
+    fn disk_round_trips_budget_spend() {
+        let mut idx = MemoryIndex::new(10);
+        idx.insert(1, sample_ppv(&[(1, 0.5)]));
+        idx.insert(2, sample_ppv(&[(2, 0.5)]));
+        idx.set_budget_spent(1, 0.007);
+        let path = temp_path("spend.idx");
+        idx.write_to_file(&path).unwrap();
+        let disk = DiskIndex::open(&path, 2).unwrap();
+        assert_eq!(disk.budget_spent(1), 0.007);
+        assert_eq!(disk.budget_spent(2), 0.0);
+        assert_eq!(disk.budget_spent(9), 0.0, "unindexed hub");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_open_rejects_version_1_with_hint() {
+        let path = temp_path("v1.idx");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match DiskIndex::open(&path, 1) {
+            Ok(_) => panic!("v1 header accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("rebuild"),
+            "v1 rejection must tell the operator what to do: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A small arena used by the FPPVIDX3 failure-mode tests.
+    fn sample_arena() -> (FlatIndex, HubSet) {
+        let mut idx = MemoryIndex::new(30);
+        idx.insert(3, sample_ppv(&[(1, 0.5), (5, 0.25), (20, 0.125)]));
+        idx.insert(5, sample_ppv(&[(3, 0.3)]));
+        idx.insert(20, sample_ppv(&[(2, 0.1), (5, 0.05)]));
+        let hubs = HubSet::from_ids(30, vec![3, 5, 20]);
+        (FlatIndex::from_memory(&idx, &hubs), hubs)
+    }
+
+    fn write_arena_bytes(name: &str, mutate: impl FnOnce(&mut Vec<u8>)) -> std::path::PathBuf {
+        let (flat, _) = sample_arena();
+        let path = temp_path(name);
+        flat.write_to_file(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        mutate(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        path
+    }
+
+    fn expect_format_error(path: &std::path::Path, what: &str) {
+        match FlatIndex::open(path) {
+            Ok(_) => panic!("{what}: corrupt arena accepted"),
+            Err(OpenError::Format(_)) => {}
+            Err(OpenError::Io(e)) => panic!("{what}: expected Format error, got Io({e})"),
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn arena_open_rejects_bad_magic() {
+        let path = write_arena_bytes("bad-magic.fppv", |b| b[..8].copy_from_slice(b"NOTANIDX"));
+        expect_format_error(&path, "bad magic");
+    }
+
+    #[test]
+    fn arena_open_rejects_bad_version() {
+        let path = write_arena_bytes("bad-version.fppv", |b| {
+            b[8..12].copy_from_slice(&9u32.to_le_bytes())
+        });
+        expect_format_error(&path, "bad version");
+    }
+
+    #[test]
+    fn arena_open_rejects_truncation() {
+        let path = write_arena_bytes("truncated.fppv", |b| b.truncate(b.len() - 9));
+        expect_format_error(&path, "truncated body");
+        let path = write_arena_bytes("beheaded.fppv", |b| b.truncate(40));
+        expect_format_error(&path, "truncated header");
+    }
+
+    #[test]
+    fn arena_open_rejects_offset_tampering() {
+        // Shift the scores section offset: sections would overlap.
+        let path = write_arena_bytes("overlap.fppv", |b| {
+            let off = 16 + 7 * 8; // scores_off header word
+            let v = u64::from_le_bytes(b[off..off + 8].try_into().unwrap());
+            b[off..off + 8].copy_from_slice(&(v - 8).to_le_bytes());
+        });
+        expect_format_error(&path, "overlapping sections");
+    }
+
+    #[test]
+    fn arena_open_rejects_absurd_node_count() {
+        let path = write_arena_bytes("absurd-nodes.fppv", |b| {
+            b[16..24].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        });
+        expect_format_error(&path, "absurd node count");
+    }
+
+    #[test]
+    fn arena_open_rejects_unsorted_directory() {
+        let path = write_arena_bytes("unsorted-dir.fppv", |b| {
+            // Swap the hub ids of the first two directory records.
+            let d0 = FLAT_HEADER_LEN;
+            let d1 = FLAT_HEADER_LEN + FLAT_DIR_RECORD_LEN;
+            let (h0, h1) = (
+                u32::from_le_bytes(b[d0..d0 + 4].try_into().unwrap()),
+                u32::from_le_bytes(b[d1..d1 + 4].try_into().unwrap()),
+            );
+            b[d0..d0 + 4].copy_from_slice(&h1.to_le_bytes());
+            b[d1..d1 + 4].copy_from_slice(&h0.to_le_bytes());
+        });
+        expect_format_error(&path, "unsorted directory");
+    }
+
+    #[test]
+    fn arena_open_rejects_loose_packing() {
+        let path = write_arena_bytes("loose-dir.fppv", |b| {
+            // Bump the second record's entry_start so segments overlap.
+            let off = FLAT_HEADER_LEN + FLAT_DIR_RECORD_LEN + 16;
+            let v = u64::from_le_bytes(b[off..off + 8].try_into().unwrap());
+            b[off..off + 8].copy_from_slice(&(v + 1).to_le_bytes());
+        });
+        expect_format_error(&path, "loose packing");
+    }
+
+    #[test]
+    fn arena_open_rejects_out_of_range_border_pos() {
+        let (flat, _) = sample_arena();
+        let layout_border_pos_off = {
+            // Recompute the layout the same way the writer does.
+            let num_border: u64 = (0..flat.hub_count())
+                .map(|s| flat.segs[s].border_len as u64)
+                .sum();
+            ArenaLayout::compute(30, 3, flat.total_entries() as u64, num_border)
+                .unwrap()
+                .border_pos_off as usize
+        };
+        let path = write_arena_bytes("bad-bpos.fppv", |b| {
+            b[layout_border_pos_off..layout_border_pos_off + 4]
+                .copy_from_slice(&1000u32.to_le_bytes());
+        });
+        expect_format_error(&path, "border position out of range");
+    }
+
+    #[test]
+    fn arena_clone_is_shallow_and_isolated() {
+        let (flat, hubs) = sample_arena();
+        let mut next = flat.clone();
+        assert_eq!(
+            next.shared_chunk_count(&flat),
+            flat.chunk_count(),
+            "clone shares every chunk"
+        );
+        let before: Vec<_> = flat.load(5).unwrap().entries.entries().to_vec();
+        next.replace(5, &sample_ppv(&[(9, 0.9)]), &hubs);
+        assert_eq!(
+            flat.load(5).unwrap().entries.entries(),
+            &before[..],
+            "mutating the clone must not write through shared chunks"
+        );
+        assert_eq!(next.load(5).unwrap().entries.entries(), &[(9, 0.9)]);
+        assert_eq!(
+            flat.bytes_cloned(),
+            0,
+            "tombstone patches never deep-copy chunks"
+        );
+    }
+
+    #[test]
+    fn multi_chunk_arena_round_trips_and_compacts() {
+        let n = FlatIndex::CHUNK_ENTRIES / 2;
+        let mut idx = MemoryIndex::new(200_000);
+        let hub_list: Vec<NodeId> = (0..6).map(|i| i * 30_000).collect();
+        for &h in &hub_list {
+            let entries: Vec<(NodeId, f64)> = (0..n)
+                .map(|i| (h + i as NodeId + 1, 1.0 / (i + 2) as f64))
+                .collect();
+            idx.insert(h, sample_ppv(&entries));
+        }
+        let hubs = HubSet::from_ids(200_000, hub_list.clone());
+        let flat = FlatIndex::from_memory(&idx, &hubs);
+        assert!(
+            flat.chunk_count() >= 2,
+            "6×{n} entries must span multiple chunks (got {})",
+            flat.chunk_count()
+        );
+        let path = temp_path("multichunk.fppv");
+        flat.write_to_file(&path).unwrap();
+        let opened = FlatIndex::open(&path).unwrap();
+        assert!(opened.chunk_count() >= 2);
+        for &h in &hub_list {
+            assert_eq!(
+                opened.load(h).unwrap().entries.entries(),
+                flat.load(h).unwrap().entries.entries(),
+                "hub {h}"
+            );
+        }
+        // Replacing a segment of the mapped arena seals, never mutates the
+        // mapping; compaction then pulls everything back onto the heap.
+        let mut patched = opened.clone();
+        patched.replace(0, &sample_ppv(&[(1, 0.5)]), &hubs);
+        assert_eq!(opened.load(0).unwrap().len(), n);
+        patched.compact();
+        assert_eq!(patched.mapped_bytes(), 0, "compaction releases the file");
+        assert!(patched.bytes_cloned() > 0, "compaction is metered");
+        assert_eq!(patched.load(3 * 30_000).unwrap().len(), n);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -83,6 +83,7 @@ pub mod error;
 pub mod hubs;
 pub mod index;
 pub mod linearity;
+pub(crate) mod mapfile;
 pub mod offline;
 pub mod prime;
 pub mod query;
@@ -91,7 +92,7 @@ pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
 pub use dynamic::{DeltaConfig, RefreshStats};
 pub use hubs::{select_hubs, select_hubs_with_pagerank, HubPolicy, HubSet};
-pub use index::{DiskIndex, FlatIndex, MemoryIndex, PpvRef, PpvStore, PrimePpv};
+pub use index::{DiskIndex, FlatIndex, MemoryIndex, OpenError, PpvRef, PpvStore, PrimePpv};
 pub use offline::{
     build_flat_index, build_index, build_index_in_order, build_index_parallel, OfflineStats,
 };

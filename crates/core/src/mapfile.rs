@@ -1,0 +1,172 @@
+//! Read-only file backing for the zero-copy arena ([`crate::index::FlatIndex`]).
+//!
+//! [`Backing`] holds the raw bytes of an index file either as a private
+//! read-only memory mapping (Unix, the fast path: open cost is O(1) and
+//! pages fault in lazily, so an index larger than RAM can be served) or as
+//! an 8-byte-aligned heap buffer (portable fallback, also used when `mmap`
+//! itself fails — e.g. on filesystems that refuse mappings).
+//!
+//! The buffer start is always 8-byte aligned: `mmap` returns page-aligned
+//! addresses and the heap fallback allocates `u64` words, so the arena's
+//! 8-aligned sections can be reinterpreted as `f64`/`u64` slices in place.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// The raw bytes of an opened index file: an `mmap` region or a heap copy.
+pub(crate) enum Backing {
+    /// A private read-only memory mapping (unmapped on drop).
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    },
+    /// Heap fallback: the file contents in an 8-aligned buffer.
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+// The `Mapped` pointer is an immutable private mapping owned exclusively by
+// this value; sharing it across threads is no different from sharing a
+// heap allocation.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Backing {
+    /// Loads `len` bytes of `file`: mmap where available, heap otherwise.
+    pub fn open(file: &File, len: usize) -> io::Result<Backing> {
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1; fall through to the heap path on any
+            // mmap refusal rather than erroring out.
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Backing::Mapped { ptr, len });
+            }
+        }
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        let mut r = file;
+        r.seek(SeekFrom::Start(0))?;
+        r.read_exact(dst)?;
+        Ok(Backing::Heap { buf, len })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr.cast::<u8>().cast_const(), *len)
+            },
+            Backing::Heap { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len)
+            },
+        }
+    }
+
+    /// Whether the bytes live in a file mapping (as opposed to the heap).
+    pub fn is_file_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Heap { .. } => false,
+        }
+    }
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self {
+            unsafe {
+                sys::munmap(*ptr, *len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Backing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped { len, .. } => write!(f, "Backing::Mapped({len} bytes)"),
+            Backing::Heap { len, .. } => write!(f, "Backing::Heap({len} bytes)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn backing_round_trips_bytes() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fastppv-mapfile-{}", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let backing = Backing::open(&file, payload.len()).unwrap();
+        assert_eq!(backing.bytes(), &payload[..]);
+        assert_eq!(backing.bytes().len(), payload.len());
+        assert_eq!(backing.bytes().as_ptr() as usize % 8, 0, "8-aligned start");
+        drop(backing);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn heap_fallback_matches_mapping() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fastppv-mapfile-heap-{}", std::process::id()));
+        let payload = vec![0xABu8; 37]; // deliberately not a multiple of 8
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let mut buf = vec![0u64; payload.len().div_ceil(8)];
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), payload.len()) };
+        {
+            let mut r = &file;
+            r.read_exact(dst).unwrap();
+        }
+        let heap = Backing::Heap {
+            buf,
+            len: payload.len(),
+        };
+        let opened = Backing::open(&file, payload.len()).unwrap();
+        assert_eq!(heap.bytes(), opened.bytes());
+        assert!(!heap.is_file_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

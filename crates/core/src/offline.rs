@@ -147,7 +147,11 @@ pub fn build_index_in_order(
 /// Builds the PPV index directly into the flat structure-of-arrays arena
 /// (the online hot-path layout): a [`build_index_parallel`] build followed
 /// by [`FlatIndex::from_memory`]. The conversion is one linear pass over
-/// the entries and is included in the reported build time.
+/// the entries and is included in the reported build time. The resulting
+/// arena is chunked ([`FlatIndex::CHUNK_ENTRIES`] entries per chunk), so a
+/// later [`FlatIndex::write_to_file`] / [`FlatIndex::open`] round trip can
+/// serve it zero-copy from an mmap'd file, and snapshot clones share
+/// chunks copy-on-write.
 pub fn build_flat_index(
     graph: &Graph,
     hubs: &HubSet,

@@ -146,13 +146,14 @@ impl SparseVector {
 
 /// Selects the `k` highest-scoring entries of `v` (ties broken by ascending
 /// node id), returned in descending score order. Shared by
-/// [`SparseVector::top_k`] and [`ScoreScratch::top_k`].
+/// [`SparseVector::top_k`] and [`ScoreScratch::top_k`]. Uses
+/// [`f64::total_cmp`], so a NaN score (which should not occur, but can leak
+/// in from corrupt input) ranks deterministically instead of panicking.
 pub fn top_k_entries(mut v: Vec<(NodeId, f64)>, k: usize) -> Vec<(NodeId, f64)> {
     if k == 0 {
         return Vec::new();
     }
-    let by_rank =
-        |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0));
+    let by_rank = |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     if k < v.len() {
         // Partition: everything at or before index k-1 ranks at least as
         // high as everything after it. The prefix is unsorted until below.
@@ -381,10 +382,27 @@ mod tests {
         let v = SparseVector::from_unsorted(entries.clone());
         for k in 0..=entries.len() + 1 {
             let mut naive = entries.clone();
-            naive.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            naive.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             naive.truncate(k);
             assert_eq!(v.top_k(k), naive, "k = {k}");
         }
+    }
+
+    #[test]
+    fn top_k_survives_nan_scores() {
+        // A NaN score must not panic the comparator; under total_cmp,
+        // (positive) NaN ranks above every finite score, so it sorts first
+        // — deterministically — instead of poisoning the whole ordering.
+        let entries = vec![(5, 0.25), (1, f64::NAN), (9, 0.5), (2, 0.9)];
+        let top = top_k_entries(entries.clone(), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1, "NaN entry ranks first under total_cmp");
+        assert_eq!(top[1], (2, 0.9));
+        // All-NaN input: ties broken by ascending id, no panic.
+        let all_nan = vec![(7, f64::NAN), (3, f64::NAN)];
+        let top = top_k_entries(all_nan, 2);
+        assert_eq!(top[0].0, 3);
+        assert_eq!(top[1].0, 7);
     }
 
     #[test]

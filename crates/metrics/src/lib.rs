@@ -26,7 +26,7 @@ pub fn top_k_dense(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
         .enumerate()
         .map(|(i, &s)| (i as NodeId, s))
         .collect();
-    entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    entries.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     entries.truncate(k);
     entries
 }
@@ -229,6 +229,17 @@ mod tests {
         assert_eq!(r.rag, 1.0);
         assert!((r.l1_similarity - 1.0).abs() < 1e-12);
         assert_eq!(r.min_metric(), r.kendall.min(1.0));
+    }
+
+    #[test]
+    fn top_k_dense_survives_nan_scores() {
+        // total_cmp never panics on NaN; a (positive) NaN ranks above all
+        // finite scores, so it lands first and the rest stay ordered.
+        let top = top_k_dense(&[0.3, f64::NAN, 0.9, 0.1], 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 1, "NaN entry first under total_cmp");
+        assert_eq!(top[1], (2, 0.9));
+        assert_eq!(top[2], (0, 0.3));
     }
 
     #[test]

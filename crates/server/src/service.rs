@@ -763,9 +763,15 @@ impl QueryService<FlatIndex> {
     /// with serving: the pinned snapshot's arena is cloned and patched via
     /// [`fastppv_core::dynamic::refresh_flat_index_snapshot`]
     /// (tombstone-and-append with threshold compaction), then published as
-    /// the next epoch. The clone is the copy-on-write half of the scheme —
-    /// readers pinning the old snapshot keep the pre-update arena,
-    /// undisturbed, for as long as they hold it.
+    /// the next epoch. The clone is copy-on-write at *chunk* granularity:
+    /// it Arc-shares every arena chunk with the old snapshot (O(chunks)
+    /// pointer copies, no entry data moved), and the patch seals shared
+    /// chunks before appending, so readers pinning the old snapshot keep
+    /// the pre-update arena bit-identical for as long as they hold it.
+    /// [`RefreshStats::cloned_bytes`] reports the bytes actually copied
+    /// (compaction only); [`RefreshStats::resident_bytes`] and
+    /// [`RefreshStats::mapped_bytes`] report the published arena's memory
+    /// footprint.
     /// Dirty hubs are patched by delta propagation when
     /// [`QueryService::with_delta_config`] enabled a budget, and no-op
     /// batches skip the publish (and the cache eviction) entirely, exactly
@@ -1196,6 +1202,10 @@ mod tests {
         let stats = flat_service.apply_update(b.build(), &[toy::A]);
         assert!(stats.recomputed + stats.reused > 0);
         assert_eq!(flat_service.cache_stats().entries, 0);
+        // The refresh reports the published arena's memory footprint; the
+        // toy arena is heap-built, so nothing is file-mapped.
+        assert!(stats.resident_bytes > 0);
+        assert_eq!(stats.mapped_bytes, 0);
         let fresh = flat_service.query(Request::iterations(toy::A, 4));
         // The inserted direct edge a -> e must raise a's mass on e.
         assert!(fresh.scores.get(toy::E) > before.scores.get(toy::E));

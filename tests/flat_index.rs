@@ -219,5 +219,152 @@ proptest! {
             prop_assert_eq!(borders, want);
         }
         prop_assert!(!flat.contains(299) || hubs_map.contains_key(&299));
+
+        // Single-file round trip: write → open (mmap or heap fallback) →
+        // bit-exact loads, including the tombstone/compaction history the
+        // writer must not leak into the file.
+        let path = arena_temp("prop");
+        flat.write_to_file(&path).unwrap();
+        let opened = FlatIndex::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(opened.hub_count(), flat.hub_count());
+        prop_assert_eq!(opened.total_entries(), flat.total_entries());
+        for &h in &hub_ids {
+            let a = flat.load(h).unwrap();
+            let b = opened.load(h).unwrap();
+            prop_assert_eq!(a.entries.len(), b.entries.len());
+            for (&(va, sa), &(vb, sb)) in
+                a.entries.entries().iter().zip(b.entries.entries())
+            {
+                prop_assert_eq!(va, vb);
+                prop_assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+            prop_assert_eq!(
+                flat.budget_spent(h).to_bits(),
+                opened.budget_spent(h).to_bits()
+            );
+            prop_assert_eq!(flat.border_sublist(h), opened.border_sublist(h));
+        }
     }
+}
+
+/// Unique temp path per call (proptest cases reuse the process).
+fn arena_temp(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fastppv-arena-it-{}-{case}-{tag}",
+        std::process::id()
+    ));
+    p
+}
+
+#[test]
+fn mmap_opened_arena_serves_identical_queries() {
+    // write → open (mmap or heap fallback) → the opened arena must answer
+    // every stopping condition bit-identically to the built one, and carry
+    // the per-hub budget spends through.
+    let (g, hubs, _, mut flat) = ba2k_setup();
+    let spend_hub = hubs.ids()[3];
+    flat.set_budget_spent(spend_hub, 1.25e-3);
+    let path = arena_temp("queries");
+    flat.write_to_file(&path).unwrap();
+    let opened = FlatIndex::open(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(
+        opened.budget_spent(spend_hub).to_bits(),
+        1.25e-3f64.to_bits()
+    );
+    for &h in hubs.ids() {
+        let a = flat.load(h).unwrap();
+        let b = opened.load(h).unwrap();
+        assert_eq!(a.entries.len(), b.entries.len(), "hub {h}");
+        for (&(va, sa), &(vb, sb)) in a.entries.entries().iter().zip(b.entries.entries()) {
+            assert_eq!(va, vb, "hub {h}");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "hub {h} node {va}");
+        }
+    }
+    let config = Config::default().with_epsilon(1e-6);
+    let built_engine = QueryEngine::new(&g, &hubs, &flat, config);
+    let opened_engine = QueryEngine::new(&g, &hubs, &opened, config);
+    let stop = StoppingCondition::l1_error(1e-3).or_iterations(5);
+    for q in (0..2000u32).step_by(173) {
+        let a = built_engine.query(q, &stop);
+        let b = opened_engine.query(q, &stop);
+        assert_eq!(a.iterations, b.iterations, "q {q}");
+        assert_eq!(a.l1_error.to_bits(), b.l1_error.to_bits(), "q {q}");
+        assert_eq!(a.scores.len(), b.scores.len(), "q {q}");
+        for (&(va, sa), &(vb, sb)) in a.scores.entries().iter().zip(b.scores.entries()) {
+            assert_eq!(va, vb, "q {q}");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "q {q} node {va}");
+        }
+    }
+}
+
+#[test]
+fn arena_open_corruption_fuzz_never_panics() {
+    // Deterministic corruption sweep: truncate at random lengths and flip
+    // random bytes. open must return Ok or a typed error — never panic —
+    // and when it says Ok, every hub's views must be readable.
+    let g = barabasi_albert(400, 3, 7);
+    let hubs = select_hubs(&g, HubPolicy::ExpectedUtility, 30, 0);
+    let config = Config::default().with_epsilon(1e-5);
+    let (flat, _) = build_flat_index(&g, &hubs, &config, 1);
+    let path = arena_temp("fuzz");
+    flat.write_to_file(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let rounds: usize = std::env::var("FASTPPV_FUZZ_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let mut opened_ok = 0usize;
+    for round in 0..rounds {
+        let mut bytes = pristine.clone();
+        match round % 3 {
+            0 => {
+                let cut = rng() as usize % (bytes.len() + 1);
+                bytes.truncate(cut);
+            }
+            1 => {
+                let at = rng() as usize % bytes.len();
+                bytes[at] ^= (rng() as u8).max(1);
+            }
+            _ => {
+                for _ in 0..4 {
+                    let at = rng() as usize % bytes.len();
+                    bytes[at] = rng() as u8;
+                }
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        // Typed result, never a panic or out-of-bounds read.
+        if let Ok(opened) = FlatIndex::open(&path) {
+            opened_ok += 1;
+            for &h in opened.hub_ids().to_vec().iter() {
+                let view = opened.view(h).expect("open accepted the directory");
+                view.for_each(|_, s| {
+                    let _ = s;
+                });
+                let _ = opened.border_sublist(h);
+                let _ = opened.budget_spent(h);
+            }
+        }
+    }
+    // A pristine copy still opens (the loop never mutates `pristine`).
+    std::fs::write(&path, &pristine).unwrap();
+    FlatIndex::open(&path).expect("pristine file reopens");
+    std::fs::remove_file(&path).unwrap();
+    // Score-byte flips land in section interiors and are unvalidatable by
+    // design (raw f64 payloads), so some corrupt files must legitimately
+    // open — the guarantee under test is no panic, not total rejection.
+    assert!(opened_ok < rounds, "every corruption was accepted");
 }

@@ -269,6 +269,102 @@ fn hammer_flat_service_copy_on_write_updates() {
 }
 
 #[test]
+fn flat_service_publish_shares_chunks_with_pinned_snapshot() {
+    // Ten disjoint BA communities: an edge insert inside community 0 can
+    // only dirty that community's hubs, so the bulk of the arena stays
+    // live and untouched — the dead fraction never crosses the
+    // compaction threshold and the COW publish must Arc-share chunks.
+    let (k, per) = (10usize, 100usize);
+    let communities = |seed: u64| {
+        let mut b = GraphBuilder::new(k * per);
+        for c in 0..k {
+            let g = barabasi_albert(per, 3, seed + c as u64);
+            let off = (c * per) as u32;
+            for (s, t) in g.edges() {
+                b.add_edge(s + off, t + off);
+            }
+        }
+        b.build()
+    };
+    let config = Config::default().with_epsilon(1e-6);
+    let g0 = communities(73);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, 40, 0);
+    let tail = (0..per as u32).find(|&v| !hubs.is_hub(v)).unwrap();
+    let mut b = GraphBuilder::new(k * per);
+    for (s, t) in g0.edges() {
+        b.add_edge(s, t);
+    }
+    b.add_edge(tail, (tail + 41) % per as u32);
+    let g1 = b.build();
+    let store = build_flat_index(&g0, &hubs, &config, 1).0;
+    let service = QueryService::new(
+        Arc::new(g0.clone()),
+        Arc::new(hubs),
+        Arc::new(store),
+        config,
+        ServiceOptions {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+        },
+    );
+    let pinned = service.snapshot();
+    // Capture the pinned arena's bytes up front: after the update the
+    // same Arc must still read back bit-for-bit identical.
+    let before: Vec<(NodeId, Vec<(NodeId, u64)>)> = pinned
+        .store()
+        .hub_ids()
+        .iter()
+        .map(|&h| {
+            let bits = pinned
+                .store()
+                .load(h)
+                .expect("indexed hub")
+                .entries
+                .entries()
+                .iter()
+                .map(|&(v, s)| (v, s.to_bits()))
+                .collect();
+            (h, bits)
+        })
+        .collect();
+
+    service.apply_update(g1, &[tail]);
+    let published = service.store();
+
+    // The publish is chunked copy-on-write: untouched chunks of the new
+    // arena are the *same* Arc allocations as the pinned one — no deep
+    // copy — while dirty hubs went to fresh tail chunks.
+    let shared = published.shared_chunk_count(pinned.store());
+    assert!(
+        shared > 0,
+        "published arena shares no chunks with the snapshot it was derived \
+         from: the deep-clone publish stall is back"
+    );
+    assert!(
+        published.bytes_cloned() < pinned.store().arena_bytes() as u64,
+        "publish deep-copied at least the whole arena ({} bytes cloned, \
+         arena is {})",
+        published.bytes_cloned(),
+        pinned.store().arena_bytes()
+    );
+
+    // And the pinned snapshot still reads exactly what it read before.
+    for (h, bits) in &before {
+        let now: Vec<(NodeId, u64)> = pinned
+            .store()
+            .load(*h)
+            .expect("indexed hub")
+            .entries
+            .entries()
+            .iter()
+            .map(|&(v, s)| (v, s.to_bits()))
+            .collect();
+        assert_eq!(now, *bits, "pinned hub {h} drifted under a COW publish");
+    }
+}
+
+#[test]
 fn hammer_flat_service_delta_patched_updates() {
     let config = Config::default().with_epsilon(1e-6);
     let delta = DeltaConfig::default().with_budget(0.05);
