@@ -1,0 +1,451 @@
+//! Robustness experiment: offered load past capacity must bend the
+//! accuracy knob, not the latency knob.
+//!
+//! The serving stack's overload story is that φ — the certified L1 error
+//! every answer carries — is the degradation lever: past the degrade
+//! watermark admitted requests run fewer hub increments (looser φ,
+//! still certified), and past the shed watermark requests get an
+//! immediate typed `Overloaded { retry_after }` instead of queueing.
+//! This experiment measures both claims end to end over the TCP
+//! front-end on a loopback socket:
+//!
+//! 1. **Capacity**: closed-loop QPS of the plain service (no overload
+//!    policy) — the denominator for every multiplier below.
+//! 2. **Sweep**: open-loop *paced* offered load at 0.5×, 1×, 2×, and 5×
+//!    capacity against an overload-aware service. Senders pace by
+//!    wall-clock (catching up with bounded bursts when they fall
+//!    behind), so the offered rate is honest even when the server pushes
+//!    back. Per point: goodput (admitted/s, split full-φ vs degraded-φ),
+//!    shed fraction, and the p50/p99 of *admitted* requests — queue wait
+//!    included, measured by the service clock that also enforces the
+//!    per-request deadline.
+//!
+//! The acceptance claim: at 5× capacity, admitted p99 stays under the
+//! configured deadline and goodput stays ≥ 70% of capacity — the
+//! goodput plateaus instead of collapsing. Writes `BENCH_overload.json`
+//! (validated by CI's perf-smoke job).
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_overload \
+//!     [--scale F] [--queries N] [--seed S] [--threads T]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::table::Table;
+use fastppv_bench::workload::sample_queries_zipf;
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
+use fastppv_core::offline::build_index_parallel;
+use fastppv_core::{Config, MemoryIndex};
+use fastppv_graph::gen::barabasi_albert;
+use fastppv_graph::{pagerank, NodeId, PageRankOptions};
+use fastppv_server::net::{serve, Client, WireRequest};
+use fastppv_server::{percentile, OverloadOptions, QueryService, ServiceOptions};
+
+/// Iteration budget η per request when the service is not degrading.
+const ETA: u32 = 2;
+/// Top-k entries per answer: isolates serving cost from payload size.
+const TOP_K: u32 = 8;
+/// The latency SLO the run is judged against (admitted p99 ≤ this).
+const SLO_MS: f64 = 50.0;
+/// Per-request deadline on the wire, under the SLO so the increment
+/// loop cuts early enough to leave head-room for framing and queueing.
+const REQUEST_DEADLINE_MS: u32 = 40;
+/// Offered-load duration per sweep point.
+const POINT_SECONDS: f64 = 3.0;
+/// Offered-load multipliers over measured capacity.
+const MULTIPLIERS: [f64; 4] = [0.5, 1.0, 2.0, 5.0];
+/// Paced senders per sweep point.
+const SENDERS: usize = 2;
+/// Largest catch-up burst a sender may emit in one frame.
+const MAX_BURST: usize = 128;
+
+/// One sweep point's tallies.
+struct Point {
+    multiplier: f64,
+    offered: usize,
+    admitted: usize,
+    degraded: usize,
+    shed: usize,
+    errors: usize,
+    wall: Duration,
+    /// Service-clock latency of every admitted request (queue wait
+    /// included — the same clock the deadline is enforced on).
+    admitted_latency: Vec<Duration>,
+}
+
+impl Point {
+    fn offered_qps(&self) -> f64 {
+        self.offered as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+    fn goodput_qps(&self) -> f64 {
+        self.admitted as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+    fn goodput_full_qps(&self) -> f64 {
+        (self.admitted - self.degraded) as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+    fn goodput_degraded_qps(&self) -> f64 {
+        self.degraded as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+    fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+    fn p50_ms(&self) -> f64 {
+        percentile(&self.admitted_latency, 0.50).as_secs_f64() * 1e3
+    }
+    fn p99_ms(&self) -> f64 {
+        percentile(&self.admitted_latency, 0.99).as_secs_f64() * 1e3
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse(2000);
+    let n = ((50_000.0 * args.scale) as usize).max(1000);
+    let hub_count = n / 25;
+    println!(
+        "# Overload sweep: offered load past capacity, BA-{}k",
+        n / 1000
+    );
+
+    let graph = Arc::new(barabasi_albert(n, 4, args.seed));
+    println!(
+        "graph: {} nodes, {} edges, {} hubs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        hub_count
+    );
+    let pr = pagerank(&graph, PageRankOptions::default());
+    let hubs = Arc::new(select_hubs_with_pagerank(
+        &graph,
+        HubPolicy::ExpectedUtility,
+        hub_count,
+        0,
+        Some(&pr),
+    ));
+    let config = Config::default().with_epsilon(1e-6);
+    let build_started = Instant::now();
+    let (index, _) = build_index_parallel(&graph, &hubs, &config, args.threads);
+    println!("index built in {:.2?}", build_started.elapsed());
+    let store: Arc<MemoryIndex> = Arc::new(index);
+    let queries = sample_queries_zipf(&graph, args.queries, 1.0, args.seed);
+
+    let service_options = ServiceOptions {
+        workers: args.threads,
+        queue_capacity: 1024,
+        cache_capacity: 0, // every request exercises the engine
+    };
+
+    // ------------------------------------------------------------------
+    // Capacity: closed-loop QPS of the *plain* service. This is the
+    // denominator for every multiplier below.
+    // ------------------------------------------------------------------
+    let plain = Arc::new(QueryService::new(
+        Arc::clone(&graph),
+        Arc::clone(&hubs),
+        Arc::clone(&store),
+        config,
+        service_options,
+    ));
+    let server = serve(
+        plain,
+        std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+    )
+    .expect("start plain front-end");
+    let report = fastppv_bench::driver::run_closed_loop_socket(
+        server.local_addr(),
+        &hubs,
+        &queries,
+        fastppv_bench::driver::SocketRunSpec {
+            eta: ETA as usize,
+            clients: SENDERS,
+            top_k: TOP_K,
+        },
+    )
+    .expect("capacity closed loop");
+    server.shutdown();
+    let capacity_qps = report.qps;
+    println!(
+        "capacity: {capacity_qps:.0} QPS closed-loop ({} queries, p50 {:.2?}, p99 {:.2?})",
+        report.queries, report.p50, report.p99
+    );
+
+    // ------------------------------------------------------------------
+    // Sweep: paced offered load against the overload-aware service.
+    // ------------------------------------------------------------------
+    let overload = OverloadOptions {
+        degrade_in_flight: (2 * args.threads).max(2),
+        shed_in_flight: (8 * args.threads).max(8),
+        degraded_max_iterations: 1,
+        deadline_p99: Some(Duration::from_millis(SLO_MS as u64)),
+        ..OverloadOptions::default()
+    };
+    let service = Arc::new(
+        QueryService::new(
+            Arc::clone(&graph),
+            Arc::clone(&hubs),
+            Arc::clone(&store),
+            config,
+            service_options,
+        )
+        .with_overload(overload),
+    );
+    let server = serve(
+        service,
+        std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+    )
+    .expect("start overload front-end");
+    let addr = server.local_addr();
+
+    let mut points: Vec<Point> = Vec::new();
+    for multiplier in MULTIPLIERS {
+        let rate = capacity_qps * multiplier;
+        let target = ((rate * POINT_SECONDS) as usize).max(SENDERS * 10);
+        let point = run_paced_point(addr, &queries, rate, target);
+        println!(
+            "{multiplier:>4.1}x: offered {:.0}/s, goodput {:.0}/s \
+             ({:.0} full + {:.0} degraded), shed {:.1}%, \
+             admitted p50 {:.1} ms p99 {:.1} ms",
+            point.offered_qps(),
+            point.goodput_qps(),
+            point.goodput_full_qps(),
+            point.goodput_degraded_qps(),
+            100.0 * point.shed_fraction(),
+            point.p50_ms(),
+            point.p99_ms(),
+        );
+        points.push(Point {
+            multiplier,
+            ..point
+        });
+    }
+    server.shutdown();
+
+    let mut table = Table::new(vec![
+        "offered",
+        "offered/s",
+        "goodput/s",
+        "full/s",
+        "degraded/s",
+        "shed%",
+        "p50 ms",
+        "p99 ms",
+    ]);
+    for p in &points {
+        table.row(vec![
+            format!("{:.1}x", p.multiplier),
+            format!("{:.0}", p.offered_qps()),
+            format!("{:.0}", p.goodput_qps()),
+            format!("{:.0}", p.goodput_full_qps()),
+            format!("{:.0}", p.goodput_degraded_qps()),
+            format!("{:.1}", 100.0 * p.shed_fraction()),
+            format!("{:.1}", p.p50_ms()),
+            format!("{:.1}", p.p99_ms()),
+        ]);
+    }
+    table.print("Offered-load sweep — goodput must plateau, not collapse");
+
+    let peak = points.last().expect("sweep ran");
+    let goodput_vs_capacity = peak.goodput_qps() / capacity_qps.max(1e-9);
+    println!(
+        "\nat {}x: goodput is {:.0}% of capacity (acceptance: ≥ 70%), \
+         admitted p99 {:.1} ms (SLO {SLO_MS} ms)",
+        peak.multiplier,
+        100.0 * goodput_vs_capacity,
+        peak.p99_ms()
+    );
+
+    let json = to_json(
+        n,
+        &graph,
+        hub_count,
+        &args,
+        capacity_qps,
+        &overload,
+        &points,
+        goodput_vs_capacity,
+    );
+    std::fs::write("BENCH_overload.json", json).expect("write BENCH_overload.json");
+    println!("wrote BENCH_overload.json");
+}
+
+/// One paced offered-load point: `SENDERS` connections jointly offer
+/// `target` requests at `rate`/s. Each sender paces by wall-clock and
+/// catches up with bounded bursts when a round trip put it behind
+/// schedule, so aggregate offered rate tracks `rate` even under
+/// push-back.
+fn run_paced_point(
+    addr: std::net::SocketAddr,
+    queries: &[NodeId],
+    rate: f64,
+    target: usize,
+) -> Point {
+    let per_sender_rate = rate / SENDERS as f64;
+    let point_started = Instant::now();
+    let results: Vec<(usize, usize, usize, usize, usize, Vec<Duration>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SENDERS)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect sender");
+                        let share = target / SENDERS + usize::from(s < target % SENDERS);
+                        let mut sent = 0usize;
+                        let (mut admitted, mut degraded, mut shed, mut errors) =
+                            (0usize, 0usize, 0usize, 0usize);
+                        let mut latencies = Vec::new();
+                        let started = Instant::now();
+                        while sent < share {
+                            let due = ((started.elapsed().as_secs_f64() * per_sender_rate)
+                                as usize)
+                                .clamp(sent, share)
+                                - sent;
+                            if due == 0 {
+                                std::thread::sleep(Duration::from_micros(500));
+                                continue;
+                            }
+                            let burst = due.min(MAX_BURST);
+                            let requests: Vec<WireRequest> = (0..burst)
+                                .map(|i| {
+                                    let q = queries[(s + (sent + i) * SENDERS) % queries.len()];
+                                    WireRequest::iterations(q, ETA)
+                                        .with_top_k(TOP_K)
+                                        .with_deadline_ms(REQUEST_DEADLINE_MS)
+                                })
+                                .collect();
+                            let responses =
+                                client.request_batch(&requests).expect("sweep round trip");
+                            for r in &responses {
+                                if let Some(a) = r.answer() {
+                                    admitted += 1;
+                                    if a.degraded {
+                                        degraded += 1;
+                                    }
+                                    latencies.push(a.latency);
+                                } else if r.retry_after().is_some() {
+                                    shed += 1;
+                                } else {
+                                    errors += 1;
+                                }
+                            }
+                            sent += burst;
+                        }
+                        (sent, admitted, degraded, shed, errors, latencies)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sender panicked"))
+                .collect()
+        });
+    let mut point = Point {
+        multiplier: 0.0,
+        offered: 0,
+        admitted: 0,
+        degraded: 0,
+        shed: 0,
+        errors: 0,
+        wall: point_started.elapsed(),
+        admitted_latency: Vec::new(),
+    };
+    for (sent, admitted, degraded, shed, errors, latencies) in results {
+        point.offered += sent;
+        point.admitted += admitted;
+        point.degraded += degraded;
+        point.shed += shed;
+        point.errors += errors;
+        point.admitted_latency.extend(latencies);
+    }
+    assert_eq!(
+        point.offered,
+        point.admitted + point.shed + point.errors,
+        "every offered request is admitted, shed, or errored"
+    );
+    point
+}
+
+/// Hand-rolled JSON (the environment vendors no serde). The top-level
+/// convenience keys repeat the 5× (last) sweep point — they are what
+/// CI's perf-smoke validates.
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    n: usize,
+    graph: &fastppv_graph::Graph,
+    hub_count: usize,
+    args: &CommonArgs,
+    capacity_qps: f64,
+    overload: &OverloadOptions,
+    points: &[Point],
+    goodput_vs_capacity: f64,
+) -> String {
+    let peak = points.last().expect("sweep ran");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"overload\",\n");
+    out.push_str(&format!("  \"dataset\": \"BA-{}k\",\n", n / 1000));
+    out.push_str(&format!("  \"nodes\": {},\n", graph.num_nodes()));
+    out.push_str(&format!("  \"edges\": {},\n", graph.num_edges()));
+    out.push_str(&format!("  \"hubs\": {hub_count},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"workers\": {},\n", args.threads));
+    out.push_str(&format!("  \"eta\": {ETA},\n"));
+    out.push_str(&format!("  \"deadline_ms\": {SLO_MS},\n"));
+    out.push_str(&format!(
+        "  \"request_deadline_ms\": {REQUEST_DEADLINE_MS},\n"
+    ));
+    out.push_str(&format!(
+        "  \"degrade_in_flight\": {},\n",
+        overload.degrade_in_flight
+    ));
+    out.push_str(&format!(
+        "  \"shed_in_flight\": {},\n",
+        overload.shed_in_flight
+    ));
+    out.push_str(&format!("  \"capacity_qps\": {capacity_qps:.3},\n"));
+    out.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"multiplier\": {}, \"offered\": {}, \"offered_qps\": {:.3}, \
+             \"admitted\": {}, \"degraded\": {}, \"shed\": {}, \"errors\": {}, \
+             \"goodput_qps\": {:.3}, \"goodput_full_qps\": {:.3}, \
+             \"goodput_degraded_qps\": {:.3}, \"shed_fraction\": {:.6}, \
+             \"p50_admitted_ms\": {:.3}, \"p99_admitted_ms\": {:.3}}}{}\n",
+            p.multiplier,
+            p.offered,
+            p.offered_qps(),
+            p.admitted,
+            p.degraded,
+            p.shed,
+            p.errors,
+            p.goodput_qps(),
+            p.goodput_full_qps(),
+            p.goodput_degraded_qps(),
+            p.shed_fraction(),
+            p.p50_ms(),
+            p.p99_ms(),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"peak_multiplier\": {},\n", peak.multiplier));
+    out.push_str(&format!("  \"goodput_qps\": {:.3},\n", peak.goodput_qps()));
+    out.push_str(&format!(
+        "  \"goodput_degraded\": {:.3},\n",
+        peak.goodput_degraded_qps()
+    ));
+    out.push_str(&format!(
+        "  \"shed_fraction\": {:.6},\n",
+        peak.shed_fraction()
+    ));
+    out.push_str(&format!("  \"p99_admitted_ms\": {:.3},\n", peak.p99_ms()));
+    out.push_str(&format!(
+        "  \"goodput_vs_capacity\": {goodput_vs_capacity:.4}\n"
+    ));
+    out.push_str("}\n");
+    out
+}

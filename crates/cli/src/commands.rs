@@ -1,20 +1,22 @@
 //! The `fastppv` subcommands.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use fastppv_cluster::partition::{cluster_graph, ClusteringOptions};
 use fastppv_cluster::store::write_clustered_graph;
+use fastppv_core::atomic_io;
 use fastppv_core::autotune::{suggest_hub_count, AutotuneOptions};
 use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
 use fastppv_core::index::{DiskIndex, FlatIndex, PpvStore};
 use fastppv_core::offline::build_index_parallel;
 use fastppv_core::query::{QueryEngine, StoppingCondition};
-use fastppv_core::{Config, DeltaConfig};
+use fastppv_core::{Config, DeltaConfig, Manifest, Wal, WalBatch};
 use fastppv_graph::gen::{
-    apply_event, barabasi_albert, erdos_renyi, synth_events, BibNetwork, DblpParams, SocialNetwork,
-    SocialParams,
+    apply_event, barabasi_albert, erdos_renyi, synth_events, BibNetwork, DblpParams, EdgeEvent,
+    SocialNetwork, SocialParams,
 };
-use fastppv_graph::io::{read_edge_list_file, write_edge_list_file};
+use fastppv_graph::io::{read_edge_list_file, write_edge_list, write_edge_list_file};
 use fastppv_graph::{pagerank, DanglingPolicy, Graph, PageRankOptions};
 use fastppv_server::{QueryService, Request, ServiceOptions};
 
@@ -427,7 +429,8 @@ pub fn serve(argv: &[String]) -> CmdResult {
     let usage = "fastppv serve --graph edges.txt [--undirected] --index index.fppv\n\
                  [--listen ADDR] [--workers N] [--queue N] [--hot-cache N]\n\
                  [--cache N] [--store flat|disk] [--eta K | --l1 ERR]\n\
-                 [--top K] [--batch B] [--alpha A] [--epsilon E] [--delta D]\n\
+                 [--top K] [--batch B] [--wal DIR]\n\
+                 [--alpha A] [--epsilon E] [--delta D]\n\
                  \n\
                  Default mode reads one query per line from stdin:\n\
                  `NODE [eta=K | l1=ERR]` (the optional suffix overrides the\n\
@@ -438,7 +441,14 @@ pub fn serve(argv: &[String]) -> CmdResult {
                  ephemeral port) the service speaks the length-prefixed\n\
                  binary TCP protocol of fastppv_server::net instead: the\n\
                  bound address is announced on stderr, connections are\n\
-                 served until the process is killed.";
+                 served until the process is killed.\n\
+                 \n\
+                 With --wal DIR (a directory written by `fastppv update`)\n\
+                 startup recovers the most recent durable state: the\n\
+                 checkpointed graph + arena replace --graph/--index content\n\
+                 and logged-but-uncheckpointed events are replayed before\n\
+                 the first query is served. The log itself is left\n\
+                 untouched. Requires --store flat.";
     let args = Args::parse(
         argv,
         &with_config_flags(&[
@@ -454,6 +464,7 @@ pub fn serve(argv: &[String]) -> CmdResult {
             "top",
             "batch",
             "store",
+            "wal",
         ]),
         &["undirected"],
         usage,
@@ -484,32 +495,116 @@ pub fn serve(argv: &[String]) -> CmdResult {
         return Err(CliError::Usage("--batch must be positive".into()));
     }
     let listen: Option<String> = args.get("listen")?;
+    let wal: Option<String> = args.get("wal")?;
     let graph = load_graph(&args)?;
     let config = config_from_args(&args)?;
     let (store, hubs) = open_store(&args, &graph)?;
     match store {
-        StoreChoice::Flat(s) => serve_entry(
-            graph,
-            hubs,
-            s,
-            config,
-            options,
-            default_stop,
-            top,
-            batch,
-            listen,
-        ),
-        StoreChoice::Disk(s) => serve_entry(
-            graph,
-            hubs,
-            s,
-            config,
-            options,
-            default_stop,
-            top,
-            batch,
-            listen,
-        ),
+        StoreChoice::Flat(s) => {
+            let (graph, hubs, s, wal_dir) = match wal {
+                None => (graph, hubs, s, None),
+                Some(dir) => {
+                    let mut w = open_wal_dir(PathBuf::from(dir))?;
+                    match w.recovered.take() {
+                        None => (graph, hubs, s, Some(w)),
+                        Some((g, flat)) => {
+                            if g.num_nodes() != graph.num_nodes()
+                                || flat.capacity() != graph.num_nodes()
+                            {
+                                return Err(format!(
+                                    "wal dir checkpoint has {} nodes but --graph has {}; \
+                                     wrong --wal directory for this graph?",
+                                    g.num_nodes(),
+                                    graph.num_nodes()
+                                )
+                                .into());
+                            }
+                            let hubs = HubSet::from_ids(g.num_nodes(), flat.hub_ids().to_vec());
+                            (g, hubs, flat, Some(w))
+                        }
+                    }
+                }
+            };
+            serve_flat(
+                graph,
+                hubs,
+                s,
+                config,
+                options,
+                default_stop,
+                top,
+                batch,
+                listen,
+                wal_dir,
+            )
+        }
+        StoreChoice::Disk(s) => {
+            if wal.is_some() {
+                return Err(CliError::Usage(
+                    "--wal requires --store flat (recovery replays into the arena)".into(),
+                ));
+            }
+            serve_entry(
+                graph,
+                hubs,
+                s,
+                config,
+                options,
+                default_stop,
+                top,
+                batch,
+                listen,
+            )
+        }
+    }
+}
+
+/// The `--store flat` serve path: like [`serve_entry`], plus WAL startup
+/// recovery — events the last `fastppv update` logged but had not yet
+/// checkpointed are replayed into the service before the first query.
+#[allow(clippy::too_many_arguments)]
+fn serve_flat(
+    graph: Graph,
+    hubs: HubSet,
+    store: FlatIndex,
+    config: Config,
+    options: ServiceOptions,
+    default_stop: StoppingCondition,
+    top: usize,
+    batch: usize,
+    listen: Option<String>,
+    wal_dir: Option<WalDir>,
+) -> CmdResult {
+    let num_nodes = graph.num_nodes();
+    let service = std::sync::Arc::new(QueryService::new(
+        std::sync::Arc::new(graph),
+        std::sync::Arc::new(hubs),
+        std::sync::Arc::new(store),
+        config,
+        options,
+    ));
+    if let Some(w) = wal_dir {
+        let mut replayed = 0u64;
+        for batch in &w.pending {
+            for ev in &batch.events {
+                let next = apply_event(&service.graph(), ev);
+                service.apply_update(next, &[ev.tail]);
+                replayed += 1;
+            }
+        }
+        if w.checkpoint_seq > 0 || replayed > 0 {
+            eprintln!(
+                "recovered from {}: checkpoint at event {}, replayed {replayed} \
+                 wal events (serving epoch {})",
+                w.dir.display(),
+                w.checkpoint_seq,
+                service.epoch()
+            );
+        }
+    }
+    match listen {
+        Some(addr) => serve_net(service, &addr, num_nodes, options),
+        None => serve_loop(service, num_nodes, options, default_stop, top, batch),
     }
 }
 
@@ -741,10 +836,141 @@ fn parse_serve_line(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Durability: update WAL + generation-stamped checkpoints
+// ---------------------------------------------------------------------------
+
+/// File names inside a WAL directory. The directory as a whole is the
+/// durable unit: `wal.log` (FPPVWAL1 edge events, appended *before* each
+/// event is applied), `manifest` (FPPVMAN1, the atomic commit point naming
+/// the current generation files), and `arena.gen-N` / `graph.gen-N`
+/// checkpoints (each published via temp + fsync + rename).
+const WAL_LOG: &str = "wal.log";
+const WAL_MANIFEST: &str = "manifest";
+
+/// A WAL directory opened for recovery + appends.
+///
+/// Crash-consistency argument, by interruption point:
+/// * after `append`, before apply — the event is in `pending` on restart
+///   and replayed;
+/// * during a checkpoint — generation files and the manifest are each
+///   written atomically, so restart sees either the old manifest (WAL
+///   still covers the tail) or the new one (stale WAL records are
+///   filtered by `seq`);
+/// * after the manifest, before `truncate` — records below
+///   `checkpoint_seq` are dropped as already-applied.
+struct WalDir {
+    dir: PathBuf,
+    wal: Wal,
+    /// Events `[0, checkpoint_seq)` are baked into the checkpoint files.
+    checkpoint_seq: u64,
+    /// WAL batches not yet reflected in a checkpoint (seq ≥ `checkpoint_seq`).
+    pending: Vec<WalBatch>,
+    /// The checkpointed (graph, arena) pair, when a manifest was present.
+    recovered: Option<(Graph, FlatIndex)>,
+}
+
+fn wal_err(dir: &Path, e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(format!(
+        "wal dir {}: {e} (pass --no-wal to run without crash durability)",
+        dir.display()
+    ))
+}
+
+/// Opens (creating if needed) a WAL directory and performs the read side
+/// of recovery: load the manifest, open the checkpointed generation files
+/// it names, and split the log into already-applied and pending records.
+/// Fails closed — an unwritable directory, a corrupt manifest, or a log
+/// that disagrees with the manifest is an error, never a silent reset.
+fn open_wal_dir(dir: PathBuf) -> Result<WalDir, CliError> {
+    std::fs::create_dir_all(&dir).map_err(|e| wal_err(&dir, e))?;
+    let manifest = Manifest::read(dir.join(WAL_MANIFEST)).map_err(|e| wal_err(&dir, e))?;
+    let (wal, batches) = Wal::open(dir.join(WAL_LOG)).map_err(|e| wal_err(&dir, e))?;
+    let (checkpoint_seq, recovered) = match manifest {
+        None => (0, None),
+        Some(m) => {
+            let graph = read_edge_list_file(dir.join(&m.graph_name), false, DanglingPolicy::Keep)
+                .map_err(|e| wal_err(&dir, format!("{}: {e}", m.graph_name)))?;
+            let flat = FlatIndex::open(dir.join(&m.arena_name))
+                .map_err(|e| wal_err(&dir, format!("{}: {e}", m.arena_name)))?;
+            (m.seq, Some((graph, flat)))
+        }
+    };
+    // Records fully covered by the checkpoint are stale — the crash
+    // happened between the manifest publish and the log truncate.
+    let pending: Vec<WalBatch> = batches
+        .into_iter()
+        .filter(|b| b.end_seq() > checkpoint_seq)
+        .collect();
+    if let Some(first) = pending.first() {
+        // Checkpoints land on batch boundaries, so the first live batch
+        // must start exactly at the checkpoint; anything else means the
+        // directory was tampered with or mixes runs. Fail closed rather
+        // than double-apply or skip events.
+        if first.seq != checkpoint_seq {
+            return Err(wal_err(
+                &dir,
+                format!(
+                    "log resumes at event {} but the checkpoint covers {}",
+                    first.seq, checkpoint_seq
+                ),
+            ));
+        }
+    }
+    Ok(WalDir {
+        dir,
+        wal,
+        checkpoint_seq,
+        pending,
+        recovered,
+    })
+}
+
+impl WalDir {
+    /// Publishes a checkpoint of `(graph, flat)` as generation `seq`:
+    /// generation files first (each temp + fsync + rename), then the
+    /// manifest (the single atomic commit point), then the log truncate.
+    /// Older generation files are garbage once the manifest moves on;
+    /// their removal is best-effort — a crash there only leaves extras.
+    fn publish_checkpoint(&mut self, seq: u64, graph: &Graph, flat: &FlatIndex) -> CmdResult {
+        let arena_name = format!("arena.gen-{seq}");
+        let graph_name = format!("graph.gen-{seq}");
+        flat.write_to_file(self.dir.join(&arena_name))
+            .map_err(|e| wal_err(&self.dir, format!("{arena_name}: {e}")))?;
+        atomic_io::write_atomic(self.dir.join(&graph_name), |w| write_edge_list(graph, w))
+            .map_err(|e| wal_err(&self.dir, format!("{graph_name}: {e}")))?;
+        Manifest {
+            seq,
+            arena_name,
+            graph_name,
+        }
+        .write(self.dir.join(WAL_MANIFEST))
+        .map_err(|e| wal_err(&self.dir, e))?;
+        self.wal.truncate().map_err(|e| wal_err(&self.dir, e))?;
+        self.checkpoint_seq = seq;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale = |prefix: &str| {
+                    name.strip_prefix(prefix)
+                        .and_then(|g| g.parse::<u64>().ok())
+                        .is_some_and(|g| g != seq)
+                };
+                if stale("arena.gen-") || stale("graph.gen-") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// `fastppv update`
 pub fn update(argv: &[String]) -> CmdResult {
     let usage = "fastppv update --graph edges.txt [--undirected] --index index.fppv\n\
                  [--events N] [--delete-fraction F] [--budget B] [--seed S]\n\
+                 [--wal DIR | --no-wal] [--checkpoint-every K]\n\
                  [--alpha A] [--epsilon E] [--delta D] [--clip C]\n\
                  \n\
                  Streaming-update exerciser: synthesizes N seeded single-edge\n\
@@ -755,7 +981,16 @@ pub fn update(argv: &[String]) -> CmdResult {
                  every dirty hub exactly). Reports sustained edge-events/s,\n\
                  the patched/recomputed split, and the certified budget\n\
                  watermark of the final index. Pass the same --epsilon etc.\n\
-                 the index was built with.";
+                 the index was built with.\n\
+                 \n\
+                 Durability: each event is appended to a write-ahead log\n\
+                 (--wal DIR, default <index>.wal.d) before it is applied,\n\
+                 and every K events (--checkpoint-every, default 64) plus at\n\
+                 exit the refreshed arena + graph are checkpointed atomically\n\
+                 and the log truncated. Re-running the same invocation after\n\
+                 a crash — SIGKILL included — recovers the exact pre-crash\n\
+                 state from checkpoint + log and finishes the stream.\n\
+                 --no-wal opts out (no persistence, no recovery).";
     let args = Args::parse(
         argv,
         &with_config_flags(&[
@@ -766,14 +1001,17 @@ pub fn update(argv: &[String]) -> CmdResult {
             "budget",
             "seed",
             "cache",
+            "wal",
+            "checkpoint-every",
         ]),
-        &["undirected"],
+        &["undirected", "no-wal"],
         usage,
     )?;
     let events_count: usize = args.get_or("events", 100)?;
     let delete_fraction: f64 = args.get_or("delete-fraction", 0.2)?;
     let budget: f64 = args.get_or("budget", 0.01)?;
     let seed: u64 = args.get_or("seed", 42)?;
+    let checkpoint_every: u64 = args.get_or("checkpoint-every", 64)?;
     if !(0.0..=1.0).contains(&delete_fraction) {
         return Err(CliError::Usage(
             "--delete-fraction must be in [0, 1]".into(),
@@ -782,6 +1020,16 @@ pub fn update(argv: &[String]) -> CmdResult {
     if budget < 0.0 {
         return Err(CliError::Usage("--budget must be non-negative".into()));
     }
+    if checkpoint_every == 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-every must be positive".into(),
+        ));
+    }
+    if args.has("no-wal") && args.get::<String>("wal")?.is_some() {
+        return Err(CliError::Usage(
+            "give --wal DIR or --no-wal, not both".into(),
+        ));
+    }
     let graph = load_graph(&args)?;
     if graph.num_nodes() < 2 {
         return Err("need at least two nodes to synthesize edge events"
@@ -789,14 +1037,55 @@ pub fn update(argv: &[String]) -> CmdResult {
             .into());
     }
     let config = config_from_args(&args)?;
-    let (flat, hubs) = open_flat_store(&args, &graph)?;
+    let mut wal_dir = if args.has("no-wal") {
+        None
+    } else {
+        let index_path: String = args.require("index")?;
+        let dir: String = args.get_or("wal", format!("{index_path}.wal.d"))?;
+        Some(open_wal_dir(PathBuf::from(dir))?)
+    };
+
+    // The synthesized stream depends only on the *initial* graph (and the
+    // knobs), so a recovered run re-derives the identical event sequence
+    // and resumes mid-stream.
+    let events = synth_events(&graph, events_count, delete_fraction, seed);
+    let num_nodes = graph.num_nodes();
+    let recovered_from = wal_dir.as_ref().map_or(0, |w| w.checkpoint_seq);
+    if recovered_from > events.len() as u64 {
+        return Err(format!(
+            "wal dir checkpoint covers {recovered_from} events but --events is {}; \
+             rerun with the flags the wal was recorded under, or --no-wal",
+            events.len()
+        )
+        .into());
+    }
+    // Serving starts from the checkpoint when one exists; otherwise from
+    // the --index as before.
+    let (start_graph, flat, hubs) = match wal_dir.as_mut().and_then(|w| w.recovered.take()) {
+        Some((g, f)) => {
+            if g.num_nodes() != num_nodes || f.capacity() != num_nodes {
+                return Err(format!(
+                    "wal dir checkpoint has {} nodes but --graph has {num_nodes}; \
+                     wrong --wal directory for this graph?",
+                    g.num_nodes()
+                )
+                .into());
+            }
+            let hubs = HubSet::from_ids(num_nodes, f.hub_ids().to_vec());
+            (g, f, hubs)
+        }
+        None => {
+            let (f, h) = open_flat_store(&args, &graph)?;
+            (graph, f, h)
+        }
+    };
     let delta = if budget > 0.0 {
         DeltaConfig::default().with_budget(budget)
     } else {
         DeltaConfig::exact()
     };
     let service = QueryService::new(
-        std::sync::Arc::new(graph),
+        std::sync::Arc::new(start_graph),
         std::sync::Arc::new(hubs),
         std::sync::Arc::new(flat),
         config,
@@ -808,12 +1097,57 @@ pub fn update(argv: &[String]) -> CmdResult {
     )
     .with_delta_config(delta);
 
-    let events = synth_events(&service.graph(), events_count, delete_fraction, seed);
+    // A WAL event must agree with the re-synthesized stream at the same
+    // position; divergence means the directory was recorded under
+    // different knobs, and applying it would corrupt the resumed run.
+    let check_stream = |i: u64, ev: &EdgeEvent| -> CmdResult {
+        let ok = events
+            .get(i as usize)
+            .is_some_and(|e| e.tail == ev.tail && e.head == ev.head && e.insert == ev.insert);
+        if ok {
+            Ok(())
+        } else {
+            Err(format!(
+                "wal event {i} does not match the synthesized stream; the wal dir \
+                 was recorded under different --graph/--events/--seed/\
+                 --delete-fraction flags (rerun with those, or remove the dir, \
+                 or pass --no-wal)"
+            )
+            .into())
+        }
+    };
+
+    // Recovery replay: events the crashed run logged but had not yet
+    // checkpointed. Already durable in the log, so not re-appended.
+    let mut applied = recovered_from;
+    let mut replayed = 0u64;
+    if let Some(w) = wal_dir.as_mut() {
+        for batch in std::mem::take(&mut w.pending) {
+            for (off, ev) in batch.events.iter().enumerate() {
+                let i = batch.seq + off as u64;
+                if i < applied {
+                    continue;
+                }
+                check_stream(i, ev)?;
+                let next = apply_event(&service.graph(), ev);
+                service.apply_update(next, &[ev.tail]);
+                applied = i + 1;
+                replayed += 1;
+            }
+        }
+    }
+
     let mut wall = std::time::Duration::ZERO;
     let (mut patched, mut noop, mut recomputed) = (0usize, 0usize, 0usize);
     let mut watermark = 0.0f64;
+    let mut checkpoints = 0usize;
     let mut cur = service.graph();
-    for ev in &events {
+    for (i, ev) in events.iter().enumerate().skip(applied as usize) {
+        if let Some(w) = wal_dir.as_mut() {
+            w.wal
+                .append(i as u64, std::slice::from_ref(ev))
+                .map_err(|e| wal_err(&w.dir, e))?;
+        }
         let next = apply_event(&cur, ev);
         let started = Instant::now();
         let stats = service.apply_update(next, &[ev.tail]);
@@ -823,8 +1157,30 @@ pub fn update(argv: &[String]) -> CmdResult {
         recomputed += stats.recomputed;
         watermark = watermark.max(stats.budget_watermark);
         cur = service.graph();
+        applied = i as u64 + 1;
+        if let Some(w) = wal_dir.as_mut() {
+            if applied % checkpoint_every == 0 {
+                let store = service.store();
+                w.publish_checkpoint(applied, &cur, &store)?;
+                checkpoints += 1;
+            }
+        }
+    }
+    if let Some(w) = wal_dir.as_mut() {
+        if w.checkpoint_seq != applied && applied > 0 {
+            let store = service.store();
+            w.publish_checkpoint(applied, &service.graph(), &store)?;
+            checkpoints += 1;
+        }
     }
     let final_graph = service.graph();
+    if recovered_from > 0 || replayed > 0 {
+        println!(
+            "recovered: checkpoint at event {recovered_from} + {replayed} replayed \
+             wal events; resumed the stream at event {}",
+            recovered_from + replayed
+        );
+    }
     println!(
         "streamed {} events ({} inserts, {} deletes) in {:.2?} — {:.1} events/s \
          (refresh wall-clock only)",
@@ -832,8 +1188,15 @@ pub fn update(argv: &[String]) -> CmdResult {
         events.iter().filter(|e| e.insert).count(),
         events.iter().filter(|e| !e.insert).count(),
         wall,
-        events.len() as f64 / wall.as_secs_f64().max(1e-9)
+        (events.len() as u64 - recovered_from - replayed) as f64 / wall.as_secs_f64().max(1e-9)
     );
+    if let Some(w) = &wal_dir {
+        println!(
+            "durable: wal {} (checkpoint every {checkpoint_every} events, \
+             {checkpoints} published, log at event {applied})",
+            w.dir.display()
+        );
+    }
     println!(
         "dirty hubs: {} delta-patched ({} no-op) + {} recomputed exactly; \
          published epoch {}",

@@ -12,9 +12,10 @@
 //!                   --node Q --k K [--max-eta K]
 //! fastppv serve     --graph edges.txt [--undirected] --index index.fppv
 //!                   [--listen ADDR] [--workers N] [--hot-cache N]
-//!                   [--eta K | --l1 ERR]
+//!                   [--eta K | --l1 ERR] [--wal DIR]
 //! fastppv update    --graph edges.txt [--undirected] --index index.fppv
 //!                   [--events N] [--delete-fraction F] [--budget B] [--seed S]
+//!                   [--wal DIR | --no-wal] [--checkpoint-every K]
 //! fastppv stats     --index index.fppv
 //! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
 //! ```

@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::time::Duration;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_fastppv"))
@@ -503,8 +504,28 @@ fn update_streams_events_delta_and_exact() {
     assert!(text.contains("events/s"), "{text}");
     assert!(text.contains("delta-patched"), "{text}");
     assert!(text.contains("certified error watermark"), "{text}");
+    // Durability is on by default: the run reports its wal dir.
+    assert!(text.contains("durable: wal"), "{text}");
 
-    // Budget 0: the exact path, no watermark line.
+    // Rerunning the same stream with fewer events contradicts the wal
+    // dir's checkpoint: fail closed, don't silently diverge.
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--events", "5", "--budget", "0", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--no-wal"),
+        "the conflict error must name the way out: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Budget 0 with --no-wal: the exact path, no watermark line, and the
+    // stale checkpoint is ignored entirely.
     let out = bin()
         .args(["update", "--graph"])
         .arg(&graph)
@@ -519,6 +540,7 @@ fn update_streams_events_delta_and_exact() {
             "5",
             "--epsilon",
             "1e-6",
+            "--no-wal",
         ])
         .output()
         .unwrap();
@@ -530,6 +552,7 @@ fn update_streams_events_delta_and_exact() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("recomputed exactly"), "{text}");
     assert!(!text.contains("certified error watermark"), "{text}");
+    assert!(!text.contains("durable: wal"), "{text}");
 
     // Bad delete fraction is a usage error (exit 2), caught before loads.
     let out = bin()
@@ -538,6 +561,212 @@ fn update_streams_events_delta_and_exact() {
         .args(["--index"])
         .arg(&index)
         .args(["--delete-fraction", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_dir_all(format!("{}.wal.d", index.display())).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+/// Crash rounds, scaled by `FASTPPV_FAULT_ROUNDS` in CI (the crash demo
+/// in `BENCH_overload.json` runs hundreds; the default keeps `cargo
+/// test` quick).
+fn fault_rounds(default: usize) -> usize {
+    std::env::var("FASTPPV_FAULT_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn update_survives_sigkill_at_any_point_byte_identically() {
+    const EVENTS: &str = "40";
+    let graph = temp("crash.txt");
+    let index = temp("crash.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "300", "--seed", "21", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--hubs", "20", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+
+    let update = |wal: &PathBuf| {
+        let mut c = bin();
+        c.args(["update", "--graph"])
+            .arg(&graph)
+            .args(["--index"])
+            .arg(&index)
+            .args(["--events", EVENTS, "--budget", "0.01", "--seed", "5"])
+            .args(["--checkpoint-every", "7", "--wal"])
+            .arg(wal);
+        c
+    };
+
+    // Golden run: uninterrupted, the final published arena is the answer
+    // every crashed-and-recovered run must reproduce byte for byte.
+    let golden_wal = temp("crash-golden.wal.d");
+    let out = update(&golden_wal).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read(golden_wal.join(format!("arena.gen-{EVENTS}"))).unwrap();
+
+    for round in 0..fault_rounds(5) {
+        let wal = temp(&format!("crash-r{round}.wal.d"));
+        // Deterministic pseudo-random kill point across the run's whole
+        // lifetime: index load, mid-stream, mid-checkpoint.
+        let delay = Duration::from_millis((round as u64 * 7919 + 13) % 150);
+        let mut child = update(&wal).spawn().unwrap();
+        std::thread::sleep(delay);
+        child.kill().unwrap(); // SIGKILL on unix: no destructors, no flush
+        child.wait().unwrap();
+
+        // The rerun must recover whatever the kill left behind — torn wal
+        // tail, missing manifest, half-checkpointed gen files — and finish.
+        let out = update(&wal).output().unwrap();
+        assert!(
+            out.status.success(),
+            "round {round} (killed after {delay:?}): recovery run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("panic"), "round {round}: {stderr}");
+        let recovered = std::fs::read(wal.join(format!("arena.gen-{EVENTS}"))).unwrap();
+        assert_eq!(
+            recovered, golden,
+            "round {round} (killed after {delay:?}): recovered arena is not \
+             byte-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&wal).ok();
+    }
+
+    std::fs::remove_dir_all(&golden_wal).ok();
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn serve_sigkill_mid_batch_surfaces_typed_error_not_hang() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    use fastppv_server::net::{Client, WireRequest};
+
+    let graph = temp("kill9.txt");
+    let index = temp("kill9.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "400", "--seed", "23", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--hubs", "40", "--epsilon", "1e-6", "--out"])
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+
+    let mut child = bin()
+        .args(["serve", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--workers", "2", "--listen", "127.0.0.1:0"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    assert!(line.starts_with("listening on "), "{line}");
+    let addr = line["listening on ".len()..]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let requests: Vec<WireRequest> = (0..64).map(|q| WireRequest::iterations(q, 6)).collect();
+    let waiter = std::thread::spawn(move || client.request_batch(&requests));
+    // The batch is in flight; now the server process vanishes mid-answer.
+    std::thread::sleep(Duration::from_millis(20));
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let started = std::time::Instant::now();
+    let result = waiter.join().unwrap();
+    assert!(
+        result.is_err(),
+        "a SIGKILLed server cannot deliver a complete batch"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "client hung on a dead server instead of surfacing the error"
+    );
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn update_unwritable_wal_dir_exits_1_and_names_the_opt_out() {
+    let graph = temp("nowal.txt");
+    let index = temp("nowal.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "200", "--seed", "25", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph)
+        .args(["--hubs", "20", "--out"])
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+
+    // A path *under a regular file* cannot become a directory, even for
+    // root (the usual read-only-dir trick is a no-op under uid 0).
+    let mut unwritable = graph.clone();
+    unwritable.push("nested");
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--events", "4", "--wal"])
+        .arg(&unwritable)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "runtime failure, not usage");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("wal dir"), "{text}");
+    assert!(text.contains("--no-wal"), "must name the opt-out: {text}");
+
+    // --wal and --no-wal together is a usage error (exit 2).
+    let out = bin()
+        .args(["update", "--graph"])
+        .arg(&graph)
+        .args(["--index"])
+        .arg(&index)
+        .args(["--no-wal", "--wal", "somewhere"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
@@ -661,5 +890,6 @@ fn arena_pipeline_build_query_stats() {
 
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&index).ok();
+    std::fs::remove_dir_all(format!("{}.wal.d", arena.display())).ok();
     std::fs::remove_file(&arena).ok();
 }

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -199,25 +199,28 @@ pub fn write_compressed<P: AsRef<Path>>(
             (h, count, encode_blob(ppv, quant))
         })
         .collect();
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&[quant.tag(), CODEC_VERSION, 0, 0])?;
-    w.write_all(&(hubs.len() as u64).to_le_bytes())?;
-    let mut offset = (HEADER_LEN + hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
-    for (h, count, blob) in &blobs {
-        w.write_all(&h.to_le_bytes())?;
-        w.write_all(&offset.to_le_bytes())?;
-        w.write_all(&(blob.len() as u32).to_le_bytes())?;
-        w.write_all(&count.to_le_bytes())?;
-        offset += blob.len() as u64;
-    }
-    for &h in &hubs {
-        w.write_all(&index.budget_spent(h).to_le_bytes())?;
-    }
-    for (_, _, blob) in &blobs {
-        w.write_all(blob)?;
-    }
-    w.flush()
+    // Published atomically (temp + fsync + rename): a crash mid-write can
+    // never leave a torn FPPVIDX2 file at `path`.
+    crate::atomic_io::write_atomic(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&[quant.tag(), CODEC_VERSION, 0, 0])?;
+        w.write_all(&(hubs.len() as u64).to_le_bytes())?;
+        let mut offset = (HEADER_LEN + hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
+        for (h, count, blob) in &blobs {
+            w.write_all(&h.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(&(blob.len() as u32).to_le_bytes())?;
+            w.write_all(&count.to_le_bytes())?;
+            offset += blob.len() as u64;
+        }
+        for &h in &hubs {
+            w.write_all(&index.budget_spent(h).to_le_bytes())?;
+        }
+        for (_, _, blob) in &blobs {
+            w.write_all(blob)?;
+        }
+        Ok(())
+    })
 }
 
 /// File-backed compressed PPV index. Same read API as

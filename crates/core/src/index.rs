@@ -63,7 +63,7 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -318,41 +318,44 @@ where
     F: FnMut(NodeId) -> PpvRef<'a>,
     G: FnMut(NodeId) -> f64,
 {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&0u32.to_le_bytes())?;
-    w.write_all(&(sorted_hubs.len() as u64).to_le_bytes())?;
-    // Directory (blobs start after the directory and the spend section).
-    let mut offset = (HEADER_LEN + sorted_hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
-    for &h in sorted_hubs {
-        let view = entries_of(h);
-        w.write_all(&h.to_le_bytes())?;
-        w.write_all(&offset.to_le_bytes())?;
-        w.write_all(&(view.len() as u32).to_le_bytes())?;
-        offset += (view.len() * ENTRY_LEN) as u64;
-    }
-    // Budget-spend section, directory order: the PR 6 self-certification
-    // state must survive a serialize/reopen cycle.
-    for &h in sorted_hubs {
-        w.write_all(&spent_of(h).to_le_bytes())?;
-    }
-    // Data blobs.
-    for &h in sorted_hubs {
-        let mut err = None;
-        entries_of(h).for_each(|id, s| {
-            if err.is_none() {
-                err = w
-                    .write_all(&id.to_le_bytes())
-                    .and_then(|()| w.write_all(&(s as f32).to_le_bytes()))
-                    .err();
-            }
-        });
-        if let Some(e) = err {
-            return Err(e);
+    // Published atomically (temp + fsync + rename): a crash mid-write can
+    // never leave a torn FPPVIDX1 file at `path`.
+    crate::atomic_io::write_atomic(path, move |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        w.write_all(&(sorted_hubs.len() as u64).to_le_bytes())?;
+        // Directory (blobs start after the directory and the spend section).
+        let mut offset = (HEADER_LEN + sorted_hubs.len() * (DIR_RECORD_LEN + SPEND_LEN)) as u64;
+        for &h in sorted_hubs {
+            let view = entries_of(h);
+            w.write_all(&h.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(&(view.len() as u32).to_le_bytes())?;
+            offset += (view.len() * ENTRY_LEN) as u64;
         }
-    }
-    w.flush()
+        // Budget-spend section, directory order: the PR 6 self-certification
+        // state must survive a serialize/reopen cycle.
+        for &h in sorted_hubs {
+            w.write_all(&spent_of(h).to_le_bytes())?;
+        }
+        // Data blobs.
+        for &h in sorted_hubs {
+            let mut err = None;
+            entries_of(h).for_each(|id, s| {
+                if err.is_none() {
+                    err = w
+                        .write_all(&id.to_le_bytes())
+                        .and_then(|()| w.write_all(&(s as f32).to_le_bytes()))
+                        .err();
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    })
 }
 
 /// In-memory PPV index: the mutable build-time store.
@@ -1174,53 +1177,57 @@ impl FlatIndex {
             num_border,
         )
         .expect("arena sizes fit u64");
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(FLAT_MAGIC)?;
-        w.write_all(&FLAT_VERSION.to_le_bytes())?;
-        w.write_all(&0u32.to_le_bytes())?;
-        for word in layout.header_words() {
-            w.write_all(&word.to_le_bytes())?;
-        }
-        // Directory: tightly packed ascending hubs.
-        let (mut entry_start, mut border_start) = (0u64, 0u64);
-        for &h in &sorted {
-            let seg = self.segs[self.slot_of[h as usize] as usize];
-            w.write_all(&h.to_le_bytes())?;
-            w.write_all(&seg.len.to_le_bytes())?;
-            w.write_all(&seg.border_len.to_le_bytes())?;
+        // Published atomically (temp + fsync + rename): a crash mid-write
+        // can never leave a torn FPPVIDX3 file at `path`, so `open`'s
+        // fail-closed validation only ever sees external corruption.
+        crate::atomic_io::write_atomic(path, |w| {
+            w.write_all(FLAT_MAGIC)?;
+            w.write_all(&FLAT_VERSION.to_le_bytes())?;
             w.write_all(&0u32.to_le_bytes())?;
-            w.write_all(&entry_start.to_le_bytes())?;
-            w.write_all(&border_start.to_le_bytes())?;
-            entry_start += seg.len as u64;
-            border_start += seg.border_len as u64;
-        }
-        // Spend section (directory order).
-        for &h in &sorted {
-            let spent = self.spent[self.slot_of[h as usize] as usize];
-            w.write_all(&spent.to_le_bytes())?;
-        }
-        // Entry ids, then scores; then the border sublists.
-        let pad = |n: u64| (pad8(n).unwrap() - n) as usize;
-        for &h in &sorted {
-            let seg = self.segs[self.slot_of[h as usize] as usize];
-            write_u32s(&mut w, self.seg_entries(seg).0)?;
-        }
-        w.write_all(&[0u8; 8][..pad(layout.num_entries * 4)])?;
-        for &h in &sorted {
-            let seg = self.segs[self.slot_of[h as usize] as usize];
-            write_f64s(&mut w, self.seg_entries(seg).1)?;
-        }
-        for &h in &sorted {
-            let seg = self.segs[self.slot_of[h as usize] as usize];
-            write_u32s(&mut w, self.seg_borders(seg).0)?;
-        }
-        w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
-        for &h in &sorted {
-            let seg = self.segs[self.slot_of[h as usize] as usize];
-            write_u32s(&mut w, self.seg_borders(seg).1)?;
-        }
-        w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
-        w.flush()
+            for word in layout.header_words() {
+                w.write_all(&word.to_le_bytes())?;
+            }
+            // Directory: tightly packed ascending hubs.
+            let (mut entry_start, mut border_start) = (0u64, 0u64);
+            for &h in &sorted {
+                let seg = self.segs[self.slot_of[h as usize] as usize];
+                w.write_all(&h.to_le_bytes())?;
+                w.write_all(&seg.len.to_le_bytes())?;
+                w.write_all(&seg.border_len.to_le_bytes())?;
+                w.write_all(&0u32.to_le_bytes())?;
+                w.write_all(&entry_start.to_le_bytes())?;
+                w.write_all(&border_start.to_le_bytes())?;
+                entry_start += seg.len as u64;
+                border_start += seg.border_len as u64;
+            }
+            // Spend section (directory order).
+            for &h in &sorted {
+                let spent = self.spent[self.slot_of[h as usize] as usize];
+                w.write_all(&spent.to_le_bytes())?;
+            }
+            // Entry ids, then scores; then the border sublists.
+            let pad = |n: u64| (pad8(n).unwrap() - n) as usize;
+            for &h in &sorted {
+                let seg = self.segs[self.slot_of[h as usize] as usize];
+                write_u32s(w, self.seg_entries(seg).0)?;
+            }
+            w.write_all(&[0u8; 8][..pad(layout.num_entries * 4)])?;
+            for &h in &sorted {
+                let seg = self.segs[self.slot_of[h as usize] as usize];
+                write_f64s(w, self.seg_entries(seg).1)?;
+            }
+            for &h in &sorted {
+                let seg = self.segs[self.slot_of[h as usize] as usize];
+                write_u32s(w, self.seg_borders(seg).0)?;
+            }
+            w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
+            for &h in &sorted {
+                let seg = self.segs[self.slot_of[h as usize] as usize];
+                write_u32s(w, self.seg_borders(seg).1)?;
+            }
+            w.write_all(&[0u8; 8][..pad(layout.num_border * 4)])?;
+            Ok(())
+        })
     }
 
     /// Opens a `FPPVIDX3` arena file zero-copy: the file is mapped (or

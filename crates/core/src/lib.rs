@@ -75,6 +75,7 @@
 //! assert!(refined.l1_error <= 0.05);
 //! ```
 
+pub mod atomic_io;
 pub mod autotune;
 pub mod codec;
 pub mod config;
@@ -87,6 +88,7 @@ pub(crate) mod mapfile;
 pub mod offline;
 pub mod prime;
 pub mod query;
+pub mod wal;
 
 pub use codec::{CompressedDiskIndex, ScoreQuantization};
 pub use config::Config;
@@ -102,3 +104,4 @@ pub use prime::{
 pub use query::{
     IncrementScratch, QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult,
 };
+pub use wal::{Manifest, Wal, WalBatch};

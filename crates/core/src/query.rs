@@ -281,12 +281,32 @@ impl<'a, S: PpvStore> QueryEngine<'a, S> {
         q: NodeId,
         stop: &StoppingCondition,
     ) -> QueryResult {
+        self.query_with_cancel(ws, q, stop, None)
+    }
+
+    /// Like [`QueryEngine::query_with`], but additionally polls `cancel`
+    /// at every increment boundary. When the flag flips, the loop stops
+    /// before the next increment and the partial answer is returned with
+    /// its current certified φ — a cancelled query is a *looser* answer,
+    /// never a wrong one. Iteration 0 (the query's own prime PPV) always
+    /// runs, so even an immediately-cancelled query carries a finite
+    /// error bound.
+    pub fn query_with_cancel(
+        &self,
+        ws: &mut QueryWorkspace,
+        q: NodeId,
+        stop: &StoppingCondition,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> QueryResult {
+        let cancelled = || cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed));
         let mut session = self.session_in(ws, q);
-        while !stop.met(
-            session.iterations_done(),
-            session.l1_error(),
-            session.elapsed(),
-        ) {
+        while !cancelled()
+            && !stop.met(
+                session.iterations_done(),
+                session.l1_error(),
+                session.elapsed(),
+            )
+        {
             if !session.step() {
                 break;
             }
@@ -948,6 +968,44 @@ mod tests {
         assert!(session.is_exhausted());
         let r = session.into_result();
         assert!(r.l1_error < 1e-9, "hubless T0 covers the whole toy PPV");
+    }
+
+    #[test]
+    fn cancelled_query_returns_partial_certified_answer() {
+        use std::sync::atomic::AtomicBool;
+        let config = Config::exhaustive();
+        let (g, hubs, index) = toy_setup(config);
+        let engine = QueryEngine::new(&g, &hubs, &index, config);
+        let mut ws = engine.workspace();
+        // Pre-set cancel: the loop must stop at the first increment
+        // boundary, returning iteration 0 with its (loose but true) φ.
+        let cancel = AtomicBool::new(true);
+        let partial = engine.query_with_cancel(
+            &mut ws,
+            toy::A,
+            &StoppingCondition::l1_error(1e-12),
+            Some(&cancel),
+        );
+        assert_eq!(partial.iterations, 0, "cancel stops before any step");
+        let exact = exact_ppv(&g, toy::A, ExactOptions::default());
+        let true_gap: f64 = g
+            .nodes()
+            .map(|v| exact[v as usize] - partial.scores.get(v))
+            .sum();
+        assert!(
+            true_gap <= partial.l1_error + 1e-9,
+            "partial φ {} is not a true bound (gap {true_gap})",
+            partial.l1_error
+        );
+        // Unset cancel behaves exactly like query_with.
+        let cancel = AtomicBool::new(false);
+        let full = engine.query_with_cancel(
+            &mut ws,
+            toy::A,
+            &StoppingCondition::l1_error(1e-9),
+            Some(&cancel),
+        );
+        assert!(full.l1_error <= 1e-9);
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! Write-ahead log for dynamic edge updates, plus the checkpoint
+//! manifest that makes WAL replay idempotent.
+//!
+//! The dynamic-update path ([`crate::dynamic`]) maintains the index under
+//! a stream of [`EdgeEvent`]s. Each batch of events is **logged before it
+//! is applied**: a crash at any point then recovers by loading the last
+//! durably-published checkpoint (named by the [`Manifest`]) and replaying
+//! the WAL records whose sequence numbers lie past it. After a refreshed
+//! index is atomically published ([`crate::atomic_io`]) and the manifest
+//! is advanced, the log is truncated.
+//!
+//! ## On-disk format (`FPPVWAL1`)
+//!
+//! ```text
+//! header   magic "FPPVWAL1" | version u32 LE (=1) | reserved u32 (=0)
+//! record   len u32 LE | crc32 u32 LE | payload (len bytes)
+//! payload  seq u64 LE | count u32 LE | count × event
+//! event    tail u32 LE | head u32 LE | insert u8 (0/1)
+//! ```
+//!
+//! `crc32` (IEEE 802.3, the zlib polynomial) covers the payload. `seq` is
+//! the stream offset of the batch's **first** event, so a batch covers
+//! events `[seq, seq + count)` of the global update stream.
+//!
+//! ## Failure semantics
+//!
+//! A WAL's final record is allowed to be *torn* — a crash mid-append
+//! leaves a truncated or checksum-failing tail, which replay drops (and
+//! [`Wal::open`] physically truncates, so new appends land on a clean
+//! record boundary). Anything else fails **closed** with the same
+//! [`OpenError`] machinery the arena opener uses: a bad header, or a
+//! corrupt record *followed by a valid one* (which cannot be explained by
+//! a single interrupted append), means the log cannot be trusted and the
+//! caller must not silently continue.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use fastppv_graph::gen::EdgeEvent;
+
+use crate::index::OpenError;
+
+const WAL_MAGIC: &[u8; 8] = b"FPPVWAL1";
+const WAL_VERSION: u32 = 1;
+const WAL_HEADER_LEN: u64 = 16;
+const RECORD_HEADER_LEN: usize = 8; // len + crc32
+const EVENT_LEN: usize = 9; // tail u32 | head u32 | insert u8
+const PAYLOAD_FIXED_LEN: usize = 12; // seq u64 | count u32
+/// Records claiming a larger payload are rejected before allocation (a
+/// corrupt length field must not OOM replay).
+const MAX_RECORD_PAYLOAD: u32 = 64 << 20;
+
+fn bad(detail: impl Into<String>) -> OpenError {
+    OpenError::Format(detail.into())
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 / zlib polynomial), table-driven, no external crates.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`, as produced by zlib's `crc32()`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+
+/// One replayed WAL record: the events covering stream offsets
+/// `[seq, seq + events.len())`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    pub seq: u64,
+    pub events: Vec<EdgeEvent>,
+}
+
+impl WalBatch {
+    /// Stream offset just past this batch's last event.
+    pub fn end_seq(&self) -> u64 {
+        self.seq + self.events.len() as u64
+    }
+}
+
+/// An append-only edge-event log. See the module docs for the format.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path` and replays every
+    /// intact record. A torn final record is dropped and physically
+    /// truncated; corruption anywhere else fails closed.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<(Wal, Vec<WalBatch>), OpenError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_all()?;
+            return Ok((Wal { file, path }, Vec::new()));
+        }
+        let mut bytes = Vec::with_capacity(len as usize);
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+        let (batches, good_len) = replay(&bytes)?;
+        if (good_len as u64) < len {
+            // Drop the torn tail so the next append starts on a clean
+            // record boundary.
+            file.set_len(good_len as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Wal { file, path }, batches))
+    }
+
+    /// Appends one batch durably: the record (and its length) hit disk
+    /// before this returns, so a subsequent apply step can never outrun
+    /// the log.
+    pub fn append(&mut self, seq: u64, events: &[EdgeEvent]) -> io::Result<()> {
+        let payload_len = PAYLOAD_FIXED_LEN + events.len() * EVENT_LEN;
+        assert!(
+            payload_len as u64 <= MAX_RECORD_PAYLOAD as u64,
+            "WAL batch too large ({} events)",
+            events.len()
+        );
+        let mut payload = Vec::with_capacity(payload_len);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
+        for ev in events {
+            payload.extend_from_slice(&ev.tail.to_le_bytes());
+            payload.extend_from_slice(&ev.head.to_le_bytes());
+            payload.push(ev.insert as u8);
+        }
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.file.sync_data()
+    }
+
+    /// Truncates the log back to its header. Call only after the state
+    /// the logged events produced has been durably checkpointed (arena
+    /// published + manifest advanced) — the records are unrecoverable
+    /// afterwards.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Parses `bytes` (a whole WAL file). Returns the intact batches and the
+/// byte length of the intact prefix (header + complete records); a torn
+/// tail past that point has been silently dropped. Fails closed on a bad
+/// header or on corruption that a single interrupted append cannot
+/// explain.
+fn replay(bytes: &[u8]) -> Result<(Vec<WalBatch>, usize), OpenError> {
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(bad(format!(
+            "WAL header truncated: {} bytes, need {WAL_HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(bad("WAL magic mismatch: not a FPPVWAL1 file"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(bad(format!(
+            "WAL version {version} unsupported (expected {WAL_VERSION})"
+        )));
+    }
+    let mut batches = Vec::new();
+    let mut offset = WAL_HEADER_LEN as usize;
+    loop {
+        match parse_record(bytes, offset) {
+            Ok(None) => return Ok((batches, offset)), // clean end of log
+            Ok(Some((batch, next))) => {
+                if let Some(prev) = batches.last() {
+                    let prev: &WalBatch = prev;
+                    if batch.seq != prev.end_seq() {
+                        return Err(bad(format!(
+                            "WAL sequence gap at byte {offset}: batch starts at seq \
+                             {} but previous record ended at {}",
+                            batch.seq,
+                            prev.end_seq()
+                        )));
+                    }
+                }
+                batches.push(batch);
+                offset = next;
+            }
+            Err(torn) => {
+                // A record failed here. If *any* complete, checksummed
+                // record can be parsed past the claimed extent of this
+                // one, the damage is in the middle of the log — a single
+                // interrupted append cannot produce that, so fail closed.
+                if let Some(skip) = torn.claimed_next {
+                    if matches!(parse_record(bytes, skip), Ok(Some(_))) {
+                        return Err(bad(format!(
+                            "WAL corrupt at byte {offset} ({}) with valid records after it",
+                            torn.reason
+                        )));
+                    }
+                }
+                // Otherwise: torn tail from a crash mid-append. Drop it.
+                return Ok((batches, offset));
+            }
+        }
+    }
+}
+
+struct TornRecord {
+    reason: String,
+    /// Where the next record would start if this record's length field
+    /// were trusted — used to probe for valid data past the damage.
+    claimed_next: Option<usize>,
+}
+
+/// Parses one record at `offset`. `Ok(None)` = clean end of data,
+/// `Ok(Some((batch, next_offset)))` = intact record, `Err` = damaged
+/// record (possibly a torn tail — the caller decides).
+fn parse_record(bytes: &[u8], offset: usize) -> Result<Option<(WalBatch, usize)>, TornRecord> {
+    let remaining = &bytes[offset.min(bytes.len())..];
+    if remaining.is_empty() {
+        return Ok(None);
+    }
+    if remaining.len() < RECORD_HEADER_LEN {
+        return Err(TornRecord {
+            reason: "truncated record header".into(),
+            claimed_next: None,
+        });
+    }
+    let len = u32::from_le_bytes(remaining[..4].try_into().unwrap());
+    if len > MAX_RECORD_PAYLOAD || (len as usize) < PAYLOAD_FIXED_LEN {
+        return Err(TornRecord {
+            reason: format!("implausible record length {len}"),
+            claimed_next: None,
+        });
+    }
+    let expect_crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+    let body = &remaining[RECORD_HEADER_LEN..];
+    if body.len() < len as usize {
+        return Err(TornRecord {
+            reason: format!("truncated record payload: {} of {len} bytes", body.len()),
+            claimed_next: None,
+        });
+    }
+    let payload = &body[..len as usize];
+    let claimed_next = offset + RECORD_HEADER_LEN + len as usize;
+    if crc32(payload) != expect_crc {
+        return Err(TornRecord {
+            reason: "checksum mismatch".into(),
+            claimed_next: Some(claimed_next),
+        });
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    if payload.len() != PAYLOAD_FIXED_LEN + count * EVENT_LEN {
+        return Err(TornRecord {
+            reason: format!(
+                "record length {} inconsistent with event count {count}",
+                payload.len()
+            ),
+            claimed_next: Some(claimed_next),
+        });
+    }
+    let mut events = Vec::with_capacity(count);
+    let mut p = PAYLOAD_FIXED_LEN;
+    for _ in 0..count {
+        let tail = u32::from_le_bytes(payload[p..p + 4].try_into().unwrap());
+        let head = u32::from_le_bytes(payload[p + 4..p + 8].try_into().unwrap());
+        let insert = match payload[p + 8] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(TornRecord {
+                    reason: format!("invalid event flag {other}"),
+                    claimed_next: Some(claimed_next),
+                })
+            }
+        };
+        events.push(EdgeEvent { tail, head, insert });
+        p += EVENT_LEN;
+    }
+    Ok(Some((WalBatch { seq, events }, claimed_next)))
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+const MANIFEST_MAGIC: &[u8; 8] = b"FPPVMAN1";
+
+/// The atomically-published checkpoint pointer: which generation-stamped
+/// files hold the durable (graph, index) pair and how many events of the
+/// update stream they already include. Written via
+/// [`crate::atomic_io::write_atomic`], so advancing the checkpoint is a
+/// single atomic commit point.
+///
+/// Format: `magic "FPPVMAN1" | crc32 u32 LE | seq u64 LE |
+/// arena_name_len u32 LE | arena_name | graph_name_len u32 LE |
+/// graph_name` — the checksum covers everything after itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Events `[0, seq)` of the update stream are baked into the
+    /// checkpoint files; replay starts at `seq`.
+    pub seq: u64,
+    /// File name (relative to the manifest's directory) of the published
+    /// index arena for this generation.
+    pub arena_name: String,
+    /// File name of the published graph snapshot for this generation.
+    pub graph_name: String,
+}
+
+impl Manifest {
+    /// Atomically publishes this manifest at `path`.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.seq.to_le_bytes());
+        body.extend_from_slice(&(self.arena_name.len() as u32).to_le_bytes());
+        body.extend_from_slice(self.arena_name.as_bytes());
+        body.extend_from_slice(&(self.graph_name.len() as u32).to_le_bytes());
+        body.extend_from_slice(self.graph_name.as_bytes());
+        crate::atomic_io::write_atomic(path, |w| {
+            w.write_all(MANIFEST_MAGIC)?;
+            w.write_all(&crc32(&body).to_le_bytes())?;
+            w.write_all(&body)
+        })
+    }
+
+    /// Reads the manifest at `path`. `Ok(None)` if no manifest exists
+    /// (first run); fails closed on any malformed or checksum-failing
+    /// content — a half-trusted checkpoint pointer is worse than none.
+    pub fn read<P: AsRef<Path>>(path: P) -> Result<Option<Manifest>, OpenError> {
+        let mut bytes = Vec::new();
+        match File::open(path.as_ref()) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(OpenError::Io(e)),
+            Ok(mut f) => f.read_to_end(&mut bytes)?,
+        };
+        if bytes.len() < 12 {
+            return Err(bad(format!("manifest truncated: {} bytes", bytes.len())));
+        }
+        if &bytes[..8] != MANIFEST_MAGIC {
+            return Err(bad("manifest magic mismatch: not a FPPVMAN1 file"));
+        }
+        let expect_crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let body = &bytes[12..];
+        if crc32(body) != expect_crc {
+            return Err(bad("manifest checksum mismatch"));
+        }
+        let take_str = |body: &[u8], at: usize| -> Result<(String, usize), OpenError> {
+            if body.len() < at + 4 {
+                return Err(bad("manifest truncated inside a name length"));
+            }
+            let n = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
+            if body.len() < at + 4 + n {
+                return Err(bad("manifest truncated inside a name"));
+            }
+            let s = std::str::from_utf8(&body[at + 4..at + 4 + n])
+                .map_err(|_| bad("manifest name is not UTF-8"))?;
+            Ok((s.to_string(), at + 4 + n))
+        };
+        if body.len() < 8 {
+            return Err(bad("manifest truncated before seq"));
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let (arena_name, at) = take_str(body, 8)?;
+        let (graph_name, at) = take_str(body, at)?;
+        if at != body.len() {
+            return Err(bad("manifest has trailing bytes"));
+        }
+        Ok(Some(Manifest {
+            seq,
+            arena_name,
+            graph_name,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fastppv-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn ev(tail: u32, head: u32, insert: bool) -> EdgeEvent {
+        EdgeEvent { tail, head, insert }
+    }
+
+    fn sample_batches() -> Vec<WalBatch> {
+        vec![
+            WalBatch {
+                seq: 0,
+                events: vec![ev(1, 2, true), ev(3, 4, false), ev(5, 6, true)],
+            },
+            WalBatch {
+                seq: 3,
+                events: vec![ev(7, 8, true)],
+            },
+            WalBatch {
+                seq: 4,
+                events: vec![ev(9, 10, false), ev(11, 12, true)],
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values (zlib-compatible).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello world"), 0x0D4A_1185);
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("updates.wal");
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        for b in sample_batches() {
+            wal.append(b.seq, &b.events).unwrap();
+        }
+        drop(wal);
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, sample_batches());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_resets_log() {
+        let dir = temp_dir("truncate");
+        let path = dir.join("updates.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for b in sample_batches() {
+            wal.append(b.seq, &b.events).unwrap();
+        }
+        wal.truncate().unwrap();
+        wal.append(6, &[ev(100, 200, true)]).unwrap();
+        drop(wal);
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replayed,
+            vec![WalBatch {
+                seq: 6,
+                events: vec![ev(100, 200, true)]
+            }]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The torn-tail contract: truncating the file at *every* byte offset
+    /// inside the final record must replay the earlier records cleanly,
+    /// and the re-opened log must accept new appends on a clean boundary.
+    #[test]
+    fn torn_tail_at_every_offset_recovers() {
+        let dir = temp_dir("torn");
+        let path = dir.join("updates.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let batches = sample_batches();
+        for b in &batches[..2] {
+            wal.append(b.seq, &b.events).unwrap();
+        }
+        let intact_len = fs::metadata(&path).unwrap().len();
+        wal.append(batches[2].seq, &batches[2].events).unwrap();
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+        for cut in intact_len as usize..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed, batches[..2], "cut at {cut}");
+            // The torn tail was truncated: a fresh append must replay.
+            wal.append(batches[2].seq, &batches[2].events).unwrap();
+            drop(wal);
+            let (_wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed, batches, "cut at {cut} after re-append");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_valid_records_fails_closed() {
+        let dir = temp_dir("midcorrupt");
+        let path = dir.join("updates.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for b in sample_batches() {
+            wal.append(b.seq, &b.events).unwrap();
+        }
+        drop(wal);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the FIRST record: valid records follow,
+        // so this cannot be a torn append.
+        let idx = WAL_HEADER_LEN as usize + RECORD_HEADER_LEN + 9;
+        bytes[idx] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = Wal::open(&path).unwrap_err();
+        assert!(
+            matches!(err, OpenError::Format(ref d) if d.contains("valid records after")),
+            "unexpected error: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_fails_closed() {
+        let dir = temp_dir("badheader");
+        let path = dir.join("updates.wal");
+        fs::write(&path, b"NOTAWAL!\x01\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        let err = Wal::open(&path).unwrap_err();
+        assert!(matches!(err, OpenError::Format(ref d) if d.contains("magic")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_fails_closed() {
+        let dir = temp_dir("gap");
+        let path = dir.join("updates.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(0, &[ev(1, 2, true)]).unwrap();
+        wal.append(5, &[ev(3, 4, true)]).unwrap(); // should be seq 1
+        drop(wal);
+        let err = Wal::open(&path).unwrap_err();
+        assert!(matches!(err, OpenError::Format(ref d) if d.contains("sequence gap")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_fail_closed() {
+        let dir = temp_dir("manifest");
+        let path = dir.join("MANIFEST");
+        assert_eq!(Manifest::read(&path).unwrap(), None);
+        let m = Manifest {
+            seq: 1234,
+            arena_name: "arena.gen-7".into(),
+            graph_name: "graph.gen-7".into(),
+        };
+        m.write(&path).unwrap();
+        assert_eq!(Manifest::read(&path).unwrap(), Some(m.clone()));
+        // Overwrite is atomic and replaces cleanly.
+        let m2 = Manifest {
+            seq: 5678,
+            arena_name: "arena.gen-8".into(),
+            graph_name: "graph.gen-8".into(),
+        };
+        m2.write(&path).unwrap();
+        assert_eq!(Manifest::read(&path).unwrap(), Some(m2));
+        // Any bit flip fails closed.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Manifest::read(&path), Err(OpenError::Format(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -63,6 +63,7 @@ pub mod service;
 
 pub use cache::LruCache;
 pub use service::{
-    percentile, percentile_of_sorted, percentile_of_sorted_pair, CacheStats, LatencySummary,
-    QueryService, Request, Response, ServiceOptions, ServingState,
+    percentile, percentile_of_sorted, percentile_of_sorted_pair, Admission, CacheStats,
+    LatencySummary, LoadRegime, LoadStats, OverloadOptions, QueryService, Request, Response,
+    ServiceOptions, ServingState,
 };

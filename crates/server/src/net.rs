@@ -8,7 +8,7 @@
 //! after that the client sends request-batch frames and receives one
 //! response-batch frame per request frame, answers in request order.
 //!
-//! ## Wire format (version 1, all integers little-endian)
+//! ## Wire format (version 2, all integers little-endian)
 //!
 //! ```text
 //! frame          := len:u32 payload[len]            (len ≤ 64 MiB)
@@ -23,10 +23,19 @@
 //! stop           := 0:u8 eta:u32                    (iteration budget η)
 //!                 | 1:u8 l1_target:f64              (accuracy target φ)
 //! response-batch := count:u32 response*
-//! response       := 0:u8 answer | 1:u8 msg_len:u32 msg[msg_len]
+//! response       := 0:u8 answer
+//!                 | 1:u8 msg_len:u32 msg[msg_len]
+//!                 | 2:u8 retry_after_ms:u32          (overloaded: shed)
 //! answer         := query:u32 iterations:u32 l1_error:f64 exhausted:u8
-//!                   cached:u8 latency_ns:u64 n:u32 (node:u32 score:f64)*n
+//!                   cached:u8 degraded:u8 latency_ns:u64
+//!                   n:u32 (node:u32 score:f64)*n
 //! ```
+//!
+//! Version 2 added the `degraded` flag (the server capped the stopping
+//! condition under load; `l1_error` is still the certified φ of what was
+//! computed) and the `Overloaded` response (tag 2): a request shed past
+//! the high-water mark fails fast with a positive retry hint instead of
+//! queueing. See [`crate::service::OverloadOptions`].
 //!
 //! A malformed frame closes the connection; a *well-formed* request for an
 //! out-of-range node gets a per-request error response (the connection —
@@ -34,6 +43,18 @@
 //! against the same pinned snapshot the batch executes on, so a
 //! concurrently published update can never turn a validated id into a
 //! panic.
+//!
+//! ## Robustness
+//!
+//! The server enforces a *frame-stall* timeout ([`NetOptions`]): a
+//! connection may idle indefinitely **between** frames, but once the
+//! first byte of a frame has arrived the rest must keep flowing — a
+//! slow-loris peer that trickles a frame one byte a minute is
+//! disconnected instead of pinning a connection thread. The client side
+//! sets connect/read/write timeouts ([`ClientOptions`]) so a dead or
+//! SIGSTOPped server surfaces as a typed [`ClientError::Timeout`] rather
+//! than a hang, and [`ResilientClient`] layers `retry_after`-aware
+//! exponential backoff with jitter and bounded reconnect on top.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -50,8 +71,9 @@ use crate::service::{QueryService, Request, Response};
 
 /// Protocol magic: `"FPPV"` read as a little-endian `u32`.
 pub const MAGIC: u32 = 0x4650_5056;
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Current protocol version. Version 2 added the per-answer `degraded`
+/// flag and the `Overloaded` response tag (accuracy shedding under load).
+pub const PROTOCOL_VERSION: u16 = 2;
 /// Upper bound on a frame payload; larger frames are a protocol error.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Upper bound on requests per batch frame (a protocol error beyond it).
@@ -153,6 +175,9 @@ pub struct WireAnswer {
     pub exhausted: bool,
     /// Whether the server's hot-PPV cache served this answer.
     pub cached: bool,
+    /// Whether the server capped this request's stopping condition under
+    /// load. `l1_error` is still the certified φ of what was computed.
+    pub degraded: bool,
     /// Server-side service latency (queue wait within the batch included).
     pub latency: Duration,
     /// Score entries: the full vector (ascending node id) when the request
@@ -168,6 +193,13 @@ pub enum WireResponse {
     /// The request was rejected (e.g. node out of range); the rest of the
     /// batch is unaffected.
     Error(String),
+    /// The request was shed: the server is past its overload high-water
+    /// mark and rejected it *before* queueing. Back off for at least
+    /// `retry_after_ms` (always positive) before retrying.
+    Overloaded {
+        /// Server-suggested minimum backoff in milliseconds (> 0).
+        retry_after_ms: u32,
+    },
 }
 
 impl WireResponse {
@@ -175,15 +207,25 @@ impl WireResponse {
     pub fn answer(&self) -> Option<&WireAnswer> {
         match self {
             WireResponse::Answer(a) => Some(a),
-            WireResponse::Error(_) => None,
+            _ => None,
         }
     }
 
     /// The rejection message, if the request failed.
     pub fn error(&self) -> Option<&str> {
         match self {
-            WireResponse::Answer(_) => None,
             WireResponse::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The retry hint, if the request was shed under overload.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            WireResponse::Overloaded { retry_after_ms } => {
+                Some(Duration::from_millis(*retry_after_ms as u64))
+            }
+            _ => None,
         }
     }
 }
@@ -376,6 +418,10 @@ fn encode_response_batch(responses: &[WireResponse]) -> Vec<u8> {
                 put_u32(&mut buf, msg.len() as u32);
                 buf.extend_from_slice(msg.as_bytes());
             }
+            WireResponse::Overloaded { retry_after_ms } => {
+                buf.push(2);
+                put_u32(&mut buf, *retry_after_ms);
+            }
             WireResponse::Answer(a) => {
                 buf.push(0);
                 put_u32(&mut buf, a.query);
@@ -383,6 +429,7 @@ fn encode_response_batch(responses: &[WireResponse]) -> Vec<u8> {
                 put_f64(&mut buf, a.l1_error);
                 buf.push(a.exhausted as u8);
                 buf.push(a.cached as u8);
+                buf.push(a.degraded as u8);
                 put_u64(&mut buf, a.latency.as_nanos().min(u64::MAX as u128) as u64);
                 put_u32(&mut buf, a.entries.len() as u32);
                 for &(node, score) in &a.entries {
@@ -412,12 +459,22 @@ fn decode_response_batch(payload: &[u8]) -> io::Result<Vec<WireResponse>> {
                     .map_err(|_| bad_data("error message is not UTF-8"))?;
                 responses.push(WireResponse::Error(msg.to_string()));
             }
+            2 => {
+                let retry_after_ms = p.u32()?;
+                if retry_after_ms == 0 {
+                    return Err(bad_data(
+                        "overloaded response with zero retry_after (retry-storm hazard)",
+                    ));
+                }
+                responses.push(WireResponse::Overloaded { retry_after_ms });
+            }
             0 => {
                 let query = p.u32()?;
                 let iterations = p.u32()?;
                 let l1_error = p.f64()?;
                 let exhausted = p.u8()? != 0;
                 let cached = p.u8()? != 0;
+                let degraded = p.u8()? != 0;
                 let latency = Duration::from_nanos(p.u64()?);
                 let n = p.u32()? as usize;
                 if n > payload.len() / 12 {
@@ -435,6 +492,7 @@ fn decode_response_batch(payload: &[u8]) -> io::Result<Vec<WireResponse>> {
                     l1_error,
                     exhausted,
                     cached,
+                    degraded,
                     latency,
                     entries,
                 }));
@@ -458,6 +516,7 @@ fn answer_of(response: &Response, top_k: u32) -> WireAnswer {
         l1_error: response.l1_error,
         exhausted: response.exhausted,
         cached: response.cached,
+        degraded: response.degraded,
         latency: response.latency,
         entries,
     }
@@ -467,10 +526,113 @@ fn answer_of(response: &Response, top_k: u32) -> WireAnswer {
 // Server
 // ---------------------------------------------------------------------------
 
+/// Connection-level robustness knobs of [`serve_with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetOptions {
+    /// Once the first byte of a frame has arrived, the rest must keep
+    /// arriving: a read that makes no progress for this long mid-frame
+    /// closes the connection (slow-loris defense). Idling *between*
+    /// frames is unlimited. Also bounds how long a connection thread
+    /// takes to notice server shutdown.
+    pub frame_stall_timeout: Duration,
+    /// Socket write timeout for response frames (`None` = no limit). A
+    /// peer that stops draining its receive buffer would otherwise block
+    /// the connection thread forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            frame_stall_timeout: Duration::from_secs(10),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl NetOptions {
+    fn validate(&self) {
+        assert!(
+            !self.frame_stall_timeout.is_zero(),
+            "frame stall timeout must be positive"
+        );
+        assert!(
+            self.write_timeout != Some(Duration::ZERO),
+            "write timeout must be positive (use None for no limit)"
+        );
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame from a socket whose read timeout is set to the frame
+/// stall timeout. `Ok(None)` on a clean EOF at a frame boundary **or**
+/// when `stop` flips while idle (server shutdown). A timeout while a
+/// frame is partially received is a stall and fails the connection.
+fn read_frame_stalling<R: Read>(
+    r: &mut R,
+    stop: &AtomicBool,
+    buf_scratch: &mut Vec<u8>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(bad_data("connection closed mid frame header"))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+                if got > 0 {
+                    return Err(bad_data("frame stalled inside the header"));
+                }
+                // Idle at a frame boundary: keep waiting.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data(format!("frame of {len} bytes exceeds the cap")));
+    }
+    buf_scratch.clear();
+    buf_scratch.resize(len, 0);
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut buf_scratch[got..]) {
+            Ok(0) => return Err(bad_data("connection closed mid frame payload")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+                return Err(bad_data("frame stalled inside the payload"));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(std::mem::take(buf_scratch)))
+}
+
 /// A running TCP front-end: a thread-per-connection acceptor feeding the
 /// service's worker pool. Dropped or [`NetServer::shutdown`]: stops
-/// accepting and joins the acceptor (connections already established run
-/// until their client disconnects).
+/// accepting and joins the acceptor; connection threads observe the stop
+/// flag within one frame-stall timeout, and in-flight queries are
+/// cancelled at their next increment boundary.
 pub struct NetServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -531,6 +693,16 @@ pub fn serve<S: PpvStore + Send + Sync + 'static>(
     service: Arc<QueryService<S>>,
     listener: TcpListener,
 ) -> io::Result<NetServer> {
+    serve_with_options(service, listener, NetOptions::default())
+}
+
+/// [`serve`] with explicit connection-robustness knobs ([`NetOptions`]).
+pub fn serve_with_options<S: PpvStore + Send + Sync + 'static>(
+    service: Arc<QueryService<S>>,
+    listener: TcpListener,
+    options: NetOptions,
+) -> io::Result<NetServer> {
+    options.validate();
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
@@ -562,6 +734,7 @@ pub fn serve<S: PpvStore + Send + Sync + 'static>(
                 }
                 let slot = SlotGuard(Arc::clone(&active));
                 let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop_flag);
                 // If the spawn itself fails, the closure — and the guard
                 // inside it — is dropped here, releasing the slot.
                 let _ = std::thread::Builder::new()
@@ -570,7 +743,7 @@ pub fn serve<S: PpvStore + Send + Sync + 'static>(
                         let _slot = slot;
                         // A protocol error or broken pipe closes just this
                         // connection; the acceptor keeps serving others.
-                        let _ = handle_connection(&service, stream);
+                        let _ = handle_connection(&service, stream, &stop, options);
                     });
             }
         })?;
@@ -594,15 +767,23 @@ impl Drop for SlotGuard {
 fn handle_connection<S: PpvStore + Send + Sync>(
     service: &QueryService<S>,
     stream: TcpStream,
+    stop: &AtomicBool,
+    options: NetOptions,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    // The read timeout doubles as the frame-stall bound and the shutdown
+    // poll interval; read_frame_stalling distinguishes idle-at-boundary
+    // (fine, keep waiting) from stalled-mid-frame (close).
+    stream.set_read_timeout(Some(options.frame_stall_timeout))?;
+    stream.set_write_timeout(options.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     write_frame(
         &mut writer,
         &encode_hello(service.snapshot().graph().num_nodes() as u64),
     )?;
-    while let Some(payload) = read_frame(&mut reader)? {
+    let mut scratch = Vec::new();
+    while let Some(payload) = read_frame_stalling(&mut reader, stop, &mut scratch)? {
         let wire_requests = decode_request_batch(&payload)?;
         let received = Instant::now();
         // Pin one snapshot for the whole frame: ids are validated against
@@ -614,6 +795,15 @@ fn handle_connection<S: PpvStore + Send + Sync>(
         let mut batch: Vec<Request> = Vec::with_capacity(wire_requests.len());
         let mut batch_slots: Vec<usize> = Vec::with_capacity(wire_requests.len());
         for (i, wr) in wire_requests.iter().enumerate() {
+            // Shed *before* queueing: a request past the high-water mark
+            // gets its typed rejection immediately instead of adding to
+            // the very backlog that triggered it.
+            if let crate::service::Admission::Shed { retry_after } = service.admission() {
+                service.note_shed();
+                let retry_after_ms = (retry_after.as_millis() as u32).max(1);
+                slots[i] = Some(WireResponse::Overloaded { retry_after_ms });
+                continue;
+            }
             match crate::service::check_in_range(state.graph(), wr.query) {
                 Err(e) => slots[i] = Some(WireResponse::Error(e)),
                 Ok(()) => {
@@ -622,7 +812,10 @@ fn handle_connection<S: PpvStore + Send + Sync>(
                 }
             }
         }
-        let responses = service.process_batch_on(&state, batch);
+        // The server stop flag doubles as the cancellation token: shutdown
+        // stops in-flight queries at their next increment boundary (each
+        // returns its partial answer with its current certified φ).
+        let responses = service.process_batch_on_cancel(&state, batch, Some(stop));
         for (&slot, response) in batch_slots.iter().zip(&responses) {
             slots[slot] = Some(WireResponse::Answer(answer_of(
                 response,
@@ -643,6 +836,9 @@ fn handle_connection<S: PpvStore + Send + Sync>(
                 .iter()
                 .map(|r| match r {
                     WireResponse::Error(e) => WireResponse::Error(e.clone()),
+                    WireResponse::Overloaded { retry_after_ms } => WireResponse::Overloaded {
+                        retry_after_ms: *retry_after_ms,
+                    },
                     WireResponse::Answer(a) => WireResponse::Error(format!(
                         "response batch exceeds the {} MiB frame cap; request \
                          fewer entries (top_k) or smaller batches (answer for \
@@ -664,8 +860,107 @@ fn handle_connection<S: PpvStore + Send + Sync>(
 // Client
 // ---------------------------------------------------------------------------
 
+/// Socket timeouts of a [`Client`]. The defaults protect every phase —
+/// connect, the hello handshake, request writes, response reads — so a
+/// dead or SIGSTOPped server surfaces as a timeout error instead of
+/// hanging the caller forever.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOptions {
+    /// TCP connect timeout (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout, covering the hello frame and every response
+    /// frame (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for request frames (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// No timeouts anywhere: the pre-robustness behavior. Only sensible
+    /// against a server you also control the lifetime of.
+    pub fn unbounded() -> Self {
+        ClientOptions {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// What went wrong talking to a fastppv server, split by what the caller
+/// should *do* about it: back off and retry ([`ClientError::Timeout`],
+/// [`ClientError::Disconnected`], [`ClientError::Io`] — the connection is
+/// gone or wedged, a reconnect may succeed) versus give up
+/// ([`ClientError::Protocol`] — retrying malformed traffic reproduces
+/// it). [`ResilientClient`] applies exactly that split.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A connect, read, or write exceeded its [`ClientOptions`] timeout —
+    /// the server is dead, stalled, or unreachable.
+    Timeout(io::Error),
+    /// The server closed or reset the connection.
+    Disconnected(io::Error),
+    /// Any other I/O failure.
+    Io(io::Error),
+    /// Malformed or protocol-violating data; not retryable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Timeout(e) => write!(f, "timed out waiting on the server: {e}"),
+            ClientError::Disconnected(e) => write!(f, "server closed the connection: {e}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Timeout(e) | ClientError::Disconnected(e) | ClientError::Io(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout(e),
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe => ClientError::Disconnected(e),
+            io::ErrorKind::InvalidData => ClientError::Protocol(e.to_string()),
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether a fresh connection and retry could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ClientError::Protocol(_))
+    }
+}
+
 /// A blocking client for the fastppv TCP protocol (one connection, one
 /// outstanding request frame at a time).
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -673,10 +968,44 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and consumes the server's hello frame.
+    /// Connects with [`ClientOptions::default`] timeouts and consumes the
+    /// server's hello frame. A dead or stalled server fails within the
+    /// timeouts instead of hanging forever; use [`Client::connect_with`]
+    /// to tune or disable them.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit timeouts and consumes the server's hello
+    /// frame (which counts against `read_timeout` — the handshake is
+    /// where a SIGSTOPped server hangs a naive client).
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, options: ClientOptions) -> io::Result<Self> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                // connect_timeout needs concrete addresses; try each
+                // resolution like TcpStream::connect does.
+                let mut last = None;
+                let mut stream = None;
+                for a in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&a, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
         let hello = read_frame(&mut reader)?
@@ -723,6 +1052,179 @@ impl Client {
     pub fn request_one(&mut self, request: WireRequest) -> io::Result<WireResponse> {
         let mut responses = self.request_batch(std::slice::from_ref(&request))?;
         Ok(responses.remove(0))
+    }
+}
+
+/// Retry behavior of a [`ResilientClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (≥ 1). Reconnects are
+    /// bounded by the same budget.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (the exponential stops growing here).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn validate(&self) {
+        assert!(self.max_attempts >= 1, "at least one attempt is required");
+    }
+
+    /// Exponential backoff before retry number `retry` (1-based), capped.
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// A [`Client`] wrapper that survives a flaky or overloaded server:
+/// retryable failures (timeout, disconnect, I/O) drop the connection,
+/// back off exponentially **with jitter**, reconnect, and try again,
+/// bounded by [`RetryPolicy::max_attempts`]; a batch the server shed
+/// *entirely* waits at least the server's `retry_after` hint before the
+/// retry. Protocol errors are never retried — replaying malformed
+/// traffic reproduces them.
+///
+/// Queries are read-only, so a retry after a mid-request failure is safe
+/// (at worst the server computes an answer twice).
+pub struct ResilientClient {
+    addr: SocketAddr,
+    options: ClientOptions,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    /// xorshift64 state for backoff jitter — no external RNG crate, and
+    /// determinism under a fixed seed keeps tests reproducible.
+    rng: u64,
+}
+
+impl ResilientClient {
+    /// Creates a client for `addr` (no connection is made until the
+    /// first request; [`ResilientClient::connect`] forces one eagerly).
+    pub fn new(addr: SocketAddr, options: ClientOptions, policy: RetryPolicy) -> Self {
+        policy.validate();
+        ResilientClient {
+            addr,
+            options,
+            policy,
+            client: None,
+            rng: 0x243F_6A88_85A3_08D3 ^ (addr.port() as u64),
+        }
+    }
+
+    /// Seeds the backoff jitter (defaults to a port-derived constant).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.rng = seed | 1;
+        self
+    }
+
+    /// Connects eagerly (with the retry budget) and reports the server's
+    /// announced node count.
+    pub fn connect(&mut self) -> Result<u64, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.ensure_connected() {
+                Ok(c) => return Ok(c.num_nodes()),
+                Err(e) => self.backoff_or_fail(e, attempt, None)?,
+            }
+        }
+    }
+
+    /// Sends one request batch, retrying per the policy. Responses come
+    /// back in request order; per-request `Overloaded` outcomes inside a
+    /// *partially* served batch are returned as-is (the caller decides
+    /// which requests to replay) — only a fully-shed batch is retried
+    /// here, honoring the server's largest `retry_after` hint.
+    pub fn request_batch(
+        &mut self,
+        requests: &[WireRequest],
+    ) -> Result<Vec<WireResponse>, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self
+                .ensure_connected()
+                .and_then(|c| c.request_batch(requests).map_err(ClientError::from));
+            match result {
+                Ok(responses) => {
+                    let fully_shed = !responses.is_empty()
+                        && responses.iter().all(|r| r.retry_after().is_some());
+                    if !fully_shed {
+                        return Ok(responses);
+                    }
+                    if attempt >= self.policy.max_attempts {
+                        return Ok(responses); // hand the shed outcome back
+                    }
+                    let hint = responses
+                        .iter()
+                        .filter_map(|r| r.retry_after())
+                        .max()
+                        .unwrap_or(Duration::ZERO);
+                    let wait = self.policy.backoff(attempt).max(hint);
+                    std::thread::sleep(self.jittered(wait));
+                }
+                Err(e) => self.backoff_or_fail(e, attempt, Some(requests.len()))?,
+            }
+        }
+    }
+
+    /// Sends a single request with the full retry policy.
+    pub fn request_one(&mut self, request: WireRequest) -> Result<WireResponse, ClientError> {
+        let mut responses = self.request_batch(std::slice::from_ref(&request))?;
+        Ok(responses.remove(0))
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_with(self.addr, self.options)?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// On a retryable error below the attempt budget: drop the (possibly
+    /// wedged) connection, sleep a jittered backoff, and return `Ok` so
+    /// the caller loops. Otherwise propagate the error.
+    fn backoff_or_fail(
+        &mut self,
+        e: ClientError,
+        attempt: u32,
+        _batch: Option<usize>,
+    ) -> Result<(), ClientError> {
+        self.client = None;
+        if !e.is_retryable() || attempt >= self.policy.max_attempts {
+            return Err(e);
+        }
+        let wait = self.policy.backoff(attempt);
+        std::thread::sleep(self.jittered(wait));
+        Ok(())
+    }
+
+    /// Full jitter in `[wait/2, wait]`: desynchronizes a fleet of
+    /// retrying clients without ever undercutting half the intended
+    /// backoff (or a server-sent `retry_after` by more than half).
+    fn jittered(&mut self, wait: Duration) -> Duration {
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let half = wait / 2;
+        half + half.mul_f64((x >> 11) as f64 / (1u64 << 53) as f64)
     }
 }
 
@@ -778,19 +1280,37 @@ mod tests {
                 l1_error: 0.25,
                 exhausted: true,
                 cached: false,
+                degraded: true,
                 latency: Duration::from_micros(1234),
                 entries: vec![(1, 0.5), (7, 0.25)],
             }),
             WireResponse::Error("node 99 out of range".into()),
+            WireResponse::Overloaded { retry_after_ms: 75 },
         ];
         let decoded = decode_response_batch(&encode_response_batch(&responses)).unwrap();
         let a = decoded[0].answer().unwrap();
         assert_eq!((a.query, a.iterations), (4, 3));
         assert_eq!(a.l1_error, 0.25);
         assert!(a.exhausted && !a.cached);
+        assert!(a.degraded, "degraded flag survives the wire");
         assert_eq!(a.latency, Duration::from_micros(1234));
         assert_eq!(a.entries, vec![(1, 0.5), (7, 0.25)]);
         assert_eq!(decoded[1].error(), Some("node 99 out of range"));
+        assert_eq!(
+            decoded[2].retry_after(),
+            Some(Duration::from_millis(75)),
+            "overloaded responses carry their retry hint"
+        );
+    }
+
+    #[test]
+    fn zero_retry_after_is_rejected_on_decode() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        buf.push(2);
+        put_u32(&mut buf, 0);
+        let err = decode_response_batch(&buf).unwrap_err();
+        assert!(err.to_string().contains("retry-storm"), "{err}");
     }
 
     #[test]
@@ -885,6 +1405,199 @@ mod tests {
         assert_eq!(a.iterations, 0, "0 ms deadline must stop at iteration 0");
         drop(client);
         server.shutdown();
+    }
+
+    #[test]
+    fn loopback_sheds_past_high_water_mark_and_recovers() {
+        use crate::service::OverloadOptions;
+        let g = toy::graph();
+        let hubs = HubSet::from_ids(8, toy::PAPER_HUBS.to_vec());
+        let config = Config::exhaustive();
+        let (index, _) = build_index(&g, &hubs, &config);
+        let service = Arc::new(
+            QueryService::new(
+                Arc::new(g),
+                Arc::new(hubs),
+                Arc::new(index),
+                config,
+                ServiceOptions {
+                    workers: 1,
+                    queue_capacity: 8,
+                    cache_capacity: 0,
+                },
+            )
+            .with_overload(OverloadOptions {
+                degrade_in_flight: 2,
+                shed_in_flight: 4,
+                ..OverloadOptions::default()
+            }),
+        );
+        let server = serve(
+            Arc::clone(&service),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // Pin the service past the high-water mark, as a flood of slow
+        // batches would.
+        let held = service.track_in_flight(4);
+        let shed = client
+            .request_one(WireRequest::iterations(toy::A, 3))
+            .unwrap();
+        let retry = shed.retry_after().expect("past high water: must shed");
+        assert!(retry > Duration::ZERO, "retry hint must be positive");
+        assert!(service.load_stats().shed >= 1);
+        // Load drains: the same connection serves normally again.
+        drop(held);
+        let ok = client
+            .request_one(WireRequest::iterations(toy::A, 3))
+            .unwrap();
+        assert!(ok.answer().is_some(), "recovered after shed: {ok:?}");
+        // Between the watermarks: admitted but degraded, φ still carried.
+        let held = service.track_in_flight(1); // +1 for the request itself = 2
+        let soft = client
+            .request_one(WireRequest::iterations(toy::A, 8))
+            .unwrap();
+        let a = soft.answer().expect("degrade admits the request");
+        assert!(a.degraded, "degrade regime must flag the answer");
+        assert!(a.l1_error.is_finite());
+        drop(held);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_connection_is_disconnected_but_idle_survives() {
+        let service = toy_service();
+        let server = serve_with_options(
+            Arc::clone(&service),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            NetOptions {
+                frame_stall_timeout: Duration::from_millis(100),
+                write_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+        .unwrap();
+        // An idle (frame-boundary) connection outlives many stall windows.
+        let mut idle = Client::connect(server.local_addr()).unwrap();
+        // A slow-loris peer: starts a frame, then stalls mid-header.
+        let mut loris = TcpStream::connect(server.local_addr()).unwrap();
+        loris
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        {
+            let mut r = BufReader::new(loris.try_clone().unwrap());
+            read_frame(&mut r).unwrap().expect("hello");
+        }
+        loris.write_all(&[7u8, 0]).unwrap(); // 2 of 4 header bytes, then silence
+        std::thread::sleep(Duration::from_millis(400));
+        // The server must have closed the stalled connection…
+        loris.write_all(&[0u8, 0]).ok(); // complete the header (may already fail)
+        let mut probe = [0u8; 1];
+        let outcome = loris.read(&mut probe);
+        assert!(
+            matches!(outcome, Ok(0) | Err(_)),
+            "stalled connection must be closed, got {outcome:?}"
+        );
+        // …while the idle one still serves.
+        let r = idle
+            .request_one(WireRequest::iterations(toy::A, 2))
+            .unwrap();
+        assert!(r.answer().is_some());
+        drop(idle);
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_times_out_instead_of_hanging_on_a_silent_server() {
+        // A listener that accepts but never says hello: the old client
+        // blocked forever here; the typed path must fail within the read
+        // timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let conn = listener.accept().map(|(s, _)| s);
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+        let started = Instant::now();
+        let err = Client::connect_with(
+            addr,
+            ClientOptions {
+                connect_timeout: Some(Duration::from_secs(5)),
+                read_timeout: Some(Duration::from_millis(100)),
+                write_timeout: Some(Duration::from_millis(100)),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "must not wait out the silent server"
+        );
+        assert!(
+            matches!(ClientError::from(err), ClientError::Timeout(_)),
+            "a silent server is a typed timeout"
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn resilient_client_reconnects_when_the_server_comes_back() {
+        // Claim a port, then leave nothing listening on it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let mut rc = ResilientClient::new(
+            addr,
+            ClientOptions::default(),
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(20),
+            },
+        )
+        .with_jitter_seed(42);
+        // Dead server: the bounded retry budget is exhausted and the
+        // failure surfaces typed and retryable — no infinite loop, no
+        // hang.
+        let err = rc
+            .request_one(WireRequest::iterations(toy::A, 2))
+            .unwrap_err();
+        assert!(err.is_retryable(), "dead server must be retryable: {err}");
+        // Server appears on the claimed port: the same client heals
+        // transparently on its next call.
+        let service = toy_service();
+        let server = serve(
+            Arc::clone(&service),
+            TcpListener::bind(addr).expect("rebind the claimed port"),
+        )
+        .unwrap();
+        assert_eq!(rc.connect().unwrap(), 8);
+        let healed = rc.request_one(WireRequest::iterations(toy::A, 2)).unwrap();
+        assert!(healed.answer().is_some(), "reconnect must heal: {healed:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(60),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(60), "capped");
+        assert_eq!(p.backoff(30), Duration::from_millis(60), "no overflow");
+        // Jitter stays within [wait/2, wait].
+        let mut rc =
+            ResilientClient::new("127.0.0.1:1".parse().unwrap(), ClientOptions::default(), p)
+                .with_jitter_seed(7);
+        for _ in 0..100 {
+            let j = rc.jittered(Duration::from_millis(100));
+            assert!(j >= Duration::from_millis(50) && j <= Duration::from_millis(100));
+        }
     }
 
     #[test]

@@ -74,6 +74,194 @@ impl ServiceOptions {
     }
 }
 
+/// Overload policy of a [`QueryService`] (opt in via
+/// [`QueryService::with_overload`]).
+///
+/// The load tracker watches two signals: how many requests are inside the
+/// service right now (queued + executing, the *in-flight* count) and the
+/// recent p99 of served latencies. They drive three regimes
+/// ([`LoadRegime`]):
+///
+/// * **Normal** — requests run exactly as asked.
+/// * **Degrade** — admitted requests get their stopping condition capped
+///   at [`OverloadOptions::degraded_max_iterations`] increments. FastPPV
+///   makes this safe: every answer carries its certified error φ
+///   (Eq. 6), so a degraded answer is a *looser bound*, never a wrong
+///   score — and [`Response::degraded`] says the cap was applied.
+/// * **Shed** — past the high-water mark, callers should fail fast with
+///   an `Overloaded` error carrying [`OverloadOptions::retry_after`]
+///   instead of queueing ([`QueryService::admission`]).
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadOptions {
+    /// In-flight requests at which *degrade* begins.
+    pub degrade_in_flight: usize,
+    /// In-flight high-water mark at which new requests are shed.
+    pub shed_in_flight: usize,
+    /// Increment cap applied to admitted requests while degrading.
+    pub degraded_max_iterations: usize,
+    /// Optional latency target: when the recent p99 of served requests
+    /// exceeds it, the service degrades even below the in-flight
+    /// watermark (the pool is keeping up with arrivals but not with the
+    /// deadline).
+    pub deadline_p99: Option<Duration>,
+    /// Retry hint attached to shed decisions. Must be positive — a zero
+    /// hint invites an immediate retry storm.
+    pub retry_after: Duration,
+}
+
+impl Default for OverloadOptions {
+    fn default() -> Self {
+        OverloadOptions {
+            degrade_in_flight: 64,
+            shed_in_flight: 256,
+            degraded_max_iterations: 1,
+            deadline_p99: None,
+            retry_after: Duration::from_millis(50),
+        }
+    }
+}
+
+impl OverloadOptions {
+    fn validate(&self) {
+        assert!(
+            self.degrade_in_flight >= 1,
+            "degrade watermark must be positive"
+        );
+        assert!(
+            self.shed_in_flight >= self.degrade_in_flight,
+            "shed watermark must be at or above the degrade watermark"
+        );
+        assert!(
+            !self.retry_after.is_zero(),
+            "retry_after must be positive (a zero hint invites a retry storm)"
+        );
+    }
+}
+
+/// The serving regime the load tracker currently prescribes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadRegime {
+    /// Requests run exactly as asked.
+    Normal,
+    /// Admitted requests get a capped stopping condition (looser φ).
+    Degrade,
+    /// New requests should be rejected with a retry hint.
+    Shed,
+}
+
+/// One admission decision (see [`QueryService::admission`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the request; `degraded` says the service will cap its
+    /// stopping condition.
+    Admit {
+        /// Whether the degrade cap is in force.
+        degraded: bool,
+    },
+    /// Reject immediately; the client should back off for `retry_after`.
+    Shed {
+        /// How long the client should wait before retrying.
+        retry_after: Duration,
+    },
+}
+
+/// A point-in-time picture of the load tracker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadStats {
+    /// Requests inside the service right now (queued + executing).
+    pub in_flight: usize,
+    /// p99 of the recent served-latency window ([`Duration::ZERO`] until
+    /// any sample lands).
+    pub recent_p99: Duration,
+    /// Responses served with the degrade cap applied.
+    pub degraded: u64,
+    /// Shed decisions recorded via [`QueryService::note_shed`].
+    pub shed: u64,
+}
+
+/// Recent-latency window size. Big enough to make the p99 meaningful,
+/// small enough that the regime reacts to the last moment, not the last
+/// minute.
+const LOAD_WINDOW: usize = 128;
+
+struct OverloadState {
+    options: OverloadOptions,
+    in_flight: AtomicUsize,
+    /// Ring of recent served latencies in microseconds (0 = empty slot —
+    /// a genuine 0µs sample rounds up, which biases nothing at p99).
+    samples: Vec<AtomicU64>,
+    sample_pos: AtomicUsize,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl OverloadState {
+    fn new(options: OverloadOptions) -> Self {
+        OverloadState {
+            options,
+            in_flight: AtomicUsize::new(0),
+            samples: (0..LOAD_WINDOW).map(|_| AtomicU64::new(0)).collect(),
+            sample_pos: AtomicUsize::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, latency: Duration) {
+        let micros = (latency.as_micros() as u64).max(1);
+        let pos = self.sample_pos.fetch_add(1, Ordering::Relaxed) % LOAD_WINDOW;
+        self.samples[pos].store(micros, Ordering::Relaxed);
+    }
+
+    fn recent_p99(&self) -> Duration {
+        let mut window: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&v| v != 0)
+            .collect();
+        if window.is_empty() {
+            return Duration::ZERO;
+        }
+        window.sort_unstable();
+        let rank = ((window.len() as f64 * 0.99).ceil() as usize).clamp(1, window.len());
+        Duration::from_micros(window[rank - 1])
+    }
+
+    fn regime(&self) -> LoadRegime {
+        let in_flight = self.in_flight.load(Ordering::Relaxed);
+        if in_flight >= self.options.shed_in_flight {
+            return LoadRegime::Shed;
+        }
+        if in_flight >= self.options.degrade_in_flight {
+            return LoadRegime::Degrade;
+        }
+        if self
+            .options
+            .deadline_p99
+            .is_some_and(|target| self.recent_p99() > target)
+        {
+            return LoadRegime::Degrade;
+        }
+        LoadRegime::Normal
+    }
+}
+
+/// Decrements the in-flight count when a request (or batch) leaves the
+/// service, however it leaves — normal return or panic unwind.
+pub(crate) struct InFlightGuard<'a> {
+    state: Option<&'a OverloadState>,
+    n: usize,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state {
+            state.in_flight.fetch_sub(self.n, Ordering::Relaxed);
+        }
+    }
+}
+
 /// One query to serve.
 #[derive(Clone, Copy, Debug)]
 pub struct Request {
@@ -127,6 +315,11 @@ pub struct Response {
     pub exhausted: bool,
     /// Whether the hot-PPV cache served this response.
     pub cached: bool,
+    /// Whether the overload policy capped this request's stopping
+    /// condition ([`OverloadOptions`]). The reported [`Response::l1_error`]
+    /// is still the certified φ of what was actually computed —
+    /// degradation is certified, never silent.
+    pub degraded: bool,
     /// Service-side latency: cache probe + (on a miss) engine time.
     pub latency: Duration,
 }
@@ -333,6 +526,9 @@ pub struct QueryService<S: PpvStore + Send + Sync> {
     // Recycled per-worker scratch: graph-sized, so worth keeping across
     // batches instead of re-zeroing O(n) arrays every flush.
     workspaces: Mutex<Vec<QueryWorkspace>>,
+    // Overload policy + load tracker (None = always Normal; opt in with
+    // QueryService::with_overload).
+    overload: Option<OverloadState>,
     hits: AtomicU64,
     misses: AtomicU64,
     stale_rejects: AtomicU64,
@@ -388,6 +584,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             current_nodes: AtomicUsize::new(nodes),
             update_lock: Mutex::new(()),
             workspaces: Mutex::new(Vec::new()),
+            overload: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale_rejects: AtomicU64::new(0),
@@ -408,6 +605,99 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     /// The delta-patch configuration updates run with.
     pub fn delta_config(&self) -> &DeltaConfig {
         &self.delta
+    }
+
+    /// Opts the service into overload-aware serving: a load tracker
+    /// (in-flight count + recent p99) drives the Normal / Degrade / Shed
+    /// regimes described on [`OverloadOptions`]. Without this, the
+    /// service always runs requests exactly as asked and
+    /// [`QueryService::admission`] always admits.
+    pub fn with_overload(mut self, overload: OverloadOptions) -> Self {
+        overload.validate();
+        self.overload = Some(OverloadState::new(overload));
+        self
+    }
+
+    /// The regime the load tracker currently prescribes
+    /// ([`LoadRegime::Normal`] when overload handling is not enabled).
+    pub fn load_regime(&self) -> LoadRegime {
+        self.overload
+            .as_ref()
+            .map_or(LoadRegime::Normal, |o| o.regime())
+    }
+
+    /// One admission decision for a request about to enter the service.
+    /// Callers that shed (the network front-end) should report it back
+    /// via [`QueryService::note_shed`] so [`LoadStats`] stays honest.
+    pub fn admission(&self) -> Admission {
+        match self.load_regime() {
+            LoadRegime::Normal => Admission::Admit { degraded: false },
+            LoadRegime::Degrade => Admission::Admit { degraded: true },
+            LoadRegime::Shed => Admission::Shed {
+                retry_after: self
+                    .overload
+                    .as_ref()
+                    .expect("Shed regime requires an overload policy")
+                    .options
+                    .retry_after,
+            },
+        }
+    }
+
+    /// Records one shed decision taken by a front-end on this service's
+    /// behalf.
+    pub fn note_shed(&self) {
+        if let Some(o) = &self.overload {
+            o.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time picture of the load tracker (all zeros when
+    /// overload handling is not enabled).
+    pub fn load_stats(&self) -> LoadStats {
+        match &self.overload {
+            None => LoadStats::default(),
+            Some(o) => LoadStats {
+                in_flight: o.in_flight.load(Ordering::Relaxed),
+                recent_p99: o.recent_p99(),
+                degraded: o.degraded.load(Ordering::Relaxed),
+                shed: o.shed.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Counts `n` requests as inside the service until the guard drops.
+    /// Crate-visible so the net front-end tests (and fault harness) can
+    /// pin the service at a chosen load level deterministically.
+    pub(crate) fn track_in_flight(&self, n: usize) -> InFlightGuard<'_> {
+        if let Some(o) = &self.overload {
+            o.in_flight.fetch_add(n, Ordering::Relaxed);
+        }
+        InFlightGuard {
+            state: self.overload.as_ref(),
+            n,
+        }
+    }
+
+    /// Applies the degrade cap if the regime calls for it, returning the
+    /// (possibly loosened) request and whether it was changed.
+    fn maybe_degrade(&self, mut request: Request) -> (Request, bool) {
+        let Some(o) = &self.overload else {
+            return (request, false);
+        };
+        if o.regime() != LoadRegime::Degrade {
+            return (request, false);
+        }
+        let cap = o.options.degraded_max_iterations;
+        let capped = match request.stop.max_iterations {
+            Some(eta) => eta.min(cap),
+            None => cap,
+        };
+        if request.stop.max_iterations == Some(capped) {
+            return (request, false);
+        }
+        request.stop.max_iterations = Some(capped);
+        (request, true)
     }
 
     /// Pins the current serving snapshot (an `Arc` clone). The caller's
@@ -535,9 +825,10 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     pub fn query(&self, request: Request) -> Response {
         let state = self.snapshot();
         assert_in_range(&state.graph, &request);
+        let _in_flight = self.track_in_flight(1);
         let engine = state.engine(self.config);
         let mut ws = self.take_workspace(state.graph.num_nodes());
-        let response = self.execute(&engine, state.epoch, &mut ws, request);
+        let response = self.execute(&engine, state.epoch, &mut ws, request, None);
         self.recycle_workspace(ws);
         response
     }
@@ -567,10 +858,25 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         state: &Arc<ServingState<S>>,
         requests: Vec<Request>,
     ) -> Vec<Response> {
+        self.process_batch_on_cancel(state, requests, None)
+    }
+
+    /// [`QueryService::process_batch_on`] with an optional cancellation
+    /// token: when the flag flips, requests stop at their next increment
+    /// boundary and return partial answers with their current certified
+    /// φ. The network front-end threads its shutdown flag through here so
+    /// closing the server never waits on a long-running query.
+    pub(crate) fn process_batch_on_cancel(
+        &self,
+        state: &Arc<ServingState<S>>,
+        requests: Vec<Request>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Vec<Response> {
         let n = requests.len();
         if n == 0 {
             return Vec::new();
         }
+        let _in_flight = self.track_in_flight(n);
         let nodes = state.graph.num_nodes();
         let engine = state.engine(self.config);
         let workers = self.options.workers.min(n);
@@ -578,7 +884,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             let mut ws = self.take_workspace(nodes);
             let responses = requests
                 .into_iter()
-                .map(|r| self.execute(&engine, state.epoch, &mut ws, r))
+                .map(|r| self.execute(&engine, state.epoch, &mut ws, r, cancel))
                 .collect();
             self.recycle_workspace(ws);
             return responses;
@@ -596,7 +902,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                         let job = job_rx.lock().recv();
                         let Ok((i, request)) = job else { break };
                         *slots[i].lock() =
-                            Some(self.execute(&engine, state.epoch, &mut ws, request));
+                            Some(self.execute(&engine, state.epoch, &mut ws, request, cancel));
                     }
                     self.recycle_workspace(ws);
                 });
@@ -637,8 +943,18 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         epoch: u64,
         ws: &mut QueryWorkspace,
         request: Request,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Response {
         let started = Instant::now();
+        // The degrade cap is applied *before* the cache key is derived, so
+        // a degraded iteration request caches (and hits) under its capped
+        // η — identical requests in the same regime share one entry.
+        let (request, degraded) = self.maybe_degrade(request);
+        if degraded {
+            if let Some(o) = &self.overload {
+                o.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let key = self.cache_key(&request);
         if let Some(ref k) = key {
             // Snapshot isolation: only accept an entry computed against
@@ -655,6 +971,10 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                 .cloned();
             if let Some(hit) = hit {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                let latency = started.elapsed();
+                if let Some(o) = &self.overload {
+                    o.record(latency);
+                }
                 return Response {
                     query: request.query,
                     scores: Arc::clone(&hit.scores),
@@ -662,7 +982,8 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                     iterations: hit.iterations,
                     exhausted: hit.exhausted,
                     cached: true,
-                    latency: started.elapsed(),
+                    degraded,
+                    latency,
                 };
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -674,7 +995,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             let remaining = deadline.saturating_duration_since(Instant::now());
             stop.time_limit = Some(stop.time_limit.map_or(remaining, |l| l.min(remaining)));
         }
-        let result = engine.query_with(ws, request.query, &stop);
+        let result = engine.query_with_cancel(ws, request.query, &stop, cancel);
         let scores = Arc::new(result.scores);
         if let Some(k) = key {
             self.try_cache_insert(
@@ -688,6 +1009,10 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                 },
             );
         }
+        let latency = started.elapsed();
+        if let Some(o) = &self.overload {
+            o.record(latency);
+        }
         Response {
             query: request.query,
             scores,
@@ -695,7 +1020,8 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             iterations: result.iterations,
             exhausted: result.exhausted,
             cached: false,
-            latency: started.elapsed(),
+            degraded,
+            latency,
         }
     }
 
@@ -1225,6 +1551,130 @@ mod tests {
             workers: 0,
             queue_capacity: 1,
             cache_capacity: 0,
+        });
+    }
+
+    fn overloadable_service(overload: OverloadOptions) -> QueryService<MemoryIndex> {
+        toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+        })
+        .with_overload(overload)
+    }
+
+    #[test]
+    fn regimes_follow_in_flight_watermarks() {
+        let service = overloadable_service(OverloadOptions {
+            degrade_in_flight: 2,
+            shed_in_flight: 4,
+            ..OverloadOptions::default()
+        });
+        assert_eq!(service.load_regime(), LoadRegime::Normal);
+        assert_eq!(service.admission(), Admission::Admit { degraded: false });
+        let _one = service.track_in_flight(1);
+        assert_eq!(service.load_regime(), LoadRegime::Normal);
+        {
+            let _two = service.track_in_flight(1);
+            assert_eq!(service.load_regime(), LoadRegime::Degrade);
+            assert_eq!(service.admission(), Admission::Admit { degraded: true });
+            let _more = service.track_in_flight(2);
+            assert_eq!(service.load_regime(), LoadRegime::Shed);
+            match service.admission() {
+                Admission::Shed { retry_after } => {
+                    assert!(retry_after > Duration::ZERO, "retry hint must be positive")
+                }
+                other => panic!("expected shed, got {other:?}"),
+            }
+            service.note_shed();
+        }
+        // Guards dropped: back below the degrade watermark.
+        assert_eq!(service.load_regime(), LoadRegime::Normal);
+        let stats = service.load_stats();
+        assert_eq!(stats.in_flight, 1);
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
+    fn degraded_request_is_capped_flagged_and_still_certified() {
+        let service = overloadable_service(OverloadOptions {
+            degrade_in_flight: 2,
+            shed_in_flight: 100,
+            degraded_max_iterations: 0,
+            ..OverloadOptions::default()
+        });
+        // Hold one slot: the next request's own in-flight entry reaches
+        // the watermark, so it executes in Degrade.
+        let _held = service.track_in_flight(1);
+        let r = service.query(Request::iterations(toy::A, 8));
+        assert!(r.degraded, "degrade cap must be flagged");
+        assert_eq!(r.iterations, 0, "capped at degraded_max_iterations");
+        // φ of the degraded answer is still a true bound.
+        let exact = fastppv_baselines::exact_ppv(
+            &service.graph(),
+            toy::A,
+            fastppv_baselines::ExactOptions::default(),
+        );
+        let true_gap: f64 = service
+            .graph()
+            .nodes()
+            .map(|v| exact[v as usize] - r.scores.get(v))
+            .sum();
+        assert!(
+            true_gap <= r.l1_error + 1e-9,
+            "degraded φ {} must bound the true gap {true_gap}",
+            r.l1_error
+        );
+        assert_eq!(service.load_stats().degraded, 1);
+        // Below the watermark the same request runs at full accuracy.
+        drop(_held);
+        let full = service.query(Request::iterations(toy::A, 8));
+        assert!(!full.degraded);
+        assert!(full.iterations > 0);
+        assert!(full.l1_error <= r.l1_error + 1e-15);
+    }
+
+    #[test]
+    fn p99_above_deadline_target_degrades() {
+        let service = overloadable_service(OverloadOptions {
+            degrade_in_flight: 1000,
+            shed_in_flight: 1000,
+            deadline_p99: Some(Duration::from_nanos(1)),
+            ..OverloadOptions::default()
+        });
+        assert_eq!(
+            service.load_regime(),
+            LoadRegime::Normal,
+            "no samples yet: p99 is zero"
+        );
+        // Any real served latency exceeds a 1ns target.
+        service.query(Request::iterations(toy::A, 3));
+        assert_eq!(service.load_regime(), LoadRegime::Degrade);
+        assert!(service.load_stats().recent_p99 > Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn without_overload_policy_nothing_changes() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+        });
+        assert_eq!(service.load_regime(), LoadRegime::Normal);
+        assert_eq!(service.admission(), Admission::Admit { degraded: false });
+        let r = service.query(Request::iterations(toy::A, 4));
+        assert!(!r.degraded);
+        let stats = service.load_stats();
+        assert_eq!((stats.in_flight, stats.degraded, stats.shed), (0, 0, 0));
+        assert_eq!(stats.recent_p99, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry_after must be positive")]
+    fn rejects_zero_retry_after() {
+        overloadable_service(OverloadOptions {
+            retry_after: Duration::ZERO,
+            ..OverloadOptions::default()
         });
     }
 }

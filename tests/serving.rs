@@ -509,6 +509,104 @@ fn loopback_socket_serves_across_updates() {
 }
 
 #[test]
+fn expired_deadline_yields_partial_but_certified_answer_without_perturbing_batchmates() {
+    use fastppv::baselines::{exact_ppv, ExactOptions};
+    use std::time::Instant;
+
+    let config = Config::default().with_epsilon(1e-6);
+    let g0 = barabasi_albert(NODES, 3, 75);
+    let hubs = select_hubs(&g0, HubPolicy::ExpectedUtility, HUBS, 0);
+    let queries = query_sample(0);
+    let (store, _) = build_index(&g0, &hubs, &config);
+    let graph = Arc::new(g0);
+    let truth = ground_truth(
+        std::slice::from_ref(&store),
+        std::slice::from_ref(&graph),
+        &hubs,
+        &config,
+        &queries,
+    );
+    let service = QueryService::new(
+        Arc::clone(&graph),
+        Arc::new(hubs),
+        Arc::new(store),
+        config,
+        ServiceOptions {
+            workers: 3,
+            queue_capacity: 16,
+            cache_capacity: 64,
+        },
+    );
+
+    // One request in the middle of a pooled batch arrives with its
+    // deadline already spent; its neighbors carry none.
+    let victim = queries.len() / 2;
+    let eta = ETAS[1];
+    let batch = |stamp: Instant| -> Vec<Request> {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let r = Request::iterations(q, eta);
+                if i == victim {
+                    r.with_deadline(stamp)
+                } else {
+                    r
+                }
+            })
+            .collect()
+    };
+    let responses = service.process_batch(batch(Instant::now()));
+
+    // The victim is answered, not errored: fewer increments than asked,
+    // and φ still a true bound against an exact offline recompute.
+    let v = &responses[victim];
+    assert!(
+        v.iterations < eta,
+        "an expired deadline must cut iterations"
+    );
+    let exact = exact_ppv(&graph, v.query, ExactOptions::default());
+    let gap: f64 = graph
+        .nodes()
+        .map(|n| exact[n as usize] - v.scores.get(n))
+        .sum();
+    assert!(
+        gap <= v.l1_error + 1e-9,
+        "partial φ {} does not bound the true gap {gap}",
+        v.l1_error
+    );
+
+    // Batchmates are untouched: full-η answers, exactly the epoch truth.
+    for (i, r) in responses.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        assert_eq!(
+            *r.scores,
+            *lookup(&truth[0], r.query, eta),
+            "query {}: a neighbor's expired deadline perturbed this answer",
+            r.query
+        );
+    }
+
+    // Deadline-carrying requests are uncacheable in both directions: the
+    // partial answer is never stored, and a deadline request never reads
+    // the memo (a full cached vector would overshoot the time budget's
+    // contract of "best effort by the deadline" with a stale-keyed hit).
+    let again = service.process_batch(batch(Instant::now()));
+    assert!(
+        !again[victim].cached,
+        "a deadline request must bypass the hot-PPV cache"
+    );
+    let full = service.query(Request::iterations(queries[victim], eta));
+    assert!(
+        !full.cached,
+        "the partial deadline answer leaked into the cache"
+    );
+    assert_eq!(*full.scores, *lookup(&truth[0], full.query, eta));
+}
+
+#[test]
 fn service_stays_sync_with_snapshot_state() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<QueryService<fastppv::core::MemoryIndex>>();
