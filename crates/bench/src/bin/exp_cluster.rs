@@ -1,0 +1,559 @@
+//! Scale-out experiment: four loopback shards behind the scatter/gather
+//! router versus one process, plus a kill-timeline goodput trace.
+//!
+//! Budgeting is **equal per process**: every serving process — the one
+//! single-process server, and each of the four shard servers — gets the
+//! same worker count and the same hot-answer cache capacity. The
+//! scale-out win this experiment measures is *working-set partitioning*:
+//! the router sends each query to its owner shard, so four equal caches
+//! hold four disjoint quarters of the hot set, while the single process's
+//! one cache thrashes on the same workload. (On a single box the cluster
+//! cannot win on CPU — aggregate cores are fixed and the router adds
+//! scatter/merge work on the same cores.) The router itself is
+//! stateless: its merged-answer cache is disabled so every routed
+//! request really scatters.
+//!
+//! Three measurements:
+//!
+//! 1. **Single vs routed throughput**: the same zipf-skewed prime-PPV
+//!    (η = 0) workload, closed loop over the TCP front-end, cold pass
+//!    then warm pass (steady-state, caches populated). The acceptance
+//!    claim is `cluster_warm_qps >= single_warm_qps`.
+//! 2. **Worst-shard p99** read off each shard's stats wire op after the
+//!    routed run, plus the hedge count the backend accumulated.
+//! 3. **Kill timeline**: closed-loop senders hammer the router while a
+//!    shard is shut down mid-run and revived on its old address three
+//!    seconds later. Outcomes are bucketed over time; every response
+//!    must be a certified answer (`errors == 0` — a dead shard degrades
+//!    φ, it never surfaces as a client-visible error), and a fresh
+//!    full-accuracy answer must arrive after revival (`recovered`).
+//!
+//! Writes `BENCH_cluster.json` (validated by CI's perf-smoke job).
+//!
+//! ```text
+//! cargo run --release -p fastppv-bench --bin exp_cluster \
+//!     [--scale F] [--queries N] [--seed S] [--threads T]
+//! ```
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastppv_bench::cli::CommonArgs;
+use fastppv_bench::driver::{run_closed_loop_socket, SocketRunSpec, ThroughputReport};
+use fastppv_bench::table::Table;
+use fastppv_bench::workload::sample_queries_zipf;
+use fastppv_cluster::{slice_store, ShardMap};
+use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy};
+use fastppv_core::offline::build_index_parallel;
+use fastppv_core::{Config, MemoryIndex};
+use fastppv_graph::gen::barabasi_albert;
+use fastppv_graph::{pagerank, NodeId, PageRankOptions};
+use fastppv_router::{
+    serve_router, HealthOptions, Router, RouterConfig, RouterOptions, TcpBackend, TcpBackendOptions,
+};
+use fastppv_server::net::{
+    serve, serve_with_options, Client, NetOptions, NetServer, WireRequest, WireResponse,
+};
+use fastppv_server::{OverloadOptions, QueryService, ServiceOptions};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Iteration budget η for the throughput passes: η = 0 is the paper's
+/// prime-PPV serving mode — iteration 0 only, φ certified as the
+/// unconverted hub mass. Each routed request is then one sub-request to
+/// the query's owner shard, so ownership *partitions* the cached working
+/// set across shards; that partitioning is the whole scale-out claim.
+const ETA_THROUGHPUT: u32 = 0;
+/// Iteration budget η for the kill timeline: deep enough that every
+/// query traverses owned hub sublists, making a dead shard observable.
+const ETA_KILL: u32 = 4;
+/// Top-k entries per answer: isolates serving cost from payload size.
+const TOP_K: u32 = 8;
+/// Shards in the routed topology.
+const NUM_SHARDS: u32 = 4;
+/// Worker threads per serving process (single and each shard alike).
+const WORKERS: usize = 1;
+/// Hot-answer cache entries per serving process — the *same* for the
+/// single process and for every shard. The cluster's advantage is not a
+/// bigger per-process cache: it is that the router routes each query to
+/// its owner, so the four equal caches hold four disjoint quarters of
+/// the working set.
+const CACHE_PER_PROCESS: usize = 512;
+/// Closed-loop client connections per throughput pass.
+const CLIENTS: usize = 4;
+/// Closed-loop senders during the kill timeline.
+const KILL_SENDERS: usize = 2;
+/// Kill-timeline bucket width.
+const BUCKET_MS: u64 = 500;
+/// Shard shut down mid-run.
+const KILL_SHARD: usize = 2;
+/// When the shard dies / comes back / the window ends.
+const KILL_AT_S: f64 = 3.0;
+const REVIVE_AT_S: f64 = 6.0;
+const KILL_WINDOW_S: f64 = 9.0;
+
+/// One kill-phase outcome class.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    Full,
+    Degraded,
+    Shed,
+    Error,
+}
+
+/// Per-bucket tallies of the kill timeline.
+#[derive(Clone, Copy, Default)]
+struct Bucket {
+    answered: usize,
+    degraded: usize,
+    shed: usize,
+    errors: usize,
+}
+
+fn main() {
+    let args = CommonArgs::parse(4000);
+    let n = ((50_000.0 * args.scale) as usize).max(1000);
+    let hub_count = n / 25;
+    println!(
+        "# Cluster scale-out: {NUM_SHARDS} shards behind the router vs one process, BA-{}k",
+        n / 1000
+    );
+
+    let graph = Arc::new(barabasi_albert(n, 4, args.seed));
+    println!(
+        "graph: {} nodes, {} edges, {} hubs",
+        graph.num_nodes(),
+        graph.num_edges(),
+        hub_count
+    );
+    let pr = pagerank(&graph, PageRankOptions::default());
+    let hubs = Arc::new(select_hubs_with_pagerank(
+        &graph,
+        HubPolicy::ExpectedUtility,
+        hub_count,
+        0,
+        Some(&pr),
+    ));
+    // δ well below the default so hub frontiers stay non-empty at this
+    // scale: queries really traverse owned sublists every iteration,
+    // which is what makes a dead shard's absence observable (degraded
+    // answers) rather than vacuously exact.
+    let config = Config::default().with_epsilon(1e-6).with_delta(1e-4);
+    let build_started = Instant::now();
+    let (index, _) = build_index_parallel(&graph, &hubs, &config, args.threads);
+    println!("index built in {:.2?}", build_started.elapsed());
+    let store: Arc<MemoryIndex> = Arc::new(index);
+    let queries = sample_queries_zipf(&graph, args.queries, 1.0, args.seed);
+    let spec = SocketRunSpec {
+        eta: ETA_THROUGHPUT as usize,
+        clients: CLIENTS,
+        top_k: TOP_K,
+    };
+
+    // ------------------------------------------------------------------
+    // Single process: one service, `WORKERS` workers, `CACHE_PER_PROCESS`
+    // cached answers. Cold pass, then warm (steady-state) pass.
+    // ------------------------------------------------------------------
+    let single = Arc::new(QueryService::new(
+        Arc::clone(&graph),
+        Arc::clone(&hubs),
+        Arc::clone(&store),
+        config,
+        ServiceOptions {
+            workers: WORKERS,
+            queue_capacity: 1024,
+            cache_capacity: CACHE_PER_PROCESS,
+        },
+    ));
+    let server = serve(
+        single,
+        TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+    )
+    .expect("start single front-end");
+    let single_cold =
+        run_closed_loop_socket(server.local_addr(), &hubs, &queries, spec).expect("single cold");
+    let single_warm =
+        run_closed_loop_socket(server.local_addr(), &hubs, &queries, spec).expect("single warm");
+    server.shutdown();
+    print_pass("single cold", &single_cold);
+    print_pass("single warm", &single_warm);
+
+    // ------------------------------------------------------------------
+    // Routed: NUM_SHARDS sliced services on loopback, scatter/gather
+    // router in front (merged-answer cache off — stateless).
+    // ------------------------------------------------------------------
+    let map = ShardMap::round_robin(n, NUM_SHARDS);
+    let shard_options = ServiceOptions {
+        workers: WORKERS,
+        queue_capacity: 1024,
+        cache_capacity: CACHE_PER_PROCESS,
+    };
+    let mut shards: Vec<(
+        Arc<QueryService<MemoryIndex>>,
+        Option<NetServer>,
+        SocketAddr,
+    )> = Vec::new();
+    for shard in 0..NUM_SHARDS {
+        let slice = slice_store(store.as_ref(), &hubs, &map, shard);
+        // Watermarks far above anything this run reaches: the overload
+        // policy never fires, but its load tracker is live, so each
+        // shard's stats op reports an honest recent p99.
+        let service = Arc::new(
+            QueryService::new(
+                Arc::clone(&graph),
+                Arc::clone(&hubs),
+                Arc::new(slice),
+                config,
+                shard_options,
+            )
+            .with_overload(OverloadOptions {
+                degrade_in_flight: 1 << 20,
+                shed_in_flight: 1 << 21,
+                ..OverloadOptions::default()
+            }),
+        );
+        let server = serve_shard(
+            &service,
+            TcpListener::bind("127.0.0.1:0").expect("bind shard"),
+        );
+        let addr = server.local_addr();
+        shards.push((service, Some(server), addr));
+    }
+    let addrs: Vec<SocketAddr> = shards.iter().map(|(_, _, a)| *a).collect();
+    let backend = TcpBackend::new(
+        addrs.clone(),
+        TcpBackendOptions {
+            health: HealthOptions {
+                base_backoff: Duration::from_millis(100),
+                max_backoff: Duration::from_millis(500),
+                ..HealthOptions::default()
+            },
+            ..TcpBackendOptions::default()
+        },
+    );
+    let _prober = backend.spawn_prober(Duration::from_millis(200));
+    let router = Arc::new(Router::new(
+        backend.clone(),
+        map,
+        RouterConfig {
+            alpha: config.alpha,
+            delta: config.delta,
+            num_nodes: n,
+        },
+        RouterOptions {
+            cache_capacity: 0,
+            ..RouterOptions::default()
+        },
+    ));
+    let router_server = serve_router(
+        router,
+        TcpListener::bind("127.0.0.1:0").expect("bind router"),
+    )
+    .expect("start router");
+    let router_addr = router_server.local_addr();
+    let cluster_cold =
+        run_closed_loop_socket(router_addr, &hubs, &queries, spec).expect("cluster cold");
+    let cluster_warm =
+        run_closed_loop_socket(router_addr, &hubs, &queries, spec).expect("cluster warm");
+    print_pass("cluster cold", &cluster_cold);
+    print_pass("cluster warm", &cluster_warm);
+    let hedges = backend.hedges_sent();
+
+    // Worst-shard p99 straight off each shard's stats wire op.
+    let mut worst_shard_p99 = Duration::ZERO;
+    for &addr in &addrs {
+        let stats = Client::connect(addr)
+            .expect("connect shard for stats")
+            .stats()
+            .expect("shard stats");
+        worst_shard_p99 = worst_shard_p99.max(stats.recent_p99);
+    }
+
+    let ratio = cluster_warm.qps / single_warm.qps.max(1e-9);
+    Table::new(vec!["topology", "pass", "qps", "p50 ms", "p99 ms"])
+        .row(pass_row("single", "cold", &single_cold))
+        .row(pass_row("single", "warm", &single_warm))
+        .row(pass_row(
+            &format!("router+{NUM_SHARDS}"),
+            "cold",
+            &cluster_cold,
+        ))
+        .row(pass_row(
+            &format!("router+{NUM_SHARDS}"),
+            "warm",
+            &cluster_warm,
+        ))
+        .print("throughput, equal per-process budgets");
+    println!(
+        "warm cluster/single: {ratio:.2}x; worst shard p99 {:.2?}; {hedges} hedges sent",
+        worst_shard_p99
+    );
+
+    // ------------------------------------------------------------------
+    // Kill timeline: shut a shard down mid-run, revive it on its old
+    // address, and bucket the router's client-visible outcomes.
+    // ------------------------------------------------------------------
+    println!(
+        "kill timeline: shard {KILL_SHARD} down at {KILL_AT_S}s, back at {REVIVE_AT_S}s, \
+         window {KILL_WINDOW_S}s"
+    );
+    // Uniform (unskewed, mostly uncached) queries so the outage is
+    // visible as degraded answers, not cache hits.
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xC1A5);
+    let kill_queries: Vec<NodeId> = (0..4096).map(|_| rng.gen_range(0..n as NodeId)).collect();
+    let window = Duration::from_secs_f64(KILL_WINDOW_S);
+    let stop_flag = AtomicBool::new(false);
+    let started = Instant::now();
+    let outcomes: Vec<Vec<(Duration, Class)>> = std::thread::scope(|scope| {
+        let senders: Vec<_> = (0..KILL_SENDERS)
+            .map(|s| {
+                let kill_queries = &kill_queries;
+                let stop_flag = &stop_flag;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut client = Client::connect(router_addr).ok();
+                    let mut i = s;
+                    while !stop_flag.load(Ordering::Relaxed) {
+                        let q = kill_queries[i % kill_queries.len()];
+                        i += KILL_SENDERS;
+                        let request = WireRequest::iterations(q, ETA_KILL).with_top_k(TOP_K);
+                        let class = match client.as_mut().map(|c| c.request_one(request)) {
+                            Some(Ok(WireResponse::Answer(a))) => {
+                                assert!(
+                                    (0.0..=1.0 + 1e-9).contains(&a.l1_error),
+                                    "phi out of range: {}",
+                                    a.l1_error
+                                );
+                                if a.degraded {
+                                    Class::Degraded
+                                } else {
+                                    Class::Full
+                                }
+                            }
+                            Some(Ok(r)) if r.retry_after().is_some() => Class::Shed,
+                            // A typed Error response or a connection-level
+                            // failure: both are the client-visible errors
+                            // the router promises not to surface.
+                            _ => {
+                                client = Client::connect(router_addr).ok();
+                                Class::Error
+                            }
+                        };
+                        out.push((started.elapsed(), class));
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        // Controller: kill, revive, end the window.
+        std::thread::sleep(Duration::from_secs_f64(KILL_AT_S).saturating_sub(started.elapsed()));
+        let (service, server, addr) = &mut shards[KILL_SHARD];
+        server.take().expect("shard still up").shutdown();
+        std::thread::sleep(Duration::from_secs_f64(REVIVE_AT_S).saturating_sub(started.elapsed()));
+        let listener = TcpListener::bind(*addr).expect("rebind revived shard");
+        *server = Some(serve_shard(service, listener));
+        std::thread::sleep(window.saturating_sub(started.elapsed()));
+        stop_flag.store(true, Ordering::Relaxed);
+        senders
+            .into_iter()
+            .map(|h| h.join().expect("sender panicked"))
+            .collect()
+    });
+
+    let num_buckets = (KILL_WINDOW_S * 1000.0 / BUCKET_MS as f64).ceil() as usize;
+    let mut buckets = vec![Bucket::default(); num_buckets];
+    for (at, class) in outcomes.iter().flatten() {
+        let b = ((at.as_millis() as u64 / BUCKET_MS) as usize).min(num_buckets - 1);
+        match class {
+            Class::Full => buckets[b].answered += 1,
+            Class::Degraded => {
+                buckets[b].answered += 1;
+                buckets[b].degraded += 1;
+            }
+            Class::Shed => buckets[b].shed += 1,
+            Class::Error => buckets[b].errors += 1,
+        }
+    }
+    let mut table = Table::new(vec!["t (s)", "answered", "degraded", "shed", "errors"]);
+    for (i, b) in buckets.iter().enumerate() {
+        table.row(vec![
+            format!("{:.1}", (i as u64 * BUCKET_MS) as f64 / 1000.0),
+            b.answered.to_string(),
+            b.degraded.to_string(),
+            b.shed.to_string(),
+            b.errors.to_string(),
+        ]);
+    }
+    table.print("kill timeline goodput");
+    let errors_total: usize = buckets.iter().map(|b| b.errors).sum();
+    let degraded_total: usize = buckets.iter().map(|b| b.degraded).sum();
+    let answered_total: usize = buckets.iter().map(|b| b.answered).sum();
+
+    // Recovery: a fresh full-accuracy answer must arrive post-revival.
+    let recovery_started = Instant::now();
+    let mut recovered = false;
+    while recovery_started.elapsed() < Duration::from_secs(10) && !recovered {
+        let q = rng.gen_range(0..n as NodeId);
+        if let Ok(mut client) = Client::connect(router_addr) {
+            if let Ok(WireResponse::Answer(a)) =
+                client.request_one(WireRequest::iterations(q, ETA_KILL).with_top_k(TOP_K))
+            {
+                recovered = !a.degraded;
+            }
+        }
+        if !recovered {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    println!(
+        "kill window: {answered_total} answered ({degraded_total} degraded), \
+         {errors_total} errors, recovered={recovered}"
+    );
+
+    let json = to_json(
+        n,
+        &graph,
+        hub_count,
+        &args,
+        &single_cold,
+        &single_warm,
+        &cluster_cold,
+        &cluster_warm,
+        worst_shard_p99,
+        hedges,
+        &buckets,
+        recovered,
+    );
+    std::fs::write("BENCH_cluster.json", json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+    router_server.shutdown();
+}
+
+/// Serves one shard with a short frame-stall timeout, so an in-bench
+/// "kill" (`NetServer::shutdown`) severs the router's pooled
+/// connections within a fraction of a second — approximating a killed
+/// process instead of a drained one.
+fn serve_shard(service: &Arc<QueryService<MemoryIndex>>, listener: TcpListener) -> NetServer {
+    serve_with_options(
+        Arc::clone(service),
+        listener,
+        NetOptions {
+            frame_stall_timeout: Duration::from_millis(250),
+            ..NetOptions::default()
+        },
+    )
+    .expect("start shard front-end")
+}
+
+fn print_pass(label: &str, report: &ThroughputReport) {
+    println!(
+        "{label}: {:.0} QPS ({} queries, p50 {:.2?}, p99 {:.2?}, {} cache hits / {} misses)",
+        report.qps, report.queries, report.p50, report.p99, report.cache_hits, report.cache_misses
+    );
+}
+
+fn pass_row(topology: &str, pass: &str, report: &ThroughputReport) -> Vec<String> {
+    vec![
+        topology.to_string(),
+        pass.to_string(),
+        format!("{:.0}", report.qps),
+        format!("{:.2}", report.p50.as_secs_f64() * 1e3),
+        format!("{:.2}", report.p99.as_secs_f64() * 1e3),
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    n: usize,
+    graph: &fastppv_graph::Graph,
+    hub_count: usize,
+    args: &CommonArgs,
+    single_cold: &ThroughputReport,
+    single_warm: &ThroughputReport,
+    cluster_cold: &ThroughputReport,
+    cluster_warm: &ThroughputReport,
+    worst_shard_p99: Duration,
+    hedges: u64,
+    buckets: &[Bucket],
+    recovered: bool,
+) -> String {
+    let pass = |r: &ThroughputReport| {
+        format!(
+            "{{\"qps\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}",
+            r.qps,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.cache_hits,
+            r.cache_misses
+        )
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"cluster\",\n");
+    out.push_str(&format!("  \"dataset\": \"BA-{}k\",\n", n / 1000));
+    out.push_str(&format!("  \"nodes\": {},\n", graph.num_nodes()));
+    out.push_str(&format!("  \"edges\": {},\n", graph.num_edges()));
+    out.push_str(&format!("  \"hubs\": {hub_count},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"num_shards\": {NUM_SHARDS},\n"));
+    out.push_str(&format!("  \"workers_per_process\": {WORKERS},\n"));
+    out.push_str(&format!(
+        "  \"cache_entries_per_process\": {CACHE_PER_PROCESS},\n"
+    ));
+    out.push_str(&format!("  \"eta_throughput\": {ETA_THROUGHPUT},\n"));
+    out.push_str(&format!("  \"eta_kill\": {ETA_KILL},\n"));
+    out.push_str(&format!("  \"queries\": {},\n", args.queries));
+    out.push_str(&format!("  \"single_cold\": {},\n", pass(single_cold)));
+    out.push_str(&format!("  \"single_warm\": {},\n", pass(single_warm)));
+    out.push_str(&format!("  \"cluster_cold\": {},\n", pass(cluster_cold)));
+    out.push_str(&format!("  \"cluster_warm\": {},\n", pass(cluster_warm)));
+    out.push_str(&format!(
+        "  \"cluster_over_single_warm\": {:.4},\n",
+        cluster_warm.qps / single_warm.qps.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"worst_shard_p99_ms\": {:.3},\n",
+        worst_shard_p99.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!("  \"hedges_sent\": {hedges},\n"));
+    out.push_str("  \"kill\": {\n");
+    out.push_str(&format!("    \"shard\": {KILL_SHARD},\n"));
+    out.push_str(&format!("    \"kill_at_s\": {KILL_AT_S},\n"));
+    out.push_str(&format!("    \"revive_at_s\": {REVIVE_AT_S},\n"));
+    out.push_str(&format!("    \"window_s\": {KILL_WINDOW_S},\n"));
+    out.push_str(&format!("    \"bucket_ms\": {BUCKET_MS},\n"));
+    out.push_str("    \"buckets\": [\n");
+    for (i, b) in buckets.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"t_s\": {:.1}, \"answered\": {}, \"degraded\": {}, \
+             \"shed\": {}, \"errors\": {}}}{}\n",
+            (i as u64 * BUCKET_MS) as f64 / 1000.0,
+            b.answered,
+            b.degraded,
+            b.shed,
+            b.errors,
+            if i + 1 < buckets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"answered_total\": {},\n",
+        buckets.iter().map(|b| b.answered).sum::<usize>()
+    ));
+    out.push_str(&format!(
+        "    \"degraded_total\": {},\n",
+        buckets.iter().map(|b| b.degraded).sum::<usize>()
+    ));
+    out.push_str(&format!(
+        "    \"errors_total\": {},\n",
+        buckets.iter().map(|b| b.errors).sum::<usize>()
+    ));
+    out.push_str(&format!("    \"recovered\": {recovered}\n"));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

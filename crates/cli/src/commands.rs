@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use fastppv_cluster::partition::{cluster_graph, ClusteringOptions};
 use fastppv_cluster::store::write_clustered_graph;
+use fastppv_cluster::ShardMap;
 use fastppv_core::atomic_io;
 use fastppv_core::autotune::{suggest_hub_count, AutotuneOptions};
 use fastppv_core::hubs::{select_hubs_with_pagerank, HubPolicy, HubSet};
@@ -448,7 +449,18 @@ pub fn serve(argv: &[String]) -> CmdResult {
                  checkpointed graph + arena replace --graph/--index content\n\
                  and logged-but-uncheckpointed events are replayed before\n\
                  the first query is served. The log itself is left\n\
-                 untouched. Requires --store flat.";
+                 untouched. Requires --store flat.\n\
+                 \n\
+                 With --shard-id N the opened index is sliced to the hubs\n\
+                 this shard owns before serving (--num-shards K for the\n\
+                 default round-robin map, or --shard-map FILE written by\n\
+                 `fastppv cluster --shards`); `fastppv route` scatters\n\
+                 queries across such processes.\n\
+                 \n\
+                 With --stats ADDR no service is started at all: the\n\
+                 running service (shard or router) at ADDR is asked for\n\
+                 its stats once, the answer is printed, and the command\n\
+                 exits.";
     let args = Args::parse(
         argv,
         &with_config_flags(&[
@@ -465,10 +477,17 @@ pub fn serve(argv: &[String]) -> CmdResult {
             "batch",
             "store",
             "wal",
+            "shard-id",
+            "num-shards",
+            "shard-map",
+            "stats",
         ]),
         &["undirected"],
         usage,
     )?;
+    if let Some(addr) = args.get::<String>("stats")? {
+        return print_remote_stats(&addr);
+    }
     // Validate the invocation before the expensive graph/index loads: the
     // service asserts on zero sizes, so reject them as usage errors
     // (exit 2) instead of surfacing a panic.
@@ -499,6 +518,51 @@ pub fn serve(argv: &[String]) -> CmdResult {
     let graph = load_graph(&args)?;
     let config = config_from_args(&args)?;
     let (store, hubs) = open_store(&args, &graph)?;
+    if let Some(shard_id) = args.get::<u32>("shard-id")? {
+        if wal.is_some() {
+            return Err(CliError::Usage(
+                "--shard-id cannot be combined with --wal: sharded indexes are \
+                 updated through the router's two-phase barrier, not a local WAL"
+                    .into(),
+            ));
+        }
+        let map = shard_map_from_args(&args, graph.num_nodes())?;
+        if shard_id >= map.num_shards() {
+            return Err(CliError::Usage(format!(
+                "--shard-id {shard_id} out of range ({} shards)",
+                map.num_shards()
+            )));
+        }
+        // Slice the full index down to the hubs this shard owns; the
+        // service still gets the full hub set (prime-PPV decomposition
+        // needs to block at *every* hub, not just owned ones).
+        let slice = match &store {
+            StoreChoice::Flat(s) => fastppv_cluster::slice_store(s, &hubs, &map, shard_id),
+            StoreChoice::Disk(s) => fastppv_cluster::slice_store(s, &hubs, &map, shard_id),
+        };
+        eprintln!(
+            "shard {shard_id}/{}: holding {} of {} hubs",
+            map.num_shards(),
+            slice.hub_ids().len(),
+            hubs.ids().len()
+        );
+        return serve_entry(
+            graph,
+            hubs,
+            slice,
+            config,
+            options,
+            default_stop,
+            top,
+            batch,
+            listen,
+        );
+    }
+    if args.get::<String>("shard-map")?.is_some() || args.get::<u32>("num-shards")?.is_some() {
+        return Err(CliError::Usage(
+            "--shard-map/--num-shards only apply together with --shard-id".into(),
+        ));
+    }
     match store {
         StoreChoice::Flat(s) => {
             let (graph, hubs, s, wal_dir) = match wal {
@@ -559,6 +623,59 @@ pub fn serve(argv: &[String]) -> CmdResult {
     }
 }
 
+/// Resolves `--shard-id`'s hub→shard map: a `--shard-map` file (written
+/// by `fastppv cluster --shards`) or the round-robin default over
+/// `--num-shards`.
+fn shard_map_from_args(args: &Args, num_nodes: usize) -> Result<ShardMap, CliError> {
+    match (
+        args.get::<String>("shard-map")?,
+        args.get::<u32>("num-shards")?,
+    ) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "give --shard-map or --num-shards, not both".into(),
+        )),
+        (Some(path), None) => {
+            let map = ShardMap::read_from_file(&path).map_err(|e| format!("{path}: {e}"))?;
+            if map.num_nodes() != num_nodes {
+                return Err(format!(
+                    "{path}: shard map covers {} nodes but the graph has {num_nodes}",
+                    map.num_nodes()
+                )
+                .into());
+            }
+            Ok(map)
+        }
+        (None, Some(0)) => Err(CliError::Usage("--num-shards must be positive".into())),
+        (None, Some(k)) => Ok(ShardMap::round_robin(num_nodes, k)),
+        (None, None) => Err(CliError::Usage(
+            "--shard-id needs --num-shards K or --shard-map FILE".into(),
+        )),
+    }
+}
+
+/// The `--stats ADDR` one-shot mode: ask a running service (shard or
+/// router — both speak the same protocol) for its stats and print them.
+fn print_remote_stats(addr: &str) -> CmdResult {
+    let mut client = fastppv_server::net::Client::connect(addr)
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    let hello = *client.hello();
+    let stats = client
+        .stats()
+        .map_err(|e| format!("stats from {addr}: {e}"))?;
+    println!(
+        "{addr}: epoch {}, {} nodes, alpha {}, delta {}",
+        stats.epoch, hello.num_nodes, hello.alpha, hello.delta
+    );
+    println!(
+        "in-flight {}, recent p99 {:.3} ms, degraded {}, shed {}",
+        stats.in_flight,
+        stats.recent_p99.as_secs_f64() * 1e3,
+        stats.degraded,
+        stats.shed
+    );
+    Ok(())
+}
+
 /// The `--store flat` serve path: like [`serve_entry`], plus WAL startup
 /// recovery — events the last `fastppv update` logged but had not yet
 /// checkpointed are replayed into the service before the first query.
@@ -611,7 +728,7 @@ fn serve_flat(
 /// Builds the service and dispatches to the stdin/stdout loop or the TCP
 /// front-end, generic over the store layout.
 #[allow(clippy::too_many_arguments)]
-fn serve_entry<S: PpvStore + Send + Sync + 'static>(
+fn serve_entry<S: PpvStore + fastppv_server::ShardRefresh + Send + Sync + 'static>(
     graph: Graph,
     hubs: HubSet,
     store: S,
@@ -638,7 +755,7 @@ fn serve_entry<S: PpvStore + Send + Sync + 'static>(
 
 /// The `--listen` mode: the length-prefixed binary TCP protocol of
 /// [`fastppv_server::net`], served until the process is killed.
-fn serve_net<S: PpvStore + Send + Sync + 'static>(
+fn serve_net<S: PpvStore + fastppv_server::ShardRefresh + Send + Sync + 'static>(
     service: std::sync::Arc<QueryService<S>>,
     addr: &str,
     num_nodes: usize,
@@ -1265,10 +1382,17 @@ pub fn stats(argv: &[String]) -> CmdResult {
 /// `fastppv cluster`
 pub fn cluster(argv: &[String]) -> CmdResult {
     let usage = "fastppv cluster --graph edges.txt [--undirected] \
-                 --clusters K --out graph.clg [--seed S]";
+                 --clusters K --out graph.clg [--seed S]\n\
+                 [--shards N --shard-map map.fsm]\n\
+                 \n\
+                 With --shards N the clustering is additionally folded\n\
+                 into an N-shard ownership map (clusters stay whole, so\n\
+                 co-clustered hubs land on the same shard) and written to\n\
+                 --shard-map, for `fastppv serve --shard-id` and\n\
+                 `fastppv route`.";
     let args = Args::parse(
         argv,
-        &["graph", "clusters", "out", "seed"],
+        &["graph", "clusters", "out", "seed", "shards", "shard-map"],
         &["undirected"],
         usage,
     )?;
@@ -1292,5 +1416,22 @@ pub fn cluster(argv: &[String]) -> CmdResult {
         largest as f64 / 1024.0,
         100.0 * largest as f64 / total.max(1) as f64
     );
+    match (args.get::<u32>("shards")?, args.get::<String>("shard-map")?) {
+        (None, None) => {}
+        (Some(0), _) => return Err(CliError::Usage("--shards must be positive".into())),
+        (Some(n), Some(path)) => {
+            let map = ShardMap::from_clustering(&clustering, n);
+            map.write_to_file(&path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}: {n}-shard ownership map over {k} clusters");
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--shards and --shard-map go together (a shard count and where \
+                 to write the map)"
+                    .into(),
+            ))
+        }
+    }
     Ok(())
 }

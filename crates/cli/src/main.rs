@@ -13,11 +13,16 @@
 //! fastppv serve     --graph edges.txt [--undirected] --index index.fppv
 //!                   [--listen ADDR] [--workers N] [--hot-cache N]
 //!                   [--eta K | --l1 ERR] [--wal DIR]
+//!                   [--shard-id N --num-shards K [--shard-map FILE]]
+//! fastppv serve     --stats ADDR
+//! fastppv route     --shards ADDR1,ADDR2,... [--listen ADDR]
+//!                   [--shard-map FILE] [--no-hedge] [--hedge-floor-ms MS]
 //! fastppv update    --graph edges.txt [--undirected] --index index.fppv
 //!                   [--events N] [--delete-fraction F] [--budget B] [--seed S]
 //!                   [--wal DIR | --no-wal] [--checkpoint-every K]
 //! fastppv stats     --index index.fppv
 //! fastppv cluster   --graph edges.txt [--undirected] --clusters K --out g.clg
+//!                   [--shards N --shard-map map.fsm]
 //! ```
 //!
 //! Unrecognized flags are usage errors: the binary names the flag on
@@ -27,6 +32,7 @@
 
 mod args;
 mod commands;
+mod route;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +48,7 @@ fn main() {
         "query" => commands::query(&argv),
         "topk" => commands::topk(&argv),
         "serve" => commands::serve(&argv),
+        "route" => route::route(&argv),
         "update" => commands::update(&argv),
         "stats" => commands::stats(&argv),
         "cluster" => commands::cluster(&argv),
@@ -68,7 +75,12 @@ commands:
   query      online phase: answer one PPV query from an index
   topk       certified top-k query (iterates until the set is provably exact)
   serve      concurrent query service: worker pool + hot-PPV cache, over
-             stdin or a binary TCP socket (--listen ADDR)
+             stdin or a binary TCP socket (--listen ADDR); serves one
+             shard's slice with --shard-id, prints a remote service's
+             stats with --stats ADDR
+  route      fault-tolerant scatter/gather front-end over shard
+             processes: health probes, hedged sub-requests, certified
+             partial answers when shards are down
   update     stream seeded edge events through a serving refresh loop
              (delta-patched under an error budget, or exact with --budget 0)
   stats      inspect an index file

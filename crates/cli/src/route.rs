@@ -1,0 +1,189 @@
+//! `fastppv route` — the scatter/gather front-end over shard processes.
+//!
+//! The router is stateless: everything it needs (node count, α, δ, the
+//! current epoch) is discovered from shard hellos at startup, and the
+//! hub→shard map either comes from a `--shard-map` file (written by
+//! `fastppv cluster --shards N --shard-map FILE`) or defaults to the
+//! same round-robin map `fastppv serve --shard-id` defaults to.
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastppv_cluster::ShardMap;
+use fastppv_router::{
+    serve_router, HealthOptions, Router, RouterConfig, RouterOptions, TcpBackend, TcpBackendOptions,
+};
+
+use crate::args::{Args, CliError};
+
+/// How long startup keeps retrying before giving up on an unreachable
+/// cluster (shards may still be binding their listeners).
+const DISCOVERY_BUDGET: Duration = Duration::from_secs(10);
+
+/// Parses the `--shards` comma-separated address list in shard-id order.
+fn parse_shard_addrs(raw: &str) -> Result<Vec<SocketAddr>, CliError> {
+    let mut addrs = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let resolved = part
+            .to_socket_addrs()
+            .map_err(|e| CliError::Usage(format!("cannot resolve shard address `{part}`: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                CliError::Usage(format!("shard address `{part}` resolved to nothing"))
+            })?;
+        addrs.push(resolved);
+    }
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "--shards needs at least one address".into(),
+        ));
+    }
+    Ok(addrs)
+}
+
+/// `fastppv route`
+pub fn route(argv: &[String]) -> Result<(), CliError> {
+    let usage = "fastppv route --shards ADDR1,ADDR2,... [--listen ADDR]\n\
+                 [--shard-map FILE] [--hot-cache N] [--probe-ms MS]\n\
+                 [--no-hedge] [--hedge-floor-ms MS] [--hedge-factor F]\n\
+                 [--sub-timeout-ms MS] [--down-after N] [--breaker-ms MS]\n\
+                 [--retry-after-ms MS] [--no-shed]\n\
+                 \n\
+                 Scatter/gather router over `fastppv serve --shard-id`\n\
+                 processes (one --shards entry per shard id, in order).\n\
+                 Speaks the same binary TCP protocol as a single serve\n\
+                 process — clients connect to the router unchanged. Node\n\
+                 count, alpha, delta, and the serving epoch are discovered\n\
+                 from shard hellos; without --shard-map the hub->shard map\n\
+                 is round-robin (the `serve --shard-id` default).\n\
+                 \n\
+                 A shard that stops answering is circuit-broken (Up ->\n\
+                 Suspect -> Down after --down-after consecutive failures)\n\
+                 and routed around: its border mass is charged into the\n\
+                 answer's error bound phi instead, so degraded answers stay\n\
+                 certified. Straggling sub-requests are hedged on a fresh\n\
+                 connection after p99 x hedge-factor (floored).";
+    let args = Args::parse(
+        argv,
+        &[
+            "shards",
+            "listen",
+            "shard-map",
+            "hot-cache",
+            "probe-ms",
+            "hedge-floor-ms",
+            "hedge-factor",
+            "sub-timeout-ms",
+            "down-after",
+            "breaker-ms",
+            "retry-after-ms",
+        ],
+        &["no-hedge", "no-shed"],
+        usage,
+    )?;
+    let addrs = parse_shard_addrs(&args.require::<String>("shards")?)?;
+    let listen: String = args.get_or("listen", "127.0.0.1:0".to_string())?;
+    let down_after: u32 = args.get_or("down-after", 3)?;
+    if down_after == 0 {
+        return Err(CliError::Usage("--down-after must be positive".into()));
+    }
+    let sub_timeout: u64 = args.get_or("sub-timeout-ms", 10_000)?;
+    if sub_timeout == 0 {
+        return Err(CliError::Usage("--sub-timeout-ms must be positive".into()));
+    }
+    let hedge_factor: f64 = args.get_or("hedge-factor", 3.0)?;
+    if hedge_factor < 1.0 {
+        return Err(CliError::Usage("--hedge-factor must be at least 1".into()));
+    }
+    let backend_options = TcpBackendOptions {
+        health: HealthOptions {
+            down_after,
+            base_backoff: Duration::from_millis(args.get_or("breaker-ms", 250)?),
+            ..HealthOptions::default()
+        },
+        hedge: !args.has("no-hedge"),
+        hedge_delay_floor: Duration::from_millis(args.get_or("hedge-floor-ms", 20)?),
+        hedge_p99_factor: hedge_factor,
+        sub_request_timeout: Duration::from_millis(sub_timeout),
+        ..TcpBackendOptions::default()
+    };
+    let num_shards = addrs.len();
+    let backend = TcpBackend::new(addrs, backend_options);
+
+    // Discover the cluster shape from any reachable shard, retrying
+    // through startup races (shards may bind after the router launches).
+    let started = Instant::now();
+    let hello = loop {
+        match backend.discover_hello() {
+            Ok(h) => break h,
+            Err(e) if started.elapsed() < DISCOVERY_BUDGET => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => {
+                return Err(
+                    format!("no shard answered a hello within {DISCOVERY_BUDGET:?}: {e}").into(),
+                )
+            }
+        }
+    };
+    let num_nodes = hello.num_nodes as usize;
+
+    let map = match args.get::<String>("shard-map")? {
+        Some(path) => {
+            let map = ShardMap::read_from_file(&path).map_err(|e| format!("{path}: {e}"))?;
+            if map.num_nodes() != num_nodes {
+                return Err(format!(
+                    "{path}: shard map covers {} nodes but the cluster serves {num_nodes}",
+                    map.num_nodes()
+                )
+                .into());
+            }
+            if map.num_shards() as usize != num_shards {
+                return Err(format!(
+                    "{path}: shard map has {} shards but --shards lists {num_shards}",
+                    map.num_shards()
+                )
+                .into());
+            }
+            map
+        }
+        None => ShardMap::round_robin(num_nodes, num_shards as u32),
+    };
+
+    let router = Arc::new(Router::new(
+        backend.clone(),
+        map,
+        RouterConfig {
+            alpha: hello.alpha,
+            delta: hello.delta,
+            num_nodes,
+        },
+        RouterOptions {
+            cache_capacity: args.get_or("hot-cache", 4096)?,
+            retry_after: Duration::from_millis(args.get_or("retry-after-ms", 250)?),
+            shed_unattainable: !args.has("no-shed"),
+            ..RouterOptions::default()
+        },
+    ));
+    let _prober = backend.spawn_prober(Duration::from_millis(args.get_or("probe-ms", 1000)?));
+
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let server = serve_router(router, listener).map_err(|e| e.to_string())?;
+    eprintln!(
+        "routing on {} ({num_shards} shards, {num_nodes} nodes, epoch {}, \
+         alpha {}, delta {}, hedging {})",
+        server.local_addr(),
+        hello.epoch,
+        hello.alpha,
+        hello.delta,
+        if args.has("no-hedge") { "off" } else { "on" },
+    );
+    server.wait();
+    Ok(())
+}

@@ -893,3 +893,213 @@ fn arena_pipeline_build_query_stats() {
     std::fs::remove_dir_all(format!("{}.wal.d", arena.display())).ok();
     std::fs::remove_file(&arena).ok();
 }
+
+/// The sharded-serving e2e: four shard processes plus the scatter/gather
+/// router, SIGKILLing one shard mid-run. The contract under test —
+/// *shards that fail are still a cluster*:
+///
+/// * before the kill, routed answers match a direct single-process
+///   engine to ≤ 1e-12;
+/// * after the kill, every response is still a typed `Answer` (zero
+///   client-visible errors), some degraded with an honestly inflated φ;
+/// * after the shard restarts, fresh queries go back to clean answers.
+#[test]
+fn route_survives_shard_sigkill_with_zero_client_errors() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    use fastppv_core::index::DiskIndex;
+    use fastppv_core::query::StoppingCondition;
+    use fastppv_core::{Config, FlatIndex, HubSet, QueryEngine};
+    use fastppv_graph::io::read_edge_list_file;
+    use fastppv_graph::DanglingPolicy;
+    use fastppv_server::net::{Client, WireRequest, WireResponse};
+
+    let graph_path = temp("route.txt");
+    let index_path = temp("route.fppv");
+    assert!(bin()
+        .args(["generate", "--kind", "ba", "--nodes", "600", "--seed", "4", "--out"])
+        .arg(&graph_path)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--graph"])
+        .arg(&graph_path)
+        .args(["--undirected", "--hubs", "50", "--out"])
+        .arg(&index_path)
+        .status()
+        .unwrap()
+        .success());
+
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    /// Reads the child's stderr until the `listening on`/`routing on`
+    /// announcement and returns the bound address.
+    fn announced_addr(child: &mut std::process::Child, what: &str) -> String {
+        let stderr = child.stderr.take().unwrap();
+        let mut reader = std::io::BufReader::new(stderr);
+        loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).unwrap() > 0,
+                "{what} exited before announcing its address"
+            );
+            if let Some(rest) = line
+                .strip_prefix("listening on ")
+                .or_else(|| line.strip_prefix("routing on "))
+            {
+                // Drain the rest of stderr in the background so the child
+                // never blocks on a full pipe.
+                std::thread::spawn(move || for _ in reader.lines() {});
+                return rest.split_whitespace().next().unwrap().to_string();
+            }
+        }
+    }
+
+    let spawn_shard = |shard_id: usize, listen: &str| -> KillOnDrop {
+        KillOnDrop(
+            bin()
+                .args(["serve", "--graph"])
+                .arg(&graph_path)
+                .args(["--undirected", "--index"])
+                .arg(&index_path)
+                .args([
+                    "--workers",
+                    "2",
+                    "--shard-id",
+                    &shard_id.to_string(),
+                    "--num-shards",
+                    "4",
+                    "--listen",
+                    listen,
+                ])
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap(),
+        )
+    };
+
+    let mut shards: Vec<KillOnDrop> = (0..4).map(|i| spawn_shard(i, "127.0.0.1:0")).collect();
+    let shard_addrs: Vec<String> = shards
+        .iter_mut()
+        .enumerate()
+        .map(|(i, s)| announced_addr(&mut s.0, &format!("shard {i}")))
+        .collect();
+
+    let mut router = KillOnDrop(
+        bin()
+            .args(["route", "--shards", &shard_addrs.join(",")])
+            .args(["--listen", "127.0.0.1:0", "--breaker-ms", "100"])
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap(),
+    );
+    let router_addr = announced_addr(&mut router.0, "router");
+
+    // Independent oracle over the same deployment.
+    let graph = read_edge_list_file(&graph_path, true, DanglingPolicy::SelfLoop).unwrap();
+    let disk = DiskIndex::open(&index_path, 16).unwrap();
+    let hubs = HubSet::from_ids(graph.num_nodes(), disk.hub_ids());
+    let flat = FlatIndex::from_store(graph.num_nodes(), &disk, &disk.hub_ids(), &hubs);
+    let engine = QueryEngine::new(&graph, &hubs, &flat, Config::default());
+
+    let mut client = Client::connect(&router_addr).unwrap();
+    assert_eq!(client.num_nodes(), 600);
+
+    // Phase 1: clean cluster — scattered answers equal the direct engine.
+    let queries: Vec<u32> = (0..600).step_by(67).collect();
+    let requests: Vec<WireRequest> = queries
+        .iter()
+        .map(|&q| WireRequest::iterations(q, 2))
+        .collect();
+    for (r, &q) in client
+        .request_batch(&requests)
+        .unwrap()
+        .iter()
+        .zip(&queries)
+    {
+        let answer = r.answer().unwrap_or_else(|| panic!("q {q}: {r:?}"));
+        assert!(!answer.degraded, "q {q}: degraded with all shards up");
+        let direct = engine.query(q, &StoppingCondition::iterations(2));
+        let mut diff: f64 = answer
+            .entries
+            .iter()
+            .map(|&(v, s)| (s - direct.scores.get(v)).abs())
+            .sum();
+        for &(v, s) in direct.scores.entries() {
+            if !answer.entries.iter().any(|&(e, _)| e == v) {
+                diff += s.abs();
+            }
+        }
+        assert!(diff <= 1e-12, "q {q}: routed answer off by {diff}");
+    }
+
+    // Phase 2: SIGKILL shard 2 mid-run. Zero client-visible errors — every
+    // response stays an Answer; degraded ones carry an inflated-but-valid φ.
+    shards[2].0.kill().unwrap();
+    shards[2].0.wait().unwrap();
+    let mut degraded = 0u32;
+    for round in 0..3 {
+        let reqs: Vec<WireRequest> = queries
+            .iter()
+            .map(|&q| WireRequest::iterations(q, 3 + round))
+            .collect();
+        for (r, &q) in client.request_batch(&reqs).unwrap().iter().zip(&queries) {
+            match r {
+                WireResponse::Answer(a) => {
+                    assert!(
+                        (0.0..=1.0).contains(&a.l1_error),
+                        "q {q}: φ {} out of range",
+                        a.l1_error
+                    );
+                    if a.degraded {
+                        assert!(!a.exhausted);
+                        degraded += 1;
+                    }
+                }
+                other => panic!("q {q} after SIGKILL: client-visible failure {other:?}"),
+            }
+        }
+    }
+    assert!(
+        degraded > 0,
+        "killing a shard of 4 must degrade some answers"
+    );
+
+    // The stats one-shot sees the router's degradation counters.
+    let stats_out = bin()
+        .args(["serve", "--stats", &router_addr])
+        .output()
+        .unwrap();
+    assert!(stats_out.status.success());
+    let stats_text = String::from_utf8_lossy(&stats_out.stdout).to_string();
+    assert!(stats_text.contains("degraded"), "{stats_text}");
+
+    // Phase 3: restart the shard on its old address; goodput recovers to
+    // clean answers once the breaker lets the revived shard back in.
+    shards[2] = spawn_shard(2, &shard_addrs[2]);
+    let _ = announced_addr(&mut shards[2].0, "restarted shard 2");
+    let recovered = (0..100).any(|i| {
+        std::thread::sleep(Duration::from_millis(100));
+        let probe =
+            WireRequest::iterations(queries[i % queries.len()], 6 + (i / queries.len()) as u32);
+        match client.request_one(probe) {
+            Ok(WireResponse::Answer(a)) => !a.degraded,
+            _ => false,
+        }
+    });
+    assert!(recovered, "cluster did not recover after the shard restart");
+
+    drop(client);
+    drop(router);
+    drop(shards);
+    std::fs::remove_file(&graph_path).ok();
+    std::fs::remove_file(&index_path).ok();
+}

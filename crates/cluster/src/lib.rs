@@ -18,8 +18,10 @@
 
 pub mod partition;
 pub mod query;
+pub mod shard;
 pub mod store;
 
 pub use partition::{cluster_graph, Clustering, ClusteringOptions};
 pub use query::{disk_query, DiskQueryResult, DiskQueryWorkspace};
+pub use shard::{slice_store, MapError, ShardMap};
 pub use store::{write_clustered_graph, DiskGraph};

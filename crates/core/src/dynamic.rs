@@ -569,6 +569,37 @@ pub fn refresh_index_delta(
     config: &Config,
     delta: &DeltaConfig,
 ) -> (MemoryIndex, RefreshStats) {
+    refresh_index_delta_subset(
+        old_index,
+        old_graph,
+        new_graph,
+        hubs,
+        hubs.ids(),
+        changed_tails,
+        config,
+        delta,
+    )
+}
+
+/// [`refresh_index_delta`] restricted to `subset`: only the listed hubs
+/// are carried into (and, when dirty, recomputed for) the refreshed index.
+/// This is the shard-side refresh — a shard's store holds only the hubs it
+/// owns, and a full-hub-set refresh would recompute every *missing* hub
+/// and balloon the partial store back to a full copy. `hubs` must still be
+/// the **full** hub set (it defines prime-PPV semantics: which nodes stop
+/// tours); `subset` picks which of them this store materializes. Every
+/// subset member must be a hub.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_index_delta_subset(
+    old_index: &MemoryIndex,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    hubs: &HubSet,
+    subset: &[NodeId],
+    changed_tails: &[NodeId],
+    config: &Config,
+    delta: &DeltaConfig,
+) -> (MemoryIndex, RefreshStats) {
     config.validate();
     delta.validate();
     let start = Instant::now();
@@ -583,7 +614,8 @@ pub fn refresh_index_delta(
     let mut pc: Option<PrimeComputer> = None;
     let mut ds: Option<DeltaScratch> = None;
     let mut stats = RefreshStats::default();
-    for &h in hubs.ids() {
+    for &h in subset {
+        assert!(hubs.is_hub(h), "subset member {h} is not a hub");
         let present = old_index.contains(h);
         if present && !dirty[h as usize] {
             index.insert_shared(h, old_index.get_shared(h).expect("checked contains"));

@@ -250,6 +250,14 @@ pub trait PpvStore {
         self.view(hub).map(|v| v.to_prime_ppv())
     }
 
+    /// Accumulated delta-refresh error-budget spend of `hub`'s stored PPV
+    /// (see [`crate::dynamic`]); 0 for stores that do not track it.
+    /// Exposed on the trait so store slicing (`fastppv-cluster`) can carry
+    /// spend into a shard's partial index regardless of source layout.
+    fn spent_budget(&self, _hub: NodeId) -> f64 {
+        0.0
+    }
+
     /// Index size in bytes (on-disk layout equivalent).
     fn storage_bytes(&self) -> usize {
         HEADER_LEN
@@ -482,6 +490,10 @@ impl PpvStore for MemoryIndex {
 
     fn total_entries(&self) -> usize {
         self.total_entries
+    }
+
+    fn spent_budget(&self, hub: NodeId) -> f64 {
+        self.budget_spent(hub)
     }
 }
 
@@ -1504,6 +1516,10 @@ impl PpvStore for FlatIndex {
             .is_some_and(|&s| s != NO_SLOT)
     }
 
+    fn spent_budget(&self, hub: NodeId) -> f64 {
+        self.budget_spent(hub)
+    }
+
     fn hub_count(&self) -> usize {
         self.hub_ids.len()
     }
@@ -1736,6 +1752,10 @@ impl PpvStore for DiskIndex {
 
     fn total_entries(&self) -> usize {
         self.total_entries
+    }
+
+    fn spent_budget(&self, hub: NodeId) -> f64 {
+        self.budget_spent(hub)
     }
 
     /// Only the directory and spend tables stay resident; entry blobs live

@@ -102,6 +102,7 @@ pub use prime::{
     AdjacencyAccess, BucketQueue, DeltaOutcome, DeltaPush, PrimeComputer, PrimeSubgraph,
 };
 pub use query::{
-    IncrementScratch, QueryEngine, QueryResult, QuerySession, QueryWorkspace, TopKResult,
+    expand_frontier, ExpandOutcome, IncrementScratch, MassList, QueryEngine, QueryResult,
+    QuerySession, QueryWorkspace, TopKResult,
 };
 pub use wal::{Manifest, Wal, WalBatch};

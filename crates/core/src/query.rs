@@ -221,6 +221,52 @@ impl QueryWorkspace {
     pub fn capacity(&self) -> usize {
         self.inc.capacity()
     }
+
+    /// The increment scratch, for callers that drive the scattered
+    /// expansion path ([`expand_frontier`]) directly.
+    pub fn increment_scratch(&mut self) -> &mut IncrementScratch {
+        &mut self.inc
+    }
+
+    /// Computes iteration 0 of `q` for a scattered query: the raw prime
+    /// PPV entries (trivial tour excluded, exactly as stored) and their
+    /// border-hub frontier, in entry order. Reads the stored PPV when `q`
+    /// is indexed — the same bytes a single-process query would use — and
+    /// computes it unclipped on the fly otherwise, mirroring
+    /// [`QueryEngine::query`]'s iteration 0. The caller (the router) adds
+    /// the trivial tour `α` at `q` and sums the covered mass itself, in
+    /// the same order [`IncrementalState::new`] does.
+    pub fn prime0_parts<S: PpvStore>(
+        &mut self,
+        graph: &Graph,
+        hubs: &HubSet,
+        store: &S,
+        q: NodeId,
+        config: &Config,
+    ) -> (MassList, MassList) {
+        assert!(
+            (q as usize) < graph.num_nodes(),
+            "query node {q} out of range"
+        );
+        let mut entries = Vec::new();
+        let mut frontier = Vec::new();
+        let mut collect = |p: NodeId, s: f64| {
+            entries.push((p, s));
+            if hubs.is_hub(p) {
+                frontier.push((p, s));
+            }
+        };
+        match store.view(q) {
+            Some(view) => view.for_each(&mut collect),
+            None => {
+                let (slice, _) = self.prime.prime_ppv_into(graph, hubs, q, config, 0.0);
+                for &(p, s) in slice {
+                    collect(p, s);
+                }
+            }
+        }
+        (entries, frontier)
+    }
 }
 
 /// The FastPPV online engine: immutable shared state of the online phase
@@ -670,6 +716,101 @@ pub fn run_increments<S: PpvStore>(
         }
     }
     state.into_result(scratch)
+}
+
+/// A list of `(node, mass)` pairs — prime-PPV entries or a border-hub
+/// frontier slice, depending on context.
+pub type MassList = Vec<(NodeId, f64)>;
+
+/// One store's share of an increment, produced by [`expand_frontier`]:
+/// the partial estimate contribution, the partial next frontier, and the
+/// covered-mass contribution. Partial outcomes from disjoint stores merge
+/// exactly (the paper's linearity decomposition): summing `entries`,
+/// `frontier`, and `increment_mass` across shards — in a fixed shard
+/// order — reproduces [`IncrementalState::step`] up to floating-point
+/// reassociation.
+#[derive(Clone, Debug)]
+pub struct ExpandOutcome {
+    /// Partial increment `(1/α) Σ r̂(h)·r̊⁰_h` over this store's hubs,
+    /// sorted by node id.
+    pub entries: SparseVector,
+    /// This store's contribution to the next border-hub frontier, sorted
+    /// by node id.
+    pub frontier: Vec<(NodeId, f64)>,
+    /// L1 mass of `entries` accumulated in expansion order — the shard's
+    /// contribution to the covered mass `‖r̂‖₁` behind `φ`.
+    pub increment_mass: f64,
+    /// Border hubs actually expanded (entries at or below `δ` are skipped,
+    /// exactly as in [`IncrementalState::step`]).
+    pub hubs_expanded: usize,
+}
+
+/// Expands one sublist of a border-hub frontier against a (possibly
+/// partial) store: the shard-side half of a scattered
+/// [`IncrementalState::step`]. `sublist` must be sorted by hub id — the
+/// same order `step` expands in — so per-entry accumulation order matches
+/// the single-store loop. Hubs whose mass does not clear `config.delta`
+/// are skipped; a hub missing from the store is an error (`Err(hub)`)
+/// rather than a silent bias, mirroring the panic in `step`.
+pub fn expand_frontier<S: PpvStore>(
+    sublist: &[(NodeId, f64)],
+    hubs: &HubSet,
+    store: &S,
+    config: &Config,
+    scratch: &mut IncrementScratch,
+) -> Result<ExpandOutcome, NodeId> {
+    scratch.reset();
+    let IncrementScratch {
+        estimate, frontier, ..
+    } = scratch;
+    let inv_alpha = 1.0 / config.alpha;
+    let mut inc_mass = 0.0;
+    let mut hubs_expanded = 0usize;
+    for &(h, mass) in sublist {
+        if mass <= config.delta {
+            continue;
+        }
+        let Some(view) = store.view(h) else {
+            return Err(h);
+        };
+        hubs_expanded += 1;
+        let coeff = mass * inv_alpha;
+        match &view {
+            PpvRef::Soa { ids, scores } => {
+                for (&p, &s) in ids.iter().zip(scores.iter()) {
+                    let x = coeff * s;
+                    estimate.add(p, x);
+                    inc_mass += x;
+                }
+            }
+            other => other.for_each(|p, s| {
+                let x = coeff * s;
+                estimate.add(p, x);
+                inc_mass += x;
+            }),
+        }
+        match store.border_sublist(h) {
+            Some((border_ids, border_pos)) => {
+                for (&b, &pos) in border_ids.iter().zip(border_pos.iter()) {
+                    frontier.add(b, coeff * view.score_at(pos as usize));
+                }
+            }
+            None => view.for_each(|p, s| {
+                if hubs.is_hub(p) {
+                    frontier.add(p, coeff * s);
+                }
+            }),
+        }
+    }
+    let mut next = Vec::new();
+    frontier.drain_into(&mut next);
+    next.sort_unstable_by_key(|&(id, _)| id);
+    Ok(ExpandOutcome {
+        entries: estimate.drain_sparse(),
+        frontier: next,
+        increment_mass: inc_mass,
+        hubs_expanded,
+    })
 }
 
 /// The scratch space a [`QuerySession`] runs over: either owned by the

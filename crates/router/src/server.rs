@@ -1,0 +1,529 @@
+//! The router's TCP front-end: protocol-compatible with a single
+//! `fastppv serve` process, so clients connect to a cluster unchanged.
+//!
+//! Per client request the router runs [`crate::merge_query`] over the
+//! backend, with:
+//!
+//! * an **answer cache** keyed `(query, stopping condition, epoch)` — a
+//!   hit skips the scatter entirely, and the epoch key plus an
+//!   advance-only epoch watermark keeps post-update answers from mixing
+//!   with pre-update ones;
+//! * **typed degradation** — a clean merge answers normally; a degraded
+//!   merge that still meets the request's accuracy target is served with
+//!   the `degraded` flag and its honest (inflated) φ; a degraded merge
+//!   that *misses* a requested L1 target is shed as
+//!   `Overloaded{retry_after}` rather than silently under-delivering;
+//! * **two-phase update forwarding** — an `OP_UPDATE` frame against the
+//!   router coordinates the phase across every shard (prepare-all with
+//!   abort-on-failure, commit-all), then clears the answer cache and
+//!   advances the epoch watermark.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fastppv_cluster::ShardMap;
+use fastppv_core::query::StoppingCondition;
+use fastppv_graph::vec::top_k_entries;
+use fastppv_graph::{NodeId, ScoreScratch};
+use fastppv_server::net::{
+    decode_request_batch, decode_update_request, encode_hello, encode_response_batch,
+    encode_stats_response, encode_update_response, read_frame_stalling, write_frame, NetOptions,
+    ServerHello, UpdatePhase, WireAnswer, WireRequest, WireResponse, WireStats, WireStop,
+    MAX_FRAME_BYTES, OP_QUERY, OP_STATS, OP_UPDATE,
+};
+use fastppv_server::{percentile, LruCache};
+use parking_lot::Mutex;
+
+use crate::merge::{merge_query, MergeError, MergedAnswer, RouterConfig, SubBackend};
+use crate::publish::UpdateBackend;
+
+/// Serving knobs of a [`Router`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouterOptions {
+    /// Merged answers cached (`0` disables). Keyed by
+    /// `(query, stop, epoch)`; degraded and deadline-bounded answers are
+    /// never cached.
+    pub cache_capacity: usize,
+    /// Connection-level robustness knobs (frame stall, write timeout).
+    pub net: NetOptions,
+    /// Backoff hint attached to `Overloaded` responses.
+    pub retry_after: Duration,
+    /// Shed a degraded answer that misses its requested L1 target
+    /// (instead of serving the miss with the `degraded` flag).
+    pub shed_unattainable: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            cache_capacity: 4096,
+            net: NetOptions::default(),
+            retry_after: Duration::from_millis(250),
+            shed_unattainable: true,
+        }
+    }
+}
+
+/// Cache key: query, stopping-condition discriminant + payload bits,
+/// and the epoch the answer was merged at.
+type CacheKey = (NodeId, u8, u64, u64);
+
+fn stop_key(stop: &WireStop) -> (u8, u64) {
+    match stop {
+        WireStop::Iterations(eta) => (0, *eta as u64),
+        WireStop::L1Error(target) => (1, target.to_bits()),
+    }
+}
+
+/// How many recent merge latencies feed the router's own stats p99.
+const LATENCY_WINDOW: usize = 1024;
+
+/// How many merge workspaces (dense score scratches) stay pooled.
+const WORKSPACE_POOL: usize = 16;
+
+/// A stateless scatter/gather front-end over a shard backend. `&self`
+/// end to end — one router serves any number of connection threads.
+pub struct Router<B> {
+    backend: B,
+    map: ShardMap,
+    cfg: RouterConfig,
+    options: RouterOptions,
+    cache: Mutex<LruCache<CacheKey, Arc<MergedAnswer>>>,
+    /// Advance-only watermark of the highest epoch seen in any merged
+    /// answer or committed update: cache lookups key on it, so answers
+    /// from before an observed update stop being served immediately.
+    epoch: AtomicU64,
+    workspaces: Mutex<Vec<ScoreScratch>>,
+    latencies: Mutex<VecDeque<Duration>>,
+    in_flight: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl<B: SubBackend> Router<B> {
+    /// A router over `backend` and the hub→shard map, configured with
+    /// the cluster's α/δ/node-count (from shard hellos — see
+    /// [`crate::TcpBackend::discover_hello`]).
+    pub fn new(backend: B, map: ShardMap, cfg: RouterConfig, options: RouterOptions) -> Self {
+        assert_eq!(
+            map.num_nodes(),
+            cfg.num_nodes,
+            "shard map and cluster disagree on the node count"
+        );
+        assert_eq!(
+            backend.num_shards(),
+            map.num_shards() as usize,
+            "backend and shard map disagree on the shard count"
+        );
+        Router {
+            backend,
+            map,
+            cfg,
+            options,
+            cache: Mutex::new(LruCache::new(options.cache_capacity)),
+            epoch: AtomicU64::new(0),
+            workspaces: Mutex::new(Vec::new()),
+            latencies: Mutex::new(VecDeque::new()),
+            in_flight: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend (health board access for callers embedding a router).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The highest cluster epoch this router has observed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// What this router announces to connecting clients.
+    pub fn hello(&self) -> ServerHello {
+        ServerHello {
+            num_nodes: self.cfg.num_nodes as u64,
+            epoch: self.epoch(),
+            alpha: self.cfg.alpha,
+            delta: self.cfg.delta,
+        }
+    }
+
+    /// The router's own load picture, served to `OP_STATS` probes.
+    pub fn stats(&self) -> WireStats {
+        let recent: Vec<Duration> = {
+            let l = self.latencies.lock();
+            let (a, b) = l.as_slices();
+            a.iter().chain(b.iter()).copied().collect()
+        };
+        WireStats {
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            recent_p99: percentile(&recent, 0.99),
+            degraded: self.degraded.load(Ordering::Acquire),
+            shed: self.shed.load(Ordering::Acquire),
+            epoch: self.epoch(),
+        }
+    }
+
+    fn advance_epoch(&self, seen: u64) {
+        self.epoch.fetch_max(seen, Ordering::AcqRel);
+    }
+
+    fn take_workspace(&self) -> ScoreScratch {
+        self.workspaces
+            .lock()
+            .pop()
+            .unwrap_or_else(|| ScoreScratch::new(self.cfg.num_nodes))
+    }
+
+    fn return_workspace(&self, ws: ScoreScratch) {
+        let mut pool = self.workspaces.lock();
+        if pool.len() < WORKSPACE_POOL {
+            pool.push(ws);
+        }
+    }
+
+    fn note_latency(&self, latency: Duration) {
+        let mut l = self.latencies.lock();
+        if l.len() == LATENCY_WINDOW {
+            l.pop_front();
+        }
+        l.push_back(latency);
+    }
+
+    /// Serves one wire request end to end: cache, scatter/gather merge,
+    /// degradation policy, response formatting.
+    pub fn serve_request(&self, request: &WireRequest) -> WireResponse {
+        let started = Instant::now();
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let response = self.serve_request_inner(request, started);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.note_latency(started.elapsed());
+        response
+    }
+
+    fn serve_request_inner(&self, request: &WireRequest, started: Instant) -> WireResponse {
+        let (tag, bits) = stop_key(&request.stop);
+        let cacheable = request.deadline_ms.is_none();
+        if cacheable {
+            let key = (request.query, tag, bits, self.epoch());
+            if let Some(hit) = self.cache.lock().get(&key).map(Arc::clone) {
+                return WireResponse::Answer(format_answer(
+                    &hit,
+                    request.top_k,
+                    true,
+                    started.elapsed(),
+                ));
+            }
+        }
+        let mut stop = match request.stop {
+            WireStop::Iterations(eta) => StoppingCondition::iterations(eta as usize),
+            WireStop::L1Error(target) => StoppingCondition::l1_error(target),
+        };
+        if let Some(ms) = request.deadline_ms {
+            stop = stop.or_time_limit(Duration::from_millis(ms as u64));
+        }
+        let mut ws = self.take_workspace();
+        let merged = merge_query(
+            &self.backend,
+            &self.map,
+            &self.cfg,
+            request.query,
+            &stop,
+            &mut ws,
+        );
+        self.return_workspace(ws);
+        let merged = match merged {
+            Ok(m) => m,
+            // Nothing serveable at all: a typed, retryable rejection.
+            Err(MergeError::AllShardsDown) | Err(MergeError::EpochSkew) => {
+                self.shed.fetch_add(1, Ordering::AcqRel);
+                return WireResponse::Overloaded {
+                    retry_after_ms: (self.options.retry_after.as_millis() as u32).max(1),
+                };
+            }
+            Err(MergeError::Shard(msg)) => return WireResponse::Error(msg),
+        };
+        self.advance_epoch(merged.epoch);
+        if merged.degraded {
+            self.degraded.fetch_add(1, Ordering::AcqRel);
+            // A degraded answer that misses a requested accuracy bound is
+            // an unattainable contract right now — shed it honestly
+            // instead of serving a silent miss.
+            if self.options.shed_unattainable {
+                if let WireStop::L1Error(target) = request.stop {
+                    if merged.l1_error > target {
+                        self.shed.fetch_add(1, Ordering::AcqRel);
+                        return WireResponse::Overloaded {
+                            retry_after_ms: (self.options.retry_after.as_millis() as u32).max(1),
+                        };
+                    }
+                }
+            }
+        }
+        let answer = format_answer(&merged, request.top_k, false, started.elapsed());
+        if cacheable && !merged.degraded {
+            let key = (request.query, tag, bits, merged.epoch);
+            self.cache.lock().insert(key, Arc::new(merged));
+        }
+        WireResponse::Answer(answer)
+    }
+
+    /// Serves a whole request batch in order (each request's scatter is
+    /// itself parallel).
+    pub fn serve_batch(&self, requests: &[WireRequest]) -> Vec<WireResponse> {
+        requests.iter().map(|r| self.serve_request(r)).collect()
+    }
+}
+
+impl<B: SubBackend + UpdateBackend> Router<B> {
+    /// Forwards one two-phase update frame to every shard. Prepare
+    /// failures abort the round everywhere; a full commit advances the
+    /// router's epoch watermark and drops the answer cache.
+    pub fn forward_update(
+        &self,
+        phase: UpdatePhase,
+        target_epoch: u64,
+        events: &[fastppv_graph::gen::EdgeEvent],
+    ) -> Result<(), String> {
+        let n = UpdateBackend::num_shards(&self.backend);
+        match phase {
+            UpdatePhase::Prepare => {
+                let prepared: crate::publish::PrepareOutcomes = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|s| {
+                            scope.spawn(move || (s, self.backend.prepare(s, target_epoch, events)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("prepare worker panicked"))
+                        .collect()
+                });
+                for (shard, outcome) in &prepared {
+                    let message = match outcome {
+                        Ok(Ok(())) => continue,
+                        Ok(Err(msg)) => msg.clone(),
+                        Err(e) => e.to_string(),
+                    };
+                    for s in 0..n {
+                        let _ = self.backend.abort(s);
+                    }
+                    return Err(format!(
+                        "prepare failed on shard {shard} (round aborted): {message}"
+                    ));
+                }
+                Ok(())
+            }
+            UpdatePhase::Commit => {
+                let mut failures = Vec::new();
+                for shard in 0..n {
+                    match self.backend.commit(shard, target_epoch) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(msg)) => failures.push((shard, msg)),
+                        Err(e) => failures.push((shard, e.to_string())),
+                    }
+                }
+                if failures.is_empty() {
+                    self.advance_epoch(target_epoch);
+                    self.cache.lock().clear();
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "commit failed on {} shard(s): {}",
+                        failures.len(),
+                        failures
+                            .iter()
+                            .map(|(s, m)| format!("[{s}] {m}"))
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ))
+                }
+            }
+            UpdatePhase::Abort => {
+                for s in 0..n {
+                    let _ = self.backend.abort(s);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn format_answer(merged: &MergedAnswer, top_k: u32, cached: bool, latency: Duration) -> WireAnswer {
+    let entries = if top_k == 0 {
+        merged.scores.clone()
+    } else {
+        top_k_entries(merged.scores.clone(), top_k as usize)
+    };
+    WireAnswer {
+        query: merged.query,
+        iterations: merged.iterations as u32,
+        l1_error: merged.l1_error,
+        exhausted: merged.exhausted,
+        cached,
+        degraded: merged.degraded,
+        latency,
+        entries,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end
+// ---------------------------------------------------------------------------
+
+/// A running router front-end; same lifecycle contract as
+/// [`fastppv_server::net::NetServer`].
+pub struct RouterServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// The address the router is listening on (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the acceptor exits (the CLI's foreground mode).
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting and joins the acceptor.
+    pub fn shutdown(mut self) {
+        self.signal_and_join();
+    }
+
+    fn signal_and_join(&mut self) {
+        let Some(handle) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.signal_and_join();
+    }
+}
+
+/// Starts the router front-end: one acceptor thread plus one thread per
+/// client connection, each serving `OP_QUERY`, `OP_STATS`, and
+/// `OP_UPDATE` frames against the shared [`Router`]. Returns immediately
+/// with a [`RouterServer`] handle.
+pub fn serve_router<B>(
+    router: Arc<Router<B>>,
+    listener: TcpListener,
+) -> std::io::Result<RouterServer>
+where
+    B: SubBackend + UpdateBackend + Send + Sync + 'static,
+{
+    let options = router.options.net;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let acceptor = std::thread::Builder::new()
+        .name("fastppv-route-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                };
+                let router = Arc::clone(&router);
+                let stop = Arc::clone(&stop_flag);
+                let _ = std::thread::Builder::new()
+                    .name("fastppv-route-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(&router, stream, &stop, options);
+                    });
+            }
+        })?;
+    Ok(RouterServer {
+        local_addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn handle_connection<B: SubBackend + UpdateBackend>(
+    router: &Router<B>,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    options: NetOptions,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(options.frame_stall_timeout))?;
+    stream.set_write_timeout(options.write_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &encode_hello(&router.hello()))?;
+    let mut scratch = Vec::new();
+    while let Some(payload) = read_frame_stalling(&mut reader, stop, &mut scratch)? {
+        let Some((&op, body)) = payload.split_first() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "empty frame (missing op byte)",
+            ));
+        };
+        match op {
+            OP_QUERY => {
+                let requests = decode_request_batch(body)?;
+                let responses = router.serve_batch(&requests);
+                let mut encoded = encode_response_batch(&responses);
+                if encoded.len() > MAX_FRAME_BYTES {
+                    // Same degradation as the shard front-end: oversized
+                    // answer batches become per-request errors instead of
+                    // killing the connection.
+                    let errors: Vec<WireResponse> = responses
+                        .iter()
+                        .map(|r| match r {
+                            WireResponse::Answer(a) => WireResponse::Error(format!(
+                                "response batch exceeds the {} MiB frame cap; request \
+                                 fewer entries (top_k) or smaller batches (answer for \
+                                 node {} alone held {} entries)",
+                                MAX_FRAME_BYTES >> 20,
+                                a.query,
+                                a.entries.len()
+                            )),
+                            other => other.clone(),
+                        })
+                        .collect();
+                    encoded = encode_response_batch(&errors);
+                }
+                write_frame(&mut writer, &encoded)?;
+            }
+            OP_STATS => {
+                write_frame(&mut writer, &encode_stats_response(&router.stats()))?;
+            }
+            OP_UPDATE => {
+                let (phase, target_epoch, events) = decode_update_request(body)?;
+                let result = router.forward_update(phase, target_epoch, &events);
+                write_frame(&mut writer, &encode_update_response(&result))?;
+            }
+            tag => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("router does not serve op byte {tag} (shard-only sub-op?)"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}

@@ -64,6 +64,6 @@ pub mod service;
 pub use cache::LruCache;
 pub use service::{
     percentile, percentile_of_sorted, percentile_of_sorted_pair, Admission, CacheStats,
-    LatencySummary, LoadRegime, LoadStats, OverloadOptions, QueryService, Request, Response,
-    ServiceOptions, ServingState,
+    ExpandAnswer, LatencySummary, LoadRegime, LoadStats, OverloadOptions, Prime0Parts,
+    QueryService, Request, Response, ServiceOptions, ServingState, ShardRefresh, SubQueryError,
 };

@@ -8,11 +8,21 @@
 //! after that the client sends request-batch frames and receives one
 //! response-batch frame per request frame, answers in request order.
 //!
-//! ## Wire format (version 2, all integers little-endian)
+//! ## Wire format (version 3, all integers little-endian)
 //!
 //! ```text
 //! frame          := len:u32 payload[len]            (len ≤ 64 MiB)
-//! hello          := magic:u32 ("FPPV" = 0x46505056) version:u16 num_nodes:u64
+//! hello          := magic:u32 ("FPPV" = 0x46505056) version:u16
+//!                   num_nodes:u64 epoch:u64 alpha:f64 delta:f64
+//!
+//! -- every post-hello request frame starts with an op byte; the server
+//! -- answers each frame with exactly one response frame (no op byte:
+//! -- the protocol is strictly request→response in order, so the client
+//! -- knows what to decode)
+//!
+//! op             := 0 query | 1 stats | 2 prime0 | 3 expand | 4 update
+//!
+//! -- op 0 (query): the classic batch protocol
 //! request-batch  := count:u32 request*
 //! request        := query:u32 top_k:u32 deadline_ms:u32 stop
 //!                   -- top_k 0 returns the full score vector
@@ -29,6 +39,34 @@
 //! answer         := query:u32 iterations:u32 l1_error:f64 exhausted:u8
 //!                   cached:u8 degraded:u8 latency_ns:u64
 //!                   n:u32 (node:u32 score:f64)*n
+//!
+//! -- op 1 (stats): health probe, empty request body
+//! stats-response := in_flight:u64 recent_p99_ns:u64 degraded:u64
+//!                   shed:u64 epoch:u64
+//!
+//! -- op 2 (prime0): iteration 0 of a scattered query
+//! prime0-request := request_id:u64 expect_epoch:u64 query:u32
+//!                   -- expect_epoch 0xFFFF…FF ("any") skips the pin
+//! sub-response   := request_id:u64 status
+//! status         := 0:u8 ok-body
+//!                 | 1:u8 current_epoch:u64           (epoch skew)
+//!                 | 2:u8 msg_len:u32 msg[msg_len]    (error)
+//! prime0-ok      := epoch:u64 n:u32 (node:u32 score:f64)*n
+//!                   m:u32 (hub:u32 mass:f64)*m       (border frontier)
+//!
+//! -- op 3 (expand): one shard's slice of one increment step
+//! expand-request := request_id:u64 expect_epoch:u64
+//!                   m:u32 (hub:u32 mass:f64)*m       (ascending hub id)
+//! expand-ok      := epoch:u64 n:u32 (node:u32 score:f64)*n
+//!                   m:u32 (hub:u32 mass:f64)*m
+//!                   increment_mass:f64 hubs_expanded:u32
+//!
+//! -- op 4 (update): two-phase coordinated publish
+//! update-request := phase:u8 target_epoch:u64 events?
+//!                   -- phase 0 prepare (carries events), 1 commit, 2 abort
+//! events         := k:u32 (insert:u8 tail:u32 head:u32)*k
+//! update-response:= 0:u8                             (ok)
+//!                 | 1:u8 msg_len:u32 msg[msg_len]    (refused)
 //! ```
 //!
 //! Version 2 added the `degraded` flag (the server capped the stopping
@@ -36,6 +74,17 @@
 //! computed) and the `Overloaded` response (tag 2): a request shed past
 //! the high-water mark fails fast with a positive retry hint instead of
 //! queueing. See [`crate::service::OverloadOptions`].
+//!
+//! Version 3 made request frames op-tagged and added the scatter/gather
+//! sub-ops a shard cluster needs: `stats` (router health probes),
+//! `prime0`/`expand` (per-shard halves of a distributed FastPPV query,
+//! epoch-pinned so a merge never mixes graph versions, request-id-echoed
+//! so a hedged retry can never be credited to the wrong request), and
+//! `update` (two-phase epoch barrier: prepare stages the refreshed store
+//! without publishing, commit flips every shard in lockstep). The hello
+//! now announces the serving epoch and the α/δ the stored index was
+//! built with, so a stateless router can configure itself entirely from
+//! its backends.
 //!
 //! A malformed frame closes the connection; a *well-formed* request for an
 //! out-of-range node gets a per-request error response (the connection —
@@ -65,15 +114,34 @@ use std::time::{Duration, Instant};
 
 use fastppv_core::query::StoppingCondition;
 use fastppv_core::PpvStore;
-use fastppv_graph::NodeId;
+use fastppv_graph::gen::{apply_event, EdgeEvent};
+use fastppv_graph::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-use crate::service::{QueryService, Request, Response};
+use crate::service::{QueryService, Request, Response, ShardRefresh, SubQueryError};
 
 /// Protocol magic: `"FPPV"` read as a little-endian `u32`.
 pub const MAGIC: u32 = 0x4650_5056;
 /// Current protocol version. Version 2 added the per-answer `degraded`
-/// flag and the `Overloaded` response tag (accuracy shedding under load).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// flag and the `Overloaded` response tag (accuracy shedding under load);
+/// version 3 op-tagged request frames and added the scatter/gather
+/// sub-ops (`stats`, `prime0`, `expand`, `update`) plus the extended
+/// hello (epoch, α, δ).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Op byte of a classic request-batch frame.
+pub const OP_QUERY: u8 = 0;
+/// Op byte of a stats (health-probe) frame.
+pub const OP_STATS: u8 = 1;
+/// Op byte of a scattered prime-PPV (iteration 0) frame.
+pub const OP_PRIME0: u8 = 2;
+/// Op byte of a scattered increment-step frame.
+pub const OP_EXPAND: u8 = 3;
+/// Op byte of a two-phase update frame.
+pub const OP_UPDATE: u8 = 4;
+/// `expect_epoch` sentinel for "any epoch" (0 is a valid epoch).
+pub const EPOCH_ANY: u64 = u64::MAX;
 /// Upper bound on a frame payload; larger frames are a protocol error.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Upper bound on requests per batch frame (a protocol error beyond it).
@@ -238,6 +306,18 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// The server went away cleanly between request and response. This is a
+/// *connection* failure (`ConnectionAborted` — a crashed or restarting
+/// peer, retryable on a fresh connection), never a protocol violation:
+/// the router's hedging layer treats `InvalidData` as non-retryable
+/// misbehavior, and a SIGKILLed shard must not be classified as that.
+fn closed_mid_request() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        "server closed mid-request",
+    )
+}
+
 /// Bounds-checked little-endian reader over a frame payload.
 struct Payload<'a> {
     buf: &'a [u8],
@@ -304,7 +384,9 @@ fn put_f64(buf: &mut Vec<u8>, v: f64) {
     put_u64(buf, v.to_bits());
 }
 
-fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+/// Writes one length-prefixed frame and flushes. Public for the router
+/// front-end, which speaks the same protocol on its client side.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     assert!(payload.len() <= MAX_FRAME_BYTES, "oversized outgoing frame");
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
@@ -328,15 +410,36 @@ fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-fn encode_hello(num_nodes: u64) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(14);
+/// What a server announces at connect time. A stateless router configures
+/// itself entirely from this: the graph size (request validation), the
+/// serving epoch (scatter pinning), and the α/δ the stored index was
+/// built with (merge arithmetic must match them bit-for-bit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServerHello {
+    /// Number of graph nodes.
+    pub num_nodes: u64,
+    /// Serving epoch at connect time (may advance; sub-op responses carry
+    /// the authoritative epoch).
+    pub epoch: u64,
+    /// Teleport probability α of the stored index.
+    pub alpha: f64,
+    /// Hub-expansion threshold δ of the stored index.
+    pub delta: f64,
+}
+
+/// Encodes the server hello frame (shared by shards and the router).
+pub fn encode_hello(hello: &ServerHello) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(38);
     put_u32(&mut buf, MAGIC);
     buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
-    put_u64(&mut buf, num_nodes);
+    put_u64(&mut buf, hello.num_nodes);
+    put_u64(&mut buf, hello.epoch);
+    put_f64(&mut buf, hello.alpha);
+    put_f64(&mut buf, hello.delta);
     buf
 }
 
-fn decode_hello(payload: &[u8]) -> io::Result<u64> {
+fn decode_hello(payload: &[u8]) -> io::Result<ServerHello> {
     let mut p = Payload::new(payload);
     if p.u32()? != MAGIC {
         return Err(bad_data("bad magic: not a fastppv server"));
@@ -348,8 +451,16 @@ fn decode_hello(payload: &[u8]) -> io::Result<u64> {
         )));
     }
     let num_nodes = p.u64()?;
+    let epoch = p.u64()?;
+    let alpha = p.f64()?;
+    let delta = p.f64()?;
     p.finish()?;
-    Ok(num_nodes)
+    Ok(ServerHello {
+        num_nodes,
+        epoch,
+        alpha,
+        delta,
+    })
 }
 
 fn encode_request_batch(requests: &[WireRequest]) -> Vec<u8> {
@@ -373,7 +484,9 @@ fn encode_request_batch(requests: &[WireRequest]) -> Vec<u8> {
     buf
 }
 
-fn decode_request_batch(payload: &[u8]) -> io::Result<Vec<WireRequest>> {
+/// Decodes an `OP_QUERY` body into its requests (shared by shards and
+/// the router front-end).
+pub fn decode_request_batch(payload: &[u8]) -> io::Result<Vec<WireRequest>> {
     let mut p = Payload::new(payload);
     let count = p.u32()? as usize;
     // The smallest request is 17 bytes; a count the payload cannot hold is
@@ -408,7 +521,8 @@ fn decode_request_batch(payload: &[u8]) -> io::Result<Vec<WireRequest>> {
     Ok(requests)
 }
 
-fn encode_response_batch(responses: &[WireResponse]) -> Vec<u8> {
+/// Encodes a response batch (shared by shards and the router front-end).
+pub fn encode_response_batch(responses: &[WireResponse]) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u32(&mut buf, responses.len() as u32);
     for r in responses {
@@ -523,6 +637,365 @@ fn answer_of(response: &Response, top_k: u32) -> WireAnswer {
 }
 
 // ---------------------------------------------------------------------------
+// Sub-op wire types and codecs (version 3)
+// ---------------------------------------------------------------------------
+
+/// A server's load picture as answered to a stats (health-probe) frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireStats {
+    /// Requests currently inside the service.
+    pub in_flight: u64,
+    /// Recent p99 service latency.
+    pub recent_p99: Duration,
+    /// Requests served degraded since startup.
+    pub degraded: u64,
+    /// Requests shed since startup.
+    pub shed: u64,
+    /// Current serving epoch.
+    pub epoch: u64,
+}
+
+/// Iteration 0 of a scattered query as answered by a shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WirePrime0 {
+    /// Epoch of the snapshot that produced the answer.
+    pub epoch: u64,
+    /// `r̊⁰_q` entries, ascending node id (trivial tour excluded).
+    pub entries: Vec<(NodeId, f64)>,
+    /// The border-hub entries among them — iteration 1's frontier.
+    pub frontier: Vec<(NodeId, f64)>,
+}
+
+/// One shard's contribution to one scattered increment step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireExpand {
+    /// Epoch of the snapshot that produced the contribution.
+    pub epoch: u64,
+    /// Partial increment entries, ascending node id.
+    pub entries: Vec<(NodeId, f64)>,
+    /// Partial next frontier (border hubs reached), ascending hub id.
+    pub frontier: Vec<(NodeId, f64)>,
+    /// Mass this partial increment added (`Σ entries`).
+    pub increment_mass: f64,
+    /// Frontier hubs actually expanded (mass above δ).
+    pub hubs_expanded: u32,
+}
+
+/// Outcome of a scattered sub-request (`prime0` / `expand`), with the
+/// echoed request id already validated by the client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubReply<T> {
+    /// The shard answered on the pinned epoch.
+    Ok(T),
+    /// The shard serves a different epoch; retry against `current`.
+    EpochSkew {
+        /// The epoch the shard currently serves.
+        current: u64,
+    },
+    /// The shard refused the sub-request (bad node id, missing hub…).
+    Error(String),
+}
+
+impl<T> SubReply<T> {
+    /// The answer, if the shard served the sub-request.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            SubReply::Ok(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Phase of a two-phase update frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdatePhase {
+    /// Stage the refreshed store at `target_epoch` without publishing.
+    Prepare,
+    /// Publish the staged snapshot.
+    Commit,
+    /// Discard the staged snapshot.
+    Abort,
+}
+
+fn encode_stats_request() -> Vec<u8> {
+    vec![OP_STATS]
+}
+
+/// Encodes an `OP_STATS` response (shared by shards and the router).
+pub fn encode_stats_response(s: &WireStats) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(40);
+    put_u64(&mut buf, s.in_flight);
+    put_u64(
+        &mut buf,
+        s.recent_p99.as_nanos().min(u64::MAX as u128) as u64,
+    );
+    put_u64(&mut buf, s.degraded);
+    put_u64(&mut buf, s.shed);
+    put_u64(&mut buf, s.epoch);
+    buf
+}
+
+fn decode_stats_response(payload: &[u8]) -> io::Result<WireStats> {
+    let mut p = Payload::new(payload);
+    let stats = WireStats {
+        in_flight: p.u64()?,
+        recent_p99: Duration::from_nanos(p.u64()?),
+        degraded: p.u64()?,
+        shed: p.u64()?,
+        epoch: p.u64()?,
+    };
+    p.finish()?;
+    Ok(stats)
+}
+
+fn encode_prime0_request(request_id: u64, expect_epoch: u64, query: NodeId) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(21);
+    buf.push(OP_PRIME0);
+    put_u64(&mut buf, request_id);
+    put_u64(&mut buf, expect_epoch);
+    put_u32(&mut buf, query);
+    buf
+}
+
+fn encode_expand_request(request_id: u64, expect_epoch: u64, sublist: &[(NodeId, f64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(21 + sublist.len() * 12);
+    buf.push(OP_EXPAND);
+    put_u64(&mut buf, request_id);
+    put_u64(&mut buf, expect_epoch);
+    put_u32(&mut buf, sublist.len() as u32);
+    for &(hub, mass) in sublist {
+        put_u32(&mut buf, hub);
+        put_f64(&mut buf, mass);
+    }
+    buf
+}
+
+fn put_entry_list(buf: &mut Vec<u8>, entries: &[(NodeId, f64)]) {
+    put_u32(buf, entries.len() as u32);
+    for &(node, score) in entries {
+        put_u32(buf, node);
+        put_f64(buf, score);
+    }
+}
+
+fn take_entry_list(p: &mut Payload<'_>, payload_len: usize) -> io::Result<Vec<(NodeId, f64)>> {
+    let n = p.u32()? as usize;
+    if n > payload_len / 12 {
+        return Err(bad_data(format!("entry count {n} overruns frame")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = p.u32()?;
+        let score = p.f64()?;
+        entries.push((node, score));
+    }
+    Ok(entries)
+}
+
+const SUB_OK: u8 = 0;
+const SUB_SKEW: u8 = 1;
+const SUB_ERROR: u8 = 2;
+
+/// Shared head of every sub-response: the echoed request id plus the
+/// non-Ok statuses; `Ok(None)` means "status ok, body follows".
+fn encode_sub_head(buf: &mut Vec<u8>, request_id: u64, status: u8) {
+    put_u64(buf, request_id);
+    buf.push(status);
+}
+
+fn encode_sub_skew(request_id: u64, current: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(17);
+    encode_sub_head(&mut buf, request_id, SUB_SKEW);
+    put_u64(&mut buf, current);
+    buf
+}
+
+fn encode_sub_error(request_id: u64, msg: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(13 + msg.len());
+    encode_sub_head(&mut buf, request_id, SUB_ERROR);
+    put_u32(&mut buf, msg.len() as u32);
+    buf.extend_from_slice(msg.as_bytes());
+    buf
+}
+
+fn encode_prime0_ok(request_id: u64, answer: &WirePrime0) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(25 + (answer.entries.len() + answer.frontier.len()) * 12 + 8);
+    encode_sub_head(&mut buf, request_id, SUB_OK);
+    put_u64(&mut buf, answer.epoch);
+    put_entry_list(&mut buf, &answer.entries);
+    put_entry_list(&mut buf, &answer.frontier);
+    buf
+}
+
+fn encode_expand_ok(request_id: u64, answer: &WireExpand) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(37 + (answer.entries.len() + answer.frontier.len()) * 12 + 8);
+    encode_sub_head(&mut buf, request_id, SUB_OK);
+    put_u64(&mut buf, answer.epoch);
+    put_entry_list(&mut buf, &answer.entries);
+    put_entry_list(&mut buf, &answer.frontier);
+    put_f64(&mut buf, answer.increment_mass);
+    put_u32(&mut buf, answer.hubs_expanded);
+    buf
+}
+
+/// Decodes a sub-response head, validating the echoed request id — a
+/// response surviving from a previous (hedged, timed-out, desynced)
+/// request on the same connection can never be credited to this one.
+fn decode_sub_head<'a>(
+    p: &mut Payload<'a>,
+    expect_request_id: u64,
+) -> io::Result<Option<SubReply<()>>> {
+    let request_id = p.u64()?;
+    if request_id != expect_request_id {
+        return Err(bad_data(format!(
+            "response for request {request_id}, expected {expect_request_id}"
+        )));
+    }
+    match p.u8()? {
+        SUB_OK => Ok(None),
+        SUB_SKEW => Ok(Some(SubReply::EpochSkew { current: p.u64()? })),
+        SUB_ERROR => {
+            let len = p.u32()? as usize;
+            let msg = std::str::from_utf8(p.take(len)?)
+                .map_err(|_| bad_data("error message is not UTF-8"))?;
+            Ok(Some(SubReply::Error(msg.to_string())))
+        }
+        tag => Err(bad_data(format!("unknown sub-response status {tag}"))),
+    }
+}
+
+fn decode_prime0_response(payload: &[u8], request_id: u64) -> io::Result<SubReply<WirePrime0>> {
+    let mut p = Payload::new(payload);
+    if let Some(non_ok) = decode_sub_head(&mut p, request_id)? {
+        p.finish()?;
+        return Ok(match non_ok {
+            SubReply::EpochSkew { current } => SubReply::EpochSkew { current },
+            SubReply::Error(e) => SubReply::Error(e),
+            SubReply::Ok(()) => unreachable!(),
+        });
+    }
+    let epoch = p.u64()?;
+    let entries = take_entry_list(&mut p, payload.len())?;
+    let frontier = take_entry_list(&mut p, payload.len())?;
+    p.finish()?;
+    Ok(SubReply::Ok(WirePrime0 {
+        epoch,
+        entries,
+        frontier,
+    }))
+}
+
+fn decode_expand_response(payload: &[u8], request_id: u64) -> io::Result<SubReply<WireExpand>> {
+    let mut p = Payload::new(payload);
+    if let Some(non_ok) = decode_sub_head(&mut p, request_id)? {
+        p.finish()?;
+        return Ok(match non_ok {
+            SubReply::EpochSkew { current } => SubReply::EpochSkew { current },
+            SubReply::Error(e) => SubReply::Error(e),
+            SubReply::Ok(()) => unreachable!(),
+        });
+    }
+    let epoch = p.u64()?;
+    let entries = take_entry_list(&mut p, payload.len())?;
+    let frontier = take_entry_list(&mut p, payload.len())?;
+    let increment_mass = p.f64()?;
+    let hubs_expanded = p.u32()?;
+    p.finish()?;
+    Ok(SubReply::Ok(WireExpand {
+        epoch,
+        entries,
+        frontier,
+        increment_mass,
+        hubs_expanded,
+    }))
+}
+
+fn encode_update_request(phase: UpdatePhase, target_epoch: u64, events: &[EdgeEvent]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14 + events.len() * 9);
+    buf.push(OP_UPDATE);
+    buf.push(match phase {
+        UpdatePhase::Prepare => 0,
+        UpdatePhase::Commit => 1,
+        UpdatePhase::Abort => 2,
+    });
+    put_u64(&mut buf, target_epoch);
+    if phase == UpdatePhase::Prepare {
+        put_u32(&mut buf, events.len() as u32);
+        for e in events {
+            buf.push(e.insert as u8);
+            put_u32(&mut buf, e.tail);
+            put_u32(&mut buf, e.head);
+        }
+    }
+    buf
+}
+
+/// Decodes an `OP_UPDATE` body into its phase, target epoch, and (for
+/// prepare) event batch. Shared by the shard handler and the router's
+/// two-phase coordinator front-end.
+pub fn decode_update_request(body: &[u8]) -> io::Result<(UpdatePhase, u64, Vec<EdgeEvent>)> {
+    let mut p = Payload::new(body);
+    let phase = p.u8()?;
+    let target_epoch = p.u64()?;
+    match phase {
+        0 => {
+            let k = p.u32()? as usize;
+            if k > body.len() / 9 {
+                return Err(bad_data(format!("event count {k} overruns frame")));
+            }
+            let mut events = Vec::with_capacity(k);
+            for _ in 0..k {
+                let insert = p.u8()? != 0;
+                let tail = p.u32()?;
+                let head = p.u32()?;
+                events.push(EdgeEvent { tail, head, insert });
+            }
+            p.finish()?;
+            Ok((UpdatePhase::Prepare, target_epoch, events))
+        }
+        1 => {
+            p.finish()?;
+            Ok((UpdatePhase::Commit, target_epoch, Vec::new()))
+        }
+        2 => {
+            p.finish()?;
+            Ok((UpdatePhase::Abort, target_epoch, Vec::new()))
+        }
+        tag => Err(bad_data(format!("unknown update phase {tag}"))),
+    }
+}
+
+/// Encodes an `OP_UPDATE` response (shared by shards and the router).
+pub fn encode_update_response(result: &Result<(), String>) -> Vec<u8> {
+    match result {
+        Ok(()) => vec![0],
+        Err(msg) => {
+            let mut buf = Vec::with_capacity(5 + msg.len());
+            buf.push(1);
+            put_u32(&mut buf, msg.len() as u32);
+            buf.extend_from_slice(msg.as_bytes());
+            buf
+        }
+    }
+}
+
+fn decode_update_response(payload: &[u8]) -> io::Result<Result<(), String>> {
+    let mut p = Payload::new(payload);
+    let result = match p.u8()? {
+        0 => Ok(()),
+        1 => {
+            let len = p.u32()? as usize;
+            let msg = std::str::from_utf8(p.take(len)?)
+                .map_err(|_| bad_data("error message is not UTF-8"))?;
+            Err(msg.to_string())
+        }
+        tag => return Err(bad_data(format!("unknown update status {tag}"))),
+    };
+    p.finish()?;
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
@@ -574,11 +1047,17 @@ fn is_timeout(e: &io::Error) -> bool {
 /// stall timeout. `Ok(None)` on a clean EOF at a frame boundary **or**
 /// when `stop` flips while idle (server shutdown). A timeout while a
 /// frame is partially received is a stall and fails the connection.
-fn read_frame_stalling<R: Read>(
+pub fn read_frame_stalling<R: Read>(
     r: &mut R,
     stop: &AtomicBool,
     buf_scratch: &mut Vec<u8>,
 ) -> io::Result<Option<Vec<u8>>> {
+    // Check at the frame boundary too, not only on idle timeouts: a
+    // connection under sustained load never idles, and would otherwise
+    // keep serving a stopped server indefinitely.
+    if stop.load(Ordering::Acquire) {
+        return Ok(None);
+    }
     let mut header = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
@@ -689,7 +1168,7 @@ impl Drop for NetServer {
 /// [`Client`] sees "server closed before sending hello"). Size
 /// `options.workers` for the *expected concurrency*, not the core count
 /// alone, when many simultaneous connections are the workload.
-pub fn serve<S: PpvStore + Send + Sync + 'static>(
+pub fn serve<S: PpvStore + ShardRefresh + Send + Sync + 'static>(
     service: Arc<QueryService<S>>,
     listener: TcpListener,
 ) -> io::Result<NetServer> {
@@ -697,7 +1176,7 @@ pub fn serve<S: PpvStore + Send + Sync + 'static>(
 }
 
 /// [`serve`] with explicit connection-robustness knobs ([`NetOptions`]).
-pub fn serve_with_options<S: PpvStore + Send + Sync + 'static>(
+pub fn serve_with_options<S: PpvStore + ShardRefresh + Send + Sync + 'static>(
     service: Arc<QueryService<S>>,
     listener: TcpListener,
     options: NetOptions,
@@ -764,7 +1243,7 @@ impl Drop for SlotGuard {
     }
 }
 
-fn handle_connection<S: PpvStore + Send + Sync>(
+fn handle_connection<S: PpvStore + ShardRefresh + Send + Sync>(
     service: &QueryService<S>,
     stream: TcpStream,
     stop: &AtomicBool,
@@ -778,13 +1257,163 @@ fn handle_connection<S: PpvStore + Send + Sync>(
     stream.set_write_timeout(options.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    write_frame(
-        &mut writer,
-        &encode_hello(service.snapshot().graph().num_nodes() as u64),
-    )?;
+    {
+        let state = service.snapshot();
+        let config = service.config();
+        write_frame(
+            &mut writer,
+            &encode_hello(&ServerHello {
+                num_nodes: state.graph().num_nodes() as u64,
+                epoch: state.epoch(),
+                alpha: config.alpha,
+                delta: config.delta,
+            }),
+        )?;
+    }
     let mut scratch = Vec::new();
     while let Some(payload) = read_frame_stalling(&mut reader, stop, &mut scratch)? {
-        let wire_requests = decode_request_batch(&payload)?;
+        let Some((&op, body)) = payload.split_first() else {
+            return Err(bad_data("empty frame (missing op byte)"));
+        };
+        match op {
+            OP_QUERY => handle_query_frame(service, &mut writer, body, stop)?,
+            OP_STATS => {
+                Payload::new(body).finish()?;
+                let load = service.load_stats();
+                let stats = WireStats {
+                    in_flight: load.in_flight as u64,
+                    recent_p99: load.recent_p99,
+                    degraded: load.degraded,
+                    shed: load.shed,
+                    epoch: service.epoch(),
+                };
+                write_frame(&mut writer, &encode_stats_response(&stats))?;
+            }
+            OP_PRIME0 => {
+                let mut p = Payload::new(body);
+                let request_id = p.u64()?;
+                let expect_epoch = p.u64()?;
+                let query = p.u32()?;
+                p.finish()?;
+                let expect = (expect_epoch != EPOCH_ANY).then_some(expect_epoch);
+                let encoded = match service.prime0(query, expect) {
+                    Ok((parts, epoch)) => encode_prime0_ok(
+                        request_id,
+                        &WirePrime0 {
+                            epoch,
+                            entries: parts.entries.clone(),
+                            frontier: parts.frontier.clone(),
+                        },
+                    ),
+                    Err(e) => encode_sub_failure(request_id, &e),
+                };
+                write_frame(&mut writer, &cap_sub_frame(request_id, encoded))?;
+            }
+            OP_EXPAND => {
+                let mut p = Payload::new(body);
+                let request_id = p.u64()?;
+                let expect_epoch = p.u64()?;
+                let sublist = take_entry_list(&mut p, body.len())?;
+                p.finish()?;
+                let expect = (expect_epoch != EPOCH_ANY).then_some(expect_epoch);
+                let encoded = match service.expand(&sublist, expect) {
+                    Ok(answer) => encode_expand_ok(
+                        request_id,
+                        &WireExpand {
+                            epoch: answer.epoch,
+                            entries: answer.outcome.entries.entries().to_vec(),
+                            frontier: answer.outcome.frontier,
+                            increment_mass: answer.outcome.increment_mass,
+                            hubs_expanded: answer.outcome.hubs_expanded as u32,
+                        },
+                    ),
+                    Err(e) => encode_sub_failure(request_id, &e),
+                };
+                write_frame(&mut writer, &cap_sub_frame(request_id, encoded))?;
+            }
+            OP_UPDATE => {
+                let (phase, target_epoch, events) = decode_update_request(body)?;
+                let result = match phase {
+                    UpdatePhase::Prepare => prepare_from_events(service, target_epoch, &events),
+                    UpdatePhase::Commit => service.commit_update(target_epoch),
+                    UpdatePhase::Abort => {
+                        service.abort_update();
+                        Ok(())
+                    }
+                };
+                write_frame(&mut writer, &encode_update_response(&result))?;
+            }
+            tag => return Err(bad_data(format!("unknown op byte {tag}"))),
+        }
+    }
+    Ok(())
+}
+
+fn encode_sub_failure(request_id: u64, e: &SubQueryError) -> Vec<u8> {
+    match e {
+        SubQueryError::EpochSkew { current } => encode_sub_skew(request_id, *current),
+        other => encode_sub_error(request_id, &other.to_string()),
+    }
+}
+
+/// A sub-response whose entries overflow the frame cap degrades into an
+/// in-protocol error (the router treats it like any per-shard refusal)
+/// instead of an oversized-frame panic killing the connection.
+fn cap_sub_frame(request_id: u64, encoded: Vec<u8>) -> Vec<u8> {
+    if encoded.len() <= MAX_FRAME_BYTES {
+        return encoded;
+    }
+    encode_sub_error(
+        request_id,
+        &format!(
+            "sub-response of {} bytes exceeds the {} MiB frame cap",
+            encoded.len(),
+            MAX_FRAME_BYTES >> 20
+        ),
+    )
+}
+
+/// Phase-one handler: replays the event batch onto the pinned snapshot's
+/// graph (every shard holds the full graph; only the PPV store is sliced)
+/// and stages the shard-local refresh at `target_epoch`. Public so an
+/// in-process shard backend can stage updates without a socket.
+pub fn prepare_from_events<S: PpvStore + ShardRefresh + Send + Sync>(
+    service: &QueryService<S>,
+    target_epoch: u64,
+    events: &[EdgeEvent],
+) -> Result<(), String> {
+    let state = service.snapshot();
+    let n = state.graph().num_nodes();
+    for e in events {
+        if (e.tail as usize) >= n || (e.head as usize) >= n {
+            return Err(format!(
+                "event edge {} -> {} out of range ({n} nodes)",
+                e.tail, e.head
+            ));
+        }
+    }
+    let mut graph: Option<Graph> = None;
+    for e in events {
+        let base = graph.as_ref().unwrap_or_else(|| state.graph());
+        graph = Some(apply_event(base, e));
+    }
+    let new_graph = graph.unwrap_or_else(|| state.graph().as_ref().clone());
+    let mut tails: Vec<NodeId> = events.iter().map(|e| e.tail).collect();
+    tails.sort_unstable();
+    tails.dedup();
+    service
+        .prepare_update(target_epoch, new_graph, &tails)
+        .map(|_| ())
+}
+
+fn handle_query_frame<S: PpvStore + Send + Sync>(
+    service: &QueryService<S>,
+    writer: &mut BufWriter<TcpStream>,
+    body: &[u8],
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    {
+        let wire_requests = decode_request_batch(body)?;
         let received = Instant::now();
         // Pin one snapshot for the whole frame: ids are validated against
         // the exact graph the batch will run on, so a concurrent update
@@ -851,7 +1480,7 @@ fn handle_connection<S: PpvStore + Send + Sync>(
                 .collect();
             encoded = encode_response_batch(&errors);
         }
-        write_frame(&mut writer, &encoded)?;
+        write_frame(writer, &encoded)?;
     }
     Ok(())
 }
@@ -964,7 +1593,9 @@ impl ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
-    num_nodes: u64,
+    hello: ServerHello,
+    /// Monotonic per-connection request-id source for sub-ops.
+    next_request_id: u64,
 }
 
 impl Client {
@@ -1010,17 +1641,24 @@ impl Client {
         let writer = BufWriter::new(stream);
         let hello = read_frame(&mut reader)?
             .ok_or_else(|| bad_data("server closed before sending hello"))?;
-        let num_nodes = decode_hello(&hello)?;
+        let hello = decode_hello(&hello)?;
         Ok(Client {
             reader,
             writer,
-            num_nodes,
+            hello,
+            next_request_id: 1,
         })
     }
 
     /// Number of graph nodes the server announced at connect time.
     pub fn num_nodes(&self) -> u64 {
-        self.num_nodes
+        self.hello.num_nodes
+    }
+
+    /// Everything the server announced at connect time (node count,
+    /// serving epoch, index α/δ).
+    pub fn hello(&self) -> &ServerHello {
+        &self.hello
     }
 
     /// Sends one request batch and blocks for the response batch
@@ -1034,9 +1672,10 @@ impl Client {
                 requests.len()
             )));
         }
-        write_frame(&mut self.writer, &encode_request_batch(requests))?;
-        let payload =
-            read_frame(&mut self.reader)?.ok_or_else(|| bad_data("server closed mid-request"))?;
+        let mut frame = vec![OP_QUERY];
+        frame.extend_from_slice(&encode_request_batch(requests));
+        write_frame(&mut self.writer, &frame)?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(closed_mid_request)?;
         let responses = decode_response_batch(&payload)?;
         if responses.len() != requests.len() {
             return Err(bad_data(format!(
@@ -1052,6 +1691,88 @@ impl Client {
     pub fn request_one(&mut self, request: WireRequest) -> io::Result<WireResponse> {
         let mut responses = self.request_batch(std::slice::from_ref(&request))?;
         Ok(responses.remove(0))
+    }
+
+    fn round_trip(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.writer, frame)?;
+        read_frame(&mut self.reader)?.ok_or_else(closed_mid_request)
+    }
+
+    fn take_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Probes the server's load picture (the router's health check).
+    pub fn stats(&mut self) -> io::Result<WireStats> {
+        let payload = self.round_trip(&encode_stats_request())?;
+        decode_stats_response(&payload)
+    }
+
+    /// Asks for iteration 0 of a scattered query, pinned to
+    /// `expect_epoch` (`None` = whatever the shard serves). The request id
+    /// is assigned here and validated against the response's echo.
+    pub fn prime0(
+        &mut self,
+        query: NodeId,
+        expect_epoch: Option<u64>,
+    ) -> io::Result<SubReply<WirePrime0>> {
+        let id = self.take_request_id();
+        let payload = self.round_trip(&encode_prime0_request(
+            id,
+            expect_epoch.unwrap_or(EPOCH_ANY),
+            query,
+        ))?;
+        decode_prime0_response(&payload, id)
+    }
+
+    /// Asks for one shard's slice of one increment step: `sublist` holds
+    /// the frontier hubs this shard owns (ascending id) with their merged
+    /// masses.
+    pub fn expand(
+        &mut self,
+        sublist: &[(NodeId, f64)],
+        expect_epoch: Option<u64>,
+    ) -> io::Result<SubReply<WireExpand>> {
+        let id = self.take_request_id();
+        let payload = self.round_trip(&encode_expand_request(
+            id,
+            expect_epoch.unwrap_or(EPOCH_ANY),
+            sublist,
+        ))?;
+        decode_expand_response(&payload, id)
+    }
+
+    /// Phase one of a coordinated update: ship the event batch and stage
+    /// the refreshed store at `target_epoch` without publishing.
+    pub fn update_prepare(
+        &mut self,
+        target_epoch: u64,
+        events: &[EdgeEvent],
+    ) -> io::Result<Result<(), String>> {
+        let payload = self.round_trip(&encode_update_request(
+            UpdatePhase::Prepare,
+            target_epoch,
+            events,
+        ))?;
+        decode_update_response(&payload)
+    }
+
+    /// Phase two: publish the snapshot staged at `target_epoch`.
+    pub fn update_commit(&mut self, target_epoch: u64) -> io::Result<Result<(), String>> {
+        let payload = self.round_trip(&encode_update_request(
+            UpdatePhase::Commit,
+            target_epoch,
+            &[],
+        ))?;
+        decode_update_response(&payload)
+    }
+
+    /// Discards any staged snapshot on the server.
+    pub fn update_abort(&mut self) -> io::Result<Result<(), String>> {
+        let payload = self.round_trip(&encode_update_request(UpdatePhase::Abort, 0, &[]))?;
+        decode_update_response(&payload)
     }
 }
 
@@ -1106,9 +1827,9 @@ pub struct ResilientClient {
     options: ClientOptions,
     policy: RetryPolicy,
     client: Option<Client>,
-    /// xorshift64 state for backoff jitter — no external RNG crate, and
-    /// determinism under a fixed seed keeps tests reproducible.
-    rng: u64,
+    /// Backoff jitter source — seeded (port-derived by default) so tests
+    /// stay reproducible under [`ResilientClient::with_jitter_seed`].
+    rng: ChaCha8Rng,
 }
 
 impl ResilientClient {
@@ -1121,13 +1842,13 @@ impl ResilientClient {
             options,
             policy,
             client: None,
-            rng: 0x243F_6A88_85A3_08D3 ^ (addr.port() as u64),
+            rng: ChaCha8Rng::seed_from_u64(0x243F_6A88_85A3_08D3 ^ (addr.port() as u64)),
         }
     }
 
     /// Seeds the backoff jitter (defaults to a port-derived constant).
     pub fn with_jitter_seed(mut self, seed: u64) -> Self {
-        self.rng = seed | 1;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
         self
     }
 
@@ -1217,14 +1938,8 @@ impl ResilientClient {
     /// retrying clients without ever undercutting half the intended
     /// backoff (or a server-sent `retry_after` by more than half).
     fn jittered(&mut self, wait: Duration) -> Duration {
-        // xorshift64
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
         let half = wait / 2;
-        half + half.mul_f64((x >> 11) as f64 / (1u64 << 53) as f64)
+        half + half.mul_f64(self.rng.gen::<f64>())
     }
 }
 
@@ -1324,8 +2039,166 @@ mod tests {
         let mut huge = Vec::new();
         put_u32(&mut huge, u32::MAX);
         assert!(decode_request_batch(&huge).is_err());
-        assert!(decode_hello(&encode_hello(5)[..3]).is_err());
-        assert_eq!(decode_hello(&encode_hello(42)).unwrap(), 42);
+        let hello = ServerHello {
+            num_nodes: 42,
+            epoch: 7,
+            alpha: 0.15,
+            delta: 1e-4,
+        };
+        assert!(decode_hello(&encode_hello(&hello)[..3]).is_err());
+        assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+    }
+
+    #[test]
+    fn sub_op_payloads_round_trip_and_validate_request_ids() {
+        let p0 = WirePrime0 {
+            epoch: 3,
+            entries: vec![(1, 0.5), (4, 0.25)],
+            frontier: vec![(4, 0.25)],
+        };
+        let decoded = decode_prime0_response(&encode_prime0_ok(9, &p0), 9).unwrap();
+        assert_eq!(decoded, SubReply::Ok(p0.clone()));
+        // A response echoing the wrong request id is a protocol error, not
+        // a silently mis-credited answer (hedging correctness).
+        let err = decode_prime0_response(&encode_prime0_ok(9, &p0), 10).unwrap_err();
+        assert!(err.to_string().contains("expected 10"), "{err}");
+
+        let ex = WireExpand {
+            epoch: 5,
+            entries: vec![(2, 0.125)],
+            frontier: vec![],
+            increment_mass: 0.125,
+            hubs_expanded: 1,
+        };
+        let decoded = decode_expand_response(&encode_expand_ok(1, &ex), 1).unwrap();
+        assert_eq!(decoded, SubReply::Ok(ex));
+
+        assert_eq!(
+            decode_prime0_response(&encode_sub_skew(2, 8), 2).unwrap(),
+            SubReply::EpochSkew { current: 8 }
+        );
+        assert_eq!(
+            decode_expand_response(&encode_sub_error(3, "nope"), 3).unwrap(),
+            SubReply::Error("nope".into())
+        );
+
+        let stats = WireStats {
+            in_flight: 2,
+            recent_p99: Duration::from_micros(750),
+            degraded: 1,
+            shed: 4,
+            epoch: 6,
+        };
+        assert_eq!(
+            decode_stats_response(&encode_stats_response(&stats)).unwrap(),
+            stats
+        );
+
+        let events = vec![
+            EdgeEvent {
+                tail: 1,
+                head: 2,
+                insert: true,
+            },
+            EdgeEvent {
+                tail: 3,
+                head: 0,
+                insert: false,
+            },
+        ];
+        let frame = encode_update_request(UpdatePhase::Prepare, 4, &events);
+        assert_eq!(frame[0], OP_UPDATE);
+        assert_eq!(
+            decode_update_response(&encode_update_response(&Ok(()))).unwrap(),
+            Ok(())
+        );
+        assert_eq!(
+            decode_update_response(&encode_update_response(&Err("busy".into()))).unwrap(),
+            Err("busy".to_string())
+        );
+    }
+
+    #[test]
+    fn loopback_sub_ops_serve_scatter_halves_and_two_phase_updates() {
+        use fastppv_graph::gen::synth_events;
+        let service = toy_service();
+        let server = serve(
+            Arc::clone(&service),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let hello = *client.hello();
+        assert_eq!(hello.num_nodes, 8);
+        assert_eq!(hello.epoch, 0);
+        assert_eq!(hello.alpha, service.config().alpha);
+        assert_eq!(hello.delta, service.config().delta);
+
+        // Health probe.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.epoch, 0);
+
+        // prime0 of a hub matches the stored prime PPV; pinning to a wrong
+        // epoch skews instead of mixing versions.
+        let hub = toy::PAPER_HUBS[0];
+        let p0 = client.prime0(hub, Some(0)).unwrap().ok().expect("epoch 0");
+        assert_eq!(p0.epoch, 0);
+        let state = service.snapshot();
+        let stored: Vec<(NodeId, f64)> = state
+            .store()
+            .view(hub)
+            .expect("hub is stored")
+            .to_prime_ppv()
+            .entries
+            .entries()
+            .to_vec();
+        assert_eq!(p0.entries, stored);
+        assert!(p0.frontier.iter().all(|&(h, _)| { state.hubs().is_hub(h) }));
+        assert!(matches!(
+            client.prime0(hub, Some(99)).unwrap(),
+            SubReply::EpochSkew { current: 0 }
+        ));
+        assert!(matches!(
+            client.prime0(999, None).unwrap(),
+            SubReply::Error(_)
+        ));
+
+        // expand over the prime0 frontier reproduces the first increment:
+        // iteration 1 of the single-process engine.
+        if !p0.frontier.is_empty() {
+            let ex = client
+                .expand(&p0.frontier, Some(0))
+                .unwrap()
+                .ok()
+                .expect("epoch 0");
+            assert!(ex.increment_mass > 0.0);
+            assert_eq!(ex.hubs_expanded as usize, p0.frontier.len());
+        }
+
+        // Two-phase update: prepare stages (serving epoch unchanged),
+        // commit publishes, and a pre-update pin now skews.
+        let events = synth_events(state.graph(), 3, 0.0, 42);
+        assert_eq!(client.update_prepare(1, &events).unwrap(), Ok(()));
+        assert_eq!(service.epoch(), 0, "prepare must not publish");
+        assert!(client.prime0(hub, Some(0)).unwrap().ok().is_some());
+        assert_eq!(client.update_commit(1).unwrap(), Ok(()));
+        assert_eq!(service.epoch(), 1);
+        assert!(matches!(
+            client.prime0(hub, Some(0)).unwrap(),
+            SubReply::EpochSkew { current: 1 }
+        ));
+        assert!(client.prime0(hub, Some(1)).unwrap().ok().is_some());
+
+        // Committing again fails cleanly; a fresh prepare can be aborted.
+        assert!(client.update_commit(1).unwrap().is_err());
+        let events2 = synth_events(&service.graph(), 2, 0.0, 43);
+        assert_eq!(client.update_prepare(2, &events2).unwrap(), Ok(()));
+        assert_eq!(client.update_abort().unwrap(), Ok(()));
+        assert!(client.update_commit(2).unwrap().is_err());
+        assert_eq!(service.epoch(), 1, "aborted update must not publish");
+
+        drop(client);
+        server.shutdown();
     }
 
     #[test]
@@ -1590,13 +2463,35 @@ mod tests {
         assert_eq!(p.backoff(3), Duration::from_millis(40));
         assert_eq!(p.backoff(4), Duration::from_millis(60), "capped");
         assert_eq!(p.backoff(30), Duration::from_millis(60), "no overflow");
-        // Jitter stays within [wait/2, wait].
+        // Jitter stays within [wait/2, wait] — never below half the
+        // intended backoff, never above the cap — and actually spreads
+        // (a fleet of clients must desynchronize, not march in lockstep).
         let mut rc =
             ResilientClient::new("127.0.0.1:1".parse().unwrap(), ClientOptions::default(), p)
                 .with_jitter_seed(7);
+        let mut distinct = std::collections::HashSet::new();
         for _ in 0..100 {
             let j = rc.jittered(Duration::from_millis(100));
             assert!(j >= Duration::from_millis(50) && j <= Duration::from_millis(100));
+            distinct.insert(j.as_nanos());
+        }
+        assert!(
+            distinct.len() > 50,
+            "jitter must spread: {}",
+            distinct.len()
+        );
+        // Same seed, same delays: reproducible tests.
+        let mut a =
+            ResilientClient::new("127.0.0.1:1".parse().unwrap(), ClientOptions::default(), p)
+                .with_jitter_seed(11);
+        let mut b =
+            ResilientClient::new("127.0.0.1:2".parse().unwrap(), ClientOptions::default(), p)
+                .with_jitter_seed(11);
+        for _ in 0..10 {
+            assert_eq!(
+                a.jittered(Duration::from_millis(64)),
+                b.jittered(Duration::from_millis(64))
+            );
         }
     }
 

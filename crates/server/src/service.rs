@@ -33,10 +33,10 @@ use arc_swap::ArcSwap;
 use parking_lot::Mutex;
 
 use fastppv_core::dynamic::{
-    refresh_flat_index_snapshot_delta, refresh_index_delta, same_adjacency, DeltaConfig,
-    RefreshStats,
+    refresh_flat_index_snapshot_delta, refresh_index_delta, refresh_index_delta_subset,
+    same_adjacency, DeltaConfig, RefreshStats,
 };
-use fastppv_core::query::{QueryWorkspace, StoppingCondition};
+use fastppv_core::query::{expand_frontier, QueryWorkspace, StoppingCondition};
 use fastppv_core::{Config, FlatIndex, HubSet, MemoryIndex, PpvStore, QueryEngine};
 use fastppv_graph::{Graph, NodeId, SparseVector};
 
@@ -529,10 +529,80 @@ pub struct QueryService<S: PpvStore + Send + Sync> {
     // Overload policy + load tracker (None = always Normal; opt in with
     // QueryService::with_overload).
     overload: Option<OverloadState>,
+    // The snapshot a two-phase prepare built but has not committed yet
+    // (shard mode). Committed or aborted under the update lock; serving
+    // never reads it.
+    staged: Mutex<Option<ServingState<S>>>,
+    // Scattered iteration-0 answers, keyed (query, epoch): the shard-side
+    // analogue of the whole-answer cache (a router never asks a shard for
+    // a whole answer, so the main cache would not see its traffic).
+    sub_cache: Mutex<LruCache<(NodeId, u64), Arc<Prime0Parts>>>,
+    // Scattered increment contributions, keyed (frontier slice, epoch).
+    // The router's merge is deterministic, so a repeated (query, stop)
+    // resends bit-identical frontier slices every round; keying by the
+    // exact mass bit patterns means a hit can only be an exact replay of
+    // the same expansion. Cleared eagerly on publish like `sub_cache`.
+    expand_cache: Mutex<LruCache<ExpandKey, ExpandAnswer>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stale_rejects: AtomicU64,
     noop_skips: AtomicU64,
+}
+
+/// Expand-cache key: the frontier slice with masses as raw IEEE-754 bit
+/// patterns (so the key is `Eq`-able and a hit implies a bit-identical
+/// resend), plus the epoch that served it.
+type ExpandKey = (Vec<(NodeId, u64)>, u64);
+
+/// Iteration 0 of a scattered query, as shipped to the router: the raw
+/// prime-PPV entries (trivial tour excluded) and their border-hub
+/// frontier, both in entry (ascending node id) order.
+#[derive(Clone, Debug, Default)]
+pub struct Prime0Parts {
+    /// `r̊⁰_q` entries, sorted by node id.
+    pub entries: Vec<(NodeId, f64)>,
+    /// The hub entries among them — iteration 1's frontier.
+    pub frontier: Vec<(NodeId, f64)>,
+}
+
+/// One shard's contribution to a scattered increment
+/// ([`QueryService::expand`]): a thin epoch-stamped wrapper around the
+/// core [`fastppv_core::ExpandOutcome`].
+#[derive(Clone, Debug)]
+pub struct ExpandAnswer {
+    /// Epoch of the snapshot that produced the contribution.
+    pub epoch: u64,
+    /// The partial increment.
+    pub outcome: fastppv_core::ExpandOutcome,
+}
+
+/// Why a scattered sub-query ([`QueryService::prime0`] /
+/// [`QueryService::expand`]) was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubQueryError {
+    /// The shard serves a different epoch than the router scattered
+    /// against; the response names it so the router can retry once
+    /// against the new version instead of merging mixed graphs.
+    EpochSkew {
+        /// The epoch this shard currently serves.
+        current: u64,
+    },
+    /// A frontier hub this shard does not own (stale or wrong shard map).
+    MissingHub(NodeId),
+    /// Malformed request (out-of-range query node, unsorted frontier…).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for SubQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubQueryError::EpochSkew { current } => {
+                write!(f, "epoch skew: shard serves epoch {current}")
+            }
+            SubQueryError::MissingHub(h) => write!(f, "hub {h} not in this shard's store"),
+            SubQueryError::BadRequest(msg) => write!(f, "bad sub-query: {msg}"),
+        }
+    }
 }
 
 /// Shared range check of every serving path ([`QueryService::query`],
@@ -585,6 +655,9 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
             update_lock: Mutex::new(()),
             workspaces: Mutex::new(Vec::new()),
             overload: None,
+            staged: Mutex::new(None),
+            sub_cache: Mutex::new(LruCache::new(options.cache_capacity)),
+            expand_cache: Mutex::new(LruCache::new(options.cache_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale_rejects: AtomicU64::new(0),
@@ -712,6 +785,10 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     /// Returns how many cache entries were dropped.
     fn publish(&self, state: ServingState<S>) -> usize {
         let mut cache = self.cache.lock();
+        // Sub-query entries are epoch-keyed (a stale entry can never be
+        // served), but they hold graph-sized vectors — drop them eagerly.
+        self.sub_cache.lock().clear();
+        self.expand_cache.lock().clear();
         self.current_epoch.store(state.epoch, Ordering::Release);
         self.current_nodes
             .store(state.graph.num_nodes(), Ordering::Relaxed);
@@ -1039,6 +1116,142 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
         }
         cache.insert(key, Arc::new(entry));
     }
+
+    /// Serves iteration 0 of a scattered query: the prime PPV of `q` from
+    /// this shard's store (or computed on the fly for a non-hub `q`),
+    /// split into entries + border-hub frontier for the router to fan out.
+    ///
+    /// `expect_epoch` (`None` = any) pins the merge to one graph version:
+    /// a shard serving a different epoch refuses with
+    /// [`SubQueryError::EpochSkew`] instead of contributing mixed-version
+    /// mass. Results are cached per `(q, epoch)` in a dedicated LRU — the
+    /// whole-answer cache never sees router traffic.
+    pub fn prime0(
+        &self,
+        q: NodeId,
+        expect_epoch: Option<u64>,
+    ) -> Result<(Arc<Prime0Parts>, u64), SubQueryError> {
+        let state = self.snapshot();
+        if let Some(expected) = expect_epoch {
+            if expected != state.epoch {
+                return Err(SubQueryError::EpochSkew {
+                    current: state.epoch,
+                });
+            }
+        }
+        check_in_range(&state.graph, q).map_err(SubQueryError::BadRequest)?;
+        let started = Instant::now();
+        let _in_flight = self.track_in_flight(1);
+        let key = (q, state.epoch);
+        if let Some(hit) = self.sub_cache.lock().get(&key).map(Arc::clone) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_sub_latency(started);
+            return Ok((hit, state.epoch));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut ws = self.take_workspace(state.graph.num_nodes());
+        let (entries, frontier) = ws.prime0_parts(
+            &state.graph,
+            &state.hubs,
+            state.store.as_ref(),
+            q,
+            &self.config,
+        );
+        self.recycle_workspace(ws);
+        let parts = Arc::new(Prime0Parts { entries, frontier });
+        // Same stale-insert discipline as try_cache_insert: a publish
+        // either clears this entry or the epoch mirror rejects it.
+        let mut cache = self.sub_cache.lock();
+        if state.epoch >= self.current_epoch.load(Ordering::Acquire) {
+            cache.insert(key, Arc::clone(&parts));
+        }
+        drop(cache);
+        self.record_sub_latency(started);
+        Ok((parts, state.epoch))
+    }
+
+    /// Feeds one served sub-request into the load tracker's latency
+    /// window, so a shard whose traffic is purely scattered sub-requests
+    /// still reports an honest `recent_p99` (and its overload regimes see
+    /// the load). Refused sub-requests (epoch skew, bad request) are not
+    /// served work and are not recorded — mirroring `execute`, which only
+    /// records answers.
+    fn record_sub_latency(&self, started: Instant) {
+        if let Some(o) = &self.overload {
+            o.record(started.elapsed());
+        }
+    }
+
+    /// Serves one shard's share of a scattered increment step: expands the
+    /// border hubs in `sublist` (this shard's slice of the router's
+    /// frontier, ascending by hub id, masses as merged so far) against the
+    /// stored prime PPVs. The returned partial entries / frontier /
+    /// increment mass are merged router-side with the other shards'.
+    pub fn expand(
+        &self,
+        sublist: &[(NodeId, f64)],
+        expect_epoch: Option<u64>,
+    ) -> Result<ExpandAnswer, SubQueryError> {
+        let state = self.snapshot();
+        if let Some(expected) = expect_epoch {
+            if expected != state.epoch {
+                return Err(SubQueryError::EpochSkew {
+                    current: state.epoch,
+                });
+            }
+        }
+        for &(h, mass) in sublist {
+            check_in_range(&state.graph, h).map_err(SubQueryError::BadRequest)?;
+            if !mass.is_finite() || mass < 0.0 {
+                return Err(SubQueryError::BadRequest(format!(
+                    "non-finite or negative frontier mass {mass} at hub {h}"
+                )));
+            }
+        }
+        let started = Instant::now();
+        let _in_flight = self.track_in_flight(1);
+        let key = (
+            sublist
+                .iter()
+                .map(|&(h, m)| (h, m.to_bits()))
+                .collect::<Vec<_>>(),
+            state.epoch,
+        );
+        if let Some(hit) = self.expand_cache.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_sub_latency(started);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut ws = self.take_workspace(state.graph.num_nodes());
+        let outcome = expand_frontier(
+            sublist,
+            &state.hubs,
+            state.store.as_ref(),
+            &self.config,
+            ws.increment_scratch(),
+        );
+        self.recycle_workspace(ws);
+        match outcome {
+            Ok(outcome) => {
+                let answer = ExpandAnswer {
+                    epoch: state.epoch,
+                    outcome,
+                };
+                // Same stale-insert discipline as the prime0 sub-cache: a
+                // racing publish either clears this entry or the epoch
+                // mirror rejects it.
+                let mut cache = self.expand_cache.lock();
+                if state.epoch >= self.current_epoch.load(Ordering::Acquire) {
+                    cache.insert(key, answer.clone());
+                }
+                drop(cache);
+                self.record_sub_latency(started);
+                Ok(answer)
+            }
+            Err(h) => Err(SubQueryError::MissingHub(h)),
+        }
+    }
 }
 
 impl QueryService<MemoryIndex> {
@@ -1125,6 +1338,165 @@ impl QueryService<FlatIndex> {
             epoch: old.epoch + 1,
         });
         stats
+    }
+}
+
+/// Store-specific half of a staged (two-phase) update: build the next
+/// store off the pinned one without publishing. The crucial property for
+/// sharded deployments: the refresh is restricted to the hubs the old
+/// store actually holds, so a partial (sliced) store stays partial —
+/// a full-hub-set refresh would recompute every missing hub and balloon
+/// one shard's slice into the whole index. Stores that cannot refresh
+/// incrementally keep the `None` default and refuse staged updates.
+pub trait ShardRefresh: Sized {
+    /// Builds the refreshed store for `new_graph`, or `None` if this
+    /// store type does not support staged refreshes.
+    #[allow(clippy::too_many_arguments)]
+    fn refresh_for_shard(
+        &self,
+        old_graph: &Graph,
+        new_graph: &Graph,
+        hubs: &HubSet,
+        changed_tails: &[NodeId],
+        config: &Config,
+        delta: &DeltaConfig,
+    ) -> Option<(Self, RefreshStats)> {
+        let _ = (old_graph, new_graph, hubs, changed_tails, config, delta);
+        None
+    }
+}
+
+impl ShardRefresh for MemoryIndex {
+    fn refresh_for_shard(
+        &self,
+        old_graph: &Graph,
+        new_graph: &Graph,
+        hubs: &HubSet,
+        changed_tails: &[NodeId],
+        config: &Config,
+        delta: &DeltaConfig,
+    ) -> Option<(Self, RefreshStats)> {
+        Some(refresh_index_delta_subset(
+            self,
+            old_graph,
+            new_graph,
+            hubs,
+            self.hub_ids(),
+            changed_tails,
+            config,
+            delta,
+        ))
+    }
+}
+
+/// Disk-resident stores cannot rebuild themselves in memory — they keep
+/// the default (`None`) and refuse staged updates over the wire.
+impl ShardRefresh for fastppv_core::DiskIndex {}
+
+impl ShardRefresh for FlatIndex {
+    fn refresh_for_shard(
+        &self,
+        old_graph: &Graph,
+        new_graph: &Graph,
+        hubs: &HubSet,
+        changed_tails: &[NodeId],
+        config: &Config,
+        delta: &DeltaConfig,
+    ) -> Option<(Self, RefreshStats)> {
+        // Flat arenas are only deployed whole (slices are MemoryIndex),
+        // so the full-hub-set snapshot refresh is the right one.
+        Some(refresh_flat_index_snapshot_delta(
+            self,
+            old_graph,
+            new_graph,
+            hubs,
+            changed_tails,
+            config,
+            delta,
+        ))
+    }
+}
+
+impl<S: PpvStore + ShardRefresh + Send + Sync> QueryService<S> {
+    /// Phase one of a coordinated cluster update: refresh the store
+    /// against `new_graph` and stage the resulting snapshot at
+    /// `target_epoch` **without publishing it**. Serving continues on the
+    /// current snapshot; a later [`QueryService::commit_update`] flips the
+    /// cluster to the staged version, [`QueryService::abort_update`]
+    /// discards it. Re-preparing replaces any previously staged snapshot.
+    ///
+    /// Unlike [`QueryService::apply_update`] there is no no-op skip: the
+    /// coordinator bumps every shard to `target_epoch` in lockstep, and a
+    /// shard whose slice happened to be untouched must still advance or
+    /// the cluster's epochs diverge and every scattered query hits
+    /// [`SubQueryError::EpochSkew`].
+    pub fn prepare_update(
+        &self,
+        target_epoch: u64,
+        new_graph: Graph,
+        changed_tails: &[NodeId],
+    ) -> Result<RefreshStats, String> {
+        let _updates = self.update_lock.lock();
+        let old = self.snapshot();
+        if target_epoch != old.epoch + 1 {
+            return Err(format!(
+                "prepare for epoch {target_epoch} but serving epoch {} (want {})",
+                old.epoch,
+                old.epoch + 1
+            ));
+        }
+        let (store, stats) = old
+            .store
+            .refresh_for_shard(
+                &old.graph,
+                &new_graph,
+                &old.hubs,
+                changed_tails,
+                &self.config,
+                &self.delta,
+            )
+            .ok_or_else(|| "store does not support staged updates".to_string())?;
+        *self.staged.lock() = Some(ServingState {
+            graph: Arc::new(new_graph),
+            hubs: Arc::clone(&old.hubs),
+            store: Arc::new(store),
+            epoch: target_epoch,
+        });
+        Ok(stats)
+    }
+
+    /// Phase two: publish the snapshot staged for `target_epoch`. Fails —
+    /// leaving serving untouched — if nothing is staged, the staged epoch
+    /// does not match, or an update published in between made the staged
+    /// snapshot stale.
+    pub fn commit_update(&self, target_epoch: u64) -> Result<(), String> {
+        let _updates = self.update_lock.lock();
+        let mut staged = self.staged.lock();
+        let ready = staged
+            .take()
+            .ok_or_else(|| format!("no staged update to commit at epoch {target_epoch}"))?;
+        if ready.epoch != target_epoch {
+            let have = ready.epoch;
+            *staged = Some(ready);
+            return Err(format!(
+                "staged epoch {have} does not match commit target {target_epoch}"
+            ));
+        }
+        drop(staged);
+        let current = self.epoch();
+        if target_epoch != current + 1 {
+            return Err(format!(
+                "staged epoch {target_epoch} is stale (serving epoch {current})"
+            ));
+        }
+        self.publish(ready);
+        Ok(())
+    }
+
+    /// Discards any staged snapshot, returning whether one existed.
+    pub fn abort_update(&self) -> bool {
+        let _updates = self.update_lock.lock();
+        self.staged.lock().take().is_some()
     }
 }
 
@@ -1378,6 +1750,55 @@ mod tests {
         assert_eq!(service.epoch(), 1);
         assert_eq!(service.cache_stats().entries, 0);
         assert_eq!(service.cache_stats().noop_update_skips, 1);
+    }
+
+    #[test]
+    fn expand_cache_replays_exactly_and_clears_on_publish() {
+        let service = toy_service(ServiceOptions {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+        });
+        let hub = toy::PAPER_HUBS[0];
+        let sublist = vec![(hub, 0.125_f64)];
+        let first = service.expand(&sublist, None).expect("expand");
+        let hits_before = service.cache_stats().hits;
+        let second = service.expand(&sublist, None).expect("expand");
+        assert_eq!(
+            service.cache_stats().hits,
+            hits_before + 1,
+            "a bit-identical frontier resend must hit the expand cache"
+        );
+        // A hit is an exact replay, not a recomputation: every field of
+        // the outcome matches bit-for-bit.
+        assert_eq!(second.epoch, first.epoch);
+        assert_eq!(second.outcome.entries, first.outcome.entries);
+        assert_eq!(second.outcome.frontier, first.outcome.frontier);
+        assert_eq!(
+            second.outcome.increment_mass.to_bits(),
+            first.outcome.increment_mass.to_bits()
+        );
+        // A different mass bit pattern is a different key.
+        let misses_before = service.cache_stats().misses;
+        service.expand(&[(hub, 0.25_f64)], None).expect("expand");
+        assert_eq!(service.cache_stats().misses, misses_before + 1);
+        // Publish clears the expand cache along with the sub-caches: the
+        // same sublist recomputes and carries the new epoch.
+        let old = service.graph();
+        let mut b = GraphBuilder::new(8);
+        for (s, t) in old.edges() {
+            b.add_edge(s, t);
+        }
+        b.add_edge(toy::A, toy::E);
+        service.apply_update(b.build(), &[toy::A]);
+        let misses_before = service.cache_stats().misses;
+        let fresh = service.expand(&sublist, None).expect("expand");
+        assert_eq!(
+            service.cache_stats().misses,
+            misses_before + 1,
+            "publish must clear the expand cache"
+        );
+        assert_eq!(fresh.epoch, 1);
     }
 
     #[test]

@@ -31,3 +31,6 @@ pub use fastppv_cluster as cluster;
 
 /// Concurrent serving: shared engine, worker-pooled batching, hot-PPV cache.
 pub use fastppv_server as server;
+
+/// Scatter/gather fan-out: fault-tolerant routing over sharded indexes.
+pub use fastppv_router as router;

@@ -1,13 +1,23 @@
 //! Disk-based pipeline integration: clustering → cluster store → fault-
-//! counted queries, compared against the in-memory engine.
+//! counted queries, compared against the in-memory engine — plus the
+//! scatter/gather router's exactness oracle: the same index sliced
+//! across shards and merged by `fastppv::router` must reproduce the
+//! single-process answer to ≤ 1e-12 for every stopping condition.
+
+use std::sync::Arc;
 
 use fastppv::cluster::partition::{cluster_graph, ClusteringOptions};
 use fastppv::cluster::query::{disk_query, DiskQueryWorkspace};
 use fastppv::cluster::store::{write_clustered_graph, DiskGraph};
+use fastppv::cluster::{slice_store, ShardMap};
 use fastppv::core::index::DiskIndex;
 use fastppv::core::query::{QueryEngine, StoppingCondition};
-use fastppv::core::{build_index_parallel, select_hubs, Config, HubPolicy};
+use fastppv::core::{build_index_parallel, select_hubs, Config, HubPolicy, MemoryIndex};
 use fastppv::graph::gen::{BibNetwork, DblpParams};
+use fastppv::graph::vec::ScoreScratch;
+use fastppv::graph::Graph;
+use fastppv::router::{merge_query, LocalBackend, RouterConfig};
+use fastppv::server::{QueryService, ServiceOptions};
 
 fn temp_path(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -122,6 +132,188 @@ fn fault_cap_bounds_io_and_keeps_phi_sound() {
         assert!(res.result.l1_error >= 0.0 && res.result.l1_error <= 1.0);
     }
     std::fs::remove_file(&clg).unwrap();
+}
+
+/// Slices `index` across `num_shards` in-process shard services by a
+/// clustering-derived ownership map and returns the backend + map. Each
+/// shard holds only its owned hubs' prime PPVs but the full graph and
+/// hub set (prime-PPV decomposition must block at every hub).
+fn sharded_backend(
+    graph: &Arc<Graph>,
+    hubs: &Arc<fastppv::core::HubSet>,
+    index: &MemoryIndex,
+    config: Config,
+    num_shards: u32,
+) -> (LocalBackend<MemoryIndex>, ShardMap) {
+    let clustering = cluster_graph(graph, 10, ClusteringOptions::default());
+    let map = ShardMap::from_clustering(&clustering, num_shards);
+    let services: Vec<_> = (0..num_shards)
+        .map(|s| {
+            let slice = slice_store(index, hubs, &map, s);
+            Arc::new(QueryService::new(
+                Arc::clone(graph),
+                Arc::clone(hubs),
+                Arc::new(slice),
+                config,
+                ServiceOptions {
+                    workers: 2,
+                    ..ServiceOptions::default()
+                },
+            ))
+        })
+        .collect();
+    (LocalBackend::new(services), map)
+}
+
+/// The router's exactness oracle: scattering an index across shards and
+/// merging must reproduce the single-process engine bit-for-bit up to
+/// floating-point reassociation (≤ 1e-12 — the per-shard partial sums
+/// re-associate the additions), for iteration-count and L1-target stops
+/// alike, on hub and non-hub queries.
+#[test]
+fn router_merge_matches_single_process_for_every_stop() {
+    let net = BibNetwork::generate(
+        DblpParams {
+            papers: 1_200,
+            venues: 18,
+            ..Default::default()
+        },
+        11,
+    );
+    let graph = Arc::new(net.graph);
+    let n = graph.num_nodes();
+    let config = Config::default().with_epsilon(1e-6);
+    let hubs = Arc::new(select_hubs(&graph, HubPolicy::ExpectedUtility, n / 25, 0));
+    let (index, _) = build_index_parallel(&graph, &hubs, &config, 2);
+    let (backend, map) = sharded_backend(&graph, &hubs, &index, config, 3);
+    let cfg = RouterConfig {
+        alpha: config.alpha,
+        delta: config.delta,
+        num_nodes: n,
+    };
+    let engine = QueryEngine::new(&graph, &hubs, &index, config);
+    let mut scratch = ScoreScratch::new(n);
+
+    let mut stops: Vec<StoppingCondition> = (0..=3).map(StoppingCondition::iterations).collect();
+    stops.extend([0.5, 0.2, 0.05].map(StoppingCondition::l1_error));
+    // A spread of non-hub queries plus a couple of hubs (their prime0
+    // comes straight off the owning shard's stored PPV).
+    let mut queries: Vec<u32> = (0..n as u32)
+        .filter(|&v| !hubs.is_hub(v))
+        .step_by(n / 5)
+        .take(4)
+        .collect();
+    queries.extend(hubs.ids().iter().copied().take(2));
+
+    for &q in &queries {
+        for stop in &stops {
+            let single = engine.query(q, stop);
+            let merged = merge_query(&backend, &map, &cfg, q, stop, &mut scratch)
+                .unwrap_or_else(|e| panic!("q {q}: merge failed: {e}"));
+            assert!(!merged.degraded, "q {q}: no shard was down");
+            assert!(merged.shards_skipped.is_empty(), "q {q}");
+            assert_eq!(merged.iterations, single.iterations, "q {q} stop {stop:?}");
+            assert_eq!(merged.exhausted, single.exhausted, "q {q} stop {stop:?}");
+            assert!(
+                (merged.l1_error - single.l1_error).abs() <= 1e-12,
+                "q {q} stop {stop:?}: φ {} vs {}",
+                merged.l1_error,
+                single.l1_error
+            );
+            assert_eq!(
+                merged.scores.len(),
+                single.scores.len(),
+                "q {q} stop {stop:?}"
+            );
+            for (&(va, sa), &(vb, sb)) in merged.scores.iter().zip(single.scores.entries()) {
+                assert_eq!(va, vb, "q {q} stop {stop:?}");
+                assert!(
+                    (sa - sb).abs() <= 1e-12,
+                    "q {q} stop {stop:?} node {va}: {sa} vs {sb}"
+                );
+            }
+        }
+    }
+}
+
+/// Certified degradation: with one shard dead, every answer the merge
+/// still produces must carry a φ that upper-bounds its true L1 distance
+/// to the *full-cluster* answer under the same stop — the dropped border
+/// mass is charged into φ, never silently lost.
+#[test]
+fn router_degraded_phi_bounds_gap_to_full_answer() {
+    let net = BibNetwork::generate(
+        DblpParams {
+            papers: 1_000,
+            venues: 15,
+            ..Default::default()
+        },
+        13,
+    );
+    let graph = Arc::new(net.graph);
+    let n = graph.num_nodes();
+    let config = Config::default().with_epsilon(1e-6);
+    let hubs = Arc::new(select_hubs(&graph, HubPolicy::ExpectedUtility, n / 20, 0));
+    let (index, _) = build_index_parallel(&graph, &hubs, &config, 2);
+    let (backend, map) = sharded_backend(&graph, &hubs, &index, config, 4);
+    let cfg = RouterConfig {
+        alpha: config.alpha,
+        delta: config.delta,
+        num_nodes: n,
+    };
+    let mut scratch = ScoreScratch::new(n);
+    let stop = StoppingCondition::iterations(3);
+    let queries: Vec<u32> = (0..n as u32)
+        .filter(|&v| !hubs.is_hub(v))
+        .step_by(n / 6)
+        .take(5)
+        .collect();
+
+    for dead in 0..4 {
+        backend.set_dead(dead, true);
+        for &q in &queries {
+            let partial = merge_query(&backend, &map, &cfg, q, &stop, &mut scratch)
+                .unwrap_or_else(|e| panic!("q {q} dead {dead}: {e}"));
+            backend.set_dead(dead, false);
+            let full = merge_query(&backend, &map, &cfg, q, &stop, &mut scratch).unwrap();
+            backend.set_dead(dead, true);
+            assert!(!full.degraded);
+            // The partial estimate stays an entry-wise lower bound of the
+            // full one, and the inflated φ covers the gap.
+            let mut gap = 0.0;
+            let mut pi = partial.scores.iter().peekable();
+            for &(v, sf) in &full.scores {
+                match pi.peek() {
+                    Some(&&(pv, sp)) if pv == v => {
+                        assert!(sp <= sf + 1e-12, "q {q} node {v}: partial above full");
+                        gap += sf - sp;
+                        pi.next();
+                    }
+                    _ => gap += sf,
+                }
+            }
+            assert!(
+                pi.peek().is_none(),
+                "q {q}: partial answer has entries the full one lacks"
+            );
+            assert!(
+                gap <= partial.l1_error + 1e-12,
+                "q {q} dead {dead}: gap {gap} exceeds certified φ {}",
+                partial.l1_error
+            );
+            assert!(
+                partial.l1_error >= full.l1_error - 1e-12,
+                "q {q} dead {dead}"
+            );
+            if partial.degraded {
+                assert!(
+                    !partial.exhausted,
+                    "degraded answers never claim exhaustion"
+                );
+            }
+        }
+        backend.set_dead(dead, false);
+    }
 }
 
 #[test]

@@ -1,0 +1,510 @@
+//! Router fault matrix: shards dying mid-batch, slow-loris stragglers
+//! hedged around, epoch skew injected between merge iterations, and a
+//! property-based certification check — with one dead shard, the
+//! inflated φ must still upper-bound the true L1 gap to the full-cluster
+//! answer.
+//!
+//! Rounds scale with `FASTPPV_FAULT_ROUNDS` (CI turns it up; the local
+//! default keeps the suite fast).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fastppv::cluster::{cluster_graph, slice_store, ClusteringOptions, ShardMap};
+use fastppv::core::query::StoppingCondition;
+use fastppv::core::{build_index, select_hubs, Config, HubPolicy, HubSet, MemoryIndex};
+use fastppv::graph::gen::{barabasi_albert, synth_events};
+use fastppv::graph::vec::ScoreScratch;
+use fastppv::graph::{Graph, NodeId};
+use fastppv::router::{
+    merge_query, two_phase_publish, BackendError, Health, LocalBackend, Router, RouterConfig,
+    RouterOptions, SubBackend, TcpBackend, TcpBackendOptions, UpdateBackend,
+};
+use fastppv::server::net::{
+    serve, ClientOptions, SubReply, WireExpand, WirePrime0, WireRequest, WireResponse,
+};
+use fastppv::server::{QueryService, ServiceOptions};
+use proptest::prelude::*;
+
+/// Chaos rounds, scaled by `FASTPPV_FAULT_ROUNDS` in CI.
+fn rounds(default: usize) -> usize {
+    std::env::var("FASTPPV_FAULT_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Fixture {
+    graph: Arc<Graph>,
+    hubs: Arc<HubSet>,
+    index: MemoryIndex,
+    config: Config,
+}
+
+fn fixture(nodes: usize, hub_count: usize, seed: u64) -> Fixture {
+    let config = Config::default().with_epsilon(1e-5);
+    let g = barabasi_albert(nodes, 3, seed);
+    let hubs = Arc::new(select_hubs(&g, HubPolicy::ExpectedUtility, hub_count, 0));
+    let graph = Arc::new(g);
+    let (index, _) = build_index(&graph, &hubs, &config);
+    Fixture {
+        graph,
+        hubs,
+        index,
+        config,
+    }
+}
+
+fn shard_services(fx: &Fixture, map: &ShardMap) -> Vec<Arc<QueryService<MemoryIndex>>> {
+    (0..map.num_shards())
+        .map(|s| {
+            let slice = slice_store(&fx.index, &fx.hubs, map, s);
+            Arc::new(QueryService::new(
+                Arc::clone(&fx.graph),
+                Arc::clone(&fx.hubs),
+                Arc::new(slice),
+                fx.config,
+                ServiceOptions {
+                    workers: 2,
+                    ..ServiceOptions::default()
+                },
+            ))
+        })
+        .collect()
+}
+
+fn router_cfg(fx: &Fixture) -> RouterConfig {
+    RouterConfig {
+        alpha: fx.config.alpha,
+        delta: fx.config.delta,
+        num_nodes: fx.graph.num_nodes(),
+    }
+}
+
+fn non_hub_queries(fx: &Fixture, count: usize) -> Vec<NodeId> {
+    let n = fx.graph.num_nodes();
+    (0..n as NodeId)
+        .filter(|&v| !fx.hubs.is_hub(v))
+        .step_by((n / count).max(1))
+        .take(count)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shard death mid-batch
+// ---------------------------------------------------------------------------
+
+/// A shard dying halfway through a batch never produces a client-visible
+/// error: every response stays a certified `Answer` (possibly degraded,
+/// with φ inflated to cover the dead shard's mass), and the first fresh
+/// query after the shard returns is clean again.
+#[test]
+fn shard_death_mid_batch_degrades_never_errors() {
+    let fx = fixture(900, 60, 21);
+    let map = ShardMap::round_robin(fx.graph.num_nodes(), 4);
+    let backend = LocalBackend::new(shard_services(&fx, &map));
+    let router = Router::new(backend, map, router_cfg(&fx), RouterOptions::default());
+    let queries = non_hub_queries(&fx, 8);
+
+    for round in 0..rounds(3) {
+        let dead = round % 4;
+        let mut degraded = 0u32;
+        for (i, &q) in queries.iter().enumerate() {
+            if i == queries.len() / 2 {
+                router.backend().set_dead(dead, true);
+            }
+            // Distinct (query, η) per round so the answer cache cannot
+            // mask the dead shard.
+            let request = WireRequest::iterations(q, 2 + (round % 2) as u32);
+            match router.serve_request(&request) {
+                WireResponse::Answer(a) => {
+                    assert!(
+                        (0.0..=1.0).contains(&a.l1_error),
+                        "round {round} q {q}: φ {} out of range",
+                        a.l1_error
+                    );
+                    if a.degraded {
+                        assert!(!a.exhausted, "degraded answers never claim exhaustion");
+                        degraded += 1;
+                    }
+                }
+                other => panic!("round {round} q {q}: client-visible failure {other:?}"),
+            }
+        }
+        router.backend().set_dead(dead, false);
+        // Revived: a fresh (uncached) query must be clean again.
+        let fresh = WireRequest::iterations(queries[round % queries.len()], 3);
+        match router.serve_request(&fresh) {
+            WireResponse::Answer(a) => {
+                assert!(!a.degraded, "round {round}: still degraded after revival")
+            }
+            other => panic!("round {round}: failure after revival: {other:?}"),
+        }
+        let _ = degraded; // how many were degraded depends on hub ownership
+    }
+    let stats = router.stats();
+    assert_eq!(stats.shed, 0, "iteration-stop requests are never shed");
+}
+
+/// With *every* shard down the router sheds with a typed, retryable
+/// `Overloaded` — not a hang, not a protocol error — and recovers as
+/// soon as any shard returns.
+#[test]
+fn all_shards_down_sheds_with_retry_hint() {
+    let fx = fixture(400, 24, 5);
+    let map = ShardMap::round_robin(fx.graph.num_nodes(), 2);
+    let backend = LocalBackend::new(shard_services(&fx, &map));
+    let router = Router::new(backend, map, router_cfg(&fx), RouterOptions::default());
+    let q = non_hub_queries(&fx, 1)[0];
+
+    router.backend().set_dead(0, true);
+    router.backend().set_dead(1, true);
+    match router.serve_request(&WireRequest::iterations(q, 1)) {
+        WireResponse::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(router.stats().shed, 1);
+
+    router.backend().set_dead(1, false);
+    match router.serve_request(&WireRequest::iterations(q, 1)) {
+        WireResponse::Answer(a) => assert!((0.0..=1.0).contains(&a.l1_error)),
+        other => panic!("one live shard must be enough: {other:?}"),
+    }
+}
+
+/// An unattainable accuracy contract is shed honestly: with a shard dead,
+/// an L1-target request whose inflated φ misses the target comes back
+/// `Overloaded`, while the same request with an achievable target (or an
+/// iteration stop) is served degraded.
+#[test]
+fn unattainable_l1_target_is_shed_not_silently_missed() {
+    let fx = fixture(900, 40, 9);
+    // Cluster-derived map: whole clusters per shard makes it easy to find
+    // queries whose border mass concentrates on one shard.
+    let clustering = cluster_graph(&fx.graph, 8, ClusteringOptions::default());
+    let map = ShardMap::from_clustering(&clustering, 3);
+    let backend = LocalBackend::new(shard_services(&fx, &map));
+    let router = Router::new(backend, map, router_cfg(&fx), RouterOptions::default());
+
+    // Find a query that degrades under a dead shard (its φ inflates).
+    let mut hit = None;
+    'outer: for dead in 0..3 {
+        for &q in &non_hub_queries(&fx, 12) {
+            router.backend().set_dead(dead, true);
+            let resp = router.serve_request(&WireRequest::iterations(q, 4));
+            router.backend().set_dead(dead, false);
+            let clean = router.serve_request(&WireRequest::iterations(q, 4));
+            if let (WireResponse::Answer(d), WireResponse::Answer(c)) = (resp, clean) {
+                if d.degraded && d.l1_error > c.l1_error + 1e-9 {
+                    hit = Some((dead, q, d.l1_error, c.l1_error));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (dead, q, phi_degraded, phi_clean) =
+        hit.expect("some query must degrade when its border shard dies");
+
+    router.backend().set_dead(dead, true);
+    // Target between the clean φ and the inflated φ: achievable by the
+    // full cluster, unattainable degraded → shed.
+    let target = (phi_clean + phi_degraded) / 2.0;
+    match router.serve_request(&WireRequest::l1_error(q, target)) {
+        WireResponse::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("unattainable target must shed, got {other:?}"),
+    }
+    // A lax target is served, degraded flag raised, φ within contract.
+    match router.serve_request(&WireRequest::l1_error(q, phi_degraded + 0.1)) {
+        WireResponse::Answer(a) => {
+            assert!(a.degraded);
+            assert!(a.l1_error <= phi_degraded + 0.1 + 1e-12);
+        }
+        other => panic!("attainable target must serve, got {other:?}"),
+    }
+    router.backend().set_dead(dead, false);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch skew injected mid-merge
+// ---------------------------------------------------------------------------
+
+/// Forwards to a [`LocalBackend`] but runs a full two-phase publish right
+/// before the first expand — the merge's pinned epoch is stale from that
+/// point on, so every shard refuses with epoch skew and the merge must
+/// retry once from scratch on the new epoch.
+struct SkewInject<'a> {
+    inner: &'a LocalBackend<MemoryIndex>,
+    events: Vec<fastppv::graph::gen::EdgeEvent>,
+    armed: AtomicBool,
+}
+
+impl SubBackend for SkewInject<'_> {
+    fn num_shards(&self) -> usize {
+        SubBackend::num_shards(self.inner)
+    }
+
+    fn prime0(
+        &self,
+        shard: usize,
+        query: NodeId,
+        expect_epoch: Option<u64>,
+    ) -> Result<SubReply<WirePrime0>, BackendError> {
+        self.inner.prime0(shard, query, expect_epoch)
+    }
+
+    fn expand(
+        &self,
+        shard: usize,
+        sublist: &[(NodeId, f64)],
+        expect_epoch: Option<u64>,
+    ) -> Result<SubReply<WireExpand>, BackendError> {
+        if self.armed.swap(false, Ordering::SeqCst) {
+            let target = UpdateBackend::epoch(self.inner, 0).unwrap() + 1;
+            two_phase_publish(self.inner, target, &self.events).expect("publish");
+        }
+        self.inner.expand(shard, sublist, expect_epoch)
+    }
+}
+
+#[test]
+fn epoch_skew_mid_merge_is_retried_once_and_never_mixes_epochs() {
+    let fx = fixture(700, 45, 33);
+    let map = ShardMap::round_robin(fx.graph.num_nodes(), 3);
+    let backend = LocalBackend::new(shard_services(&fx, &map));
+    let cfg = router_cfg(&fx);
+    let events = synth_events(&fx.graph, 12, 0.25, 99);
+    let q = non_hub_queries(&fx, 1)[0];
+    let stop = StoppingCondition::iterations(3);
+    let mut scratch = ScoreScratch::new(fx.graph.num_nodes());
+
+    let inject = SkewInject {
+        inner: &backend,
+        events,
+        armed: AtomicBool::new(true),
+    };
+    let merged = merge_query(&inject, &map, &cfg, q, &stop, &mut scratch)
+        .expect("one retry must absorb a single mid-merge publish");
+    assert!(
+        !inject.armed.load(Ordering::SeqCst),
+        "publish must have fired"
+    );
+    assert_eq!(merged.epoch, 1, "retry must land on the committed epoch");
+    assert!(!merged.degraded);
+
+    // The retried answer is bit-identical to a clean merge at epoch 1:
+    // no partial from epoch 0 leaked into it.
+    let clean = merge_query(&backend, &map, &cfg, q, &stop, &mut scratch).unwrap();
+    assert_eq!(clean.epoch, 1);
+    assert_eq!(merged.scores, clean.scores);
+    assert_eq!(merged.l1_error, clean.l1_error);
+    assert_eq!(merged.iterations, clean.iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Slow loris over TCP: hedging + circuit breaker
+// ---------------------------------------------------------------------------
+
+/// A TCP proxy whose *first* accepted connection forwards the server
+/// hello and then goes silent (the classic stalled-but-connected shard);
+/// every later connection forwards both directions faithfully.
+fn stalling_proxy(upstream: SocketAddr) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut first = true;
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            let stall = std::mem::take(&mut first);
+            let Ok(server) = TcpStream::connect(upstream) else {
+                continue;
+            };
+            let (mut c_in, mut s_out) = (client.try_clone().unwrap(), server.try_clone().unwrap());
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut c_in, &mut s_out);
+            });
+            let (mut s_in, mut c_out) = (server, client);
+            std::thread::spawn(move || {
+                if stall {
+                    // Forward exactly one frame (the hello), then hang.
+                    let mut len = [0u8; 4];
+                    if s_in.read_exact(&mut len).is_err() {
+                        return;
+                    }
+                    let n = u32::from_le_bytes(len) as usize;
+                    let mut body = vec![0u8; n];
+                    if s_in.read_exact(&mut body).is_err() {
+                        return;
+                    }
+                    let _ = c_out.write_all(&len);
+                    let _ = c_out.write_all(&body);
+                    let _ = c_out.flush();
+                    std::thread::sleep(Duration::from_secs(20));
+                } else {
+                    let _ = std::io::copy(&mut s_in, &mut c_out);
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// A shard that accepts, greets, and then stalls is hedged around: the
+/// duplicate sub-request on a fresh connection answers fast, the merge
+/// never waits out the stalled socket, and the shard stays healthy.
+#[test]
+fn slow_loris_shard_is_hedged_around() {
+    let fx = fixture(500, 30, 17);
+    let map = ShardMap::round_robin(fx.graph.num_nodes(), 2);
+    let services = shard_services(&fx, &map);
+    let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+    let a1 = l1.local_addr().unwrap();
+    let s0 = serve(Arc::clone(&services[0]), l0).unwrap();
+    let s1 = serve(Arc::clone(&services[1]), l1).unwrap();
+    // Shard 1 sits behind the stalling proxy.
+    let proxied = stalling_proxy(a1);
+
+    let backend = TcpBackend::new(
+        vec![s0.local_addr(), proxied],
+        TcpBackendOptions {
+            client: ClientOptions {
+                read_timeout: Some(Duration::from_secs(3)),
+                ..ClientOptions::default()
+            },
+            hedge_delay_floor: Duration::from_millis(50),
+            sub_request_timeout: Duration::from_secs(8),
+            ..TcpBackendOptions::default()
+        },
+    );
+    let q = non_hub_queries(&fx, 1)[0];
+    let started = Instant::now();
+    let reply = backend.prime0(1, q, None).expect("hedge must win");
+    assert!(matches!(reply, SubReply::Ok(_)), "{reply:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "hedge took {:?} — the stalled socket was waited out",
+        started.elapsed()
+    );
+    assert!(backend.hedges_sent() >= 1, "no hedge was issued");
+    assert_eq!(backend.health().health(1), Health::Up);
+
+    // The whole merge path across both shards stays fast, too.
+    let cfg = router_cfg(&fx);
+    let mut scratch = ScoreScratch::new(fx.graph.num_nodes());
+    let merged = merge_query(
+        &backend,
+        &map,
+        &cfg,
+        q,
+        &StoppingCondition::iterations(2),
+        &mut scratch,
+    )
+    .unwrap();
+    assert!(!merged.degraded);
+
+    s0.shutdown();
+    s1.shutdown();
+}
+
+/// A shard whose address refuses connections walks Up → Suspect → Down;
+/// once the breaker is open, requests fail fast without touching a
+/// socket until the backoff window expires.
+#[test]
+fn connection_refused_opens_breaker_and_fails_fast() {
+    // Grab a port that nothing listens on.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let backend = TcpBackend::new(
+        vec![dead_addr],
+        TcpBackendOptions {
+            client: ClientOptions {
+                connect_timeout: Some(Duration::from_millis(300)),
+                read_timeout: Some(Duration::from_millis(300)),
+                ..ClientOptions::default()
+            },
+            ..TcpBackendOptions::default()
+        },
+    );
+    for _ in 0..3 {
+        assert!(backend.probe(0).is_err());
+    }
+    assert_eq!(backend.health().health(0), Health::Down);
+    let started = Instant::now();
+    assert!(matches!(
+        backend.prime0(0, 0, None),
+        Err(BackendError::ShardDown(0))
+    ));
+    assert!(
+        started.elapsed() < Duration::from_millis(100),
+        "open breaker must fail fast, took {:?}",
+        started.elapsed()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: certified degradation on random graphs and partitions
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random graphs, random shard maps, and one random dead shard:
+    /// the degraded estimate stays an entry-wise lower bound of the
+    /// full-cluster answer, and its inflated φ upper-bounds the true L1
+    /// gap — certified partial answers never overstate their accuracy.
+    #[test]
+    fn degraded_phi_upper_bounds_true_gap(
+        nodes in 150usize..400,
+        seed in 0u64..1_000,
+        num_shards in 2u32..5,
+        dead_pick in 0u32..64,
+        eta in 0u32..4,
+        clustered in any::<bool>(),
+    ) {
+        let fx = fixture(nodes, (nodes / 10).max(6), seed);
+        let map = if clustered {
+            let clustering = cluster_graph(&fx.graph, 6, ClusteringOptions::default());
+            ShardMap::from_clustering(&clustering, num_shards)
+        } else {
+            ShardMap::round_robin(nodes, num_shards)
+        };
+        let backend = LocalBackend::new(shard_services(&fx, &map));
+        let cfg = router_cfg(&fx);
+        let dead = (dead_pick % num_shards) as usize;
+        let stop = StoppingCondition::iterations(eta as usize);
+        let mut scratch = ScoreScratch::new(nodes);
+
+        for &q in non_hub_queries(&fx, 3).iter() {
+            backend.set_dead(dead, true);
+            let partial = merge_query(&backend, &map, &cfg, q, &stop, &mut scratch).unwrap();
+            backend.set_dead(dead, false);
+            let full = merge_query(&backend, &map, &cfg, q, &stop, &mut scratch).unwrap();
+
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&partial.l1_error));
+            prop_assert!(partial.l1_error + 1e-12 >= full.l1_error);
+            let mut gap = 0.0;
+            let mut pi = partial.scores.iter().peekable();
+            for &(v, sf) in &full.scores {
+                match pi.peek() {
+                    Some(&&(pv, sp)) if pv == v => {
+                        prop_assert!(sp <= sf + 1e-12, "node {v}: partial above full");
+                        gap += sf - sp;
+                        pi.next();
+                    }
+                    _ => gap += sf,
+                }
+            }
+            prop_assert!(pi.peek().is_none(), "partial support must stay within full");
+            prop_assert!(
+                gap <= partial.l1_error + 1e-12,
+                "q {q} dead {dead}: gap {gap} > certified φ {}",
+                partial.l1_error
+            );
+        }
+    }
+}
