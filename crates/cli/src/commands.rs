@@ -257,7 +257,7 @@ fn is_arena_file(path: &str) -> Result<bool, String> {
     let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut magic = [0u8; 8];
     let n = f.read(&mut magic).map_err(|e| format!("{path}: {e}"))?;
-    Ok(n == 8 && &magic == b"FPPVIDX3")
+    Ok(n == 8 && &magic == fastppv_core::protocol_consts::IDX3_MAGIC)
 }
 
 /// Opens `--index` as a serving [`FlatIndex`]: zero-copy (mmap) when the

@@ -39,10 +39,11 @@ use fastppv_graph::NodeId;
 
 use crate::partition::Clustering;
 
-/// Magic number of the `FPVM1` shard-map format.
-pub const MAP_MAGIC: u32 = 0x4650_564D;
-/// Version of the `FPVM1` shard-map format.
-pub const MAP_VERSION: u16 = 1;
+/// Magic and version of the shard-map format, re-exported from the
+/// workspace constant registry under their historical public names.
+pub use fastppv_core::protocol_consts::{
+    SHARD_MAP_MAGIC as MAP_MAGIC, SHARD_MAP_VERSION as MAP_VERSION,
+};
 
 /// Which shard owns each node.
 ///

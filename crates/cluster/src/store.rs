@@ -27,8 +27,9 @@ use fastppv_graph::{Graph, NodeId};
 
 use crate::partition::Clustering;
 
-const MAGIC: &[u8; 8] = b"FPPVCLG1";
-const VERSION: u32 = 1;
+use fastppv_core::protocol_consts::{
+    CLUSTER_GRAPH_MAGIC as MAGIC, CLUSTER_GRAPH_VERSION as VERSION,
+};
 
 /// Writes `graph` clustered by `clustering` to `path`. Returns the per-
 /// cluster byte sizes (the largest is the minimum working set).

@@ -39,11 +39,20 @@ use fastppv_graph::{NodeId, SparseVector};
 
 use crate::index::{MemoryIndex, PpvStore, PrimePpv};
 
-const MAGIC: &[u8; 8] = b"FPPVIDX2";
-const CODEC_VERSION: u8 = 1;
+use crate::protocol_consts::{IDX2_MAGIC as MAGIC, IDX2_VERSION as CODEC_VERSION};
 const HEADER_LEN: usize = 8 + 4 + 8;
 const DIR_RECORD_LEN: usize = 4 + 8 + 4 + 4;
 const SPEND_LEN: usize = 8;
+
+/// Checked fixed-width read: the `N` bytes at `at`, or `InvalidData` when
+/// the input is short. Keeps the open/decode paths free of panicking
+/// slice indexing — a corrupt file must surface as an error, not abort.
+fn le_bytes<const N: usize>(bytes: &[u8], at: usize) -> io::Result<[u8; N]> {
+    bytes
+        .get(at..at + N)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "encoded section truncated"))
+}
 
 /// How scores are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -169,12 +178,8 @@ fn decode_blob(blob: &[u8], count: usize, quant: ScoreQuantization) -> io::Resul
     for (i, id) in ids.into_iter().enumerate() {
         let at = pos + i * score_len;
         let score = match quant {
-            ScoreQuantization::F32 => {
-                f32::from_le_bytes(blob[at..at + 4].try_into().unwrap()) as f64
-            }
-            ScoreQuantization::LogU16 => {
-                dequantize_log(u16::from_le_bytes(blob[at..at + 2].try_into().unwrap()))
-            }
+            ScoreQuantization::F32 => f32::from_le_bytes(le_bytes(blob, at)?) as f64,
+            ScoreQuantization::LogU16 => dequantize_log(u16::from_le_bytes(le_bytes(blob, at)?)),
         };
         entries.push((id, score));
     }
@@ -242,14 +247,14 @@ impl CompressedDiskIndex {
         let mut file = File::open(path)?;
         let mut header = [0u8; HEADER_LEN];
         file.read_exact(&mut header)?;
-        if &header[..8] != MAGIC {
+        if le_bytes::<8>(&header, 0)? != *MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "not a compressed FastPPV index (bad magic)",
             ));
         }
-        let quant = ScoreQuantization::from_tag(header[8])?;
-        let version = header[9];
+        let quant = ScoreQuantization::from_tag(u8::from_le_bytes(le_bytes(&header, 8)?))?;
+        let version = u8::from_le_bytes(le_bytes(&header, 9)?);
         if version != CODEC_VERSION {
             let hint = if version == 0 {
                 " (version 0 predates the budget-spend section; rebuild the index)"
@@ -261,7 +266,7 @@ impl CompressedDiskIndex {
                 format!("unsupported compressed index version {version} (expected {CODEC_VERSION}){hint}"),
             ));
         }
-        let num_hubs = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
+        let num_hubs = u64::from_le_bytes(le_bytes(&header, 12)?) as usize;
         let file_len = file.metadata()?.len();
         (num_hubs as u64)
             .checked_mul((DIR_RECORD_LEN + SPEND_LEN) as u64)
@@ -277,10 +282,10 @@ impl CompressedDiskIndex {
         let mut spent = HashMap::with_capacity(num_hubs);
         let mut total_entries = 0usize;
         for (i, rec) in dir.chunks_exact(DIR_RECORD_LEN).enumerate() {
-            let hub = NodeId::from_le_bytes(rec[0..4].try_into().unwrap());
-            let offset = u64::from_le_bytes(rec[4..12].try_into().unwrap());
-            let byte_len = u32::from_le_bytes(rec[12..16].try_into().unwrap());
-            let count = u32::from_le_bytes(rec[16..20].try_into().unwrap());
+            let hub = NodeId::from_le_bytes(le_bytes(rec, 0)?);
+            let offset = u64::from_le_bytes(le_bytes(rec, 4)?);
+            let byte_len = u32::from_le_bytes(le_bytes(rec, 12)?);
+            let count = u32::from_le_bytes(le_bytes(rec, 16)?);
             if offset
                 .checked_add(byte_len as u64)
                 .is_none_or(|end| end > file_len)
@@ -291,11 +296,7 @@ impl CompressedDiskIndex {
                 ));
             }
             directory.insert(hub, (offset, byte_len, count));
-            let spend = f64::from_le_bytes(
-                spend_bytes[i * SPEND_LEN..(i + 1) * SPEND_LEN]
-                    .try_into()
-                    .unwrap(),
-            );
+            let spend = f64::from_le_bytes(le_bytes(&spend_bytes, i * SPEND_LEN)?);
             spent.insert(hub, spend);
             total_entries += count as usize;
         }

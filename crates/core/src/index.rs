@@ -304,8 +304,8 @@ impl<S: PpvStore> PpvStore for &S {
     }
 }
 
-const MAGIC: &[u8; 8] = b"FPPVIDX1";
-const VERSION: u32 = 2;
+use crate::protocol_consts::{IDX1_MAGIC as MAGIC, IDX1_VERSION as VERSION};
+
 const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 const DIR_RECORD_LEN: usize = 4 + 8 + 4;
 const SPEND_LEN: usize = 8;
@@ -539,8 +539,8 @@ fn bad(detail: impl Into<String>) -> OpenError {
     OpenError::Format(detail.into())
 }
 
-const FLAT_MAGIC: &[u8; 8] = b"FPPVIDX3";
-const FLAT_VERSION: u32 = 3;
+use crate::protocol_consts::{IDX3_MAGIC as FLAT_MAGIC, IDX3_VERSION as FLAT_VERSION};
+
 const FLAT_HEADER_LEN: usize = 8 + 4 + 4 + 11 * 8;
 const FLAT_DIR_RECORD_LEN: usize = 4 + 4 + 4 + 4 + 8 + 8;
 /// Headers claiming more nodes than this are rejected before the
@@ -666,6 +666,10 @@ struct Chunk {
 fn map_u32s(backing: &Backing, off: usize, n: usize) -> &[u32] {
     let bytes = &backing.bytes()[off..off + n * 4];
     debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+    // SAFETY: the slice covers exactly n*4 in-bounds bytes of the backing
+    // (which outlives the return via the borrow), the arena layout keeps
+    // every section 4-aligned from an 8-aligned base, and on this
+    // little-endian target the file encoding is the in-memory encoding.
     unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), n) }
 }
 
@@ -673,6 +677,9 @@ fn map_u32s(backing: &Backing, off: usize, n: usize) -> &[u32] {
 fn map_f64s(backing: &Backing, off: usize, n: usize) -> &[f64] {
     let bytes = &backing.bytes()[off..off + n * 8];
     debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+    // SAFETY: the slice covers exactly n*8 in-bounds bytes of the backing,
+    // the score section is 8-aligned from the backing's 8-aligned base,
+    // any bit pattern is a valid f64, and this target is little-endian.
     unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), n) }
 }
 
@@ -1469,8 +1476,10 @@ fn carve_chunk(
 fn write_u32s(w: &mut impl Write, vals: &[u32]) -> io::Result<()> {
     #[cfg(target_endian = "little")]
     {
-        let bytes =
-            unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 4) };
+        let n = std::mem::size_of_val(vals);
+        // SAFETY: viewing an initialized `[u32]` as bytes is always valid —
+        // same allocation, same length in bytes, alignment only loosens.
+        let bytes = unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), n) };
         w.write_all(bytes)
     }
     #[cfg(not(target_endian = "little"))]
@@ -1486,8 +1495,10 @@ fn write_u32s(w: &mut impl Write, vals: &[u32]) -> io::Result<()> {
 fn write_f64s(w: &mut impl Write, vals: &[f64]) -> io::Result<()> {
     #[cfg(target_endian = "little")]
     {
-        let bytes =
-            unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), vals.len() * 8) };
+        let n = std::mem::size_of_val(vals);
+        // SAFETY: viewing an initialized `[f64]` as bytes is always valid —
+        // same allocation, same length in bytes, alignment only loosens.
+        let bytes = unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), n) };
         w.write_all(bytes)
     }
     #[cfg(not(target_endian = "little"))]

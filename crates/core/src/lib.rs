@@ -87,6 +87,7 @@ pub mod linearity;
 pub(crate) mod mapfile;
 pub mod offline;
 pub mod prime;
+pub mod protocol_consts;
 pub mod query;
 pub mod wal;
 

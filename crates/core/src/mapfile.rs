@@ -46,10 +46,12 @@ pub(crate) enum Backing {
     Heap { buf: Vec<u64>, len: usize },
 }
 
-// The `Mapped` pointer is an immutable private mapping owned exclusively by
-// this value; sharing it across threads is no different from sharing a
-// heap allocation.
+// SAFETY: the `Mapped` pointer is an immutable private mapping owned
+// exclusively by this value; sharing it across threads is no different
+// from sharing a heap allocation.
 unsafe impl Send for Backing {}
+// SAFETY: as above — the mapping is PROT_READ and never written through,
+// so shared references from many threads cannot race.
 unsafe impl Sync for Backing {}
 
 impl Backing {
@@ -58,6 +60,9 @@ impl Backing {
         #[cfg(unix)]
         if len > 0 {
             use std::os::unix::io::AsRawFd;
+            // SAFETY: plain FFI call with a live fd, a null addr hint, and
+            // in-range flags; the result is validated against MAP_FAILED
+            // before use.
             let ptr = unsafe {
                 sys::mmap(
                     std::ptr::null_mut(),
@@ -75,6 +80,9 @@ impl Backing {
             }
         }
         let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: `buf` owns ≥ len bytes (len.div_ceil(8) u64 words), the
+        // cast only narrows the element type, and `buf` is borrowed mutably
+        // for exactly the lifetime of `dst`.
         let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
         let mut r = file;
         r.seek(SeekFrom::Start(0))?;
@@ -86,9 +94,14 @@ impl Backing {
     pub fn bytes(&self) -> &[u8] {
         match self {
             #[cfg(unix)]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (unmapped only in Drop), and the returned slice's
+            // lifetime is tied to `&self`.
             Backing::Mapped { ptr, len } => unsafe {
                 std::slice::from_raw_parts(ptr.cast::<u8>().cast_const(), *len)
             },
+            // SAFETY: `buf` owns ≥ len bytes and lives as long as `self`;
+            // the cast only narrows the element type.
             Backing::Heap { buf, len } => unsafe {
                 std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len)
             },
@@ -109,6 +122,9 @@ impl Drop for Backing {
     fn drop(&mut self) {
         #[cfg(unix)]
         if let Backing::Mapped { ptr, len } = self {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once, here; no slice into the mapping can
+            // outlive `self` (see `bytes`).
             unsafe {
                 sys::munmap(*ptr, *len);
             }
@@ -154,8 +170,10 @@ mod tests {
         File::create(&path).unwrap().write_all(&payload).unwrap();
         let file = File::open(&path).unwrap();
         let mut buf = vec![0u64; payload.len().div_ceil(8)];
-        let dst =
-            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), payload.len()) };
+        let n = payload.len();
+        // SAFETY: same invariant as `Backing::open` — `buf` owns at least
+        // `payload.len()` bytes and is only reborrowed for `dst`'s lifetime.
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), n) };
         {
             let mut r = &file;
             r.read_exact(dst).unwrap();

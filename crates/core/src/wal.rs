@@ -40,9 +40,8 @@ use std::path::{Path, PathBuf};
 use fastppv_graph::gen::EdgeEvent;
 
 use crate::index::OpenError;
+use crate::protocol_consts::{MANIFEST_MAGIC, WAL_MAGIC, WAL_VERSION};
 
-const WAL_MAGIC: &[u8; 8] = b"FPPVWAL1";
-const WAL_VERSION: u32 = 1;
 const WAL_HEADER_LEN: u64 = 16;
 const RECORD_HEADER_LEN: usize = 8; // len + crc32
 const EVENT_LEN: usize = 9; // tail u32 | head u32 | insert u8
@@ -53,6 +52,17 @@ const MAX_RECORD_PAYLOAD: u32 = 64 << 20;
 
 fn bad(detail: impl Into<String>) -> OpenError {
     OpenError::Format(detail.into())
+}
+
+/// Checked little-endian reads for the replay and manifest parsers:
+/// `None` on short input instead of a slice-index panic, so corrupt
+/// length fields can only produce a typed error.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
 }
 
 // ---------------------------------------------------------------------------
@@ -72,7 +82,7 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        table[i] = c; // fppv-lint: allow(panic-freedom) -- i < 256 by the loop bound; const-evaluated, a slip fails the build
         i += 1;
     }
     table
@@ -84,6 +94,7 @@ static CRC_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in bytes {
+        // fppv-lint: allow(panic-freedom) -- index is masked to 0..=255 and the table has 256 entries
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -155,11 +166,12 @@ impl Wal {
     /// the log.
     pub fn append(&mut self, seq: u64, events: &[EdgeEvent]) -> io::Result<()> {
         let payload_len = PAYLOAD_FIXED_LEN + events.len() * EVENT_LEN;
-        assert!(
-            payload_len as u64 <= MAX_RECORD_PAYLOAD as u64,
-            "WAL batch too large ({} events)",
-            events.len()
-        );
+        if payload_len as u64 > MAX_RECORD_PAYLOAD as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("WAL batch too large ({} events)", events.len()),
+            ));
+        }
         let mut payload = Vec::with_capacity(payload_len);
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
@@ -204,10 +216,11 @@ fn replay(bytes: &[u8]) -> Result<(Vec<WalBatch>, usize), OpenError> {
             bytes.len()
         )));
     }
-    if &bytes[..8] != WAL_MAGIC {
+    if bytes.get(..8) != Some(WAL_MAGIC.as_slice()) {
         return Err(bad("WAL magic mismatch: not a FPPVWAL1 file"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version =
+        le_u32(bytes, 8).ok_or_else(|| bad("WAL header truncated inside the version field"))?;
     if version != WAL_VERSION {
         return Err(bad(format!(
             "WAL version {version} unsupported (expected {WAL_VERSION})"
@@ -264,32 +277,32 @@ struct TornRecord {
 /// `Ok(Some((batch, next_offset)))` = intact record, `Err` = damaged
 /// record (possibly a torn tail — the caller decides).
 fn parse_record(bytes: &[u8], offset: usize) -> Result<Option<(WalBatch, usize)>, TornRecord> {
-    let remaining = &bytes[offset.min(bytes.len())..];
+    let remaining = bytes.get(offset..).unwrap_or(&[]);
     if remaining.is_empty() {
         return Ok(None);
     }
-    if remaining.len() < RECORD_HEADER_LEN {
-        return Err(TornRecord {
-            reason: "truncated record header".into(),
-            claimed_next: None,
-        });
-    }
-    let len = u32::from_le_bytes(remaining[..4].try_into().unwrap());
+    let (len, expect_crc) = match (le_u32(remaining, 0), le_u32(remaining, 4)) {
+        (Some(len), Some(crc)) => (len, crc),
+        _ => {
+            return Err(TornRecord {
+                reason: "truncated record header".into(),
+                claimed_next: None,
+            })
+        }
+    };
     if len > MAX_RECORD_PAYLOAD || (len as usize) < PAYLOAD_FIXED_LEN {
         return Err(TornRecord {
             reason: format!("implausible record length {len}"),
             claimed_next: None,
         });
     }
-    let expect_crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
-    let body = &remaining[RECORD_HEADER_LEN..];
-    if body.len() < len as usize {
+    let body = remaining.get(RECORD_HEADER_LEN..).unwrap_or(&[]);
+    let Some(payload) = body.get(..len as usize) else {
         return Err(TornRecord {
             reason: format!("truncated record payload: {} of {len} bytes", body.len()),
             claimed_next: None,
         });
-    }
-    let payload = &body[..len as usize];
+    };
     let claimed_next = offset + RECORD_HEADER_LEN + len as usize;
     if crc32(payload) != expect_crc {
         return Err(TornRecord {
@@ -297,8 +310,15 @@ fn parse_record(bytes: &[u8], offset: usize) -> Result<Option<(WalBatch, usize)>
             claimed_next: Some(claimed_next),
         });
     }
-    let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let (seq, count) = match (le_u64(payload, 0), le_u32(payload, 8)) {
+        (Some(seq), Some(count)) => (seq, count as usize),
+        _ => {
+            return Err(TornRecord {
+                reason: "record payload shorter than its fixed header".into(),
+                claimed_next: Some(claimed_next),
+            })
+        }
+    };
     if payload.len() != PAYLOAD_FIXED_LEN + count * EVENT_LEN {
         return Err(TornRecord {
             reason: format!(
@@ -311,9 +331,20 @@ fn parse_record(bytes: &[u8], offset: usize) -> Result<Option<(WalBatch, usize)>
     let mut events = Vec::with_capacity(count);
     let mut p = PAYLOAD_FIXED_LEN;
     for _ in 0..count {
-        let tail = u32::from_le_bytes(payload[p..p + 4].try_into().unwrap());
-        let head = u32::from_le_bytes(payload[p + 4..p + 8].try_into().unwrap());
-        let insert = match payload[p + 8] {
+        let (tail, head, flag) = match (
+            le_u32(payload, p),
+            le_u32(payload, p + 4),
+            payload.get(p + 8),
+        ) {
+            (Some(t), Some(h), Some(&f)) => (t, h, f),
+            _ => {
+                return Err(TornRecord {
+                    reason: "record payload shorter than its event count".into(),
+                    claimed_next: Some(claimed_next),
+                })
+            }
+        };
+        let insert = match flag {
             0 => false,
             1 => true,
             other => {
@@ -331,8 +362,6 @@ fn parse_record(bytes: &[u8], offset: usize) -> Result<Option<(WalBatch, usize)>
 
 // ---------------------------------------------------------------------------
 // Manifest
-
-const MANIFEST_MAGIC: &[u8; 8] = b"FPPVMAN1";
 
 /// The atomically-published checkpoint pointer: which generation-stamped
 /// files hold the durable (graph, index) pair and how many events of the
@@ -384,30 +413,26 @@ impl Manifest {
         if bytes.len() < 12 {
             return Err(bad(format!("manifest truncated: {} bytes", bytes.len())));
         }
-        if &bytes[..8] != MANIFEST_MAGIC {
+        if bytes.get(..8) != Some(MANIFEST_MAGIC.as_slice()) {
             return Err(bad("manifest magic mismatch: not a FPPVMAN1 file"));
         }
-        let expect_crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        let body = &bytes[12..];
+        let expect_crc =
+            le_u32(&bytes, 8).ok_or_else(|| bad("manifest truncated inside the checksum"))?;
+        let body = bytes.get(12..).unwrap_or(&[]);
         if crc32(body) != expect_crc {
             return Err(bad("manifest checksum mismatch"));
         }
         let take_str = |body: &[u8], at: usize| -> Result<(String, usize), OpenError> {
-            if body.len() < at + 4 {
-                return Err(bad("manifest truncated inside a name length"));
-            }
-            let n = u32::from_le_bytes(body[at..at + 4].try_into().unwrap()) as usize;
-            if body.len() < at + 4 + n {
-                return Err(bad("manifest truncated inside a name"));
-            }
-            let s = std::str::from_utf8(&body[at + 4..at + 4 + n])
-                .map_err(|_| bad("manifest name is not UTF-8"))?;
+            let n = le_u32(body, at)
+                .ok_or_else(|| bad("manifest truncated inside a name length"))?
+                as usize;
+            let raw = body
+                .get(at + 4..at + 4 + n)
+                .ok_or_else(|| bad("manifest truncated inside a name"))?;
+            let s = std::str::from_utf8(raw).map_err(|_| bad("manifest name is not UTF-8"))?;
             Ok((s.to_string(), at + 4 + n))
         };
-        if body.len() < 8 {
-            return Err(bad("manifest truncated before seq"));
-        }
-        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let seq = le_u64(body, 0).ok_or_else(|| bad("manifest truncated before seq"))?;
         let (arena_name, at) = take_str(body, 8)?;
         let (graph_name, at) = take_str(body, at)?;
         if at != body.len() {

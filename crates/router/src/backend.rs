@@ -107,14 +107,28 @@ struct Inner {
 
 impl Inner {
     fn take_pooled(&self, shard: usize) -> Option<Client> {
-        self.pools[shard].lock().pop()
+        self.pools.get(shard)?.lock().pop()
     }
 
     fn return_client(&self, shard: usize, client: Client) {
-        let mut pool = self.pools[shard].lock();
+        let Some(pool) = self.pools.get(shard) else {
+            return;
+        };
+        let mut pool = pool.lock();
         if pool.len() < self.options.pool_per_shard {
             pool.push(client);
         }
+    }
+
+    /// The address of `shard`, or a connect-style error for an
+    /// out-of-range index (fail closed, never panic on a routing bug).
+    fn addr(&self, shard: usize) -> io::Result<SocketAddr> {
+        self.addrs.get(shard).copied().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {shard} out of range ({} shards)", self.addrs.len()),
+            )
+        })
     }
 
     fn hedge_delay(&self, shard: usize) -> Duration {
@@ -148,7 +162,9 @@ fn spawn_attempt<T: Send + 'static>(
             None
         } {
             Some(c) => Ok(c),
-            None => Client::connect_with(inner.addrs[shard], inner.options.client),
+            None => inner
+                .addr(shard)
+                .and_then(|addr| Client::connect_with(addr, inner.options.client)),
         };
         let mut client = match client {
             Ok(c) => c,
@@ -328,7 +344,9 @@ impl TcpBackend {
         let started = Instant::now();
         let client = match inner.take_pooled(shard) {
             Some(c) => Ok(c),
-            None => Client::connect_with(inner.addrs[shard], inner.options.client),
+            None => inner
+                .addr(shard)
+                .and_then(|addr| Client::connect_with(addr, inner.options.client)),
         };
         let outcome = client.and_then(|mut c| {
             op(&mut c).inspect(|_| {
@@ -499,7 +517,10 @@ impl<S: PpvStore + Send + Sync> LocalBackend<S> {
     }
 
     fn check_alive(&self, shard: usize) -> Result<(), BackendError> {
-        if self.dead[shard].load(Ordering::Acquire) {
+        // An out-of-range shard index is served exactly like a dead
+        // shard: the scatter layer degrades instead of panicking.
+        let dead = self.dead.get(shard).ok_or(BackendError::ShardDown(shard))?;
+        if dead.load(Ordering::Acquire) {
             Err(BackendError::ShardDown(shard))
         } else {
             Ok(())
@@ -526,7 +547,11 @@ impl<S: PpvStore + Send + Sync> SubBackend for LocalBackend<S> {
         expect_epoch: Option<u64>,
     ) -> Result<SubReply<WirePrime0>, BackendError> {
         self.check_alive(shard)?;
-        Ok(match self.shards[shard].prime0(query, expect_epoch) {
+        let service = self
+            .shards
+            .get(shard)
+            .ok_or(BackendError::ShardDown(shard))?;
+        Ok(match service.prime0(query, expect_epoch) {
             Ok((parts, epoch)) => SubReply::Ok(WirePrime0 {
                 epoch,
                 entries: parts.entries.clone(),
@@ -543,7 +568,11 @@ impl<S: PpvStore + Send + Sync> SubBackend for LocalBackend<S> {
         expect_epoch: Option<u64>,
     ) -> Result<SubReply<WireExpand>, BackendError> {
         self.check_alive(shard)?;
-        Ok(match self.shards[shard].expand(sublist, expect_epoch) {
+        let service = self
+            .shards
+            .get(shard)
+            .ok_or(BackendError::ShardDown(shard))?;
+        Ok(match service.expand(sublist, expect_epoch) {
             Ok(answer) => SubReply::Ok(WireExpand {
                 epoch: answer.epoch,
                 entries: answer.outcome.entries.entries().to_vec(),

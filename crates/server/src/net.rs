@@ -121,27 +121,16 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::service::{QueryService, Request, Response, ShardRefresh, SubQueryError};
 
-/// Protocol magic: `"FPPV"` read as a little-endian `u32`.
-pub const MAGIC: u32 = 0x4650_5056;
-/// Current protocol version. Version 2 added the per-answer `degraded`
-/// flag and the `Overloaded` response tag (accuracy shedding under load);
-/// version 3 op-tagged request frames and added the scatter/gather
-/// sub-ops (`stats`, `prime0`, `expand`, `update`) plus the extended
-/// hello (epoch, α, δ).
-pub const PROTOCOL_VERSION: u16 = 3;
-
-/// Op byte of a classic request-batch frame.
-pub const OP_QUERY: u8 = 0;
-/// Op byte of a stats (health-probe) frame.
-pub const OP_STATS: u8 = 1;
-/// Op byte of a scattered prime-PPV (iteration 0) frame.
-pub const OP_PRIME0: u8 = 2;
-/// Op byte of a scattered increment-step frame.
-pub const OP_EXPAND: u8 = 3;
-/// Op byte of a two-phase update frame.
-pub const OP_UPDATE: u8 = 4;
-/// `expect_epoch` sentinel for "any epoch" (0 is a valid epoch).
-pub const EPOCH_ANY: u64 = u64::MAX;
+/// Wire constants, re-exported from the workspace constant registry
+/// under their historical public names. Protocol version history:
+/// version 2 added the per-answer `degraded` flag and the `Overloaded`
+/// response tag (accuracy shedding under load); version 3 op-tagged
+/// request frames and added the scatter/gather sub-ops (`stats`,
+/// `prime0`, `expand`, `update`) plus the extended hello (epoch, α, δ).
+pub use fastppv_core::protocol_consts::{
+    EPOCH_ANY, NET_MAGIC as MAGIC, OP_EXPAND, OP_PRIME0, OP_QUERY, OP_STATS, OP_UPDATE,
+    PROTOCOL_VERSION,
+};
 /// Upper bound on a frame payload; larger frames are a protocol error.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Upper bound on requests per batch frame (a protocol error beyond it).
@@ -333,27 +322,35 @@ impl<'a> Payload<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| bad_data("truncated frame payload"))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| bad_data("truncated frame payload"))?;
         self.pos = end;
         Ok(slice)
     }
 
+    fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| bad_data("truncated frame payload"))
+    }
+
     fn u8(&mut self) -> io::Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
     fn u16(&mut self) -> io::Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> io::Result<f64> {
@@ -838,13 +835,28 @@ fn encode_expand_ok(request_id: u64, answer: &WireExpand) -> Vec<u8> {
     buf
 }
 
+/// A sub-response head that was anything but `SUB_OK`. Separate from
+/// [`SubReply`] so the decoders never hold an impossible `Ok(())` arm.
+enum SubNonOk {
+    EpochSkew { current: u64 },
+    Error(String),
+}
+
+impl SubNonOk {
+    fn into_reply<T>(self) -> SubReply<T> {
+        match self {
+            SubNonOk::EpochSkew { current } => SubReply::EpochSkew { current },
+            SubNonOk::Error(e) => SubReply::Error(e),
+        }
+    }
+}
+
 /// Decodes a sub-response head, validating the echoed request id — a
 /// response surviving from a previous (hedged, timed-out, desynced)
 /// request on the same connection can never be credited to this one.
-fn decode_sub_head<'a>(
-    p: &mut Payload<'a>,
-    expect_request_id: u64,
-) -> io::Result<Option<SubReply<()>>> {
+/// `Ok(None)` means the shard answered `SUB_OK` and the typed body
+/// follows in the payload.
+fn decode_sub_head(p: &mut Payload<'_>, expect_request_id: u64) -> io::Result<Option<SubNonOk>> {
     let request_id = p.u64()?;
     if request_id != expect_request_id {
         return Err(bad_data(format!(
@@ -853,12 +865,12 @@ fn decode_sub_head<'a>(
     }
     match p.u8()? {
         SUB_OK => Ok(None),
-        SUB_SKEW => Ok(Some(SubReply::EpochSkew { current: p.u64()? })),
+        SUB_SKEW => Ok(Some(SubNonOk::EpochSkew { current: p.u64()? })),
         SUB_ERROR => {
             let len = p.u32()? as usize;
             let msg = std::str::from_utf8(p.take(len)?)
                 .map_err(|_| bad_data("error message is not UTF-8"))?;
-            Ok(Some(SubReply::Error(msg.to_string())))
+            Ok(Some(SubNonOk::Error(msg.to_string())))
         }
         tag => Err(bad_data(format!("unknown sub-response status {tag}"))),
     }
@@ -868,11 +880,7 @@ fn decode_prime0_response(payload: &[u8], request_id: u64) -> io::Result<SubRepl
     let mut p = Payload::new(payload);
     if let Some(non_ok) = decode_sub_head(&mut p, request_id)? {
         p.finish()?;
-        return Ok(match non_ok {
-            SubReply::EpochSkew { current } => SubReply::EpochSkew { current },
-            SubReply::Error(e) => SubReply::Error(e),
-            SubReply::Ok(()) => unreachable!(),
-        });
+        return Ok(non_ok.into_reply());
     }
     let epoch = p.u64()?;
     let entries = take_entry_list(&mut p, payload.len())?;
@@ -889,11 +897,7 @@ fn decode_expand_response(payload: &[u8], request_id: u64) -> io::Result<SubRepl
     let mut p = Payload::new(payload);
     if let Some(non_ok) = decode_sub_head(&mut p, request_id)? {
         p.finish()?;
-        return Ok(match non_ok {
-            SubReply::EpochSkew { current } => SubReply::EpochSkew { current },
-            SubReply::Error(e) => SubReply::Error(e),
-            SubReply::Ok(()) => unreachable!(),
-        });
+        return Ok(non_ok.into_reply());
     }
     let epoch = p.u64()?;
     let entries = take_entry_list(&mut p, payload.len())?;
@@ -1061,6 +1065,7 @@ pub fn read_frame_stalling<R: Read>(
     let mut header = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
+        // fppv-lint: allow(panic-freedom) -- got < 4 is the loop condition, so the slice start is in bounds
         match r.read(&mut header[got..]) {
             Ok(0) => {
                 return if got == 0 {
@@ -1091,6 +1096,7 @@ pub fn read_frame_stalling<R: Read>(
     buf_scratch.resize(len, 0);
     let mut got = 0usize;
     while got < len {
+        // fppv-lint: allow(panic-freedom) -- got < len = buf_scratch.len() is the loop condition
         match r.read(&mut buf_scratch[got..]) {
             Ok(0) => return Err(bad_data("connection closed mid frame payload")),
             Ok(n) => got += n,

@@ -890,6 +890,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
     pub fn invalidate_cache(&self) -> usize {
         let _updates = self.update_lock.lock();
         let old = self.snapshot();
+        // fppv-lint: allow(lock-across-io) -- update_lock exists to serialize publishers; readers never take it
         self.publish(ServingState {
             graph: Arc::clone(&old.graph),
             hubs: Arc::clone(&old.hubs),
@@ -976,6 +977,7 @@ impl<S: PpvStore + Send + Sync> QueryService<S> {
                     loop {
                         // Hold the receiver lock only for the dequeue, not
                         // for the query execution.
+                        // fppv-lint: allow(lock-across-io) -- the lock IS the handoff: workers take turns blocking on the shared receiver
                         let job = job_rx.lock().recv();
                         let Ok((i, request)) = job else { break };
                         *slots[i].lock() =
@@ -1287,6 +1289,7 @@ impl QueryService<MemoryIndex> {
             self.noop_skips.fetch_add(1, Ordering::Relaxed);
             return stats;
         }
+        // fppv-lint: allow(lock-across-io) -- update_lock exists to serialize publishers; readers never take it
         self.publish(ServingState {
             graph: Arc::new(new_graph),
             hubs: Arc::clone(&old.hubs),
@@ -1331,6 +1334,7 @@ impl QueryService<FlatIndex> {
             self.noop_skips.fetch_add(1, Ordering::Relaxed);
             return stats;
         }
+        // fppv-lint: allow(lock-across-io) -- update_lock exists to serialize publishers; readers never take it
         self.publish(ServingState {
             graph: Arc::new(new_graph),
             hubs: Arc::clone(&old.hubs),
@@ -1489,6 +1493,7 @@ impl<S: PpvStore + ShardRefresh + Send + Sync> QueryService<S> {
                 "staged epoch {target_epoch} is stale (serving epoch {current})"
             ));
         }
+        // fppv-lint: allow(lock-across-io) -- update_lock exists to serialize publishers; readers never take it
         self.publish(ready);
         Ok(())
     }

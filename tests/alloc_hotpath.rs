@@ -24,19 +24,25 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator (plus a side-effect-
+// free counter bump), so `System`'s allocation guarantees carry over.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: forwarded verbatim — the caller upholds `alloc`'s contract.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: forwarded verbatim — `ptr`/`layout` came from this
+        // allocator, which is `System` underneath.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwarded verbatim — the caller upholds `realloc`'s contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

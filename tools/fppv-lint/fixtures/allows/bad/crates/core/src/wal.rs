@@ -1,0 +1,12 @@
+//! Known-bad fixture for the allow machinery itself: a reasonless
+//! directive and one that suppresses nothing.
+
+pub fn first(v: &[u8]) -> u8 {
+    // fppv-lint: allow(panic-freedom)
+    v[0]
+}
+
+pub fn harmless() -> u8 {
+    // fppv-lint: allow(panic-freedom) -- nothing on the next line panics
+    0
+}

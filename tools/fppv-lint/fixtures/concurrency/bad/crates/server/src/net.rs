@@ -1,0 +1,24 @@
+//! Known-bad fixture: a lock held across a channel send, a chained
+//! guard, and wall-clock types in wire-facing code.
+
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+pub struct WireHello {
+    pub stamp: Instant,
+}
+
+pub fn serve(m: &Mutex<Vec<u8>>, tx: &mpsc::Sender<u8>) {
+    let guard = m.lock();
+    tx.send(1).ok();
+    drop(guard);
+}
+
+pub fn chained(m: &Mutex<mpsc::Receiver<u8>>) {
+    let _ = m.lock().recv();
+}
+
+pub fn decode_hello(_buf: &[u8]) -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}

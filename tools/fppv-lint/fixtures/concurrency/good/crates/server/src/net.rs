@@ -1,0 +1,26 @@
+//! Known-good fixture: guards dropped before I/O, wire types carrying
+//! plain integers, wall clocks only outside codec/wire contexts.
+
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+pub struct WireHello {
+    pub stamp_ms: u64,
+}
+
+pub fn serve(m: &Mutex<Vec<u8>>, tx: &mpsc::Sender<u8>) {
+    let guard = m.lock();
+    let len = 1u8;
+    drop(guard);
+    tx.send(len).ok();
+}
+
+pub fn dequeue(m: &Mutex<mpsc::Receiver<u8>>) -> Option<u8> {
+    let rx = m.lock();
+    None.or(Some(0)).map(|_| 0)
+}
+
+pub fn stats_probe() -> u64 {
+    // A wall clock outside wire structs and codec functions is fine.
+    Instant::now().elapsed().as_millis() as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture registry: the canonical constants the rest of the bad tree
+//! duplicates.
+
+pub const WAL_MAGIC: &[u8; 8] = b"FPPVWAL1";
+pub const WAL_VERSION: u32 = 1;
+pub const NET_MAGIC: u32 = 0x4650_5056;
+pub const OP_QUERY: u8 = 0;

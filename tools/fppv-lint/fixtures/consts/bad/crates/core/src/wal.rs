@@ -1,0 +1,20 @@
+//! Known-bad fixture: every way a protocol constant can leak out of the
+//! registry.
+
+// Redefinition of a registry name.
+const WAL_VERSION: u32 = 1;
+
+// A new op tag minted outside the registry.
+const OP_PING: u8 = 9;
+
+pub fn header() -> Vec<u8> {
+    let mut v = Vec::new();
+    // Byte-string literal duplicating a registry magic.
+    v.extend_from_slice(b"FPPVWAL1");
+    v
+}
+
+pub fn packed() -> u32 {
+    // Hex literal duplicating a packed magic value.
+    0x4650_5056
+}

@@ -1,0 +1,10 @@
+//! Known-good fixture: consumes the registry instead of duplicating it.
+
+use crate::protocol_consts::{WAL_MAGIC, WAL_VERSION};
+
+pub fn header() -> Vec<u8> {
+    let mut v = Vec::new();
+    v.extend_from_slice(WAL_MAGIC);
+    v.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    v
+}

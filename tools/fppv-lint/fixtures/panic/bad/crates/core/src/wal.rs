@@ -1,0 +1,23 @@
+//! Known-bad fixture: every panic-freedom construct the rule must catch.
+
+pub fn parse(bytes: &[u8]) -> u32 {
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    assert!(len > 0, "empty record");
+    if len > 10 {
+        panic!("record too large");
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    // Panicking constructs are fine inside test code: the rule must not
+    // fire on any of these.
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse(&[1, 0, 0, 0]), 1);
+        let v = vec![1u8];
+        let _ = v[0];
+        let _ = Some(3).unwrap();
+    }
+}

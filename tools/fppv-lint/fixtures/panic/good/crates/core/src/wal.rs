@@ -1,0 +1,28 @@
+//! Known-good fixture: checked reads, a reasoned allow, and test-only
+//! panics — none of which the rule may flag.
+
+pub fn parse(bytes: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+const TABLE: [u32; 4] = [0, 1, 2, 3];
+
+pub fn masked_lookup(i: u32) -> u32 {
+    // fppv-lint: allow(panic-freedom) -- index masked to 0..=3 and the table has 4 entries
+    TABLE[(i & 3) as usize]
+}
+
+pub fn whole(bytes: &[u8]) -> &[u8] {
+    // RangeFull cannot panic; no allow needed.
+    &bytes[..]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse(&[1, 0, 0, 0]), Some(1));
+        assert_eq!(super::masked_lookup(7), 3);
+    }
+}

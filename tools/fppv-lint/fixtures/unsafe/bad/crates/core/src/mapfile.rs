@@ -1,0 +1,9 @@
+//! Known-bad fixture: `unsafe` without `// SAFETY:` comments.
+
+pub struct Wrapper(pub *const u8);
+
+unsafe impl Send for Wrapper {}
+
+pub fn first_word(v: &[u64]) -> u8 {
+    unsafe { *v.as_ptr().cast::<u8>() }
+}

@@ -1,0 +1,25 @@
+//! Known-good fixture: every `unsafe` site carries a `// SAFETY:`
+//! comment, in each accepted position.
+
+pub struct Wrapper(pub *const u8);
+
+// SAFETY: the pointer is never dereferenced by this fixture.
+unsafe impl Send for Wrapper {}
+
+pub fn first_word(v: &[u64]) -> u8 {
+    // SAFETY: a `&[u64]` is non-dangling and u8 has no alignment
+    // requirement, so reading one byte through the cast pointer is sound
+    // whenever the slice is non-empty — which the caller guarantees.
+    unsafe { *v.as_ptr().cast::<u8>() }
+}
+
+pub fn same_line(v: &[u64]) -> u8 {
+    /* SAFETY: as above. */ unsafe { *v.as_ptr().cast::<u8>() }
+}
+
+#[allow(dead_code)]
+// SAFETY: comments may sit above attributes too.
+pub unsafe fn trusted(v: *const u8) -> u8 {
+    // SAFETY: the caller promises `v` is valid for reads.
+    unsafe { *v }
+}

@@ -1,0 +1,89 @@
+//! The unsafe inventory: a machine-generated census of every `unsafe`
+//! site in the workspace sources, rendered to `UNSAFE_INVENTORY.md`.
+//!
+//! CI regenerates the inventory and diffs it against the committed file
+//! (`fppv-lint inventory --check`), so new unsafe code cannot land
+//! without the diff showing up in review.
+
+use std::fs;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::lexer;
+use crate::rules::source_files;
+use crate::scan;
+
+/// Renders the inventory for the tree rooted at `cfg.root`.
+pub fn render(cfg: &Config) -> String {
+    let mut total = 0usize;
+    let mut per_file: Vec<(String, Vec<String>)> = Vec::new();
+    for path in source_files(&cfg.root) {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let lexed = lexer::lex(&src);
+        let sites = scan::unsafe_sites(&lexed.masked);
+        if sites.is_empty() {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut lines = Vec::new();
+        for site in &sites {
+            let line_no = lexed.line_of(site.offset);
+            let context = src
+                .lines()
+                .nth(line_no - 1)
+                .unwrap_or("")
+                .trim()
+                .chars()
+                .take(72)
+                .collect::<String>();
+            lines.push(format!(
+                "- line {line_no} · {} · `{context}`",
+                site.kind.as_str()
+            ));
+        }
+        total += sites.len();
+        per_file.push((rel, lines));
+    }
+
+    let mut out = String::new();
+    out.push_str("# Unsafe inventory\n\n");
+    out.push_str(
+        "Machine-generated census of every `unsafe` site under `crates/*/src`\n\
+         and `src/`. Regenerate with `cargo run -p fppv-lint -- inventory`;\n\
+         CI fails if this file is stale (`fppv-lint inventory --check`).\n\
+         Every site must carry a `// SAFETY:` comment (rule `unsafe-audit`).\n\n",
+    );
+    out.push_str(&format!("Total: {total} unsafe sites.\n"));
+    for (rel, lines) in &per_file {
+        out.push_str(&format!("\n## {rel} ({})\n\n", lines.len()));
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Compares the regenerated inventory with the committed file. Returns
+/// `Ok(())` when in sync, `Err(message)` otherwise.
+pub fn check(cfg: &Config, committed_path: &Path) -> Result<(), String> {
+    let fresh = render(cfg);
+    let committed = fs::read_to_string(committed_path)
+        .map_err(|e| format!("{}: {e}", committed_path.display()))?;
+    if fresh == committed {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} is stale; regenerate with `cargo run -p fppv-lint -- inventory`",
+            committed_path.display()
+        ))
+    }
+}

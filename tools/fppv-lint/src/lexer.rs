@@ -1,0 +1,430 @@
+//! A lightweight, comment- and string-aware Rust lexer.
+//!
+//! The rules in this tool never want to match inside comments or string
+//! literals (an error message mentioning `unwrap` is not a call to
+//! `unwrap`). Instead of tokenizing fully, [`lex`] produces a *masked*
+//! copy of the source — byte-for-byte the same length and line
+//! structure, with comment text and literal contents replaced by
+//! spaces — plus the comments and string literals as separate lists.
+//! Rules scan the masked text with exact byte offsets, so every
+//! diagnostic maps back to a real line and column.
+//!
+//! Handled: `//` line comments, nested `/* */` block comments, plain
+//! and byte strings with escapes, raw (byte) strings with any number of
+//! `#`s, raw identifiers (`r#fn`), char and byte-char literals
+//! (including `'\''` and multi-byte chars), and the char-literal versus
+//! lifetime ambiguity (`'a'` vs `<'a>`).
+
+/// One comment, with its original text (markers included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the comment's first byte.
+    pub offset: usize,
+    /// 1-based line of the comment's first byte.
+    pub line: usize,
+    /// 1-based line of the comment's last byte (differs for block
+    /// comments spanning lines).
+    pub end_line: usize,
+    /// True when only whitespace precedes the comment on its line.
+    pub own_line: bool,
+    /// Raw text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// One string literal (plain, byte, raw, or raw byte).
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the literal's first byte (prefix included).
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// The bytes between the quotes, exactly as written (escapes are
+    /// *not* processed — good enough for magic-literal equality, which
+    /// never needs escapes).
+    pub content: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Same byte length and newline positions as the input; comment
+    /// text and literal contents are spaces.
+    pub masked: String,
+    pub comments: Vec<Comment>,
+    pub strings: Vec<StrLit>,
+    /// Byte offset of the start of each line (line N is
+    /// `line_starts[N-1]`).
+    pub line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The masked text of 1-based line `line` (without the newline).
+    pub fn masked_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|e| e - 1)
+            .unwrap_or(self.masked.len());
+        &self.masked[start..end]
+    }
+}
+
+pub fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Lexes `src`, producing the masked text and the comment/literal lists.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut masked = b.to_vec();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    // Blank `range` in the mask, preserving newlines.
+    let mask = |masked: &mut Vec<u8>, range: std::ops::Range<usize>| {
+        for m in &mut masked[range] {
+            if *m != b'\n' {
+                *m = b' ';
+            }
+        }
+    };
+    let own_line = |start: usize| {
+        let ls = line_starts[line_of(start) - 1];
+        b[ls..start].iter().all(|c| c.is_ascii_whitespace())
+    };
+    // Scans a quoted string starting at the opening quote; returns the
+    // index one past the closing quote.
+    let scan_quoted = |b: &[u8], open: usize| -> usize {
+        let mut i = open + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    };
+    // Scans a raw string whose `r` was consumed; `i` is at the first
+    // `#` or the opening quote. Returns `Some(end)` one past the final
+    // `#` (or quote), or `None` when this is a raw identifier.
+    let scan_raw = |b: &[u8], mut i: usize| -> Option<(usize, usize)> {
+        let mut hashes = 0;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if b.get(i) != Some(&b'"') {
+            return None; // raw identifier like r#fn
+        }
+        let content_start = i + 1;
+        i += 1;
+        while i < b.len() {
+            if b[i] == b'"'
+                && b[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                return Some((content_start, i));
+            }
+            i += 1;
+        }
+        Some((content_start, i))
+    };
+
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    offset: start,
+                    line: line_of(start),
+                    end_line: line_of(i.saturating_sub(1).max(start)),
+                    own_line: own_line(start),
+                    text: src[start..i].to_string(),
+                });
+                mask(&mut masked, start..i);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    offset: start,
+                    line: line_of(start),
+                    end_line: line_of(i.saturating_sub(1).max(start)),
+                    own_line: own_line(start),
+                    text: src[start..i].to_string(),
+                });
+                mask(&mut masked, start..i);
+            }
+            b'"' => {
+                let end = scan_quoted(b, i);
+                strings.push(StrLit {
+                    offset: i,
+                    line: line_of(i),
+                    content: src[i + 1..end.saturating_sub(1).max(i + 1)].to_string(),
+                });
+                mask(&mut masked, i + 1..end.saturating_sub(1).max(i + 1));
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime/label.
+                let j = i + 1;
+                if j >= b.len() {
+                    i += 1;
+                } else if b[j] == b'\\' {
+                    // Escaped char literal: scan to the closing quote.
+                    let mut k = j;
+                    while k < b.len() {
+                        match b[k] {
+                            b'\\' => k += 2,
+                            b'\'' => break,
+                            _ => k += 1,
+                        }
+                    }
+                    let end = (k + 1).min(b.len());
+                    mask(&mut masked, i + 1..end.saturating_sub(1));
+                    i = end;
+                } else {
+                    let l = utf8_len(b[j]);
+                    if b[j] != b'\'' && b.get(j + l) == Some(&b'\'') {
+                        // 'x' — a one-char literal.
+                        mask(&mut masked, i + 1..j + l);
+                        i = j + l + 1;
+                    } else {
+                        // A lifetime ('a) or stray quote: keep going.
+                        i += 1;
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                // Identifier — check for literal prefixes r / b / br.
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                match (ident, b.get(i)) {
+                    ("r", Some(&b'"'))
+                    | ("r", Some(&b'#'))
+                    | ("br", Some(&b'"'))
+                    | ("br", Some(&b'#')) => {
+                        if let Some((cs, ce)) = scan_raw(b, i) {
+                            strings.push(StrLit {
+                                offset: start,
+                                line: line_of(start),
+                                content: src[cs..ce].to_string(),
+                            });
+                            mask(&mut masked, cs..ce);
+                            // Skip past the closing quote and hashes.
+                            i = ce + 1 + (cs - i - 1);
+                        }
+                        // Raw identifier: already consumed the `r`; the
+                        // `#` and name will be consumed as punctuation +
+                        // identifier on the next iterations.
+                    }
+                    ("b", Some(&b'"')) => {
+                        let end = scan_quoted(b, i);
+                        strings.push(StrLit {
+                            offset: start,
+                            line: line_of(start),
+                            content: src[i + 1..end.saturating_sub(1).max(i + 1)].to_string(),
+                        });
+                        mask(&mut masked, i + 1..end.saturating_sub(1).max(i + 1));
+                        i = end;
+                    }
+                    ("b", Some(&b'\'')) => {
+                        // Byte-char literal: same scan as a char literal.
+                        let j = i + 1;
+                        if b.get(j) == Some(&b'\\') {
+                            let mut k = j;
+                            while k < b.len() {
+                                match b[k] {
+                                    b'\\' => k += 2,
+                                    b'\'' => break,
+                                    _ => k += 1,
+                                }
+                            }
+                            let end = (k + 1).min(b.len());
+                            mask(&mut masked, i + 1..end.saturating_sub(1));
+                            i = end;
+                        } else if b.get(j).is_some() && b.get(j + 1) == Some(&b'\'') {
+                            mask(&mut masked, i + 1..j + 1);
+                            i = j + 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Lexed {
+        masked: String::from_utf8(masked).expect("masking only replaces ASCII bytes"),
+        comments,
+        strings,
+        line_starts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_masked() {
+        let l = lex("let x = 1; // unwrap() here is just prose\nlet y = 2;");
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("let y = 2;"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(!l.comments[0].own_line);
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let l = lex("a /* outer /* inner unwrap() */ still comment */ b");
+        assert!(!l.masked.contains("unwrap"));
+        assert!(!l.masked.contains("still"));
+        assert!(l.masked.starts_with('a'));
+        assert!(l.masked.ends_with('b'));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_end_line() {
+        let l = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.line_of(l.masked.find('x').unwrap()), 3);
+    }
+
+    #[test]
+    fn strings_are_masked_but_quotes_survive() {
+        let src = r#"let m = "magic FPPVIDX1 inside"; call();"#;
+        let l = lex(src);
+        assert!(!l.masked.contains("FPPVIDX1"));
+        assert_eq!(l.masked.len(), src.len());
+        assert_eq!(l.masked.matches('"').count(), 2);
+        assert!(l.masked.contains("call();"));
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].content, "magic FPPVIDX1 inside");
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let l = lex(r#"x = "a\"b // not a comment"; y"#);
+        assert!(!l.masked.contains("not a comment"));
+        assert!(l.masked.contains("; y"));
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let l = lex(r#"const M: &[u8; 8] = b"FPPVWAL1";"#);
+        assert!(!l.masked.contains("FPPVWAL1"));
+        assert_eq!(l.strings[0].content, "FPPVWAL1");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " and // slashes"#; done()"###);
+        assert!(!l.masked.contains("slashes"));
+        assert!(l.masked.contains("done()"));
+        assert_eq!(l.strings[0].content, r#"quote " and // slashes"#);
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let l = lex(r###"let s = br#"bytes"#; after()"###);
+        assert!(!l.masked.contains("bytes"));
+        assert!(l.masked.contains("after()"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let l = lex("fn r#match(x: u32) {}");
+        assert!(l.strings.is_empty());
+        assert!(l.masked.contains("r#match"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_inside() {
+        let l = lex(r"let q = '\''; let s = '\\'; next()");
+        assert!(l.masked.contains("next()"));
+        // Neither escaped char swallowed the rest of the line.
+        assert_eq!(l.line_of(l.masked.find("next").unwrap()), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a [u8]) -> &'a str { \"s\" }");
+        // The string literal at the end is still found (the lifetimes
+        // didn't start a bogus char literal that swallowed it).
+        assert_eq!(l.strings.len(), 1);
+        assert!(l.masked.contains("&'a [u8]"));
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let l = lex("let c = 'é'; let d = '\\u{1F600}'; tail()");
+        assert!(l.masked.contains("tail()"));
+    }
+
+    #[test]
+    fn own_line_detection() {
+        let l = lex("    // SAFETY: fine\nunsafe {}");
+        assert!(l.comments[0].own_line);
+        let l = lex("let x = 1; // trailing\n");
+        assert!(!l.comments[0].own_line);
+    }
+}

@@ -1,0 +1,28 @@
+//! `fppv-lint` — the FastPPV workspace invariant checker.
+//!
+//! The paper's guarantees (certified error bounds, crash-safe
+//! publication, fail-closed serving) rest on code-level invariants that
+//! ordinary compilation cannot see: which modules must never panic,
+//! which `unsafe` is audited, where the wire constants live, and which
+//! locks may be held across I/O. This crate machine-checks them.
+//!
+//! Library layout:
+//! - [`lexer`]: comment/string-aware masking lexer,
+//! - [`scan`]: structural scans (fn spans, test regions, unsafe sites),
+//! - [`config`]: the declared policy (fail-closed surface, registry,
+//!   README drift table),
+//! - [`rules`]: the rule engine and allow-directive machinery,
+//! - [`inventory`]: the `UNSAFE_INVENTORY.md` generator/checker.
+//!
+//! The `fppv-lint` binary wires these into `check` and `inventory`
+//! subcommands; integration tests run the same entry points against
+//! fixture trees and the real repository.
+
+pub mod config;
+pub mod inventory;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use rules::{run_check, Diagnostic, Family, Rule, ALL_FAMILIES};

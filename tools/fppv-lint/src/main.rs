@@ -1,0 +1,96 @@
+//! CLI: `fppv-lint check [--root DIR]` and
+//! `fppv-lint inventory [--check] [--root DIR]`.
+//!
+//! `check` exits nonzero on any diagnostic — CI uses it as a hard gate.
+//! `inventory` rewrites `UNSAFE_INVENTORY.md` at the workspace root;
+//! with `--check` it only compares and exits nonzero when stale.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fppv_lint::{config::Config, inventory, rules, ALL_FAMILIES};
+
+const USAGE: &str = "usage: fppv-lint <check|inventory> [--check] [--root DIR]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut root: Option<PathBuf> = None;
+    let mut check_only = false;
+    let mut rest = args;
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--root" => match rest.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => check_only = true,
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from, so
+    // `cargo run -p fppv-lint -- check` works from any directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let cfg = Config::default_for(root);
+
+    match cmd.as_str() {
+        "check" => {
+            let diags = rules::run_check(&cfg, &ALL_FAMILIES);
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("fppv-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("fppv-lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        "inventory" => {
+            let out_path = cfg.root.join("UNSAFE_INVENTORY.md");
+            if check_only {
+                match inventory::check(&cfg, &out_path) {
+                    Ok(()) => {
+                        println!("fppv-lint: inventory in sync");
+                        ExitCode::SUCCESS
+                    }
+                    Err(msg) => {
+                        eprintln!("fppv-lint: {msg}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                let rendered = inventory::render(&cfg);
+                match std::fs::write(&out_path, rendered) {
+                    Ok(()) => {
+                        println!("fppv-lint: wrote {}", out_path.display());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("fppv-lint: {}: {e}", out_path.display());
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,980 @@
+//! The rule engine: walks the workspace sources, runs the enabled rule
+//! families over each lexed file, and applies inline allow directives.
+//!
+//! ## Rules
+//!
+//! | id              | family      | checks |
+//! |-----------------|-------------|--------|
+//! | `panic-freedom` | panic       | no `unwrap`/`expect`/panicking macro/indexing in fail-closed code |
+//! | `unsafe-audit`  | unsafe      | every `unsafe` is preceded by `// SAFETY:` |
+//! | `const-registry`| consts      | magics/versions/op tags defined only in the registry |
+//! | `doc-drift`     | consts      | README format tables match the registry values |
+//! | `lock-across-io`| concurrency | no lock guard held across I/O / `send` / `publish` |
+//! | `time-in-wire`  | concurrency | no `Instant`/`SystemTime` in wire structs or codecs |
+//! | `bad-allow`     | (meta)      | malformed or reasonless allow directive |
+//! | `unused-allow`  | (meta)      | allow directive that suppressed nothing |
+//!
+//! ## Allow directives
+//!
+//! `// fppv-lint: allow(<rule>) -- <reason>` — the reason is mandatory.
+//! On its own line the directive covers the next code line; trailing a
+//! code line it covers that line. A directive with no reason or that
+//! suppresses nothing is itself a diagnostic, so the allowlist can only
+//! shrink honestly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, Render, Scope};
+use crate::lexer::{self, is_ident_char, Lexed};
+use crate::scan::{self, in_regions};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    PanicFreedom,
+    UnsafeAudit,
+    ConstRegistry,
+    DocDrift,
+    LockAcrossIo,
+    TimeInWire,
+    BadAllow,
+    UnusedAllow,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::ConstRegistry => "const-registry",
+            Rule::DocDrift => "doc-drift",
+            Rule::LockAcrossIo => "lock-across-io",
+            Rule::TimeInWire => "time-in-wire",
+            Rule::BadAllow => "bad-allow",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        [
+            Rule::PanicFreedom,
+            Rule::UnsafeAudit,
+            Rule::ConstRegistry,
+            Rule::DocDrift,
+            Rule::LockAcrossIo,
+            Rule::TimeInWire,
+        ]
+        .into_iter()
+        .find(|r| r.id() == id)
+    }
+
+    fn family(self) -> Option<Family> {
+        match self {
+            Rule::PanicFreedom => Some(Family::Panic),
+            Rule::UnsafeAudit => Some(Family::Unsafe),
+            Rule::ConstRegistry | Rule::DocDrift => Some(Family::Consts),
+            Rule::LockAcrossIo | Rule::TimeInWire => Some(Family::Concurrency),
+            Rule::BadAllow | Rule::UnusedAllow => None,
+        }
+    }
+}
+
+/// A rule family, the unit of enabling (tests run one family at a time
+/// against fixture trees; `check` runs all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    Panic,
+    Unsafe,
+    Consts,
+    Concurrency,
+}
+
+pub const ALL_FAMILIES: [Family; 4] = [
+    Family::Panic,
+    Family::Unsafe,
+    Family::Consts,
+    Family::Concurrency,
+];
+
+#[derive(Debug)]
+pub struct Diagnostic {
+    /// Path relative to the config root, with forward slashes.
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.msg
+        )
+    }
+}
+
+/// Every `.rs` file under `crates/*/src` and the umbrella `src/`,
+/// sorted for deterministic output.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            walk(&entry.path().join("src"), &mut out);
+        }
+    }
+    walk(&root.join("src"), &mut out);
+    out.sort();
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs the enabled families over the tree; returns sorted diagnostics
+/// (empty = clean).
+pub fn run_check(cfg: &Config, families: &[Family]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let registry = if families.contains(&Family::Consts) {
+        match load_registry(cfg) {
+            Ok(r) => Some(r),
+            Err(msg) => {
+                diags.push(Diagnostic {
+                    path: cfg.registry_path.clone(),
+                    line: 1,
+                    rule: Rule::ConstRegistry,
+                    msg,
+                });
+                None
+            }
+        }
+    } else {
+        None
+    };
+    for path in source_files(&cfg.root) {
+        check_file(cfg, families, &path, registry.as_ref(), &mut diags);
+    }
+    if let Some(reg) = &registry {
+        doc_drift(cfg, reg, &mut diags);
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+
+struct Directive {
+    line: usize,
+    covered_line: usize,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Parses `fppv-lint:` directives out of the file's comments; malformed
+/// ones go straight to `diags` as `bad-allow`.
+fn parse_directives(lexed: &Lexed, rel: &str, diags: &mut Vec<Diagnostic>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    let n_lines = lexed.line_starts.len();
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("fppv-lint:") else {
+            continue;
+        };
+        let bad = |msg: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                msg: msg.to_string(),
+            });
+        };
+        let rest = c.text[at + "fppv-lint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            bad(
+                "malformed directive; expected `fppv-lint: allow(<rule>) -- <reason>`",
+                diags,
+            );
+            continue;
+        };
+        let (ids, tail) = args;
+        let rules: Vec<String> = ids
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("allow() names no rule", diags);
+            continue;
+        }
+        let mut known = true;
+        for id in &rules {
+            if Rule::from_id(id).is_none() {
+                bad(&format!("allow() names unknown rule `{id}`"), diags);
+                known = false;
+            }
+        }
+        if !known {
+            continue;
+        }
+        let reason = tail
+            .trim_start()
+            .strip_prefix("--")
+            .map(|r| r.trim_matches(|ch: char| ch.is_whitespace() || ch == '*' || ch == '/'))
+            .unwrap_or("");
+        if reason.is_empty() {
+            bad(
+                "allow() without a reason; append ` -- <why this is sound>`",
+                diags,
+            );
+        }
+        // An own-line directive covers the next code line (skipping
+        // blank and comment-only lines); a trailing one covers its own.
+        let covered_line = if c.own_line {
+            let mut l = c.end_line + 1;
+            while l <= n_lines && lexed.masked_line(l).trim().is_empty() {
+                l += 1;
+            }
+            l
+        } else {
+            c.line
+        };
+        out.push(Directive {
+            line: c.line,
+            covered_line,
+            rules,
+            used: false,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Per-file driver
+
+struct FileCtx<'a> {
+    lexed: &'a Lexed,
+    masked: &'a str,
+    test_regions: Vec<(usize, usize)>,
+    fn_spans: Vec<scan::FnSpan>,
+}
+
+fn check_file(
+    cfg: &Config,
+    families: &[Family],
+    path: &Path,
+    registry: Option<&Registry>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let rel = rel_path(&cfg.root, path);
+    let Ok(src) = fs::read_to_string(path) else {
+        return;
+    };
+    let lexed = lexer::lex(&src);
+    let ctx = FileCtx {
+        masked: &lexed.masked,
+        test_regions: scan::test_regions(&lexed.masked),
+        fn_spans: scan::fn_spans(&lexed.masked),
+        lexed: &lexed,
+    };
+
+    // (rule, byte offset, message)
+    let mut raw: Vec<(Rule, usize, String)> = Vec::new();
+
+    if families.contains(&Family::Panic) {
+        if let Some(fc) = cfg
+            .fail_closed
+            .iter()
+            .find(|fc| rel.ends_with(&fc.path_suffix))
+        {
+            panic_rule(&ctx, &fc.scope, &mut raw);
+        }
+    }
+    if families.contains(&Family::Unsafe) {
+        unsafe_rule(&ctx, &mut raw);
+    }
+    if let Some(reg) = registry {
+        if rel != cfg.registry_path {
+            consts_rule(&ctx, reg, &mut raw);
+        }
+    }
+    if families.contains(&Family::Concurrency) {
+        if cfg.lock_dirs.iter().any(|d| rel.starts_with(d.as_str())) {
+            lock_rule(&ctx, &mut raw);
+        }
+        if cfg.wire_files.iter().any(|w| rel.ends_with(w.as_str())) {
+            time_rule(&ctx, &mut raw);
+        }
+    }
+
+    // Apply directives: suppress covered diagnostics, then report the
+    // directives that suppressed nothing.
+    let mut directives = parse_directives(&lexed, &rel, diags);
+    for (rule, offset, msg) in raw {
+        let line = lexed.line_of(offset);
+        let covering = directives
+            .iter_mut()
+            .find(|d| d.covered_line == line && d.rules.iter().any(|r| r == rule.id()));
+        match covering {
+            Some(d) => d.used = true,
+            None => diags.push(Diagnostic {
+                path: rel.clone(),
+                line,
+                rule,
+                msg,
+            }),
+        }
+    }
+    let enabled = |id: &str| {
+        Rule::from_id(id)
+            .and_then(Rule::family)
+            .is_some_and(|f| families.contains(&f))
+    };
+    for d in &directives {
+        if !d.used && d.rules.iter().all(|r| enabled(r)) {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: d.line,
+                rule: Rule::UnusedAllow,
+                msg: format!(
+                    "allow({}) suppresses nothing; remove it",
+                    d.rules.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: panic-freedom
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (`&mut [0u8; 4]`, `let [a, b] = ..`, `match [a, b]`, ...).
+const NONINDEX_KEYWORDS: [&str; 15] = [
+    "mut", "ref", "dyn", "as", "in", "let", "return", "break", "else", "match", "move", "static",
+    "const", "impl", "where",
+];
+
+fn panic_rule(ctx: &FileCtx<'_>, scope: &Scope, raw: &mut Vec<(Rule, usize, String)>) {
+    let masked = ctx.masked;
+    let b = masked.as_bytes();
+    let regions: Vec<(usize, usize)> = match scope {
+        Scope::WholeFile => vec![(0, masked.len())],
+        Scope::Functions(_) => ctx
+            .fn_spans
+            .iter()
+            .filter(|f| scope.matches_fn(&f.name))
+            .map(|f| f.body)
+            .collect(),
+    };
+    let in_scope = |off: usize| in_regions(&regions, off) && !in_regions(&ctx.test_regions, off);
+    let next_nonws = |mut i: usize| {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+
+    for (method, note) in [
+        ("unwrap", "return a typed error instead"),
+        ("expect", "return a typed error instead"),
+    ] {
+        for at in scan::find_word(masked, method) {
+            let preceded = at > 0 && b[at - 1] == b'.';
+            let called = b.get(next_nonws(at + method.len())) == Some(&b'(');
+            if preceded && called && in_scope(at) {
+                raw.push((
+                    Rule::PanicFreedom,
+                    at,
+                    format!(".{method}() in fail-closed code; {note}"),
+                ));
+            }
+        }
+    }
+
+    for mac in PANIC_MACROS {
+        for at in scan::find_word(masked, mac) {
+            if b.get(at + mac.len()) == Some(&b'!') && in_scope(at) {
+                raw.push((
+                    Rule::PanicFreedom,
+                    at,
+                    format!("{mac}! in fail-closed code; fail closed with a typed error"),
+                ));
+            }
+        }
+    }
+
+    // Indexing / slicing: `expr[...]` can panic; require `.get()` or a
+    // reasoned allow. `[..]` (RangeFull) is infallible and skipped.
+    for k in 0..b.len() {
+        if b[k] != b'[' || !in_scope(k) {
+            continue;
+        }
+        // Previous non-whitespace byte decides expression-vs-type
+        // position: an index follows an identifier, `)` or `]`.
+        let Some(p) = masked[..k].rfind(|c: char| !c.is_ascii_whitespace()) else {
+            continue;
+        };
+        let pc = b[p];
+        if !(is_ident_char(pc) || pc == b')' || pc == b']') {
+            continue;
+        }
+        if is_ident_char(pc) {
+            // Walk back over the identifier: lifetimes (`&'a [u8]`) and
+            // keyword-prefixed array expressions are not indexing.
+            let mut s = p;
+            while s > 0 && is_ident_char(b[s - 1]) {
+                s -= 1;
+            }
+            if s > 0 && b[s - 1] == b'\'' {
+                continue;
+            }
+            if NONINDEX_KEYWORDS.contains(&&masked[s..p + 1]) {
+                continue;
+            }
+        }
+        // `[..]` takes the whole slice and cannot panic.
+        let mut depth = 0usize;
+        let mut close = k;
+        for (i, &c) in b.iter().enumerate().skip(k) {
+            match c {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if masked[k + 1..close].trim() == ".." {
+            continue;
+        }
+        raw.push((
+            Rule::PanicFreedom,
+            k,
+            "indexing/slicing in fail-closed code; use .get(..) and handle None".to_string(),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: unsafe-audit
+
+fn safety_comment_text(text: &str) -> bool {
+    text.trim_start_matches(['/', '*', '!'])
+        .trim_start()
+        .starts_with("SAFETY:")
+}
+
+/// True when the `unsafe` at `offset` has a `// SAFETY:` comment
+/// immediately before it: on the same line ahead of the keyword, or in
+/// the contiguous run of comment/attribute-only lines directly above.
+fn has_safety_comment(lexed: &Lexed, offset: usize) -> bool {
+    let line = lexed.line_of(offset);
+    for c in &lexed.comments {
+        if c.line == line && c.offset < offset && safety_comment_text(&c.text) {
+            return true;
+        }
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let run: Vec<&lexer::Comment> = lexed
+            .comments
+            .iter()
+            .filter(|c| c.line <= l && l <= c.end_line)
+            .collect();
+        if !run.is_empty() {
+            if run.iter().any(|c| safety_comment_text(&c.text)) {
+                return true;
+            }
+            // Keep walking up through the comment run.
+            let first = run.iter().map(|c| c.line).min().unwrap_or(l);
+            l = first;
+            // But stop if the line also holds code (trailing comment on
+            // a code line ends the run).
+            if !lexed.masked_line(l).trim().is_empty() {
+                return false;
+            }
+            continue;
+        }
+        let text = lexed.masked_line(l);
+        let t = text.trim();
+        if t.starts_with("#[") || t.starts_with("#![") {
+            continue; // attributes may sit between the comment and the item
+        }
+        return false;
+    }
+    false
+}
+
+fn unsafe_rule(ctx: &FileCtx<'_>, raw: &mut Vec<(Rule, usize, String)>) {
+    for site in scan::unsafe_sites(ctx.masked) {
+        if !has_safety_comment(ctx.lexed, site.offset) {
+            raw.push((
+                Rule::UnsafeAudit,
+                site.offset,
+                format!(
+                    "`unsafe` {} without an immediately preceding `// SAFETY:` comment",
+                    site.kind.as_str()
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: const-registry + doc-drift
+
+#[derive(Debug, Clone)]
+pub enum ConstVal {
+    Bytes(String),
+    Int(u128),
+    Other,
+}
+
+#[derive(Debug)]
+pub struct Registry {
+    pub by_name: BTreeMap<String, ConstVal>,
+    /// Magic byte-string contents → constant name.
+    bytes_to_name: BTreeMap<String, String>,
+    /// Integer values of `*_MAGIC` constants → constant name.
+    int_magics: BTreeMap<u128, String>,
+}
+
+fn parse_int(text: &str) -> Option<u128> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x") {
+        u128::from_str_radix(hex, 16).ok()
+    } else if t == "u64::MAX" {
+        Some(u64::MAX as u128)
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Parses `pub const NAME: TY = VALUE;` items out of the canonical
+/// module.
+fn load_registry(cfg: &Config) -> Result<Registry, String> {
+    let path = cfg.root.join(&cfg.registry_path);
+    let src = fs::read_to_string(&path)
+        .map_err(|e| format!("canonical constants module not readable: {e}"))?;
+    let lexed = lexer::lex(&src);
+    let masked = &lexed.masked;
+    let b = masked.as_bytes();
+    let mut by_name = BTreeMap::new();
+    let mut bytes_to_name = BTreeMap::new();
+    let mut int_magics = BTreeMap::new();
+    for at in scan::find_word(masked, "const") {
+        let mut i = at + "const".len();
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && is_ident_char(b[i]) {
+            i += 1;
+        }
+        let name = &masked[start..i];
+        if name.is_empty() || name == "fn" {
+            continue;
+        }
+        let Some(eq) = masked[i..].find('=').map(|r| i + r) else {
+            continue;
+        };
+        let Some(semi) = masked[eq..].find(';').map(|r| eq + r) else {
+            continue;
+        };
+        // Read the value from the *raw* source: string contents are
+        // blanked in the mask.
+        let value = src[eq + 1..semi].trim();
+        let val = if let Some(rest) = value.strip_prefix("b\"") {
+            ConstVal::Bytes(rest.trim_end_matches('"').to_string())
+        } else if let Some(i) = parse_int(value) {
+            ConstVal::Int(i)
+        } else {
+            ConstVal::Other
+        };
+        match &val {
+            ConstVal::Bytes(s) => {
+                bytes_to_name.insert(s.clone(), name.to_string());
+            }
+            ConstVal::Int(i) if name.ends_with("_MAGIC") => {
+                int_magics.insert(*i, name.to_string());
+            }
+            _ => {}
+        }
+        by_name.insert(name.to_string(), val);
+    }
+    if by_name.is_empty() {
+        return Err("canonical constants module defines no constants".to_string());
+    }
+    Ok(Registry {
+        by_name,
+        bytes_to_name,
+        int_magics,
+    })
+}
+
+fn consts_rule(ctx: &FileCtx<'_>, reg: &Registry, raw: &mut Vec<(Rule, usize, String)>) {
+    let masked = ctx.masked;
+    let b = masked.as_bytes();
+
+    // Duplicate magic literals (string or byte-string).
+    for s in &ctx.lexed.strings {
+        if let Some(name) = reg.bytes_to_name.get(&s.content) {
+            raw.push((
+                Rule::ConstRegistry,
+                s.offset,
+                format!("magic literal duplicates protocol_consts::{name}; use the constant"),
+            ));
+        }
+    }
+
+    // Duplicate hex literals of packed magics.
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] == b'0' && b[i + 1] == b'x' && (i == 0 || !is_ident_char(b[i - 1])) {
+            let start = i;
+            let mut j = i + 2;
+            while j < b.len() && (b[j].is_ascii_hexdigit() || b[j] == b'_') {
+                j += 1;
+            }
+            if let Some(v) = parse_int(&masked[start..j]) {
+                if let Some(name) = reg.int_magics.get(&v) {
+                    raw.push((
+                        Rule::ConstRegistry,
+                        start,
+                        format!("magic value duplicates protocol_consts::{name}; use the constant"),
+                    ));
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Re-definitions of registry names, and op tags defined elsewhere.
+    for at in scan::find_word(masked, "const") {
+        let mut i = at + "const".len();
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && is_ident_char(b[i]) {
+            i += 1;
+        }
+        let name = &masked[start..i];
+        if name.is_empty() {
+            continue;
+        }
+        if reg.by_name.contains_key(name) {
+            raw.push((
+                Rule::ConstRegistry,
+                at,
+                format!("redefines protocol_consts::{name}; `use` or re-export it instead"),
+            ));
+        } else if name.starts_with("OP_") {
+            // `const OP_*: u8` outside the registry: a new op tag that
+            // the registry (and the README) would never hear about.
+            let mut j = i;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b':') && masked[j + 1..].trim_start().starts_with("u8") {
+                raw.push((
+                    Rule::ConstRegistry,
+                    at,
+                    format!("op tag {name} defined outside protocol_consts"),
+                ));
+            }
+        }
+    }
+}
+
+fn doc_drift(cfg: &Config, reg: &Registry, diags: &mut Vec<Diagnostic>) {
+    let readme = match fs::read_to_string(cfg.root.join(&cfg.readme_path)) {
+        Ok(s) => s,
+        Err(e) => {
+            diags.push(Diagnostic {
+                path: cfg.readme_path.clone(),
+                line: 1,
+                rule: Rule::DocDrift,
+                msg: format!("README not readable: {e}"),
+            });
+            return;
+        }
+    };
+    for chk in &cfg.readme_checks {
+        let Some(val) = reg.by_name.get(&chk.const_name) else {
+            diags.push(Diagnostic {
+                path: cfg.registry_path.clone(),
+                line: 1,
+                rule: Rule::DocDrift,
+                msg: format!(
+                    "doc-drift check references missing constant {}",
+                    chk.const_name
+                ),
+            });
+            continue;
+        };
+        let rendered = match (chk.render, val) {
+            (Render::Ascii, ConstVal::Bytes(s)) => s.clone(),
+            (Render::Dec, ConstVal::Int(i)) => i.to_string(),
+            (Render::Hex, ConstVal::Int(i)) => format!("{i:X}"),
+            _ => {
+                diags.push(Diagnostic {
+                    path: cfg.registry_path.clone(),
+                    line: 1,
+                    rule: Rule::DocDrift,
+                    msg: format!(
+                        "constant {} has an unexpected shape for its doc-drift check",
+                        chk.const_name
+                    ),
+                });
+                continue;
+            }
+        };
+        let expected = chk.template.replace("{}", &rendered);
+        if !readme.contains(&expected) {
+            diags.push(Diagnostic {
+                path: cfg.readme_path.clone(),
+                line: 1,
+                rule: Rule::DocDrift,
+                msg: format!(
+                    "README drifted from protocol_consts::{}: expected to find `{expected}`",
+                    chk.const_name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: concurrency hygiene
+
+/// Calls that must not happen under a held lock guard: blocking I/O,
+/// channel handoffs, and snapshot publication.
+const FLAGGED_CALLS: [&str; 11] = [
+    "send",
+    "recv",
+    "write_all",
+    "flush",
+    "read_exact",
+    "sync_all",
+    "sync_data",
+    "write_frame",
+    "read_frame",
+    "connect",
+    "publish",
+];
+
+fn flagged_call_in(masked: &str, range: (usize, usize)) -> Option<(usize, &'static str)> {
+    let b = masked.as_bytes();
+    let mut best: Option<(usize, &'static str)> = None;
+    for name in FLAGGED_CALLS {
+        for at in scan::find_word(&masked[range.0..range.1], name) {
+            let abs = range.0 + at;
+            let mut j = abs + name.len();
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'(') && best.is_none_or(|(o, _)| abs < o) {
+                best = Some((abs, name));
+            }
+        }
+    }
+    best
+}
+
+fn lock_rule(ctx: &FileCtx<'_>, raw: &mut Vec<(Rule, usize, String)>) {
+    let masked = ctx.masked;
+    let b = masked.as_bytes();
+    for method in ["lock", "read", "write"] {
+        for at in scan::find_word(masked, method) {
+            if at == 0 || b[at - 1] != b'.' || in_regions(&ctx.test_regions, at) {
+                continue;
+            }
+            // Guard-producing calls take no arguments: `.lock()`,
+            // RwLock's `.read()` / `.write()`. `r.read(&mut buf)` is
+            // I/O, not a guard.
+            let mut i = at + method.len();
+            if b.get(i) != Some(&b'(') {
+                continue;
+            }
+            i += 1;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if b.get(i) != Some(&b')') {
+                continue;
+            }
+            let call_end = i + 1;
+            let stmt_start = masked[..at]
+                .rfind([';', '{', '}'])
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let head = masked[stmt_start..at].trim_start();
+            let mut k = call_end;
+            while k < b.len() && b[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if head.starts_with("let ") && b.get(k) == Some(&b';') {
+                // `let guard = x.lock();` — the guard lives to the end
+                // of the enclosing block (or an explicit drop).
+                let name: String = {
+                    let rest = head["let ".len()..].trim_start();
+                    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                    rest.bytes()
+                        .take_while(|&c| is_ident_char(c))
+                        .map(char::from)
+                        .collect()
+                };
+                let scope_end = guard_scope_end(masked, k, &name);
+                if let Some((off, call)) = flagged_call_in(masked, (k, scope_end)) {
+                    if !in_regions(&ctx.test_regions, off) {
+                        raw.push((
+                            Rule::LockAcrossIo,
+                            off,
+                            format!(
+                                "{call}() while `{name}` (a .{method}() guard) is held; \
+                                 drop the guard first"
+                            ),
+                        ));
+                    }
+                }
+            } else {
+                // Same-statement chain: `x.lock().recv()` holds the
+                // temporary guard across the call.
+                let stmt_end = masked[call_end..]
+                    .find([';', '{', '}'])
+                    .map(|p| call_end + p)
+                    .unwrap_or(masked.len());
+                if let Some((off, call)) = flagged_call_in(masked, (call_end, stmt_end)) {
+                    raw.push((
+                        Rule::LockAcrossIo,
+                        off,
+                        format!(
+                            "{call}() chained on a temporary .{method}() guard; \
+                             the lock is held for the whole call"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// End of the scope a `let guard = ...;` binding lives in: the close of
+/// the enclosing block, or an explicit `drop(name)`.
+fn guard_scope_end(masked: &str, from: usize, name: &str) -> usize {
+    let b = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = from;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b'd' if masked[i..].starts_with("drop") => {
+                let j = i + 4;
+                let inner = masked[j..].trim_start();
+                if (i == 0 || !is_ident_char(b[i - 1]))
+                    && inner.starts_with('(')
+                    && inner[1..].trim_start().starts_with(name)
+                {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+fn time_rule(ctx: &FileCtx<'_>, raw: &mut Vec<(Rule, usize, String)>) {
+    let masked = ctx.masked;
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    // Wire-facing struct bodies...
+    for at in scan::find_word(masked, "struct") {
+        let b = masked.as_bytes();
+        let mut i = at + "struct".len();
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && is_ident_char(b[i]) {
+            i += 1;
+        }
+        if masked[start..i].starts_with("Wire") {
+            regions.push((at, scan::item_end(masked, i)));
+        }
+    }
+    // ...and codec function bodies.
+    for f in &ctx.fn_spans {
+        let codec = ["encode_", "decode_", "put_", "take_"]
+            .iter()
+            .any(|p| f.name.starts_with(p))
+            || f.name == "write_frame"
+            || f.name.starts_with("read_frame");
+        if codec {
+            regions.push(f.body);
+        }
+    }
+    for word in ["Instant", "SystemTime"] {
+        for at in scan::find_word(masked, word) {
+            if in_regions(&regions, at) {
+                raw.push((
+                    Rule::TimeInWire,
+                    at,
+                    format!(
+                        "{word} in a wire struct/codec; wall-clock types do not serialize \
+                         (carry ms offsets or epochs instead)"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Structural scans over masked source: brace matching, function body
+//! spans, `#[cfg(test)]` regions, identifier tokens, and `unsafe` sites.
+//!
+//! Everything here operates on the *masked* text produced by
+//! [`crate::lexer::lex`], so braces, keywords, and punctuation inside
+//! comments or string literals are never mistaken for code.
+
+use crate::lexer::is_ident_char;
+
+/// Returns the offset one past the `}` matching the `{` at `open`.
+/// Unbalanced input returns the end of the text (lint input is expected
+/// to parse, but the scanner must not loop or panic on garbage).
+pub fn brace_match(masked: &str, open: usize) -> usize {
+    let b = masked.as_bytes();
+    debug_assert_eq!(b[open], b'{');
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    b.len()
+}
+
+/// Returns the offset one past the end of the item starting at `pos`:
+/// either the `;` of a bodiless item or the `}` of its block, tracking
+/// parenthesis/bracket depth so `fn f(x: [u8; 4]);` ends at the right
+/// semicolon.
+pub fn item_end(masked: &str, pos: usize) -> usize {
+    let b = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = pos;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' if depth <= 0 => return i + 1,
+            b'{' if depth <= 0 => return brace_match(masked, i),
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Byte ranges of test-only code: items annotated `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`, or `#[test]`.
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(pat) {
+            let at = from + rel;
+            let attr_end = item_end(masked, at).min(
+                masked[at..]
+                    .find(']')
+                    .map(|r| at + r + 1)
+                    .unwrap_or(masked.len()),
+            );
+            let end = item_end(masked, attr_end);
+            regions.push((at, end));
+            from = at + pat.len();
+        }
+    }
+    regions.sort_unstable();
+    regions
+}
+
+pub fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| s <= offset && offset < e)
+}
+
+/// One `fn` item with a body.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Byte range of the body, `{` to one past `}`.
+    pub body: (usize, usize),
+}
+
+/// Every named function with a body, in source order (nested functions
+/// and methods included).
+pub fn fn_spans(masked: &str) -> Vec<FnSpan> {
+    let b = masked.as_bytes();
+    let mut spans = Vec::new();
+    for at in find_word(masked, "fn") {
+        // Skip whitespace, read the name (absent for `fn(` trait-object
+        // types like `Fn(..)` — those fail the word match anyway).
+        let mut i = at + 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && is_ident_char(b[i]) {
+            i += 1;
+        }
+        if i == start {
+            continue;
+        }
+        let name = masked[start..i].to_string();
+        // Find the body `{` (or `;` for a bodiless declaration) at
+        // paren/bracket depth 0.
+        let mut depth = 0isize;
+        let mut j = i;
+        let body = loop {
+            if j >= b.len() {
+                break None;
+            }
+            match b[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b';' if depth <= 0 => break None,
+                b'{' if depth <= 0 => break Some((j, brace_match(masked, j))),
+                _ => {}
+            }
+            j += 1;
+        };
+        if let Some(body) = body {
+            spans.push(FnSpan { name, body });
+        }
+    }
+    spans
+}
+
+/// Offsets of whole-word occurrences of `word` in `masked`.
+pub fn find_word(masked: &str, word: &str) -> Vec<usize> {
+    let b = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = masked[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_char(b[at - 1]) && b[at - 1] != b'\'';
+        let after = at + word.len();
+        let after_ok = after >= b.len() || !is_ident_char(b[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+/// What kind of item an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    Extern,
+}
+
+impl UnsafeKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Extern => "extern block",
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct UnsafeSite {
+    pub offset: usize,
+    pub kind: UnsafeKind,
+}
+
+/// Every `unsafe` keyword in the masked text, classified by the token
+/// that follows it.
+pub fn unsafe_sites(masked: &str) -> Vec<UnsafeSite> {
+    let b = masked.as_bytes();
+    find_word(masked, "unsafe")
+        .into_iter()
+        .map(|at| {
+            let mut i = at + "unsafe".len();
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let rest = &masked[i..];
+            let kind = if rest.starts_with('{') {
+                UnsafeKind::Block
+            } else if rest.starts_with("fn") {
+                UnsafeKind::Fn
+            } else if rest.starts_with("impl") {
+                UnsafeKind::Impl
+            } else if rest.starts_with("trait") {
+                UnsafeKind::Trait
+            } else if rest.starts_with("extern") {
+                UnsafeKind::Extern
+            } else {
+                // `pub unsafe fn` puts visibility first; `unsafe` then
+                // anything else (attrs between) still guards a fn.
+                UnsafeKind::Fn
+            };
+            UnsafeSite { offset: at, kind }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_spans_find_bodies_and_skip_declarations() {
+        let src = "fn a() { inner(); } trait T { fn b(&self); fn c(&self) { x } }";
+        let spans = fn_spans(&lex(src).masked);
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "c"]);
+    }
+
+    #[test]
+    fn fn_body_search_ignores_array_types_in_signature() {
+        let src = "fn f(x: [u8; 4]) -> [u8; 2] { body() }";
+        let spans = fn_spans(&lex(src).masked);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0].body;
+        assert!(src[s..e].contains("body()"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn live2() {}";
+        let l = lex(src);
+        let regions = test_regions(&l.masked);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = l.masked.find("unwrap").unwrap();
+        assert!(in_regions(&regions, unwrap_at));
+        assert!(!in_regions(&regions, l.masked.find("live2").unwrap()));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { body }";
+        let l = lex(src);
+        let regions = test_regions(&l.masked);
+        assert!(!in_regions(&regions, l.masked.find("body").unwrap()));
+    }
+
+    #[test]
+    fn unsafe_sites_classify() {
+        let src = "unsafe impl Send for X {}\nfn f() { unsafe { g() } }\npub unsafe fn h() {}";
+        let sites = unsafe_sites(&lex(src).masked);
+        let kinds: Vec<_> = sites.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, [UnsafeKind::Impl, UnsafeKind::Block, UnsafeKind::Fn]);
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        let masked = "unwrap unwrapped my_unwrap .unwrap(";
+        let hits = find_word(masked, "unwrap");
+        assert_eq!(hits.len(), 2); // first and last
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-rule fixture tests: each rule family must fail its known-bad
+//! tree with the expected diagnostics and pass its known-good tree
+//! cleanly. The fixtures live under `fixtures/<family>/{bad,good}/` and
+//! mimic real crate paths so the path-scoped configs engage.
+
+use std::path::PathBuf;
+
+use fppv_lint::config::{Config, FailClosed, ReadmeCheck, Render, Scope};
+use fppv_lint::rules::{run_check, Rule};
+use fppv_lint::Family;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn base_config(root: PathBuf) -> Config {
+    Config {
+        root,
+        registry_path: "crates/core/src/protocol_consts.rs".into(),
+        readme_path: "README.md".into(),
+        readme_checks: Vec::new(),
+        fail_closed: Vec::new(),
+        lock_dirs: Vec::new(),
+        wire_files: Vec::new(),
+    }
+}
+
+fn panic_config(tree: &str) -> Config {
+    let mut cfg = base_config(fixture_root(tree));
+    cfg.fail_closed.push(FailClosed {
+        path_suffix: "crates/core/src/wal.rs".into(),
+        scope: Scope::WholeFile,
+    });
+    cfg
+}
+
+#[test]
+fn panic_bad_flags_each_construct() {
+    let diags = run_check(&panic_config("panic/bad"), &[Family::Panic]);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert!(
+        diags.iter().all(|d| d.rule == Rule::PanicFreedom),
+        "unexpected rules: {diags:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("assert!")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("panic!")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("indexing/slicing")),
+        "{msgs:?}"
+    );
+    // The `#[cfg(test)]` module uses all the same constructs and must
+    // contribute nothing: exactly one diagnostic per non-test construct.
+    assert_eq!(diags.len(), 4, "{diags:?}");
+}
+
+#[test]
+fn panic_good_is_clean() {
+    let diags = run_check(&panic_config("panic/good"), &[Family::Panic]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unsafe_bad_flags_undocumented_sites() {
+    let cfg = base_config(fixture_root("unsafe/bad"));
+    let diags = run_check(&cfg, &[Family::Unsafe]);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::UnsafeAudit));
+    assert!(diags.iter().any(|d| d.msg.contains("`unsafe` impl")));
+    assert!(diags.iter().any(|d| d.msg.contains("`unsafe` block")));
+}
+
+#[test]
+fn unsafe_good_is_clean() {
+    let cfg = base_config(fixture_root("unsafe/good"));
+    let diags = run_check(&cfg, &[Family::Unsafe]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn consts_config(tree: &str) -> Config {
+    let mut cfg = base_config(fixture_root(tree));
+    cfg.readme_checks = vec![
+        ReadmeCheck {
+            const_name: "WAL_MAGIC".into(),
+            template: "{}".into(),
+            render: Render::Ascii,
+        },
+        ReadmeCheck {
+            const_name: "WAL_VERSION".into(),
+            template: "version u32 (={})".into(),
+            render: Render::Dec,
+        },
+    ];
+    cfg
+}
+
+#[test]
+fn consts_bad_flags_duplicates_and_drift() {
+    let diags = run_check(&consts_config("consts/bad"), &[Family::Consts]);
+    let registry_dups: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::ConstRegistry)
+        .collect();
+    let drift: Vec<_> = diags.iter().filter(|d| d.rule == Rule::DocDrift).collect();
+    assert!(
+        registry_dups
+            .iter()
+            .any(|d| d.msg.contains("redefines protocol_consts::WAL_VERSION")),
+        "{diags:?}"
+    );
+    assert!(
+        registry_dups
+            .iter()
+            .any(|d| d.msg.contains("op tag OP_PING defined outside")),
+        "{diags:?}"
+    );
+    assert!(
+        registry_dups.iter().any(|d| d
+            .msg
+            .contains("magic literal duplicates protocol_consts::WAL_MAGIC")),
+        "{diags:?}"
+    );
+    assert!(
+        registry_dups.iter().any(|d| d
+            .msg
+            .contains("magic value duplicates protocol_consts::NET_MAGIC")),
+        "{diags:?}"
+    );
+    assert_eq!(registry_dups.len(), 4, "{diags:?}");
+    // The fixture README documents version 2 against a registry value of 1.
+    assert_eq!(drift.len(), 1, "{diags:?}");
+    assert!(drift[0].msg.contains("WAL_VERSION"), "{diags:?}");
+}
+
+#[test]
+fn consts_good_is_clean() {
+    let diags = run_check(&consts_config("consts/good"), &[Family::Consts]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn concurrency_config(tree: &str) -> Config {
+    let mut cfg = base_config(fixture_root(tree));
+    cfg.lock_dirs = vec!["crates/server/src".into()];
+    cfg.wire_files = vec!["crates/server/src/net.rs".into()];
+    cfg
+}
+
+#[test]
+fn concurrency_bad_flags_guards_and_clocks() {
+    let diags = run_check(
+        &concurrency_config("concurrency/bad"),
+        &[Family::Concurrency],
+    );
+    let locks: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::LockAcrossIo)
+        .collect();
+    let clocks: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::TimeInWire)
+        .collect();
+    assert!(
+        locks.iter().any(|d| d.msg.contains("send() while `guard`")),
+        "{diags:?}"
+    );
+    assert!(
+        locks
+            .iter()
+            .any(|d| d.msg.contains("recv() chained on a temporary")),
+        "{diags:?}"
+    );
+    assert_eq!(locks.len(), 2, "{diags:?}");
+    // One Instant in the wire struct body, one in a decode_* body.
+    assert_eq!(clocks.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn concurrency_good_is_clean() {
+    let diags = run_check(
+        &concurrency_config("concurrency/good"),
+        &[Family::Concurrency],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_machinery_reports_reasonless_and_unused_directives() {
+    let diags = run_check(&panic_config("allows/bad"), &[Family::Panic]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::BadAllow && d.msg.contains("without a reason")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::UnusedAllow && d.msg.contains("suppresses nothing")),
+        "{diags:?}"
+    );
+    // The reasonless directive still suppresses its indexing diagnostic
+    // (it is reported as bad-allow, not twice), so nothing else fires.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}

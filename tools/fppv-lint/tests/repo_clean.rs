@@ -1,0 +1,39 @@
+//! The self-gate: the real workspace must pass every rule family, and
+//! the committed unsafe inventory must match a fresh render. This is the
+//! same check CI runs via `cargo run -p fppv-lint -- check`.
+
+use std::path::PathBuf;
+
+use fppv_lint::{inventory, run_check, Config, ALL_FAMILIES};
+
+fn workspace_config() -> Config {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    Config::default_for(root)
+}
+
+#[test]
+fn workspace_passes_every_rule_family() {
+    let cfg = workspace_config();
+    let diags = run_check(&cfg, &ALL_FAMILIES);
+    assert!(
+        diags.is_empty(),
+        "fppv-lint violations in the tree:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_unsafe_inventory_is_fresh() {
+    let cfg = workspace_config();
+    let committed = cfg.root.join("UNSAFE_INVENTORY.md");
+    if let Err(msg) = inventory::check(&cfg, &committed) {
+        panic!("{msg}");
+    }
+}
